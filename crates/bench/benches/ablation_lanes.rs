@@ -1,0 +1,40 @@
+//! Extension study (paper Section IV Q4 / future work): dedicated
+//! per-movement lanes vs mixed lanes with head-of-line blocking, under
+//! UTIL-BP on Pattern I.
+
+use utilbp_experiments::{run, Backend, ControllerKind, Probe, Scenario};
+use utilbp_microsim::LaneDiscipline;
+use utilbp_netgen::{DemandSchedule, Pattern};
+
+fn main() {
+    let opts = utilbp_bench::bench_options();
+    eprintln!("[lanes] hour={} ticks", opts.hour.count());
+    let mut table = utilbp_metrics::TextTable::new([
+        "Lane discipline",
+        "Avg queuing [s]",
+        "Completed",
+        "Generated",
+    ]);
+    for (label, discipline) in [
+        ("dedicated per movement (paper)", LaneDiscipline::DedicatedPerMovement),
+        ("mixed lanes (HOL blocking)", LaneDiscipline::SharedMixed),
+    ] {
+        let mut scenario = Scenario::paper(
+            DemandSchedule::constant(Pattern::I, opts.hour),
+            Backend::Microscopic,
+            opts.seed,
+        );
+        scenario.micro.lane_discipline = discipline;
+        let r = run(&scenario, &ControllerKind::UtilBp, &Probe::none());
+        table.push_row([
+            label.to_string(),
+            format!("{:.2}", r.avg_queuing_time_s),
+            r.completed.to_string(),
+            r.generated.to_string(),
+        ]);
+    }
+    println!(
+        "Head-of-line blocking study (UTIL-BP, Pattern I)\n\n{}",
+        table.render()
+    );
+}

@@ -1,0 +1,58 @@
+//! Criterion micro-benchmark: per-mini-slot decision latency of each
+//! controller on a loaded Fig. 1 intersection.
+//!
+//! The paper argues back-pressure control is attractive for CPS deployment
+//! because of its low computational complexity; this bench quantifies it
+//! for every controller in the workspace (decisions are invoked once per
+//! second per intersection in deployment, so anything under a few
+//! microseconds is irrelevant at network scale — which is the point).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use utilbp_baselines::{CapBp, FixedLengthUtilBp, FixedTime, LongestQueueFirst, OriginalBp};
+use utilbp_core::{
+    standard, IntersectionView, QueueObservation, SignalController, Tick, Ticks, UtilBp,
+};
+
+/// A representative congested observation: queues on most movements, some
+/// exits loaded, one exit full.
+fn loaded_observation(layout: &utilbp_core::IntersectionLayout) -> QueueObservation {
+    let mut obs = QueueObservation::zeros(layout);
+    for (n, link) in layout.link_ids().enumerate() {
+        obs.set_movement(link, (n as u32 * 5) % 23);
+    }
+    for (n, out) in layout.outgoing_ids().enumerate() {
+        obs.set_outgoing(out, if n == 2 { 120 } else { n as u32 * 13 });
+    }
+    obs
+}
+
+fn bench_controllers(c: &mut Criterion) {
+    let layout = standard::four_way(120, 1.0);
+    let obs = loaded_observation(&layout);
+    let mut group = c.benchmark_group("controller_decide");
+
+    let mut cases: Vec<(&str, Box<dyn SignalController>)> = vec![
+        ("util_bp", Box::new(UtilBp::paper())),
+        ("cap_bp", Box::new(CapBp::new(Ticks::new(16)))),
+        ("original_bp", Box::new(OriginalBp::new(Ticks::new(16)))),
+        ("fixed_time", Box::new(FixedTime::new(Ticks::new(16), Ticks::new(4)))),
+        ("lqf", Box::new(LongestQueueFirst::new(Ticks::new(16)))),
+        ("util_bp_fixed", Box::new(FixedLengthUtilBp::new(Ticks::new(16)))),
+    ];
+
+    for (name, ctrl) in &mut cases {
+        group.bench_function(*name, |b| {
+            let mut k = 0u64;
+            b.iter(|| {
+                let view = IntersectionView::new(&layout, &obs).unwrap();
+                let d = ctrl.decide(black_box(&view), Tick::new(k));
+                k += 1;
+                black_box(d)
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_controllers);
+criterion_main!(benches);

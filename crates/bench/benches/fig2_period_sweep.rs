@@ -1,0 +1,16 @@
+//! Regenerates the paper's **Fig. 2**: average queuing time vs CAP-BP
+//! control period on the mixed traffic pattern, with UTIL-BP's flat line.
+//!
+//! Scaled by default; set `UTILBP_FULL=1` for the paper's 4-hour horizon.
+
+fn main() {
+    let opts = utilbp_bench::bench_options();
+    eprintln!(
+        "[fig2] backend={} hour={} ticks, {} periods (UTILBP_FULL=1 for full scale)",
+        opts.backend,
+        opts.hour.count(),
+        opts.periods.len()
+    );
+    let result = utilbp_experiments::fig2(&opts);
+    println!("{}", result.render());
+}

@@ -1,0 +1,14 @@
+//! Regenerates the paper's **Figs. 3 and 4**: applied control phases at
+//! the top-right intersection under Pattern I, for CAP-BP at its optimal
+//! period and for UTIL-BP (2000 s, as in the paper).
+
+fn main() {
+    let opts = utilbp_bench::bench_options();
+    eprintln!(
+        "[fig3/4] backend={} horizon={} ticks",
+        opts.backend,
+        opts.trace_horizon.count()
+    );
+    let detail = utilbp_experiments::pattern1_detail(&opts);
+    println!("{}", detail.render_fig3_fig4());
+}

@@ -1,0 +1,14 @@
+//! Regenerates the paper's **Fig. 5**: queue length at the
+//! incoming-from-the-east road of the top-right intersection under both
+//! controllers (Pattern I, 2000 s).
+
+fn main() {
+    let opts = utilbp_bench::bench_options();
+    eprintln!(
+        "[fig5] backend={} horizon={} ticks",
+        opts.backend,
+        opts.trace_horizon.count()
+    );
+    let detail = utilbp_experiments::pattern1_detail(&opts);
+    println!("{}", detail.render_fig5());
+}

@@ -1,0 +1,15 @@
+//! Extension study: distribution of the UTIL-BP improvement over
+//! best-period CAP-BP across demand seeds (the paper reports one run).
+
+fn main() {
+    let mut opts = utilbp_bench::bench_options();
+    // Keep the sweep light per seed.
+    opts.periods = vec![10, 16, 24];
+    eprintln!("[robustness] backend={} hour={} ticks", opts.backend, opts.hour.count());
+    let result = utilbp_experiments::robustness(
+        &opts,
+        utilbp_netgen::Pattern::I,
+        &[2020, 2021, 2022, 2023, 2024],
+    );
+    println!("{}", result.render());
+}

@@ -1,0 +1,92 @@
+//! Criterion micro-benchmark: simulator step throughput on both substrates
+//! and its scaling with grid size.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use utilbp_core::{SignalController, Tick, Ticks, UtilBp};
+use utilbp_microsim::{MicroSim, MicroSimConfig};
+use utilbp_netgen::{
+    DemandConfig, DemandGenerator, DemandSchedule, GridNetwork, GridSpec, Pattern,
+};
+use utilbp_queueing::{QueueSim, QueueSimConfig};
+
+fn controllers(n: usize) -> Vec<Box<dyn SignalController>> {
+    (0..n)
+        .map(|_| Box::new(UtilBp::paper()) as Box<dyn SignalController>)
+        .collect()
+}
+
+/// Steps a pre-warmed simulator 100 ticks per iteration.
+fn bench_substrates(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sim_step_100_ticks");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_secs(1));
+    group.measurement_time(std::time::Duration::from_secs(5));
+    for size in [1u32, 3, 5] {
+        let grid = GridNetwork::new(GridSpec::with_size(size, size));
+        let n = grid.topology().num_intersections();
+
+        group.throughput(Throughput::Elements(100 * n as u64));
+        group.bench_with_input(BenchmarkId::new("queueing", size), &size, |b, _| {
+            let mut sim = QueueSim::new(
+                grid.topology().clone(),
+                controllers(n),
+                QueueSimConfig::paper_exact(),
+            );
+            let mut demand = DemandGenerator::new(
+                &grid,
+                DemandConfig::new(DemandSchedule::constant(
+                    Pattern::I,
+                    Ticks::new(1_000_000),
+                )),
+                7,
+            );
+            // Warm up to a loaded steady state.
+            let mut k = 0u64;
+            for _ in 0..600 {
+                let arrivals = demand.poll(&grid, Tick::new(k));
+                sim.step(arrivals);
+                k += 1;
+            }
+            b.iter(|| {
+                for _ in 0..100 {
+                    let arrivals = demand.poll(&grid, Tick::new(k));
+                    black_box(sim.step(arrivals));
+                    k += 1;
+                }
+            });
+        });
+
+        group.bench_with_input(BenchmarkId::new("microscopic", size), &size, |b, _| {
+            let mut sim = MicroSim::new(
+                grid.topology().clone(),
+                controllers(n),
+                MicroSimConfig::default(),
+            );
+            let mut demand = DemandGenerator::new(
+                &grid,
+                DemandConfig::new(DemandSchedule::constant(
+                    Pattern::I,
+                    Ticks::new(1_000_000),
+                )),
+                7,
+            );
+            let mut k = 0u64;
+            for _ in 0..600 {
+                let arrivals = demand.poll(&grid, Tick::new(k));
+                sim.step(arrivals);
+                k += 1;
+            }
+            b.iter(|| {
+                for _ in 0..100 {
+                    let arrivals = demand.poll(&grid, Tick::new(k));
+                    black_box(sim.step(arrivals));
+                    k += 1;
+                }
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_substrates);
+criterion_main!(benches);

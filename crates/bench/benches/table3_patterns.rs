@@ -1,0 +1,15 @@
+//! Regenerates the paper's **Table III**: per-pattern best-period CAP-BP
+//! vs UTIL-BP average queuing times.
+//!
+//! Scaled by default; set `UTILBP_FULL=1` for the paper's 1 h/4 h horizons.
+
+fn main() {
+    let opts = utilbp_bench::bench_options();
+    eprintln!(
+        "[table3] backend={} hour={} ticks (UTILBP_FULL=1 for full scale)",
+        opts.backend,
+        opts.hour.count()
+    );
+    let result = utilbp_experiments::table3(&opts);
+    println!("{}", result.render());
+}

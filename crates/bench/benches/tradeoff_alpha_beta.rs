@@ -1,0 +1,11 @@
+//! Extension study (paper future work): the stabilization/utilization
+//! trade-off via the α/β penalty space of Eq. 8.
+
+fn main() {
+    let opts = utilbp_bench::bench_options();
+    eprintln!("[tradeoff] backend={} hour={} ticks", opts.backend, opts.hour.count());
+    let result = utilbp_experiments::tradeoff(&opts, utilbp_netgen::Pattern::I);
+    println!("{}", result.render());
+    let best = result.best();
+    println!("best combination: alpha={} beta={}", best.alpha, best.beta);
+}

@@ -1,0 +1,314 @@
+//! A classic vehicle-actuated controller: gap-out / max-out green.
+//!
+//! Not part of the paper's comparison, but the industry-standard
+//! adaptive baseline: each green runs at least `min_green`, extends while
+//! its movements still present vehicles (no gap), and is cut at
+//! `max_green`. When the green ends, the phase with the most servable
+//! vehicles is activated through an amber. Useful context for UTIL-BP's
+//! results — actuated control adapts phase *lengths* but has no notion of
+//! downstream pressure or capacity.
+
+use serde::{Deserialize, Serialize};
+use utilbp_core::{
+    IntersectionView, PhaseDecision, PhaseId, SignalController, Tick, Ticks,
+};
+
+/// Configuration of [`Actuated`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ActuatedConfig {
+    /// Minimum green per activation.
+    pub min_green: Ticks,
+    /// Maximum green per activation (max-out).
+    pub max_green: Ticks,
+    /// Amber duration on phase changes.
+    pub transition: Ticks,
+}
+
+impl Default for ActuatedConfig {
+    fn default() -> Self {
+        ActuatedConfig {
+            min_green: Ticks::new(5),
+            max_green: Ticks::new(40),
+            transition: Ticks::new(4),
+        }
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum State {
+    /// No phase yet (cold start).
+    Idle,
+    /// Green on a phase since the given tick.
+    Green(PhaseId, Tick),
+    /// Amber until the given tick, then the pending phase.
+    Amber(Tick, PhaseId),
+}
+
+/// The gap-out / max-out vehicle-actuated controller.
+///
+/// # Examples
+///
+/// ```
+/// use utilbp_baselines::Actuated;
+/// use utilbp_core::{
+///     standard, IntersectionView, QueueObservation, SignalController, Tick,
+/// };
+///
+/// let layout = standard::four_way(120, 1.0);
+/// let mut obs = QueueObservation::zeros(&layout);
+/// obs.set_movement(
+///     standard::link_id(standard::Approach::North, standard::Turn::Straight),
+///     4,
+/// );
+/// let mut ctrl = Actuated::new();
+/// let view = IntersectionView::new(&layout, &obs).unwrap();
+/// assert_eq!(
+///     ctrl.decide(&view, Tick::ZERO).phase(),
+///     Some(standard::phase_id(1))
+/// );
+/// ```
+#[derive(Debug, Clone)]
+pub struct Actuated {
+    config: ActuatedConfig,
+    state: State,
+}
+
+impl Actuated {
+    /// Creates a controller with the default timings (5 s min green,
+    /// 40 s max green, 4 s amber).
+    pub fn new() -> Self {
+        Actuated::with_config(ActuatedConfig::default())
+    }
+
+    /// Creates a controller from an explicit configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `min_green` is zero or exceeds `max_green`.
+    pub fn with_config(config: ActuatedConfig) -> Self {
+        assert!(!config.min_green.is_zero(), "min_green must be positive");
+        assert!(
+            config.min_green <= config.max_green,
+            "min_green must not exceed max_green"
+        );
+        Actuated {
+            config,
+            state: State::Idle,
+        }
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &ActuatedConfig {
+        &self.config
+    }
+
+    /// Whether the running phase still presents demand (no gap).
+    fn has_demand(view: &IntersectionView<'_>, phase: PhaseId) -> bool {
+        view.layout()
+            .phase(phase)
+            .links()
+            .iter()
+            .any(|&l| view.link_servable(l))
+    }
+
+    /// The phase with the most servable vehicles (ties → lowest index;
+    /// `current` is preferred on exact ties to avoid needless ambers).
+    fn most_demanded(view: &IntersectionView<'_>, current: Option<PhaseId>) -> PhaseId {
+        let layout = view.layout();
+        let mut best: Option<(PhaseId, u32)> = None;
+        for phase in layout.phase_ids() {
+            let servable: u32 = layout
+                .phase(phase)
+                .links()
+                .iter()
+                .map(|&l| view.link_service_bound(l))
+                .sum();
+            let replace = match best {
+                None => true,
+                Some((p, s)) => {
+                    servable > s || (servable == s && current == Some(phase) && p != phase)
+                }
+            };
+            if replace {
+                best = Some((phase, servable));
+            }
+        }
+        best.expect("layouts always have at least one phase").0
+    }
+}
+
+impl Default for Actuated {
+    fn default() -> Self {
+        Actuated::new()
+    }
+}
+
+impl SignalController for Actuated {
+    fn decide(&mut self, view: &IntersectionView<'_>, now: Tick) -> PhaseDecision {
+        match self.state {
+            State::Idle => {
+                let phase = Self::most_demanded(view, None);
+                self.state = State::Green(phase, now);
+                PhaseDecision::Control(phase)
+            }
+            State::Amber(until, pending) => {
+                if now < until {
+                    PhaseDecision::Transition
+                } else {
+                    self.state = State::Green(pending, now);
+                    PhaseDecision::Control(pending)
+                }
+            }
+            State::Green(phase, since) => {
+                let elapsed = now.saturating_since(since);
+                let gap_out = elapsed >= self.config.min_green && !Self::has_demand(view, phase);
+                let max_out = elapsed >= self.config.max_green;
+                if !(gap_out || max_out) {
+                    return PhaseDecision::Control(phase);
+                }
+                let next = Self::most_demanded(view, Some(phase));
+                if next == phase {
+                    // Re-anchor the green so max-out measures from now.
+                    self.state = State::Green(phase, now);
+                    PhaseDecision::Control(phase)
+                } else {
+                    self.state = State::Amber(now + self.config.transition, next);
+                    PhaseDecision::Transition
+                }
+            }
+        }
+    }
+
+    fn reset(&mut self) {
+        self.state = State::Idle;
+    }
+
+    fn name(&self) -> &'static str {
+        "actuated"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use utilbp_core::standard::{self, Approach, Turn};
+    use utilbp_core::QueueObservation;
+
+    fn layout() -> utilbp_core::IntersectionLayout {
+        standard::four_way(120, 1.0)
+    }
+
+    fn decide_at(
+        ctrl: &mut Actuated,
+        layout: &utilbp_core::IntersectionLayout,
+        obs: &QueueObservation,
+        k: u64,
+    ) -> PhaseDecision {
+        let view = IntersectionView::new(layout, obs).unwrap();
+        ctrl.decide(&view, Tick::new(k))
+    }
+
+    #[test]
+    fn extends_green_while_demand_persists() {
+        let layout = layout();
+        let mut obs = QueueObservation::zeros(&layout);
+        let ns = standard::link_id(Approach::North, Turn::Straight);
+        obs.set_movement(ns, 20);
+        let mut ctrl = Actuated::new();
+        for k in 0..30 {
+            assert_eq!(
+                decide_at(&mut ctrl, &layout, &obs, k).phase(),
+                Some(standard::phase_id(1)),
+                "demand persists at k={k}"
+            );
+        }
+    }
+
+    #[test]
+    fn gaps_out_after_min_green_when_queue_clears() {
+        let layout = layout();
+        let mut obs = QueueObservation::zeros(&layout);
+        let ns = standard::link_id(Approach::North, Turn::Straight);
+        obs.set_movement(ns, 20);
+        obs.set_movement(standard::link_id(Approach::East, Turn::Straight), 5);
+        let mut ctrl = Actuated::new();
+        assert_eq!(
+            decide_at(&mut ctrl, &layout, &obs, 0).phase(),
+            Some(standard::phase_id(1))
+        );
+        // The north queue clears instantly: gap-out at min_green (5).
+        obs.set_movement(ns, 0);
+        for k in 1..5 {
+            assert_eq!(
+                decide_at(&mut ctrl, &layout, &obs, k).phase(),
+                Some(standard::phase_id(1)),
+                "min green must hold at k={k}"
+            );
+        }
+        assert!(decide_at(&mut ctrl, &layout, &obs, 5).is_transition());
+        // Amber 4 ticks, then the east phase.
+        for k in 6..9 {
+            assert!(decide_at(&mut ctrl, &layout, &obs, k).is_transition());
+        }
+        assert_eq!(
+            decide_at(&mut ctrl, &layout, &obs, 9).phase(),
+            Some(standard::phase_id(3))
+        );
+    }
+
+    #[test]
+    fn maxes_out_under_sustained_demand() {
+        let layout = layout();
+        let mut obs = QueueObservation::zeros(&layout);
+        obs.set_movement(standard::link_id(Approach::North, Turn::Straight), 90);
+        obs.set_movement(standard::link_id(Approach::East, Turn::Straight), 89);
+        let mut ctrl = Actuated::with_config(ActuatedConfig {
+            min_green: Ticks::new(3),
+            max_green: Ticks::new(10),
+            transition: Ticks::new(2),
+        });
+        assert_eq!(
+            decide_at(&mut ctrl, &layout, &obs, 0).phase(),
+            Some(standard::phase_id(1))
+        );
+        for k in 1..10 {
+            assert!(!decide_at(&mut ctrl, &layout, &obs, k).is_transition());
+        }
+        // Max-out at k=10: the east phase has (just) less demand but the
+        // north is maxed; selection picks the *most demanded* — still the
+        // north (90 > 89 per-link bound is both 1 per link… the tie logic
+        // counts service bounds, both 2). The point: no infinite green —
+        // either it re-anchors (same phase) or goes amber.
+        let d = decide_at(&mut ctrl, &layout, &obs, 10);
+        assert!(d.is_transition() || d.phase() == Some(standard::phase_id(1)));
+    }
+
+    #[test]
+    fn empty_junction_does_not_churn() {
+        let layout = layout();
+        let obs = QueueObservation::zeros(&layout);
+        let mut ctrl = Actuated::new();
+        let first = decide_at(&mut ctrl, &layout, &obs, 0);
+        for k in 1..40 {
+            assert_eq!(decide_at(&mut ctrl, &layout, &obs, k), first);
+        }
+    }
+
+    #[test]
+    fn reset_and_accessors() {
+        let mut ctrl = Actuated::new();
+        assert_eq!(ctrl.name(), "actuated");
+        assert_eq!(ctrl.config().min_green, Ticks::new(5));
+        ctrl.reset();
+    }
+
+    #[test]
+    #[should_panic(expected = "min_green")]
+    fn rejects_inverted_green_bounds() {
+        let _ = Actuated::with_config(ActuatedConfig {
+            min_green: Ticks::new(50),
+            max_green: Ticks::new(10),
+            transition: Ticks::new(4),
+        });
+    }
+}

@@ -1,0 +1,308 @@
+//! Sensor fault injection: a controller decorator that corrupts the queue
+//! observations before they reach the wrapped controller.
+//!
+//! The paper's CPS framing makes the sensor path explicit — queue lengths
+//! are *measured*, not known. This decorator models the three classic
+//! detector failure modes so any controller's sensitivity to imperfect
+//! sensing can be quantified (see the `robustness_sensor_faults` bench):
+//!
+//! - **dropout**: a reading is lost and reported as zero (stuck-off loop
+//!   detector);
+//! - **noise**: counting error of ±`magnitude` vehicles;
+//! - **freeze**: the last reading is repeated (stale communication).
+//!
+//! Faults are sampled per link/road per decision from a seeded RNG, so
+//! faulty runs are exactly reproducible.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+use utilbp_core::{
+    IntersectionView, PhaseDecision, QueueObservation, SignalController, Tick,
+};
+
+/// Fault model parameters. Probabilities are per reading per decision.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SensorFaultConfig {
+    /// Probability a reading drops to zero.
+    pub dropout: f64,
+    /// Probability a reading gains symmetric counting noise.
+    pub noise: f64,
+    /// Maximum magnitude of counting noise, in vehicles.
+    pub noise_magnitude: u32,
+    /// Probability a reading freezes at its previous value.
+    pub freeze: f64,
+}
+
+impl SensorFaultConfig {
+    /// No faults (the wrapped controller behaves identically).
+    pub const NONE: SensorFaultConfig = SensorFaultConfig {
+        dropout: 0.0,
+        noise: 0.0,
+        noise_magnitude: 0,
+        freeze: 0.0,
+    };
+
+    /// Validates that all probabilities lie in `[0, 1]`.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message naming the offending field.
+    pub fn validate(&self) -> Result<(), String> {
+        for (name, p) in [
+            ("dropout", self.dropout),
+            ("noise", self.noise),
+            ("freeze", self.freeze),
+        ] {
+            if !(0.0..=1.0).contains(&p) {
+                return Err(format!("{name} must be a probability, got {p}"));
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Wraps a controller with faulty sensors.
+///
+/// # Examples
+///
+/// ```
+/// use utilbp_baselines::{FaultySensors, SensorFaultConfig};
+/// use utilbp_core::{standard, QueueObservation, IntersectionView, SignalController, Tick, UtilBp};
+///
+/// let mut ctrl = FaultySensors::new(
+///     UtilBp::paper(),
+///     SensorFaultConfig { dropout: 0.1, ..SensorFaultConfig::NONE },
+///     42,
+/// );
+/// let layout = standard::four_way(120, 1.0);
+/// let obs = QueueObservation::zeros(&layout);
+/// let view = IntersectionView::new(&layout, &obs).unwrap();
+/// let _ = ctrl.decide(&view, Tick::ZERO);
+/// ```
+#[derive(Debug, Clone)]
+pub struct FaultySensors<C> {
+    inner: C,
+    config: SensorFaultConfig,
+    rng: SmallRng,
+    /// Last delivered observation, for the freeze fault.
+    last: Option<QueueObservation>,
+}
+
+impl<C: SignalController> FaultySensors<C> {
+    /// Wraps `inner` with the given fault model and RNG seed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `config` fails [`SensorFaultConfig::validate`].
+    pub fn new(inner: C, config: SensorFaultConfig, seed: u64) -> Self {
+        if let Err(msg) = config.validate() {
+            panic!("invalid sensor fault config: {msg}");
+        }
+        FaultySensors {
+            inner,
+            config,
+            rng: SmallRng::seed_from_u64(seed),
+            last: None,
+        }
+    }
+
+    /// The wrapped controller.
+    pub fn inner(&self) -> &C {
+        &self.inner
+    }
+
+    /// The fault model.
+    pub fn config(&self) -> &SensorFaultConfig {
+        &self.config
+    }
+
+    fn corrupt(&mut self, truth: u32, previous: Option<u32>) -> u32 {
+        let cfg = self.config;
+        if cfg.freeze > 0.0 && self.rng.gen::<f64>() < cfg.freeze {
+            if let Some(prev) = previous {
+                return prev;
+            }
+        }
+        if cfg.dropout > 0.0 && self.rng.gen::<f64>() < cfg.dropout {
+            return 0;
+        }
+        if cfg.noise > 0.0 && cfg.noise_magnitude > 0 && self.rng.gen::<f64>() < cfg.noise {
+            let delta = self.rng.gen_range(0..=2 * cfg.noise_magnitude as i64) as i64
+                - cfg.noise_magnitude as i64;
+            return truth.saturating_add_signed(delta as i32);
+        }
+        truth
+    }
+}
+
+impl<C: SignalController> SignalController for FaultySensors<C> {
+    fn decide(&mut self, view: &IntersectionView<'_>, now: Tick) -> PhaseDecision {
+        let layout = view.layout();
+        let mut corrupted = QueueObservation::zeros(layout);
+        for link in layout.link_ids() {
+            let previous = self.last.as_ref().map(|o| o.movement(link));
+            let reading = self.corrupt(view.movement_queue(link), previous);
+            corrupted.set_movement(link, reading);
+        }
+        for out in layout.outgoing_ids() {
+            let previous = self.last.as_ref().map(|o| o.outgoing(out));
+            let reading = self.corrupt(view.outgoing_occupancy(out), previous);
+            corrupted.set_outgoing(out, reading);
+        }
+        self.last = Some(corrupted.clone());
+        let faulty_view = IntersectionView::new(layout, &corrupted)
+            .expect("corrupted observation has the layout's shape");
+        self.inner.decide(&faulty_view, now)
+    }
+
+    fn reset(&mut self) {
+        self.inner.reset();
+        self.last = None;
+    }
+
+    fn name(&self) -> &'static str {
+        "faulty-sensors"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use utilbp_core::standard::{self, Approach, Turn};
+    use utilbp_core::UtilBp;
+
+    fn layout() -> utilbp_core::IntersectionLayout {
+        standard::four_way(120, 1.0)
+    }
+
+    #[test]
+    fn no_faults_is_transparent() {
+        let layout = layout();
+        let mut obs = QueueObservation::zeros(&layout);
+        obs.set_movement(standard::link_id(Approach::East, Turn::Straight), 9);
+        let mut clean = UtilBp::paper();
+        let mut wrapped = FaultySensors::new(UtilBp::paper(), SensorFaultConfig::NONE, 1);
+        for k in 0..50 {
+            let view = IntersectionView::new(&layout, &obs).unwrap();
+            let view2 = IntersectionView::new(&layout, &obs).unwrap();
+            assert_eq!(
+                clean.decide(&view, Tick::new(k)),
+                wrapped.decide(&view2, Tick::new(k)),
+                "k={k}"
+            );
+        }
+    }
+
+    #[test]
+    fn full_dropout_blinds_the_controller() {
+        let layout = layout();
+        let mut obs = QueueObservation::zeros(&layout);
+        obs.set_movement(standard::link_id(Approach::East, Turn::Straight), 30);
+        let mut wrapped = FaultySensors::new(
+            UtilBp::paper(),
+            SensorFaultConfig {
+                dropout: 1.0,
+                ..SensorFaultConfig::NONE
+            },
+            1,
+        );
+        let view = IntersectionView::new(&layout, &obs).unwrap();
+        let d = wrapped.decide(&view, Tick::ZERO);
+        // Blind controller sees an all-empty junction: it settles on some
+        // phase by tie-break, not necessarily the loaded one — and over
+        // many ticks it must never see the queue.
+        let first = d;
+        for k in 1..20 {
+            let view = IntersectionView::new(&layout, &obs).unwrap();
+            assert_eq!(wrapped.decide(&view, Tick::new(k)), first);
+        }
+    }
+
+    #[test]
+    fn freeze_repeats_previous_reading() {
+        let layout = layout();
+        let link = standard::link_id(Approach::North, Turn::Straight);
+        let mut obs = QueueObservation::zeros(&layout);
+        obs.set_movement(link, 10);
+        // freeze = 1.0: after the first reading every subsequent one is a
+        // copy, so emptying the physical queue must not change decisions.
+        let mut wrapped = FaultySensors::new(
+            UtilBp::paper(),
+            SensorFaultConfig {
+                freeze: 1.0,
+                ..SensorFaultConfig::NONE
+            },
+            1,
+        );
+        let view = IntersectionView::new(&layout, &obs).unwrap();
+        let first = wrapped.decide(&view, Tick::ZERO);
+        obs.set_movement(link, 0);
+        for k in 1..10 {
+            let view = IntersectionView::new(&layout, &obs).unwrap();
+            assert_eq!(
+                wrapped.decide(&view, Tick::new(k)),
+                first,
+                "frozen sensors must pin the decision"
+            );
+        }
+    }
+
+    #[test]
+    fn corruption_is_seed_deterministic() {
+        let layout = layout();
+        let mut obs = QueueObservation::zeros(&layout);
+        for l in layout.link_ids() {
+            obs.set_movement(l, 7);
+        }
+        let cfg = SensorFaultConfig {
+            dropout: 0.3,
+            noise: 0.3,
+            noise_magnitude: 3,
+            freeze: 0.1,
+        };
+        let run = |seed: u64| -> Vec<PhaseDecision> {
+            let mut c = FaultySensors::new(UtilBp::paper(), cfg, seed);
+            (0..30)
+                .map(|k| {
+                    let view = IntersectionView::new(&layout, &obs).unwrap();
+                    c.decide(&view, Tick::new(k))
+                })
+                .collect()
+        };
+        assert_eq!(run(9), run(9));
+    }
+
+    #[test]
+    fn reset_clears_frozen_state() {
+        let layout = layout();
+        let obs = QueueObservation::zeros(&layout);
+        let mut wrapped = FaultySensors::new(
+            UtilBp::paper(),
+            SensorFaultConfig {
+                freeze: 1.0,
+                ..SensorFaultConfig::NONE
+            },
+            1,
+        );
+        let view = IntersectionView::new(&layout, &obs).unwrap();
+        let _ = wrapped.decide(&view, Tick::ZERO);
+        wrapped.reset();
+        assert!(wrapped.inner().previous_decision().is_transition());
+        assert_eq!(wrapped.name(), "faulty-sensors");
+        assert_eq!(wrapped.config().freeze, 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid sensor fault config")]
+    fn rejects_bad_probabilities() {
+        let _ = FaultySensors::new(
+            UtilBp::paper(),
+            SensorFaultConfig {
+                dropout: 1.5,
+                ..SensorFaultConfig::NONE
+            },
+            0,
+        );
+    }
+}

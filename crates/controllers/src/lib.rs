@@ -1,0 +1,49 @@
+//! # utilbp-baselines
+//!
+//! Baseline and ablation controllers for comparison against the paper's
+//! [`UtilBp`](utilbp_core::UtilBp):
+//!
+//! - [`CapBp`] — the fixed-length **capacity-aware** back-pressure
+//!   controller of Gregoire et al. (TCNS 2015), the paper's main baseline
+//!   (Fig. 2, Table III);
+//! - [`OriginalBp`] — Varaiya's original back-pressure policy: fixed slots,
+//!   infinite-capacity assumption, not work-conserving;
+//! - [`FixedTime`] — open-loop pre-timed cycling;
+//! - [`Actuated`] — industry-standard gap-out/max-out vehicle actuation;
+//! - [`LongestQueueFirst`] — myopic greedy utilization;
+//! - [`FixedLengthUtilBp`] — UTIL-BP's Eq. 8 selection on fixed slots
+//!   (ablation separating the gain function from adaptivity);
+//! - [`SlotMachine`] — the fixed-slot timing skeleton they share.
+//!
+//! All of them implement [`SignalController`](utilbp_core::SignalController)
+//! and can drive either simulation substrate.
+//!
+//! ```
+//! use utilbp_baselines::CapBp;
+//! use utilbp_core::{standard, QueueObservation, IntersectionView, SignalController, Tick, Ticks};
+//!
+//! let layout = standard::four_way(120, 1.0);
+//! let obs = QueueObservation::zeros(&layout);
+//! let view = IntersectionView::new(&layout, &obs).unwrap();
+//! let mut cap_bp = CapBp::new(Ticks::new(16));
+//! let _decision = cap_bp.decide(&view, Tick::ZERO);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod actuated;
+mod faults;
+mod capbp;
+mod fixed_util;
+mod original;
+mod simple;
+mod slot;
+
+pub use actuated::{Actuated, ActuatedConfig};
+pub use faults::{FaultySensors, SensorFaultConfig};
+pub use capbp::{CapBp, CapBpConfig, CapBpPressure};
+pub use fixed_util::{FixedLengthUtilBp, FixedLengthUtilBpConfig};
+pub use original::{OriginalBp, OriginalBpConfig};
+pub use simple::{FixedTime, LongestQueueFirst, LongestQueueFirstConfig};
+pub use slot::SlotMachine;

@@ -1,0 +1,131 @@
+//! Property-based tests of the baseline controllers' timing invariants.
+
+use proptest::prelude::*;
+use utilbp_baselines::{
+    Actuated, ActuatedConfig, CapBp, FixedLengthUtilBp, FixedTime, LongestQueueFirst, OriginalBp,
+    SlotMachine,
+};
+use utilbp_core::{
+    standard, IntersectionView, PhaseDecision, PhaseId, QueueObservation, SignalController, Tick,
+    Ticks,
+};
+
+fn observation_strategy() -> impl Strategy<Value = (Vec<u32>, Vec<u32>)> {
+    (
+        proptest::collection::vec(0u32..=40, 12),
+        proptest::collection::vec(0u32..=120, 4),
+    )
+}
+
+fn build_obs(
+    layout: &utilbp_core::IntersectionLayout,
+    movements: &[u32],
+    outgoing: &[u32],
+) -> QueueObservation {
+    let mut obs = QueueObservation::zeros(layout);
+    for (i, &q) in movements.iter().enumerate() {
+        obs.set_movement(utilbp_core::LinkId::new(i as u16), q);
+    }
+    for (i, &q) in outgoing.iter().enumerate() {
+        obs.set_outgoing(utilbp_core::OutgoingId::new(i as u8), q);
+    }
+    obs
+}
+
+/// Feeds a controller a sequence of random observations and checks the
+/// universal timing contract: decisions are valid phases or ambers, and
+/// every amber run lasts exactly 4 ticks.
+fn check_timing_contract(
+    ctrl: &mut dyn SignalController,
+    seq: &[(Vec<u32>, Vec<u32>)],
+) -> Result<(), TestCaseError> {
+    let layout = standard::four_way(120, 1.0);
+    let mut amber_run = 0u64;
+    let mut k = 0u64;
+    for (movements, outgoing) in seq {
+        let obs = build_obs(&layout, movements, outgoing);
+        for _ in 0..6 {
+            let view = IntersectionView::new(&layout, &obs).unwrap();
+            match ctrl.decide(&view, Tick::new(k)) {
+                PhaseDecision::Transition => amber_run += 1,
+                PhaseDecision::Control(p) => {
+                    prop_assert!(p.index() < layout.num_phases());
+                    if amber_run > 0 {
+                        prop_assert_eq!(amber_run, 4, "amber must last exactly 4 ticks");
+                    }
+                    amber_run = 0;
+                }
+            }
+            k += 1;
+        }
+    }
+    Ok(())
+}
+
+proptest! {
+    #[test]
+    fn all_baselines_respect_the_timing_contract(
+        seq in proptest::collection::vec(observation_strategy(), 2..12),
+    ) {
+        let mut controllers: Vec<Box<dyn SignalController>> = vec![
+            Box::new(CapBp::new(Ticks::new(7))),
+            Box::new(OriginalBp::new(Ticks::new(9))),
+            Box::new(FixedTime::new(Ticks::new(5), Ticks::new(4))),
+            Box::new(LongestQueueFirst::new(Ticks::new(6))),
+            Box::new(FixedLengthUtilBp::new(Ticks::new(8))),
+            Box::new(Actuated::with_config(ActuatedConfig {
+                min_green: Ticks::new(3),
+                max_green: Ticks::new(12),
+                transition: Ticks::new(4),
+            })),
+        ];
+        for ctrl in &mut controllers {
+            check_timing_contract(ctrl.as_mut(), &seq)?;
+        }
+    }
+
+    /// The slot machine's green share converges to period/(period+amber)
+    /// in always-transition mode, for any period/amber combination.
+    #[test]
+    fn slot_machine_duty_cycle(period in 2u64..40, amber in 1u64..8) {
+        let mut m = SlotMachine::with_always_transition(
+            Ticks::new(period),
+            Ticks::new(amber),
+        );
+        let cycles = 50;
+        let horizon = (period + amber) * cycles;
+        let mut green = 0u64;
+        for k in 0..horizon {
+            if m.decide(Tick::new(k), |_| PhaseId::new(0)) != PhaseDecision::Transition {
+                green += 1;
+            }
+        }
+        let share = green as f64 / horizon as f64;
+        let expected = period as f64 / (period + amber) as f64;
+        prop_assert!(
+            (share - expected).abs() < 0.05,
+            "share {share} vs expected {expected}"
+        );
+    }
+
+    /// Baselines are deterministic: equal observation streams give equal
+    /// decision streams.
+    #[test]
+    fn baselines_are_deterministic(
+        seq in proptest::collection::vec(observation_strategy(), 1..10),
+    ) {
+        let layout = standard::four_way(120, 1.0);
+        let mut a = CapBp::new(Ticks::new(11));
+        let mut b = CapBp::new(Ticks::new(11));
+        let mut k = 0u64;
+        for (movements, outgoing) in &seq {
+            let obs = build_obs(&layout, movements, outgoing);
+            for _ in 0..3 {
+                let va = IntersectionView::new(&layout, &obs).unwrap();
+                let vb = IntersectionView::new(&layout, &obs).unwrap();
+                prop_assert_eq!(a.decide(&va, Tick::new(k)), b.decide(&vb, Tick::new(k)));
+                k += 1;
+            }
+        }
+    }
+}

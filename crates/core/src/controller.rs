@@ -1,0 +1,176 @@
+//! The controller abstraction: a state-feedback law `c(k) = φ(Q(k))`.
+//!
+//! Every signal controller in this workspace — the paper's UTIL-BP and all
+//! the baselines — implements [`SignalController`]: a stateful,
+//! intersection-local decision function invoked once per mini-slot with the
+//! current queue observation. Decentralization is structural: the only
+//! inputs are the local [`IntersectionView`] and the global clock.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::ids::PhaseId;
+use crate::observation::IntersectionView;
+use crate::time::Tick;
+
+/// The controller's output at instant `k`: either a control phase `c_j` or
+/// the transition (amber) phase `c0`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum PhaseDecision {
+    /// Apply control phase `c_j`: its links are activated, vehicles may be
+    /// served.
+    Control(PhaseId),
+    /// Apply the transition phase `c0 = ∅`: the amber light is on, no links
+    /// are activated, vehicles already inside the junction clear.
+    Transition,
+}
+
+impl PhaseDecision {
+    /// Returns the control phase, or `None` during transition.
+    pub const fn phase(self) -> Option<PhaseId> {
+        match self {
+            PhaseDecision::Control(p) => Some(p),
+            PhaseDecision::Transition => None,
+        }
+    }
+
+    /// Returns `true` during the transition (amber) phase.
+    pub const fn is_transition(self) -> bool {
+        matches!(self, PhaseDecision::Transition)
+    }
+
+    /// The paper's plotting convention for phase traces (Figs. 3–4):
+    /// transition is 0, control phases are `1..=|C|`.
+    pub const fn trace_value(self) -> u8 {
+        match self {
+            PhaseDecision::Transition => 0,
+            PhaseDecision::Control(p) => p.index() as u8 + 1,
+        }
+    }
+}
+
+impl fmt::Display for PhaseDecision {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PhaseDecision::Control(p) => write!(f, "{p}"),
+            PhaseDecision::Transition => write!(f, "c0"),
+        }
+    }
+}
+
+/// A traffic-signal controller for one intersection.
+///
+/// Implementations are invoked once per mini-slot (`Δt`), in monotonically
+/// non-decreasing `now` order, and return the phase to apply during
+/// `[now, now+1)`. They may keep internal state (current phase, slot and
+/// transition timers) but must base decisions only on the provided view —
+/// that restriction is what makes back-pressure control decentralized.
+///
+/// # Examples
+///
+/// A degenerate controller that always applies phase `c1`:
+///
+/// ```
+/// use utilbp_core::{
+///     IntersectionView, PhaseDecision, PhaseId, SignalController, Tick,
+/// };
+///
+/// struct AlwaysC1;
+///
+/// impl SignalController for AlwaysC1 {
+///     fn decide(&mut self, _view: &IntersectionView<'_>, _now: Tick) -> PhaseDecision {
+///         PhaseDecision::Control(PhaseId::new(0))
+///     }
+///     fn reset(&mut self) {}
+///     fn name(&self) -> &'static str {
+///         "always-c1"
+///     }
+/// }
+/// ```
+pub trait SignalController {
+    /// Decides the phase for the mini-slot starting at `now`.
+    fn decide(&mut self, view: &IntersectionView<'_>, now: Tick) -> PhaseDecision;
+
+    /// Clears all internal state, returning the controller to its initial
+    /// configuration (as if freshly constructed).
+    fn reset(&mut self);
+
+    /// A short, stable identifier used in reports and plots
+    /// (e.g. `"util-bp"`, `"cap-bp"`).
+    fn name(&self) -> &'static str;
+}
+
+impl<T: SignalController + ?Sized> SignalController for Box<T> {
+    fn decide(&mut self, view: &IntersectionView<'_>, now: Tick) -> PhaseDecision {
+        (**self).decide(view, now)
+    }
+
+    fn reset(&mut self) {
+        (**self).reset();
+    }
+
+    fn name(&self) -> &'static str {
+        (**self).name()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::observation::QueueObservation;
+    use crate::standard;
+
+    #[test]
+    fn decision_accessors() {
+        let c = PhaseDecision::Control(PhaseId::new(2));
+        assert_eq!(c.phase(), Some(PhaseId::new(2)));
+        assert!(!c.is_transition());
+        assert_eq!(c.trace_value(), 3);
+
+        let t = PhaseDecision::Transition;
+        assert_eq!(t.phase(), None);
+        assert!(t.is_transition());
+        assert_eq!(t.trace_value(), 0);
+    }
+
+    #[test]
+    fn decision_display_uses_paper_numbering() {
+        assert_eq!(PhaseDecision::Control(PhaseId::new(0)).to_string(), "c1");
+        assert_eq!(PhaseDecision::Transition.to_string(), "c0");
+    }
+
+    struct Alternating(bool);
+
+    impl SignalController for Alternating {
+        fn decide(&mut self, _view: &IntersectionView<'_>, _now: Tick) -> PhaseDecision {
+            self.0 = !self.0;
+            if self.0 {
+                PhaseDecision::Control(PhaseId::new(0))
+            } else {
+                PhaseDecision::Transition
+            }
+        }
+        fn reset(&mut self) {
+            self.0 = false;
+        }
+        fn name(&self) -> &'static str {
+            "alternating"
+        }
+    }
+
+    #[test]
+    fn boxed_controllers_delegate() {
+        let layout = standard::four_way(120, 1.0);
+        let obs = QueueObservation::zeros(&layout);
+        let view = IntersectionView::new(&layout, &obs).unwrap();
+
+        let mut boxed: Box<dyn SignalController> = Box::new(Alternating(false));
+        assert_eq!(boxed.name(), "alternating");
+        let first = boxed.decide(&view, Tick::ZERO);
+        let second = boxed.decide(&view, Tick::new(1));
+        assert_ne!(first, second);
+        boxed.reset();
+        assert_eq!(boxed.decide(&view, Tick::new(2)), first);
+    }
+}

@@ -1,0 +1,13 @@
+//! Extension experiment: ablates UTIL-BP's mechanisms (hysteresis, special
+//! cases, per-movement pressure, adaptivity) on Pattern I.
+
+fn main() {
+    let opts = utilbp_experiments::ExperimentOptions::from_env();
+    eprintln!(
+        "running ablations on the {} backend (hour = {} ticks)…",
+        opts.backend,
+        opts.hour.count()
+    );
+    let result = utilbp_experiments::ablation(&opts, utilbp_netgen::Pattern::I);
+    println!("{}", result.render());
+}

@@ -1,0 +1,88 @@
+//! Renders the paper's input tables (Table I and Table II) — useful for
+//! verifying the experimental setup at a glance.
+
+use utilbp_core::standard::Approach;
+use utilbp_metrics::TextTable;
+use utilbp_netgen::{Pattern, TurningProbabilities};
+
+/// Renders Table I (turning probabilities of vehicles entering the
+/// network).
+pub fn render_table1(turning: &TurningProbabilities) -> String {
+    let mut table = TextTable::new(["Entering from", "North", "East", "South", "West"]);
+    let fmt = |f: &dyn Fn(Approach) -> f64| -> [String; 4] {
+        [
+            format!("{:.1}", f(Approach::North)),
+            format!("{:.1}", f(Approach::East)),
+            format!("{:.1}", f(Approach::South)),
+            format!("{:.1}", f(Approach::West)),
+        ]
+    };
+    let right = fmt(&|s| turning.right(s));
+    let left = fmt(&|s| turning.left(s));
+    let straight = fmt(&|s| turning.straight(s));
+    table.push_row(
+        std::iter::once("Right-turning probability".to_string())
+            .chain(right)
+            .collect::<Vec<_>>(),
+    );
+    table.push_row(
+        std::iter::once("Left-turning probability".to_string())
+            .chain(left)
+            .collect::<Vec<_>>(),
+    );
+    table.push_row(
+        std::iter::once("Straight probability (derived)".to_string())
+            .chain(straight)
+            .collect::<Vec<_>>(),
+    );
+    format!("Table I — turning probabilities\n\n{}", table.render())
+}
+
+/// Renders Table II (average inter-arrival time of vehicles entering the
+/// network, per pattern and side).
+pub fn render_table2() -> String {
+    let mut table = TextTable::new([
+        "Pattern",
+        "Description",
+        "North",
+        "East",
+        "South",
+        "West",
+    ]);
+    for pattern in Pattern::ALL {
+        table.push_row([
+            pattern.to_string(),
+            pattern.description().to_string(),
+            format!("{} s", pattern.inter_arrival_s(Approach::North)),
+            format!("{} s", pattern.inter_arrival_s(Approach::East)),
+            format!("{} s", pattern.inter_arrival_s(Approach::South)),
+            format!("{} s", pattern.inter_arrival_s(Approach::West)),
+        ]);
+    }
+    format!(
+        "Table II — average inter-arrival times at each entry road\n\n{}",
+        table.render()
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_shows_paper_values() {
+        let rendered = render_table1(&TurningProbabilities::PAPER);
+        assert!(rendered.contains("0.4"));
+        assert!(rendered.contains("Right-turning"));
+        assert!(rendered.contains("Straight"));
+    }
+
+    #[test]
+    fn table2_lists_all_patterns() {
+        let rendered = render_table2();
+        for needle in ["adjacent heavy", "uniform", "opposite heavy", "single heavy", "3 s", "9 s"]
+        {
+            assert!(rendered.contains(needle), "missing {needle}");
+        }
+    }
+}

@@ -1,0 +1,253 @@
+//! Per-vehicle queuing-time accounting.
+//!
+//! The paper's headline metric is the **average queuing time of a vehicle**
+//! over the whole network (Fig. 2, Table III). A [`WaitingLedger`] tracks
+//! each vehicle from network entry to exit, accumulating the ticks it spent
+//! waiting (queued at an intersection, or stopped below the waiting-speed
+//! threshold in the microscopic simulator, matching SUMO's definition).
+
+use std::collections::HashMap;
+
+use serde::{Deserialize, Serialize};
+use utilbp_core::Tick;
+
+use crate::{Histogram, SummaryStats};
+
+/// Bin width of the waiting-time histogram, in ticks.
+const WAIT_HISTOGRAM_BIN: f64 = 10.0;
+/// Number of bins (covers 0–600 ticks; longer waits land in overflow).
+const WAIT_HISTOGRAM_BINS: usize = 60;
+
+/// Opaque vehicle identifier, unique within one simulation run.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct VehicleId(u64);
+
+impl VehicleId {
+    /// Creates an id from a raw counter value.
+    pub const fn new(raw: u64) -> Self {
+        VehicleId(raw)
+    }
+
+    /// The raw counter value.
+    pub const fn raw(self) -> u64 {
+        self.0
+    }
+}
+
+impl std::fmt::Display for VehicleId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "veh{}", self.0)
+    }
+}
+
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+struct ActiveVehicle {
+    entered: Tick,
+    waited: u64,
+}
+
+/// Tracks per-vehicle waiting and journey times across a run.
+///
+/// # Examples
+///
+/// ```
+/// use utilbp_core::Tick;
+/// use utilbp_metrics::{VehicleId, WaitingLedger};
+///
+/// let mut ledger = WaitingLedger::new();
+/// let v = VehicleId::new(0);
+/// ledger.enter(v, Tick::new(10));
+/// ledger.add_wait(v, 3);
+/// ledger.add_wait(v, 2);
+/// ledger.complete(v, Tick::new(40));
+/// assert_eq!(ledger.completed(), 1);
+/// assert_eq!(ledger.waiting_stats().mean(), 5.0);
+/// assert_eq!(ledger.journey_stats().mean(), 30.0);
+/// ```
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct WaitingLedger {
+    active: HashMap<VehicleId, ActiveVehicle>,
+    waiting: SummaryStats,
+    journey: SummaryStats,
+    waiting_histogram: Histogram,
+}
+
+impl Default for WaitingLedger {
+    fn default() -> Self {
+        WaitingLedger {
+            active: HashMap::new(),
+            waiting: SummaryStats::new(),
+            journey: SummaryStats::new(),
+            waiting_histogram: Histogram::new(WAIT_HISTOGRAM_BIN, WAIT_HISTOGRAM_BINS),
+        }
+    }
+}
+
+impl WaitingLedger {
+    /// An empty ledger.
+    pub fn new() -> Self {
+        WaitingLedger::default()
+    }
+
+    /// Registers a vehicle entering the network at `tick`.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if the vehicle is already active (ids must be
+    /// unique per run).
+    pub fn enter(&mut self, id: VehicleId, tick: Tick) {
+        let previous = self.active.insert(
+            id,
+            ActiveVehicle {
+                entered: tick,
+                waited: 0,
+            },
+        );
+        debug_assert!(previous.is_none(), "vehicle {id} entered twice");
+    }
+
+    /// Adds `ticks` of waiting to an active vehicle. Unknown ids are
+    /// ignored (the vehicle may have been completed by a racing recorder).
+    pub fn add_wait(&mut self, id: VehicleId, ticks: u64) {
+        if let Some(v) = self.active.get_mut(&id) {
+            v.waited += ticks;
+        }
+    }
+
+    /// Completes a vehicle's journey at `tick`, folding its waiting and
+    /// journey times into the run statistics. Returns the vehicle's total
+    /// waiting ticks, or `None` if the id was not active.
+    pub fn complete(&mut self, id: VehicleId, tick: Tick) -> Option<u64> {
+        let v = self.active.remove(&id)?;
+        self.waiting.record(v.waited as f64);
+        self.waiting_histogram.record(v.waited as f64);
+        self.journey
+            .record(tick.saturating_since(v.entered).count() as f64);
+        Some(v.waited)
+    }
+
+    /// Number of vehicles that completed their journey.
+    pub fn completed(&self) -> u64 {
+        self.waiting.count()
+    }
+
+    /// Number of vehicles still in the network.
+    pub fn active(&self) -> usize {
+        self.active.len()
+    }
+
+    /// Waiting-time statistics over completed vehicles (ticks).
+    pub fn waiting_stats(&self) -> SummaryStats {
+        self.waiting
+    }
+
+    /// Journey-time statistics over completed vehicles (ticks).
+    pub fn journey_stats(&self) -> SummaryStats {
+        self.journey
+    }
+
+    /// Waiting-time distribution over completed vehicles (10-tick bins up
+    /// to 600 ticks, then overflow) — means hide the tail that matters.
+    pub fn waiting_histogram(&self) -> &Histogram {
+        &self.waiting_histogram
+    }
+
+    /// Average waiting time including vehicles still in the network — the
+    /// estimator used for the paper's "average queuing time of a vehicle
+    /// (in the entire network)", which counts every vehicle inserted.
+    ///
+    /// Vehicles still active contribute their waiting so far; without this,
+    /// heavily congested controllers would look *better* because their
+    /// stuck vehicles never complete.
+    pub fn mean_waiting_including_active(&self) -> f64 {
+        let total = self.waiting.mean() * self.waiting.count() as f64
+            + self
+                .active
+                .values()
+                .map(|v| v.waited as f64)
+                .sum::<f64>();
+        let n = self.waiting.count() as f64 + self.active.len() as f64;
+        if n == 0.0 {
+            0.0
+        } else {
+            total / n
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lifecycle_accounting() {
+        let mut l = WaitingLedger::new();
+        let a = VehicleId::new(1);
+        let b = VehicleId::new(2);
+        l.enter(a, Tick::new(0));
+        l.enter(b, Tick::new(5));
+        assert_eq!(l.active(), 2);
+
+        l.add_wait(a, 10);
+        l.add_wait(b, 4);
+        assert_eq!(l.complete(a, Tick::new(50)), Some(10));
+        assert_eq!(l.completed(), 1);
+        assert_eq!(l.active(), 1);
+        assert_eq!(l.journey_stats().mean(), 50.0);
+
+        assert_eq!(l.complete(b, Tick::new(25)), Some(4));
+        assert_eq!(l.waiting_stats().mean(), 7.0);
+        assert_eq!(l.journey_stats().mean(), 35.0);
+    }
+
+    #[test]
+    fn unknown_ids_are_ignored() {
+        let mut l = WaitingLedger::new();
+        l.add_wait(VehicleId::new(9), 5);
+        assert_eq!(l.complete(VehicleId::new(9), Tick::new(1)), None);
+        assert_eq!(l.completed(), 0);
+    }
+
+    #[test]
+    fn active_vehicles_count_toward_snapshot_mean() {
+        let mut l = WaitingLedger::new();
+        let a = VehicleId::new(1);
+        let b = VehicleId::new(2);
+        l.enter(a, Tick::new(0));
+        l.enter(b, Tick::new(0));
+        l.add_wait(a, 10);
+        l.complete(a, Tick::new(20));
+        l.add_wait(b, 30); // still stuck in the network
+        assert_eq!(l.waiting_stats().mean(), 10.0, "completed-only mean");
+        assert_eq!(l.mean_waiting_including_active(), 20.0);
+    }
+
+    #[test]
+    fn empty_ledger_means_are_zero() {
+        let l = WaitingLedger::new();
+        assert_eq!(l.mean_waiting_including_active(), 0.0);
+        assert_eq!(l.waiting_stats().mean(), 0.0);
+    }
+
+    #[test]
+    fn vehicle_id_display() {
+        assert_eq!(VehicleId::new(3).to_string(), "veh3");
+    }
+
+    #[test]
+    fn histogram_tracks_completed_waits() {
+        let mut l = WaitingLedger::new();
+        for (i, wait) in [5u64, 15, 15, 700].into_iter().enumerate() {
+            let v = VehicleId::new(i as u64);
+            l.enter(v, Tick::ZERO);
+            l.add_wait(v, wait);
+            l.complete(v, Tick::new(1000));
+        }
+        let h = l.waiting_histogram();
+        assert_eq!(h.count(), 4);
+        assert_eq!(h.overflow(), 1, "700 ticks exceeds the last bin");
+        assert_eq!(h.percentile(50.0), Some(20.0));
+    }
+}

@@ -1,0 +1,493 @@
+//! # utilbp-microsim
+//!
+//! A from-scratch **microscopic traffic simulator** standing in for SUMO in
+//! the reproduction of *Chang et al., DATE 2020*. Vehicles follow the
+//! Krauss car-following model (SUMO's default) along dedicated
+//! per-movement lanes; signalized junctions serve green links with
+//! realistic discharge headways, a fixed junction-box traversal time, and
+//! amber periods that let the box clear; queue detectors report
+//! per-movement counts within a finite range of the stop line — the state
+//! `Q(k)` the back-pressure controllers feed on.
+//!
+//! What this substitute preserves from the paper's SUMO setup (see
+//! DESIGN.md for the substitution argument):
+//!
+//! - queues build and drain through car-following dynamics, with startup
+//!   lost time and saturation headways — not instantaneous transfers;
+//! - roads store a finite number of vehicles (`W = 120` at 300 m × 3
+//!   lanes × 7.5 m jam spacing), so spillback blocks upstream service;
+//! - ambers cost real green time, which is what makes the paper's
+//!   phase-churn trade-off meaningful;
+//! - SUMO's waiting-time definition (time at speed < 0.1 m/s) yields the
+//!   "average queuing time of a vehicle" of Fig. 2 / Table III.
+//!
+//! See [`MicroSim`] for the step protocol and an end-to-end example.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod config;
+mod krauss;
+mod road;
+mod sim;
+
+pub use config::{LaneDiscipline, MicroSimConfig, OutgoingSensor};
+pub use krauss::{next_speed, safe_speed, LeaderInfo};
+pub use sim::{MicroSim, StepReport};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use utilbp_baselines::{CapBp, FixedTime};
+    use utilbp_core::standard::Turn;
+    use utilbp_core::{SignalController, Tick, Ticks, UtilBp};
+    use utilbp_metrics::VehicleId;
+    use utilbp_netgen::{
+        Arrival, DemandConfig, DemandGenerator, DemandSchedule, GridNetwork, GridSpec, Pattern,
+        RouteChoice,
+    };
+
+    fn grid() -> GridNetwork {
+        GridNetwork::new(GridSpec::paper())
+    }
+
+    fn util_controllers(n: usize) -> Vec<Box<dyn SignalController>> {
+        (0..n)
+            .map(|_| Box::new(UtilBp::paper()) as Box<dyn SignalController>)
+            .collect()
+    }
+
+    fn one_arrival(grid: &GridNetwork, entry_idx: usize, id: u64, choice: RouteChoice) -> Arrival {
+        let entry = grid.entries()[entry_idx];
+        Arrival {
+            vehicle: VehicleId::new(id),
+            tick: Tick::ZERO,
+            route: grid.route(&entry, choice),
+        }
+    }
+
+    #[test]
+    fn single_vehicle_drives_through() {
+        let g = grid();
+        let mut sim = MicroSim::new(
+            g.topology().clone(),
+            util_controllers(9),
+            MicroSimConfig::deterministic(),
+        );
+        sim.step(vec![one_arrival(&g, 0, 0, RouteChoice::Straight)]);
+        let mut completed = 0;
+        for _ in 0..600 {
+            completed += sim.step(Vec::new()).completed;
+        }
+        assert_eq!(completed, 1, "the vehicle must traverse and exit");
+        assert_eq!(sim.vehicles_in_network(), 0);
+        assert_eq!(sim.total_crossings(), 3, "three junctions crossed");
+        assert_eq!(sim.ledger().completed(), 1);
+        // Straight through an empty UTIL-BP network: waiting should be
+        // minimal (green chases the lone vehicle), certainly below 120 s.
+        assert!(sim.ledger().waiting_stats().mean() < 120.0);
+    }
+
+    #[test]
+    fn journey_time_is_physically_plausible() {
+        // 4 roads × 300 m at ≤13.89 m/s plus 3 crossings: at least ~86 s +
+        // 9 s of boxes. Anything faster means teleportation.
+        let g = grid();
+        let mut sim = MicroSim::new(
+            g.topology().clone(),
+            util_controllers(9),
+            MicroSimConfig::deterministic(),
+        );
+        sim.step(vec![one_arrival(&g, 0, 0, RouteChoice::Straight)]);
+        for _ in 0..600 {
+            sim.step(Vec::new());
+        }
+        let journey = sim.ledger().journey_stats().mean();
+        assert!(
+            journey >= 90.0,
+            "journey {journey} s implies faster-than-free-flow travel"
+        );
+        assert!(journey <= 400.0, "journey {journey} s implies a stall");
+    }
+
+    #[test]
+    fn turning_vehicle_follows_its_route() {
+        let g = grid();
+        let mut sim = MicroSim::new(
+            g.topology().clone(),
+            util_controllers(9),
+            MicroSimConfig::deterministic(),
+        );
+        let arrival = one_arrival(
+            &g,
+            0,
+            0,
+            RouteChoice::TurnAt {
+                turn: Turn::Left,
+                path_index: 1,
+            },
+        );
+        let hops = arrival.route.len() as u64;
+        sim.step(vec![arrival]);
+        for _ in 0..900 {
+            sim.step(Vec::new());
+        }
+        assert_eq!(sim.ledger().completed(), 1);
+        assert_eq!(sim.total_crossings(), hops);
+    }
+
+    #[test]
+    fn vehicle_conservation_under_load() {
+        let g = grid();
+        let mut sim = MicroSim::new(
+            g.topology().clone(),
+            util_controllers(9),
+            MicroSimConfig::default(),
+        );
+        let mut demand = DemandGenerator::new(
+            &g,
+            DemandConfig::new(DemandSchedule::constant(Pattern::I, Ticks::new(600))),
+            42,
+        );
+        let mut injected_total = 0u64;
+        for k in 0..600 {
+            let arrivals = demand.poll(&g, Tick::new(k));
+            injected_total += arrivals.len() as u64;
+            sim.step(arrivals);
+        }
+        let accounted = sim.vehicles_in_network() as u64
+            + sim.backlog_len() as u64
+            + sim.ledger().completed();
+        assert_eq!(injected_total, accounted, "no vehicle may vanish");
+    }
+
+    #[test]
+    fn occupancies_never_exceed_capacity() {
+        let g = GridNetwork::new(GridSpec {
+            capacity: 15,
+            ..GridSpec::with_size(2, 2)
+        });
+        let n = g.topology().num_intersections();
+        let mut sim = MicroSim::new(
+            g.topology().clone(),
+            // Slow fixed-time keeps everything congested.
+            (0..n)
+                .map(|_| {
+                    Box::new(FixedTime::new(Ticks::new(30), Ticks::new(4)))
+                        as Box<dyn SignalController>
+                })
+                .collect(),
+            MicroSimConfig::default(),
+        );
+        let mut demand = DemandGenerator::new(
+            &g,
+            DemandConfig::new(DemandSchedule::constant(Pattern::I, Ticks::new(900))),
+            1,
+        );
+        for k in 0..900 {
+            let arrivals = demand.poll(&g, Tick::new(k));
+            sim.step(arrivals);
+            for r in g.topology().road_ids() {
+                assert!(
+                    sim.road_occupancy(r) <= 15,
+                    "tick {k}: road {r} over capacity ({})",
+                    sim.road_occupancy(r)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn deterministic_for_equal_seeds() {
+        let g = grid();
+        let run = |seed: u64| -> (u64, u64, f64) {
+            let mut sim = MicroSim::new(
+                g.topology().clone(),
+                util_controllers(9),
+                MicroSimConfig {
+                    seed,
+                    ..MicroSimConfig::default()
+                },
+            );
+            let mut demand = DemandGenerator::new(
+                &g,
+                DemandConfig::new(DemandSchedule::constant(Pattern::II, Ticks::new(400))),
+                9,
+            );
+            for k in 0..400 {
+                let arrivals = demand.poll(&g, Tick::new(k));
+                sim.step(arrivals);
+            }
+            (
+                sim.total_crossings(),
+                sim.ledger().completed(),
+                sim.ledger().mean_waiting_including_active(),
+            )
+        };
+        assert_eq!(run(5), run(5));
+        assert_ne!(run(5).0, run(6).0, "different seeds must diverge");
+    }
+
+    #[test]
+    fn red_light_builds_a_detectable_queue() {
+        let g = grid();
+        let n = g.topology().num_intersections();
+        // Long fixed-time slots: during the c3/c4 part of the cycle, north
+        // approaches queue up.
+        let mut sim = MicroSim::new(
+            g.topology().clone(),
+            (0..n)
+                .map(|_| {
+                    Box::new(FixedTime::new(Ticks::new(40), Ticks::new(4)))
+                        as Box<dyn SignalController>
+                })
+                .collect(),
+            MicroSimConfig::default(),
+        );
+        let mut demand = DemandGenerator::new(
+            &g,
+            DemandConfig::new(DemandSchedule::constant(Pattern::I, Ticks::new(400))),
+            3,
+        );
+        let mut max_queue = 0u32;
+        for k in 0..400 {
+            let arrivals = demand.poll(&g, Tick::new(k));
+            sim.step(arrivals);
+            for i in g.topology().intersection_ids() {
+                let layout = g.topology().intersection(i).layout();
+                for arm in layout.incoming_ids() {
+                    max_queue = max_queue.max(sim.incoming_queue_len(i, arm));
+                }
+            }
+        }
+        assert!(max_queue >= 3, "queues must form under fixed-time control");
+    }
+
+    #[test]
+    fn observation_is_consistent_with_accessors() {
+        let g = grid();
+        let mut sim = MicroSim::new(
+            g.topology().clone(),
+            util_controllers(9),
+            MicroSimConfig::default(),
+        );
+        let mut demand = DemandGenerator::new(
+            &g,
+            DemandConfig::new(DemandSchedule::constant(Pattern::I, Ticks::new(300))),
+            8,
+        );
+        for k in 0..300 {
+            let arrivals = demand.poll(&g, Tick::new(k));
+            sim.step(arrivals);
+        }
+        for i in g.topology().intersection_ids() {
+            let obs = sim.observe(i);
+            let node = g.topology().intersection(i);
+            for link in node.layout().link_ids() {
+                assert_eq!(obs.movement(link), sim.movement_queue_len(i, link));
+                assert!(
+                    sim.movement_queue_len(i, link) <= sim.movement_count(i, link),
+                    "halted is a subset of present"
+                );
+            }
+            for out in node.layout().outgoing_ids() {
+                let road = node.outgoing_road(out);
+                assert_eq!(obs.outgoing(out), sim.road_sensor(road));
+                assert!(
+                    sim.road_halted(road) <= sim.road_occupancy(road),
+                    "halted is a subset of occupancy"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn utilbp_beats_fixed_time_microscopically() {
+        let g = grid();
+        let horizon = 1200u64;
+        let run = |controllers: Vec<Box<dyn SignalController>>| -> f64 {
+            let mut sim =
+                MicroSim::new(g.topology().clone(), controllers, MicroSimConfig::default());
+            let mut demand = DemandGenerator::new(
+                &g,
+                DemandConfig::new(DemandSchedule::constant(Pattern::I, Ticks::new(horizon))),
+                77,
+            );
+            for k in 0..horizon {
+                let arrivals = demand.poll(&g, Tick::new(k));
+                sim.step(arrivals);
+            }
+            sim.ledger().mean_waiting_including_active()
+        };
+        let util = run(util_controllers(9));
+        let fixed = run((0..9)
+            .map(|_| {
+                Box::new(FixedTime::new(Ticks::new(25), Ticks::new(4)))
+                    as Box<dyn SignalController>
+            })
+            .collect());
+        assert!(
+            util < fixed,
+            "UTIL-BP ({util:.1}s) must beat fixed-time ({fixed:.1}s)"
+        );
+    }
+
+    #[test]
+    fn capbp_drives_the_microsim() {
+        let g = grid();
+        let mut sim = MicroSim::new(
+            g.topology().clone(),
+            (0..9)
+                .map(|_| Box::new(CapBp::new(Ticks::new(16))) as Box<dyn SignalController>)
+                .collect(),
+            MicroSimConfig::default(),
+        );
+        let mut demand = DemandGenerator::new(
+            &g,
+            DemandConfig::new(DemandSchedule::constant(Pattern::II, Ticks::new(900))),
+            12,
+        );
+        for k in 0..900 {
+            let arrivals = demand.poll(&g, Tick::new(k));
+            sim.step(arrivals);
+        }
+        assert!(
+            sim.ledger().completed() > 50,
+            "CAP-BP must move traffic, completed = {}",
+            sim.ledger().completed()
+        );
+    }
+
+    /// A controller pinned to one phase (test scaffolding).
+    struct HoldPhase(utilbp_core::PhaseId);
+
+    impl SignalController for HoldPhase {
+        fn decide(
+            &mut self,
+            _view: &utilbp_core::IntersectionView<'_>,
+            _now: Tick,
+        ) -> utilbp_core::PhaseDecision {
+            utilbp_core::PhaseDecision::Control(self.0)
+        }
+        fn reset(&mut self) {}
+        fn name(&self) -> &'static str {
+            "hold-phase"
+        }
+    }
+
+    /// Runs the HOL scenario: phase pinned to c2 (rights only), vehicles
+    /// from the north alternating straight/right. Returns completions.
+    fn hol_scenario(discipline: LaneDiscipline) -> u64 {
+        use utilbp_core::standard::{self, Approach};
+
+        let g = GridNetwork::new(GridSpec::with_size(1, 1));
+        let controllers: Vec<Box<dyn SignalController>> =
+            vec![Box::new(HoldPhase(standard::phase_id(2)))];
+        let mut sim = MicroSim::new(
+            g.topology().clone(),
+            controllers,
+            MicroSimConfig {
+                lane_discipline: discipline,
+                ..MicroSimConfig::deterministic()
+            },
+        );
+        let entry = g
+            .entries()
+            .iter()
+            .copied()
+            .find(|e| e.side == Approach::North)
+            .unwrap();
+        let mut id = 0u64;
+        for k in 0..420u64 {
+            let mut batch = Vec::new();
+            if k % 6 == 0 {
+                let choice = if (k / 6) % 2 == 0 {
+                    RouteChoice::Straight
+                } else {
+                    RouteChoice::TurnAt {
+                        turn: Turn::Right,
+                        path_index: 0,
+                    }
+                };
+                batch.push(Arrival {
+                    vehicle: VehicleId::new(id),
+                    tick: Tick::ZERO,
+                    route: g.route(&entry, choice),
+                });
+                id += 1;
+            }
+            sim.step(batch);
+        }
+        sim.ledger().completed()
+    }
+
+    #[test]
+    fn mixed_lanes_cause_head_of_line_blocking() {
+        // Section IV Q4: with dedicated lanes, every right-turner clears
+        // even though straights never get green; with mixed lanes, red
+        // straight-bound heads trap right-turners behind them.
+        let dedicated = hol_scenario(LaneDiscipline::DedicatedPerMovement);
+        let shared = hol_scenario(LaneDiscipline::SharedMixed);
+        assert!(
+            dedicated >= 25,
+            "dedicated lanes must clear the right-turners, got {dedicated}"
+        );
+        assert!(
+            shared < dedicated,
+            "mixed lanes must block some right-turners ({shared} vs {dedicated})"
+        );
+    }
+
+    #[test]
+    fn mixed_lanes_conserve_vehicles() {
+        let g = grid();
+        let mut sim = MicroSim::new(
+            g.topology().clone(),
+            util_controllers(9),
+            MicroSimConfig {
+                lane_discipline: LaneDiscipline::SharedMixed,
+                ..MicroSimConfig::default()
+            },
+        );
+        let mut demand = DemandGenerator::new(
+            &g,
+            DemandConfig::new(DemandSchedule::constant(Pattern::I, Ticks::new(500))),
+            13,
+        );
+        let mut injected = 0u64;
+        for k in 0..500 {
+            let arrivals = demand.poll(&g, Tick::new(k));
+            injected += arrivals.len() as u64;
+            sim.step(arrivals);
+        }
+        assert_eq!(
+            injected,
+            sim.vehicles_in_network() as u64
+                + sim.backlog_len() as u64
+                + sim.ledger().completed()
+        );
+        assert!(sim.ledger().completed() > 0, "traffic still flows");
+    }
+
+    #[test]
+    #[should_panic(expected = "one controller per intersection")]
+    fn rejects_wrong_controller_count() {
+        let g = grid();
+        let _ = MicroSim::new(
+            g.topology().clone(),
+            util_controllers(2),
+            MicroSimConfig::default(),
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid microsim config")]
+    fn rejects_invalid_config() {
+        let g = grid();
+        let cfg = MicroSimConfig {
+            sigma: 2.0,
+            ..MicroSimConfig::default()
+        };
+        let _ = MicroSim::new(g.topology().clone(), util_controllers(9), cfg);
+    }
+}

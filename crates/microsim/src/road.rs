@@ -1,0 +1,294 @@
+//! Lanes, vehicles, and the per-lane car-following update.
+
+use std::collections::VecDeque;
+use std::sync::Arc;
+
+use rand::rngs::SmallRng;
+use rand::Rng;
+use utilbp_metrics::VehicleId;
+use utilbp_netgen::Route;
+
+use crate::config::MicroSimConfig;
+use crate::krauss::{next_speed, LeaderInfo};
+
+/// One simulated vehicle.
+#[derive(Debug, Clone)]
+pub(crate) struct Vehicle {
+    pub id: VehicleId,
+    pub route: Arc<Route>,
+    /// Index of the next intersection to cross (== `route.len()` once on a
+    /// boundary exit road).
+    pub hop: usize,
+    /// Front-bumper position along the current lane, meters from the lane
+    /// start (the stop line is at the lane length).
+    pub pos: f64,
+    /// Current speed, m/s.
+    pub speed: f64,
+}
+
+/// A single-file lane. `vehicles.front()` is the vehicle closest to the
+/// stop line.
+#[derive(Debug, Clone, Default)]
+pub(crate) struct Lane {
+    pub vehicles: VecDeque<Vehicle>,
+}
+
+impl Lane {
+    /// Position of the last vehicle (smallest `pos`), or `length` if empty
+    /// — the space available at the lane entry.
+    pub fn tail_position(&self, length: f64) -> f64 {
+        self.vehicles.back().map_or(length, |v| v.pos)
+    }
+
+    /// Whether a new vehicle can be placed at `pos = 0` while keeping jam
+    /// spacing to the current tail.
+    pub fn entry_clear(&self, length: f64, cfg: &MicroSimConfig) -> bool {
+        self.tail_position(length) >= cfg.jam_spacing_m()
+    }
+
+    /// Number of vehicles within `range` meters of the stop line — what a
+    /// presence detector reports.
+    pub fn detected(&self, length: f64, range: f64) -> u32 {
+        self.vehicles
+            .iter()
+            .filter(|v| v.pos >= length - range)
+            .count() as u32
+    }
+
+    /// Number of *halted* vehicles (speed below `halt_speed`) within
+    /// `range` meters of the stop line — what a SUMO-style jam detector
+    /// reports, and the `q` the controllers observe.
+    pub fn halted(&self, length: f64, range: f64, halt_speed: f64) -> u32 {
+        self.vehicles
+            .iter()
+            .filter(|v| v.pos >= length - range && v.speed < halt_speed)
+            .count() as u32
+    }
+}
+
+/// What the head vehicle of a lane faces this step.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum HeadMode {
+    /// Green with space downstream: the head may drive through the stop
+    /// line (and is returned as crossed when its front passes it).
+    Release,
+    /// Red/amber or blocked downstream: the stop line is a wall.
+    Blocked,
+}
+
+/// Advances every vehicle in the lane by one step (sequential front-to-back
+/// Krauss update with an anti-overlap clamp). Returns the head vehicle if
+/// it crossed the stop line under [`HeadMode::Release`].
+pub(crate) fn update_lane(
+    lane: &mut Lane,
+    length: f64,
+    head_mode: HeadMode,
+    cfg: &MicroSimConfig,
+    rng: &mut SmallRng,
+) -> Option<Vehicle> {
+    if lane.vehicles.is_empty() {
+        return None;
+    }
+
+    let mut crossed = None;
+
+    // Head vehicle.
+    {
+        let head = &mut lane.vehicles[0];
+        let leader = match head_mode {
+            HeadMode::Release => LeaderInfo::Free,
+            HeadMode::Blocked => LeaderInfo::Wall {
+                distance_m: length - head.pos,
+            },
+        };
+        let xi = dawdle(cfg, rng);
+        head.speed = next_speed(head.speed, leader, xi, cfg);
+        head.pos += head.speed * cfg.dt_seconds;
+        if head_mode == HeadMode::Release && head.pos >= length {
+            crossed = lane.vehicles.pop_front();
+        }
+    }
+
+    // Followers (and the new head if the old one crossed).
+    let start = if crossed.is_some() { 0 } else { 1 };
+    for i in start..lane.vehicles.len() {
+        let (leader, leader_pos) = if i == 0 {
+            // The previous head just crossed; its successor sees the stop
+            // line (it will be re-evaluated for release next step).
+            (
+                LeaderInfo::Wall {
+                    distance_m: length - lane.vehicles[0].pos,
+                },
+                f64::INFINITY,
+            )
+        } else {
+            let lp = lane.vehicles[i - 1].pos;
+            let ls = lane.vehicles[i - 1].speed;
+            (
+                LeaderInfo::Vehicle {
+                    net_gap_m: lp - lane.vehicles[i].pos
+                        - cfg.vehicle_length_m
+                        - cfg.min_gap_m,
+                    speed_mps: ls,
+                },
+                lp,
+            )
+        };
+        let xi = dawdle(cfg, rng);
+        let v = &mut lane.vehicles[i];
+        let old_pos = v.pos;
+        v.speed = next_speed(v.speed, leader, xi, cfg);
+        v.pos += v.speed * cfg.dt_seconds;
+        // Anti-overlap safety clamp (numerical guard; Krauss alone is
+        // collision-free for consistent inputs).
+        if leader_pos.is_finite() {
+            let max_pos = leader_pos - cfg.vehicle_length_m - 0.05;
+            if v.pos > max_pos {
+                v.pos = max_pos.max(old_pos);
+                v.speed = ((v.pos - old_pos) / cfg.dt_seconds).max(0.0);
+            }
+        }
+    }
+
+    crossed
+}
+
+fn dawdle(cfg: &MicroSimConfig, rng: &mut SmallRng) -> f64 {
+    if cfg.sigma > 0.0 {
+        rng.gen::<f64>()
+    } else {
+        0.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use utilbp_core::LinkId;
+    use utilbp_netgen::{IntersectionId, RoadId};
+
+    fn cfg() -> MicroSimConfig {
+        MicroSimConfig::deterministic()
+    }
+
+    fn veh(id: u64, pos: f64, speed: f64) -> Vehicle {
+        Vehicle {
+            id: VehicleId::new(id),
+            route: Arc::new(Route::new(
+                RoadId::new(0),
+                vec![(IntersectionId::new(0), LinkId::new(0))],
+            )),
+            hop: 0,
+            pos,
+            speed,
+        }
+    }
+
+    fn rng() -> SmallRng {
+        SmallRng::seed_from_u64(0)
+    }
+
+    #[test]
+    fn empty_lane_is_a_noop() {
+        let mut lane = Lane::default();
+        assert!(update_lane(&mut lane, 300.0, HeadMode::Release, &cfg(), &mut rng()).is_none());
+    }
+
+    #[test]
+    fn blocked_head_stops_at_the_line() {
+        let c = cfg();
+        let mut lane = Lane::default();
+        lane.vehicles.push_back(veh(0, 250.0, c.free_speed_mps));
+        let mut r = rng();
+        for _ in 0..30 {
+            let crossed = update_lane(&mut lane, 300.0, HeadMode::Blocked, &c, &mut r);
+            assert!(crossed.is_none(), "blocked head must never cross");
+        }
+        let head = &lane.vehicles[0];
+        assert!(head.speed < 0.05);
+        assert!(head.pos <= 300.0 + 1e-9);
+        assert!(head.pos > 290.0, "head pos {}", head.pos);
+    }
+
+    #[test]
+    fn released_head_crosses_and_is_returned() {
+        let c = cfg();
+        let mut lane = Lane::default();
+        lane.vehicles.push_back(veh(7, 295.0, 10.0));
+        let mut r = rng();
+        let crossed = update_lane(&mut lane, 300.0, HeadMode::Release, &c, &mut r);
+        let v = crossed.expect("head must cross");
+        assert_eq!(v.id, VehicleId::new(7));
+        assert!(lane.vehicles.is_empty());
+    }
+
+    #[test]
+    fn queue_compacts_without_collisions() {
+        let c = cfg();
+        let mut lane = Lane::default();
+        // Five vehicles strung out; head blocked at the line.
+        for (i, pos) in [280.0, 220.0, 160.0, 100.0, 40.0].iter().enumerate() {
+            lane.vehicles.push_back(veh(i as u64, *pos, 10.0));
+        }
+        let mut r = rng();
+        for _ in 0..80 {
+            update_lane(&mut lane, 300.0, HeadMode::Blocked, &c, &mut r);
+            // Strict ordering with at least a vehicle length between
+            // consecutive front bumpers.
+            for w in 0..lane.vehicles.len() - 1 {
+                let gap = lane.vehicles[w].pos - lane.vehicles[w + 1].pos;
+                assert!(
+                    gap >= c.vehicle_length_m - 1e-6,
+                    "overlap after step: gap {gap}"
+                );
+            }
+        }
+        // All stopped in a jam near the line at ~7.5 m spacing.
+        for w in 0..lane.vehicles.len() - 1 {
+            let gap = lane.vehicles[w].pos - lane.vehicles[w + 1].pos;
+            assert!(
+                (gap - c.jam_spacing_m()).abs() < 0.6,
+                "jam spacing violated: {gap}"
+            );
+        }
+    }
+
+    #[test]
+    fn detection_counts_only_near_the_stop_line() {
+        let mut lane = Lane::default();
+        lane.vehicles.push_back(veh(0, 295.0, 0.0));
+        lane.vehicles.push_back(veh(1, 287.0, 0.0));
+        lane.vehicles.push_back(veh(2, 100.0, 10.0)); // far upstream
+        assert_eq!(lane.detected(300.0, 100.0), 2);
+        assert_eq!(lane.detected(300.0, 300.0), 3);
+        assert_eq!(lane.detected(300.0, 1.0), 0);
+    }
+
+    #[test]
+    fn entry_clearance_respects_jam_spacing() {
+        let c = cfg();
+        let mut lane = Lane::default();
+        assert!(lane.entry_clear(300.0, &c), "empty lane is clear");
+        lane.vehicles.push_back(veh(0, 8.0, 0.0));
+        assert!(lane.entry_clear(300.0, &c));
+        lane.vehicles.push_back(veh(1, 6.0, 0.0));
+        assert!(!lane.entry_clear(300.0, &c), "tail at 6 m < 7.5 m");
+        assert_eq!(lane.tail_position(300.0), 6.0);
+    }
+
+    #[test]
+    fn successor_of_crossed_head_sees_the_line() {
+        let c = cfg();
+        let mut lane = Lane::default();
+        lane.vehicles.push_back(veh(0, 296.0, 12.0));
+        lane.vehicles.push_back(veh(1, 285.0, 12.0));
+        let mut r = rng();
+        let crossed = update_lane(&mut lane, 300.0, HeadMode::Release, &c, &mut r);
+        assert!(crossed.is_some());
+        assert_eq!(lane.vehicles.len(), 1);
+        // The successor advanced but is still on the lane.
+        assert!(lane.vehicles[0].pos < 300.0);
+        assert!(lane.vehicles[0].pos > 285.0);
+    }
+}

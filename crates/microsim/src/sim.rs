@@ -1,0 +1,725 @@
+//! The microscopic network simulator.
+//!
+//! Stands in for SUMO in the paper's evaluation: vehicles follow the
+//! Krauss model along dedicated per-movement lanes, junctions serve green
+//! links with realistic discharge headways and a fixed box-traversal time,
+//! ambers let the box clear before the next phase, and queue detectors
+//! report the per-movement counts the controllers feed on.
+//!
+//! ## Physical layout
+//!
+//! Every road carries one single-file lane per turning movement at its
+//! downstream junction (the paper's dedicated turning lanes, which rule out
+//! head-of-line blocking); boundary exit roads carry enough lanes to match
+//! their storage capacity. With the default 300 m roads and 7.5 m jam
+//! spacing, 3 lanes hold 120 vehicles — exactly the paper's `W`.
+//!
+//! ## Crossing protocol
+//!
+//! The head vehicle of a lane is *released* when its movement is green,
+//! the link has service credit (rate `µ`), the destination road is below
+//! its capacity `W`, and the destination lane has room (counting vehicles
+//! already crossing toward it). A released head drives through the stop
+//! line, spends `crossing_ticks` in the junction box, then lands at the
+//! start of its destination lane. During amber no releases happen but the
+//! box keeps clearing — which is why the paper's 4 s amber covers the 3 s
+//! box traversal.
+
+use std::collections::VecDeque;
+use std::sync::Arc;
+
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use utilbp_core::{
+    IncomingId, IntersectionView, LinkId, PhaseDecision, QueueObservation, SignalController, Tick,
+};
+use utilbp_metrics::{VehicleId, WaitingLedger};
+use utilbp_netgen::{Arrival, IntersectionId, NetworkTopology, RoadId, Route};
+
+use crate::config::MicroSimConfig;
+use crate::krauss::{next_speed, LeaderInfo};
+use crate::road::{update_lane, HeadMode, Lane, Vehicle};
+
+/// A vehicle traversing the junction box.
+#[derive(Debug, Clone)]
+struct Crossing {
+    vehicle: Vehicle,
+    /// Remaining box ticks; 0 means ready to land (may be held if the
+    /// destination lane entry is blocked).
+    remaining: u64,
+    dest_road: usize,
+    dest_lane: usize,
+}
+
+#[derive(Debug, Clone, Default)]
+struct JunctionSim {
+    in_box: Vec<Crossing>,
+    /// Per-link service credit (rate `µ` accumulates while green).
+    credit: Vec<f64>,
+    /// Per-link green flag for the current step.
+    active: Vec<bool>,
+}
+
+#[derive(Debug, Clone)]
+struct RoadSim {
+    lanes: Vec<Lane>,
+    length: f64,
+    capacity: u32,
+    /// Vehicles on the lanes plus reservations by vehicles crossing toward
+    /// this road.
+    occupancy: u32,
+}
+
+/// What happened during one microscopic step.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StepReport {
+    /// The instant that was simulated.
+    pub tick: Tick,
+    /// The decision applied at each intersection, indexed by
+    /// `IntersectionId`.
+    pub decisions: Vec<PhaseDecision>,
+    /// Stop-line crossings started this step.
+    pub crossings: u32,
+    /// Vehicles that left the network this step.
+    pub completed: u32,
+    /// Vehicles inserted at boundary entries this step (excluding those
+    /// pushed to a backlog).
+    pub injected: u32,
+}
+
+/// The microscopic simulator (SUMO substitute).
+///
+/// # Examples
+///
+/// ```
+/// use utilbp_core::{SignalController, Tick, Ticks, UtilBp};
+/// use utilbp_microsim::{MicroSim, MicroSimConfig};
+/// use utilbp_netgen::{
+///     DemandConfig, DemandGenerator, DemandSchedule, GridNetwork, GridSpec,
+///     Pattern,
+/// };
+///
+/// let grid = GridNetwork::new(GridSpec::paper());
+/// let controllers = (0..9)
+///     .map(|_| Box::new(UtilBp::paper()) as Box<dyn SignalController>)
+///     .collect();
+/// let mut sim = MicroSim::new(
+///     grid.topology().clone(),
+///     controllers,
+///     MicroSimConfig::default(),
+/// );
+/// let mut demand = DemandGenerator::new(
+///     &grid,
+///     DemandConfig::new(DemandSchedule::constant(Pattern::II, Ticks::new(120))),
+///     7,
+/// );
+/// for k in 0..120 {
+///     let arrivals = demand.poll(&grid, Tick::new(k));
+///     sim.step(arrivals);
+/// }
+/// assert!(sim.vehicles_in_network() > 0);
+/// ```
+pub struct MicroSim {
+    topology: NetworkTopology,
+    config: MicroSimConfig,
+    controllers: Vec<Box<dyn SignalController>>,
+    roads: Vec<RoadSim>,
+    junctions: Vec<JunctionSim>,
+    backlogs: Vec<VecDeque<(VehicleId, Arc<Route>, Tick)>>,
+    ledger: WaitingLedger,
+    rng: SmallRng,
+    now: Tick,
+    total_crossings: u64,
+    // Lookups (indices are plain usizes for borrow-free hot loops).
+    /// Per road: destination intersection index, if internal/entry.
+    road_dest: Vec<Option<usize>>,
+    /// Per road, per lane: the movement link (at the destination
+    /// intersection) this lane feeds; `None` on exit-road lanes.
+    lane_links: Vec<Vec<Option<LinkId>>>,
+    /// Per road: lane index by `LinkId::index()` at the destination
+    /// intersection (`usize::MAX` when not applicable).
+    lane_index_by_link: Vec<Vec<usize>>,
+    /// Per intersection, per link: incoming road index.
+    link_in_road: Vec<Vec<usize>>,
+    /// Per intersection, per link: outgoing road index.
+    link_out_road: Vec<Vec<usize>>,
+}
+
+impl std::fmt::Debug for MicroSim {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("MicroSim")
+            .field("now", &self.now)
+            .field("roads", &self.roads.len())
+            .field("junctions", &self.junctions.len())
+            .field("vehicles", &self.vehicles_in_network())
+            .field("total_crossings", &self.total_crossings)
+            .finish_non_exhaustive()
+    }
+}
+
+impl MicroSim {
+    /// Creates a simulator over `topology`, one controller per intersection
+    /// (indexed by [`IntersectionId`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the controller count does not match the intersection
+    /// count or if `config` fails [`MicroSimConfig::validate`].
+    pub fn new(
+        topology: NetworkTopology,
+        controllers: Vec<Box<dyn SignalController>>,
+        config: MicroSimConfig,
+    ) -> Self {
+        assert_eq!(
+            controllers.len(),
+            topology.num_intersections(),
+            "one controller per intersection"
+        );
+        if let Err(msg) = config.validate() {
+            panic!("invalid microsim config: {msg}");
+        }
+
+        let num_roads = topology.num_roads();
+        let mut road_dest = vec![None; num_roads];
+        let mut lane_links: Vec<Vec<Option<LinkId>>> = vec![Vec::new(); num_roads];
+        let mut lane_index_by_link: Vec<Vec<usize>> = vec![Vec::new(); num_roads];
+
+        for r in topology.road_ids() {
+            let road = topology.road(r);
+            match road.dest() {
+                Some((i, arm)) => {
+                    road_dest[r.index()] = Some(i.index());
+                    let layout = topology.intersection(i).layout();
+                    let links = layout.links_from(arm);
+                    lane_links[r.index()] = links.iter().map(|&l| Some(l)).collect();
+                    let mut by_link = vec![usize::MAX; layout.num_links()];
+                    for (lane, &l) in links.iter().enumerate() {
+                        by_link[l.index()] = lane;
+                    }
+                    lane_index_by_link[r.index()] = by_link;
+                }
+                None => {
+                    // Exit road: enough lanes to hold the declared W.
+                    let lane_cap =
+                        (road.length_m() / config.jam_spacing_m()).floor().max(1.0) as u32;
+                    let lanes = road.capacity().div_ceil(lane_cap).max(1) as usize;
+                    lane_links[r.index()] = vec![None; lanes];
+                }
+            }
+        }
+
+        let mut link_in_road = Vec::with_capacity(topology.num_intersections());
+        let mut link_out_road = Vec::with_capacity(topology.num_intersections());
+        let mut junctions = Vec::with_capacity(topology.num_intersections());
+        for i in topology.intersection_ids() {
+            let node = topology.intersection(i);
+            let layout = node.layout();
+            link_in_road.push(
+                layout
+                    .link_ids()
+                    .map(|l| node.incoming_road(layout.link(l).from()).index())
+                    .collect(),
+            );
+            link_out_road.push(
+                layout
+                    .link_ids()
+                    .map(|l| node.outgoing_road(layout.link(l).to()).index())
+                    .collect(),
+            );
+            junctions.push(JunctionSim {
+                in_box: Vec::new(),
+                credit: vec![0.0; layout.num_links()],
+                active: vec![false; layout.num_links()],
+            });
+        }
+
+        let roads = topology
+            .road_ids()
+            .map(|r| {
+                let road = topology.road(r);
+                RoadSim {
+                    lanes: vec![Lane::default(); lane_links[r.index()].len()],
+                    length: road.length_m(),
+                    capacity: road.capacity(),
+                    occupancy: 0,
+                }
+            })
+            .collect();
+
+        let seed = config.seed;
+        MicroSim {
+            topology,
+            config,
+            controllers,
+            roads,
+            junctions,
+            backlogs: vec![VecDeque::new(); num_roads],
+            ledger: WaitingLedger::new(),
+            rng: SmallRng::seed_from_u64(seed),
+            now: Tick::ZERO,
+            total_crossings: 0,
+            road_dest,
+            lane_links,
+            lane_index_by_link,
+            link_in_road,
+            link_out_road,
+        }
+    }
+
+    /// The simulated network.
+    pub fn topology(&self) -> &NetworkTopology {
+        &self.topology
+    }
+
+    /// The simulator configuration.
+    pub fn config(&self) -> &MicroSimConfig {
+        &self.config
+    }
+
+    /// The current instant (the next tick to be simulated).
+    pub fn now(&self) -> Tick {
+        self.now
+    }
+
+    /// Per-vehicle waiting/journey accounting.
+    pub fn ledger(&self) -> &WaitingLedger {
+        &self.ledger
+    }
+
+    /// Stop-line crossings since the start.
+    pub fn total_crossings(&self) -> u64 {
+        self.total_crossings
+    }
+
+    /// Vehicles currently on lanes or in junction boxes.
+    pub fn vehicles_in_network(&self) -> usize {
+        let on_lanes: usize = self
+            .roads
+            .iter()
+            .map(|r| r.lanes.iter().map(|l| l.vehicles.len()).sum::<usize>())
+            .sum();
+        let in_boxes: usize = self.junctions.iter().map(|j| j.in_box.len()).sum();
+        on_lanes + in_boxes
+    }
+
+    /// Vehicles waiting outside full boundary entries.
+    pub fn backlog_len(&self) -> usize {
+        self.backlogs.iter().map(|b| b.len()).sum()
+    }
+
+    /// Detected queue `q_i^{i'}` for `link` at `intersection`: vehicles
+    /// present on the movement's dedicated lane within the detector range
+    /// of the stop line. Presence (rather than halting) is used upstream
+    /// so a *discharging* queue keeps exerting pressure until it has
+    /// physically cleared the junction — halting counts collapse the
+    /// moment the queue starts rolling, which makes every adaptive
+    /// controller thrash.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the ids are out of range.
+    pub fn movement_queue_len(&self, intersection: IntersectionId, link: LinkId) -> u32 {
+        self.movement_detected(intersection, link, self.config.detection_range_m)
+    }
+
+    /// Total vehicles bound for `link` on the incoming road, over its
+    /// whole length, regardless of the detector range.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the ids are out of range.
+    pub fn movement_count(&self, intersection: IntersectionId, link: LinkId) -> u32 {
+        self.movement_detected(intersection, link, f64::INFINITY)
+    }
+
+    fn movement_detected(&self, intersection: IntersectionId, link: LinkId, range: f64) -> u32 {
+        let r = self.link_in_road[intersection.index()][link.index()];
+        let road = &self.roads[r];
+        match self.config.lane_discipline {
+            crate::LaneDiscipline::DedicatedPerMovement => {
+                let lane = self.lane_index_by_link[r][link.index()];
+                road.lanes[lane].detected(road.length, range)
+            }
+            crate::LaneDiscipline::SharedMixed => {
+                // Vehicles for this movement may sit on any lane.
+                road.lanes
+                    .iter()
+                    .flat_map(|l| l.vehicles.iter())
+                    .filter(|v| {
+                        v.pos >= road.length - range
+                            && v.route.hop(v.hop).map(|(_, l)| l) == Some(link)
+                    })
+                    .count() as u32
+            }
+        }
+    }
+
+    /// Halted vehicles across all lanes of a road (whole length).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `road` is out of range.
+    pub fn road_halted(&self, road: RoadId) -> u32 {
+        let r = &self.roads[road.index()];
+        r.lanes
+            .iter()
+            .map(|l| l.halted(r.length, f64::INFINITY, self.config.halt_speed_mps))
+            .sum()
+    }
+
+    /// The outgoing-road sensor reading `q_{i'}` per the configured
+    /// [`OutgoingSensor`](crate::OutgoingSensor).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `road` is out of range.
+    pub fn road_sensor(&self, road: RoadId) -> u32 {
+        use crate::config::OutgoingSensor;
+        match self.config.outgoing_sensor {
+            OutgoingSensor::HaltedWholeRoad => self.road_halted(road),
+            OutgoingSensor::PresenceNearJunction => {
+                let r = &self.roads[road.index()];
+                r.lanes
+                    .iter()
+                    .map(|l| l.detected(r.length, self.config.detection_range_m))
+                    .sum()
+            }
+            OutgoingSensor::Occupancy => self.roads[road.index()].occupancy,
+        }
+    }
+
+    /// Detected total queue `q_i` (Eq. 1) at an incoming arm — the paper's
+    /// Fig. 5 quantity.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the ids are out of range.
+    pub fn incoming_queue_len(&self, intersection: IntersectionId, arm: IncomingId) -> u32 {
+        let layout = self.topology.intersection(intersection).layout();
+        layout
+            .links_from(arm)
+            .iter()
+            .map(|&l| self.movement_queue_len(intersection, l))
+            .sum()
+    }
+
+    /// Occupancy of a road (vehicles on its lanes plus inbound junction-box
+    /// reservations).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `road` is out of range.
+    pub fn road_occupancy(&self, road: RoadId) -> u32 {
+        self.roads[road.index()].occupancy
+    }
+
+    /// The queue observation the controller at `intersection` sees.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `intersection` is out of range.
+    pub fn observe(&self, intersection: IntersectionId) -> QueueObservation {
+        let node = self.topology.intersection(intersection);
+        let layout = node.layout();
+        let mut obs = QueueObservation::zeros(layout);
+        for link in layout.link_ids() {
+            obs.set_movement(link, self.movement_queue_len(intersection, link));
+        }
+        for out in layout.outgoing_ids() {
+            obs.set_outgoing(out, self.road_sensor(node.outgoing_road(out)));
+        }
+        obs
+    }
+
+    /// Simulates one step of `Δt`, injecting this tick's `arrivals`.
+    pub fn step(&mut self, arrivals: Vec<Arrival>) -> StepReport {
+        let now = self.now;
+
+        // 1. Controllers decide from detector observations.
+        let mut decisions = Vec::with_capacity(self.controllers.len());
+        for i in self.topology.intersection_ids() {
+            let obs = self.observe(i);
+            let layout = self.topology.intersection(i).layout();
+            let view = IntersectionView::new(layout, &obs)
+                .expect("observation built from the same layout");
+            decisions.push(self.controllers[i.index()].decide(&view, now));
+        }
+
+        // 2. Refresh per-link green flags and service credits.
+        for i in self.topology.intersection_ids() {
+            let layout = self.topology.intersection(i).layout();
+            let j = &mut self.junctions[i.index()];
+            j.active.iter_mut().for_each(|a| *a = false);
+            if let PhaseDecision::Control(phase) = decisions[i.index()] {
+                for &l in layout.phase(phase).links() {
+                    j.active[l.index()] = true;
+                }
+            }
+            for l in layout.link_ids() {
+                let idx = l.index();
+                if j.active[idx] {
+                    let mu_dt = layout.link(l).service_rate() * self.config.dt_seconds;
+                    j.credit[idx] = (j.credit[idx] + mu_dt).min(mu_dt.max(1.0));
+                } else {
+                    j.credit[idx] = 0.0;
+                }
+            }
+        }
+
+        // 3. Box countdown.
+        for j in &mut self.junctions {
+            for c in &mut j.in_box {
+                if c.remaining > 0 {
+                    c.remaining -= 1;
+                }
+            }
+        }
+
+        // 4. Car-following and stop-line crossings.
+        let mut crossings = 0u32;
+        let mut completed = 0u32;
+        for r in 0..self.roads.len() {
+            let length = self.roads[r].length;
+            let dest = self.road_dest[r];
+            for lane_idx in 0..self.roads[r].lanes.len() {
+                if self.roads[r].lanes[lane_idx].vehicles.is_empty() {
+                    continue;
+                }
+                // Release decision for the head vehicle.
+                let (mode, head_dest) = match dest {
+                    None => (HeadMode::Release, None),
+                    Some(j) => {
+                        let link = match self.config.lane_discipline {
+                            crate::LaneDiscipline::DedicatedPerMovement => self.lane_links[r]
+                                [lane_idx]
+                                .expect("dedicated lanes always map to a link"),
+                            crate::LaneDiscipline::SharedMixed => {
+                                // Head-of-line semantics: whatever movement
+                                // the *head* vehicle needs governs the lane.
+                                let head = &self.roads[r].lanes[lane_idx].vehicles[0];
+                                head.route
+                                    .hop(head.hop)
+                                    .expect("vehicles on internal roads have a next hop")
+                                    .1
+                            }
+                        };
+                        let li = link.index();
+                        if self.junctions[j].active[li] && self.junctions[j].credit[li] >= 1.0 {
+                            let out_r = self.link_out_road[j][li];
+                            if self.roads[out_r].occupancy < self.roads[out_r].capacity {
+                                let head = &self.roads[r].lanes[lane_idx].vehicles[0];
+                                let dest_lane = self.choose_dest_lane(out_r, head.hop + 1, &head.route);
+                                if self.dest_lane_has_room(out_r, dest_lane) {
+                                    (HeadMode::Release, Some((j, li, out_r, dest_lane)))
+                                } else {
+                                    (HeadMode::Blocked, None)
+                                }
+                            } else {
+                                (HeadMode::Blocked, None)
+                            }
+                        } else {
+                            (HeadMode::Blocked, None)
+                        }
+                    }
+                };
+
+                let crossed = update_lane(
+                    &mut self.roads[r].lanes[lane_idx],
+                    length,
+                    mode,
+                    &self.config,
+                    &mut self.rng,
+                );
+                if let Some(mut vehicle) = crossed {
+                    match head_dest {
+                        None => {
+                            // Exit road: the vehicle leaves the network.
+                            self.roads[r].occupancy =
+                                self.roads[r].occupancy.saturating_sub(1);
+                            self.ledger.complete(vehicle.id, now);
+                            completed += 1;
+                        }
+                        Some((j, li, out_r, dest_lane)) => {
+                            self.junctions[j].credit[li] -= 1.0;
+                            self.roads[r].occupancy =
+                                self.roads[r].occupancy.saturating_sub(1);
+                            self.roads[out_r].occupancy += 1;
+                            vehicle.hop += 1;
+                            self.junctions[j].in_box.push(Crossing {
+                                vehicle,
+                                remaining: self.config.crossing_ticks,
+                                dest_road: out_r,
+                                dest_lane,
+                            });
+                            crossings += 1;
+                            self.total_crossings += 1;
+                        }
+                    }
+                }
+            }
+        }
+
+        // 5. Land vehicles whose box traversal finished.
+        for j in 0..self.junctions.len() {
+            let in_box = std::mem::take(&mut self.junctions[j].in_box);
+            let mut still = Vec::with_capacity(in_box.len());
+            for crossing in in_box {
+                if crossing.remaining > 0 {
+                    still.push(crossing);
+                    continue;
+                }
+                let road = &mut self.roads[crossing.dest_road];
+                let lane = &mut road.lanes[crossing.dest_lane];
+                if lane.entry_clear(road.length, &self.config) {
+                    let mut vehicle = crossing.vehicle;
+                    let leader = lane_entry_leader(lane, road.length, &self.config);
+                    vehicle.pos = 0.0;
+                    vehicle.speed =
+                        next_speed(self.config.insertion_speed_mps, leader, 0.0, &self.config);
+                    lane.vehicles.push_back(vehicle);
+                } else {
+                    // Held in the box until the lane entry clears.
+                    still.push(crossing);
+                }
+            }
+            self.junctions[j].in_box = still;
+        }
+
+        // 6. Insertions: backlog first, then this tick's arrivals.
+        let mut injected = 0u32;
+        for r in 0..self.roads.len() {
+            while let Some((id, route, _since)) = self.backlogs[r].front().cloned() {
+                if self.try_insert(r, id, route) {
+                    self.backlogs[r].pop_front();
+                } else {
+                    break;
+                }
+            }
+        }
+        for arrival in arrivals {
+            let r = arrival.route.entry().index();
+            let route = Arc::new(arrival.route);
+            self.ledger.enter(arrival.vehicle, now);
+            if self.backlogs[r].is_empty() && self.try_insert(r, arrival.vehicle, route.clone()) {
+                injected += 1;
+            } else {
+                self.backlogs[r].push_back((arrival.vehicle, route, now));
+            }
+        }
+
+        // 7. Waiting accumulation (SUMO definition: speed below threshold),
+        //    plus backlogged vehicles.
+        for road in &self.roads {
+            for lane in &road.lanes {
+                for v in &lane.vehicles {
+                    if v.speed < self.config.waiting_speed_mps {
+                        self.ledger.add_wait(v.id, 1);
+                    }
+                }
+            }
+        }
+        for backlog in &self.backlogs {
+            for &(id, _, _) in backlog.iter() {
+                self.ledger.add_wait(id, 1);
+            }
+        }
+
+        self.now = now.next();
+        StepReport {
+            tick: now,
+            decisions,
+            crossings,
+            completed,
+            injected,
+        }
+    }
+
+    /// The destination lane on `out_road` for a vehicle whose next hop is
+    /// `hop`.
+    fn choose_dest_lane(&self, out_road: usize, hop: usize, route: &Route) -> usize {
+        match (self.road_dest[out_road], self.config.lane_discipline) {
+            (Some(_next_i), crate::LaneDiscipline::DedicatedPerMovement) => {
+                let (next_i, link) = route
+                    .hop(hop)
+                    .expect("internal destination road implies a further hop");
+                debug_assert_eq!(next_i.index(), _next_i, "route disagrees with topology");
+                self.lane_index_by_link[out_road][link.index()]
+            }
+            // Exit roads and mixed-lane roads: pick the lane with the most
+            // entry space.
+            _ => self.emptiest_lane(out_road),
+        }
+    }
+
+    /// The lane of `road` with the most entry space.
+    fn emptiest_lane(&self, road: usize) -> usize {
+        let road = &self.roads[road];
+        let mut best = 0usize;
+        let mut best_tail = f64::NEG_INFINITY;
+        for (i, lane) in road.lanes.iter().enumerate() {
+            let tail = lane.tail_position(road.length);
+            if tail > best_tail {
+                best_tail = tail;
+                best = i;
+            }
+        }
+        best
+    }
+
+    /// Whether `dest_lane` on `out_road` can absorb one more crossing,
+    /// counting vehicles already in boxes heading for the same lane.
+    fn dest_lane_has_room(&self, out_road: usize, dest_lane: usize) -> bool {
+        let pending = self
+            .junctions
+            .iter()
+            .flat_map(|j| j.in_box.iter())
+            .filter(|c| c.dest_road == out_road && c.dest_lane == dest_lane)
+            .count() as f64;
+        let road = &self.roads[out_road];
+        let tail = road.lanes[dest_lane].tail_position(road.length);
+        tail >= self.config.jam_spacing_m() * (pending + 1.0)
+    }
+
+    /// Attempts to insert a vehicle at the start of entry road `r`.
+    fn try_insert(&mut self, r: usize, id: VehicleId, route: Arc<Route>) -> bool {
+        if self.roads[r].occupancy >= self.roads[r].capacity {
+            return false;
+        }
+        let (_, link) = route.hop(0).expect("routes have at least one hop");
+        let lane_idx = match self.config.lane_discipline {
+            crate::LaneDiscipline::DedicatedPerMovement => {
+                self.lane_index_by_link[r][link.index()]
+            }
+            crate::LaneDiscipline::SharedMixed => self.emptiest_lane(r),
+        };
+        let road = &mut self.roads[r];
+        let lane = &mut road.lanes[lane_idx];
+        if !lane.entry_clear(road.length, &self.config) {
+            return false;
+        }
+        let leader = lane_entry_leader(lane, road.length, &self.config);
+        let speed = next_speed(self.config.insertion_speed_mps, leader, 0.0, &self.config);
+        lane.vehicles.push_back(Vehicle {
+            id,
+            route,
+            hop: 0,
+            pos: 0.0,
+            speed,
+        });
+        road.occupancy += 1;
+        true
+    }
+}
+
+/// The leader a vehicle entering at `pos = 0` faces.
+fn lane_entry_leader(lane: &Lane, length: f64, cfg: &MicroSimConfig) -> LeaderInfo {
+    match lane.vehicles.back() {
+        None => LeaderInfo::Wall {
+            distance_m: length,
+        },
+        Some(tail) => LeaderInfo::Vehicle {
+            net_gap_m: tail.pos - cfg.vehicle_length_m - cfg.min_gap_m,
+            speed_mps: tail.speed,
+        },
+    }
+}

@@ -1,0 +1,82 @@
+//! Vehicle routes through a network.
+
+use serde::{Deserialize, Serialize};
+use utilbp_core::LinkId;
+
+use crate::topology::{IntersectionId, RoadId};
+
+/// An ordered sequence of intersection crossings: the movement (link) a
+/// vehicle takes at each junction from its entry road to the boundary.
+///
+/// Simulators advance a cursor through the hops; [`Route::hop`] yields the
+/// movement to queue for at the `n`-th intersection of the journey.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Route {
+    entry: RoadId,
+    hops: Vec<(IntersectionId, LinkId)>,
+}
+
+impl Route {
+    /// Creates a route from its entry road and crossing sequence.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `hops` is empty — a vehicle that enters the network must
+    /// cross at least one intersection.
+    pub fn new(entry: RoadId, hops: Vec<(IntersectionId, LinkId)>) -> Self {
+        assert!(!hops.is_empty(), "a route must cross at least one intersection");
+        Route { entry, hops }
+    }
+
+    /// The boundary entry road where the vehicle appears.
+    pub fn entry(&self) -> RoadId {
+        self.entry
+    }
+
+    /// All crossings in order.
+    pub fn hops(&self) -> &[(IntersectionId, LinkId)] {
+        &self.hops
+    }
+
+    /// The `n`-th crossing, if the route is that long.
+    pub fn hop(&self, n: usize) -> Option<(IntersectionId, LinkId)> {
+        self.hops.get(n).copied()
+    }
+
+    /// Number of intersections crossed.
+    pub fn len(&self) -> usize {
+        self.hops.len()
+    }
+
+    /// Routes are never empty; this always returns `false` and exists for
+    /// API symmetry with collections.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accessors_round_trip() {
+        let hops = vec![
+            (IntersectionId::new(0), LinkId::new(1)),
+            (IntersectionId::new(3), LinkId::new(7)),
+        ];
+        let r = Route::new(RoadId::new(9), hops.clone());
+        assert_eq!(r.entry(), RoadId::new(9));
+        assert_eq!(r.hops(), &hops[..]);
+        assert_eq!(r.hop(1), Some((IntersectionId::new(3), LinkId::new(7))));
+        assert_eq!(r.hop(2), None);
+        assert_eq!(r.len(), 2);
+        assert!(!r.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one intersection")]
+    fn rejects_empty_routes() {
+        let _ = Route::new(RoadId::new(0), Vec::new());
+    }
+}

@@ -1,0 +1,129 @@
+//! Property-based tests of grid construction, routing, and demand.
+
+use proptest::prelude::*;
+use utilbp_core::standard::Turn;
+use utilbp_core::{Tick, Ticks};
+use utilbp_netgen::{
+    DemandConfig, DemandGenerator, DemandSchedule, GridNetwork, GridSpec, Pattern, RouteChoice,
+};
+
+fn turn_strategy() -> impl Strategy<Value = Turn> {
+    prop_oneof![Just(Turn::Left), Just(Turn::Right)]
+}
+
+proptest! {
+    /// Grids of any size build with the expected element counts.
+    #[test]
+    fn grid_inventory(rows in 1u32..=5, cols in 1u32..=5) {
+        let g = GridNetwork::new(GridSpec::with_size(rows, cols));
+        let net = g.topology();
+        prop_assert_eq!(net.num_intersections(), (rows * cols) as usize);
+        let internal = 2 * (rows * (cols - 1) + (rows - 1) * cols) as usize;
+        let boundary = 2 * (2 * (rows + cols)) as usize;
+        prop_assert_eq!(net.num_roads(), internal + boundary);
+        prop_assert_eq!(g.entries().len(), (2 * (rows + cols)) as usize);
+    }
+
+    /// Every route, for every entry and admissible choice, is physically
+    /// contiguous: each hop's exit road leads to the next hop's
+    /// intersection, and the last hop exits the network.
+    #[test]
+    fn routes_are_contiguous_and_terminal(
+        rows in 1u32..=4,
+        cols in 1u32..=4,
+        entry_idx in 0usize..100,
+        turn in turn_strategy(),
+        turn_pos in 0usize..10,
+    ) {
+        let g = GridNetwork::new(GridSpec::with_size(rows, cols));
+        let entries = g.entries();
+        let entry = entries[entry_idx % entries.len()];
+        let path_len = g.straight_path_len(entry.side) as usize;
+        let choice = if turn_pos % (path_len + 1) == path_len {
+            RouteChoice::Straight
+        } else {
+            RouteChoice::TurnAt { turn, path_index: turn_pos % (path_len + 1) }
+        };
+        let route = g.route(&entry, choice);
+        let net = g.topology();
+
+        // Entry road feeds the first hop.
+        let first = route.hops()[0].0;
+        prop_assert_eq!(net.road(route.entry()).dest().map(|(i, _)| i), Some(first));
+
+        for pair in route.hops().windows(2) {
+            let (i, link) = pair[0];
+            let node = net.intersection(i);
+            let out = node.layout().link(link).to();
+            let road = net.road(node.outgoing_road(out));
+            prop_assert_eq!(road.dest().map(|(n, _)| n), Some(pair[1].0));
+        }
+        let (last_i, last_link) = *route.hops().last().unwrap();
+        let node = net.intersection(last_i);
+        let out = node.layout().link(last_link).to();
+        prop_assert!(net.road(node.outgoing_road(out)).is_exit());
+
+        // At most one non-straight movement per route (the paper's demand
+        // model: a single randomly placed turn).
+        let turns = route
+            .hops()
+            .iter()
+            .filter(|&&(i, l)| {
+                let link = net.intersection(i).layout().link(l);
+                // A straight movement exits the arm opposite to its entry.
+                let from = link.from().index();
+                let to = link.to().index();
+                (from + 2) % 4 != to
+            })
+            .count();
+        prop_assert!(turns <= 1, "route has {turns} turns");
+    }
+
+    /// Demand generation: ticks are respected, ids unique, and every
+    /// sampled route starts at a declared entry.
+    #[test]
+    fn demand_stream_is_well_formed(seed in 0u64..1000, pattern_idx in 0usize..4) {
+        let g = GridNetwork::new(GridSpec::paper());
+        let pattern = Pattern::ALL[pattern_idx];
+        let mut demand = DemandGenerator::new(
+            &g,
+            DemandConfig::new(DemandSchedule::constant(pattern, Ticks::new(120))),
+            seed,
+        );
+        let entry_roads: Vec<_> = g.entries().iter().map(|e| e.road).collect();
+        let mut seen = std::collections::HashSet::new();
+        for k in 0..120u64 {
+            for arrival in demand.poll(&g, Tick::new(k)) {
+                prop_assert_eq!(arrival.tick, Tick::new(k));
+                prop_assert!(seen.insert(arrival.vehicle));
+                prop_assert!(entry_roads.contains(&arrival.route.entry()));
+            }
+        }
+        prop_assert_eq!(seen.len() as u64, demand.generated());
+    }
+
+    /// The schedule lookup is consistent with segment arithmetic for any
+    /// segment layout.
+    #[test]
+    fn schedule_lookup_matches_prefix_sums(
+        durations in proptest::collection::vec(1u64..500, 1..6),
+        probe in 0u64..3000,
+    ) {
+        let segments: Vec<(Ticks, Pattern)> = durations
+            .iter()
+            .enumerate()
+            .map(|(i, &d)| (Ticks::new(d), Pattern::ALL[i % 4]))
+            .collect();
+        let schedule = DemandSchedule::from_segments(segments.clone());
+        let mut start = 0u64;
+        let mut expected = segments.last().unwrap().1;
+        for &(d, p) in &segments {
+            if probe < start + d.count() {
+                expected = p;
+                break;
+            }
+            start += d.count();
+        }
+        prop_assert_eq!(schedule.pattern_at(Tick::new(probe)), expected);
+    }
+}

@@ -1,0 +1,635 @@
+//! The discrete-time queueing-network simulator.
+//!
+//! Implements the paper's Section II dynamics exactly, on a whole network:
+//!
+//! - per-movement FIFO queues `q_i^{i'}(k)` at every intersection
+//!   (dedicated turning lanes);
+//! - queueing evolution `q(k+1) = q(k) + A(k,k+1) − S(k,k+1)` (Eq. 2);
+//! - per-link service bounded by `µ_i^{i'}·Δt`, the movement queue, and the
+//!   residual capacity `W_{i'} − q_{i'}` of the outgoing road;
+//! - free-flow transit delays between intersections (a delay line per
+//!   road), so downstream queues see arrivals later, as in the real
+//!   network;
+//! - boundary backlogs: vehicles arriving at a full entry road wait
+//!   outside the network (their wait counts as queuing time).
+//!
+//! Controllers are invoked once per mini-slot per intersection with purely
+//! local observations, mirroring the decentralized deployment the paper
+//! assumes.
+
+use std::collections::VecDeque;
+use std::sync::Arc;
+
+use utilbp_core::{
+    IncomingId, IntersectionView, LinkId, PhaseDecision, PhaseId, QueueObservation,
+    SignalController, Tick, Ticks,
+};
+use utilbp_metrics::{VehicleId, WaitingLedger};
+use utilbp_netgen::{Arrival, IntersectionId, NetworkTopology, RoadId, Route};
+
+/// How vehicles travel between a junction's exit and the next queue.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum TransitModel {
+    /// Served vehicles join the downstream movement queue at the next
+    /// mini-slot — exactly the paper's store-and-forward dynamics
+    /// (Eq. 2): `q(k+1) = q(k) + A(k,k+1) − S(k,k+1)`.
+    Instant,
+    /// Served vehicles spend the road's free-flow travel time in a delay
+    /// line before joining the downstream queue (a realism refinement; the
+    /// in-transit vehicles still count toward road occupancy and toward
+    /// the movement counts controllers observe).
+    #[default]
+    FreeFlow,
+}
+
+/// Configuration of a [`QueueSim`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct QueueSimConfig {
+    /// Wall-clock seconds per mini-slot (`Δt`, 1 s in the paper).
+    pub dt_seconds: f64,
+    /// Free-flow speed used to turn road lengths into transit delays
+    /// (13.89 m/s = 50 km/h). Ignored under [`TransitModel::Instant`].
+    pub free_speed_mps: f64,
+    /// Transit model between junctions.
+    pub transit: TransitModel,
+}
+
+impl Default for QueueSimConfig {
+    fn default() -> Self {
+        QueueSimConfig {
+            dt_seconds: 1.0,
+            free_speed_mps: 13.89,
+            transit: TransitModel::FreeFlow,
+        }
+    }
+}
+
+impl QueueSimConfig {
+    /// The paper's exact discrete-time model: instantaneous transfer into
+    /// downstream queues.
+    pub fn paper_exact() -> Self {
+        QueueSimConfig {
+            transit: TransitModel::Instant,
+            ..QueueSimConfig::default()
+        }
+    }
+}
+
+/// A vehicle waiting in a movement queue.
+#[derive(Debug, Clone)]
+struct QueuedVehicle {
+    id: VehicleId,
+    route: Arc<Route>,
+    /// Index of the *current* hop (the intersection this queue belongs to).
+    hop: usize,
+    joined: Tick,
+}
+
+/// A vehicle in free-flow transit along a road.
+#[derive(Debug, Clone)]
+struct TransitVehicle {
+    id: VehicleId,
+    route: Arc<Route>,
+    /// Index of the hop at the road's downstream end (meaningless for
+    /// boundary exit roads).
+    hop: usize,
+    arrives: Tick,
+}
+
+#[derive(Debug, Clone, Default)]
+struct RoadState {
+    /// Vehicles physically on the road: in transit plus queued at its head.
+    occupancy: u32,
+    /// Delay line, FIFO by arrival tick.
+    transit: VecDeque<TransitVehicle>,
+    /// Transit delay in ticks.
+    travel: Ticks,
+    /// Storage capacity `W` (copied from the topology for borrow-free
+    /// access).
+    capacity: u32,
+    /// Destination intersection index, if the road feeds one.
+    dest_intersection: Option<usize>,
+}
+
+#[derive(Debug, Clone)]
+struct IntersectionState {
+    /// One FIFO per feasible link, indexed by `LinkId`.
+    queues: Vec<VecDeque<QueuedVehicle>>,
+    /// Fractional service credit per link (supports non-integer `µ·Δt`).
+    credit: Vec<f64>,
+}
+
+/// Precomputed per-link service lookup (avoids re-borrowing the topology in
+/// the hot loop).
+#[derive(Debug, Clone, Copy)]
+struct LinkService {
+    mu: f64,
+    in_road: RoadId,
+    out_road: RoadId,
+}
+
+/// What happened during one simulation step.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StepReport {
+    /// The instant that was simulated.
+    pub tick: Tick,
+    /// The decision applied at each intersection, indexed by
+    /// `IntersectionId`.
+    pub decisions: Vec<PhaseDecision>,
+    /// Vehicles served (moved through a junction) this step.
+    pub served: u32,
+    /// Vehicles that completed their journey this step.
+    pub completed: u32,
+    /// Vehicles injected into the network this step (excluding those pushed
+    /// to a boundary backlog).
+    pub injected: u32,
+}
+
+/// The mesoscopic network simulator.
+///
+/// # Examples
+///
+/// ```
+/// use utilbp_core::{Tick, Ticks, UtilBp};
+/// use utilbp_netgen::{
+///     DemandConfig, DemandGenerator, DemandSchedule, GridNetwork, GridSpec,
+///     Pattern,
+/// };
+/// use utilbp_queueing::{QueueSim, QueueSimConfig};
+///
+/// let grid = GridNetwork::new(GridSpec::paper());
+/// let controllers = (0..9)
+///     .map(|_| Box::new(UtilBp::paper()) as Box<dyn utilbp_core::SignalController>)
+///     .collect();
+/// let mut sim = QueueSim::new(
+///     grid.topology().clone(),
+///     controllers,
+///     QueueSimConfig::default(),
+/// );
+/// let mut demand = DemandGenerator::new(
+///     &grid,
+///     DemandConfig::new(DemandSchedule::constant(Pattern::II, Ticks::new(300))),
+///     7,
+/// );
+/// for k in 0..300 {
+///     let arrivals = demand.poll(&grid, Tick::new(k));
+///     sim.step(arrivals);
+/// }
+/// assert!(sim.ledger().completed() > 0);
+/// ```
+pub struct QueueSim {
+    topology: NetworkTopology,
+    config: QueueSimConfig,
+    controllers: Vec<Box<dyn SignalController>>,
+    intersections: Vec<IntersectionState>,
+    roads: Vec<RoadState>,
+    /// `[intersection][link]` service lookup.
+    links: Vec<Vec<LinkService>>,
+    /// `[intersection][phase]` → activated link ids.
+    phase_links: Vec<Vec<Vec<LinkId>>>,
+    /// `[intersection][link]` → vehicles in transit on the incoming road
+    /// destined for this movement (they count toward the controller's
+    /// `q_i^{i'}` observation — every vehicle on a road is queued in the
+    /// paper's store-and-forward model).
+    transit_by_link: Vec<Vec<u32>>,
+    /// Vehicles waiting outside full boundary entry roads, FIFO.
+    backlogs: Vec<VecDeque<(VehicleId, Arc<Route>, Tick)>>,
+    ledger: WaitingLedger,
+    now: Tick,
+    total_served: u64,
+}
+
+impl std::fmt::Debug for QueueSim {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("QueueSim")
+            .field("now", &self.now)
+            .field("intersections", &self.intersections.len())
+            .field("roads", &self.roads.len())
+            .field("total_served", &self.total_served)
+            .field(
+                "controllers",
+                &self
+                    .controllers
+                    .iter()
+                    .map(|c| c.name())
+                    .collect::<Vec<_>>(),
+            )
+            .finish_non_exhaustive()
+    }
+}
+
+impl QueueSim {
+    /// Creates a simulator over `topology`, one controller per
+    /// intersection (indexed by [`IntersectionId`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the controller count does not match the intersection
+    /// count, or if `config` has non-positive `dt_seconds` /
+    /// `free_speed_mps`.
+    pub fn new(
+        topology: NetworkTopology,
+        controllers: Vec<Box<dyn SignalController>>,
+        config: QueueSimConfig,
+    ) -> Self {
+        assert_eq!(
+            controllers.len(),
+            topology.num_intersections(),
+            "one controller per intersection"
+        );
+        assert!(
+            config.dt_seconds.is_finite() && config.dt_seconds > 0.0,
+            "dt_seconds must be positive"
+        );
+        assert!(
+            config.free_speed_mps.is_finite() && config.free_speed_mps > 0.0,
+            "free_speed_mps must be positive"
+        );
+
+        let mut intersections = Vec::with_capacity(topology.num_intersections());
+        let mut links = Vec::with_capacity(topology.num_intersections());
+        let mut phase_links = Vec::with_capacity(topology.num_intersections());
+        let mut transit_by_link = Vec::with_capacity(topology.num_intersections());
+        for i in topology.intersection_ids() {
+            let node = topology.intersection(i);
+            let layout = node.layout();
+            intersections.push(IntersectionState {
+                queues: vec![VecDeque::new(); layout.num_links()],
+                credit: vec![0.0; layout.num_links()],
+            });
+            transit_by_link.push(vec![0u32; layout.num_links()]);
+            links.push(
+                layout
+                    .link_ids()
+                    .map(|lid| {
+                        let link = layout.link(lid);
+                        LinkService {
+                            mu: link.service_rate(),
+                            in_road: node.incoming_road(link.from()),
+                            out_road: node.outgoing_road(link.to()),
+                        }
+                    })
+                    .collect(),
+            );
+            phase_links.push(
+                layout
+                    .phase_ids()
+                    .map(|p| layout.phase(p).links().to_vec())
+                    .collect(),
+            );
+        }
+
+        let roads = topology
+            .road_ids()
+            .map(|r| {
+                let road = topology.road(r);
+                let travel = match config.transit {
+                    TransitModel::Instant => Ticks::ZERO,
+                    TransitModel::FreeFlow => {
+                        let ticks = (road.length_m() / config.free_speed_mps / config.dt_seconds)
+                            .ceil() as u64;
+                        Ticks::new(ticks.max(1))
+                    }
+                };
+                RoadState {
+                    occupancy: 0,
+                    transit: VecDeque::new(),
+                    travel,
+                    capacity: road.capacity(),
+                    dest_intersection: road.dest().map(|(i, _)| i.index()),
+                }
+            })
+            .collect();
+        let backlogs = vec![VecDeque::new(); topology.num_roads()];
+
+        QueueSim {
+            topology,
+            config,
+            controllers,
+            intersections,
+            roads,
+            links,
+            phase_links,
+            transit_by_link,
+            backlogs,
+            ledger: WaitingLedger::new(),
+            now: Tick::ZERO,
+            total_served: 0,
+        }
+    }
+
+    /// The simulated network.
+    pub fn topology(&self) -> &NetworkTopology {
+        &self.topology
+    }
+
+    /// The simulator configuration.
+    pub fn config(&self) -> &QueueSimConfig {
+        &self.config
+    }
+
+    /// The current instant (the next tick to be simulated).
+    pub fn now(&self) -> Tick {
+        self.now
+    }
+
+    /// Per-vehicle waiting/journey accounting.
+    pub fn ledger(&self) -> &WaitingLedger {
+        &self.ledger
+    }
+
+    /// Total vehicles served through junctions so far.
+    pub fn total_served(&self) -> u64 {
+        self.total_served
+    }
+
+    /// The number of vehicles physically queued at the junction head for
+    /// `link` at `intersection` (the servable part of `q_i^{i'}`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the ids are out of range.
+    pub fn movement_queue_len(&self, intersection: IntersectionId, link: LinkId) -> u32 {
+        self.intersections[intersection.index()].queues[link.index()].len() as u32
+    }
+
+    /// The full movement count `q_i^{i'}` a controller observes: queued
+    /// vehicles plus those still in transit on the incoming road but
+    /// destined for this movement. In the paper's store-and-forward model
+    /// every vehicle on a road is queued; under
+    /// [`TransitModel::Instant`] this equals [`Self::movement_queue_len`]
+    /// at decision time.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the ids are out of range.
+    pub fn movement_count(&self, intersection: IntersectionId, link: LinkId) -> u32 {
+        self.movement_queue_len(intersection, link)
+            + self.transit_by_link[intersection.index()][link.index()]
+    }
+
+    /// Total queue `q_i` (Eq. 1) at an incoming arm of an intersection —
+    /// the quantity plotted in the paper's Fig. 5.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the ids are out of range.
+    pub fn incoming_queue_len(&self, intersection: IntersectionId, arm: IncomingId) -> u32 {
+        let layout = self.topology.intersection(intersection).layout();
+        layout
+            .links_from(arm)
+            .iter()
+            .map(|&l| self.movement_queue_len(intersection, l))
+            .sum()
+    }
+
+    /// The current occupancy of a road (transit + queued at its head).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `road` is out of range.
+    pub fn road_occupancy(&self, road: RoadId) -> u32 {
+        self.roads[road.index()].occupancy
+    }
+
+    /// The number of vehicles *queued* on a road (waiting at its
+    /// downstream junction; zero for boundary exit roads) — the `q_{i'}`
+    /// the controllers observe. Under [`TransitModel::Instant`] this
+    /// equals the occupancy.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `road` is out of range.
+    pub fn road_queue(&self, road: RoadId) -> u32 {
+        match self.topology.road(road).dest() {
+            Some((i, arm)) => self.incoming_queue_len(i, arm),
+            None => 0,
+        }
+    }
+
+    /// Vehicles currently waiting outside full boundary entry roads.
+    pub fn backlog_len(&self) -> usize {
+        self.backlogs.iter().map(|b| b.len()).sum()
+    }
+
+    /// The queue observation a controller at `intersection` would see now.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `intersection` is out of range.
+    pub fn observe(&self, intersection: IntersectionId) -> QueueObservation {
+        let node = self.topology.intersection(intersection);
+        let layout = node.layout();
+        let mut obs = QueueObservation::zeros(layout);
+        for link in layout.link_ids() {
+            obs.set_movement(link, self.movement_queue_len(intersection, link));
+        }
+        for out in layout.outgoing_ids() {
+            let road = node.outgoing_road(out);
+            obs.set_outgoing(out, self.road_queue(road));
+        }
+        obs
+    }
+
+    /// Simulates one mini-slot, injecting `arrivals` (produced for this
+    /// tick by a demand generator).
+    ///
+    /// Step order within the slot: transit arrivals join queues → boundary
+    /// backlogs drain → controllers decide on the state `Q(k)` → activated
+    /// links serve → new exogenous arrivals are injected (Eq. 2's
+    /// `A(k, k+1)`).
+    pub fn step(&mut self, arrivals: Vec<Arrival>) -> StepReport {
+        let now = self.now;
+
+        let completed = self.move_transit_arrivals(now);
+        self.drain_backlogs(now);
+
+        // Decide, per intersection, from purely local observations.
+        let mut decisions = Vec::with_capacity(self.controllers.len());
+        for i in self.topology.intersection_ids() {
+            let obs = self.observe(i);
+            let layout = self.topology.intersection(i).layout();
+            let view = IntersectionView::new(layout, &obs)
+                .expect("observation built from the same layout");
+            decisions.push(self.controllers[i.index()].decide(&view, now));
+        }
+
+        // Serve activated links.
+        let mut served = 0u32;
+        for (i, &decision) in decisions.iter().enumerate() {
+            if let PhaseDecision::Control(phase) = decision {
+                served += self.serve_phase(i, phase, now);
+            }
+        }
+
+        // Inject this slot's exogenous arrivals.
+        let mut injected = 0u32;
+        for arrival in arrivals {
+            if self.inject(arrival, now) {
+                injected += 1;
+            }
+        }
+
+        self.total_served += served as u64;
+        self.now = now.next();
+        StepReport {
+            tick: now,
+            decisions,
+            served,
+            completed,
+            injected,
+        }
+    }
+
+    /// Runs `horizon` steps with no exogenous demand (useful to drain the
+    /// network at the end of an experiment).
+    pub fn run_empty(&mut self, horizon: Ticks) {
+        for _ in 0..horizon.count() {
+            self.step(Vec::new());
+        }
+    }
+
+    /// Moves vehicles whose transit delay has elapsed into their movement
+    /// queue (internal roads) or out of the network (exit roads); returns
+    /// the number of journeys completed.
+    fn move_transit_arrivals(&mut self, now: Tick) -> u32 {
+        let mut completed = 0u32;
+        for r in 0..self.roads.len() {
+            let dest = self.topology.road(RoadId::new(r as u32)).dest();
+            loop {
+                match self.roads[r].transit.front() {
+                    Some(front) if front.arrives <= now => {}
+                    _ => break,
+                }
+                let v = self.roads[r].transit.pop_front().expect("checked front");
+                match dest {
+                    Some((intersection, _arm)) => {
+                        let (_, link) = v
+                            .route
+                            .hop(v.hop)
+                            .expect("route hop exists for internal road");
+                        self.transit_by_link[intersection.index()][link.index()] = self
+                            .transit_by_link[intersection.index()][link.index()]
+                            .saturating_sub(1);
+                        self.intersections[intersection.index()].queues[link.index()].push_back(
+                            QueuedVehicle {
+                                id: v.id,
+                                route: v.route,
+                                hop: v.hop,
+                                joined: now,
+                            },
+                        );
+                        // Occupancy unchanged: the queue is the head of the
+                        // same road.
+                    }
+                    None => {
+                        // Boundary exit: the vehicle leaves the network.
+                        self.roads[r].occupancy = self.roads[r].occupancy.saturating_sub(1);
+                        self.ledger.complete(v.id, now);
+                        completed += 1;
+                    }
+                }
+            }
+        }
+        completed
+    }
+
+    /// Moves backlogged vehicles onto their entry road while space lasts.
+    fn drain_backlogs(&mut self, now: Tick) {
+        for r in 0..self.roads.len() {
+            while !self.backlogs[r].is_empty()
+                && self.roads[r].occupancy < self.roads[r].capacity
+            {
+                let (id, route, queued_since) =
+                    self.backlogs[r].pop_front().expect("checked non-empty");
+                // The whole backlog dwell counts as waiting.
+                self.ledger
+                    .add_wait(id, now.saturating_since(queued_since).count());
+                self.enter_road(RoadId::new(r as u32), id, route, 0, now);
+            }
+        }
+    }
+
+    /// Serves every link of `phase` at intersection index `i`; returns the
+    /// number of vehicles served.
+    fn serve_phase(&mut self, i: usize, phase: PhaseId, now: Tick) -> u32 {
+        let dt = self.config.dt_seconds;
+        let mut served = 0u32;
+        let link_ids = std::mem::take(&mut self.phase_links[i][phase.index()]);
+
+        for &link_id in &link_ids {
+            let service = self.links[i][link_id.index()];
+            // Fractional service credit supports µ·Δt < 1. The cap keeps
+            // the per-slot budget at the service rate: a link cannot bank
+            // green time it could not use (no queue or no space) to serve
+            // a burst above µ later.
+            let mu_dt = service.mu * dt;
+            let credit = &mut self.intersections[i].credit[link_id.index()];
+            *credit = (*credit + mu_dt).min(mu_dt.max(1.0));
+            let mut budget = self.intersections[i].credit[link_id.index()].floor() as u32;
+
+            while budget > 0 {
+                let out = &self.roads[service.out_road.index()];
+                if out.occupancy >= out.capacity {
+                    break;
+                }
+                let Some(vehicle) = self.intersections[i].queues[link_id.index()].pop_front()
+                else {
+                    break;
+                };
+                self.intersections[i].credit[link_id.index()] -= 1.0;
+                budget -= 1;
+                served += 1;
+
+                // Queue dwell is waiting time.
+                self.ledger
+                    .add_wait(vehicle.id, now.saturating_since(vehicle.joined).count());
+                // Leave the incoming road…
+                let in_road = &mut self.roads[service.in_road.index()];
+                in_road.occupancy = in_road.occupancy.saturating_sub(1);
+                // …and enter the outgoing one toward the next hop.
+                self.enter_road(service.out_road, vehicle.id, vehicle.route, vehicle.hop + 1, now);
+            }
+        }
+        self.phase_links[i][phase.index()] = link_ids;
+        served
+    }
+
+    /// Puts a vehicle onto `road`, scheduling its transit arrival.
+    fn enter_road(
+        &mut self,
+        road: RoadId,
+        id: VehicleId,
+        route: Arc<Route>,
+        hop: usize,
+        now: Tick,
+    ) {
+        let state = &mut self.roads[road.index()];
+        state.occupancy += 1;
+        let arrives = now + state.travel;
+        if let Some(i) = state.dest_intersection {
+            let (_, link) = route.hop(hop).expect("internal road implies a further hop");
+            self.transit_by_link[i][link.index()] += 1;
+        }
+        state.transit.push_back(TransitVehicle {
+            id,
+            route,
+            hop,
+            arrives,
+        });
+    }
+
+    /// Injects an exogenous arrival; returns `false` if it was backlogged.
+    fn inject(&mut self, arrival: Arrival, now: Tick) -> bool {
+        let road = arrival.route.entry();
+        let route = Arc::new(arrival.route);
+        self.ledger.enter(arrival.vehicle, now);
+        if self.roads[road.index()].occupancy < self.roads[road.index()].capacity {
+            self.enter_road(road, arrival.vehicle, route, 0, now);
+            true
+        } else {
+            self.backlogs[road.index()].push_back((arrival.vehicle, route, now));
+            false
+        }
+    }
+}

@@ -1,0 +1,105 @@
+//! # adaptive-backpressure
+//!
+//! A production-quality Rust reproduction of *Chang, Roy, Zhao, Annaswamy,
+//! Chakraborty — "CPS-oriented Modeling and Control of Traffic Signals
+//! Using Adaptive Back Pressure" (DATE 2020)*: the **UTIL-BP**
+//! utilization-aware adaptive back-pressure traffic signal controller,
+//! every substrate it needs (a microscopic traffic simulator standing in
+//! for SUMO, the paper's discrete-time queueing network, grid networks and
+//! Poisson demand), the baselines it is compared against, and the
+//! experiment harness that regenerates every table and figure of the
+//! paper's evaluation.
+//!
+//! This crate is a facade: each module re-exports one workspace crate.
+//!
+//! | Module | Crate | Contents |
+//! |---|---|---|
+//! | [`core`] | `utilbp-core` | Intersection model (Section II), link gains (Eqs. 4–11), **Algorithm 1** |
+//! | [`baselines`] | `utilbp-baselines` | CAP-BP, original BP, fixed-time, greedy, fixed-length ablation |
+//! | [`queueing`] | `utilbp-queueing` | Mesoscopic store-and-forward network simulator (Eq. 2) |
+//! | [`microsim`] | `utilbp-microsim` | Microscopic simulator: Krauss car-following, dedicated lanes, ambers |
+//! | [`netgen`] | `utilbp-netgen` | 3×3 grid builder, Table I/II demand, routes |
+//! | [`metrics`] | `utilbp-metrics` | Waiting ledgers, time series, phase traces, rendering |
+//! | [`experiments`] | `utilbp-experiments` | Fig. 2, Table III, Figs. 3–5, ablations |
+//!
+//! ## Quickstart
+//!
+//! Run UTIL-BP on the paper's 3×3 network for ten simulated minutes:
+//!
+//! ```
+//! use adaptive_backpressure::core::{SignalController, Tick, Ticks, UtilBp};
+//! use adaptive_backpressure::netgen::{
+//!     DemandConfig, DemandGenerator, DemandSchedule, GridNetwork, GridSpec,
+//!     Pattern,
+//! };
+//! use adaptive_backpressure::queueing::{QueueSim, QueueSimConfig};
+//!
+//! let grid = GridNetwork::new(GridSpec::paper());
+//! let controllers = (0..9)
+//!     .map(|_| Box::new(UtilBp::paper()) as Box<dyn SignalController>)
+//!     .collect();
+//! let mut sim = QueueSim::new(
+//!     grid.topology().clone(),
+//!     controllers,
+//!     QueueSimConfig::paper_exact(),
+//! );
+//! let mut demand = DemandGenerator::new(
+//!     &grid,
+//!     DemandConfig::new(DemandSchedule::constant(Pattern::I, Ticks::new(600))),
+//!     42,
+//! );
+//! for k in 0..600 {
+//!     let arrivals = demand.poll(&grid, Tick::new(k));
+//!     sim.step(arrivals);
+//! }
+//! println!(
+//!     "served {} vehicles, mean queuing time {:.1} s",
+//!     sim.ledger().completed(),
+//!     sim.ledger().mean_waiting_including_active(),
+//! );
+//! ```
+//!
+//! See `examples/` for runnable scenarios and `DESIGN.md` /
+//! `EXPERIMENTS.md` for the reproduction methodology and measured results.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+/// The paper's intersection model and the UTIL-BP controller
+/// (re-export of `utilbp-core`).
+pub mod core {
+    pub use utilbp_core::*;
+}
+
+/// Baseline and ablation controllers (re-export of `utilbp-baselines`).
+pub mod baselines {
+    pub use utilbp_baselines::*;
+}
+
+/// The mesoscopic queueing-network simulator (re-export of
+/// `utilbp-queueing`).
+pub mod queueing {
+    pub use utilbp_queueing::*;
+}
+
+/// The microscopic traffic simulator (re-export of `utilbp-microsim`).
+pub mod microsim {
+    pub use utilbp_microsim::*;
+}
+
+/// Network construction and demand generation (re-export of
+/// `utilbp-netgen`).
+pub mod netgen {
+    pub use utilbp_netgen::*;
+}
+
+/// Measurement and reporting utilities (re-export of `utilbp-metrics`).
+pub mod metrics {
+    pub use utilbp_metrics::*;
+}
+
+/// The table/figure regeneration harness (re-export of
+/// `utilbp-experiments`).
+pub mod experiments {
+    pub use utilbp_experiments::*;
+}

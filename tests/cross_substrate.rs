@@ -1,0 +1,105 @@
+//! Cross-substrate integration: the mesoscopic and microscopic simulators
+//! must tell consistent comparative stories and be bit-reproducible.
+
+use adaptive_backpressure::core::Ticks;
+use adaptive_backpressure::experiments::{run, Backend, ControllerKind, Probe, Scenario};
+use adaptive_backpressure::netgen::{DemandSchedule, Pattern};
+
+fn scenario(backend: Backend, pattern: Pattern, horizon: u64, seed: u64) -> Scenario {
+    Scenario::paper(
+        DemandSchedule::constant(pattern, Ticks::new(horizon)),
+        backend,
+        seed,
+    )
+}
+
+#[test]
+fn identical_runs_are_bit_reproducible_on_both_substrates() {
+    for backend in [Backend::Queueing, Backend::Microscopic] {
+        let s = scenario(backend, Pattern::III, 500, 99);
+        let a = run(&s, &ControllerKind::UtilBp, &Probe::none());
+        let b = run(&s, &ControllerKind::UtilBp, &Probe::none());
+        assert_eq!(a.avg_queuing_time_s, b.avg_queuing_time_s, "{backend}");
+        assert_eq!(a.completed, b.completed, "{backend}");
+        assert_eq!(a.generated, b.generated, "{backend}");
+    }
+}
+
+#[test]
+fn demand_stream_is_identical_across_controllers() {
+    // Same scenario ⇒ same generated vehicle count, whatever the
+    // controller does.
+    let s = scenario(Backend::Queueing, Pattern::I, 600, 4);
+    let a = run(&s, &ControllerKind::UtilBp, &Probe::none());
+    let b = run(&s, &ControllerKind::FixedTime { period: 20 }, &Probe::none());
+    assert_eq!(a.generated, b.generated);
+}
+
+#[test]
+fn adaptive_beats_open_loop_on_both_substrates() {
+    for backend in [Backend::Queueing, Backend::Microscopic] {
+        let s = scenario(backend, Pattern::I, 1500, 77);
+        let util = run(&s, &ControllerKind::UtilBp, &Probe::none());
+        let fixed = run(&s, &ControllerKind::FixedTime { period: 20 }, &Probe::none());
+        assert!(
+            util.avg_queuing_time_s < fixed.avg_queuing_time_s,
+            "{backend}: UTIL-BP {:.1}s vs fixed-time {:.1}s",
+            util.avg_queuing_time_s,
+            fixed.avg_queuing_time_s
+        );
+    }
+}
+
+#[test]
+fn most_vehicles_complete_under_moderate_demand() {
+    // Pattern II is the lightest pattern: after the horizon, the large
+    // majority of generated vehicles must have finished their journey on
+    // either substrate under either back-pressure controller.
+    for backend in [Backend::Queueing, Backend::Microscopic] {
+        for kind in [ControllerKind::UtilBp, ControllerKind::CapBp { period: 16 }] {
+            let s = scenario(backend, Pattern::II, 1500, 11);
+            let r = run(&s, &kind, &Probe::none());
+            let rate = r.completed as f64 / r.generated as f64;
+            assert!(
+                rate > 0.6,
+                "{backend} {}: completion rate {rate:.2} too low",
+                r.controller
+            );
+        }
+    }
+}
+
+#[test]
+fn microscopic_journeys_respect_free_flow_physics() {
+    // No vehicle can traverse the network faster than free-flow: the mean
+    // journey on the microscopic substrate must exceed the 2-road minimum
+    // (600 m at 13.89 m/s ≈ 43 s plus one crossing).
+    let s = scenario(Backend::Microscopic, Pattern::II, 1200, 3);
+    let r = run(&s, &ControllerKind::UtilBp, &Probe::none());
+    assert!(
+        r.mean_journey_s > 45.0,
+        "mean journey {:.1}s breaks physics",
+        r.mean_journey_s
+    );
+}
+
+#[test]
+fn probes_work_identically_on_both_substrates() {
+    use adaptive_backpressure::core::standard::Approach;
+    use adaptive_backpressure::netgen::{GridNetwork, GridSpec};
+
+    let grid = GridNetwork::new(GridSpec::paper());
+    let probe = Probe {
+        phase_traces: vec![grid.top_right()],
+        queue_series: vec![(grid.top_right(), Approach::East.incoming())],
+        sample_every: 10,
+    };
+    for backend in [Backend::Queueing, Backend::Microscopic] {
+        let s = scenario(backend, Pattern::I, 400, 8);
+        let r = run(&s, &ControllerKind::UtilBp, &probe);
+        assert_eq!(r.phase_traces.len(), 1, "{backend}");
+        assert_eq!(r.queue_series.len(), 1, "{backend}");
+        assert_eq!(r.phase_traces[0].end().index(), 400, "{backend}");
+        assert_eq!(r.queue_series[0].len(), 40, "{backend}");
+    }
+}

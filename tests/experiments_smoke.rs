@@ -1,0 +1,91 @@
+//! Smoke tests: every table/figure generator produces well-formed output
+//! at reduced scale (full-scale regeneration lives in the bench targets).
+
+use adaptive_backpressure::core::Ticks;
+use adaptive_backpressure::experiments::{
+    ablation, fig2, pattern1_detail, render_table1, render_table2, table3, Backend,
+    ExperimentOptions,
+};
+use adaptive_backpressure::netgen::{Pattern, TurningProbabilities};
+
+fn tiny() -> ExperimentOptions {
+    let mut opts = ExperimentOptions::quick();
+    opts.backend = Backend::Queueing;
+    opts.hour = Ticks::new(240);
+    opts.trace_horizon = Ticks::new(240);
+    opts.periods = vec![12, 20];
+    opts
+}
+
+#[test]
+fn input_tables_render() {
+    let t1 = render_table1(&TurningProbabilities::PAPER);
+    assert!(t1.contains("Table I"));
+    assert!(t1.contains("0.4"));
+    let t2 = render_table2();
+    assert!(t2.contains("Table II"));
+    assert!(t2.contains("uniform"));
+}
+
+#[test]
+fn fig2_generates_curve_and_reference_line() {
+    let result = fig2(&tiny());
+    assert_eq!(result.capbp.len(), 2);
+    assert!(result.capbp.iter().all(|&(_, v)| v >= 0.0));
+    assert!(result.utilbp >= 0.0);
+    let rendered = result.render();
+    for needle in ["Fig. 2", "CAP-BP", "UTIL-BP", "improvement"] {
+        assert!(rendered.contains(needle), "missing {needle}");
+    }
+}
+
+#[test]
+fn table3_generates_all_five_rows() {
+    let result = table3(&tiny());
+    assert_eq!(result.rows.len(), 5);
+    let labels: Vec<&str> = result.rows.iter().map(|r| r.pattern.as_str()).collect();
+    assert_eq!(labels, vec!["I", "II", "III", "IV", "Mixed"]);
+    for row in &result.rows {
+        assert!(row.capbp_s > 0.0, "{}", row.pattern);
+        assert!(row.utilbp_s > 0.0, "{}", row.pattern);
+        assert!([12u64, 20].contains(&row.best_period));
+    }
+    let rendered = result.render();
+    assert!(rendered.contains("Table III"));
+    assert!(rendered.contains("Mean improvement"));
+}
+
+#[test]
+fn figures_3_4_5_generate_traces_and_series() {
+    let detail = pattern1_detail(&tiny());
+    assert_eq!(detail.capbp_trace.end().index(), 240);
+    assert_eq!(detail.utilbp_trace.end().index(), 240);
+    assert!(detail.capbp_trace.num_switches() > 0);
+    assert!(!detail.capbp_queue.is_empty());
+    assert!(!detail.utilbp_queue.is_empty());
+
+    let f34 = detail.render_fig3_fig4();
+    assert!(f34.contains("Fig. 3"));
+    assert!(f34.contains("Fig. 4"));
+    assert!(f34.contains("switches"));
+
+    let f5 = detail.render_fig5();
+    assert!(f5.contains("Fig. 5"));
+    assert!(f5.contains("mean queue"));
+}
+
+#[test]
+fn ablation_compares_all_variants() {
+    let result = ablation(&tiny(), Pattern::I);
+    assert_eq!(result.rows.len(), 5);
+    assert_eq!(result.rows[0].variant, "UTIL-BP");
+    assert!(result.render().contains("Ablation"));
+}
+
+#[test]
+fn experiments_run_microscopically_too() {
+    let mut opts = tiny();
+    opts.backend = Backend::Microscopic;
+    let result = fig2(&opts);
+    assert!(result.utilbp > 0.0);
+}
