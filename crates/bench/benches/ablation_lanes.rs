@@ -16,7 +16,10 @@ fn main() {
         "Generated",
     ]);
     for (label, discipline) in [
-        ("dedicated per movement (paper)", LaneDiscipline::DedicatedPerMovement),
+        (
+            "dedicated per movement (paper)",
+            LaneDiscipline::DedicatedPerMovement,
+        ),
         ("mixed lanes (HOL blocking)", LaneDiscipline::SharedMixed),
     ] {
         let mut scenario = Scenario::paper(

@@ -20,12 +20,19 @@ fn main() {
         );
         scenario.micro.detection_range_m = range;
         let util = run(&scenario, &ControllerKind::UtilBp, &Probe::none());
-        let cap = run(&scenario, &ControllerKind::CapBp { period: 16 }, &Probe::none());
+        let cap = run(
+            &scenario,
+            &ControllerKind::CapBp { period: 16 },
+            &Probe::none(),
+        );
         table.push_row([
             format!("{range}"),
             format!("{:.2}", util.avg_queuing_time_s),
             format!("{:.2}", cap.avg_queuing_time_s),
         ]);
     }
-    println!("Detector-range sensitivity (Pattern I)\n\n{}", table.render());
+    println!(
+        "Detector-range sensitivity (Pattern I)\n\n{}",
+        table.render()
+    );
 }

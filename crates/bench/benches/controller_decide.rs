@@ -35,9 +35,15 @@ fn bench_controllers(c: &mut Criterion) {
         ("util_bp", Box::new(UtilBp::paper())),
         ("cap_bp", Box::new(CapBp::new(Ticks::new(16)))),
         ("original_bp", Box::new(OriginalBp::new(Ticks::new(16)))),
-        ("fixed_time", Box::new(FixedTime::new(Ticks::new(16), Ticks::new(4)))),
+        (
+            "fixed_time",
+            Box::new(FixedTime::new(Ticks::new(16), Ticks::new(4))),
+        ),
         ("lqf", Box::new(LongestQueueFirst::new(Ticks::new(16)))),
-        ("util_bp_fixed", Box::new(FixedLengthUtilBp::new(Ticks::new(16)))),
+        (
+            "util_bp_fixed",
+            Box::new(FixedLengthUtilBp::new(Ticks::new(16))),
+        ),
     ];
 
     for (name, ctrl) in &mut cases {

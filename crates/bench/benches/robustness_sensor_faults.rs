@@ -11,8 +11,7 @@ use utilbp_netgen::{
 
 fn run(make: &dyn Fn(u64) -> Box<dyn SignalController>, hour: u64) -> f64 {
     let grid = GridNetwork::new(GridSpec::paper());
-    let controllers: Vec<Box<dyn SignalController>> =
-        (0..9).map(|i| make(i as u64)).collect();
+    let controllers: Vec<Box<dyn SignalController>> = (0..9).map(|i| make(i as u64)).collect();
     let mut sim = MicroSim::new(
         grid.topology().clone(),
         controllers,
@@ -49,7 +48,13 @@ fn main() {
             hour,
         );
         let cap = run(
-            &|i| Box::new(FaultySensors::new(CapBp::new(Ticks::new(16)), cfg, 1000 + i)),
+            &|i| {
+                Box::new(FaultySensors::new(
+                    CapBp::new(Ticks::new(16)),
+                    cfg,
+                    1000 + i,
+                ))
+            },
             hour,
         );
         table.push_row([
@@ -58,5 +63,8 @@ fn main() {
             format!("{cap:.2}"),
         ]);
     }
-    println!("Sensor-dropout robustness (Pattern I)\n\n{}", table.render());
+    println!(
+        "Sensor-dropout robustness (Pattern I)\n\n{}",
+        table.render()
+    );
 }

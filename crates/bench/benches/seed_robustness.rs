@@ -5,7 +5,11 @@ fn main() {
     let mut opts = utilbp_bench::bench_options();
     // Keep the sweep light per seed.
     opts.periods = vec![10, 16, 24];
-    eprintln!("[robustness] backend={} hour={} ticks", opts.backend, opts.hour.count());
+    eprintln!(
+        "[robustness] backend={} hour={} ticks",
+        opts.backend,
+        opts.hour.count()
+    );
     let result = utilbp_experiments::robustness(
         &opts,
         utilbp_netgen::Pattern::I,

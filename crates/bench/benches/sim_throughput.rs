@@ -34,10 +34,7 @@ fn bench_substrates(c: &mut Criterion) {
             );
             let mut demand = DemandGenerator::new(
                 &grid,
-                DemandConfig::new(DemandSchedule::constant(
-                    Pattern::I,
-                    Ticks::new(1_000_000),
-                )),
+                DemandConfig::new(DemandSchedule::constant(Pattern::I, Ticks::new(1_000_000))),
                 7,
             );
             // Warm up to a loaded steady state.
@@ -64,10 +61,7 @@ fn bench_substrates(c: &mut Criterion) {
             );
             let mut demand = DemandGenerator::new(
                 &grid,
-                DemandConfig::new(DemandSchedule::constant(
-                    Pattern::I,
-                    Ticks::new(1_000_000),
-                )),
+                DemandConfig::new(DemandSchedule::constant(Pattern::I, Ticks::new(1_000_000))),
                 7,
             );
             let mut k = 0u64;

@@ -3,7 +3,11 @@
 
 fn main() {
     let opts = utilbp_bench::bench_options();
-    eprintln!("[tradeoff] backend={} hour={} ticks", opts.backend, opts.hour.count());
+    eprintln!(
+        "[tradeoff] backend={} hour={} ticks",
+        opts.backend,
+        opts.hour.count()
+    );
     let result = utilbp_experiments::tradeoff(&opts, utilbp_netgen::Pattern::I);
     println!("{}", result.render());
     let best = result.best();

@@ -1,0 +1,209 @@
+//! Plain `--release` throughput runner for the perf-tracking harness.
+//!
+//! Measures steady-state simulator step throughput (ticks/second) per
+//! substrate × grid size × parallelism mode under UTIL-BP control and
+//! Pattern I demand, and writes the machine-readable
+//! `BENCH_sim_throughput.json` so the perf trajectory is trackable across
+//! PRs (`cargo run --release -p utilbp-bench --bin sim_throughput`).
+//!
+//! Unlike the Criterion `sim_throughput` bench target, this runner has no
+//! harness dependency, uses a fixed warm-up + measured-tick protocol
+//! (best of `BENCH_REPS` repetitions, default 3, to shrug off scheduler
+//! noise), and always emits JSON, which makes its numbers directly
+//! comparable between commits. Scale knobs: `BENCH_TICKS=<n>` overrides
+//! the measured tick count, `BENCH_REPS=<n>` the repetition count,
+//! `BENCH_OUT=<path>` the output path.
+
+use std::time::Instant;
+
+use utilbp_core::{Parallelism, SignalController, Tick, Ticks, UtilBp};
+use utilbp_microsim::{MicroSim, MicroSimConfig};
+use utilbp_netgen::{
+    DemandConfig, DemandGenerator, DemandSchedule, GridNetwork, GridSpec, Pattern,
+};
+use utilbp_queueing::{QueueSim, QueueSimConfig};
+
+const WARMUP_TICKS: u64 = 300;
+
+fn controllers(n: usize) -> Vec<Box<dyn SignalController>> {
+    (0..n)
+        .map(|_| Box::new(UtilBp::paper()) as Box<dyn SignalController>)
+        .collect()
+}
+
+struct Measurement {
+    substrate: &'static str,
+    grid: u32,
+    mode: Parallelism,
+    ticks: u64,
+    seconds: f64,
+}
+
+impl Measurement {
+    fn ticks_per_sec(&self) -> f64 {
+        self.ticks as f64 / self.seconds
+    }
+}
+
+fn demand(grid: &GridNetwork) -> DemandGenerator {
+    DemandGenerator::new(
+        grid,
+        DemandConfig::new(DemandSchedule::constant(
+            Pattern::I,
+            Ticks::new(u64::MAX / 2),
+        )),
+        7,
+    )
+}
+
+fn measure_queueing(size: u32, mode: Parallelism, ticks: u64, reps: u32) -> Measurement {
+    let grid = GridNetwork::new(GridSpec::with_size(size, size));
+    let n = grid.topology().num_intersections();
+    let mut sim = QueueSim::new(
+        grid.topology().clone(),
+        controllers(n),
+        QueueSimConfig {
+            parallelism: mode,
+            ..QueueSimConfig::paper_exact()
+        },
+    );
+    let mut gen = demand(&grid);
+    let mut k = 0u64;
+    for _ in 0..WARMUP_TICKS {
+        let arrivals = gen.poll(&grid, Tick::new(k));
+        sim.step(arrivals);
+        k += 1;
+    }
+    let mut report = utilbp_queueing::StepReport::empty();
+    let mut arrivals = Vec::new();
+    let mut best = f64::INFINITY;
+    for _ in 0..reps.max(1) {
+        let start = Instant::now();
+        for _ in 0..ticks {
+            arrivals.clear();
+            gen.poll_into(&grid, Tick::new(k), &mut arrivals);
+            sim.step_into(&mut arrivals, &mut report);
+            k += 1;
+        }
+        best = best.min(start.elapsed().as_secs_f64());
+    }
+    Measurement {
+        substrate: "queueing",
+        grid: size,
+        mode,
+        ticks,
+        seconds: best,
+    }
+}
+
+fn measure_micro(size: u32, mode: Parallelism, ticks: u64, reps: u32) -> Measurement {
+    let grid = GridNetwork::new(GridSpec::with_size(size, size));
+    let n = grid.topology().num_intersections();
+    let mut sim = MicroSim::new(
+        grid.topology().clone(),
+        controllers(n),
+        MicroSimConfig {
+            parallelism: mode,
+            ..MicroSimConfig::default()
+        },
+    );
+    let mut gen = demand(&grid);
+    let mut k = 0u64;
+    for _ in 0..WARMUP_TICKS {
+        let arrivals = gen.poll(&grid, Tick::new(k));
+        sim.step(arrivals);
+        k += 1;
+    }
+    let mut report = utilbp_microsim::StepReport::empty();
+    let mut arrivals = Vec::new();
+    let mut best = f64::INFINITY;
+    for _ in 0..reps.max(1) {
+        let start = Instant::now();
+        for _ in 0..ticks {
+            arrivals.clear();
+            gen.poll_into(&grid, Tick::new(k), &mut arrivals);
+            sim.step_into(&mut arrivals, &mut report);
+            k += 1;
+        }
+        best = best.min(start.elapsed().as_secs_f64());
+    }
+    Measurement {
+        substrate: "microscopic",
+        grid: size,
+        mode,
+        ticks,
+        seconds: best,
+    }
+}
+
+fn mode_name(mode: Parallelism) -> &'static str {
+    match mode {
+        Parallelism::Serial => "serial",
+        Parallelism::Rayon => "rayon",
+    }
+}
+
+fn main() {
+    let tick_override = std::env::var("BENCH_TICKS")
+        .ok()
+        .and_then(|v| v.parse::<u64>().ok());
+    let reps = std::env::var("BENCH_REPS")
+        .ok()
+        .and_then(|v| v.parse::<u32>().ok())
+        .unwrap_or(3)
+        .max(1);
+    let out_path =
+        std::env::var("BENCH_OUT").unwrap_or_else(|_| "BENCH_sim_throughput.json".to_string());
+
+    // Measured ticks scale down with grid size so the whole run stays in
+    // the low minutes; throughput is steady-state, so fewer ticks on the
+    // big grids do not bias the rate.
+    let plan: &[(u32, u64, u64)] = &[
+        // (grid size, queueing ticks, microscopic ticks)
+        (3, 4000, 2000),
+        (5, 2000, 800),
+        (10, 600, 200),
+    ];
+
+    let mut results = Vec::new();
+    for &(size, q_ticks, m_ticks) in plan {
+        for mode in [Parallelism::Serial, Parallelism::Rayon] {
+            let q = measure_queueing(size, mode, tick_override.unwrap_or(q_ticks), reps);
+            eprintln!(
+                "queueing    {size:>2}x{size:<2} {:>6}: {:>10.1} ticks/s",
+                mode_name(mode),
+                q.ticks_per_sec()
+            );
+            results.push(q);
+            let m = measure_micro(size, mode, tick_override.unwrap_or(m_ticks), reps);
+            eprintln!(
+                "microscopic {size:>2}x{size:<2} {:>6}: {:>10.1} ticks/s",
+                mode_name(mode),
+                m.ticks_per_sec()
+            );
+            results.push(m);
+        }
+    }
+
+    let mut json = String::from("{\n  \"benchmark\": \"sim_throughput\",\n");
+    json.push_str(&format!(
+        "  \"protocol\": {{\"warmup_ticks\": 300, \"controller\": \"util-bp\", \"pattern\": \"I\", \"seed\": 7, \"best_of_reps\": {reps}}},\n"
+    ));
+    json.push_str("  \"unit\": \"ticks_per_second\",\n  \"results\": [\n");
+    for (i, m) in results.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"substrate\": \"{}\", \"grid\": \"{}x{}\", \"mode\": \"{}\", \"measured_ticks\": {}, \"seconds\": {:.4}, \"ticks_per_sec\": {:.1}}}{}\n",
+            m.substrate,
+            m.grid,
+            m.grid,
+            mode_name(m.mode),
+            m.ticks,
+            m.seconds,
+            m.ticks_per_sec(),
+            if i + 1 == results.len() { "" } else { "," }
+        ));
+    }
+    json.push_str("  ]\n}\n");
+    std::fs::write(&out_path, &json).expect("write benchmark JSON");
+    println!("wrote {out_path}");
+}

@@ -1,0 +1,194 @@
+//! Offline shim for `criterion`.
+//!
+//! Provides the API shape the workspace's micro-benchmarks use —
+//! [`Criterion`], benchmark groups, [`Bencher::iter`], [`black_box`],
+//! [`criterion_group!`]/[`criterion_main!`] — backed by a simple
+//! wall-clock harness: each benchmark is warmed up once, then timed for a
+//! handful of samples whose mean/min are printed to stdout. No HTML
+//! reports, no statistics beyond that; swap in the real crate when a
+//! registry is reachable.
+
+#![forbid(unsafe_code)]
+
+use std::fmt;
+use std::hint;
+use std::time::{Duration, Instant};
+
+/// Opaque-to-the-optimizer identity function.
+pub fn black_box<T>(x: T) -> T {
+    hint::black_box(x)
+}
+
+/// Work-rate annotation for a benchmark group.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// A benchmark identifier: function name plus parameter.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    name: String,
+}
+
+impl BenchmarkId {
+    /// An id labeled `name/parameter`.
+    pub fn new(name: impl Into<String>, parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            name: format!("{}/{}", name.into(), parameter),
+        }
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.name)
+    }
+}
+
+/// Times one benchmark body.
+pub struct Bencher {
+    samples: u32,
+}
+
+impl Bencher {
+    /// Runs `body` once for warm-up, then `samples` timed runs, printing
+    /// mean and minimum wall-clock time.
+    pub fn iter<R>(&mut self, mut body: impl FnMut() -> R) {
+        black_box(body());
+        let mut total = Duration::ZERO;
+        let mut best = Duration::MAX;
+        for _ in 0..self.samples {
+            let start = Instant::now();
+            black_box(body());
+            let elapsed = start.elapsed();
+            total += elapsed;
+            best = best.min(elapsed);
+        }
+        let mean = total / self.samples;
+        println!(
+            "    mean {mean:>12.3?}   min {best:>12.3?}   ({} samples)",
+            self.samples
+        );
+    }
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    samples: u32,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.samples = (n as u32).clamp(1, 1000);
+        self
+    }
+
+    /// Accepted for API compatibility; the shim warms up with one run.
+    pub fn warm_up_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    /// Accepted for API compatibility; the shim times a fixed sample
+    /// count instead of a wall-clock budget.
+    pub fn measurement_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    /// Records the group's work rate (printed for context).
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        println!("  [throughput {throughput:?}]");
+        self
+    }
+
+    /// Benchmarks `body` with a borrowed input.
+    pub fn bench_with_input<I: ?Sized>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        body: impl FnMut(&mut Bencher, &I),
+    ) -> &mut Self {
+        let mut body = body;
+        println!("  {}/{id}", self.name);
+        let mut bencher = Bencher {
+            samples: self.samples,
+        };
+        body(&mut bencher, input);
+        self
+    }
+
+    /// Benchmarks `body`.
+    pub fn bench_function(
+        &mut self,
+        id: impl fmt::Display,
+        body: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        let mut body = body;
+        println!("  {}/{id}", self.name);
+        let mut bencher = Bencher {
+            samples: self.samples,
+        };
+        body(&mut bencher);
+        self
+    }
+
+    /// Ends the group.
+    pub fn finish(&mut self) {}
+}
+
+/// The benchmark harness entry point.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Starts a named group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        println!("benchmark group: {name}");
+        BenchmarkGroup {
+            name,
+            samples: 10,
+            _criterion: self,
+        }
+    }
+
+    /// Benchmarks a single function outside a group.
+    pub fn bench_function(
+        &mut self,
+        id: impl fmt::Display,
+        body: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        let mut body = body;
+        println!("benchmark: {id}");
+        let mut bencher = Bencher { samples: 10 };
+        body(&mut bencher);
+        self
+    }
+}
+
+/// Declares a group of benchmark functions.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares the benchmark `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

@@ -1,0 +1,103 @@
+//! Offline shim for `rayon`'s fork-join core.
+//!
+//! Exposes [`join`], [`scope`], and [`current_num_threads`] with rayon's
+//! semantics, implemented over [`std::thread::scope`] (one OS thread per
+//! spawned task instead of a work-stealing pool). Callers therefore spawn
+//! **one task per worker**, not one per item — which is also the right
+//! granularity for real rayon. The one API deviation: [`Scope::spawn`]
+//! takes a zero-argument closure (`s.spawn(|| ...)`) rather than rayon's
+//! `s.spawn(|scope| ...)`; migrating to the real crate is a mechanical
+//! `||` → `|_|` edit.
+
+#![forbid(unsafe_code)]
+
+use std::sync::OnceLock;
+use std::thread;
+
+/// The number of threads fork-join work is split across. Cached: callers
+/// sit on per-tick hot paths, and `available_parallelism` is a syscall.
+pub fn current_num_threads() -> usize {
+    static THREADS: OnceLock<usize> = OnceLock::new();
+    *THREADS.get_or_init(|| thread::available_parallelism().map_or(1, |n| n.get()))
+}
+
+/// Runs both closures, potentially in parallel, and returns both results.
+pub fn join<A, B, RA, RB>(a: A, b: B) -> (RA, RB)
+where
+    A: FnOnce() -> RA + Send,
+    B: FnOnce() -> RB + Send,
+    RA: Send,
+    RB: Send,
+{
+    thread::scope(|s| {
+        let hb = s.spawn(b);
+        let ra = a();
+        let rb = hb.join().expect("rayon shim: joined task panicked");
+        (ra, rb)
+    })
+}
+
+/// A scope in which borrowed-data tasks can be spawned.
+pub struct Scope<'scope, 'env: 'scope> {
+    inner: &'scope thread::Scope<'scope, 'env>,
+}
+
+impl<'scope, 'env> Scope<'scope, 'env> {
+    /// Spawns `task` to run within the scope; the scope waits for it.
+    pub fn spawn<F>(&self, task: F)
+    where
+        F: FnOnce() + Send + 'scope,
+    {
+        self.inner.spawn(task);
+    }
+}
+
+/// Creates a fork-join scope: all tasks spawned on it complete before
+/// `scope` returns.
+///
+/// # Panics
+///
+/// Panics if a spawned task panicked (the panic is propagated by
+/// `std::thread::scope`).
+pub fn scope<'env, F, R>(f: F) -> R
+where
+    F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+{
+    thread::scope(|s| f(&Scope { inner: s }))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn join_returns_both_results() {
+        let (a, b) = join(|| 2 + 2, || "ok");
+        assert_eq!(a, 4);
+        assert_eq!(b, "ok");
+    }
+
+    #[test]
+    fn scope_completes_all_tasks_over_borrowed_data() {
+        let mut data = vec![0u64; 64];
+        let workers = 4;
+        let chunk = data.len().div_ceil(workers);
+        scope(|s| {
+            for (w, slice) in data.chunks_mut(chunk).enumerate() {
+                s.spawn(move || {
+                    for (i, x) in slice.iter_mut().enumerate() {
+                        *x = (w * chunk + i) as u64;
+                    }
+                });
+            }
+        });
+        for (i, &x) in data.iter().enumerate() {
+            assert_eq!(x, i as u64);
+        }
+    }
+
+    #[test]
+    fn num_threads_is_positive() {
+        assert!(current_num_threads() >= 1);
+    }
+}

@@ -1,0 +1,22 @@
+//! Offline shim for `serde`.
+//!
+//! The container building this workspace has no route to a crates
+//! registry, so this crate supplies exactly the surface the workspace
+//! uses: the two trait names and their derives. The traits are blanket
+//! markers — no code here serializes anything — which keeps every
+//! `#[derive(Serialize, Deserialize)]` in the tree compiling unchanged,
+//! ready for the real `serde` to be dropped in later.
+
+#![forbid(unsafe_code)]
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker stand-in for `serde::Serialize`.
+pub trait Serialize {}
+
+impl<T: ?Sized> Serialize for T {}
+
+/// Marker stand-in for `serde::Deserialize`.
+pub trait Deserialize<'de>: Sized {}
+
+impl<'de, T> Deserialize<'de> for T {}

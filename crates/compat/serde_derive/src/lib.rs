@@ -1,0 +1,21 @@
+//! Offline shim for the `serde_derive` proc-macro crate.
+//!
+//! The workspace derives `Serialize`/`Deserialize` on its public types so
+//! downstream users can persist them, but nothing inside the workspace
+//! performs serialization. The companion `serde` shim provides blanket
+//! marker impls, so these derives only need to exist and emit nothing.
+//! Replace both shims with the real crates when a registry is available.
+
+use proc_macro::TokenStream;
+
+/// No-op stand-in for `#[derive(Serialize)]`.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// No-op stand-in for `#[derive(Deserialize)]`.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}

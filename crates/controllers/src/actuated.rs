@@ -9,9 +9,7 @@
 //! downstream pressure or capacity.
 
 use serde::{Deserialize, Serialize};
-use utilbp_core::{
-    IntersectionView, PhaseDecision, PhaseId, SignalController, Tick, Ticks,
-};
+use utilbp_core::{IntersectionView, PhaseDecision, PhaseId, SignalController, Tick, Ticks};
 
 /// Configuration of [`Actuated`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]

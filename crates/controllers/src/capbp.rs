@@ -114,7 +114,10 @@ impl CapBp {
     ///
     /// Panics if `upstream_storage` is zero.
     pub fn with_config(config: CapBpConfig) -> Self {
-        assert!(config.upstream_storage > 0, "upstream_storage must be positive");
+        assert!(
+            config.upstream_storage > 0,
+            "upstream_storage must be positive"
+        );
         CapBp {
             config,
             slots: SlotMachine::with_always_transition(config.period, config.transition),
@@ -125,7 +128,6 @@ impl CapBp {
     pub fn config(&self) -> &CapBpConfig {
         &self.config
     }
-
 }
 
 /// The capacity-aware weight of one link:
@@ -202,9 +204,8 @@ fn select_with(
 impl SignalController for CapBp {
     fn decide(&mut self, view: &IntersectionView<'_>, now: Tick) -> PhaseDecision {
         let config = self.config;
-        self.slots.decide(now, |current| {
-            select_with(&config, view, current)
-        })
+        self.slots
+            .decide(now, |current| select_with(&config, view, current))
     }
 
     fn reset(&mut self) {
@@ -259,7 +260,10 @@ mod tests {
             );
         }
         // Boundary at k=8: amber, then the east phase.
-        assert_eq!(decide(&mut ctrl, &layout, &obs, 8), PhaseDecision::Transition);
+        assert_eq!(
+            decide(&mut ctrl, &layout, &obs, 8),
+            PhaseDecision::Transition
+        );
     }
 
     #[test]

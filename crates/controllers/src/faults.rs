@@ -17,9 +17,7 @@
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
-use utilbp_core::{
-    IntersectionView, PhaseDecision, QueueObservation, SignalController, Tick,
-};
+use utilbp_core::{IntersectionView, PhaseDecision, QueueObservation, SignalController, Tick};
 
 /// Fault model parameters. Probabilities are per reading per decision.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -128,8 +126,8 @@ impl<C: SignalController> FaultySensors<C> {
             return 0;
         }
         if cfg.noise > 0.0 && cfg.noise_magnitude > 0 && self.rng.gen::<f64>() < cfg.noise {
-            let delta = self.rng.gen_range(0..=2 * cfg.noise_magnitude as i64) as i64
-                - cfg.noise_magnitude as i64;
+            let delta =
+                self.rng.gen_range(0..=2 * cfg.noise_magnitude as i64) - cfg.noise_magnitude as i64;
             return truth.saturating_add_signed(delta as i32);
         }
         truth

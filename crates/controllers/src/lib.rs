@@ -33,16 +33,16 @@
 #![warn(missing_docs)]
 
 mod actuated;
-mod faults;
 mod capbp;
+mod faults;
 mod fixed_util;
 mod original;
 mod simple;
 mod slot;
 
 pub use actuated::{Actuated, ActuatedConfig};
-pub use faults::{FaultySensors, SensorFaultConfig};
 pub use capbp::{CapBp, CapBpConfig, CapBpPressure};
+pub use faults::{FaultySensors, SensorFaultConfig};
 pub use fixed_util::{FixedLengthUtilBp, FixedLengthUtilBpConfig};
 pub use original::{OriginalBp, OriginalBpConfig};
 pub use simple::{FixedTime, LongestQueueFirst, LongestQueueFirstConfig};

@@ -88,7 +88,12 @@ impl fmt::Display for PhaseDecision {
 ///     }
 /// }
 /// ```
-pub trait SignalController {
+///
+/// Controllers must be [`Send`] so the simulators' shard-parallel decide
+/// phase (see [`Parallelism`](crate::Parallelism)) can move each
+/// controller to a worker thread; they never need `Sync` — each is
+/// exclusively owned by its intersection's shard.
+pub trait SignalController: Send {
     /// Decides the phase for the mini-slot starting at `now`.
     fn decide(&mut self, view: &IntersectionView<'_>, now: Tick) -> PhaseDecision;
 

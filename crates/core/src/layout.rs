@@ -413,7 +413,10 @@ mod tests {
         let layout = two_by_two().build().unwrap();
         let found = layout.find_link(IncomingId::new(1), OutgoingId::new(0));
         assert_eq!(found, Some(LinkId::new(2)));
-        assert_eq!(layout.find_link(IncomingId::new(1), OutgoingId::new(1)), None);
+        assert_eq!(
+            layout.find_link(IncomingId::new(1), OutgoingId::new(1)),
+            None
+        );
     }
 
     #[test]
@@ -460,7 +463,10 @@ mod tests {
         let o = b.add_outgoing(10);
         b.add_link(i, o, 1.0);
         b.add_phase(&[LinkId::new(5)]);
-        assert_eq!(b.build().unwrap_err(), LayoutError::UnknownLink(LinkId::new(5)));
+        assert_eq!(
+            b.build().unwrap_err(),
+            LayoutError::UnknownLink(LinkId::new(5))
+        );
         let _ = i;
     }
 

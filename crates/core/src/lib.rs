@@ -60,6 +60,7 @@ mod ids;
 mod layout;
 pub mod notation;
 mod observation;
+pub mod parallel;
 pub mod pressure;
 pub mod standard;
 mod time;
@@ -68,7 +69,10 @@ mod utilbp;
 pub use controller::{PhaseDecision, SignalController};
 pub use ids::{IncomingId, LinkId, OutgoingId, PhaseId};
 pub use layout::{IntersectionLayout, IntersectionLayoutBuilder, LayoutError, Link, Phase};
-pub use observation::{IntersectionView, ObservationShapeError, QueueObservation};
+pub use observation::{
+    IntersectionView, ObservationBuffer, ObservationShapeError, QueueObservation,
+};
+pub use parallel::Parallelism;
 pub use pressure::{GainPenalties, PenaltyError};
 pub use time::{Tick, Ticks};
 pub use utilbp::{GStarPolicy, GainMode, PhaseScore, UtilBp, UtilBpConfig};

@@ -137,6 +137,96 @@ impl QueueObservation {
     pub fn outgoings(&self) -> &[u32] {
         &self.outgoing
     }
+
+    /// Resets every reading to zero, keeping the shape (and allocation).
+    pub fn fill_zero(&mut self) {
+        self.movement.fill(0);
+        self.outgoing.fill(0);
+    }
+
+    /// Reshapes this observation for `layout`, zeroing all readings. The
+    /// existing allocations are reused when large enough, so reshaping to
+    /// the same layout every tick never allocates.
+    pub fn reshape_for(&mut self, layout: &IntersectionLayout) {
+        self.movement.clear();
+        self.movement.resize(layout.num_links(), 0);
+        self.outgoing.clear();
+        self.outgoing.resize(layout.num_outgoing(), 0);
+    }
+}
+
+/// A reusable pool of per-intersection observations.
+///
+/// Simulators shape the buffer once per network and then rewrite the
+/// same observations every tick, so the steady-state step path performs
+/// no observation-related heap allocation. The buffer also
+/// decouples the *sense* phase (write, `&mut self`) from the *decide*
+/// phase (read-only views), which is what lets the decide phase shard
+/// across threads.
+#[derive(Debug, Clone, Default)]
+pub struct ObservationBuffer {
+    observations: Vec<QueueObservation>,
+}
+
+impl ObservationBuffer {
+    /// An empty buffer; call [`shape_for`](Self::shape_for) before use.
+    pub fn new() -> Self {
+        ObservationBuffer::default()
+    }
+
+    /// Shapes one observation per layout, reusing allocations. Call once
+    /// at construction (or whenever the network changes); calling again
+    /// with the same layouts is allocation-free after the first time.
+    pub fn shape_for<'a>(&mut self, layouts: impl Iterator<Item = &'a IntersectionLayout>) {
+        let mut n = 0;
+        for layout in layouts {
+            if n == self.observations.len() {
+                self.observations.push(QueueObservation::zeros(layout));
+            } else {
+                self.observations[n].reshape_for(layout);
+            }
+            n += 1;
+        }
+        self.observations.truncate(n);
+    }
+
+    /// Number of observations in the buffer.
+    pub fn len(&self) -> usize {
+        self.observations.len()
+    }
+
+    /// Whether the buffer is empty.
+    pub fn is_empty(&self) -> bool {
+        self.observations.is_empty()
+    }
+
+    /// The observation for intersection index `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn get(&self, i: usize) -> &QueueObservation {
+        &self.observations[i]
+    }
+
+    /// Mutable observation for intersection index `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn get_mut(&mut self, i: usize) -> &mut QueueObservation {
+        &mut self.observations[i]
+    }
+
+    /// All observations, indexed by intersection.
+    pub fn as_slice(&self) -> &[QueueObservation] {
+        &self.observations
+    }
+
+    /// All observations, mutably.
+    pub fn as_mut_slice(&mut self) -> &mut [QueueObservation] {
+        &mut self.observations
+    }
 }
 
 /// A layout plus one observation: everything a controller may read at `k`.

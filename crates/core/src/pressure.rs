@@ -258,9 +258,18 @@ mod tests {
     #[test]
     fn modified_gain_orders_by_pressure_difference_and_rate() {
         let base = modified_link_gain(5, 5, 120, 1.0);
-        assert!(modified_link_gain(9, 5, 120, 1.0) > base, "longer queue wins");
-        assert!(modified_link_gain(5, 9, 120, 1.0) < base, "fuller exit loses");
-        assert!(modified_link_gain(5, 5, 120, 2.0) > base, "faster link wins");
+        assert!(
+            modified_link_gain(9, 5, 120, 1.0) > base,
+            "longer queue wins"
+        );
+        assert!(
+            modified_link_gain(5, 9, 120, 1.0) < base,
+            "fuller exit loses"
+        );
+        assert!(
+            modified_link_gain(5, 5, 120, 2.0) > base,
+            "faster link wins"
+        );
     }
 
     #[test]

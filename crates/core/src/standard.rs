@@ -26,9 +26,7 @@ use crate::layout::IntersectionLayout;
 
 /// Compass approach of a four-way intersection: the arm a vehicle arrives
 /// from, or the arm it leaves toward.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub enum Approach {
     /// The northern arm (paper `N1` incoming / `N5` outgoing).
     North,
@@ -112,9 +110,7 @@ impl fmt::Display for Approach {
 
 /// A turning movement relative to the vehicle's heading (right-hand
 /// traffic).
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub enum Turn {
     /// Turn left across opposing traffic.
     Left,
@@ -330,8 +326,7 @@ mod tests {
     #[test]
     fn exit_mapping_is_a_bijection_per_approach() {
         for from in Approach::ALL {
-            let mut exits: Vec<Approach> =
-                Turn::ALL.iter().map(|t| t.exit_from(from)).collect();
+            let mut exits: Vec<Approach> = Turn::ALL.iter().map(|t| t.exit_from(from)).collect();
             exits.sort();
             exits.dedup();
             assert_eq!(exits.len(), 3, "three distinct exits from {from}");

@@ -26,8 +26,7 @@ use crate::time::{Tick, Ticks};
 
 /// Policy for the keep-current-phase threshold `g*(k)` of Algorithm 1,
 /// Line 3.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
-#[derive(Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize, Default)]
 pub enum GStarPolicy {
     /// Eq. 12: if the current phase's best link is `L_i^{i'}`, then
     /// `g*(k) = W*·µ_i^{i'}`. Under the ordinary gain (Eq. 6) this keeps
@@ -42,7 +41,6 @@ pub enum GStarPolicy {
     /// responsiveness but pays an amber on every change of preference.
     AlwaysReevaluate,
 }
-
 
 /// Which link gain Case 3 ranks phases by. [`GainMode::UtilizationAware`]
 /// is the paper's Eq. 8; the others are ablations quantifying its two
@@ -270,8 +268,7 @@ impl SignalController for UtilBp {
         // Case 2 (Lines 3–4): keep the current phase while it still offers
         // reasonable utilization.
         if let PhaseDecision::Control(current) = self.previous {
-            let (gmax, argmax) =
-                phase_gain_max_under(self, view, current);
+            let (gmax, argmax) = phase_gain_max_under(self, view, current);
             if gmax > self.g_star(view, argmax) {
                 return PhaseDecision::Control(current);
             }
@@ -382,7 +379,10 @@ mod tests {
         // loaded, control moves away (through amber).
         obs.set_outgoing(layout.link(ns).to(), 10);
         obs.set_movement(standard::link_id(Approach::East, Turn::Straight), 30);
-        assert_eq!(decide(&mut ctrl, &layout, &obs, 2), PhaseDecision::Transition);
+        assert_eq!(
+            decide(&mut ctrl, &layout, &obs, 2),
+            PhaseDecision::Transition
+        );
     }
 
     #[test]
@@ -401,7 +401,10 @@ mod tests {
         // Drain the north queue, load the east: switch through amber.
         obs.set_movement(ns, 0);
         obs.set_movement(ew, 12);
-        assert_eq!(decide(&mut ctrl, &layout, &obs, 1), PhaseDecision::Transition);
+        assert_eq!(
+            decide(&mut ctrl, &layout, &obs, 1),
+            PhaseDecision::Transition
+        );
         // ∆k = 4: amber at k = 2, 3, 4 (timer set to expire at k = 5).
         for k in 2..5 {
             assert_eq!(
@@ -555,7 +558,10 @@ mod tests {
         // The east queue overtakes: with no hysteresis the controller
         // immediately pays an amber to chase it.
         obs.set_movement(ew, 11);
-        assert_eq!(decide(&mut ctrl, &layout, &obs, 1), PhaseDecision::Transition);
+        assert_eq!(
+            decide(&mut ctrl, &layout, &obs, 1),
+            PhaseDecision::Transition
+        );
 
         // The paper controller would have kept c1 (its pressure difference
         // is still positive).
@@ -600,7 +606,7 @@ mod tests {
         let c1 = &scores[0];
         assert_eq!(c1.argmax, ns);
         assert_eq!(c1.max, 130.0); // (10 − 0 + 120)·1
-        // total = 130 + 3·α (three empty links in c1)
+                                   // total = 130 + 3·α (three empty links in c1)
         assert_eq!(c1.total, 130.0 - 3.0);
         // c2 has two empty links → total 2α, max α.
         assert_eq!(scores[1].total, -2.0);

@@ -38,16 +38,18 @@ impl AblationResult {
     /// Renders the comparison as a table with deltas against the full
     /// controller.
     pub fn render(&self) -> String {
-        let baseline = self.rows.first().map(|r| r.avg_queuing_time_s).unwrap_or(0.0);
-        let mut table = TextTable::new([
-            "Variant",
-            "Avg queuing [s]",
-            "vs UTIL-BP",
-            "Completed",
-        ]);
+        let baseline = self
+            .rows
+            .first()
+            .map(|r| r.avg_queuing_time_s)
+            .unwrap_or(0.0);
+        let mut table = TextTable::new(["Variant", "Avg queuing [s]", "vs UTIL-BP", "Completed"]);
         for row in &self.rows {
             let delta = if baseline > 0.0 {
-                format!("{:+.1}%", (row.avg_queuing_time_s - baseline) / baseline * 100.0)
+                format!(
+                    "{:+.1}%",
+                    (row.avg_queuing_time_s - baseline) / baseline * 100.0
+                )
             } else {
                 "-".to_string()
             };

@@ -131,10 +131,8 @@ mod tests {
         let t3 = table3(&opts);
         let detail = pattern1_detail(&opts);
 
-        let dir = std::env::temp_dir().join(format!(
-            "utilbp-artifacts-test-{}",
-            std::process::id()
-        ));
+        let dir =
+            std::env::temp_dir().join(format!("utilbp-artifacts-test-{}", std::process::id()));
         let written = export_all(&dir, &f2, &t3, &detail).expect("export succeeds");
         assert_eq!(written.len(), 4);
         for path in &written {

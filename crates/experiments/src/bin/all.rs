@@ -9,9 +9,10 @@ fn main() {
         opts.hour.count()
     );
 
-    println!("{}", utilbp_experiments::render_table1(
-        &utilbp_netgen::TurningProbabilities::PAPER,
-    ));
+    println!(
+        "{}",
+        utilbp_experiments::render_table1(&utilbp_netgen::TurningProbabilities::PAPER,)
+    );
     println!("{}", utilbp_experiments::render_table2());
 
     let fig2 = utilbp_experiments::fig2(&opts);

@@ -71,11 +71,7 @@ impl Fig2Result {
 /// Computes Fig. 2: sweeps the CAP-BP period over the mixed pattern and
 /// runs UTIL-BP once on the same demand.
 pub fn fig2(opts: &ExperimentOptions) -> Fig2Result {
-    let scenario = Scenario::paper(
-        DemandSchedule::mixed(opts.hour),
-        opts.backend,
-        opts.seed,
-    );
+    let scenario = Scenario::paper(DemandSchedule::mixed(opts.hour), opts.backend, opts.seed);
     let kinds: Vec<ControllerKind> = opts
         .periods
         .iter()

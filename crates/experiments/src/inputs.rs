@@ -41,14 +41,7 @@ pub fn render_table1(turning: &TurningProbabilities) -> String {
 /// Renders Table II (average inter-arrival time of vehicles entering the
 /// network, per pattern and side).
 pub fn render_table2() -> String {
-    let mut table = TextTable::new([
-        "Pattern",
-        "Description",
-        "North",
-        "East",
-        "South",
-        "West",
-    ]);
+    let mut table = TextTable::new(["Pattern", "Description", "North", "East", "South", "West"]);
     for pattern in Pattern::ALL {
         table.push_row([
             pattern.to_string(),
@@ -80,8 +73,14 @@ mod tests {
     #[test]
     fn table2_lists_all_patterns() {
         let rendered = render_table2();
-        for needle in ["adjacent heavy", "uniform", "opposite heavy", "single heavy", "3 s", "9 s"]
-        {
+        for needle in [
+            "adjacent heavy",
+            "uniform",
+            "opposite heavy",
+            "single heavy",
+            "3 s",
+            "9 s",
+        ] {
             assert!(rendered.contains(needle), "missing {needle}");
         }
     }

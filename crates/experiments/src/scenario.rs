@@ -1,10 +1,10 @@
 //! Scenario and controller descriptions (serializable experiment recipes).
 
 use serde::{Deserialize, Serialize};
-use utilbp_core::{GStarPolicy, GainMode, SignalController, Ticks, UtilBp, UtilBpConfig};
 use utilbp_baselines::{
     Actuated, ActuatedConfig, CapBp, FixedLengthUtilBp, FixedTime, LongestQueueFirst, OriginalBp,
 };
+use utilbp_core::{GStarPolicy, GainMode, SignalController, Ticks, UtilBp, UtilBpConfig};
 use utilbp_microsim::MicroSimConfig;
 use utilbp_netgen::{DemandSchedule, GridSpec, TurningProbabilities};
 
@@ -79,9 +79,7 @@ impl ControllerKind {
             ControllerKind::UtilBp => Box::new(UtilBp::paper()),
             ControllerKind::UtilBpWith(config) => Box::new(UtilBp::new(config)),
             ControllerKind::CapBp { period } => Box::new(CapBp::new(Ticks::new(period))),
-            ControllerKind::OriginalBp { period } => {
-                Box::new(OriginalBp::new(Ticks::new(period)))
-            }
+            ControllerKind::OriginalBp { period } => Box::new(OriginalBp::new(Ticks::new(period))),
             ControllerKind::FixedTime { period } => {
                 Box::new(FixedTime::new(Ticks::new(period), Ticks::new(4)))
             }

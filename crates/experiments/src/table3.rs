@@ -152,11 +152,7 @@ mod tests {
         let mut opts = ExperimentOptions::quick();
         opts.hour = utilbp_core::Ticks::new(300);
         opts.periods = vec![14, 24];
-        let r = row(
-            &opts,
-            "I",
-            DemandSchedule::constant(Pattern::I, opts.hour),
-        );
+        let r = row(&opts, "I", DemandSchedule::constant(Pattern::I, opts.hour));
         assert!(opts.periods.contains(&r.best_period));
         assert!(r.capbp_s > 0.0);
         assert!(r.utilbp_s > 0.0);

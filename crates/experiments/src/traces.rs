@@ -55,7 +55,11 @@ impl Pattern1Detail {
         out.push_str(
             "Fig. 5 — queue length, east approach of the top-right intersection, Pattern I\n\n",
         );
-        out.push_str(&ascii_chart(&[&self.capbp_queue, &self.utilbp_queue], 72, 16));
+        out.push_str(&ascii_chart(
+            &[&self.capbp_queue, &self.utilbp_queue],
+            72,
+            16,
+        ));
         out.push_str(&format!(
             "\nmean queue: CAP-BP {:.2}, UTIL-BP {:.2} | peak: CAP-BP {:.0}, UTIL-BP {:.0}\n",
             self.capbp_queue.mean(),
@@ -69,7 +73,10 @@ impl Pattern1Detail {
     /// Mean green dwell (ticks) per activation, per controller — the
     /// variable-length-phase evidence (Fig. 4's long phases 1–2).
     pub fn mean_green_dwell(&self) -> (f64, f64) {
-        (mean_green(&self.capbp_trace), mean_green(&self.utilbp_trace))
+        (
+            mean_green(&self.capbp_trace),
+            mean_green(&self.utilbp_trace),
+        )
     }
 }
 
@@ -104,7 +111,9 @@ fn render_trace(trace: &PhaseTrace) -> String {
         for &v in chunk {
             counts[v as usize] += 1;
         }
-        let digit = (0..6).max_by_key(|&d| (counts[d], usize::from(d == 0))).unwrap_or(0);
+        let digit = (0..6)
+            .max_by_key(|&d| (counts[d], usize::from(d == 0)))
+            .unwrap_or(0);
         line.push(char::from_digit(digit as u32, 10).unwrap_or('?'));
     }
     let mut out = String::new();
@@ -158,10 +167,7 @@ pub fn pattern1_detail(opts: &ExperimentOptions) -> Pattern1Detail {
         queue_series: vec![(top_right, east)],
         sample_every: 5,
     };
-    let schedule = DemandSchedule::constant(
-        Pattern::I,
-        Ticks::new(opts.trace_horizon.count()),
-    );
+    let schedule = DemandSchedule::constant(Pattern::I, Ticks::new(opts.trace_horizon.count()));
     let scenario = Scenario::paper(schedule, opts.backend, opts.seed);
 
     let capbp = run(

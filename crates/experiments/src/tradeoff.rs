@@ -79,13 +79,13 @@ impl TradeoffResult {
 /// variations, and the reversed ordering the paper mentions.
 pub fn penalty_grid() -> Vec<(f64, f64)> {
     vec![
-        (-1.0, -2.0),  // the paper's choice: full exits rank worst
-        (-2.0, -1.0),  // reversed: empty approaches rank worst
-        (-0.5, -4.0),  // strong full-exit aversion
-        (-4.0, -0.5),  // strong empty-approach aversion
-        (-1.0, -1.0),  // no discrimination
-        (-10.0, -20.0) // same ordering, larger magnitudes (no effect on
-                       // ranking vs ordinary links; sanity row)
+        (-1.0, -2.0), // the paper's choice: full exits rank worst
+        (-2.0, -1.0), // reversed: empty approaches rank worst
+        (-0.5, -4.0), // strong full-exit aversion
+        (-4.0, -0.5), // strong empty-approach aversion
+        (-1.0, -1.0), // no discrimination
+        (-10.0, -20.0), // same ordering, larger magnitudes (no effect on
+                      // ranking vs ordinary links; sanity row)
     ]
 }
 
@@ -139,7 +139,10 @@ mod tests {
         let grid = penalty_grid();
         assert!(grid.iter().all(|&(a, b)| a < 0.0 && b < 0.0));
         assert!(grid.iter().any(|&(a, b)| a > b), "paper ordering present");
-        assert!(grid.iter().any(|&(a, b)| a < b), "reversed ordering present");
+        assert!(
+            grid.iter().any(|&(a, b)| a < b),
+            "reversed ordering present"
+        );
     }
 
     #[test]

@@ -108,12 +108,7 @@ impl TimeSeries {
         assert!(stride > 0, "stride must be positive");
         TimeSeries {
             name: self.name.clone(),
-            points: self
-                .points
-                .iter()
-                .step_by(stride)
-                .copied()
-                .collect(),
+            points: self.points.iter().step_by(stride).copied().collect(),
         }
     }
 

@@ -108,11 +108,7 @@ impl PhaseTrace {
             if v != value {
                 continue;
             }
-            let end = self
-                .runs
-                .get(i + 1)
-                .map(|&(s, _)| s)
-                .unwrap_or(self.end);
+            let end = self.runs.get(i + 1).map(|&(s, _)| s).unwrap_or(self.end);
             total += end - start;
         }
         total
@@ -126,11 +122,7 @@ impl PhaseTrace {
             if v != value {
                 continue;
             }
-            let end = self
-                .runs
-                .get(i + 1)
-                .map(|&(s, _)| s)
-                .unwrap_or(self.end);
+            let end = self.runs.get(i + 1).map(|&(s, _)| s).unwrap_or(self.end);
             out.push(end - start);
         }
         out
@@ -140,11 +132,7 @@ impl PhaseTrace {
     pub fn expand(&self) -> Vec<u8> {
         let mut out = Vec::with_capacity(self.end.index() as usize);
         for (i, &(start, v)) in self.runs.iter().enumerate() {
-            let end = self
-                .runs
-                .get(i + 1)
-                .map(|&(s, _)| s)
-                .unwrap_or(self.end);
+            let end = self.runs.get(i + 1).map(|&(s, _)| s).unwrap_or(self.end);
             for _ in start.index()..end.index() {
                 out.push(v);
             }

@@ -6,8 +6,6 @@
 //! waiting (queued at an intersection, or stopped below the waiting-speed
 //! threshold in the microscopic simulator, matching SUMO's definition).
 
-use std::collections::HashMap;
-
 use serde::{Deserialize, Serialize};
 use utilbp_core::Tick;
 
@@ -68,7 +66,14 @@ struct ActiveVehicle {
 /// ```
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct WaitingLedger {
-    active: HashMap<VehicleId, ActiveVehicle>,
+    /// Active vehicles in a dense slab indexed by the raw [`VehicleId`].
+    /// Ids are handed out sequentially by the demand generators, so the
+    /// slab stays compact and the per-tick `add_wait` of every waiting
+    /// vehicle is a cache-friendly vector index instead of a hash lookup
+    /// — the ledger sits on the simulators' hot path.
+    active: Vec<Option<ActiveVehicle>>,
+    /// Number of `Some` entries in `active`.
+    active_count: usize,
     waiting: SummaryStats,
     journey: SummaryStats,
     waiting_histogram: Histogram,
@@ -77,7 +82,8 @@ pub struct WaitingLedger {
 impl Default for WaitingLedger {
     fn default() -> Self {
         WaitingLedger {
-            active: HashMap::new(),
+            active: Vec::new(),
+            active_count: 0,
             waiting: SummaryStats::new(),
             journey: SummaryStats::new(),
             waiting_histogram: Histogram::new(WAIT_HISTOGRAM_BIN, WAIT_HISTOGRAM_BINS),
@@ -93,25 +99,33 @@ impl WaitingLedger {
 
     /// Registers a vehicle entering the network at `tick`.
     ///
+    /// Ids are expected to be (roughly) sequential — the slab grows to
+    /// the largest raw id seen, so sparse gigantic ids would waste
+    /// memory, not break correctness.
+    ///
     /// # Panics
     ///
     /// Panics in debug builds if the vehicle is already active (ids must be
     /// unique per run).
     pub fn enter(&mut self, id: VehicleId, tick: Tick) {
-        let previous = self.active.insert(
-            id,
-            ActiveVehicle {
-                entered: tick,
-                waited: 0,
-            },
-        );
+        let slot = id.raw() as usize;
+        if slot >= self.active.len() {
+            self.active.resize(slot + 1, None);
+        }
+        let previous = self.active[slot].replace(ActiveVehicle {
+            entered: tick,
+            waited: 0,
+        });
+        if previous.is_none() {
+            self.active_count += 1;
+        }
         debug_assert!(previous.is_none(), "vehicle {id} entered twice");
     }
 
     /// Adds `ticks` of waiting to an active vehicle. Unknown ids are
     /// ignored (the vehicle may have been completed by a racing recorder).
     pub fn add_wait(&mut self, id: VehicleId, ticks: u64) {
-        if let Some(v) = self.active.get_mut(&id) {
+        if let Some(Some(v)) = self.active.get_mut(id.raw() as usize) {
             v.waited += ticks;
         }
     }
@@ -120,7 +134,8 @@ impl WaitingLedger {
     /// journey times into the run statistics. Returns the vehicle's total
     /// waiting ticks, or `None` if the id was not active.
     pub fn complete(&mut self, id: VehicleId, tick: Tick) -> Option<u64> {
-        let v = self.active.remove(&id)?;
+        let v = self.active.get_mut(id.raw() as usize)?.take()?;
+        self.active_count -= 1;
         self.waiting.record(v.waited as f64);
         self.waiting_histogram.record(v.waited as f64);
         self.journey
@@ -135,7 +150,7 @@ impl WaitingLedger {
 
     /// Number of vehicles still in the network.
     pub fn active(&self) -> usize {
-        self.active.len()
+        self.active_count
     }
 
     /// Waiting-time statistics over completed vehicles (ticks).
@@ -165,10 +180,11 @@ impl WaitingLedger {
         let total = self.waiting.mean() * self.waiting.count() as f64
             + self
                 .active
-                .values()
+                .iter()
+                .flatten()
                 .map(|v| v.waited as f64)
                 .sum::<f64>();
-        let n = self.waiting.count() as f64 + self.active.len() as f64;
+        let n = self.waiting.count() as f64 + self.active_count as f64;
         if n == 0.0 {
             0.0
         } else {

@@ -1,6 +1,7 @@
 //! Microscopic simulation parameters.
 
 use serde::{Deserialize, Serialize};
+use utilbp_core::Parallelism;
 
 /// How vehicles are assigned to lanes on a road.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize, Default)]
@@ -88,8 +89,14 @@ pub struct MicroSimConfig {
     /// Speed at which vehicles are inserted at boundary entries and leave
     /// the junction box, in m/s.
     pub insertion_speed_mps: f64,
-    /// RNG seed for dawdling noise.
+    /// RNG seed for dawdling noise. Dawdling streams are per road (each
+    /// road derives its own generator from this seed), which is what
+    /// keeps serial and parallel stepping bit-identical.
     pub seed: u64,
+    /// Execution mode of the controller-decide and car-following phases.
+    /// Serial by default; [`Parallelism::Rayon`] shards both phases
+    /// across threads, step-for-step identical to serial.
+    pub parallelism: Parallelism,
 }
 
 impl Default for MicroSimConfig {
@@ -111,6 +118,7 @@ impl Default for MicroSimConfig {
             lane_discipline: LaneDiscipline::default(),
             insertion_speed_mps: 8.0,
             seed: 0,
+            parallelism: Parallelism::Serial,
         }
     }
 }
@@ -158,7 +166,10 @@ impl MicroSimConfig {
             ));
         }
         if !(self.min_gap_m.is_finite() && self.min_gap_m >= 0.0) {
-            return Err(format!("min_gap_m must be non-negative, got {}", self.min_gap_m));
+            return Err(format!(
+                "min_gap_m must be non-negative, got {}",
+                self.min_gap_m
+            ));
         }
         if !(0.0..=1.0).contains(&self.sigma) {
             return Err(format!("sigma must lie in [0,1], got {}", self.sigma));

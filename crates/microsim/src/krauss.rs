@@ -104,7 +104,10 @@ mod tests {
             pos += v * c.dt_seconds;
         }
         assert!(v < 0.05, "vehicle must come to rest, v = {v}");
-        assert!(pos <= 100.0 + 1e-9, "front bumper at most at the wall, pos = {pos}");
+        assert!(
+            pos <= 100.0 + 1e-9,
+            "front bumper at most at the wall, pos = {pos}"
+        );
         assert!(pos > 90.0, "but close to it, pos = {pos}");
     }
 
@@ -163,7 +166,10 @@ mod tests {
         let v_dawdle = next_speed(5.0, LeaderInfo::Free, 1.0, &c);
         assert!(v_dawdle < v_nodawdle);
         assert!(v_dawdle >= 0.0);
-        assert_eq!(next_speed(0.0, LeaderInfo::Wall { distance_m: 0.0 }, 1.0, &c), 0.0);
+        assert_eq!(
+            next_speed(0.0, LeaderInfo::Wall { distance_m: 0.0 }, 1.0, &c),
+            0.0
+        );
     }
 
     #[test]

@@ -22,6 +22,48 @@
 //!   "average queuing time of a vehicle" of Fig. 2 / Table III.
 //!
 //! See [`MicroSim`] for the step protocol and an end-to-end example.
+//!
+//! ## Performance architecture
+//!
+//! The step path is built to run as fast as the hardware allows over
+//! large grids; three mechanisms carry it:
+//!
+//! **Incremental sensing.** Detector reads never rescan lanes. Every
+//! lane maintains two counters — vehicles inside the configured
+//! detection window, and halted vehicles over the whole lane — updated
+//! at the only points where a vehicle's position or speed can change:
+//! the car-following advance, stop-line crossings, junction-box
+//! landings, and boundary insertions. `movement_queue_len` and
+//! `road_sensor` are therefore O(1)/O(lanes) reads. The invariant
+//! (*counter ≡ from-scratch rescan under the same sensor spec*) is
+//! checkable at runtime via [`MicroSim::verify_sensors`] and enforced
+//! tick-by-tick in the regression suite. The same idea gives
+//! `dest_lane_has_room` an O(1) per-lane pending-reservation counter
+//! (incremented at crossing, decremented at landing) instead of a scan
+//! over every junction box. The `SharedMixed` lane discipline is the one
+//! exception: per-movement counts cannot live on a lane when movements
+//! share lanes, so that ablation mode falls back to rescans.
+//!
+//! **Reusable scratch.** One `ObservationBuffer` (one observation per
+//! intersection) and the caller's `StepReport` are rewritten in place
+//! every tick via [`MicroSim::step_into`] /
+//! [`MicroSim::observe_into`], so the steady-state step path performs no
+//! heap allocation for observations or decision vectors. The allocating
+//! `step`/`observe` remain as thin convenience wrappers.
+//!
+//! **Shard-parallel stepping.** Two of the step's phases are
+//! embarrassingly parallel and shard across threads under
+//! `MicroSimConfig { parallelism: Parallelism::Rayon, .. }`: the
+//! controller-decide phase (one controller per intersection, each
+//! reading only its own observation) and the car-following phase for
+//! non-head vehicles (per-road state, no cross-road reads). Head
+//! release, landings, insertions, and ledger accounting mutate shared
+//! state and stay serial. Dawdling noise is drawn from per-road RNG
+//! streams, so `Serial` and `Rayon` produce **bit-identical** step
+//! reports and ledgers — asserted by the cross-mode determinism tests.
+//! `Serial` is the default and the right choice for small grids, where
+//! a step is cheaper than a fork-join; `Rayon` pays off once per-step
+//! work dominates (large grids, heavy traffic, many cores).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -155,9 +197,8 @@ mod tests {
             injected_total += arrivals.len() as u64;
             sim.step(arrivals);
         }
-        let accounted = sim.vehicles_in_network() as u64
-            + sim.backlog_len() as u64
-            + sim.ledger().completed();
+        let accounted =
+            sim.vehicles_in_network() as u64 + sim.backlog_len() as u64 + sim.ledger().completed();
         assert_eq!(injected_total, accounted, "no vehicle may vanish");
     }
 
@@ -322,8 +363,7 @@ mod tests {
         let util = run(util_controllers(9));
         let fixed = run((0..9)
             .map(|_| {
-                Box::new(FixedTime::new(Ticks::new(25), Ticks::new(4)))
-                    as Box<dyn SignalController>
+                Box::new(FixedTime::new(Ticks::new(25), Ticks::new(4))) as Box<dyn SignalController>
             })
             .collect());
         assert!(
@@ -462,9 +502,7 @@ mod tests {
         }
         assert_eq!(
             injected,
-            sim.vehicles_in_network() as u64
-                + sim.backlog_len() as u64
-                + sim.ledger().completed()
+            sim.vehicles_in_network() as u64 + sim.backlog_len() as u64 + sim.ledger().completed()
         );
         assert!(sim.ledger().completed() > 0, "traffic still flows");
     }

@@ -1,4 +1,17 @@
 //! Lanes, vehicles, and the per-lane car-following update.
+//!
+//! ## Incremental sensing
+//!
+//! Every lane maintains two sensor counters alongside its vehicle deque:
+//! the number of vehicles within the configured detector window of the
+//! stop line ([`Lane::detected_count`]) and the number of halted vehicles
+//! anywhere on the lane ([`Lane::halted_count`]). The counters are
+//! updated at the *only* points where a vehicle's position or speed can
+//! change — the car-following advance, stop-line crossings, junction-box
+//! landings, and boundary insertions — so reading a detector is O(1)
+//! instead of a rescan of the lane. The invariant (counter ≡ rescan under
+//! the same [`SensorSpec`]) is enforced by `MicroSim::verify_sensors` and
+//! a dedicated regression test.
 
 use std::collections::VecDeque;
 use std::sync::Arc;
@@ -26,11 +39,45 @@ pub(crate) struct Vehicle {
     pub speed: f64,
 }
 
+/// The fixed sensor geometry of one road's lanes: everything needed to
+/// classify a vehicle for the incremental counters.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct SensorSpec {
+    /// Stop-line-relative detector start: a vehicle at `pos >=
+    /// detect_from` is inside the detection window. `NEG_INFINITY` for an
+    /// infinite detector range.
+    pub detect_from: f64,
+    /// Speed below which a vehicle counts as halted.
+    pub halt_speed: f64,
+}
+
+impl SensorSpec {
+    /// The spec for a road of `length` under `cfg`.
+    pub fn for_road(length: f64, cfg: &MicroSimConfig) -> Self {
+        SensorSpec {
+            detect_from: if cfg.detection_range_m.is_finite() {
+                length - cfg.detection_range_m
+            } else {
+                f64::NEG_INFINITY
+            },
+            halt_speed: cfg.halt_speed_mps,
+        }
+    }
+}
+
 /// A single-file lane. `vehicles.front()` is the vehicle closest to the
 /// stop line.
 #[derive(Debug, Clone, Default)]
 pub(crate) struct Lane {
     pub vehicles: VecDeque<Vehicle>,
+    /// Vehicles within the detection window (incremental; see module
+    /// docs).
+    detected: u32,
+    /// Halted vehicles anywhere on the lane (incremental).
+    halted: u32,
+    /// Whether this lane's head crossed the stop line in the current
+    /// step's head phase — consumed by [`advance_followers`].
+    head_crossed: bool,
 }
 
 impl Lane {
@@ -47,7 +94,9 @@ impl Lane {
     }
 
     /// Number of vehicles within `range` meters of the stop line — what a
-    /// presence detector reports.
+    /// presence detector reports. O(n) rescan for arbitrary ranges; use
+    /// [`detected_count`](Self::detected_count) for the configured
+    /// detector.
     pub fn detected(&self, length: f64, range: f64) -> u32 {
         self.vehicles
             .iter()
@@ -57,12 +106,81 @@ impl Lane {
 
     /// Number of *halted* vehicles (speed below `halt_speed`) within
     /// `range` meters of the stop line — what a SUMO-style jam detector
-    /// reports, and the `q` the controllers observe.
+    /// reports. O(n) rescan; use [`halted_count`](Self::halted_count) for
+    /// whole-lane reads under the configured halt speed.
+    #[allow(dead_code)] // kept for ad-hoc detector queries and tests
     pub fn halted(&self, length: f64, range: f64, halt_speed: f64) -> u32 {
         self.vehicles
             .iter()
             .filter(|v| v.pos >= length - range && v.speed < halt_speed)
             .count() as u32
+    }
+
+    /// O(1) incremental count of vehicles inside the detection window.
+    pub fn detected_count(&self) -> u32 {
+        self.detected
+    }
+
+    /// O(1) incremental count of halted vehicles on the whole lane.
+    pub fn halted_count(&self) -> u32 {
+        self.halted
+    }
+
+    /// Registers a vehicle appearing on the lane (landing or insertion).
+    pub fn sensor_add(&mut self, pos: f64, speed: f64, spec: SensorSpec) {
+        if pos >= spec.detect_from {
+            self.detected += 1;
+        }
+        if speed < spec.halt_speed {
+            self.halted += 1;
+        }
+    }
+
+    /// Registers a vehicle leaving the lane (crossing or completion).
+    pub fn sensor_remove(&mut self, pos: f64, speed: f64, spec: SensorSpec) {
+        if pos >= spec.detect_from {
+            self.detected -= 1;
+        }
+        if speed < spec.halt_speed {
+            self.halted -= 1;
+        }
+    }
+
+    /// Registers a vehicle's state change in place.
+    pub fn sensor_move(
+        &mut self,
+        old_pos: f64,
+        old_speed: f64,
+        new_pos: f64,
+        new_speed: f64,
+        spec: SensorSpec,
+    ) {
+        match (old_pos >= spec.detect_from, new_pos >= spec.detect_from) {
+            (false, true) => self.detected += 1,
+            (true, false) => self.detected -= 1,
+            _ => {}
+        }
+        match (old_speed < spec.halt_speed, new_speed < spec.halt_speed) {
+            (false, true) => self.halted += 1,
+            (true, false) => self.halted -= 1,
+            _ => {}
+        }
+    }
+
+    /// Recomputes both counters by rescanning (used when validating the
+    /// incremental-sensing invariant).
+    pub fn rescan_sensors(&self, spec: SensorSpec) -> (u32, u32) {
+        let detected = self
+            .vehicles
+            .iter()
+            .filter(|v| v.pos >= spec.detect_from)
+            .count() as u32;
+        let halted = self
+            .vehicles
+            .iter()
+            .filter(|v| v.speed < spec.halt_speed)
+            .count() as u32;
+        (detected, halted)
     }
 }
 
@@ -76,9 +194,150 @@ pub(crate) enum HeadMode {
     Blocked,
 }
 
-/// Advances every vehicle in the lane by one step (sequential front-to-back
-/// Krauss update with an anti-overlap clamp). Returns the head vehicle if
-/// it crossed the stop line under [`HeadMode::Release`].
+/// Advances only the head vehicle by one step, popping and returning it
+/// if it crossed the stop line under [`HeadMode::Release`]. Records the
+/// crossing on the lane so the follower phase ([`advance_followers`]) can
+/// run later — possibly on another thread — without re-deriving it.
+///
+/// If the head stays on the lane at waiting speed, its id is appended to
+/// `waiting` (the road's reusable waiting-accumulation buffer), saving
+/// the separate whole-network waiting scan.
+pub(crate) fn advance_head(
+    lane: &mut Lane,
+    length: f64,
+    head_mode: HeadMode,
+    cfg: &MicroSimConfig,
+    spec: SensorSpec,
+    rng: &mut SmallRng,
+    waiting: &mut Vec<VehicleId>,
+) -> Option<Vehicle> {
+    lane.head_crossed = false;
+    if lane.vehicles.is_empty() {
+        return None;
+    }
+
+    let head = &mut lane.vehicles[0];
+    let leader = match head_mode {
+        HeadMode::Release => LeaderInfo::Free,
+        HeadMode::Blocked => LeaderInfo::Wall {
+            distance_m: length - head.pos,
+        },
+    };
+    let xi = dawdle(cfg, rng);
+    let (old_pos, old_speed) = (head.pos, head.speed);
+    head.speed = next_speed(head.speed, leader, xi, cfg);
+    head.pos += head.speed * cfg.dt_seconds;
+    let (new_pos, new_speed) = (head.pos, head.speed);
+    if new_speed < cfg.waiting_speed_mps {
+        waiting.push(head.id);
+    }
+    lane.sensor_move(old_pos, old_speed, new_pos, new_speed, spec);
+
+    if head_mode == HeadMode::Release && new_pos >= length {
+        lane.sensor_remove(new_pos, new_speed, spec);
+        lane.head_crossed = true;
+        // A crossed head is in the junction box, not waiting; undo.
+        if new_speed < cfg.waiting_speed_mps {
+            waiting.pop();
+        }
+        return lane.vehicles.pop_front();
+    }
+    None
+}
+
+/// Advances every remaining vehicle of the lane (sequential
+/// front-to-back Krauss update with an anti-overlap clamp). Must be
+/// called exactly once after [`advance_head`] each step; independent
+/// across lanes and roads, which is what the parallel car-following
+/// phase shards. Vehicles ending the step at waiting speed are appended
+/// to `waiting`.
+pub(crate) fn advance_followers(
+    lane: &mut Lane,
+    length: f64,
+    cfg: &MicroSimConfig,
+    spec: SensorSpec,
+    rng: &mut SmallRng,
+    waiting: &mut Vec<VehicleId>,
+) {
+    let mut start = if lane.head_crossed { 0 } else { 1 };
+    lane.head_crossed = false;
+    if lane.vehicles.len() <= start {
+        return;
+    }
+    let mut detected_delta = 0i64;
+    let mut halted_delta = 0i64;
+    // Leader state of vehicle `i` (updated before `i` moves, so each
+    // follower reacts to its leader's already-advanced state, as in the
+    // sequential front-to-back Krauss update). `INFINITY` position marks
+    // "no leader; the stop line is the obstacle" — the case right after
+    // the head crossed (its successor is re-evaluated for release next
+    // step).
+    let mut leader_pos = f64::INFINITY;
+    let mut leader_speed = 0.0;
+    if start == 1 {
+        let head = &lane.vehicles[0];
+        (leader_pos, leader_speed) = (head.pos, head.speed);
+    }
+    // Iterate the deque's two backing slices directly instead of
+    // `make_contiguous`: this is the simulator's innermost hot loop, and
+    // busy lanes (constant pop-front/push-back traffic) would otherwise
+    // pay an O(n) ring rotation every step.
+    let (front, back) = lane.vehicles.as_mut_slices();
+    for slice in [front, back] {
+        let part = if start >= slice.len() {
+            start -= slice.len();
+            continue;
+        } else {
+            let part = &mut slice[start..];
+            start = 0;
+            part
+        };
+        for v in part {
+            let leader = if leader_pos.is_finite() {
+                LeaderInfo::Vehicle {
+                    net_gap_m: leader_pos - v.pos - cfg.vehicle_length_m - cfg.min_gap_m,
+                    speed_mps: leader_speed,
+                }
+            } else {
+                LeaderInfo::Wall {
+                    distance_m: length - v.pos,
+                }
+            };
+            let xi = dawdle(cfg, rng);
+            let old_pos = v.pos;
+            let old_speed = v.speed;
+            v.speed = next_speed(v.speed, leader, xi, cfg);
+            v.pos += v.speed * cfg.dt_seconds;
+            // Anti-overlap safety clamp (numerical guard; Krauss alone is
+            // collision-free for consistent inputs).
+            if leader_pos.is_finite() {
+                let max_pos = leader_pos - cfg.vehicle_length_m - 0.05;
+                if v.pos > max_pos {
+                    v.pos = max_pos.max(old_pos);
+                    v.speed = ((v.pos - old_pos) / cfg.dt_seconds).max(0.0);
+                }
+            }
+            detected_delta +=
+                (v.pos >= spec.detect_from) as i64 - (old_pos >= spec.detect_from) as i64;
+            halted_delta +=
+                (v.speed < spec.halt_speed) as i64 - (old_speed < spec.halt_speed) as i64;
+            if v.speed < cfg.waiting_speed_mps {
+                waiting.push(v.id);
+            }
+            (leader_pos, leader_speed) = (v.pos, v.speed);
+        }
+    }
+    lane.detected = (lane.detected as i64 + detected_delta) as u32;
+    lane.halted = (lane.halted as i64 + halted_delta) as u32;
+}
+
+/// Advances every vehicle in the lane by one step. Returns the head
+/// vehicle if it crossed the stop line under [`HeadMode::Release`].
+///
+/// Composition of [`advance_head`] and [`advance_followers`]; the
+/// simulator calls the two phases separately (all heads first, then all
+/// followers) so the follower phase can shard across threads.
+#[cfg_attr(not(test), allow(dead_code))]
 pub(crate) fn update_lane(
     lane: &mut Lane,
     length: f64,
@@ -86,70 +345,10 @@ pub(crate) fn update_lane(
     cfg: &MicroSimConfig,
     rng: &mut SmallRng,
 ) -> Option<Vehicle> {
-    if lane.vehicles.is_empty() {
-        return None;
-    }
-
-    let mut crossed = None;
-
-    // Head vehicle.
-    {
-        let head = &mut lane.vehicles[0];
-        let leader = match head_mode {
-            HeadMode::Release => LeaderInfo::Free,
-            HeadMode::Blocked => LeaderInfo::Wall {
-                distance_m: length - head.pos,
-            },
-        };
-        let xi = dawdle(cfg, rng);
-        head.speed = next_speed(head.speed, leader, xi, cfg);
-        head.pos += head.speed * cfg.dt_seconds;
-        if head_mode == HeadMode::Release && head.pos >= length {
-            crossed = lane.vehicles.pop_front();
-        }
-    }
-
-    // Followers (and the new head if the old one crossed).
-    let start = if crossed.is_some() { 0 } else { 1 };
-    for i in start..lane.vehicles.len() {
-        let (leader, leader_pos) = if i == 0 {
-            // The previous head just crossed; its successor sees the stop
-            // line (it will be re-evaluated for release next step).
-            (
-                LeaderInfo::Wall {
-                    distance_m: length - lane.vehicles[0].pos,
-                },
-                f64::INFINITY,
-            )
-        } else {
-            let lp = lane.vehicles[i - 1].pos;
-            let ls = lane.vehicles[i - 1].speed;
-            (
-                LeaderInfo::Vehicle {
-                    net_gap_m: lp - lane.vehicles[i].pos
-                        - cfg.vehicle_length_m
-                        - cfg.min_gap_m,
-                    speed_mps: ls,
-                },
-                lp,
-            )
-        };
-        let xi = dawdle(cfg, rng);
-        let v = &mut lane.vehicles[i];
-        let old_pos = v.pos;
-        v.speed = next_speed(v.speed, leader, xi, cfg);
-        v.pos += v.speed * cfg.dt_seconds;
-        // Anti-overlap safety clamp (numerical guard; Krauss alone is
-        // collision-free for consistent inputs).
-        if leader_pos.is_finite() {
-            let max_pos = leader_pos - cfg.vehicle_length_m - 0.05;
-            if v.pos > max_pos {
-                v.pos = max_pos.max(old_pos);
-                v.speed = ((v.pos - old_pos) / cfg.dt_seconds).max(0.0);
-            }
-        }
-    }
-
+    let spec = SensorSpec::for_road(length, cfg);
+    let mut waiting = Vec::new();
+    let crossed = advance_head(lane, length, head_mode, cfg, spec, rng, &mut waiting);
+    advance_followers(lane, length, cfg, spec, rng, &mut waiting);
     crossed
 }
 
@@ -189,6 +388,17 @@ mod tests {
         SmallRng::seed_from_u64(0)
     }
 
+    /// Pushes a vehicle through the sensor bookkeeping like the simulator
+    /// does.
+    fn push(lane: &mut Lane, v: Vehicle, spec: SensorSpec) {
+        lane.sensor_add(v.pos, v.speed, spec);
+        lane.vehicles.push_back(v);
+    }
+
+    fn spec300() -> SensorSpec {
+        SensorSpec::for_road(300.0, &cfg())
+    }
+
     #[test]
     fn empty_lane_is_a_noop() {
         let mut lane = Lane::default();
@@ -199,7 +409,7 @@ mod tests {
     fn blocked_head_stops_at_the_line() {
         let c = cfg();
         let mut lane = Lane::default();
-        lane.vehicles.push_back(veh(0, 250.0, c.free_speed_mps));
+        push(&mut lane, veh(0, 250.0, c.free_speed_mps), spec300());
         let mut r = rng();
         for _ in 0..30 {
             let crossed = update_lane(&mut lane, 300.0, HeadMode::Blocked, &c, &mut r);
@@ -215,12 +425,14 @@ mod tests {
     fn released_head_crosses_and_is_returned() {
         let c = cfg();
         let mut lane = Lane::default();
-        lane.vehicles.push_back(veh(7, 295.0, 10.0));
+        push(&mut lane, veh(7, 295.0, 10.0), spec300());
         let mut r = rng();
         let crossed = update_lane(&mut lane, 300.0, HeadMode::Release, &c, &mut r);
         let v = crossed.expect("head must cross");
         assert_eq!(v.id, VehicleId::new(7));
         assert!(lane.vehicles.is_empty());
+        assert_eq!(lane.detected_count(), 0);
+        assert_eq!(lane.halted_count(), 0);
     }
 
     #[test]
@@ -229,7 +441,7 @@ mod tests {
         let mut lane = Lane::default();
         // Five vehicles strung out; head blocked at the line.
         for (i, pos) in [280.0, 220.0, 160.0, 100.0, 40.0].iter().enumerate() {
-            lane.vehicles.push_back(veh(i as u64, *pos, 10.0));
+            push(&mut lane, veh(i as u64, *pos, 10.0), spec300());
         }
         let mut r = rng();
         for _ in 0..80 {
@@ -281,8 +493,8 @@ mod tests {
     fn successor_of_crossed_head_sees_the_line() {
         let c = cfg();
         let mut lane = Lane::default();
-        lane.vehicles.push_back(veh(0, 296.0, 12.0));
-        lane.vehicles.push_back(veh(1, 285.0, 12.0));
+        push(&mut lane, veh(0, 296.0, 12.0), spec300());
+        push(&mut lane, veh(1, 285.0, 12.0), spec300());
         let mut r = rng();
         let crossed = update_lane(&mut lane, 300.0, HeadMode::Release, &c, &mut r);
         assert!(crossed.is_some());
@@ -290,5 +502,32 @@ mod tests {
         // The successor advanced but is still on the lane.
         assert!(lane.vehicles[0].pos < 300.0);
         assert!(lane.vehicles[0].pos > 285.0);
+    }
+
+    #[test]
+    fn incremental_counters_track_every_mutation() {
+        let c = cfg();
+        let spec = spec300();
+        let mut lane = Lane::default();
+        // One vehicle upstream of the 50 m window, one inside it, halted.
+        push(&mut lane, veh(0, 270.0, 0.0), spec);
+        push(&mut lane, veh(1, 100.0, 13.0), spec);
+        let (d, h) = lane.rescan_sensors(spec);
+        assert_eq!((lane.detected_count(), lane.halted_count()), (d, h));
+        assert_eq!((d, h), (1, 1));
+
+        let mut r = rng();
+        for _ in 0..60 {
+            update_lane(&mut lane, 300.0, HeadMode::Blocked, &c, &mut r);
+            let (d, h) = lane.rescan_sensors(spec);
+            assert_eq!(
+                (lane.detected_count(), lane.halted_count()),
+                (d, h),
+                "counters diverged from rescan"
+            );
+        }
+        // Both vehicles end up jammed inside the window.
+        assert_eq!(lane.detected_count(), 2);
+        assert_eq!(lane.halted_count(), 2);
     }
 }

@@ -24,6 +24,18 @@
 //! start of its destination lane. During amber no releases happen but the
 //! box keeps clearing — which is why the paper's 4 s amber covers the 3 s
 //! box traversal.
+//!
+//! ## Step pipeline
+//!
+//! One call to [`MicroSim::step_into`] runs, in order: sense (write
+//! per-intersection observations from the incremental detector counters)
+//! → decide (one controller per intersection; shard-parallel under
+//! `Parallelism::Rayon`) → signal refresh → box countdown → head
+//! release (serial — crossings mutate shared junction/road state) →
+//! car-following for the remaining vehicles (per-road; the expensive
+//! phase, shard-parallel under Rayon) → landings → insertions → waiting
+//! accumulation. See the crate docs' "Performance architecture" section
+//! for the invariants each phase relies on.
 
 use std::collections::VecDeque;
 use std::sync::Arc;
@@ -31,14 +43,15 @@ use std::sync::Arc;
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
 use utilbp_core::{
-    IncomingId, IntersectionView, LinkId, PhaseDecision, QueueObservation, SignalController, Tick,
+    parallel, parallel::ControllerSlot, IncomingId, LinkId, ObservationBuffer, PhaseDecision,
+    QueueObservation, SignalController, Tick,
 };
 use utilbp_metrics::{VehicleId, WaitingLedger};
 use utilbp_netgen::{Arrival, IntersectionId, NetworkTopology, RoadId, Route};
 
 use crate::config::MicroSimConfig;
 use crate::krauss::{next_speed, LeaderInfo};
-use crate::road::{update_lane, HeadMode, Lane, Vehicle};
+use crate::road::{advance_followers, advance_head, HeadMode, Lane, SensorSpec, Vehicle};
 
 /// A vehicle traversing the junction box.
 #[derive(Debug, Clone)]
@@ -68,6 +81,21 @@ struct RoadSim {
     /// Vehicles on the lanes plus reservations by vehicles crossing toward
     /// this road.
     occupancy: u32,
+    /// Per-lane count of vehicles currently in a junction box heading for
+    /// that lane — the reservations [`MicroSim::dest_lane_has_room`]
+    /// consults in O(1) instead of scanning every junction's box.
+    pending: Vec<u32>,
+    /// Detector geometry shared by this road's lanes.
+    spec: SensorSpec,
+    /// This road's dawdling stream. Car-following noise is drawn per road
+    /// (not from one global generator) so the per-road phase can shard
+    /// across threads while staying bit-identical to serial execution.
+    rng: SmallRng,
+    /// Ids of vehicles that ended the current step at waiting speed on
+    /// this road — filled by the head/follower phases (each shard owns
+    /// its road's buffer), drained into the ledger serially. Replaces a
+    /// whole-network per-tick rescan of every vehicle.
+    waiting: Vec<VehicleId>,
 }
 
 /// What happened during one microscopic step.
@@ -85,6 +113,20 @@ pub struct StepReport {
     /// Vehicles inserted at boundary entries this step (excluding those
     /// pushed to a backlog).
     pub injected: u32,
+}
+
+impl StepReport {
+    /// An empty report, ready to be passed to
+    /// [`MicroSim::step_into`] — its buffers are reused across ticks.
+    pub fn empty() -> Self {
+        StepReport {
+            tick: Tick::ZERO,
+            decisions: Vec::new(),
+            crossings: 0,
+            completed: 0,
+            injected: 0,
+        }
+    }
 }
 
 /// The microscopic simulator (SUMO substitute).
@@ -122,14 +164,18 @@ pub struct StepReport {
 pub struct MicroSim {
     topology: NetworkTopology,
     config: MicroSimConfig,
-    controllers: Vec<Box<dyn SignalController>>,
+    controllers: Vec<ControllerSlot>,
     roads: Vec<RoadSim>,
     junctions: Vec<JunctionSim>,
     backlogs: Vec<VecDeque<(VehicleId, Arc<Route>, Tick)>>,
     ledger: WaitingLedger,
-    rng: SmallRng,
     now: Tick,
     total_crossings: u64,
+    // Reusable per-step scratch (no steady-state allocation).
+    /// One observation per intersection, rewritten every tick.
+    obs_buf: ObservationBuffer,
+    /// Drain buffer for the landing phase (empty between steps).
+    landing_scratch: Vec<Crossing>,
     // Lookups (indices are plain usizes for borrow-free hot loops).
     /// Per road: destination intersection index, if internal/entry.
     road_dest: Vec<Option<usize>>,
@@ -233,31 +279,48 @@ impl MicroSim {
             });
         }
 
-        let roads = topology
+        let seed = config.seed;
+        let roads: Vec<RoadSim> = topology
             .road_ids()
             .map(|r| {
                 let road = topology.road(r);
+                let num_lanes = lane_links[r.index()].len();
                 RoadSim {
-                    lanes: vec![Lane::default(); lane_links[r.index()].len()],
+                    lanes: vec![Lane::default(); num_lanes],
                     length: road.length_m(),
                     capacity: road.capacity(),
                     occupancy: 0,
+                    pending: vec![0; num_lanes],
+                    spec: SensorSpec::for_road(road.length_m(), &config),
+                    // Decorrelate road streams with a splitmix-style odd
+                    // multiplier; SmallRng scrambles the seed further.
+                    rng: SmallRng::seed_from_u64(
+                        seed ^ (r.index() as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15),
+                    ),
+                    waiting: Vec::new(),
                 }
             })
             .collect();
 
-        let seed = config.seed;
+        let mut obs_buf = ObservationBuffer::new();
+        obs_buf.shape_for(
+            topology
+                .intersection_ids()
+                .map(|i| topology.intersection(i).layout()),
+        );
+
         MicroSim {
             topology,
             config,
-            controllers,
+            controllers: ControllerSlot::wrap_all(controllers),
             roads,
             junctions,
             backlogs: vec![VecDeque::new(); num_roads],
             ledger: WaitingLedger::new(),
-            rng: SmallRng::seed_from_u64(seed),
             now: Tick::ZERO,
             total_crossings: 0,
+            obs_buf,
+            landing_scratch: Vec::new(),
             road_dest,
             lane_links,
             lane_index_by_link,
@@ -315,10 +378,19 @@ impl MicroSim {
     /// moment the queue starts rolling, which makes every adaptive
     /// controller thrash.
     ///
+    /// Under [`LaneDiscipline::DedicatedPerMovement`](crate::LaneDiscipline)
+    /// this is an O(1) read of the lane's incrementally maintained
+    /// detector counter.
+    ///
     /// # Panics
     ///
     /// Panics if the ids are out of range.
     pub fn movement_queue_len(&self, intersection: IntersectionId, link: LinkId) -> u32 {
+        let r = self.link_in_road[intersection.index()][link.index()];
+        if self.config.lane_discipline == crate::LaneDiscipline::DedicatedPerMovement {
+            let lane = self.lane_index_by_link[r][link.index()];
+            return self.roads[r].lanes[lane].detected_count();
+        }
         self.movement_detected(intersection, link, self.config.detection_range_m)
     }
 
@@ -329,9 +401,17 @@ impl MicroSim {
     ///
     /// Panics if the ids are out of range.
     pub fn movement_count(&self, intersection: IntersectionId, link: LinkId) -> u32 {
+        if self.config.lane_discipline == crate::LaneDiscipline::DedicatedPerMovement {
+            let r = self.link_in_road[intersection.index()][link.index()];
+            let lane = self.lane_index_by_link[r][link.index()];
+            return self.roads[r].lanes[lane].vehicles.len() as u32;
+        }
         self.movement_detected(intersection, link, f64::INFINITY)
     }
 
+    /// Rescan-based detector read for arbitrary ranges (and the
+    /// [`LaneDiscipline::SharedMixed`](crate::LaneDiscipline) fallback,
+    /// where per-movement counts cannot be kept per lane).
     fn movement_detected(&self, intersection: IntersectionId, link: LinkId, range: f64) -> u32 {
         let r = self.link_in_road[intersection.index()][link.index()];
         let road = &self.roads[r];
@@ -354,21 +434,23 @@ impl MicroSim {
         }
     }
 
-    /// Halted vehicles across all lanes of a road (whole length).
+    /// Halted vehicles across all lanes of a road (whole length) — an
+    /// O(lanes) read of the incremental halt counters.
     ///
     /// # Panics
     ///
     /// Panics if `road` is out of range.
     pub fn road_halted(&self, road: RoadId) -> u32 {
-        let r = &self.roads[road.index()];
-        r.lanes
+        self.roads[road.index()]
+            .lanes
             .iter()
-            .map(|l| l.halted(r.length, f64::INFINITY, self.config.halt_speed_mps))
+            .map(|l| l.halted_count())
             .sum()
     }
 
     /// The outgoing-road sensor reading `q_{i'}` per the configured
-    /// [`OutgoingSensor`](crate::OutgoingSensor).
+    /// [`OutgoingSensor`](crate::OutgoingSensor) — O(lanes) from the
+    /// incremental counters, whatever the variant.
     ///
     /// # Panics
     ///
@@ -377,13 +459,11 @@ impl MicroSim {
         use crate::config::OutgoingSensor;
         match self.config.outgoing_sensor {
             OutgoingSensor::HaltedWholeRoad => self.road_halted(road),
-            OutgoingSensor::PresenceNearJunction => {
-                let r = &self.roads[road.index()];
-                r.lanes
-                    .iter()
-                    .map(|l| l.detected(r.length, self.config.detection_range_m))
-                    .sum()
-            }
+            OutgoingSensor::PresenceNearJunction => self.roads[road.index()]
+                .lanes
+                .iter()
+                .map(|l| l.detected_count())
+                .sum(),
             OutgoingSensor::Occupancy => self.roads[road.index()].occupancy,
         }
     }
@@ -415,42 +495,123 @@ impl MicroSim {
 
     /// The queue observation the controller at `intersection` sees.
     ///
+    /// Allocates a fresh observation; the step pipeline itself uses
+    /// [`observe_into`](Self::observe_into) over a reused
+    /// [`ObservationBuffer`].
+    ///
     /// # Panics
     ///
     /// Panics if `intersection` is out of range.
     pub fn observe(&self, intersection: IntersectionId) -> QueueObservation {
+        let layout = self.topology.intersection(intersection).layout();
+        let mut obs = QueueObservation::zeros(layout);
+        self.observe_into(intersection, &mut obs);
+        obs
+    }
+
+    /// Writes the observation for `intersection` into `obs` (shaped for
+    /// the intersection's layout) without allocating.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `intersection` is out of range or `obs` has the wrong
+    /// shape.
+    pub fn observe_into(&self, intersection: IntersectionId, obs: &mut QueueObservation) {
         let node = self.topology.intersection(intersection);
         let layout = node.layout();
-        let mut obs = QueueObservation::zeros(layout);
         for link in layout.link_ids() {
             obs.set_movement(link, self.movement_queue_len(intersection, link));
         }
         for out in layout.outgoing_ids() {
             obs.set_outgoing(out, self.road_sensor(node.outgoing_road(out)));
         }
-        obs
+    }
+
+    /// Validates the incremental-sensing invariants: every lane's detector
+    /// and halt counters must equal a from-scratch rescan, and every
+    /// lane's pending-reservation counter must equal the number of
+    /// junction-box crossings heading for it (the scan it replaced).
+    /// Debug/test facility backing the regression suite.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message naming the first divergent road/lane.
+    pub fn verify_sensors(&self) -> Result<(), String> {
+        for (r, road) in self.roads.iter().enumerate() {
+            for (l, lane) in road.lanes.iter().enumerate() {
+                let (detected, halted) = lane.rescan_sensors(road.spec);
+                if lane.detected_count() != detected || lane.halted_count() != halted {
+                    return Err(format!(
+                        "road {r} lane {l}: incremental (detected {}, halted {}) != rescan \
+                         (detected {detected}, halted {halted})",
+                        lane.detected_count(),
+                        lane.halted_count(),
+                    ));
+                }
+                let pending = self
+                    .junctions
+                    .iter()
+                    .flat_map(|j| j.in_box.iter())
+                    .filter(|c| c.dest_road == r && c.dest_lane == l)
+                    .count() as u32;
+                if road.pending[l] != pending {
+                    return Err(format!(
+                        "road {r} lane {l}: pending reservations {} != in-box scan {pending}",
+                        road.pending[l]
+                    ));
+                }
+            }
+        }
+        Ok(())
     }
 
     /// Simulates one step of `Δt`, injecting this tick's `arrivals`.
     pub fn step(&mut self, arrivals: Vec<Arrival>) -> StepReport {
+        let mut arrivals = arrivals;
+        let mut report = StepReport::empty();
+        self.step_into(&mut arrivals, &mut report);
+        report
+    }
+
+    /// Allocation-free variant of [`step`](Self::step): drains `arrivals`
+    /// and overwrites `report` in place, reusing its buffers. This is the
+    /// steady-state hot path — callers that reuse the same `Vec<Arrival>`
+    /// and [`StepReport`] across ticks incur no per-tick heap allocation
+    /// from observations or decision vectors.
+    pub fn step_into(&mut self, arrivals: &mut Vec<Arrival>, report: &mut StepReport) {
         let now = self.now;
 
-        // 1. Controllers decide from detector observations.
-        let mut decisions = Vec::with_capacity(self.controllers.len());
+        // 1. Sense: rewrite the per-intersection observation buffer from
+        //    the incremental detector counters (O(links) per junction).
+        let mut obs_buf = std::mem::take(&mut self.obs_buf);
         for i in self.topology.intersection_ids() {
-            let obs = self.observe(i);
-            let layout = self.topology.intersection(i).layout();
-            let view = IntersectionView::new(layout, &obs)
-                .expect("observation built from the same layout");
-            decisions.push(self.controllers[i.index()].decide(&view, now));
+            self.observe_into(i, obs_buf.get_mut(i.index()));
         }
 
-        // 2. Refresh per-link green flags and service credits.
+        // 2. Decide: one controller per intersection, reading only its own
+        //    observation — embarrassingly parallel, sharded under Rayon.
+        {
+            let topology = &self.topology;
+            parallel::decide_all(
+                self.config.parallelism,
+                &mut self.controllers,
+                &obs_buf,
+                now,
+                |idx| {
+                    topology
+                        .intersection(IntersectionId::new(idx as u32))
+                        .layout()
+                },
+            );
+        }
+        self.obs_buf = obs_buf;
+
+        // 3. Refresh per-link green flags and service credits.
         for i in self.topology.intersection_ids() {
             let layout = self.topology.intersection(i).layout();
             let j = &mut self.junctions[i.index()];
             j.active.iter_mut().for_each(|a| *a = false);
-            if let PhaseDecision::Control(phase) = decisions[i.index()] {
+            if let PhaseDecision::Control(phase) = self.controllers[i.index()].decision {
                 for &l in layout.phase(phase).links() {
                     j.active[l.index()] = true;
                 }
@@ -466,7 +627,7 @@ impl MicroSim {
             }
         }
 
-        // 3. Box countdown.
+        // 4. Box countdown.
         for j in &mut self.junctions {
             for c in &mut j.in_box {
                 if c.remaining > 0 {
@@ -475,12 +636,18 @@ impl MicroSim {
             }
         }
 
-        // 4. Car-following and stop-line crossings.
+        // 5. Head phase (serial): decide release for every lane head and
+        //    advance it; crossings mutate shared junction/road state
+        //    (credits, occupancies, reservations), so they stay on one
+        //    thread. Head decisions see the tick-start state of other
+        //    roads plus crossings already applied earlier in this loop.
         let mut crossings = 0u32;
         let mut completed = 0u32;
         for r in 0..self.roads.len() {
             let length = self.roads[r].length;
+            let spec = self.roads[r].spec;
             let dest = self.road_dest[r];
+            self.roads[r].waiting.clear();
             for lane_idx in 0..self.roads[r].lanes.len() {
                 if self.roads[r].lanes[lane_idx].vehicles.is_empty() {
                     continue;
@@ -508,7 +675,8 @@ impl MicroSim {
                             let out_r = self.link_out_road[j][li];
                             if self.roads[out_r].occupancy < self.roads[out_r].capacity {
                                 let head = &self.roads[r].lanes[lane_idx].vehicles[0];
-                                let dest_lane = self.choose_dest_lane(out_r, head.hop + 1, &head.route);
+                                let dest_lane =
+                                    self.choose_dest_lane(out_r, head.hop + 1, &head.route);
                                 if self.dest_lane_has_room(out_r, dest_lane) {
                                     (HeadMode::Release, Some((j, li, out_r, dest_lane)))
                                 } else {
@@ -523,27 +691,29 @@ impl MicroSim {
                     }
                 };
 
-                let crossed = update_lane(
-                    &mut self.roads[r].lanes[lane_idx],
+                let road = &mut self.roads[r];
+                let crossed = advance_head(
+                    &mut road.lanes[lane_idx],
                     length,
                     mode,
                     &self.config,
-                    &mut self.rng,
+                    spec,
+                    &mut road.rng,
+                    &mut road.waiting,
                 );
                 if let Some(mut vehicle) = crossed {
                     match head_dest {
                         None => {
                             // Exit road: the vehicle leaves the network.
-                            self.roads[r].occupancy =
-                                self.roads[r].occupancy.saturating_sub(1);
+                            road.occupancy = road.occupancy.saturating_sub(1);
                             self.ledger.complete(vehicle.id, now);
                             completed += 1;
                         }
                         Some((j, li, out_r, dest_lane)) => {
                             self.junctions[j].credit[li] -= 1.0;
-                            self.roads[r].occupancy =
-                                self.roads[r].occupancy.saturating_sub(1);
+                            self.roads[r].occupancy = self.roads[r].occupancy.saturating_sub(1);
                             self.roads[out_r].occupancy += 1;
+                            self.roads[out_r].pending[dest_lane] += 1;
                             vehicle.hop += 1;
                             self.junctions[j].in_box.push(Crossing {
                                 vehicle,
@@ -559,63 +729,105 @@ impl MicroSim {
             }
         }
 
-        // 5. Land vehicles whose box traversal finished.
-        for j in 0..self.junctions.len() {
-            let in_box = std::mem::take(&mut self.junctions[j].in_box);
-            let mut still = Vec::with_capacity(in_box.len());
-            for crossing in in_box {
-                if crossing.remaining > 0 {
-                    still.push(crossing);
+        // 6. Car-following for the remaining vehicles: per-road work with
+        //    no cross-road reads or writes — the expensive phase, sharded
+        //    under Rayon. Per-road RNGs keep it bit-identical to serial.
+        {
+            let config = &self.config;
+            parallel::for_each_indexed_mut(self.config.parallelism, &mut self.roads, |_, road| {
+                let RoadSim {
+                    lanes,
+                    length,
+                    spec,
+                    rng,
+                    waiting,
+                    ..
+                } = road;
+                for lane in lanes.iter_mut() {
+                    advance_followers(lane, *length, config, *spec, rng, waiting);
+                }
+            });
+        }
+
+        // 7. Land vehicles whose box traversal finished. Ready crossings
+        //    are drained through a reused scratch vector so the vehicle
+        //    lands by move (no clone) and box order is preserved for the
+        //    held ones, without per-tick allocation.
+        {
+            let junctions = &mut self.junctions;
+            let roads = &mut self.roads;
+            let config = &self.config;
+            let scratch = &mut self.landing_scratch;
+            let ledger = &mut self.ledger;
+            for junction in junctions.iter_mut() {
+                if junction.in_box.is_empty() {
                     continue;
                 }
-                let road = &mut self.roads[crossing.dest_road];
-                let lane = &mut road.lanes[crossing.dest_lane];
-                if lane.entry_clear(road.length, &self.config) {
+                std::mem::swap(&mut junction.in_box, scratch);
+                for crossing in scratch.drain(..) {
+                    if crossing.remaining > 0 {
+                        junction.in_box.push(crossing);
+                        continue;
+                    }
+                    let road = &mut roads[crossing.dest_road];
+                    let lane = &mut road.lanes[crossing.dest_lane];
+                    if !lane.entry_clear(road.length, config) {
+                        // Held in the box until the lane entry clears.
+                        junction.in_box.push(crossing);
+                        continue;
+                    }
                     let mut vehicle = crossing.vehicle;
-                    let leader = lane_entry_leader(lane, road.length, &self.config);
+                    let leader = lane_entry_leader(lane, road.length, config);
                     vehicle.pos = 0.0;
-                    vehicle.speed =
-                        next_speed(self.config.insertion_speed_mps, leader, 0.0, &self.config);
+                    vehicle.speed = next_speed(config.insertion_speed_mps, leader, 0.0, config);
+                    if vehicle.speed < config.waiting_speed_mps {
+                        // Landed into a standing queue: this tick already
+                        // counts as waiting (the follower phase that
+                        // normally records it has passed).
+                        ledger.add_wait(vehicle.id, 1);
+                    }
+                    lane.sensor_add(vehicle.pos, vehicle.speed, road.spec);
                     lane.vehicles.push_back(vehicle);
-                } else {
-                    // Held in the box until the lane entry clears.
-                    still.push(crossing);
+                    road.pending[crossing.dest_lane] -= 1;
                 }
             }
-            self.junctions[j].in_box = still;
         }
 
-        // 6. Insertions: backlog first, then this tick's arrivals.
+        // 8. Insertions: backlog first, then this tick's arrivals. The
+        //    slot is probed before popping, so nothing is cloned and a
+        //    backlogged vehicle is only removed once its insert succeeds.
         let mut injected = 0u32;
         for r in 0..self.roads.len() {
-            while let Some((id, route, _since)) = self.backlogs[r].front().cloned() {
-                if self.try_insert(r, id, route) {
-                    self.backlogs[r].pop_front();
-                } else {
+            while let Some((_, route, _)) = self.backlogs[r].front() {
+                let Some(lane_idx) = self.insert_slot(r, route) else {
                     break;
-                }
+                };
+                let (id, route, _since) = self.backlogs[r].pop_front().expect("checked front");
+                self.place_vehicle(r, lane_idx, id, route);
             }
         }
-        for arrival in arrivals {
-            let r = arrival.route.entry().index();
-            let route = Arc::new(arrival.route);
-            self.ledger.enter(arrival.vehicle, now);
-            if self.backlogs[r].is_empty() && self.try_insert(r, arrival.vehicle, route.clone()) {
-                injected += 1;
-            } else {
-                self.backlogs[r].push_back((arrival.vehicle, route, now));
+        for arrival in arrivals.drain(..) {
+            let Arrival { vehicle, route, .. } = arrival;
+            let r = route.entry().index();
+            self.ledger.enter(vehicle, now);
+            if self.backlogs[r].is_empty() {
+                if let Some(lane_idx) = self.insert_slot(r, &route) {
+                    self.place_vehicle(r, lane_idx, vehicle, Arc::new(route));
+                    injected += 1;
+                    continue;
+                }
             }
+            self.backlogs[r].push_back((vehicle, Arc::new(route), now));
         }
 
-        // 7. Waiting accumulation (SUMO definition: speed below threshold),
-        //    plus backlogged vehicles.
+        // 9. Waiting accumulation (SUMO definition: speed below threshold).
+        //    Lane vehicles were recorded into the per-road buffers during
+        //    the head/follower phases (landings and insertions directly),
+        //    so this drains compact id lists instead of rescanning every
+        //    vehicle; backlogged vehicles wait by definition.
         for road in &self.roads {
-            for lane in &road.lanes {
-                for v in &lane.vehicles {
-                    if v.speed < self.config.waiting_speed_mps {
-                        self.ledger.add_wait(v.id, 1);
-                    }
-                }
+            for &id in &road.waiting {
+                self.ledger.add_wait(id, 1);
             }
         }
         for backlog in &self.backlogs {
@@ -625,13 +837,14 @@ impl MicroSim {
         }
 
         self.now = now.next();
-        StepReport {
-            tick: now,
-            decisions,
-            crossings,
-            completed,
-            injected,
-        }
+        report.tick = now;
+        report.decisions.clear();
+        report
+            .decisions
+            .extend(self.controllers.iter().map(|slot| slot.decision));
+        report.crossings = crossings;
+        report.completed = completed;
+        report.injected = injected;
     }
 
     /// The destination lane on `out_road` for a vehicle whose next hop is
@@ -667,38 +880,46 @@ impl MicroSim {
     }
 
     /// Whether `dest_lane` on `out_road` can absorb one more crossing,
-    /// counting vehicles already in boxes heading for the same lane.
+    /// counting vehicles already in boxes heading for the same lane —
+    /// an O(1) read of the road's pending-reservation counter.
     fn dest_lane_has_room(&self, out_road: usize, dest_lane: usize) -> bool {
-        let pending = self
-            .junctions
-            .iter()
-            .flat_map(|j| j.in_box.iter())
-            .filter(|c| c.dest_road == out_road && c.dest_lane == dest_lane)
-            .count() as f64;
         let road = &self.roads[out_road];
+        let pending = road.pending[dest_lane] as f64;
         let tail = road.lanes[dest_lane].tail_position(road.length);
         tail >= self.config.jam_spacing_m() * (pending + 1.0)
     }
 
-    /// Attempts to insert a vehicle at the start of entry road `r`.
-    fn try_insert(&mut self, r: usize, id: VehicleId, route: Arc<Route>) -> bool {
+    /// The lane on entry road `r` that can absorb `route`'s vehicle right
+    /// now, or `None` if the road is full or the lane entry is blocked.
+    fn insert_slot(&self, r: usize, route: &Route) -> Option<usize> {
         if self.roads[r].occupancy >= self.roads[r].capacity {
-            return false;
+            return None;
         }
         let (_, link) = route.hop(0).expect("routes have at least one hop");
         let lane_idx = match self.config.lane_discipline {
-            crate::LaneDiscipline::DedicatedPerMovement => {
-                self.lane_index_by_link[r][link.index()]
-            }
+            crate::LaneDiscipline::DedicatedPerMovement => self.lane_index_by_link[r][link.index()],
             crate::LaneDiscipline::SharedMixed => self.emptiest_lane(r),
         };
+        let road = &self.roads[r];
+        if !road.lanes[lane_idx].entry_clear(road.length, &self.config) {
+            return None;
+        }
+        Some(lane_idx)
+    }
+
+    /// Inserts a vehicle at the start of lane `lane_idx` of road `r`
+    /// (which [`insert_slot`](Self::insert_slot) must have cleared).
+    fn place_vehicle(&mut self, r: usize, lane_idx: usize, id: VehicleId, route: Arc<Route>) {
         let road = &mut self.roads[r];
         let lane = &mut road.lanes[lane_idx];
-        if !lane.entry_clear(road.length, &self.config) {
-            return false;
-        }
         let leader = lane_entry_leader(lane, road.length, &self.config);
         let speed = next_speed(self.config.insertion_speed_mps, leader, 0.0, &self.config);
+        if speed < self.config.waiting_speed_mps {
+            // Inserted into a standing queue after the follower phase:
+            // this tick already counts as waiting.
+            self.ledger.add_wait(id, 1);
+        }
+        lane.sensor_add(0.0, speed, road.spec);
         lane.vehicles.push_back(Vehicle {
             id,
             route,
@@ -707,16 +928,13 @@ impl MicroSim {
             speed,
         });
         road.occupancy += 1;
-        true
     }
 }
 
 /// The leader a vehicle entering at `pos = 0` faces.
 fn lane_entry_leader(lane: &Lane, length: f64, cfg: &MicroSimConfig) -> LeaderInfo {
     match lane.vehicles.back() {
-        None => LeaderInfo::Wall {
-            distance_m: length,
-        },
+        None => LeaderInfo::Wall { distance_m: length },
         Some(tail) => LeaderInfo::Vehicle {
             net_gap_m: tail.pos - cfg.vehicle_length_m - cfg.min_gap_m,
             speed_mps: tail.speed,

@@ -146,9 +146,18 @@ impl DemandGenerator {
     /// Must be called with non-decreasing ticks; skipping ticks skips the
     /// arrivals that would have fallen in them.
     pub fn poll(&mut self, grid: &GridNetwork, tick: Tick) -> Vec<Arrival> {
+        let mut arrivals = Vec::new();
+        self.poll_into(grid, tick, &mut arrivals);
+        arrivals
+    }
+
+    /// Allocation-free variant of [`poll`](Self::poll): appends this
+    /// mini-slot's arrivals to `arrivals` (typically a cleared, reused
+    /// buffer), so a steady-state simulation loop allocates nothing per
+    /// tick on the demand side.
+    pub fn poll_into(&mut self, grid: &GridNetwork, tick: Tick, arrivals: &mut Vec<Arrival>) {
         let window_end = (tick.index() + 1) as f64 * self.config.dt_seconds;
         let pattern = self.config.schedule.pattern_at(tick);
-        let mut arrivals = Vec::new();
         for i in 0..self.clocks.len() {
             let point = self.clocks[i].point;
             let mean = pattern.inter_arrival_s(point.side);
@@ -165,7 +174,6 @@ impl DemandGenerator {
                 self.clocks[i].next_arrival_s += gap;
             }
         }
-        arrivals
     }
 
     /// Samples a route for a vehicle entering at `point`: turn per Table I,
@@ -295,9 +303,18 @@ mod tests {
         }
         let total: usize = north_turns.iter().sum();
         let share = |n: usize| n as f64 / total as f64;
-        assert!((share(north_turns[0]) - 0.2).abs() < 0.03, "left {north_turns:?}");
-        assert!((share(north_turns[1]) - 0.4).abs() < 0.03, "straight {north_turns:?}");
-        assert!((share(north_turns[2]) - 0.4).abs() < 0.03, "right {north_turns:?}");
+        assert!(
+            (share(north_turns[0]) - 0.2).abs() < 0.03,
+            "left {north_turns:?}"
+        );
+        assert!(
+            (share(north_turns[1]) - 0.4).abs() < 0.03,
+            "straight {north_turns:?}"
+        );
+        assert!(
+            (share(north_turns[2]) - 0.4).abs() < 0.03,
+            "right {north_turns:?}"
+        );
     }
 
     #[test]

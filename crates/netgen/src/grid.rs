@@ -65,9 +65,7 @@ impl GridSpec {
 }
 
 /// A grid cell `(row, col)`.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub struct GridPos {
     /// Row, 0 = northern row.
     pub row: u32,
@@ -504,7 +502,11 @@ mod tests {
         // Right from westbound-entry heading east → exits south. At (0,2)
         // the southern neighbor is (1,2), so the route continues!
         let cells: Vec<IntersectionId> = route.hops().iter().map(|&(i, _)| i).collect();
-        assert_eq!(cells.len(), 5, "turn at (0,2) heads south through (1,2), (2,2)");
+        assert_eq!(
+            cells.len(),
+            5,
+            "turn at (0,2) heads south through (1,2), (2,2)"
+        );
         assert_eq!(cells[2], g.intersection_at(GridPos::new(0, 2)));
         assert_eq!(cells[3], g.intersection_at(GridPos::new(1, 2)));
         assert_eq!(cells[4], g.intersection_at(GridPos::new(2, 2)));

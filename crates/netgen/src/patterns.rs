@@ -42,10 +42,7 @@ impl TurningProbabilities {
                 ));
             }
             if r + l > 1.0 + 1e-12 {
-                return Err(format!(
-                    "right + left for {side} is {} > 1",
-                    r + l
-                ));
+                return Err(format!("right + left for {side} is {} > 1", r + l));
             }
         }
         Ok(TurningProbabilities { right_left })
@@ -274,10 +271,12 @@ mod tests {
     #[test]
     fn custom_probabilities_validate() {
         assert!(TurningProbabilities::new([(0.5, 0.5); 4]).is_ok());
-        assert!(TurningProbabilities::new([(0.7, 0.5), (0.0, 0.0), (0.0, 0.0), (0.0, 0.0)])
-            .is_err());
-        assert!(TurningProbabilities::new([(-0.1, 0.5), (0.0, 0.0), (0.0, 0.0), (0.0, 0.0)])
-            .is_err());
+        assert!(
+            TurningProbabilities::new([(0.7, 0.5), (0.0, 0.0), (0.0, 0.0), (0.0, 0.0)]).is_err()
+        );
+        assert!(
+            TurningProbabilities::new([(-0.1, 0.5), (0.0, 0.0), (0.0, 0.0), (0.0, 0.0)]).is_err()
+        );
     }
 
     #[test]

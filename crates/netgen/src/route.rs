@@ -24,7 +24,10 @@ impl Route {
     /// Panics if `hops` is empty — a vehicle that enters the network must
     /// cross at least one intersection.
     pub fn new(entry: RoadId, hops: Vec<(IntersectionId, LinkId)>) -> Self {
-        assert!(!hops.is_empty(), "a route must cross at least one intersection");
+        assert!(
+            !hops.is_empty(),
+            "a route must cross at least one intersection"
+        );
         Route { entry, hops }
     }
 

@@ -237,7 +237,10 @@ impl fmt::Display for TopologyError {
             ),
             TopologyError::UnknownRoad(r) => write!(f, "reference to unknown road {r}"),
             TopologyError::InconsistentWiring(r) => {
-                write!(f, "road {r} endpoints disagree with the arm that references it")
+                write!(
+                    f,
+                    "road {r} endpoints disagree with the arm that references it"
+                )
             }
             TopologyError::RoadReused(r) => write!(f, "road {r} is wired to more than one arm"),
             TopologyError::CapacityMismatch {

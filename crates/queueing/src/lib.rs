@@ -276,8 +276,7 @@ mod tests {
         let util = run(controllers_util(n));
         let fixed = run((0..n)
             .map(|_| {
-                Box::new(FixedTime::new(Ticks::new(20), Ticks::new(4)))
-                    as Box<dyn SignalController>
+                Box::new(FixedTime::new(Ticks::new(20), Ticks::new(4))) as Box<dyn SignalController>
             })
             .collect());
         assert!(

@@ -21,8 +21,8 @@ use std::collections::VecDeque;
 use std::sync::Arc;
 
 use utilbp_core::{
-    IncomingId, IntersectionView, LinkId, PhaseDecision, PhaseId, QueueObservation,
-    SignalController, Tick, Ticks,
+    parallel, parallel::ControllerSlot, IncomingId, LinkId, ObservationBuffer, Parallelism,
+    PhaseDecision, PhaseId, QueueObservation, SignalController, Tick, Ticks,
 };
 use utilbp_metrics::{VehicleId, WaitingLedger};
 use utilbp_netgen::{Arrival, IntersectionId, NetworkTopology, RoadId, Route};
@@ -52,6 +52,11 @@ pub struct QueueSimConfig {
     pub free_speed_mps: f64,
     /// Transit model between junctions.
     pub transit: TransitModel,
+    /// Execution mode of the per-step controller-decide phase. Serial by
+    /// default; [`Parallelism::Rayon`] shards the decide phase across
+    /// threads and is step-for-step identical to serial (decisions depend
+    /// only on each intersection's own observation and controller state).
+    pub parallelism: Parallelism,
 }
 
 impl Default for QueueSimConfig {
@@ -60,6 +65,7 @@ impl Default for QueueSimConfig {
             dt_seconds: 1.0,
             free_speed_mps: 13.89,
             transit: TransitModel::FreeFlow,
+            parallelism: Parallelism::Serial,
         }
     }
 }
@@ -100,6 +106,11 @@ struct TransitVehicle {
 struct RoadState {
     /// Vehicles physically on the road: in transit plus queued at its head.
     occupancy: u32,
+    /// Vehicles queued at the road's downstream junction (the `q_{i'}`
+    /// the controllers observe) — maintained incrementally as vehicles
+    /// join and leave the head queues, so the outgoing-road sensor is an
+    /// O(1) read instead of a per-arm sum.
+    queued: u32,
     /// Delay line, FIFO by arrival tick.
     transit: VecDeque<TransitVehicle>,
     /// Transit delay in ticks.
@@ -145,6 +156,20 @@ pub struct StepReport {
     pub injected: u32,
 }
 
+impl StepReport {
+    /// An empty report, ready to be passed to
+    /// [`QueueSim::step_into`] — its buffers are reused across ticks.
+    pub fn empty() -> Self {
+        StepReport {
+            tick: Tick::ZERO,
+            decisions: Vec::new(),
+            served: 0,
+            completed: 0,
+            injected: 0,
+        }
+    }
+}
+
 /// The mesoscopic network simulator.
 ///
 /// # Examples
@@ -180,9 +205,11 @@ pub struct StepReport {
 pub struct QueueSim {
     topology: NetworkTopology,
     config: QueueSimConfig,
-    controllers: Vec<Box<dyn SignalController>>,
+    controllers: Vec<ControllerSlot>,
     intersections: Vec<IntersectionState>,
     roads: Vec<RoadState>,
+    /// Reusable per-step observation scratch (no steady-state allocation).
+    obs_buf: ObservationBuffer,
     /// `[intersection][link]` service lookup.
     links: Vec<Vec<LinkService>>,
     /// `[intersection][phase]` → activated link ids.
@@ -211,7 +238,7 @@ impl std::fmt::Debug for QueueSim {
                 &self
                     .controllers
                     .iter()
-                    .map(|c| c.name())
+                    .map(|slot| slot.controller.name())
                     .collect::<Vec<_>>(),
             )
             .finish_non_exhaustive()
@@ -293,6 +320,7 @@ impl QueueSim {
                 };
                 RoadState {
                     occupancy: 0,
+                    queued: 0,
                     transit: VecDeque::new(),
                     travel,
                     capacity: road.capacity(),
@@ -302,12 +330,20 @@ impl QueueSim {
             .collect();
         let backlogs = vec![VecDeque::new(); topology.num_roads()];
 
+        let mut obs_buf = ObservationBuffer::new();
+        obs_buf.shape_for(
+            topology
+                .intersection_ids()
+                .map(|i| topology.intersection(i).layout()),
+        );
+
         QueueSim {
             topology,
             config,
-            controllers,
+            controllers: ControllerSlot::wrap_all(controllers),
             intersections,
             roads,
+            obs_buf,
             links,
             phase_links,
             transit_by_link,
@@ -394,17 +430,15 @@ impl QueueSim {
 
     /// The number of vehicles *queued* on a road (waiting at its
     /// downstream junction; zero for boundary exit roads) — the `q_{i'}`
-    /// the controllers observe. Under [`TransitModel::Instant`] this
-    /// equals the occupancy.
+    /// the controllers observe, an O(1) read of the road's incrementally
+    /// maintained counter. Under [`TransitModel::Instant`] this equals
+    /// the occupancy.
     ///
     /// # Panics
     ///
     /// Panics if `road` is out of range.
     pub fn road_queue(&self, road: RoadId) -> u32 {
-        match self.topology.road(road).dest() {
-            Some((i, arm)) => self.incoming_queue_len(i, arm),
-            None => 0,
-        }
+        self.roads[road.index()].queued
     }
 
     /// Vehicles currently waiting outside full boundary entry roads.
@@ -414,13 +448,32 @@ impl QueueSim {
 
     /// The queue observation a controller at `intersection` would see now.
     ///
+    /// Allocates a fresh observation; the step pipeline itself uses
+    /// [`observe_into`](Self::observe_into) over a reused
+    /// [`ObservationBuffer`].
+    ///
     /// # Panics
     ///
     /// Panics if `intersection` is out of range.
     pub fn observe(&self, intersection: IntersectionId) -> QueueObservation {
+        let layout = self.topology.intersection(intersection).layout();
+        let mut obs = QueueObservation::zeros(layout);
+        self.observe_into(intersection, &mut obs);
+        obs
+    }
+
+    /// Writes the observation for `intersection` into `obs` (shaped for
+    /// the intersection's layout) without allocating. All reads are O(1)
+    /// per field: movement queues are deque lengths, outgoing occupancies
+    /// the incremental per-road queue counters.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `intersection` is out of range or `obs` has the wrong
+    /// shape.
+    pub fn observe_into(&self, intersection: IntersectionId, obs: &mut QueueObservation) {
         let node = self.topology.intersection(intersection);
         let layout = node.layout();
-        let mut obs = QueueObservation::zeros(layout);
         for link in layout.link_ids() {
             obs.set_movement(link, self.movement_queue_len(intersection, link));
         }
@@ -428,7 +481,36 @@ impl QueueSim {
             let road = node.outgoing_road(out);
             obs.set_outgoing(out, self.road_queue(road));
         }
-        obs
+    }
+
+    /// Validates the incremental-sensing invariant: every road's `queued`
+    /// counter must equal the sum of the movement queues at its
+    /// downstream arm. Debug/test facility backing the regression suite.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message naming the first divergent road.
+    pub fn verify_sensors(&self) -> Result<(), String> {
+        for r in self.topology.road_ids() {
+            let expected = match self.topology.road(r).dest() {
+                Some((i, arm)) => self
+                    .topology
+                    .intersection(i)
+                    .layout()
+                    .links_from(arm)
+                    .iter()
+                    .map(|&l| self.movement_queue_len(i, l))
+                    .sum(),
+                None => 0,
+            };
+            if self.roads[r.index()].queued != expected {
+                return Err(format!(
+                    "road {r}: incremental queued {} != rescan {expected}",
+                    self.roads[r.index()].queued
+                ));
+            }
+        }
+        Ok(())
     }
 
     /// Simulates one mini-slot, injecting `arrivals` (produced for this
@@ -439,32 +521,60 @@ impl QueueSim {
     /// links serve → new exogenous arrivals are injected (Eq. 2's
     /// `A(k, k+1)`).
     pub fn step(&mut self, arrivals: Vec<Arrival>) -> StepReport {
+        let mut arrivals = arrivals;
+        let mut report = StepReport::empty();
+        self.step_into(&mut arrivals, &mut report);
+        report
+    }
+
+    /// Allocation-free variant of [`step`](Self::step): drains `arrivals`
+    /// and overwrites `report` in place, reusing its buffers. This is the
+    /// steady-state hot path — callers that reuse the same `Vec<Arrival>`
+    /// and [`StepReport`] across ticks incur no per-tick heap allocation
+    /// from the stepping machinery.
+    pub fn step_into(&mut self, arrivals: &mut Vec<Arrival>, report: &mut StepReport) {
         let now = self.now;
 
         let completed = self.move_transit_arrivals(now);
         self.drain_backlogs(now);
 
-        // Decide, per intersection, from purely local observations.
-        let mut decisions = Vec::with_capacity(self.controllers.len());
+        // Sense: rewrite the reusable observation buffer (O(1) reads per
+        // field from deque lengths and the incremental road counters).
+        let mut obs_buf = std::mem::take(&mut self.obs_buf);
         for i in self.topology.intersection_ids() {
-            let obs = self.observe(i);
-            let layout = self.topology.intersection(i).layout();
-            let view = IntersectionView::new(layout, &obs)
-                .expect("observation built from the same layout");
-            decisions.push(self.controllers[i.index()].decide(&view, now));
+            self.observe_into(i, obs_buf.get_mut(i.index()));
         }
+
+        // Decide, per intersection, from purely local observations — one
+        // controller per slot, sharded across threads under
+        // [`Parallelism::Rayon`].
+        {
+            let topology = &self.topology;
+            parallel::decide_all(
+                self.config.parallelism,
+                &mut self.controllers,
+                &obs_buf,
+                now,
+                |idx| {
+                    topology
+                        .intersection(IntersectionId::new(idx as u32))
+                        .layout()
+                },
+            );
+        }
+        self.obs_buf = obs_buf;
 
         // Serve activated links.
         let mut served = 0u32;
-        for (i, &decision) in decisions.iter().enumerate() {
-            if let PhaseDecision::Control(phase) = decision {
+        for i in 0..self.controllers.len() {
+            if let PhaseDecision::Control(phase) = self.controllers[i].decision {
                 served += self.serve_phase(i, phase, now);
             }
         }
 
         // Inject this slot's exogenous arrivals.
         let mut injected = 0u32;
-        for arrival in arrivals {
+        for arrival in arrivals.drain(..) {
             if self.inject(arrival, now) {
                 injected += 1;
             }
@@ -472,13 +582,14 @@ impl QueueSim {
 
         self.total_served += served as u64;
         self.now = now.next();
-        StepReport {
-            tick: now,
-            decisions,
-            served,
-            completed,
-            injected,
-        }
+        report.tick = now;
+        report.decisions.clear();
+        report
+            .decisions
+            .extend(self.controllers.iter().map(|slot| slot.decision));
+        report.served = served;
+        report.completed = completed;
+        report.injected = injected;
     }
 
     /// Runs `horizon` steps with no exogenous demand (useful to drain the
@@ -495,7 +606,7 @@ impl QueueSim {
     fn move_transit_arrivals(&mut self, now: Tick) -> u32 {
         let mut completed = 0u32;
         for r in 0..self.roads.len() {
-            let dest = self.topology.road(RoadId::new(r as u32)).dest();
+            let dest = self.roads[r].dest_intersection;
             loop {
                 match self.roads[r].transit.front() {
                     Some(front) if front.arrives <= now => {}
@@ -503,15 +614,14 @@ impl QueueSim {
                 }
                 let v = self.roads[r].transit.pop_front().expect("checked front");
                 match dest {
-                    Some((intersection, _arm)) => {
+                    Some(intersection) => {
                         let (_, link) = v
                             .route
                             .hop(v.hop)
                             .expect("route hop exists for internal road");
-                        self.transit_by_link[intersection.index()][link.index()] = self
-                            .transit_by_link[intersection.index()][link.index()]
-                            .saturating_sub(1);
-                        self.intersections[intersection.index()].queues[link.index()].push_back(
+                        self.transit_by_link[intersection][link.index()] =
+                            self.transit_by_link[intersection][link.index()].saturating_sub(1);
+                        self.intersections[intersection].queues[link.index()].push_back(
                             QueuedVehicle {
                                 id: v.id,
                                 route: v.route,
@@ -520,7 +630,8 @@ impl QueueSim {
                             },
                         );
                         // Occupancy unchanged: the queue is the head of the
-                        // same road.
+                        // same road. The queued counter tracks the join.
+                        self.roads[r].queued += 1;
                     }
                     None => {
                         // Boundary exit: the vehicle leaves the network.
@@ -537,9 +648,7 @@ impl QueueSim {
     /// Moves backlogged vehicles onto their entry road while space lasts.
     fn drain_backlogs(&mut self, now: Tick) {
         for r in 0..self.roads.len() {
-            while !self.backlogs[r].is_empty()
-                && self.roads[r].occupancy < self.roads[r].capacity
-            {
+            while !self.backlogs[r].is_empty() && self.roads[r].occupancy < self.roads[r].capacity {
                 let (id, route, queued_since) =
                     self.backlogs[r].pop_front().expect("checked non-empty");
                 // The whole backlog dwell counts as waiting.
@@ -587,8 +696,15 @@ impl QueueSim {
                 // Leave the incoming road…
                 let in_road = &mut self.roads[service.in_road.index()];
                 in_road.occupancy = in_road.occupancy.saturating_sub(1);
+                in_road.queued = in_road.queued.saturating_sub(1);
                 // …and enter the outgoing one toward the next hop.
-                self.enter_road(service.out_road, vehicle.id, vehicle.route, vehicle.hop + 1, now);
+                self.enter_road(
+                    service.out_road,
+                    vehicle.id,
+                    vehicle.route,
+                    vehicle.hop + 1,
+                    now,
+                );
             }
         }
         self.phase_links[i][phase.index()] = link_ids;

@@ -6,13 +6,9 @@
 //! cargo run --example custom_intersection
 //! ```
 
-use adaptive_backpressure::core::{
-    IntersectionLayout, SignalController, Tick, UtilBp,
-};
+use adaptive_backpressure::core::{IntersectionLayout, SignalController, Tick, UtilBp};
 use adaptive_backpressure::metrics::VehicleId;
-use adaptive_backpressure::netgen::{
-    Arrival, IntersectionId, NetworkTopology, Road, Route,
-};
+use adaptive_backpressure::netgen::{Arrival, IntersectionId, NetworkTopology, Road, Route};
 use adaptive_backpressure::queueing::{QueueSim, QueueSimConfig};
 
 fn main() {
@@ -51,7 +47,11 @@ fn main() {
     let iid = IntersectionId::new(0);
     let mut net = NetworkTopology::builder();
     let mut entries = Vec::new();
-    for (arm, name) in [(from_west, "west"), (from_east, "east"), (from_south, "south")] {
+    for (arm, name) in [
+        (from_west, "west"),
+        (from_east, "east"),
+        (from_south, "south"),
+    ] {
         entries.push(net.add_road(Road::new(
             format!("entry-{name}"),
             None,
@@ -60,9 +60,11 @@ fn main() {
             60,
         )));
     }
-    for (arm, capacity, name) in
-        [(to_west, 60, "west"), (to_east, 60, "east"), (to_south, 40, "south")]
-    {
+    for (arm, capacity, name) in [
+        (to_west, 60, "west"),
+        (to_east, 60, "east"),
+        (to_south, 40, "south"),
+    ] {
         net.add_road(Road::new(
             format!("exit-{name}"),
             Some((iid, arm)),
@@ -73,7 +75,9 @@ fn main() {
     }
     net.add_intersection("T", layout, entries.clone(), {
         // Outgoing roads were added after the three entries, ids 3..6.
-        (3..6).map(adaptive_backpressure::netgen::RoadId::new).collect()
+        (3..6)
+            .map(adaptive_backpressure::netgen::RoadId::new)
+            .collect()
     });
     let topology = net.build().expect("hand-wired topology validates");
 

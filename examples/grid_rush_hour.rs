@@ -10,9 +10,7 @@
 //! controller is slow in debug builds.
 
 use adaptive_backpressure::core::Ticks;
-use adaptive_backpressure::experiments::{
-    run_many, Backend, ControllerKind, Probe, Scenario,
-};
+use adaptive_backpressure::experiments::{run_many, Backend, ControllerKind, Probe, Scenario};
 use adaptive_backpressure::metrics::TextTable;
 use adaptive_backpressure::netgen::{DemandSchedule, Pattern};
 
@@ -69,8 +67,7 @@ fn main() {
     println!(
         "UTIL-BP vs best baseline ({}): {:+.1}%",
         best_other.controller,
-        (best_other.avg_queuing_time_s - util.avg_queuing_time_s)
-            / best_other.avg_queuing_time_s
+        (best_other.avg_queuing_time_s - util.avg_queuing_time_s) / best_other.avg_queuing_time_s
             * 100.0
     );
 }

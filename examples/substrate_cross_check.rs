@@ -12,9 +12,7 @@
 //! ```
 
 use adaptive_backpressure::core::Ticks;
-use adaptive_backpressure::experiments::{
-    run_many, Backend, ControllerKind, Probe, Scenario,
-};
+use adaptive_backpressure::experiments::{run_many, Backend, ControllerKind, Probe, Scenario};
 use adaptive_backpressure::metrics::TextTable;
 use adaptive_backpressure::netgen::{DemandSchedule, Pattern};
 
@@ -63,7 +61,10 @@ fn main() {
         }
     }
 
-    println!("— substrate cross-check ({} s per run) —\n", horizon.count());
+    println!(
+        "— substrate cross-check ({} s per run) —\n",
+        horizon.count()
+    );
     println!("{}", table.render());
     println!(
         "\nBoth substrates should agree that the adaptive controller beats the \

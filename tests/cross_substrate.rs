@@ -31,7 +31,11 @@ fn demand_stream_is_identical_across_controllers() {
     // controller does.
     let s = scenario(Backend::Queueing, Pattern::I, 600, 4);
     let a = run(&s, &ControllerKind::UtilBp, &Probe::none());
-    let b = run(&s, &ControllerKind::FixedTime { period: 20 }, &Probe::none());
+    let b = run(
+        &s,
+        &ControllerKind::FixedTime { period: 20 },
+        &Probe::none(),
+    );
     assert_eq!(a.generated, b.generated);
 }
 
@@ -40,7 +44,11 @@ fn adaptive_beats_open_loop_on_both_substrates() {
     for backend in [Backend::Queueing, Backend::Microscopic] {
         let s = scenario(backend, Pattern::I, 1500, 77);
         let util = run(&s, &ControllerKind::UtilBp, &Probe::none());
-        let fixed = run(&s, &ControllerKind::FixedTime { period: 20 }, &Probe::none());
+        let fixed = run(
+            &s,
+            &ControllerKind::FixedTime { period: 20 },
+            &Probe::none(),
+        );
         assert!(
             util.avg_queuing_time_s < fixed.avg_queuing_time_s,
             "{backend}: UTIL-BP {:.1}s vs fixed-time {:.1}s",

@@ -270,9 +270,7 @@ fn capacities_bound_occupancy_under_stress() {
     let mut sim = QueueSim::new(
         grid.topology().clone(),
         (0..n)
-            .map(|_| {
-                Box::new(OriginalBp::new(Ticks::new(12))) as Box<dyn SignalController>
-            })
+            .map(|_| Box::new(OriginalBp::new(Ticks::new(12))) as Box<dyn SignalController>)
             .collect(),
         QueueSimConfig::paper_exact(),
     );

@@ -1,0 +1,193 @@
+//! Integration tests of the performance architecture: shard-parallel
+//! stepping must be bit-identical to serial stepping, and the
+//! incrementally maintained sensor counters must never diverge from a
+//! from-scratch rescan.
+
+use adaptive_backpressure::core::{Parallelism, SignalController, Tick, Ticks, UtilBp};
+use adaptive_backpressure::microsim::{MicroSim, MicroSimConfig};
+use adaptive_backpressure::netgen::{
+    Arrival, DemandConfig, DemandGenerator, DemandSchedule, GridNetwork, GridSpec, Pattern,
+};
+use adaptive_backpressure::queueing::{QueueSim, QueueSimConfig};
+
+fn controllers(n: usize) -> Vec<Box<dyn SignalController>> {
+    (0..n)
+        .map(|_| Box::new(UtilBp::paper()) as Box<dyn SignalController>)
+        .collect()
+}
+
+fn grid() -> GridNetwork {
+    GridNetwork::new(GridSpec::with_size(3, 3))
+}
+
+fn demand(grid: &GridNetwork, horizon: u64) -> DemandGenerator {
+    DemandGenerator::new(
+        grid,
+        DemandConfig::new(DemandSchedule::constant(Pattern::I, Ticks::new(horizon))),
+        42,
+    )
+}
+
+/// Drives two identically seeded demand streams, one per execution mode.
+fn tick_arrivals(gen: &mut DemandGenerator, grid: &GridNetwork, k: u64) -> Vec<Arrival> {
+    gen.poll(grid, Tick::new(k))
+}
+
+#[test]
+fn microsim_serial_and_rayon_are_step_identical() {
+    const HORIZON: u64 = 500;
+    let g = grid();
+    let n = g.topology().num_intersections();
+    let mut serial = MicroSim::new(
+        g.topology().clone(),
+        controllers(n),
+        MicroSimConfig {
+            parallelism: Parallelism::Serial,
+            ..MicroSimConfig::default()
+        },
+    );
+    let mut parallel = MicroSim::new(
+        g.topology().clone(),
+        controllers(n),
+        MicroSimConfig {
+            parallelism: Parallelism::Rayon,
+            ..MicroSimConfig::default()
+        },
+    );
+    let mut demand_a = demand(&g, HORIZON);
+    let mut demand_b = demand(&g, HORIZON);
+
+    for k in 0..HORIZON {
+        let a = serial.step(tick_arrivals(&mut demand_a, &g, k));
+        let b = parallel.step(tick_arrivals(&mut demand_b, &g, k));
+        assert_eq!(a, b, "step reports diverged at tick {k}");
+    }
+    assert!(serial.total_crossings() > 0, "traffic must actually flow");
+    assert_eq!(serial.total_crossings(), parallel.total_crossings());
+    assert_eq!(serial.vehicles_in_network(), parallel.vehicles_in_network());
+    assert_eq!(serial.backlog_len(), parallel.backlog_len());
+    // Final ledgers agree on every aggregate.
+    let (ls, lp) = (serial.ledger(), parallel.ledger());
+    assert_eq!(ls.completed(), lp.completed());
+    assert_eq!(ls.active(), lp.active());
+    assert_eq!(ls.waiting_stats().mean(), lp.waiting_stats().mean());
+    assert_eq!(ls.journey_stats().mean(), lp.journey_stats().mean());
+    assert_eq!(
+        ls.mean_waiting_including_active(),
+        lp.mean_waiting_including_active()
+    );
+}
+
+#[test]
+fn queueing_serial_and_rayon_are_step_identical() {
+    const HORIZON: u64 = 500;
+    let g = grid();
+    let n = g.topology().num_intersections();
+    let mut serial = QueueSim::new(
+        g.topology().clone(),
+        controllers(n),
+        QueueSimConfig {
+            parallelism: Parallelism::Serial,
+            ..QueueSimConfig::default()
+        },
+    );
+    let mut parallel = QueueSim::new(
+        g.topology().clone(),
+        controllers(n),
+        QueueSimConfig {
+            parallelism: Parallelism::Rayon,
+            ..QueueSimConfig::default()
+        },
+    );
+    let mut demand_a = demand(&g, HORIZON);
+    let mut demand_b = demand(&g, HORIZON);
+
+    for k in 0..HORIZON {
+        let a = serial.step(tick_arrivals(&mut demand_a, &g, k));
+        let b = parallel.step(tick_arrivals(&mut demand_b, &g, k));
+        assert_eq!(a, b, "step reports diverged at tick {k}");
+    }
+    assert!(serial.total_served() > 0, "traffic must actually flow");
+    assert_eq!(serial.total_served(), parallel.total_served());
+    assert_eq!(serial.backlog_len(), parallel.backlog_len());
+    let (ls, lp) = (serial.ledger(), parallel.ledger());
+    assert_eq!(ls.completed(), lp.completed());
+    assert_eq!(ls.active(), lp.active());
+    assert_eq!(ls.waiting_stats().mean(), lp.waiting_stats().mean());
+    assert_eq!(ls.journey_stats().mean(), lp.journey_stats().mean());
+}
+
+#[test]
+fn microsim_incremental_sensors_match_rescan_every_tick() {
+    const HORIZON: u64 = 200;
+    let g = grid();
+    let n = g.topology().num_intersections();
+    // Dawdling on (the default) so speeds fluctuate across the halt
+    // threshold, exercising both counter directions.
+    let mut sim = MicroSim::new(
+        g.topology().clone(),
+        controllers(n),
+        MicroSimConfig::default(),
+    );
+    let mut gen = demand(&g, HORIZON);
+    for k in 0..HORIZON {
+        sim.step(tick_arrivals(&mut gen, &g, k));
+        sim.verify_sensors()
+            .unwrap_or_else(|msg| panic!("tick {k}: {msg}"));
+    }
+    assert!(
+        sim.vehicles_in_network() > 50,
+        "the run must build real queues for the check to mean anything"
+    );
+}
+
+#[test]
+fn queueing_incremental_sensors_match_rescan_every_tick() {
+    const HORIZON: u64 = 200;
+    let g = grid();
+    let n = g.topology().num_intersections();
+    let mut sim = QueueSim::new(
+        g.topology().clone(),
+        controllers(n),
+        QueueSimConfig::default(),
+    );
+    let mut gen = demand(&g, HORIZON);
+    for k in 0..HORIZON {
+        sim.step(tick_arrivals(&mut gen, &g, k));
+        sim.verify_sensors()
+            .unwrap_or_else(|msg| panic!("tick {k}: {msg}"));
+    }
+    assert!(sim.total_served() > 0);
+}
+
+#[test]
+fn step_into_reuses_buffers_and_matches_step() {
+    // The allocation-free path must produce the same reports as the
+    // allocating convenience wrapper.
+    const HORIZON: u64 = 300;
+    let g = grid();
+    let n = g.topology().num_intersections();
+    let mut a = MicroSim::new(
+        g.topology().clone(),
+        controllers(n),
+        MicroSimConfig::default(),
+    );
+    let mut b = MicroSim::new(
+        g.topology().clone(),
+        controllers(n),
+        MicroSimConfig::default(),
+    );
+    let mut demand_a = demand(&g, HORIZON);
+    let mut demand_b = demand(&g, HORIZON);
+
+    let mut arrivals = Vec::new();
+    let mut report = adaptive_backpressure::microsim::StepReport::empty();
+    for k in 0..HORIZON {
+        let wrapped = a.step(tick_arrivals(&mut demand_a, &g, k));
+        arrivals.clear();
+        demand_b.poll_into(&g, Tick::new(k), &mut arrivals);
+        b.step_into(&mut arrivals, &mut report);
+        assert_eq!(wrapped, report, "reports diverged at tick {k}");
+        assert!(arrivals.is_empty(), "step_into must drain the arrivals");
+    }
+}
