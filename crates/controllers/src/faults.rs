@@ -14,6 +14,9 @@
 //! Faults are sampled per link/road per decision from a seeded RNG, so
 //! faulty runs are exactly reproducible.
 
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
@@ -60,6 +63,44 @@ impl SensorFaultConfig {
     }
 }
 
+/// A shared on/off switch for fault injection: scenario engines hold one
+/// handle and flip it at event ticks (a sensor-degradation *window*),
+/// while every wrapped controller holds a clone and consults it per
+/// decision. While inactive, a [`FaultySensors`] wrapper is fully
+/// transparent — no corruption and no random draws, so the fault RNG
+/// stream depends only on the ticks the window covers.
+///
+/// # Examples
+///
+/// ```
+/// use utilbp_baselines::FaultSwitch;
+///
+/// let switch = FaultSwitch::new(false);
+/// let handle = switch.clone();
+/// handle.set_active(true);
+/// assert!(switch.is_active());
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct FaultSwitch(Arc<AtomicBool>);
+
+impl FaultSwitch {
+    /// Creates a switch in the given initial state.
+    pub fn new(active: bool) -> Self {
+        FaultSwitch(Arc::new(AtomicBool::new(active)))
+    }
+
+    /// Turns fault injection on or off for every controller holding a
+    /// clone of this switch.
+    pub fn set_active(&self, active: bool) {
+        self.0.store(active, Ordering::Relaxed);
+    }
+
+    /// Whether fault injection is currently active.
+    pub fn is_active(&self) -> bool {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
 /// Wraps a controller with faulty sensors.
 ///
 /// # Examples
@@ -85,6 +126,9 @@ pub struct FaultySensors<C> {
     rng: SmallRng,
     /// Last delivered observation, for the freeze fault.
     last: Option<QueueObservation>,
+    /// Scenario-driven gate: faults apply only while the switch is
+    /// active. [`FaultySensors::new`] installs an always-on switch.
+    switch: FaultSwitch,
 }
 
 impl<C: SignalController> FaultySensors<C> {
@@ -94,6 +138,18 @@ impl<C: SignalController> FaultySensors<C> {
     ///
     /// Panics if `config` fails [`SensorFaultConfig::validate`].
     pub fn new(inner: C, config: SensorFaultConfig, seed: u64) -> Self {
+        FaultySensors::gated(inner, config, seed, FaultSwitch::new(true))
+    }
+
+    /// Wraps `inner` with a fault model gated by `switch`: corruption
+    /// applies only while the switch is active, which is how scenario
+    /// sensor-degradation windows turn the fault model on and off
+    /// mid-run without rebuilding controllers.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `config` fails [`SensorFaultConfig::validate`].
+    pub fn gated(inner: C, config: SensorFaultConfig, seed: u64, switch: FaultSwitch) -> Self {
         if let Err(msg) = config.validate() {
             panic!("invalid sensor fault config: {msg}");
         }
@@ -102,6 +158,7 @@ impl<C: SignalController> FaultySensors<C> {
             config,
             rng: SmallRng::seed_from_u64(seed),
             last: None,
+            switch,
         }
     }
 
@@ -137,6 +194,26 @@ impl<C: SignalController> FaultySensors<C> {
 impl<C: SignalController> SignalController for FaultySensors<C> {
     fn decide(&mut self, view: &IntersectionView<'_>, now: Tick) -> PhaseDecision {
         let layout = view.layout();
+        if !self.switch.is_active() {
+            // Window closed: pass the truth through. When a freeze fault
+            // is configured, keep `last` tracking the healthy readings
+            // (reusing the buffer in place) so a freeze right after
+            // reactivation repeats the latest truth rather than a stale
+            // pre-window value; otherwise `last` is never read and the
+            // inactive path stays allocation-free.
+            if self.config.freeze > 0.0 {
+                let truth = self
+                    .last
+                    .get_or_insert_with(|| QueueObservation::zeros(layout));
+                for link in layout.link_ids() {
+                    truth.set_movement(link, view.movement_queue(link));
+                }
+                for out in layout.outgoing_ids() {
+                    truth.set_outgoing(out, view.outgoing_occupancy(out));
+                }
+            }
+            return self.inner.decide(view, now);
+        }
         let mut corrupted = QueueObservation::zeros(layout);
         for link in layout.link_ids() {
             let previous = self.last.as_ref().map(|o| o.movement(link));
@@ -289,6 +366,53 @@ mod tests {
         assert!(wrapped.inner().previous_decision().is_transition());
         assert_eq!(wrapped.name(), "faulty-sensors");
         assert_eq!(wrapped.config().freeze, 1.0);
+    }
+
+    #[test]
+    fn gated_faults_are_transparent_while_inactive() {
+        let layout = layout();
+        let mut obs = QueueObservation::zeros(&layout);
+        obs.set_movement(standard::link_id(Approach::East, Turn::Straight), 30);
+        let switch = FaultSwitch::new(false);
+        let mut clean = UtilBp::paper();
+        let mut gated = FaultySensors::gated(
+            UtilBp::paper(),
+            SensorFaultConfig {
+                dropout: 1.0,
+                ..SensorFaultConfig::NONE
+            },
+            1,
+            switch.clone(),
+        );
+        for k in 0..20 {
+            let view = IntersectionView::new(&layout, &obs).unwrap();
+            let view2 = IntersectionView::new(&layout, &obs).unwrap();
+            assert_eq!(
+                clean.decide(&view, Tick::new(k)),
+                gated.decide(&view2, Tick::new(k)),
+                "inactive switch must be transparent at k={k}"
+            );
+        }
+        // Activate mid-run: total dropout blinds the controller, so its
+        // decision stops tracking the loaded junction.
+        switch.set_active(true);
+        let view = IntersectionView::new(&layout, &obs).unwrap();
+        let blind_first = gated.decide(&view, Tick::new(20));
+        for k in 21..40 {
+            let view = IntersectionView::new(&layout, &obs).unwrap();
+            assert_eq!(gated.decide(&view, Tick::new(k)), blind_first);
+        }
+        // Deactivate again: the controller sees the loaded movement and
+        // must eventually settle on the east–west phase (c3) that serves
+        // it — which total dropout prevented.
+        switch.set_active(false);
+        let c3 = PhaseDecision::Control(standard::phase_id(3));
+        let mut settled = false;
+        for k in 40..120 {
+            let view = IntersectionView::new(&layout, &obs).unwrap();
+            settled |= gated.decide(&view, Tick::new(k)) == c3;
+        }
+        assert!(settled, "healthy sensors must reveal the loaded movement");
     }
 
     #[test]

@@ -42,7 +42,7 @@ mod slot;
 
 pub use actuated::{Actuated, ActuatedConfig};
 pub use capbp::{CapBp, CapBpConfig, CapBpPressure};
-pub use faults::{FaultySensors, SensorFaultConfig};
+pub use faults::{FaultSwitch, FaultySensors, SensorFaultConfig};
 pub use fixed_util::{FixedLengthUtilBp, FixedLengthUtilBpConfig};
 pub use original::{OriginalBp, OriginalBpConfig};
 pub use simple::{FixedTime, LongestQueueFirst, LongestQueueFirstConfig};

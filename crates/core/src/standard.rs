@@ -183,11 +183,30 @@ impl fmt::Display for Turn {
 /// assert_eq!(c2.links().len(), 2);
 /// ```
 pub fn four_way(capacity: u32, service_rate: f64) -> IntersectionLayout {
+    four_way_with([capacity; 4], service_rate)
+}
+
+/// Builds a Fig. 1 intersection with per-arm outgoing capacities.
+///
+/// `capacities[i]` is the storage capacity of the outgoing road toward
+/// `Approach::ALL[i]` (North, East, South, West). This is what irregular
+/// networks (arterials with wide main roads and narrow side streets,
+/// asymmetric grids) use; [`four_way`] is the uniform-capacity special
+/// case.
+///
+/// The link and phase tables are identical to [`four_way`], so
+/// [`link_id`], [`movement_of`], and [`phase_id`] remain valid.
+///
+/// # Panics
+///
+/// Panics if any capacity is zero or `service_rate` is not strictly
+/// positive and finite.
+pub fn four_way_with(capacities: [u32; 4], service_rate: f64) -> IntersectionLayout {
     let mut b = IntersectionLayout::builder();
     for _ in Approach::ALL {
         b.add_incoming();
     }
-    for _ in Approach::ALL {
+    for capacity in capacities {
         b.add_outgoing(capacity);
     }
     // Link table in (approach-major, Turn::ALL-minor) order so that
@@ -240,6 +259,29 @@ pub const fn link_id(from: Approach, turn: Turn) -> LinkId {
 /// `PhaseId(0)..PhaseId(3)`.
 pub const fn phase_id(paper_number: u8) -> PhaseId {
     PhaseId::new(paper_number - 1)
+}
+
+/// Inverts [`link_id`] for a [`four_way`] layout: the `(approach, turn)`
+/// movement a link id denotes, or `None` if the id is outside the twelve
+/// four-way links. Lets callers holding only a `LinkId` (route hops,
+/// observations) recover the turn geometry without grid coordinates.
+pub const fn movement_of(link: LinkId) -> Option<(Approach, Turn)> {
+    let idx = link.index();
+    if idx >= 12 {
+        return None;
+    }
+    let approach = match idx / 3 {
+        0 => Approach::North,
+        1 => Approach::East,
+        2 => Approach::South,
+        _ => Approach::West,
+    };
+    let turn = match idx % 3 {
+        0 => Turn::Left,
+        1 => Turn::Straight,
+        _ => Turn::Right,
+    };
+    Some((approach, turn))
 }
 
 #[cfg(test)]
@@ -344,6 +386,29 @@ mod tests {
             assert_eq!(Approach::from_outgoing(a.outgoing()), Some(a));
         }
         assert_eq!(Approach::from_incoming(IncomingId::new(9)), None);
+    }
+
+    #[test]
+    fn asymmetric_capacities_per_arm() {
+        let layout = four_way_with([120, 40, 120, 40], 1.0);
+        assert_eq!(layout.capacity(Approach::North.outgoing()), 120);
+        assert_eq!(layout.capacity(Approach::East.outgoing()), 40);
+        assert_eq!(layout.capacity(Approach::South.outgoing()), 120);
+        assert_eq!(layout.capacity(Approach::West.outgoing()), 40);
+        assert_eq!(layout.max_capacity(), 120);
+        // Same link/phase tables as the uniform layout.
+        assert_eq!(layout.num_links(), 12);
+        assert_eq!(layout.num_phases(), 4);
+    }
+
+    #[test]
+    fn movement_of_inverts_link_id() {
+        for from in Approach::ALL {
+            for turn in Turn::ALL {
+                assert_eq!(movement_of(link_id(from, turn)), Some((from, turn)));
+            }
+        }
+        assert_eq!(movement_of(LinkId::new(12)), None);
     }
 
     #[test]

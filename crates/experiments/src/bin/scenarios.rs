@@ -1,0 +1,78 @@
+//! Runs scenario specs across controllers on both substrates and prints a
+//! comparison table.
+//!
+//! ```text
+//! scenarios                # the whole built-in library, both backends
+//! scenarios --smoke        # one small built-in per backend (CI smoke)
+//! scenarios file.scn ...   # scenario files in the text format
+//! ```
+//!
+//! Env: `UTILBP_QUICK=1` caps every horizon at 300 ticks.
+
+use utilbp_experiments::{scenario_comparison, Backend, ControllerKind};
+use utilbp_scenario::{builtin_scenarios, parse_scenario, ScenarioSpec};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let files: Vec<&String> = args.iter().filter(|a| !a.starts_with("--")).collect();
+
+    let mut specs: Vec<ScenarioSpec> = if files.is_empty() {
+        builtin_scenarios()
+    } else {
+        files
+            .iter()
+            .map(|path| {
+                let text = std::fs::read_to_string(path)
+                    .unwrap_or_else(|e| panic!("cannot read {path}: {e}"));
+                let spec = parse_scenario(&text).unwrap_or_else(|e| panic!("{path}: {e}"));
+                if let Err(e) = spec.validate() {
+                    panic!("{path}: {e}");
+                }
+                spec
+            })
+            .collect()
+    };
+
+    let mut horizon_cap = None;
+    if std::env::var("UTILBP_QUICK").is_ok_and(|v| v == "1") {
+        horizon_cap = Some(300);
+    }
+    if smoke {
+        // One small scenario, trimmed hard: the job only checks that the
+        // engine drives both substrates end to end.
+        specs.truncate(1);
+        horizon_cap = Some(horizon_cap.unwrap_or(300).min(200));
+    }
+
+    let controllers = [
+        ControllerKind::UtilBp,
+        ControllerKind::CapBp { period: 16 },
+        ControllerKind::FixedTime { period: 20 },
+    ];
+    let backends = [Backend::Queueing, Backend::Microscopic];
+
+    eprintln!(
+        "running {} scenario(s) × {} backend(s) × {} controller(s)…",
+        specs.len(),
+        backends.len(),
+        controllers.len()
+    );
+    let comparison = scenario_comparison(&specs, &backends, &controllers, horizon_cap);
+    assert!(
+        !comparison.rows.is_empty(),
+        "scenario sweep produced no rows"
+    );
+    for row in &comparison.rows {
+        assert!(
+            row.outcomes.iter().all(|o| o.generated > 0),
+            "scenario {} on {} generated no vehicles",
+            row.spec.name,
+            row.backend
+        );
+    }
+
+    println!("Scenario comparison — mean queuing time (completed/generated)");
+    println!();
+    println!("{}", comparison.render());
+}

@@ -32,6 +32,7 @@ mod options;
 mod robustness;
 mod runner;
 mod scenario;
+mod scenarios;
 mod table3;
 mod traces;
 mod tradeoff;
@@ -43,6 +44,7 @@ pub use options::ExperimentOptions;
 pub use robustness::{robustness, RobustnessResult};
 pub use runner::{run, run_many, Probe, RunResult};
 pub use scenario::{Backend, ControllerKind, Scenario};
+pub use scenarios::{scenario_comparison, ScenarioComparison, ScenarioRow};
 pub use table3::{table3, Table3Result, Table3Row};
 pub use traces::{pattern1_detail, Pattern1Detail};
 pub use tradeoff::{penalty_grid, tradeoff, TradeoffResult, TradeoffRow};

@@ -8,25 +8,10 @@ use utilbp_core::{GStarPolicy, GainMode, SignalController, Ticks, UtilBp, UtilBp
 use utilbp_microsim::MicroSimConfig;
 use utilbp_netgen::{DemandSchedule, GridSpec, TurningProbabilities};
 
-/// Which simulation substrate an experiment runs on.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
-pub enum Backend {
-    /// The mesoscopic queueing-network simulator (`utilbp-queueing`) —
-    /// fast, exactly the paper's Section II model.
-    Queueing,
-    /// The microscopic simulator (`utilbp-microsim`) — the SUMO
-    /// substitute used for the headline results.
-    Microscopic,
-}
-
-impl std::fmt::Display for Backend {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        match self {
-            Backend::Queueing => f.write_str("queueing"),
-            Backend::Microscopic => f.write_str("microscopic"),
-        }
-    }
-}
+// The substrate selector lives in `utilbp-scenario` (the scenario engine
+// needs it below this crate in the dependency graph); re-exported here so
+// every experiment keeps addressing `utilbp_experiments::Backend`.
+pub use utilbp_scenario::Backend;
 
 /// A controller recipe: enough to build one fresh controller instance per
 /// intersection.

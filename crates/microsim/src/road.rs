@@ -184,6 +184,73 @@ impl Lane {
     }
 }
 
+/// Per-(road, link) movement counters for mixed-lane roads.
+///
+/// Under [`LaneDiscipline::SharedMixed`](crate::LaneDiscipline) a
+/// movement's vehicles may sit on any lane, so the per-lane counters
+/// cannot answer "how many vehicles bound for link `l`?". These arrays —
+/// indexed by `LinkId::index()` at the road's destination intersection —
+/// are maintained incrementally at the same mutation points as the lane
+/// sensors (advance, crossing, landing, insertion), turning the
+/// SharedMixed detector read from a per-decision lane rescan into an O(1)
+/// lookup. A vehicle's movement is `route.hop(hop)`, which never changes
+/// while it is on the road.
+#[derive(Debug, Clone, Default)]
+pub(crate) struct MovementCounters {
+    /// Vehicles on the road bound for each link (any position).
+    pub total: Vec<u32>,
+    /// Vehicles bound for each link within the detection window.
+    pub detected: Vec<u32>,
+}
+
+impl MovementCounters {
+    /// Counters for a destination layout with `num_links` links.
+    pub fn new(num_links: usize) -> Self {
+        MovementCounters {
+            total: vec![0; num_links],
+            detected: vec![0; num_links],
+        }
+    }
+
+    /// The link a vehicle on this road queues for.
+    fn link_of(v: &Vehicle) -> usize {
+        v.route
+            .hop(v.hop)
+            .expect("roads with movement counters feed an intersection")
+            .1
+            .index()
+    }
+
+    /// Registers a vehicle appearing on the road.
+    pub fn add(&mut self, v: &Vehicle, spec: SensorSpec) {
+        let l = Self::link_of(v);
+        self.total[l] += 1;
+        if v.pos >= spec.detect_from {
+            self.detected[l] += 1;
+        }
+    }
+
+    /// Registers a vehicle leaving the road from `pos` (crossings happen
+    /// at or past the stop line, which is always inside the detector
+    /// window).
+    fn remove(&mut self, v: &Vehicle, pos: f64, spec: SensorSpec) {
+        let l = Self::link_of(v);
+        self.total[l] -= 1;
+        if pos >= spec.detect_from {
+            self.detected[l] -= 1;
+        }
+    }
+
+    /// Registers an in-place movement across the detector boundary.
+    fn moved(&mut self, v: &Vehicle, old_pos: f64, new_pos: f64, spec: SensorSpec) {
+        match (old_pos >= spec.detect_from, new_pos >= spec.detect_from) {
+            (false, true) => self.detected[Self::link_of(v)] += 1,
+            (true, false) => self.detected[Self::link_of(v)] -= 1,
+            _ => {}
+        }
+    }
+}
+
 /// What the head vehicle of a lane faces this step.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub(crate) enum HeadMode {
@@ -202,6 +269,7 @@ pub(crate) enum HeadMode {
 /// If the head stays on the lane at waiting speed, its id is appended to
 /// `waiting` (the road's reusable waiting-accumulation buffer), saving
 /// the separate whole-network waiting scan.
+#[allow(clippy::too_many_arguments)]
 pub(crate) fn advance_head(
     lane: &mut Lane,
     length: f64,
@@ -210,6 +278,7 @@ pub(crate) fn advance_head(
     spec: SensorSpec,
     rng: &mut SmallRng,
     waiting: &mut Vec<VehicleId>,
+    mut movements: Option<&mut MovementCounters>,
 ) -> Option<Vehicle> {
     lane.head_crossed = false;
     if lane.vehicles.is_empty() {
@@ -232,6 +301,9 @@ pub(crate) fn advance_head(
         waiting.push(head.id);
     }
     lane.sensor_move(old_pos, old_speed, new_pos, new_speed, spec);
+    if let Some(mv) = movements.as_deref_mut() {
+        mv.moved(&lane.vehicles[0], old_pos, new_pos, spec);
+    }
 
     if head_mode == HeadMode::Release && new_pos >= length {
         lane.sensor_remove(new_pos, new_speed, spec);
@@ -240,7 +312,11 @@ pub(crate) fn advance_head(
         if new_speed < cfg.waiting_speed_mps {
             waiting.pop();
         }
-        return lane.vehicles.pop_front();
+        let crossed = lane.vehicles.pop_front();
+        if let (Some(mv), Some(v)) = (movements, crossed.as_ref()) {
+            mv.remove(v, new_pos, spec);
+        }
+        return crossed;
     }
     None
 }
@@ -258,6 +334,7 @@ pub(crate) fn advance_followers(
     spec: SensorSpec,
     rng: &mut SmallRng,
     waiting: &mut Vec<VehicleId>,
+    mut movements: Option<&mut MovementCounters>,
 ) {
     let mut start = if lane.head_crossed { 0 } else { 1 };
     lane.head_crossed = false;
@@ -321,6 +398,9 @@ pub(crate) fn advance_followers(
                 (v.pos >= spec.detect_from) as i64 - (old_pos >= spec.detect_from) as i64;
             halted_delta +=
                 (v.speed < spec.halt_speed) as i64 - (old_speed < spec.halt_speed) as i64;
+            if let Some(mv) = movements.as_deref_mut() {
+                mv.moved(v, old_pos, v.pos, spec);
+            }
             if v.speed < cfg.waiting_speed_mps {
                 waiting.push(v.id);
             }
@@ -347,8 +427,8 @@ pub(crate) fn update_lane(
 ) -> Option<Vehicle> {
     let spec = SensorSpec::for_road(length, cfg);
     let mut waiting = Vec::new();
-    let crossed = advance_head(lane, length, head_mode, cfg, spec, rng, &mut waiting);
-    advance_followers(lane, length, cfg, spec, rng, &mut waiting);
+    let crossed = advance_head(lane, length, head_mode, cfg, spec, rng, &mut waiting, None);
+    advance_followers(lane, length, cfg, spec, rng, &mut waiting, None);
     crossed
 }
 

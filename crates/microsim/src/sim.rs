@@ -51,7 +51,9 @@ use utilbp_netgen::{Arrival, IntersectionId, NetworkTopology, RoadId, Route};
 
 use crate::config::MicroSimConfig;
 use crate::krauss::{next_speed, LeaderInfo};
-use crate::road::{advance_followers, advance_head, HeadMode, Lane, SensorSpec, Vehicle};
+use crate::road::{
+    advance_followers, advance_head, HeadMode, Lane, MovementCounters, SensorSpec, Vehicle,
+};
 
 /// A vehicle traversing the junction box.
 #[derive(Debug, Clone)]
@@ -78,6 +80,10 @@ struct RoadSim {
     lanes: Vec<Lane>,
     length: f64,
     capacity: u32,
+    /// Whether the road is closed to *entering* traffic (scenario
+    /// events). Vehicles already on a closed road keep driving and may
+    /// leave it; no head release targets it and no insertion lands on it.
+    closed: bool,
     /// Vehicles on the lanes plus reservations by vehicles crossing toward
     /// this road.
     occupancy: u32,
@@ -87,6 +93,12 @@ struct RoadSim {
     pending: Vec<u32>,
     /// Detector geometry shared by this road's lanes.
     spec: SensorSpec,
+    /// Per-(road, link) movement counters, maintained only under
+    /// [`LaneDiscipline::SharedMixed`](crate::LaneDiscipline) for roads
+    /// feeding an intersection — the O(1) replacement for the mixed-lane
+    /// per-decision rescans. `None` under dedicated lanes (the per-lane
+    /// counters already answer per-movement queries) and on exit roads.
+    move_counts: Option<MovementCounters>,
     /// This road's dawdling stream. Car-following noise is drawn per road
     /// (not from one global generator) so the per-road phase can shard
     /// across threads while staying bit-identical to serial execution.
@@ -289,9 +301,16 @@ impl MicroSim {
                     lanes: vec![Lane::default(); num_lanes],
                     length: road.length_m(),
                     capacity: road.capacity(),
+                    closed: false,
                     occupancy: 0,
                     pending: vec![0; num_lanes],
                     spec: SensorSpec::for_road(road.length_m(), &config),
+                    move_counts: match (config.lane_discipline, road.dest()) {
+                        (crate::LaneDiscipline::SharedMixed, Some((i, _))) => Some(
+                            MovementCounters::new(topology.intersection(i).layout().num_links()),
+                        ),
+                        _ => None,
+                    },
                     // Decorrelate road streams with a splitmix-style odd
                     // multiplier; SmallRng scrambles the seed further.
                     rng: SmallRng::seed_from_u64(
@@ -370,6 +389,28 @@ impl MicroSim {
         self.backlogs.iter().map(|b| b.len()).sum()
     }
 
+    /// Closes or reopens a road (a disruption event). A closed road admits
+    /// no new traffic — heads are never released toward it and boundary
+    /// insertions on a closed entry road stay in the backlog — but
+    /// vehicles already on it keep driving and may leave it, like a
+    /// street closed at its upstream end.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `road` is out of range.
+    pub fn set_road_closed(&mut self, road: RoadId, closed: bool) {
+        self.roads[road.index()].closed = closed;
+    }
+
+    /// Whether `road` is currently closed to entering traffic.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `road` is out of range.
+    pub fn road_closed(&self, road: RoadId) -> bool {
+        self.roads[road.index()].closed
+    }
+
     /// Detected queue `q_i^{i'}` for `link` at `intersection`: vehicles
     /// present on the movement's dedicated lane within the detector range
     /// of the stop line. Presence (rather than halting) is used upstream
@@ -391,6 +432,11 @@ impl MicroSim {
             let lane = self.lane_index_by_link[r][link.index()];
             return self.roads[r].lanes[lane].detected_count();
         }
+        if let Some(mv) = &self.roads[r].move_counts {
+            // SharedMixed: the incrementally maintained per-(road, link)
+            // counter (vehicles for a movement may sit on any lane).
+            return mv.detected[link.index()];
+        }
         self.movement_detected(intersection, link, self.config.detection_range_m)
     }
 
@@ -401,10 +447,13 @@ impl MicroSim {
     ///
     /// Panics if the ids are out of range.
     pub fn movement_count(&self, intersection: IntersectionId, link: LinkId) -> u32 {
+        let r = self.link_in_road[intersection.index()][link.index()];
         if self.config.lane_discipline == crate::LaneDiscipline::DedicatedPerMovement {
-            let r = self.link_in_road[intersection.index()][link.index()];
             let lane = self.lane_index_by_link[r][link.index()];
             return self.roads[r].lanes[lane].vehicles.len() as u32;
+        }
+        if let Some(mv) = &self.roads[r].move_counts {
+            return mv.total[link.index()];
         }
         self.movement_detected(intersection, link, f64::INFINITY)
     }
@@ -561,6 +610,27 @@ impl MicroSim {
                     ));
                 }
             }
+            if let Some(mv) = &road.move_counts {
+                for link in 0..mv.total.len() {
+                    let (mut total, mut detected) = (0u32, 0u32);
+                    for lane in &road.lanes {
+                        for v in &lane.vehicles {
+                            if v.route.hop(v.hop).map(|(_, l)| l.index()) == Some(link) {
+                                total += 1;
+                                if v.pos >= road.spec.detect_from {
+                                    detected += 1;
+                                }
+                            }
+                        }
+                    }
+                    if mv.total[link] != total || mv.detected[link] != detected {
+                        return Err(format!(
+                            "road {r} link {link}: incremental movement (total {}, detected {})                              != rescan (total {total}, detected {detected})",
+                            mv.total[link], mv.detected[link]
+                        ));
+                    }
+                }
+            }
         }
         Ok(())
     }
@@ -673,7 +743,9 @@ impl MicroSim {
                         let li = link.index();
                         if self.junctions[j].active[li] && self.junctions[j].credit[li] >= 1.0 {
                             let out_r = self.link_out_road[j][li];
-                            if self.roads[out_r].occupancy < self.roads[out_r].capacity {
+                            if !self.roads[out_r].closed
+                                && self.roads[out_r].occupancy < self.roads[out_r].capacity
+                            {
                                 let head = &self.roads[r].lanes[lane_idx].vehicles[0];
                                 let dest_lane =
                                     self.choose_dest_lane(out_r, head.hop + 1, &head.route);
@@ -700,6 +772,7 @@ impl MicroSim {
                     spec,
                     &mut road.rng,
                     &mut road.waiting,
+                    road.move_counts.as_mut(),
                 );
                 if let Some(mut vehicle) = crossed {
                     match head_dest {
@@ -741,10 +814,19 @@ impl MicroSim {
                     spec,
                     rng,
                     waiting,
+                    move_counts,
                     ..
                 } = road;
                 for lane in lanes.iter_mut() {
-                    advance_followers(lane, *length, config, *spec, rng, waiting);
+                    advance_followers(
+                        lane,
+                        *length,
+                        config,
+                        *spec,
+                        rng,
+                        waiting,
+                        move_counts.as_mut(),
+                    );
                 }
             });
         }
@@ -787,6 +869,9 @@ impl MicroSim {
                         ledger.add_wait(vehicle.id, 1);
                     }
                     lane.sensor_add(vehicle.pos, vehicle.speed, road.spec);
+                    if let Some(mv) = road.move_counts.as_mut() {
+                        mv.add(&vehicle, road.spec);
+                    }
                     lane.vehicles.push_back(vehicle);
                     road.pending[crossing.dest_lane] -= 1;
                 }
@@ -812,12 +897,12 @@ impl MicroSim {
             self.ledger.enter(vehicle, now);
             if self.backlogs[r].is_empty() {
                 if let Some(lane_idx) = self.insert_slot(r, &route) {
-                    self.place_vehicle(r, lane_idx, vehicle, Arc::new(route));
+                    self.place_vehicle(r, lane_idx, vehicle, route);
                     injected += 1;
                     continue;
                 }
             }
-            self.backlogs[r].push_back((vehicle, Arc::new(route), now));
+            self.backlogs[r].push_back((vehicle, route, now));
         }
 
         // 9. Waiting accumulation (SUMO definition: speed below threshold).
@@ -892,7 +977,7 @@ impl MicroSim {
     /// The lane on entry road `r` that can absorb `route`'s vehicle right
     /// now, or `None` if the road is full or the lane entry is blocked.
     fn insert_slot(&self, r: usize, route: &Route) -> Option<usize> {
-        if self.roads[r].occupancy >= self.roads[r].capacity {
+        if self.roads[r].closed || self.roads[r].occupancy >= self.roads[r].capacity {
             return None;
         }
         let (_, link) = route.hop(0).expect("routes have at least one hop");
@@ -920,13 +1005,17 @@ impl MicroSim {
             self.ledger.add_wait(id, 1);
         }
         lane.sensor_add(0.0, speed, road.spec);
-        lane.vehicles.push_back(Vehicle {
+        let vehicle = Vehicle {
             id,
             route,
             hop: 0,
             pos: 0.0,
             speed,
-        });
+        };
+        if let Some(mv) = road.move_counts.as_mut() {
+            mv.add(&vehicle, road.spec);
+        }
+        lane.vehicles.push_back(vehicle);
         road.occupancy += 1;
     }
 }

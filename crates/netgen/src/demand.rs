@@ -7,6 +7,8 @@
 //! its turning intersection uniformly along its straight path, exactly as
 //! described in Section V.
 
+use std::sync::Arc;
+
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
@@ -25,8 +27,9 @@ pub struct Arrival {
     pub vehicle: VehicleId,
     /// The arrival instant.
     pub tick: Tick,
-    /// The vehicle's full route.
-    pub route: Route,
+    /// The vehicle's full route, shared with the generator's route cache —
+    /// injecting a vehicle clones a pointer, never a route.
+    pub route: Arc<Route>,
 }
 
 /// Configuration of a [`DemandGenerator`].
@@ -87,8 +90,24 @@ struct EntryClock {
 pub struct DemandGenerator {
     config: DemandConfig,
     clocks: Vec<EntryClock>,
+    /// Per entry: every route the paper's demand model can sample, indexed
+    /// by [`choice_index`]. Precomputed once so injection is
+    /// allocation-free — sampling clones an [`Arc`], not a route.
+    route_cache: Vec<Vec<Arc<Route>>>,
     rng: SmallRng,
     next_vehicle: u64,
+}
+
+/// The cache slot of a [`RouteChoice`] for an entry whose straight path
+/// crosses `path_len` intersections: slot 0 is the straight route, then
+/// `(left, right)` pairs per turning intersection.
+fn choice_index(choice: RouteChoice) -> usize {
+    match choice {
+        RouteChoice::Straight => 0,
+        RouteChoice::TurnAt { turn, path_index } => {
+            1 + path_index * 2 + usize::from(turn == Turn::Right)
+        }
+    }
 }
 
 impl DemandGenerator {
@@ -122,9 +141,30 @@ impl DemandGenerator {
                 }
             })
             .collect();
+        // Precompute every route the demand model can sample (straight plus
+        // one left/right turn at each intersection along the straight
+        // path), in `choice_index` order.
+        let route_cache = grid
+            .entries()
+            .iter()
+            .map(|point| {
+                let path_len = grid.straight_path_len(point.side) as usize;
+                let mut routes = Vec::with_capacity(1 + 2 * path_len);
+                routes.push(Arc::new(grid.route(point, RouteChoice::Straight)));
+                for path_index in 0..path_len {
+                    for turn in [Turn::Left, Turn::Right] {
+                        let choice = RouteChoice::TurnAt { turn, path_index };
+                        debug_assert_eq!(choice_index(choice), routes.len());
+                        routes.push(Arc::new(grid.route(point, choice)));
+                    }
+                }
+                routes
+            })
+            .collect();
         DemandGenerator {
             config,
             clocks,
+            route_cache,
             rng,
             next_vehicle: 0,
         }
@@ -164,7 +204,7 @@ impl DemandGenerator {
             while self.clocks[i].next_arrival_s < window_end {
                 let vehicle = VehicleId::new(self.next_vehicle);
                 self.next_vehicle += 1;
-                let route = self.sample_route(grid, &point);
+                let route = self.sample_route(grid, i, &point);
                 arrivals.push(Arrival {
                     vehicle,
                     tick,
@@ -177,8 +217,9 @@ impl DemandGenerator {
     }
 
     /// Samples a route for a vehicle entering at `point`: turn per Table I,
-    /// turning intersection uniform along the straight path.
-    fn sample_route(&mut self, grid: &GridNetwork, point: &EntryPoint) -> Route {
+    /// turning intersection uniform along the straight path. Returns a
+    /// shared handle into the precomputed route cache — no allocation.
+    fn sample_route(&mut self, grid: &GridNetwork, entry: usize, point: &EntryPoint) -> Arc<Route> {
         let u: f64 = self.rng.gen();
         let turn = self.config.turning.turn_for(point.side, u);
         let choice = match turn {
@@ -189,7 +230,7 @@ impl DemandGenerator {
                 RouteChoice::TurnAt { turn, path_index }
             }
         };
-        grid.route(point, choice)
+        Arc::clone(&self.route_cache[entry][choice_index(choice)])
     }
 }
 
@@ -360,6 +401,29 @@ mod tests {
             east_counts[0] as f64 > east_counts[1] as f64 * 1.3,
             "{east_counts:?}"
         );
+    }
+
+    #[test]
+    fn cached_routes_match_fresh_construction() {
+        let g = grid();
+        let demand = DemandGenerator::new(&g, config(Pattern::I, 10), 0);
+        for (entry, point) in g.entries().iter().enumerate() {
+            let path_len = g.straight_path_len(point.side) as usize;
+            let mut choices = vec![RouteChoice::Straight];
+            for path_index in 0..path_len {
+                for turn in [Turn::Left, Turn::Right] {
+                    choices.push(RouteChoice::TurnAt { turn, path_index });
+                }
+            }
+            assert_eq!(demand.route_cache[entry].len(), choices.len());
+            for choice in choices {
+                assert_eq!(
+                    *demand.route_cache[entry][choice_index(choice)],
+                    g.route(point, choice),
+                    "{choice:?}"
+                );
+            }
+        }
     }
 
     #[test]

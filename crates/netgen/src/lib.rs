@@ -7,11 +7,18 @@
 //!   wired by directed [`Road`]s;
 //! - [`GridNetwork`] / [`GridSpec`] — the paper's 3×3 grid of Fig. 1
 //!   four-way junctions (and arbitrary `rows × cols` variants);
+//! - [`ArterialSpec`] / [`RingSpec`] / [`AsymmetricGridSpec`] — non-grid
+//!   generators (corridors, ring roads, per-axis asymmetric grids) with
+//!   per-arm road capacities;
+//! - [`Network`] / [`enumerate_routes`] — topology-agnostic routable
+//!   networks: any topology of standard four-way junctions plus
+//!   pre-enumerated weighted route sets per boundary entry;
 //! - [`TurningProbabilities`] (Table I) and [`Pattern`] /
 //!   [`DemandSchedule`] (Table II, including the 4 h mixed pattern);
 //! - [`Route`] / [`RouteChoice`] — per-vehicle journeys: straight through,
 //!   or one turn at a randomly selected intersection;
-//! - [`DemandGenerator`] — seeded Poisson arrivals with routed vehicles.
+//! - [`DemandGenerator`] — seeded Poisson arrivals with routed vehicles,
+//!   served allocation-free from a per-(entry, choice) route cache.
 //!
 //! ```
 //! use utilbp_core::{Tick, Ticks};
@@ -36,13 +43,17 @@
 #![warn(missing_docs)]
 
 mod demand;
+mod generators;
 mod grid;
+mod network;
 mod patterns;
 mod route;
 mod topology;
 
 pub use demand::{Arrival, DemandConfig, DemandGenerator};
+pub use generators::{ArterialSpec, AsymmetricGridSpec, RingSpec};
 pub use grid::{EntryPoint, GridNetwork, GridPos, GridSpec, RouteChoice};
+pub use network::{enumerate_routes, NetEntry, Network, RouteOption};
 pub use patterns::{DemandSchedule, Pattern, TurningProbabilities};
 pub use route::Route;
 pub use topology::{

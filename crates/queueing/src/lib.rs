@@ -58,7 +58,7 @@ mod tests {
         Arrival {
             vehicle: VehicleId::new(id),
             tick: Tick::ZERO,
-            route: grid.route(&entry, choice),
+            route: std::sync::Arc::new(grid.route(&entry, choice)),
         }
     }
 
@@ -492,5 +492,53 @@ mod tests {
         }
         assert_eq!(sim.ledger().completed(), 1);
         assert_eq!(sim.total_served() as usize, route_len);
+    }
+
+    #[test]
+    fn closed_entry_road_backlogs_arrivals_until_reopened() {
+        let g = grid();
+        let mut sim = sim_with_util(&g);
+        let entry_road = g.entries()[0].road;
+        sim.set_road_closed(entry_road, true);
+        assert!(sim.road_closed(entry_road));
+        for id in 0..5 {
+            sim.step(vec![one_arrival(&g, 0, id, RouteChoice::Straight)]);
+        }
+        assert_eq!(sim.backlog_len(), 5, "closed entry admits nobody");
+        assert_eq!(sim.road_occupancy(entry_road), 0);
+        sim.set_road_closed(entry_road, false);
+        sim.step(Vec::new());
+        assert_eq!(sim.backlog_len(), 0, "reopening drains the backlog");
+        assert_eq!(sim.road_occupancy(entry_road), 5);
+    }
+
+    #[test]
+    fn closed_internal_road_blocks_service_onto_it() {
+        let g = grid();
+        let mut sim = sim_with_util(&g);
+        // The internal road a north-entry straight route takes out of its
+        // first intersection.
+        let first = g.entries()[0].intersection;
+        let node = g.topology().intersection(first);
+        let internal = node.outgoing_road(Turn::Straight.exit_from(Approach::North).outgoing());
+        assert!(g.topology().road(internal).is_internal());
+        sim.set_road_closed(internal, true);
+        for id in 0..4 {
+            sim.step(vec![one_arrival(&g, 0, id, RouteChoice::Straight)]);
+        }
+        for _ in 0..300 {
+            sim.step(Vec::new());
+        }
+        // Nothing ever crossed onto the closed road; the queue persists.
+        assert_eq!(sim.road_occupancy(internal), 0);
+        assert_eq!(sim.ledger().completed(), 0);
+        let link = standard::link_id(Approach::North, Turn::Straight);
+        assert_eq!(sim.movement_queue_len(first, link), 4);
+        // Reopen: traffic flows again and the journeys finish.
+        sim.set_road_closed(internal, false);
+        for _ in 0..600 {
+            sim.step(Vec::new());
+        }
+        assert_eq!(sim.ledger().completed(), 4);
     }
 }

@@ -104,6 +104,10 @@ struct TransitVehicle {
 
 #[derive(Debug, Clone, Default)]
 struct RoadState {
+    /// Whether the road is closed to *entering* traffic (scenario events).
+    /// Vehicles already on a closed road keep moving and may leave it;
+    /// nothing new is served or injected onto it while closed.
+    closed: bool,
     /// Vehicles physically on the road: in transit plus queued at its head.
     occupancy: u32,
     /// Vehicles queued at the road's downstream junction (the `q_{i'}`
@@ -319,6 +323,7 @@ impl QueueSim {
                     }
                 };
                 RoadState {
+                    closed: false,
                     occupancy: 0,
                     queued: 0,
                     transit: VecDeque::new(),
@@ -444,6 +449,28 @@ impl QueueSim {
     /// Vehicles currently waiting outside full boundary entry roads.
     pub fn backlog_len(&self) -> usize {
         self.backlogs.iter().map(|b| b.len()).sum()
+    }
+
+    /// Closes or reopens a road (a disruption event). A closed road admits
+    /// no new traffic — junctions do not serve vehicles onto it and
+    /// boundary arrivals on a closed entry road wait in the backlog — but
+    /// vehicles already on it keep moving and may leave it, exactly like a
+    /// street closed at its upstream end.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `road` is out of range.
+    pub fn set_road_closed(&mut self, road: RoadId, closed: bool) {
+        self.roads[road.index()].closed = closed;
+    }
+
+    /// Whether `road` is currently closed to entering traffic.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `road` is out of range.
+    pub fn road_closed(&self, road: RoadId) -> bool {
+        self.roads[road.index()].closed
     }
 
     /// The queue observation a controller at `intersection` would see now.
@@ -648,7 +675,10 @@ impl QueueSim {
     /// Moves backlogged vehicles onto their entry road while space lasts.
     fn drain_backlogs(&mut self, now: Tick) {
         for r in 0..self.roads.len() {
-            while !self.backlogs[r].is_empty() && self.roads[r].occupancy < self.roads[r].capacity {
+            while !self.backlogs[r].is_empty()
+                && !self.roads[r].closed
+                && self.roads[r].occupancy < self.roads[r].capacity
+            {
                 let (id, route, queued_since) =
                     self.backlogs[r].pop_front().expect("checked non-empty");
                 // The whole backlog dwell counts as waiting.
@@ -679,7 +709,7 @@ impl QueueSim {
 
             while budget > 0 {
                 let out = &self.roads[service.out_road.index()];
-                if out.occupancy >= out.capacity {
+                if out.closed || out.occupancy >= out.capacity {
                     break;
                 }
                 let Some(vehicle) = self.intersections[i].queues[link_id.index()].pop_front()
@@ -738,9 +768,11 @@ impl QueueSim {
     /// Injects an exogenous arrival; returns `false` if it was backlogged.
     fn inject(&mut self, arrival: Arrival, now: Tick) -> bool {
         let road = arrival.route.entry();
-        let route = Arc::new(arrival.route);
+        let route = arrival.route;
         self.ledger.enter(arrival.vehicle, now);
-        if self.roads[road.index()].occupancy < self.roads[road.index()].capacity {
+        if !self.roads[road.index()].closed
+            && self.roads[road.index()].occupancy < self.roads[road.index()].capacity
+        {
             self.enter_road(road, arrival.vehicle, route, 0, now);
             true
         } else {

@@ -1,0 +1,157 @@
+//! The built-in scenario library: ready-made specs covering every
+//! topology family, time-varying demand, closures, and sensor-fault
+//! windows.
+
+use utilbp_core::{Tick, Ticks};
+use utilbp_netgen::{ArterialSpec, AsymmetricGridSpec, GridSpec, Pattern, RingSpec};
+
+use crate::spec::{DemandProfile, ScenarioEvent, ScenarioSpec, TopologySpec};
+
+/// All built-in scenarios, in presentation order:
+///
+/// | Name | Topology | Demand | Events |
+/// |---|---|---|---|
+/// | `paper-grid` | 3×3 grid | constant (Pattern II) | — |
+/// | `arterial-rush-hour` | 5-junction arterial | rush-hour ramp | — |
+/// | `ring-pulse` | 6-junction ring | pulse | — |
+/// | `asym-bottleneck` | 3×3 asymmetric grid | constant | — |
+/// | `grid-incident` | 3×3 grid | constant | closure + reopening |
+/// | `arterial-sensor-dropout` | 5-junction arterial | day profile | sensor-fault window |
+pub fn builtin_scenarios() -> Vec<ScenarioSpec> {
+    let paper_grid = TopologySpec::Grid {
+        spec: GridSpec::paper(),
+        pattern: Pattern::II,
+    };
+    // The road the incident closes: the first internal road of the paper
+    // grid (deterministic by construction order). Built from the bare
+    // grid topology — no route enumeration needed for a road lookup.
+    let incident_road = {
+        let grid = utilbp_netgen::GridNetwork::new(GridSpec::paper());
+        let topo = grid.topology();
+        let road = topo
+            .road_ids()
+            .find(|&r| topo.road(r).is_internal())
+            .expect("the paper grid has internal roads");
+        road
+    };
+
+    vec![
+        ScenarioSpec {
+            name: "paper-grid".to_string(),
+            seed: 2020,
+            horizon: Ticks::new(600),
+            topology: paper_grid.clone(),
+            demand: DemandProfile::Constant,
+            events: Vec::new(),
+        },
+        ScenarioSpec {
+            name: "arterial-rush-hour".to_string(),
+            seed: 2020,
+            horizon: Ticks::new(900),
+            topology: TopologySpec::Arterial(ArterialSpec::default()),
+            demand: DemandProfile::RushHour {
+                ramp: 200,
+                peak: 300,
+                peak_factor: 2.5,
+            },
+            events: Vec::new(),
+        },
+        ScenarioSpec {
+            name: "ring-pulse".to_string(),
+            seed: 2020,
+            horizon: Ticks::new(700),
+            topology: TopologySpec::Ring(RingSpec::default()),
+            demand: DemandProfile::Pulse {
+                from: 200,
+                len: 150,
+                factor: 3.0,
+            },
+            events: Vec::new(),
+        },
+        ScenarioSpec {
+            name: "asym-bottleneck".to_string(),
+            seed: 2020,
+            horizon: Ticks::new(600),
+            topology: TopologySpec::AsymmetricGrid(AsymmetricGridSpec::default()),
+            demand: DemandProfile::Constant,
+            events: Vec::new(),
+        },
+        ScenarioSpec {
+            name: "grid-incident".to_string(),
+            seed: 2020,
+            horizon: Ticks::new(700),
+            topology: paper_grid,
+            demand: DemandProfile::Constant,
+            events: vec![
+                ScenarioEvent::CloseRoad {
+                    road: incident_road,
+                    at: Tick::new(150),
+                },
+                ScenarioEvent::ReopenRoad {
+                    road: incident_road,
+                    at: Tick::new(400),
+                },
+            ],
+        },
+        ScenarioSpec {
+            name: "arterial-sensor-dropout".to_string(),
+            seed: 2020,
+            horizon: Ticks::new(700),
+            topology: TopologySpec::Arterial(ArterialSpec::default()),
+            demand: DemandProfile::Day { peak_factor: 2.0 },
+            events: vec![ScenarioEvent::SensorFault {
+                config: utilbp_baselines::SensorFaultConfig {
+                    dropout: 0.3,
+                    noise: 0.0,
+                    noise_magnitude: 0,
+                    freeze: 0.1,
+                },
+                from: Tick::new(150),
+                until: Tick::new(450),
+            }],
+        },
+    ]
+}
+
+/// Looks up a built-in scenario by name.
+pub fn builtin(name: &str) -> Option<ScenarioSpec> {
+    builtin_scenarios().into_iter().find(|s| s.name == name)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn library_covers_the_required_axes() {
+        let all = builtin_scenarios();
+        assert!(all.len() >= 6, "at least six built-ins");
+        let non_grid = all
+            .iter()
+            .filter(|s| !matches!(s.topology, TopologySpec::Grid { .. }))
+            .count();
+        assert!(non_grid >= 3, "at least three non-grid topologies");
+        let time_varying = all.iter().filter(|s| s.demand.is_time_varying()).count();
+        assert!(time_varying >= 2, "at least two time-varying profiles");
+        assert!(all.iter().any(|s| s.has_closures()), "a closure scenario");
+        assert!(
+            all.iter().any(|s| s.sensor_fault().is_some()),
+            "a sensor-fault scenario"
+        );
+    }
+
+    #[test]
+    fn every_builtin_validates() {
+        for spec in builtin_scenarios() {
+            spec.validate()
+                .unwrap_or_else(|e| panic!("{}: {e}", spec.name));
+        }
+    }
+
+    #[test]
+    fn builtin_lookup_by_name() {
+        assert!(builtin("paper-grid").is_some());
+        assert!(builtin("ring-pulse").is_some());
+        assert!(builtin("no-such-scenario").is_none());
+    }
+}

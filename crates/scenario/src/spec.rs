@@ -1,0 +1,592 @@
+//! Scenario descriptions: topology + demand profile + event timeline.
+
+use serde::{Deserialize, Serialize};
+use utilbp_baselines::SensorFaultConfig;
+use utilbp_core::{Tick, Ticks};
+use utilbp_netgen::{
+    ArterialSpec, AsymmetricGridSpec, GridNetwork, GridSpec, Network, Pattern, RingSpec, RoadId,
+};
+
+/// Which simulation substrate a scenario runs on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Backend {
+    /// The mesoscopic queueing-network simulator (`utilbp-queueing`) —
+    /// fast, exactly the paper's Section II model.
+    Queueing,
+    /// The microscopic simulator (`utilbp-microsim`) — the SUMO
+    /// substitute used for the headline results.
+    Microscopic,
+}
+
+impl Backend {
+    /// Both substrates, queueing first.
+    pub const ALL: [Backend; 2] = [Backend::Queueing, Backend::Microscopic];
+}
+
+impl std::fmt::Display for Backend {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Backend::Queueing => f.write_str("queueing"),
+            Backend::Microscopic => f.write_str("microscopic"),
+        }
+    }
+}
+
+/// The network family a scenario runs on. The paper's grid is one variant
+/// among the generators of [`utilbp_netgen`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum TopologySpec {
+    /// The paper's uniform grid; `pattern` supplies the per-side base
+    /// arrival rates (Table II).
+    Grid {
+        /// Grid parameters.
+        spec: GridSpec,
+        /// Base arrival pattern.
+        pattern: Pattern,
+    },
+    /// A west–east arterial corridor with side streets.
+    Arterial(ArterialSpec),
+    /// A ring road with outer and inner spokes.
+    Ring(RingSpec),
+    /// A grid with asymmetric axes (per-direction lengths/capacities).
+    AsymmetricGrid(AsymmetricGridSpec),
+}
+
+impl TopologySpec {
+    /// Builds the routable network this spec describes.
+    pub fn build(&self) -> Network {
+        match self {
+            TopologySpec::Grid { spec, pattern } => {
+                Network::from_grid(&GridNetwork::new(*spec), *pattern)
+            }
+            TopologySpec::Arterial(spec) => spec.build(),
+            TopologySpec::Ring(spec) => spec.build(),
+            TopologySpec::AsymmetricGrid(spec) => spec.build(),
+        }
+    }
+
+    /// A short family label for tables.
+    pub fn family(&self) -> &'static str {
+        match self {
+            TopologySpec::Grid { .. } => "grid",
+            TopologySpec::Arterial(_) => "arterial",
+            TopologySpec::Ring(_) => "ring",
+            TopologySpec::AsymmetricGrid(_) => "asym-grid",
+        }
+    }
+}
+
+/// A piecewise-constant arrival-rate multiplier over time.
+///
+/// Multiplier `m` at tick `k` scales every entry's base arrival rate: the
+/// mean inter-arrival time becomes `base / m`. Past the last segment the
+/// final multiplier persists.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RateSchedule {
+    segments: Vec<(Ticks, f64)>,
+}
+
+impl RateSchedule {
+    /// A single flat multiplier of 1.
+    pub fn flat() -> Self {
+        RateSchedule {
+            segments: vec![(Ticks::new(1), 1.0)],
+        }
+    }
+
+    /// A custom segment sequence.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `segments` is empty, a duration is zero, or a multiplier
+    /// is not positive and finite.
+    pub fn from_segments(segments: Vec<(Ticks, f64)>) -> Self {
+        assert!(!segments.is_empty(), "schedule must have segments");
+        for &(d, m) in &segments {
+            assert!(!d.is_zero(), "segment durations must be positive");
+            assert!(m.is_finite() && m > 0.0, "multipliers must be positive");
+        }
+        RateSchedule { segments }
+    }
+
+    /// The segments in order.
+    pub fn segments(&self) -> &[(Ticks, f64)] {
+        &self.segments
+    }
+
+    /// The multiplier active at `tick` (the last segment's persists past
+    /// the end).
+    pub fn multiplier_at(&self, tick: Tick) -> f64 {
+        let mut start = 0u64;
+        for &(d, m) in &self.segments {
+            let end = start + d.count();
+            if tick.index() < end {
+                return m;
+            }
+            start = end;
+        }
+        self.segments.last().expect("segments are non-empty").1
+    }
+}
+
+/// A named time-varying demand shape, turned into a [`RateSchedule`] for a
+/// given horizon.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum DemandProfile {
+    /// Stationary demand at the base rates.
+    Constant,
+    /// A rush-hour surge: the rate ramps from 1× to `peak_factor` in four
+    /// steps over `ramp` ticks, holds the peak for `peak` ticks, ramps
+    /// back down symmetrically, then stays at 1×.
+    RushHour {
+        /// Ramp-up (and ramp-down) duration in ticks.
+        ramp: u64,
+        /// Peak-hold duration in ticks.
+        peak: u64,
+        /// Rate multiplier at the peak.
+        peak_factor: f64,
+    },
+    /// A demand pulse: 1× until `from`, `factor` for `len` ticks, then 1×.
+    Pulse {
+        /// Pulse start tick.
+        from: u64,
+        /// Pulse length in ticks.
+        len: u64,
+        /// Rate multiplier during the pulse.
+        factor: f64,
+    },
+    /// A compressed day: night lull, morning peak, midday plateau,
+    /// evening peak, late-evening lull, scaled to fill the horizon.
+    Day {
+        /// Rate multiplier at the morning peak (the evening peak is 90%
+        /// of it).
+        peak_factor: f64,
+    },
+}
+
+impl DemandProfile {
+    /// Materializes the multiplier schedule for a run of `horizon` ticks.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the profile parameters are degenerate (zero durations
+    /// where a phase is required, non-positive factors) or the horizon is
+    /// zero for [`DemandProfile::Day`].
+    pub fn schedule(&self, horizon: Ticks) -> RateSchedule {
+        match *self {
+            DemandProfile::Constant => RateSchedule::flat(),
+            DemandProfile::RushHour {
+                ramp,
+                peak,
+                peak_factor,
+            } => {
+                assert!(ramp >= 4 && peak > 0, "rush hour needs ramp >= 4, peak > 0");
+                let mut segments = Vec::new();
+                let step = ramp / 4;
+                for i in 1..=4u64 {
+                    let m = 1.0 + (peak_factor - 1.0) * i as f64 / 4.0;
+                    segments.push((Ticks::new(step.max(1)), m));
+                }
+                segments.push((Ticks::new(peak), peak_factor));
+                for i in (1..4u64).rev() {
+                    let m = 1.0 + (peak_factor - 1.0) * i as f64 / 4.0;
+                    segments.push((Ticks::new(step.max(1)), m));
+                }
+                segments.push((Ticks::new(1), 1.0));
+                RateSchedule::from_segments(segments)
+            }
+            DemandProfile::Pulse { from, len, factor } => {
+                assert!(len > 0, "pulse needs a positive length");
+                let mut segments = Vec::new();
+                if from > 0 {
+                    segments.push((Ticks::new(from), 1.0));
+                }
+                segments.push((Ticks::new(len), factor));
+                segments.push((Ticks::new(1), 1.0));
+                RateSchedule::from_segments(segments)
+            }
+            DemandProfile::Day { peak_factor } => {
+                assert!(!horizon.is_zero(), "day profile needs a horizon");
+                let h = horizon.count();
+                let part = |f: f64| Ticks::new(((h as f64 * f) as u64).max(1));
+                RateSchedule::from_segments(vec![
+                    (part(0.15), 0.4),
+                    (part(0.20), peak_factor),
+                    (part(0.30), 1.0),
+                    (part(0.20), 0.9 * peak_factor),
+                    (part(0.15), 0.5),
+                ])
+            }
+        }
+    }
+
+    /// Whether the profile varies over time.
+    pub fn is_time_varying(&self) -> bool {
+        !matches!(self, DemandProfile::Constant)
+    }
+
+    /// A short label for tables.
+    pub fn label(&self) -> &'static str {
+        match self {
+            DemandProfile::Constant => "constant",
+            DemandProfile::RushHour { .. } => "rush-hour",
+            DemandProfile::Pulse { .. } => "pulse",
+            DemandProfile::Day { .. } => "day",
+        }
+    }
+}
+
+/// One disruption on the scenario timeline.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum ScenarioEvent {
+    /// Close a road to entering traffic at `at`.
+    CloseRoad {
+        /// The road to close.
+        road: RoadId,
+        /// The tick the closure takes effect.
+        at: Tick,
+    },
+    /// Reopen a previously closed road at `at`.
+    ReopenRoad {
+        /// The road to reopen.
+        road: RoadId,
+        /// The tick the reopening takes effect.
+        at: Tick,
+    },
+    /// Multiply every entry's arrival rate by `factor` during
+    /// `[from, until)`.
+    Surge {
+        /// The rate multiplier.
+        factor: f64,
+        /// Surge start tick (inclusive).
+        from: Tick,
+        /// Surge end tick (exclusive).
+        until: Tick,
+    },
+    /// Activate the sensor fault model during `[from, until)` — the
+    /// window in which every controller's `FaultySensors` decorator
+    /// corrupts readings.
+    SensorFault {
+        /// The fault model applied while the window is open.
+        config: SensorFaultConfig,
+        /// Window start tick (inclusive).
+        from: Tick,
+        /// Window end tick (exclusive).
+        until: Tick,
+    },
+}
+
+/// A complete, serializable scenario: topology family, demand profile,
+/// seed, horizon, and disruption events.
+///
+/// See the crate docs for the "Scenario model" (file format and event
+/// semantics); [`crate::parse_scenario`] / [`ScenarioSpec::to_text`]
+/// round-trip the text form.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ScenarioSpec {
+    /// The scenario's name (used to select built-ins and label tables).
+    pub name: String,
+    /// Demand RNG seed.
+    pub seed: u64,
+    /// Run length in ticks.
+    pub horizon: Ticks,
+    /// The network family.
+    pub topology: TopologySpec,
+    /// The demand shape over time.
+    pub demand: DemandProfile,
+    /// Disruptions, in any order; the engine sorts them by tick.
+    pub events: Vec<ScenarioEvent>,
+}
+
+impl ScenarioSpec {
+    /// Builds the scenario's network.
+    pub fn build_network(&self) -> Network {
+        self.topology.build()
+    }
+
+    /// Validates the spec against its own network: horizon positive,
+    /// event ticks within the horizon, event roads existing and internal
+    /// or entry (closing an exit road would strand vehicles in the
+    /// network forever), surge factors positive, surge windows
+    /// non-overlapping (the engine holds one surge multiplier at a time,
+    /// so overlapping windows would silently cancel each other), and at
+    /// most one sensor fault window (one decorator config per run).
+    ///
+    /// # Errors
+    ///
+    /// Returns a message describing the first problem found.
+    pub fn validate(&self) -> Result<(), String> {
+        self.validate_against(&self.build_network())
+    }
+
+    /// [`validate`](Self::validate) against an already-built network.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message describing the first problem found.
+    pub fn validate_against(&self, network: &Network) -> Result<(), String> {
+        if self.horizon.is_zero() {
+            return Err(format!("scenario {}: horizon must be positive", self.name));
+        }
+        let mut fault_windows = 0usize;
+        for event in &self.events {
+            match event {
+                ScenarioEvent::CloseRoad { road, at } | ScenarioEvent::ReopenRoad { road, at } => {
+                    if road.index() >= network.topology().num_roads() {
+                        return Err(format!("scenario {}: unknown road {road}", self.name));
+                    }
+                    if network.topology().road(*road).is_exit() {
+                        return Err(format!(
+                            "scenario {}: closing exit road {road} would strand traffic",
+                            self.name
+                        ));
+                    }
+                    if at.index() >= self.horizon.count() {
+                        return Err(format!(
+                            "scenario {}: event at {at} is past the horizon",
+                            self.name
+                        ));
+                    }
+                }
+                ScenarioEvent::Surge {
+                    factor,
+                    from,
+                    until,
+                } => {
+                    if !(factor.is_finite() && *factor > 0.0) {
+                        return Err(format!(
+                            "scenario {}: surge factor must be positive",
+                            self.name
+                        ));
+                    }
+                    if from >= until {
+                        return Err(format!("scenario {}: empty surge window", self.name));
+                    }
+                }
+                ScenarioEvent::SensorFault {
+                    config,
+                    from,
+                    until,
+                } => {
+                    fault_windows += 1;
+                    if fault_windows > 1 {
+                        return Err(format!(
+                            "scenario {}: at most one sensor-fault window is supported",
+                            self.name
+                        ));
+                    }
+                    config.validate().map_err(|e| {
+                        format!("scenario {}: invalid sensor fault config: {e}", self.name)
+                    })?;
+                    if from >= until {
+                        return Err(format!("scenario {}: empty sensor-fault window", self.name));
+                    }
+                }
+            }
+        }
+        // Surge windows must not overlap: the engine applies one surge
+        // multiplier at a time, so a window ending inside another would
+        // reset the survivor to 1×.
+        let mut surges: Vec<(Tick, Tick)> = self
+            .events
+            .iter()
+            .filter_map(|e| match e {
+                ScenarioEvent::Surge { from, until, .. } => Some((*from, *until)),
+                _ => None,
+            })
+            .collect();
+        surges.sort();
+        for pair in surges.windows(2) {
+            if pair[1].0 < pair[0].1 {
+                return Err(format!(
+                    "scenario {}: surge windows overlap (one surge multiplier \
+                     applies at a time)",
+                    self.name
+                ));
+            }
+        }
+        Ok(())
+    }
+
+    /// The sensor-fault window, if the scenario has one.
+    pub fn sensor_fault(&self) -> Option<(SensorFaultConfig, Tick, Tick)> {
+        self.events.iter().find_map(|e| match e {
+            ScenarioEvent::SensorFault {
+                config,
+                from,
+                until,
+            } => Some((*config, *from, *until)),
+            _ => None,
+        })
+    }
+
+    /// Whether any closure/reopen event is on the timeline.
+    pub fn has_closures(&self) -> bool {
+        self.events.iter().any(|e| {
+            matches!(
+                e,
+                ScenarioEvent::CloseRoad { .. } | ScenarioEvent::ReopenRoad { .. }
+            )
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn grid_spec(events: Vec<ScenarioEvent>) -> ScenarioSpec {
+        ScenarioSpec {
+            name: "test".to_string(),
+            seed: 7,
+            horizon: Ticks::new(300),
+            topology: TopologySpec::Grid {
+                spec: GridSpec::paper(),
+                pattern: Pattern::II,
+            },
+            demand: DemandProfile::Constant,
+            events,
+        }
+    }
+
+    #[test]
+    fn rate_schedule_lookup_and_persistence() {
+        let s = RateSchedule::from_segments(vec![(Ticks::new(10), 1.0), (Ticks::new(5), 3.0)]);
+        assert_eq!(s.multiplier_at(Tick::new(0)), 1.0);
+        assert_eq!(s.multiplier_at(Tick::new(9)), 1.0);
+        assert_eq!(s.multiplier_at(Tick::new(10)), 3.0);
+        assert_eq!(s.multiplier_at(Tick::new(1000)), 3.0, "last persists");
+    }
+
+    #[test]
+    fn rush_hour_ramps_up_and_down() {
+        let p = DemandProfile::RushHour {
+            ramp: 100,
+            peak: 200,
+            peak_factor: 3.0,
+        };
+        let s = p.schedule(Ticks::new(600));
+        assert!(s.multiplier_at(Tick::new(0)) > 1.0);
+        assert!(s.multiplier_at(Tick::new(0)) < 3.0);
+        assert_eq!(s.multiplier_at(Tick::new(150)), 3.0);
+        assert_eq!(s.multiplier_at(Tick::new(599)), 1.0);
+        assert!(p.is_time_varying());
+    }
+
+    #[test]
+    fn pulse_and_day_profiles_shape_the_schedule() {
+        let pulse = DemandProfile::Pulse {
+            from: 50,
+            len: 20,
+            factor: 4.0,
+        }
+        .schedule(Ticks::new(200));
+        assert_eq!(pulse.multiplier_at(Tick::new(0)), 1.0);
+        assert_eq!(pulse.multiplier_at(Tick::new(55)), 4.0);
+        assert_eq!(pulse.multiplier_at(Tick::new(80)), 1.0);
+
+        let day = DemandProfile::Day { peak_factor: 2.0 }.schedule(Ticks::new(1000));
+        assert_eq!(day.multiplier_at(Tick::new(0)), 0.4);
+        assert_eq!(day.multiplier_at(Tick::new(200)), 2.0);
+        assert_eq!(day.multiplier_at(Tick::new(990)), 0.5);
+    }
+
+    #[test]
+    fn validation_rejects_bad_events() {
+        let net = grid_spec(Vec::new()).build_network();
+        // Unknown road.
+        let bad = grid_spec(vec![ScenarioEvent::CloseRoad {
+            road: RoadId::new(10_000),
+            at: Tick::new(10),
+        }]);
+        assert!(bad.validate_against(&net).unwrap_err().contains("unknown"));
+        // Exit road.
+        let exit = net
+            .topology()
+            .road_ids()
+            .find(|&r| net.topology().road(r).is_exit())
+            .unwrap();
+        let bad = grid_spec(vec![ScenarioEvent::CloseRoad {
+            road: exit,
+            at: Tick::new(10),
+        }]);
+        assert!(bad.validate_against(&net).unwrap_err().contains("strand"));
+        // Past the horizon.
+        let internal = net
+            .topology()
+            .road_ids()
+            .find(|&r| net.topology().road(r).is_internal())
+            .unwrap();
+        let bad = grid_spec(vec![ScenarioEvent::CloseRoad {
+            road: internal,
+            at: Tick::new(10_000),
+        }]);
+        assert!(bad.validate_against(&net).unwrap_err().contains("horizon"));
+        // Two fault windows.
+        let fault = |from: u64| ScenarioEvent::SensorFault {
+            config: SensorFaultConfig::NONE,
+            from: Tick::new(from),
+            until: Tick::new(from + 10),
+        };
+        let bad = grid_spec(vec![fault(0), fault(100)]);
+        assert!(bad
+            .validate_against(&net)
+            .unwrap_err()
+            .contains("at most one"));
+        // Overlapping surge windows.
+        let surge = |from: u64, until: u64| ScenarioEvent::Surge {
+            factor: 2.0,
+            from: Tick::new(from),
+            until: Tick::new(until),
+        };
+        let bad = grid_spec(vec![surge(0, 100), surge(50, 150)]);
+        assert!(bad.validate_against(&net).unwrap_err().contains("overlap"));
+        let good = grid_spec(vec![surge(0, 100), surge(100, 150)]);
+        good.validate_against(&net)
+            .expect("back-to-back surges are fine");
+        // A well-formed spec passes.
+        let good = grid_spec(vec![
+            ScenarioEvent::CloseRoad {
+                road: internal,
+                at: Tick::new(50),
+            },
+            ScenarioEvent::ReopenRoad {
+                road: internal,
+                at: Tick::new(150),
+            },
+            fault(20),
+        ]);
+        good.validate_against(&net).expect("valid spec");
+        assert!(good.has_closures());
+        assert!(good.sensor_fault().is_some());
+    }
+
+    #[test]
+    fn topology_specs_build_their_families() {
+        for (spec, family, min_entries) in [
+            (
+                TopologySpec::Grid {
+                    spec: GridSpec::paper(),
+                    pattern: Pattern::II,
+                },
+                "grid",
+                12,
+            ),
+            (
+                TopologySpec::Arterial(ArterialSpec::default()),
+                "arterial",
+                12,
+            ),
+            (TopologySpec::Ring(RingSpec::default()), "ring", 12),
+            (
+                TopologySpec::AsymmetricGrid(AsymmetricGridSpec::default()),
+                "asym-grid",
+                12,
+            ),
+        ] {
+            assert_eq!(spec.family(), family);
+            let net = spec.build();
+            assert!(net.num_entries() >= min_entries, "{family}");
+        }
+    }
+}

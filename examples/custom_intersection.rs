@@ -94,7 +94,7 @@ fn main() {
         Arrival {
             vehicle: id,
             tick: Tick::ZERO, // informational; the sim uses the step clock
-            route: Route::new(entries[entry], vec![(iid, link)]),
+            route: std::sync::Arc::new(Route::new(entries[entry], vec![(iid, link)])),
         }
     };
 

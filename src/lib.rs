@@ -20,7 +20,8 @@
 //! | [`microsim`] | `utilbp-microsim` | Microscopic simulator: Krauss car-following, dedicated lanes, ambers |
 //! | [`netgen`] | `utilbp-netgen` | 3×3 grid builder, Table I/II demand, routes |
 //! | [`metrics`] | `utilbp-metrics` | Waiting ledgers, time series, phase traces, rendering |
-//! | [`experiments`] | `utilbp-experiments` | Fig. 2, Table III, Figs. 3–5, ablations |
+//! | [`scenario`] | `utilbp-scenario` | Scenario files: topologies × demand profiles × disruption events |
+//! | [`experiments`] | `utilbp-experiments` | Fig. 2, Table III, Figs. 3–5, ablations, scenario sweeps |
 //!
 //! ## Quickstart
 //!
@@ -96,6 +97,12 @@ pub mod netgen {
 /// Measurement and reporting utilities (re-export of `utilbp-metrics`).
 pub mod metrics {
     pub use utilbp_metrics::*;
+}
+
+/// Scenario descriptions and the engine that drives both substrates
+/// through them (re-export of `utilbp-scenario`).
+pub mod scenario {
+    pub use utilbp_scenario::*;
 }
 
 /// The table/figure regeneration harness (re-export of

@@ -27,7 +27,7 @@ fn arrival(grid: &GridNetwork, side: Approach, id: u64, choice: RouteChoice) -> 
     Arrival {
         vehicle: VehicleId::new(id),
         tick: Tick::ZERO,
-        route: grid.route(&entry, choice),
+        route: std::sync::Arc::new(grid.route(&entry, choice)),
     }
 }
 

@@ -104,7 +104,7 @@ fn utilbp_allows_flow_on_negative_pressure_difference() {
                 let a = Arrival {
                     vehicle: VehicleId::new(id),
                     tick: Tick::ZERO,
-                    route: grid.route(&entry, RouteChoice::Straight),
+                    route: std::sync::Arc::new(grid.route(&entry, RouteChoice::Straight)),
                 };
                 id += 1;
                 a
@@ -151,7 +151,7 @@ fn utilbp_allows_flow_on_negative_pressure_difference() {
             vec![Arrival {
                 vehicle: VehicleId::new(id),
                 tick: Tick::ZERO,
-                route: grid.route(&entry, RouteChoice::Straight),
+                route: std::sync::Arc::new(grid.route(&entry, RouteChoice::Straight)),
             }]
         } else {
             Vec::new()
@@ -239,7 +239,7 @@ fn no_head_of_line_blocking_with_dedicated_lanes() {
             batch.push(Arrival {
                 vehicle: VehicleId::new(id),
                 tick: Tick::ZERO,
-                route: grid.route(&entry, choice),
+                route: std::sync::Arc::new(grid.route(&entry, choice)),
             });
             id += 1;
         }

@@ -1,0 +1,175 @@
+//! Scenario-engine guarantees: determinism across execution modes and
+//! repeated runs (including runs with mid-run disruption events), and
+//! closure events that provably block and reroute traffic.
+
+use adaptive_backpressure::core::{Parallelism, SignalController, Tick, Ticks, UtilBp};
+use adaptive_backpressure::scenario::{
+    builtin, builtin_scenarios, parse_scenario, run_scenario, Backend, DemandProfile, EngineConfig,
+    ScenarioEngine, ScenarioEvent, ScenarioOutcome, ScenarioSpec, TopologySpec,
+};
+
+fn util_factory() -> impl Fn(usize) -> Box<dyn SignalController> {
+    |_| Box::new(UtilBp::paper()) as Box<dyn SignalController>
+}
+
+fn run(spec: &ScenarioSpec, backend: Backend, parallelism: Parallelism) -> ScenarioOutcome {
+    let config = EngineConfig {
+        parallelism,
+        ..EngineConfig::new(backend)
+    };
+    run_scenario(spec.clone(), config, &util_factory()).expect("spec validates")
+}
+
+/// The incident scenario trimmed to a fast horizon that still covers the
+/// closure and the reopening.
+fn incident_spec() -> ScenarioSpec {
+    let mut spec = builtin("grid-incident").expect("builtin exists");
+    spec.horizon = Ticks::new(500);
+    spec
+}
+
+#[test]
+fn same_scenario_and_seed_is_bit_identical_across_parallelism_and_repeats() {
+    // Includes the closure/reopen scenario: events must not disturb
+    // determinism in either execution mode.
+    let specs = [incident_spec(), {
+        let mut s = builtin("ring-pulse").expect("builtin exists");
+        s.horizon = Ticks::new(300);
+        s
+    }];
+    for spec in &specs {
+        for backend in Backend::ALL {
+            let serial_a = run(spec, backend, Parallelism::Serial);
+            let serial_b = run(spec, backend, Parallelism::Serial);
+            let rayon = run(spec, backend, Parallelism::Rayon);
+            // Bit-identical: f64 metrics compared exactly, not within eps.
+            assert_eq!(serial_a, serial_b, "{} repeat on {backend}", spec.name);
+            assert_eq!(
+                serial_a, rayon,
+                "{} serial vs rayon on {backend}",
+                spec.name
+            );
+            assert!(serial_a.generated > 0, "{} on {backend}", spec.name);
+        }
+    }
+}
+
+#[test]
+fn scenario_files_reproduce_in_memory_specs() {
+    // Spec → text → spec → run must equal running the original spec.
+    let spec = incident_spec();
+    let reparsed = parse_scenario(&spec.to_text()).expect("rendered spec parses");
+    assert_eq!(reparsed, spec);
+    let a = run(&spec, Backend::Queueing, Parallelism::Serial);
+    let b = run(&reparsed, Backend::Queueing, Parallelism::Serial);
+    assert_eq!(a, b, "a round-tripped file runs identically");
+}
+
+#[test]
+fn closure_blocks_the_road_and_demand_reroutes_around_it() {
+    let spec = incident_spec();
+    let (closed_road, close_at, reopen_at) = {
+        let mut close = None;
+        let mut reopen = None;
+        for e in &spec.events {
+            match *e {
+                ScenarioEvent::CloseRoad { road, at } => close = Some((road, at)),
+                ScenarioEvent::ReopenRoad { at, .. } => reopen = Some(at),
+                _ => {}
+            }
+        }
+        let (road, at) = close.expect("incident closes a road");
+        (road, at, reopen.expect("incident reopens the road"))
+    };
+
+    for backend in Backend::ALL {
+        let mut engine =
+            ScenarioEngine::new(spec.clone(), EngineConfig::new(backend), &util_factory())
+                .expect("spec validates");
+
+        while engine.now() < close_at {
+            engine.step();
+        }
+        let mut max_occupancy_while_closed = 0u32;
+        let mut drained = false;
+        while engine.now() < reopen_at {
+            engine.step();
+            let occ = engine.road_occupancy(closed_road);
+            drained |= occ == 0;
+            if drained {
+                max_occupancy_while_closed = max_occupancy_while_closed.max(occ);
+            }
+        }
+        // Blocked: once the closed road drained, nothing re-entered it.
+        assert!(drained, "{backend}: the closed road must drain");
+        assert_eq!(
+            max_occupancy_while_closed, 0,
+            "{backend}: no vehicle enters a closed road"
+        );
+        // Rerouted: traffic kept flowing through the rest of the network
+        // during the closure (journeys still complete).
+        let completed_during_closure = engine.ledger().completed();
+        assert!(
+            completed_during_closure > 0,
+            "{backend}: traffic reroutes around the closure"
+        );
+        // And after the reopening the road carries vehicles again.
+        let mut reopened_traffic = false;
+        while engine.now().index() < engine.spec().horizon.count() {
+            engine.step();
+            reopened_traffic |= engine.road_occupancy(closed_road) > 0;
+        }
+        assert!(reopened_traffic, "{backend}: the reopened road is used");
+    }
+}
+
+#[test]
+fn surge_and_fault_scenarios_stay_deterministic_with_events_applied() {
+    let spec = ScenarioSpec {
+        name: "events-determinism".to_string(),
+        seed: 99,
+        horizon: Ticks::new(300),
+        topology: TopologySpec::Arterial(Default::default()),
+        demand: DemandProfile::Pulse {
+            from: 50,
+            len: 100,
+            factor: 2.0,
+        },
+        events: vec![
+            ScenarioEvent::Surge {
+                factor: 2.0,
+                from: Tick::new(100),
+                until: Tick::new(200),
+            },
+            ScenarioEvent::SensorFault {
+                config: adaptive_backpressure::baselines::SensorFaultConfig {
+                    dropout: 0.25,
+                    noise: 0.0,
+                    noise_magnitude: 0,
+                    freeze: 0.1,
+                },
+                from: Tick::new(80),
+                until: Tick::new(220),
+            },
+        ],
+    };
+    for backend in Backend::ALL {
+        let a = run(&spec, backend, Parallelism::Serial);
+        let b = run(&spec, backend, Parallelism::Rayon);
+        assert_eq!(a, b, "events + faults stay deterministic on {backend}");
+    }
+}
+
+#[test]
+fn builtin_library_meets_the_coverage_floor() {
+    let all = builtin_scenarios();
+    assert!(all.len() >= 6);
+    let non_grid = all
+        .iter()
+        .filter(|s| !matches!(s.topology, TopologySpec::Grid { .. }))
+        .count();
+    assert!(non_grid >= 3);
+    assert!(all.iter().filter(|s| s.demand.is_time_varying()).count() >= 2);
+    assert!(all.iter().any(|s| s.has_closures()));
+    assert!(all.iter().any(|s| s.sensor_fault().is_some()));
+}
