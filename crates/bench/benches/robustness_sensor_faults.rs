@@ -26,7 +26,7 @@ fn run(make: &dyn Fn(u64) -> Box<dyn SignalController>, hour: u64) -> f64 {
         let arrivals = demand.poll(&grid, Tick::new(k));
         sim.step(arrivals);
     }
-    sim.ledger().mean_waiting_including_active()
+    sim.mean_waiting_including_active()
 }
 
 fn main() {

@@ -1,27 +1,39 @@
 //! Plain `--release` throughput runner for the perf-tracking harness.
 //!
 //! Measures steady-state simulator step throughput (ticks/second) per
-//! substrate × grid size × parallelism mode under UTIL-BP control and
-//! Pattern I demand, and writes the machine-readable
-//! `BENCH_sim_throughput.json` so the perf trajectory is trackable across
-//! PRs (`cargo run --release -p utilbp-bench --bin sim_throughput`).
+//! substrate × workload × parallelism mode under UTIL-BP control and
+//! writes the machine-readable `BENCH_sim_throughput.json`
+//! (`cargo run --release -p utilbp-bench --bin sim_throughput`).
 //!
-//! Unlike the Criterion `sim_throughput` bench target, this runner has no
-//! harness dependency, uses a fixed warm-up + measured-tick protocol
-//! (best of `BENCH_REPS` repetitions, default 3, to shrug off scheduler
-//! noise), and always emits JSON, which makes its numbers directly
-//! comparable between commits. Scale knobs: `BENCH_TICKS=<n>` overrides
-//! the measured tick count, `BENCH_REPS=<n>` the repetition count,
-//! `BENCH_OUT=<path>` the output path.
+//! Workloads: square grids (3×3 … 20×20, Pattern I demand) plus a
+//! scenario-driven row (the built-in `arterial-rush-hour` scenario
+//! stepped through `ScenarioEngine`, so demand scheduling and event
+//! dispatch are inside the measured loop). Microscopic grid rows also
+//! record a per-phase wall-clock breakdown (decide / car-following /
+//! landings / waiting, via `MicroSim::step_into_timed` on a separate
+//! rep) so future optimization PRs can attribute their wins.
+//!
+//! Each invocation **appends** a run object to the JSON's `runs` array —
+//! the perf trajectory across PRs is preserved, never overwritten (a
+//! pre-existing single-run file from the old flat format is migrated to
+//! `runs[0]`). Unlike the Criterion `sim_throughput` bench target, this
+//! runner has no harness dependency, uses a fixed warm-up +
+//! measured-tick protocol (best of `BENCH_REPS` repetitions, default 3,
+//! to shrug off scheduler noise), and always emits JSON, which makes its
+//! numbers directly comparable between commits. Scale knobs:
+//! `BENCH_TICKS=<n>` overrides the measured tick count, `BENCH_REPS=<n>`
+//! the repetition count, `BENCH_OUT=<path>` the output path,
+//! `BENCH_LABEL=<s>` the run label recorded in the protocol.
 
 use std::time::Instant;
 
 use utilbp_core::{Parallelism, SignalController, Tick, Ticks, UtilBp};
-use utilbp_microsim::{MicroSim, MicroSimConfig};
+use utilbp_microsim::{MicroSim, MicroSimConfig, PhaseTimings};
 use utilbp_netgen::{
     DemandConfig, DemandGenerator, DemandSchedule, GridNetwork, GridSpec, Pattern,
 };
 use utilbp_queueing::{QueueSim, QueueSimConfig};
+use utilbp_scenario::{builtin, Backend, EngineConfig, ScenarioEngine};
 
 const WARMUP_TICKS: u64 = 300;
 
@@ -33,10 +45,14 @@ fn controllers(n: usize) -> Vec<Box<dyn SignalController>> {
 
 struct Measurement {
     substrate: &'static str,
-    grid: u32,
+    /// Workload label: "5x5" for grids, the scenario name otherwise.
+    workload: String,
     mode: Parallelism,
     ticks: u64,
     seconds: f64,
+    /// Per-phase breakdown (microscopic rows only), from one extra timed
+    /// rep — fractions of that rep's step time.
+    phases: Option<PhaseTimings>,
 }
 
 impl Measurement {
@@ -69,13 +85,14 @@ fn measure_queueing(size: u32, mode: Parallelism, ticks: u64, reps: u32) -> Meas
     );
     let mut gen = demand(&grid);
     let mut k = 0u64;
-    for _ in 0..WARMUP_TICKS {
-        let arrivals = gen.poll(&grid, Tick::new(k));
-        sim.step(arrivals);
-        k += 1;
-    }
     let mut report = utilbp_queueing::StepReport::empty();
     let mut arrivals = Vec::new();
+    for _ in 0..WARMUP_TICKS {
+        arrivals.clear();
+        gen.poll_into(&grid, Tick::new(k), &mut arrivals);
+        sim.step_into(&mut arrivals, &mut report);
+        k += 1;
+    }
     let mut best = f64::INFINITY;
     for _ in 0..reps.max(1) {
         let start = Instant::now();
@@ -89,10 +106,11 @@ fn measure_queueing(size: u32, mode: Parallelism, ticks: u64, reps: u32) -> Meas
     }
     Measurement {
         substrate: "queueing",
-        grid: size,
+        workload: format!("{size}x{size}"),
         mode,
         ticks,
         seconds: best,
+        phases: None,
     }
 }
 
@@ -109,13 +127,14 @@ fn measure_micro(size: u32, mode: Parallelism, ticks: u64, reps: u32) -> Measure
     );
     let mut gen = demand(&grid);
     let mut k = 0u64;
-    for _ in 0..WARMUP_TICKS {
-        let arrivals = gen.poll(&grid, Tick::new(k));
-        sim.step(arrivals);
-        k += 1;
-    }
     let mut report = utilbp_microsim::StepReport::empty();
     let mut arrivals = Vec::new();
+    for _ in 0..WARMUP_TICKS {
+        arrivals.clear();
+        gen.poll_into(&grid, Tick::new(k), &mut arrivals);
+        sim.step_into(&mut arrivals, &mut report);
+        k += 1;
+    }
     let mut best = f64::INFINITY;
     for _ in 0..reps.max(1) {
         let start = Instant::now();
@@ -127,12 +146,57 @@ fn measure_micro(size: u32, mode: Parallelism, ticks: u64, reps: u32) -> Measure
         }
         best = best.min(start.elapsed().as_secs_f64());
     }
+    // One extra instrumented rep for phase attribution (kept out of the
+    // headline measurement so the `Instant` reads cannot skew it).
+    let mut phases = PhaseTimings::default();
+    for _ in 0..ticks {
+        arrivals.clear();
+        gen.poll_into(&grid, Tick::new(k), &mut arrivals);
+        sim.step_into_timed(&mut arrivals, &mut report, &mut phases);
+        k += 1;
+    }
     Measurement {
         substrate: "microscopic",
-        grid: size,
+        workload: format!("{size}x{size}"),
         mode,
         ticks,
         seconds: best,
+        phases: Some(phases),
+    }
+}
+
+/// Scenario-driven row: the whole per-tick path of a scenario run —
+/// event dispatch, schedule-driven demand, stepping — measured through
+/// [`ScenarioEngine`].
+fn measure_scenario(name: &str, backend: Backend, ticks: u64, reps: u32) -> Measurement {
+    let mut best = f64::INFINITY;
+    for _ in 0..reps.max(1) {
+        let mut spec = builtin(name).expect("built-in scenario exists");
+        // The engine is throughput-bound here, not horizon-bound.
+        spec.horizon = Ticks::new(WARMUP_TICKS + ticks + 1);
+        let mut engine = ScenarioEngine::new(spec, EngineConfig::new(backend), &|_| {
+            Box::new(UtilBp::paper())
+        })
+        .expect("built-in scenario validates");
+        for _ in 0..WARMUP_TICKS {
+            engine.step();
+        }
+        let start = Instant::now();
+        for _ in 0..ticks {
+            engine.step();
+        }
+        best = best.min(start.elapsed().as_secs_f64());
+    }
+    Measurement {
+        substrate: match backend {
+            Backend::Queueing => "queueing",
+            Backend::Microscopic => "microscopic",
+        },
+        workload: name.to_string(),
+        mode: Parallelism::Serial,
+        ticks,
+        seconds: best,
+        phases: None,
     }
 }
 
@@ -141,6 +205,95 @@ fn mode_name(mode: Parallelism) -> &'static str {
         Parallelism::Serial => "serial",
         Parallelism::Rayon => "rayon",
     }
+}
+
+/// Keeps an operator-supplied string JSON-safe inside the hand-rolled
+/// output (quotes, backslashes, and control characters would corrupt the
+/// whole trajectory file).
+fn sanitize(label: &str) -> String {
+    label
+        .chars()
+        .filter(|c| !c.is_control() && *c != '"' && *c != '\\')
+        .collect()
+}
+
+/// Renders one run object (protocol + results), `indent` spaces deep.
+fn render_run(results: &[Measurement], reps: u32, label: &str) -> String {
+    let mut s = String::new();
+    s.push_str("    {\n");
+    s.push_str(&format!(
+        "      \"protocol\": {{\"label\": \"{}\", \"warmup_ticks\": {WARMUP_TICKS}, \"controller\": \"util-bp\", \"pattern\": \"I\", \"seed\": 7, \"best_of_reps\": {reps}}},\n",
+        sanitize(label),
+    ));
+    s.push_str("      \"results\": [\n");
+    for (i, m) in results.iter().enumerate() {
+        s.push_str(&format!(
+            "        {{\"substrate\": \"{}\", \"grid\": \"{}\", \"mode\": \"{}\", \"measured_ticks\": {}, \"seconds\": {:.4}, \"ticks_per_sec\": {:.1}",
+            m.substrate,
+            m.workload,
+            mode_name(m.mode),
+            m.ticks,
+            m.seconds,
+            m.ticks_per_sec(),
+        ));
+        if let Some(p) = m.phases {
+            let total = p.total().max(f64::MIN_POSITIVE);
+            s.push_str(&format!(
+                ", \"phase_fractions\": {{\"decide\": {:.3}, \"car_following\": {:.3}, \"landings\": {:.3}, \"waiting\": {:.3}}}",
+                p.decide / total,
+                p.car_following / total,
+                p.landings / total,
+                p.waiting / total,
+            ));
+        }
+        s.push_str(if i + 1 == results.len() {
+            "}\n"
+        } else {
+            "},\n"
+        });
+    }
+    s.push_str("      ]\n    }");
+    s
+}
+
+/// Appends `new_run` to the `runs` array of an existing benchmark file,
+/// migrating the pre-`runs` flat format (a single `protocol`/`results`
+/// object) to `runs[0]`. Returns the full new file contents.
+fn append_run(existing: Option<String>, new_run: &str) -> String {
+    let header = "{\n  \"benchmark\": \"sim_throughput\",\n  \"unit\": \"ticks_per_second\",\n  \"runs\": [\n";
+    let footer = "\n  ]\n}\n";
+    if let Some(text) = existing {
+        if let Some(end) = text.rfind("\n  ]\n}") {
+            if text.contains("\"runs\": [") {
+                // Already the runs format: splice before the closing `]`.
+                return format!("{},\n{new_run}{footer}", &text[..end]);
+            }
+        }
+        if let (Some(proto_start), Some(res_start)) =
+            (text.find("\"protocol\": "), text.find("\"results\": [\n"))
+        {
+            // Flat single-run format: lift protocol + rows into runs[0].
+            let proto_end = text[proto_start..].find('\n').map(|o| proto_start + o);
+            let res_body_start = res_start + "\"results\": [\n".len();
+            let res_end = text[res_body_start..]
+                .find("\n  ]")
+                .map(|o| res_body_start + o);
+            if let (Some(proto_end), Some(res_end)) = (proto_end, res_end) {
+                let protocol = text[proto_start..proto_end].trim_end_matches(',');
+                let rows: String = text[res_body_start..res_end]
+                    .lines()
+                    .map(|l| format!("    {l}\n"))
+                    .collect();
+                let migrated = format!(
+                    "    {{\n      {protocol},\n      \"results\": [\n{}      ]\n    }}",
+                    rows
+                );
+                return format!("{header}{migrated},\n{new_run}{footer}");
+            }
+        }
+        eprintln!("warning: could not parse existing benchmark file; starting a fresh trajectory");
+    }
+    format!("{header}{new_run}{footer}")
 }
 
 fn main() {
@@ -152,6 +305,7 @@ fn main() {
         .and_then(|v| v.parse::<u32>().ok())
         .unwrap_or(3)
         .max(1);
+    let label = std::env::var("BENCH_LABEL").unwrap_or_else(|_| "dev".to_string());
     let out_path =
         std::env::var("BENCH_OUT").unwrap_or_else(|_| "BENCH_sim_throughput.json".to_string());
 
@@ -163,6 +317,7 @@ fn main() {
         (3, 4000, 2000),
         (5, 2000, 800),
         (10, 600, 200),
+        (20, 200, 60),
     ];
 
     let mut results = Vec::new();
@@ -184,26 +339,23 @@ fn main() {
             results.push(m);
         }
     }
-
-    let mut json = String::from("{\n  \"benchmark\": \"sim_throughput\",\n");
-    json.push_str(&format!(
-        "  \"protocol\": {{\"warmup_ticks\": 300, \"controller\": \"util-bp\", \"pattern\": \"I\", \"seed\": 7, \"best_of_reps\": {reps}}},\n"
-    ));
-    json.push_str("  \"unit\": \"ticks_per_second\",\n  \"results\": [\n");
-    for (i, m) in results.iter().enumerate() {
-        json.push_str(&format!(
-            "    {{\"substrate\": \"{}\", \"grid\": \"{}x{}\", \"mode\": \"{}\", \"measured_ticks\": {}, \"seconds\": {:.4}, \"ticks_per_sec\": {:.1}}}{}\n",
-            m.substrate,
-            m.grid,
-            m.grid,
-            mode_name(m.mode),
-            m.ticks,
-            m.seconds,
-            m.ticks_per_sec(),
-            if i + 1 == results.len() { "" } else { "," }
-        ));
+    for backend in [Backend::Queueing, Backend::Microscopic] {
+        let ticks = tick_override.unwrap_or(match backend {
+            Backend::Queueing => 2000,
+            Backend::Microscopic => 600,
+        });
+        let s = measure_scenario("arterial-rush-hour", backend, ticks, reps);
+        eprintln!(
+            "{:<11} arterial-rush-hour serial: {:>10.1} ticks/s",
+            s.substrate,
+            s.ticks_per_sec()
+        );
+        results.push(s);
     }
-    json.push_str("  ]\n}\n");
+
+    let new_run = render_run(&results, reps, &label);
+    let existing = std::fs::read_to_string(&out_path).ok();
+    let json = append_run(existing, &new_run);
     std::fs::write(&out_path, &json).expect("write benchmark JSON");
-    println!("wrote {out_path}");
+    println!("appended run \"{label}\" to {out_path}");
 }

@@ -21,6 +21,7 @@ pub trait Standard: Sized {
 }
 
 impl Standard for f64 {
+    #[inline]
     fn sample<R: Rng + ?Sized>(rng: &mut R) -> Self {
         // 53 random mantissa bits → uniform in [0, 1).
         (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
@@ -163,6 +164,7 @@ pub mod rngs {
     }
 
     impl Rng for SmallRng {
+        #[inline]
         fn next_u64(&mut self) -> u64 {
             let result = self.s[0]
                 .wrapping_add(self.s[3])

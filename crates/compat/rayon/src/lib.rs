@@ -1,45 +1,177 @@
-//! Offline shim for `rayon`'s fork-join core.
+//! Offline shim for `rayon`'s fork-join core, backed by a **persistent
+//! worker pool**.
 //!
 //! Exposes [`join`], [`scope`], and [`current_num_threads`] with rayon's
-//! semantics, implemented over [`std::thread::scope`] (one OS thread per
-//! spawned task instead of a work-stealing pool). Callers therefore spawn
-//! **one task per worker**, not one per item — which is also the right
-//! granularity for real rayon. The one API deviation: [`Scope::spawn`]
-//! takes a zero-argument closure (`s.spawn(|| ...)`) rather than rayon's
-//! `s.spawn(|scope| ...)`; migrating to the real crate is a mechanical
-//! `||` → `|_|` edit.
+//! semantics. Unlike the earlier `std::thread::scope`-based shim, the
+//! workers are long-lived: the first fork-join call spawns one OS thread
+//! per core (override with `RAYON_NUM_THREADS`), and every subsequent
+//! `scope` hands its tasks to those threads over per-worker channels and
+//! waits on a completion latch. Per-tick callers therefore pay a channel
+//! send + latch wait per step instead of a `thread::spawn`/`join` pair
+//! per task — which is what lets small-grid simulations win from
+//! `Parallelism::Rayon` at all.
+//!
+//! Callers spawn **one task per worker**, not one per item — which is
+//! also the right granularity for real rayon. The one API deviation:
+//! [`Scope::spawn`] takes a zero-argument closure (`s.spawn(|| ...)`)
+//! rather than rayon's `s.spawn(|scope| ...)`; migrating to the real
+//! crate is a mechanical `||` → `|_|` edit.
+//!
+//! ## Determinism contract
+//!
+//! The pool adds **no scheduling nondeterminism observable through data**:
+//!
+//! - `scope` returns only after every spawned task has finished (the
+//!   completion latch), so all writes made by tasks are visible — and
+//!   complete — when it returns, exactly as with scoped threads.
+//! - Tasks are dispatched round-robin (task *k* of a scope always runs on
+//!   worker `k mod N`), so a fixed spawn order maps to a fixed
+//!   worker assignment; but correctness must never depend on that —
+//!   callers own disjoint data per task, which is what the simulators'
+//!   shard splits guarantee and their Serial-vs-Rayon bit-identity tests
+//!   verify.
+//! - A panicking task is caught on the worker (the worker survives for
+//!   the next scope) and the panic payload is rethrown on the caller's
+//!   thread after all tasks of the scope have completed.
+//!
+//! ## Safety
+//!
+//! Handing a borrowing closure (`'scope`) to a `'static` worker thread
+//! requires erasing its lifetime — the one `unsafe` block in this crate.
+//! Soundness rests on the completion latch: the scope guard waits for
+//! every task (even when the scope body panics) *before* the borrowed
+//! frame can be left, so no task can observe its borrows dangling. This
+//! is the same argument `std::thread::scope` makes, with the latch in
+//! place of thread joins.
 
-#![forbid(unsafe_code)]
-
-use std::sync::OnceLock;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::mpsc::{channel, Sender};
+use std::sync::{Arc, Condvar, Mutex, OnceLock};
 use std::thread;
 
-/// The number of threads fork-join work is split across. Cached: callers
-/// sit on per-tick hot paths, and `available_parallelism` is a syscall.
+/// The number of threads fork-join work is split across: the
+/// `RAYON_NUM_THREADS` environment variable if set to a positive number
+/// (the real crate honors it too), else the available hardware
+/// parallelism. Cached: callers sit on per-tick hot paths.
 pub fn current_num_threads() -> usize {
     static THREADS: OnceLock<usize> = OnceLock::new();
-    *THREADS.get_or_init(|| thread::available_parallelism().map_or(1, |n| n.get()))
-}
-
-/// Runs both closures, potentially in parallel, and returns both results.
-pub fn join<A, B, RA, RB>(a: A, b: B) -> (RA, RB)
-where
-    A: FnOnce() -> RA + Send,
-    B: FnOnce() -> RB + Send,
-    RA: Send,
-    RB: Send,
-{
-    thread::scope(|s| {
-        let hb = s.spawn(b);
-        let ra = a();
-        let rb = hb.join().expect("rayon shim: joined task panicked");
-        (ra, rb)
+    *THREADS.get_or_init(|| {
+        if let Some(n) = std::env::var("RAYON_NUM_THREADS")
+            .ok()
+            .and_then(|v| v.parse::<usize>().ok())
+            .filter(|&n| n > 0)
+        {
+            return n;
+        }
+        thread::available_parallelism().map_or(1, |n| n.get())
     })
 }
 
-/// A scope in which borrowed-data tasks can be spawned.
+/// A lifetime-erased task plus the latch it must release.
+struct Job {
+    task: Box<dyn FnOnce() + Send>,
+    latch: Arc<Latch>,
+}
+
+/// Counts outstanding tasks of one scope; the scope blocks until zero.
+/// Also carries the first panic payload captured by a worker.
+struct Latch {
+    outstanding: Mutex<usize>,
+    done: Condvar,
+    panic: Mutex<Option<Box<dyn std::any::Any + Send>>>,
+}
+
+impl Latch {
+    fn new() -> Self {
+        Latch {
+            outstanding: Mutex::new(0),
+            done: Condvar::new(),
+            panic: Mutex::new(None),
+        }
+    }
+
+    fn add_task(&self) {
+        *self.outstanding.lock().expect("latch poisoned") += 1;
+    }
+
+    fn finish_task(&self) {
+        let mut outstanding = self.outstanding.lock().expect("latch poisoned");
+        *outstanding -= 1;
+        if *outstanding == 0 {
+            self.done.notify_all();
+        }
+    }
+
+    fn wait(&self) {
+        let mut outstanding = self.outstanding.lock().expect("latch poisoned");
+        while *outstanding > 0 {
+            outstanding = self.done.wait(outstanding).expect("latch poisoned");
+        }
+    }
+}
+
+thread_local! {
+    /// Set on pool workers so nested fork-join (a deadlock: the inner
+    /// scope's tasks would queue behind the outer task waiting on them)
+    /// fails fast instead of hanging.
+    static IS_POOL_WORKER: std::cell::Cell<bool> = const { std::cell::Cell::new(false) };
+}
+
+/// The process-wide worker pool: one long-lived thread per
+/// [`current_num_threads`], each draining its own channel.
+struct Pool {
+    workers: Vec<Sender<Job>>,
+    /// Round-robin dispatch cursor across scopes, so consecutive scopes
+    /// with fewer tasks than workers still spread over the whole pool.
+    next: AtomicUsize,
+}
+
+impl Pool {
+    fn global() -> &'static Pool {
+        static POOL: OnceLock<Pool> = OnceLock::new();
+        POOL.get_or_init(|| {
+            let workers = (0..current_num_threads())
+                .map(|i| {
+                    let (tx, rx) = channel::<Job>();
+                    thread::Builder::new()
+                        .name(format!("rayon-shim-{i}"))
+                        .spawn(move || {
+                            IS_POOL_WORKER.set(true);
+                            for job in rx {
+                                let result = catch_unwind(AssertUnwindSafe(job.task));
+                                if let Err(payload) = result {
+                                    let mut slot = job.latch.panic.lock().expect("latch poisoned");
+                                    slot.get_or_insert(payload);
+                                }
+                                job.latch.finish_task();
+                            }
+                        })
+                        .expect("spawn pool worker");
+                    tx
+                })
+                .collect();
+            Pool {
+                workers,
+                next: AtomicUsize::new(0),
+            }
+        })
+    }
+
+    fn dispatch(&self, job: Job) {
+        let w = self.next.fetch_add(1, Ordering::Relaxed) % self.workers.len();
+        self.workers[w]
+            .send(job)
+            .expect("pool workers live for the process lifetime");
+    }
+}
+
+/// A scope in which borrowed-data tasks can be spawned onto the
+/// persistent pool.
 pub struct Scope<'scope, 'env: 'scope> {
-    inner: &'scope thread::Scope<'scope, 'env>,
+    pool: &'static Pool,
+    latch: Arc<Latch>,
+    _marker: std::marker::PhantomData<&'scope mut &'env ()>,
 }
 
 impl<'scope, 'env> Scope<'scope, 'env> {
@@ -48,27 +180,100 @@ impl<'scope, 'env> Scope<'scope, 'env> {
     where
         F: FnOnce() + Send + 'scope,
     {
-        self.inner.spawn(task);
+        self.latch.add_task();
+        let boxed: Box<dyn FnOnce() + Send + 'scope> = Box::new(task);
+        // SAFETY: the task may borrow from `'scope`/`'env` frames, but the
+        // scope guard ([`scope`]'s `LatchGuard`) waits on the latch before
+        // those frames unwind — on normal return *and* on panic — so the
+        // erased borrows strictly outlive every use.
+        let erased: Box<dyn FnOnce() + Send + 'static> = unsafe { std::mem::transmute(boxed) };
+        self.pool.dispatch(Job {
+            task: erased,
+            latch: Arc::clone(&self.latch),
+        });
     }
 }
 
-/// Creates a fork-join scope: all tasks spawned on it complete before
-/// `scope` returns.
+/// Blocks on the latch when dropped — the soundness anchor: the scope
+/// frame cannot be left (even by unwinding) while tasks still run.
+struct LatchGuard<'a>(&'a Latch);
+
+impl Drop for LatchGuard<'_> {
+    fn drop(&mut self) {
+        self.0.wait();
+    }
+}
+
+/// Creates a fork-join scope on the persistent pool: all tasks spawned on
+/// it complete before `scope` returns.
+///
+/// Must not be called from inside a pool task — the inner scope's tasks
+/// would queue behind the outer task waiting on them and deadlock a
+/// fully busy pool. This is checked: a nested call panics immediately
+/// instead of hanging. (Real rayon supports nesting via work-stealing;
+/// the simulators only fork from the main stepping thread. [`join`] has
+/// the same restriction, being built on `scope`.)
 ///
 /// # Panics
 ///
-/// Panics if a spawned task panicked (the panic is propagated by
-/// `std::thread::scope`).
+/// Panics if called from inside a pool task, or if a spawned task
+/// panicked (the first payload is rethrown after all tasks of the scope
+/// have completed).
 pub fn scope<'env, F, R>(f: F) -> R
 where
     F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
 {
-    thread::scope(|s| f(&Scope { inner: s }))
+    assert!(
+        !IS_POOL_WORKER.get(),
+        "rayon shim: nested fork-join on the persistent pool would deadlock \
+         (scope/join called from inside a pool task)"
+    );
+    let latch = Arc::new(Latch::new());
+    let result = {
+        let guard = LatchGuard(&latch);
+        let scope = Scope {
+            pool: Pool::global(),
+            latch: Arc::clone(&latch),
+            _marker: std::marker::PhantomData,
+        };
+        let result = f(&scope);
+        drop(guard); // waits for every task
+        result
+    };
+    let payload = latch.panic.lock().expect("latch poisoned").take();
+    if let Some(payload) = payload {
+        std::panic::resume_unwind(payload);
+    }
+    result
+}
+
+/// Runs both closures, potentially in parallel (the second on the pool),
+/// and returns both results.
+///
+/// # Panics
+///
+/// Panics if called from inside a pool task (see [`scope`], which this
+/// is built on) or if either closure panics.
+pub fn join<A, B, RA, RB>(a: A, b: B) -> (RA, RB)
+where
+    A: FnOnce() -> RA + Send,
+    B: FnOnce() -> RB + Send,
+    RA: Send,
+    RB: Send,
+{
+    let mut rb = None;
+    let ra = scope(|s| {
+        s.spawn(|| rb = Some(b()));
+        a()
+    });
+    (ra, rb.expect("joined task completed by scope"))
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::collections::HashSet;
+    use std::sync::atomic::AtomicU64;
 
     #[test]
     fn join_returns_both_results() {
@@ -94,6 +299,74 @@ mod tests {
         for (i, &x) in data.iter().enumerate() {
             assert_eq!(x, i as u64);
         }
+    }
+
+    #[test]
+    fn pool_threads_persist_across_scopes() {
+        // Collect the worker thread ids over many scopes: they must come
+        // from one small, stable set (long-lived threads), not grow with
+        // the number of scopes as per-call spawning would.
+        let ids = Mutex::new(HashSet::new());
+        for _ in 0..50 {
+            scope(|s| {
+                for _ in 0..4 {
+                    s.spawn(|| {
+                        ids.lock().unwrap().insert(thread::current().id());
+                    });
+                }
+            });
+        }
+        let distinct = ids.lock().unwrap().len();
+        assert!(
+            distinct <= current_num_threads(),
+            "50 scopes × 4 tasks ran on {distinct} threads — workers are not persistent"
+        );
+    }
+
+    #[test]
+    fn oversubscribed_scopes_run_every_task() {
+        // More tasks than workers: they queue per worker and all complete
+        // before the scope returns.
+        let counter = AtomicU64::new(0);
+        scope(|s| {
+            for _ in 0..current_num_threads() * 8 + 3 {
+                s.spawn(|| {
+                    counter.fetch_add(1, Ordering::Relaxed);
+                });
+            }
+        });
+        assert_eq!(
+            counter.load(Ordering::Relaxed),
+            (current_num_threads() * 8 + 3) as u64
+        );
+    }
+
+    #[test]
+    fn task_panic_propagates_and_pool_survives() {
+        let result = std::panic::catch_unwind(|| {
+            scope(|s| {
+                s.spawn(|| panic!("task boom"));
+            });
+        });
+        assert!(result.is_err(), "scope must rethrow the task panic");
+        // The worker that caught the panic still serves later scopes.
+        let mut x = 0u64;
+        scope(|s| s.spawn(|| x = 7));
+        assert_eq!(x, 7);
+    }
+
+    #[test]
+    fn nested_fork_join_fails_fast_instead_of_deadlocking() {
+        let result = std::panic::catch_unwind(|| {
+            scope(|s| {
+                s.spawn(|| {
+                    // A nested scope from inside a pool task must panic
+                    // (caught, rethrown by the outer scope) — not hang.
+                    scope(|inner| inner.spawn(|| {}));
+                });
+            });
+        });
+        assert!(result.is_err(), "nested scope must be rejected");
     }
 
     #[test]

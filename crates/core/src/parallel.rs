@@ -6,7 +6,8 @@
 //! owns the execution-mode switch ([`Parallelism`]) and a fork-join
 //! helper ([`for_each_indexed_mut`]) the simulation substrates use to
 //! shard that work (and the per-road car-following phase) across threads
-//! via `rayon::scope`.
+//! via `rayon::scope` — backed by a persistent worker pool, so a
+//! per-tick fork-join costs a channel handoff, not thread spawns.
 //!
 //! Determinism: every parallel unit writes only to its own element, so a
 //! run's outputs are identical whatever the thread count — [`Parallelism::Serial`]
@@ -29,9 +30,10 @@ pub enum Parallelism {
     /// step is cheaper than a fork-join.
     #[default]
     Serial,
-    /// Shard independent phases across threads with `rayon::scope`. Pays
-    /// a fork-join per step; wins once per-step work dominates (large
-    /// grids, microscopic car-following).
+    /// Shard independent phases across threads with `rayon::scope` (a
+    /// persistent worker pool — the per-step cost is a channel handoff
+    /// and a latch wait, not thread spawns). Wins once per-step work
+    /// dominates that handoff (microscopic car-following, larger grids).
     Rayon,
 }
 

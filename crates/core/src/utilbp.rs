@@ -220,40 +220,52 @@ impl UtilBp {
         }
     }
 
-    /// Lines 6–11 of Algorithm 1: select the candidate next phase `c'`.
+    /// Lines 6–11 of Algorithm 1: select the candidate next phase `c'`,
+    /// scoring phases on the fly (no per-decision allocation — this sits
+    /// on the simulators' per-tick hot path).
     ///
     /// Exact ties resolve in favor of the current phase (avoiding a
-    /// gratuitous amber), then in phase-table order.
-    fn select_phase(&self, scores: &[PhaseScore]) -> PhaseId {
+    /// gratuitous amber), then in phase-table order. Equivalent to
+    /// ranking the full [`phase_scores`](Self::phase_scores) table: one
+    /// tracker ranks utilizable phases (`g_max > α`) by total gain
+    /// (Line 8), the other ranks all phases by `g_max` (Line 10); the
+    /// first tracker wins whenever it is non-empty.
+    fn select_phase(&self, view: &IntersectionView<'_>) -> PhaseId {
         let alpha = self.config.penalties.alpha();
-        let any_utilizable = scores.iter().any(|s| s.max > alpha);
-
-        let key = |s: &PhaseScore| -> f64 {
-            if any_utilizable {
-                s.total // Line 8: best total gain among C'
-            } else {
-                s.max // Line 10: best single-link gain
-            }
-        };
-        let eligible = |s: &PhaseScore| -> bool { !any_utilizable || s.max > alpha };
-
         let current = self.previous.phase();
-        let mut best: Option<&PhaseScore> = None;
-        for s in scores.iter().filter(|s| eligible(s)) {
-            best = match best {
-                None => Some(s),
+        // (key, phase) trackers, updated in phase-table order with the
+        // same comparison the table-based ranking used.
+        let mut best_utilizable: Option<(f64, PhaseId)> = None;
+        let mut best_any: Option<(f64, PhaseId)> = None;
+        let prefer = |best: &mut Option<(f64, PhaseId)>, key: f64, phase: PhaseId| {
+            *best = match *best {
+                None => Some((key, phase)),
                 Some(b) => {
-                    let better = key(s) > key(b);
-                    let tie_prefers_s = key(s) == key(b) && current == Some(s.phase);
-                    if better || tie_prefers_s {
-                        Some(s)
+                    if key > b.0 || (key == b.0 && current == Some(phase)) {
+                        Some((key, phase))
                     } else {
                         Some(b)
                     }
                 }
             };
+        };
+        for phase in view.layout().phase_ids() {
+            let links = view.layout().phase(phase).links();
+            let mut total = 0.0;
+            let mut max = f64::NEG_INFINITY;
+            for &l in links {
+                let g = self.gain(view, l);
+                total += g;
+                max = max.max(g);
+            }
+            if max > alpha {
+                prefer(&mut best_utilizable, total, phase);
+            }
+            prefer(&mut best_any, max, phase);
         }
-        best.map(|s| s.phase)
+        best_utilizable
+            .or(best_any)
+            .map(|(_, phase)| phase)
             .expect("layout validation guarantees at least one phase")
     }
 }
@@ -275,8 +287,7 @@ impl SignalController for UtilBp {
         }
 
         // Case 3 (Lines 5–18): pick the best next phase.
-        let scores = self.phase_scores(view);
-        let candidate = self.select_phase(&scores);
+        let candidate = self.select_phase(view);
 
         let decision = if self.previous == PhaseDecision::Control(candidate)
             || self.previous.is_transition()

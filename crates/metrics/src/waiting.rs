@@ -2,9 +2,14 @@
 //!
 //! The paper's headline metric is the **average queuing time of a vehicle**
 //! over the whole network (Fig. 2, Table III). A [`WaitingLedger`] tracks
-//! each vehicle from network entry to exit, accumulating the ticks it spent
-//! waiting (queued at an intersection, or stopped below the waiting-speed
-//! threshold in the microscopic simulator, matching SUMO's definition).
+//! each vehicle from network entry to exit; the *accumulation* of waiting
+//! ticks lives with the simulator (each active vehicle carries its own
+//! wait accumulator through the hot loop) and is flushed into the ledger
+//! once, at journey completion, via [`WaitingLedger::complete`]. Queries
+//! that must count vehicles still in the network —
+//! [`WaitingLedger::mean_waiting_including_active`] — fold the live
+//! accumulators in at query time, so the per-tick step path never touches
+//! the ledger for waiting vehicles.
 
 use serde::{Deserialize, Serialize};
 use utilbp_core::Tick;
@@ -40,13 +45,15 @@ impl std::fmt::Display for VehicleId {
     }
 }
 
-#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
-struct ActiveVehicle {
-    entered: Tick,
-    waited: u64,
-}
-
-/// Tracks per-vehicle waiting and journey times across a run.
+/// Tracks per-vehicle journey times and completed-vehicle waiting
+/// statistics across a run.
+///
+/// Waiting ticks are accumulated *outside* the ledger (the simulators
+/// carry one accumulator per active vehicle, updated in the same pass
+/// that moves the vehicle) and handed over at [`complete`](Self::complete)
+/// time. The ledger itself only needs each active vehicle's entry tick,
+/// so entering and completing are O(1) slab operations and nothing in the
+/// per-tick hot path writes here.
 ///
 /// # Examples
 ///
@@ -57,21 +64,19 @@ struct ActiveVehicle {
 /// let mut ledger = WaitingLedger::new();
 /// let v = VehicleId::new(0);
 /// ledger.enter(v, Tick::new(10));
-/// ledger.add_wait(v, 3);
-/// ledger.add_wait(v, 2);
-/// ledger.complete(v, Tick::new(40));
+/// ledger.complete(v, Tick::new(40), 5);
 /// assert_eq!(ledger.completed(), 1);
 /// assert_eq!(ledger.waiting_stats().mean(), 5.0);
 /// assert_eq!(ledger.journey_stats().mean(), 30.0);
 /// ```
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct WaitingLedger {
-    /// Active vehicles in a dense slab indexed by the raw [`VehicleId`].
-    /// Ids are handed out sequentially by the demand generators, so the
-    /// slab stays compact and the per-tick `add_wait` of every waiting
-    /// vehicle is a cache-friendly vector index instead of a hash lookup
-    /// — the ledger sits on the simulators' hot path.
-    active: Vec<Option<ActiveVehicle>>,
+    /// Entry ticks of active vehicles in a dense slab indexed by the raw
+    /// [`VehicleId`]. Ids are handed out sequentially by the demand
+    /// generators, so the slab stays compact and both `enter` and
+    /// `complete` are cache-friendly vector indexing instead of hash
+    /// lookups.
+    active: Vec<Option<Tick>>,
     /// Number of `Some` entries in `active`.
     active_count: usize,
     waiting: SummaryStats,
@@ -112,35 +117,25 @@ impl WaitingLedger {
         if slot >= self.active.len() {
             self.active.resize(slot + 1, None);
         }
-        let previous = self.active[slot].replace(ActiveVehicle {
-            entered: tick,
-            waited: 0,
-        });
+        let previous = self.active[slot].replace(tick);
         if previous.is_none() {
             self.active_count += 1;
         }
         debug_assert!(previous.is_none(), "vehicle {id} entered twice");
     }
 
-    /// Adds `ticks` of waiting to an active vehicle. Unknown ids are
-    /// ignored (the vehicle may have been completed by a racing recorder).
-    pub fn add_wait(&mut self, id: VehicleId, ticks: u64) {
-        if let Some(Some(v)) = self.active.get_mut(id.raw() as usize) {
-            v.waited += ticks;
-        }
-    }
-
-    /// Completes a vehicle's journey at `tick`, folding its waiting and
-    /// journey times into the run statistics. Returns the vehicle's total
-    /// waiting ticks, or `None` if the id was not active.
-    pub fn complete(&mut self, id: VehicleId, tick: Tick) -> Option<u64> {
-        let v = self.active.get_mut(id.raw() as usize)?.take()?;
+    /// Completes a vehicle's journey at `tick`, folding its journey time
+    /// and its externally accumulated `waited` ticks into the run
+    /// statistics. Returns `waited` back, or `None` if the id was not
+    /// active (unknown ids are ignored).
+    pub fn complete(&mut self, id: VehicleId, tick: Tick, waited: u64) -> Option<u64> {
+        let entered = self.active.get_mut(id.raw() as usize)?.take()?;
         self.active_count -= 1;
-        self.waiting.record(v.waited as f64);
-        self.waiting_histogram.record(v.waited as f64);
+        self.waiting.record(waited as f64);
+        self.waiting_histogram.record(waited as f64);
         self.journey
-            .record(tick.saturating_since(v.entered).count() as f64);
-        Some(v.waited)
+            .record(tick.saturating_since(entered).count() as f64);
+        Some(waited)
     }
 
     /// Number of vehicles that completed their journey.
@@ -173,18 +168,29 @@ impl WaitingLedger {
     /// estimator used for the paper's "average queuing time of a vehicle
     /// (in the entire network)", which counts every vehicle inserted.
     ///
-    /// Vehicles still active contribute their waiting so far; without this,
-    /// heavily congested controllers would look *better* because their
-    /// stuck vehicles never complete.
-    pub fn mean_waiting_including_active(&self) -> f64 {
-        let total = self.waiting.mean() * self.waiting.count() as f64
-            + self
-                .active
-                .iter()
-                .flatten()
-                .map(|v| v.waited as f64)
-                .sum::<f64>();
-        let n = self.waiting.count() as f64 + self.active_count as f64;
+    /// `active_waits` must yield the current wait accumulator of **every**
+    /// active vehicle (one element per vehicle; zeros included) — the
+    /// simulators own those accumulators, so this fold happens at query
+    /// time instead of costing a ledger write per waiting vehicle per
+    /// tick. Vehicles still active contribute their waiting so far;
+    /// without this, heavily congested controllers would look *better*
+    /// because their stuck vehicles never complete.
+    pub fn mean_waiting_including_active<I>(&self, active_waits: I) -> f64
+    where
+        I: IntoIterator<Item = u64>,
+    {
+        let mut active_total = 0u64;
+        let mut active_n = 0u64;
+        for w in active_waits {
+            active_total += w;
+            active_n += 1;
+        }
+        debug_assert_eq!(
+            active_n as usize, self.active_count,
+            "active_waits must yield one accumulator per active vehicle"
+        );
+        let total = self.waiting.mean() * self.waiting.count() as f64 + active_total as f64;
+        let n = self.waiting.count() as f64 + active_n as f64;
         if n == 0.0 {
             0.0
         } else {
@@ -206,14 +212,12 @@ mod tests {
         l.enter(b, Tick::new(5));
         assert_eq!(l.active(), 2);
 
-        l.add_wait(a, 10);
-        l.add_wait(b, 4);
-        assert_eq!(l.complete(a, Tick::new(50)), Some(10));
+        assert_eq!(l.complete(a, Tick::new(50), 10), Some(10));
         assert_eq!(l.completed(), 1);
         assert_eq!(l.active(), 1);
         assert_eq!(l.journey_stats().mean(), 50.0);
 
-        assert_eq!(l.complete(b, Tick::new(25)), Some(4));
+        assert_eq!(l.complete(b, Tick::new(25), 4), Some(4));
         assert_eq!(l.waiting_stats().mean(), 7.0);
         assert_eq!(l.journey_stats().mean(), 35.0);
     }
@@ -221,8 +225,7 @@ mod tests {
     #[test]
     fn unknown_ids_are_ignored() {
         let mut l = WaitingLedger::new();
-        l.add_wait(VehicleId::new(9), 5);
-        assert_eq!(l.complete(VehicleId::new(9), Tick::new(1)), None);
+        assert_eq!(l.complete(VehicleId::new(9), Tick::new(1), 5), None);
         assert_eq!(l.completed(), 0);
     }
 
@@ -233,17 +236,16 @@ mod tests {
         let b = VehicleId::new(2);
         l.enter(a, Tick::new(0));
         l.enter(b, Tick::new(0));
-        l.add_wait(a, 10);
-        l.complete(a, Tick::new(20));
-        l.add_wait(b, 30); // still stuck in the network
+        l.complete(a, Tick::new(20), 10);
+        // `b` is still stuck in the network with 30 accumulated ticks.
         assert_eq!(l.waiting_stats().mean(), 10.0, "completed-only mean");
-        assert_eq!(l.mean_waiting_including_active(), 20.0);
+        assert_eq!(l.mean_waiting_including_active([30u64]), 20.0);
     }
 
     #[test]
     fn empty_ledger_means_are_zero() {
         let l = WaitingLedger::new();
-        assert_eq!(l.mean_waiting_including_active(), 0.0);
+        assert_eq!(l.mean_waiting_including_active(std::iter::empty()), 0.0);
         assert_eq!(l.waiting_stats().mean(), 0.0);
     }
 
@@ -258,8 +260,7 @@ mod tests {
         for (i, wait) in [5u64, 15, 15, 700].into_iter().enumerate() {
             let v = VehicleId::new(i as u64);
             l.enter(v, Tick::ZERO);
-            l.add_wait(v, wait);
-            l.complete(v, Tick::new(1000));
+            l.complete(v, Tick::new(1000), wait);
         }
         let h = l.waiting_histogram();
         assert_eq!(h.count(), 4);

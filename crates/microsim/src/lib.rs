@@ -26,30 +26,55 @@
 //! ## Performance architecture
 //!
 //! The step path is built to run as fast as the hardware allows over
-//! large grids; three mechanisms carry it:
+//! large grids; five mechanisms carry it:
 //!
-//! **Incremental sensing.** Detector reads never rescan lanes. Every
-//! lane maintains two counters — vehicles inside the configured
-//! detection window, and halted vehicles over the whole lane — updated
-//! at the only points where a vehicle's position or speed can change:
-//! the car-following advance, stop-line crossings, junction-box
-//! landings, and boundary insertions. `movement_queue_len` and
-//! `road_sensor` are therefore O(1)/O(lanes) reads. The invariant
-//! (*counter ≡ from-scratch rescan under the same sensor spec*) is
-//! checkable at runtime via [`MicroSim::verify_sensors`] and enforced
-//! tick-by-tick in the regression suite. The same idea gives
-//! `dest_lane_has_room` an O(1) per-lane pending-reservation counter
-//! (incremented at crossing, decremented at landing) instead of a scan
-//! over every junction box. The `SharedMixed` lane discipline is the one
-//! exception: per-movement counts cannot live on a lane when movements
-//! share lanes, so that ablation mode falls back to rescans.
+//! **Data-oriented vehicle layout.** Vehicle state is split by access
+//! pattern (see [`crate::road`] for the full layout). Per-tick hot state
+//! — interleaved `[position, speed]` pairs and a waiting-tick
+//! accumulator — lives in struct-of-arrays lanes that the Krauss
+//! car-following phase streams over; per-journey cold state (external
+//! id, `Arc<Route>`, route cursor) lives in a slab `VehicleArena` keyed
+//! by a compact `u32` slot that only the serial phases dereference.
+//! Lanes dequeue crossed heads by advancing a head offset (amortized
+//! compaction, storage pre-reserved at the geometric plateau), so the
+//! steady-state fleet churns with no allocation and no element shifts.
+//!
+//! **Incremental sensing.** Detector reads never rescan lanes. Each road
+//! keeps dense per-lane counters — vehicles inside the configured
+//! detection window, halted vehicles over the whole lane — plus their
+//! road-level sums, maintained from deltas the car-following advance
+//! returns and updated at the only other points where a vehicle's
+//! position or speed can change (stop-line crossings, junction-box
+//! landings, boundary insertions). `movement_queue_len` and
+//! `road_sensor` are therefore O(1) reads of dense arrays — the sense
+//! phase never touches lane storage. The invariant (*counter ≡
+//! from-scratch rescan under the same sensor spec*) is checkable at
+//! runtime via [`MicroSim::verify_sensors`] and enforced tick-by-tick in
+//! the regression suite. The same idea gives `dest_lane_has_room` an
+//! O(1) per-lane pending-reservation counter and the head phase a
+//! per-lane green-with-credit flag precomputed in the signal-refresh
+//! pass. The `SharedMixed` lane discipline keeps per-(road, link)
+//! movement counters over lane-cached link indices, so even the
+//! mixed-lane ablation never chases routes in the hot loop.
+//!
+//! **Accumulator-based waiting.** Waiting time (SUMO definition: ticks
+//! below the waiting-speed threshold) accumulates per vehicle, in the
+//! same pass that moves it; the accumulator rides through junction boxes
+//! and is flushed to the `WaitingLedger` once, at journey completion.
+//! Vehicles queued outside a full boundary entry are credited their
+//! whole backlog dwell when they insert. Nothing scans the fleet or the
+//! backlogs per tick;
+//! [`MicroSim::mean_waiting_including_active`] folds the live
+//! accumulators into the completed statistics at query time.
 //!
 //! **Reusable scratch.** One `ObservationBuffer` (one observation per
 //! intersection) and the caller's `StepReport` are rewritten in place
 //! every tick via [`MicroSim::step_into`] /
 //! [`MicroSim::observe_into`], so the steady-state step path performs no
-//! heap allocation for observations or decision vectors. The allocating
-//! `step`/`observe` remain as thin convenience wrappers.
+//! heap allocation (bounded by a counting-allocator regression test).
+//! The allocating `step`/`observe` remain as thin convenience wrappers,
+//! and [`MicroSim::step_into_timed`] attributes wall-clock time to the
+//! pipeline's phase groups for the perf harness.
 //!
 //! **Shard-parallel stepping.** Two of the step's phases are
 //! embarrassingly parallel and shard across threads under
@@ -58,12 +83,15 @@
 //! reading only its own observation) and the car-following phase for
 //! non-head vehicles (per-road state, no cross-road reads). Head
 //! release, landings, insertions, and ledger accounting mutate shared
-//! state and stay serial. Dawdling noise is drawn from per-road RNG
-//! streams, so `Serial` and `Rayon` produce **bit-identical** step
-//! reports and ledgers — asserted by the cross-mode determinism tests.
-//! `Serial` is the default and the right choice for small grids, where
-//! a step is cheaper than a fork-join; `Rayon` pays off once per-step
-//! work dominates (large grids, heavy traffic, many cores).
+//! state and stay serial. The fork-join runs on `rayon`'s persistent
+//! worker pool (a channel handoff per step, not thread spawns), and
+//! dawdling noise is drawn from per-road RNG streams, so `Serial` and
+//! `Rayon` produce **bit-identical** step reports and ledgers —
+//! asserted by the cross-mode determinism tests, including under
+//! scenario disruption events. `Serial` is the default and the right
+//! choice for small grids, where a step is cheaper than a fork-join;
+//! `Rayon` pays off once per-step work dominates (large grids, heavy
+//! traffic, many cores).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -75,7 +103,7 @@ mod sim;
 
 pub use config::{LaneDiscipline, MicroSimConfig, OutgoingSensor};
 pub use krauss::{next_speed, safe_speed, LeaderInfo};
-pub use sim::{MicroSim, StepReport};
+pub use sim::{MicroSim, PhaseTimings, StepReport};
 
 #[cfg(test)]
 mod tests {
@@ -262,7 +290,7 @@ mod tests {
             (
                 sim.total_crossings(),
                 sim.ledger().completed(),
-                sim.ledger().mean_waiting_including_active(),
+                sim.mean_waiting_including_active(),
             )
         };
         assert_eq!(run(5), run(5));
@@ -358,7 +386,7 @@ mod tests {
                 let arrivals = demand.poll(&g, Tick::new(k));
                 sim.step(arrivals);
             }
-            sim.ledger().mean_waiting_including_active()
+            sim.mean_waiting_including_active()
         };
         let util = run(util_controllers(9));
         let fixed = run((0..9)

@@ -1,19 +1,51 @@
-//! Lanes, vehicles, and the per-lane car-following update.
+//! The data-oriented vehicle arena, SoA lanes, and the per-lane
+//! car-following update.
+//!
+//! ## Layout
+//!
+//! Vehicle state is split by access pattern instead of being stored as an
+//! array of `Vehicle` structs:
+//!
+//! - **Hot, per-tick state** — position, speed, and the waiting-tick
+//!   accumulator — lives in parallel arrays *inside each [`Lane`]*
+//!   (struct-of-arrays). The Krauss car-following phase streams over
+//!   contiguous `f64` slices per lane, touching nothing else.
+//! - **Cold, per-journey state** — the external [`VehicleId`], the
+//!   `Arc<Route>`, and the route cursor (`hop`) — lives in the
+//!   [`VehicleArena`], a slab keyed by a compact `u32` slot carried in the
+//!   lane arrays. Only the serial phases (head release, landings,
+//!   insertions, completions) dereference it.
+//! - The movement link a vehicle queues for is fixed while it is on a
+//!   road, so each lane also caches it as a `u16` per vehicle — the
+//!   `SharedMixed` movement counters never chase the `Arc<Route>` in the
+//!   hot loop.
+//!
+//! Lanes are FIFO (single file, no overtaking): index order *is* position
+//! order, head first. Dequeuing a crossed head advances a `head` offset
+//! instead of shifting the arrays; storage is compacted amortizedly.
 //!
 //! ## Incremental sensing
 //!
-//! Every lane maintains two sensor counters alongside its vehicle deque:
-//! the number of vehicles within the configured detector window of the
-//! stop line ([`Lane::detected_count`]) and the number of halted vehicles
-//! anywhere on the lane ([`Lane::halted_count`]). The counters are
-//! updated at the *only* points where a vehicle's position or speed can
-//! change — the car-following advance, stop-line crossings, junction-box
-//! landings, and boundary insertions — so reading a detector is O(1)
-//! instead of a rescan of the lane. The invariant (counter ≡ rescan under
-//! the same [`SensorSpec`]) is enforced by `MicroSim::verify_sensors` and
-//! a dedicated regression test.
+//! Sensor counters (vehicles inside the detection window, halted
+//! vehicles) live as dense per-lane arrays on the *road* (see
+//! `RoadSim` in the simulator), not on the lanes: the sense phase then
+//! reads short contiguous arrays instead of walking lane storage. The
+//! advance functions here return per-step counter deltas — computed at
+//! the *only* points where a vehicle's position or speed can change —
+//! which the road folds into its arrays and sums; crossings, landings,
+//! and insertions adjust them directly. The invariant (counter ≡ rescan
+//! under the same [`SensorSpec`], via [`Lane::rescan_sensors`]) is
+//! enforced by `MicroSim::verify_sensors` and a dedicated regression
+//! test.
+//!
+//! ## Waiting accumulators
+//!
+//! A vehicle's waiting ticks (speed below the SUMO threshold) accumulate
+//! in the lane's `wait` array in the same pass that moves the vehicle,
+//! ride along through junction boxes, and are flushed to the
+//! `WaitingLedger` exactly once, at journey completion. Nothing scans the
+//! fleet per tick to account waiting.
 
-use std::collections::VecDeque;
 use std::sync::Arc;
 
 use rand::rngs::SmallRng;
@@ -24,19 +56,77 @@ use utilbp_netgen::Route;
 use crate::config::MicroSimConfig;
 use crate::krauss::{next_speed, LeaderInfo};
 
-/// One simulated vehicle.
-#[derive(Debug, Clone)]
-pub(crate) struct Vehicle {
-    pub id: VehicleId,
-    pub route: Arc<Route>,
-    /// Index of the next intersection to cross (== `route.len()` once on a
-    /// boundary exit road).
-    pub hop: usize,
-    /// Front-bumper position along the current lane, meters from the lane
-    /// start (the stop line is at the lane length).
-    pub pos: f64,
-    /// Current speed, m/s.
-    pub speed: f64,
+/// Lane-cached movement link of vehicles on boundary exit roads (no
+/// downstream junction, hence no movement).
+pub(crate) const LINK_NONE: u16 = u16::MAX;
+
+/// Slab of per-journey vehicle state, keyed by a compact `u32` slot.
+///
+/// Slots are recycled through a free list (LIFO), so the slab stays as
+/// dense as the peak concurrent fleet. A freed slot keeps its stale
+/// `Arc<Route>` in place until reuse — routes are shared from the demand
+/// generators' caches, so the extra reference is a few bytes, and it
+/// spares the slab an `Option` per entry.
+#[derive(Debug, Clone, Default)]
+pub(crate) struct VehicleArena {
+    id: Vec<VehicleId>,
+    route: Vec<Arc<Route>>,
+    hop: Vec<u32>,
+    free: Vec<u32>,
+}
+
+impl VehicleArena {
+    /// An empty arena.
+    pub fn new() -> Self {
+        VehicleArena::default()
+    }
+
+    /// Admits a vehicle starting its route; returns its slot.
+    pub fn insert(&mut self, id: VehicleId, route: Arc<Route>) -> u32 {
+        match self.free.pop() {
+            Some(slot) => {
+                let i = slot as usize;
+                self.id[i] = id;
+                self.route[i] = route;
+                self.hop[i] = 0;
+                slot
+            }
+            None => {
+                self.id.push(id);
+                self.route.push(route);
+                self.hop.push(0);
+                (self.id.len() - 1) as u32
+            }
+        }
+    }
+
+    /// Retires a slot (journey complete); returns the external id.
+    pub fn release(&mut self, slot: u32) -> VehicleId {
+        self.free.push(slot);
+        self.id[slot as usize]
+    }
+
+    /// The external id of a live slot.
+    #[cfg_attr(not(test), allow(dead_code))]
+    pub fn id(&self, slot: u32) -> VehicleId {
+        self.id[slot as usize]
+    }
+
+    /// The route of a live slot.
+    pub fn route(&self, slot: u32) -> &Arc<Route> {
+        &self.route[slot as usize]
+    }
+
+    /// The route cursor: index of the next intersection to cross
+    /// (== route length once on a boundary exit road).
+    pub fn hop(&self, slot: u32) -> usize {
+        self.hop[slot as usize] as usize
+    }
+
+    /// Advances the route cursor past a crossed intersection.
+    pub fn bump_hop(&mut self, slot: u32) {
+        self.hop[slot as usize] += 1;
+    }
 }
 
 /// The fixed sensor geometry of one road's lanes: everything needed to
@@ -65,26 +155,123 @@ impl SensorSpec {
     }
 }
 
-/// A single-file lane. `vehicles.front()` is the vehicle closest to the
-/// stop line.
+/// A single-file lane in struct-of-arrays layout. Index `head` is the
+/// vehicle closest to the stop line; positions are strictly decreasing
+/// from there.
 #[derive(Debug, Clone, Default)]
 pub(crate) struct Lane {
-    pub vehicles: VecDeque<Vehicle>,
-    /// Vehicles within the detection window (incremental; see module
-    /// docs).
-    detected: u32,
-    /// Halted vehicles anywhere on the lane (incremental).
-    halted: u32,
+    /// `[position, speed]` per vehicle, interleaved: the car-following
+    /// update always reads and writes both, so pairing them halves the
+    /// cache lines a short lane touches. Positions are meters from the
+    /// lane start (the stop line is at the lane length); valid range
+    /// `head..`.
+    pv: Vec<[f64; 2]>,
+    /// Accumulated waiting ticks (flushed to the ledger at completion).
+    /// `u32` on purpose: 2³² waiting ticks is 136 simulated years, and
+    /// the narrower accumulator keeps the array out of the hot loop's
+    /// cache budget except when a vehicle is actually waiting.
+    wait: Vec<u32>,
+    /// [`VehicleArena`] slot per vehicle.
+    slot: Vec<u32>,
+    /// Cached movement link index at the road's destination intersection
+    /// ([`LINK_NONE`] on exit-road lanes). Never changes on-road.
+    link: Vec<u16>,
+    /// Index of the current head vehicle (offset dequeue — popping the
+    /// head does not shift the arrays).
+    head: usize,
     /// Whether this lane's head crossed the stop line in the current
     /// step's head phase — consumed by [`advance_followers`].
     head_crossed: bool,
 }
 
 impl Lane {
+    /// A lane with storage for `capacity` resident vehicles, pre-reserved
+    /// at the offset-dequeue plateau so pushes never reallocate: the
+    /// arrays are compacted before `head` exceeds `max(32, len - head)`,
+    /// bounding the storage at twice that (plus the entry in flight).
+    pub fn with_capacity(capacity: usize) -> Self {
+        let reserve = 2 * capacity.max(32) + 2;
+        Lane {
+            pv: Vec::with_capacity(reserve),
+            wait: Vec::with_capacity(reserve),
+            slot: Vec::with_capacity(reserve),
+            link: Vec::with_capacity(reserve),
+            ..Lane::default()
+        }
+    }
+
+    /// Number of vehicles on the lane.
+    pub fn len(&self) -> usize {
+        self.pv.len() - self.head
+    }
+
+    /// Whether the lane is empty.
+    pub fn is_empty(&self) -> bool {
+        self.head == self.pv.len()
+    }
+
+    /// Position of the `i`-th vehicle from the head.
+    pub fn pos_at(&self, i: usize) -> f64 {
+        self.pv[self.head + i][0]
+    }
+
+    /// Speed of the `i`-th vehicle from the head.
+    pub fn speed_at(&self, i: usize) -> f64 {
+        self.pv[self.head + i][1]
+    }
+
+    /// Arena slot of the `i`-th vehicle from the head.
+    pub fn slot_at(&self, i: usize) -> u32 {
+        self.slot[self.head + i]
+    }
+
+    /// Cached movement link index of the `i`-th vehicle from the head.
+    pub fn link_at(&self, i: usize) -> u16 {
+        self.link[self.head + i]
+    }
+
+    /// The active waiting accumulators, head first.
+    pub fn waits(&self) -> impl Iterator<Item = u64> + '_ {
+        self.wait[self.head..].iter().map(|&w| w as u64)
+    }
+
+    /// Appends a vehicle at the lane entry (landing or insertion). The
+    /// caller must have updated the sensors via
+    /// [`sensor_add`](Self::sensor_add).
+    pub fn push(&mut self, pos: f64, speed: f64, wait: u64, slot: u32, link: u16) {
+        self.pv.push([pos, speed]);
+        self.wait.push(wait as u32);
+        self.slot.push(slot);
+        self.link.push(link);
+    }
+
+    /// Removes the head vehicle (stop-line crossing); returns its arena
+    /// slot and accumulated waiting. Storage is compacted amortizedly, so
+    /// popping is O(1) and allocation-free.
+    pub fn pop_head(&mut self) -> (u32, u64) {
+        let h = self.head;
+        let (slot, wait) = (self.slot[h], self.wait[h]);
+        self.head += 1;
+        if self.head == self.pv.len() {
+            self.pv.clear();
+            self.wait.clear();
+            self.slot.clear();
+            self.link.clear();
+            self.head = 0;
+        } else if self.head >= 32 && self.head * 2 >= self.pv.len() {
+            self.pv.drain(..self.head);
+            self.wait.drain(..self.head);
+            self.slot.drain(..self.head);
+            self.link.drain(..self.head);
+            self.head = 0;
+        }
+        (slot, wait as u64)
+    }
+
     /// Position of the last vehicle (smallest `pos`), or `length` if empty
     /// — the space available at the lane entry.
     pub fn tail_position(&self, length: f64) -> f64 {
-        self.vehicles.back().map_or(length, |v| v.pos)
+        self.pv.last().map_or(length, |pv| pv[0])
     }
 
     /// Whether a new vehicle can be placed at `pos = 0` while keeping jam
@@ -94,91 +281,38 @@ impl Lane {
     }
 
     /// Number of vehicles within `range` meters of the stop line — what a
-    /// presence detector reports. O(n) rescan for arbitrary ranges; use
-    /// [`detected_count`](Self::detected_count) for the configured
-    /// detector.
+    /// presence detector reports. O(n) rescan for arbitrary ranges; the
+    /// road's dense counters answer the configured detector in O(1).
     pub fn detected(&self, length: f64, range: f64) -> u32 {
-        self.vehicles
+        self.pv[self.head..]
             .iter()
-            .filter(|v| v.pos >= length - range)
+            .filter(|pv| pv[0] >= length - range)
             .count() as u32
     }
 
     /// Number of *halted* vehicles (speed below `halt_speed`) within
     /// `range` meters of the stop line — what a SUMO-style jam detector
-    /// reports. O(n) rescan; use [`halted_count`](Self::halted_count) for
-    /// whole-lane reads under the configured halt speed.
+    /// reports. O(n) rescan; the road's dense counters answer whole-lane
+    /// reads under the configured halt speed in O(1).
     #[allow(dead_code)] // kept for ad-hoc detector queries and tests
     pub fn halted(&self, length: f64, range: f64, halt_speed: f64) -> u32 {
-        self.vehicles
+        self.pv[self.head..]
             .iter()
-            .filter(|v| v.pos >= length - range && v.speed < halt_speed)
+            .filter(|pv| pv[0] >= length - range && pv[1] < halt_speed)
             .count() as u32
     }
 
-    /// O(1) incremental count of vehicles inside the detection window.
-    pub fn detected_count(&self) -> u32 {
-        self.detected
-    }
-
-    /// O(1) incremental count of halted vehicles on the whole lane.
-    pub fn halted_count(&self) -> u32 {
-        self.halted
-    }
-
-    /// Registers a vehicle appearing on the lane (landing or insertion).
-    pub fn sensor_add(&mut self, pos: f64, speed: f64, spec: SensorSpec) {
-        if pos >= spec.detect_from {
-            self.detected += 1;
-        }
-        if speed < spec.halt_speed {
-            self.halted += 1;
-        }
-    }
-
-    /// Registers a vehicle leaving the lane (crossing or completion).
-    pub fn sensor_remove(&mut self, pos: f64, speed: f64, spec: SensorSpec) {
-        if pos >= spec.detect_from {
-            self.detected -= 1;
-        }
-        if speed < spec.halt_speed {
-            self.halted -= 1;
-        }
-    }
-
-    /// Registers a vehicle's state change in place.
-    pub fn sensor_move(
-        &mut self,
-        old_pos: f64,
-        old_speed: f64,
-        new_pos: f64,
-        new_speed: f64,
-        spec: SensorSpec,
-    ) {
-        match (old_pos >= spec.detect_from, new_pos >= spec.detect_from) {
-            (false, true) => self.detected += 1,
-            (true, false) => self.detected -= 1,
-            _ => {}
-        }
-        match (old_speed < spec.halt_speed, new_speed < spec.halt_speed) {
-            (false, true) => self.halted += 1,
-            (true, false) => self.halted -= 1,
-            _ => {}
-        }
-    }
-
-    /// Recomputes both counters by rescanning (used when validating the
-    /// incremental-sensing invariant).
+    /// Recomputes both sensor counters by rescanning (used when validating
+    /// the incremental-sensing invariant kept in the road's dense counter
+    /// arrays).
     pub fn rescan_sensors(&self, spec: SensorSpec) -> (u32, u32) {
-        let detected = self
-            .vehicles
+        let detected = self.pv[self.head..]
             .iter()
-            .filter(|v| v.pos >= spec.detect_from)
+            .filter(|pv| pv[0] >= spec.detect_from)
             .count() as u32;
-        let halted = self
-            .vehicles
+        let halted = self.pv[self.head..]
             .iter()
-            .filter(|v| v.speed < spec.halt_speed)
+            .filter(|pv| pv[1] < spec.halt_speed)
             .count() as u32;
         (detected, halted)
     }
@@ -193,8 +327,8 @@ impl Lane {
 /// are maintained incrementally at the same mutation points as the lane
 /// sensors (advance, crossing, landing, insertion), turning the
 /// SharedMixed detector read from a per-decision lane rescan into an O(1)
-/// lookup. A vehicle's movement is `route.hop(hop)`, which never changes
-/// while it is on the road.
+/// lookup. A vehicle's movement never changes while it is on the road,
+/// which is why the lanes can cache it as a plain link index.
 #[derive(Debug, Clone, Default)]
 pub(crate) struct MovementCounters {
     /// Vehicles on the road bound for each link (any position).
@@ -212,40 +346,29 @@ impl MovementCounters {
         }
     }
 
-    /// The link a vehicle on this road queues for.
-    fn link_of(v: &Vehicle) -> usize {
-        v.route
-            .hop(v.hop)
-            .expect("roads with movement counters feed an intersection")
-            .1
-            .index()
-    }
-
-    /// Registers a vehicle appearing on the road.
-    pub fn add(&mut self, v: &Vehicle, spec: SensorSpec) {
-        let l = Self::link_of(v);
-        self.total[l] += 1;
-        if v.pos >= spec.detect_from {
-            self.detected[l] += 1;
+    /// Registers a vehicle bound for `link` appearing on the road.
+    pub fn add(&mut self, link: usize, pos: f64, spec: SensorSpec) {
+        self.total[link] += 1;
+        if pos >= spec.detect_from {
+            self.detected[link] += 1;
         }
     }
 
-    /// Registers a vehicle leaving the road from `pos` (crossings happen
-    /// at or past the stop line, which is always inside the detector
-    /// window).
-    fn remove(&mut self, v: &Vehicle, pos: f64, spec: SensorSpec) {
-        let l = Self::link_of(v);
-        self.total[l] -= 1;
+    /// Registers a vehicle bound for `link` leaving the road from `pos`
+    /// (crossings happen at or past the stop line, which is always inside
+    /// the detector window).
+    fn remove(&mut self, link: usize, pos: f64, spec: SensorSpec) {
+        self.total[link] -= 1;
         if pos >= spec.detect_from {
-            self.detected[l] -= 1;
+            self.detected[link] -= 1;
         }
     }
 
     /// Registers an in-place movement across the detector boundary.
-    fn moved(&mut self, v: &Vehicle, old_pos: f64, new_pos: f64, spec: SensorSpec) {
+    fn moved(&mut self, link: usize, old_pos: f64, new_pos: f64, spec: SensorSpec) {
         match (old_pos >= spec.detect_from, new_pos >= spec.detect_from) {
-            (false, true) => self.detected[Self::link_of(v)] += 1,
-            (true, false) => self.detected[Self::link_of(v)] -= 1,
+            (false, true) => self.detected[link] += 1,
+            (true, false) => self.detected[link] -= 1,
             _ => {}
         }
     }
@@ -261,15 +384,27 @@ pub(crate) enum HeadMode {
     Blocked,
 }
 
-/// Advances only the head vehicle by one step, popping and returning it
-/// if it crossed the stop line under [`HeadMode::Release`]. Records the
-/// crossing on the lane so the follower phase ([`advance_followers`]) can
-/// run later — possibly on another thread — without re-deriving it.
+/// The outcome of one head advance: the crossed vehicle (arena slot +
+/// accumulated waiting), if any, plus the lane's sensor-counter deltas
+/// for the caller to fold into the road's dense counter arrays.
+pub(crate) struct HeadOutcome {
+    /// `Some((slot, wait))` if the head crossed the stop line.
+    pub crossed: Option<(u32, u64)>,
+    /// Detection-window occupancy delta.
+    pub detected_delta: i32,
+    /// Halted-count delta.
+    pub halted_delta: i32,
+}
+
+/// Advances only the head vehicle by one step, popping it and returning
+/// it in the outcome if it crossed the stop line under
+/// [`HeadMode::Release`]. Records the crossing on the lane so the
+/// follower phase ([`advance_followers`]) can run later — possibly on
+/// another thread — without re-deriving it.
 ///
-/// If the head stays on the lane at waiting speed, its id is appended to
-/// `waiting` (the road's reusable waiting-accumulation buffer), saving
-/// the separate whole-network waiting scan.
-#[allow(clippy::too_many_arguments)]
+/// If the head stays on the lane at waiting speed, its wait accumulator
+/// is incremented in place (a crossed head is in the junction box, not
+/// waiting).
 pub(crate) fn advance_head(
     lane: &mut Lane,
     length: f64,
@@ -277,69 +412,78 @@ pub(crate) fn advance_head(
     cfg: &MicroSimConfig,
     spec: SensorSpec,
     rng: &mut SmallRng,
-    waiting: &mut Vec<VehicleId>,
     mut movements: Option<&mut MovementCounters>,
-) -> Option<Vehicle> {
+) -> HeadOutcome {
     lane.head_crossed = false;
-    if lane.vehicles.is_empty() {
-        return None;
+    if lane.is_empty() {
+        return HeadOutcome {
+            crossed: None,
+            detected_delta: 0,
+            halted_delta: 0,
+        };
     }
 
-    let head = &mut lane.vehicles[0];
+    let h = lane.head;
+    let [old_pos, old_speed] = lane.pv[h];
     let leader = match head_mode {
         HeadMode::Release => LeaderInfo::Free,
         HeadMode::Blocked => LeaderInfo::Wall {
-            distance_m: length - head.pos,
+            distance_m: length - old_pos,
         },
     };
     let xi = dawdle(cfg, rng);
-    let (old_pos, old_speed) = (head.pos, head.speed);
-    head.speed = next_speed(head.speed, leader, xi, cfg);
-    head.pos += head.speed * cfg.dt_seconds;
-    let (new_pos, new_speed) = (head.pos, head.speed);
-    if new_speed < cfg.waiting_speed_mps {
-        waiting.push(head.id);
-    }
-    lane.sensor_move(old_pos, old_speed, new_pos, new_speed, spec);
+    let new_speed = next_speed(old_speed, leader, xi, cfg);
+    let new_pos = old_pos + new_speed * cfg.dt_seconds;
+    lane.pv[h] = [new_pos, new_speed];
+    let link = lane.link[h];
     if let Some(mv) = movements.as_deref_mut() {
-        mv.moved(&lane.vehicles[0], old_pos, new_pos, spec);
+        mv.moved(link as usize, old_pos, new_pos, spec);
     }
 
+    let was_detected = (old_pos >= spec.detect_from) as i32;
+    let was_halted = (old_speed < spec.halt_speed) as i32;
     if head_mode == HeadMode::Release && new_pos >= length {
-        lane.sensor_remove(new_pos, new_speed, spec);
         lane.head_crossed = true;
-        // A crossed head is in the junction box, not waiting; undo.
-        if new_speed < cfg.waiting_speed_mps {
-            waiting.pop();
+        if let Some(mv) = movements {
+            mv.remove(link as usize, new_pos, spec);
         }
-        let crossed = lane.vehicles.pop_front();
-        if let (Some(mv), Some(v)) = (movements, crossed.as_ref()) {
-            mv.remove(v, new_pos, spec);
-        }
-        return crossed;
+        // Moved then left: the net effect is removing the old state.
+        return HeadOutcome {
+            crossed: Some(lane.pop_head()),
+            detected_delta: -was_detected,
+            halted_delta: -was_halted,
+        };
     }
-    None
+    if new_speed < cfg.waiting_speed_mps {
+        lane.wait[h] += 1;
+    }
+    HeadOutcome {
+        crossed: None,
+        detected_delta: (new_pos >= spec.detect_from) as i32 - was_detected,
+        halted_delta: (new_speed < spec.halt_speed) as i32 - was_halted,
+    }
 }
 
 /// Advances every remaining vehicle of the lane (sequential
-/// front-to-back Krauss update with an anti-overlap clamp). Must be
-/// called exactly once after [`advance_head`] each step; independent
-/// across lanes and roads, which is what the parallel car-following
-/// phase shards. Vehicles ending the step at waiting speed are appended
-/// to `waiting`.
+/// front-to-back Krauss update with an anti-overlap clamp), streaming
+/// over the lane's contiguous position/speed/wait arrays. Must be called
+/// exactly once after [`advance_head`] each step; independent across
+/// lanes and roads, which is what the parallel car-following phase
+/// shards. Vehicles ending the step at waiting speed accumulate a
+/// waiting tick in place. Returns `(detected_delta, halted_delta)` for
+/// the caller's dense counter arrays.
 pub(crate) fn advance_followers(
     lane: &mut Lane,
     length: f64,
     cfg: &MicroSimConfig,
     spec: SensorSpec,
     rng: &mut SmallRng,
-    waiting: &mut Vec<VehicleId>,
     mut movements: Option<&mut MovementCounters>,
-) {
-    let mut start = if lane.head_crossed { 0 } else { 1 };
+) -> (i64, i64) {
+    let start = if lane.head_crossed { 0 } else { 1 };
     lane.head_crossed = false;
-    if lane.vehicles.len() <= start {
-        return;
+    if lane.len() <= start {
+        return (0, 0);
     }
     let mut detected_delta = 0i64;
     let mut halted_delta = 0i64;
@@ -351,68 +495,92 @@ pub(crate) fn advance_followers(
     // step).
     let mut leader_pos = f64::INFINITY;
     let mut leader_speed = 0.0;
+
+    let h = lane.head;
+    let n = lane.pv.len() - h;
+    let pv = &mut lane.pv[h..];
+    let wait = &mut lane.wait[h..][..n];
+    let link = &lane.link[h..][..n];
     if start == 1 {
-        let head = &lane.vehicles[0];
-        (leader_pos, leader_speed) = (head.pos, head.speed);
+        [leader_pos, leader_speed] = pv[0];
     }
-    // Iterate the deque's two backing slices directly instead of
-    // `make_contiguous`: this is the simulator's innermost hot loop, and
-    // busy lanes (constant pop-front/push-back traffic) would otherwise
-    // pay an O(n) ring rotation every step.
-    let (front, back) = lane.vehicles.as_mut_slices();
-    for slice in [front, back] {
-        let part = if start >= slice.len() {
-            start -= slice.len();
-            continue;
-        } else {
-            let part = &mut slice[start..];
-            start = 0;
-            part
-        };
-        for v in part {
-            let leader = if leader_pos.is_finite() {
-                LeaderInfo::Vehicle {
-                    net_gap_m: leader_pos - v.pos - cfg.vehicle_length_m - cfg.min_gap_m,
-                    speed_mps: leader_speed,
-                }
-            } else {
-                LeaderInfo::Wall {
-                    distance_m: length - v.pos,
-                }
-            };
-            let xi = dawdle(cfg, rng);
-            let old_pos = v.pos;
-            let old_speed = v.speed;
-            v.speed = next_speed(v.speed, leader, xi, cfg);
-            v.pos += v.speed * cfg.dt_seconds;
-            // Anti-overlap safety clamp (numerical guard; Krauss alone is
-            // collision-free for consistent inputs).
-            if leader_pos.is_finite() {
-                let max_pos = leader_pos - cfg.vehicle_length_m - 0.05;
-                if v.pos > max_pos {
-                    v.pos = max_pos.max(old_pos);
-                    v.speed = ((v.pos - old_pos) / cfg.dt_seconds).max(0.0);
-                }
-            }
-            detected_delta +=
-                (v.pos >= spec.detect_from) as i64 - (old_pos >= spec.detect_from) as i64;
-            halted_delta +=
-                (v.speed < spec.halt_speed) as i64 - (old_speed < spec.halt_speed) as i64;
-            if let Some(mv) = movements.as_deref_mut() {
-                mv.moved(v, old_pos, v.pos, spec);
-            }
-            if v.speed < cfg.waiting_speed_mps {
-                waiting.push(v.id);
-            }
-            (leader_pos, leader_speed) = (v.pos, v.speed);
+    // Hoisted config scalars. `a_dt` and `sigma_a_dt` associate exactly as
+    // the inline expressions they replace (`speed + a·Δt` computes `a·Δt`
+    // first; `σ·a·Δt·ξ` associates left), so results are bit-identical.
+    let dt = cfg.dt_seconds;
+    let veh_len = cfg.vehicle_length_m;
+    let min_gap = cfg.min_gap_m;
+    let waiting_speed = cfg.waiting_speed_mps;
+    let free_speed = cfg.free_speed_mps;
+    let a_dt = cfg.max_accel * cfg.dt_seconds;
+    let sigma_a_dt = cfg.sigma * cfg.max_accel * cfg.dt_seconds;
+    let dawdling = cfg.sigma > 0.0;
+    let tau = cfg.reaction_time_s;
+    let decel = cfg.max_decel;
+    let (detect_from, halt_speed) = (spec.detect_from, spec.halt_speed);
+
+    let mut i = start;
+    // At most one follower faces the stop line instead of a vehicle: the
+    // new head right after a crossing (`leader_pos` infinite). Peeling it
+    // keeps the main loop free of the leader-kind branch.
+    if !leader_pos.is_finite() && i < n {
+        let [old_pos, old_speed] = pv[i];
+        let xi = dawdle(cfg, rng);
+        let v = next_speed(
+            old_speed,
+            LeaderInfo::Wall {
+                distance_m: length - old_pos,
+            },
+            xi,
+            cfg,
+        );
+        let p = old_pos + v * dt;
+        pv[i] = [p, v];
+        detected_delta += (p >= detect_from) as i64 - (old_pos >= detect_from) as i64;
+        halted_delta += (v < halt_speed) as i64 - (old_speed < halt_speed) as i64;
+        if let Some(mv) = movements.as_deref_mut() {
+            mv.moved(link[i] as usize, old_pos, p, spec);
         }
+        if v < waiting_speed {
+            wait[i] += 1;
+        }
+        (leader_pos, leader_speed) = (p, v);
+        i += 1;
     }
-    lane.detected = (lane.detected as i64 + detected_delta) as u32;
-    lane.halted = (lane.halted as i64 + halted_delta) as u32;
+    // Tight vehicle-leader loop: the Krauss update inlined with the same
+    // operation order as `next_speed`/`safe_speed`.
+    for i in i..n {
+        let [old_pos, old_speed] = pv[i];
+        let xi = if dawdling { rng.gen::<f64>() } else { 0.0 };
+        let net_gap = leader_pos - old_pos - veh_len - min_gap;
+        let v_bar = (old_speed + leader_speed) / 2.0;
+        let v_safe = leader_speed + (net_gap - leader_speed * tau) / (v_bar / decel + tau);
+        let v_des = free_speed.min(old_speed + a_dt).min(v_safe);
+        let mut v = (v_des - sigma_a_dt * xi).max(0.0);
+        let mut p = old_pos + v * dt;
+        // Anti-overlap safety clamp (numerical guard; Krauss alone is
+        // collision-free for consistent inputs).
+        let max_pos = leader_pos - veh_len - 0.05;
+        if p > max_pos {
+            p = max_pos.max(old_pos);
+            v = ((p - old_pos) / dt).max(0.0);
+        }
+        pv[i] = [p, v];
+        detected_delta += (p >= detect_from) as i64 - (old_pos >= detect_from) as i64;
+        halted_delta += (v < halt_speed) as i64 - (old_speed < halt_speed) as i64;
+        if let Some(mv) = movements.as_deref_mut() {
+            mv.moved(link[i] as usize, old_pos, p, spec);
+        }
+        if v < waiting_speed {
+            wait[i] += 1;
+        }
+        (leader_pos, leader_speed) = (p, v);
+    }
+    (detected_delta, halted_delta)
 }
 
-/// Advances every vehicle in the lane by one step. Returns the head
-/// vehicle if it crossed the stop line under [`HeadMode::Release`].
+/// Advances every vehicle in the lane by one step. Returns the head's
+/// `(slot, wait)` if it crossed the stop line under [`HeadMode::Release`].
 ///
 /// Composition of [`advance_head`] and [`advance_followers`]; the
 /// simulator calls the two phases separately (all heads first, then all
@@ -424,12 +592,11 @@ pub(crate) fn update_lane(
     head_mode: HeadMode,
     cfg: &MicroSimConfig,
     rng: &mut SmallRng,
-) -> Option<Vehicle> {
+) -> Option<(u32, u64)> {
     let spec = SensorSpec::for_road(length, cfg);
-    let mut waiting = Vec::new();
-    let crossed = advance_head(lane, length, head_mode, cfg, spec, rng, &mut waiting, None);
-    advance_followers(lane, length, cfg, spec, rng, &mut waiting, None);
-    crossed
+    let outcome = advance_head(lane, length, head_mode, cfg, spec, rng, None);
+    advance_followers(lane, length, cfg, spec, rng, None);
+    outcome.crossed
 }
 
 fn dawdle(cfg: &MicroSimConfig, rng: &mut SmallRng) -> f64 {
@@ -444,35 +611,20 @@ fn dawdle(cfg: &MicroSimConfig, rng: &mut SmallRng) -> f64 {
 mod tests {
     use super::*;
     use rand::SeedableRng;
-    use utilbp_core::LinkId;
-    use utilbp_netgen::{IntersectionId, RoadId};
 
     fn cfg() -> MicroSimConfig {
         MicroSimConfig::deterministic()
-    }
-
-    fn veh(id: u64, pos: f64, speed: f64) -> Vehicle {
-        Vehicle {
-            id: VehicleId::new(id),
-            route: Arc::new(Route::new(
-                RoadId::new(0),
-                vec![(IntersectionId::new(0), LinkId::new(0))],
-            )),
-            hop: 0,
-            pos,
-            speed,
-        }
     }
 
     fn rng() -> SmallRng {
         SmallRng::seed_from_u64(0)
     }
 
-    /// Pushes a vehicle through the sensor bookkeeping like the simulator
-    /// does.
-    fn push(lane: &mut Lane, v: Vehicle, spec: SensorSpec) {
-        lane.sensor_add(v.pos, v.speed, spec);
-        lane.vehicles.push_back(v);
+    /// Pushes a vehicle (slot doubles as the test's vehicle id). Sensor
+    /// counters live in the road's dense arrays, which these lane-level
+    /// tests validate through `rescan_sensors` instead.
+    fn push(lane: &mut Lane, slot: u32, pos: f64, speed: f64, _spec: SensorSpec) {
+        lane.push(pos, speed, 0, slot, 0);
     }
 
     fn spec300() -> SensorSpec {
@@ -489,30 +641,28 @@ mod tests {
     fn blocked_head_stops_at_the_line() {
         let c = cfg();
         let mut lane = Lane::default();
-        push(&mut lane, veh(0, 250.0, c.free_speed_mps), spec300());
+        push(&mut lane, 0, 250.0, c.free_speed_mps, spec300());
         let mut r = rng();
         for _ in 0..30 {
             let crossed = update_lane(&mut lane, 300.0, HeadMode::Blocked, &c, &mut r);
             assert!(crossed.is_none(), "blocked head must never cross");
         }
-        let head = &lane.vehicles[0];
-        assert!(head.speed < 0.05);
-        assert!(head.pos <= 300.0 + 1e-9);
-        assert!(head.pos > 290.0, "head pos {}", head.pos);
+        assert!(lane.speed_at(0) < 0.05);
+        assert!(lane.pos_at(0) <= 300.0 + 1e-9);
+        assert!(lane.pos_at(0) > 290.0, "head pos {}", lane.pos_at(0));
     }
 
     #[test]
     fn released_head_crosses_and_is_returned() {
         let c = cfg();
         let mut lane = Lane::default();
-        push(&mut lane, veh(7, 295.0, 10.0), spec300());
+        push(&mut lane, 7, 295.0, 10.0, spec300());
         let mut r = rng();
         let crossed = update_lane(&mut lane, 300.0, HeadMode::Release, &c, &mut r);
-        let v = crossed.expect("head must cross");
-        assert_eq!(v.id, VehicleId::new(7));
-        assert!(lane.vehicles.is_empty());
-        assert_eq!(lane.detected_count(), 0);
-        assert_eq!(lane.halted_count(), 0);
+        let (slot, _wait) = crossed.expect("head must cross");
+        assert_eq!(slot, 7);
+        assert!(lane.is_empty());
+        assert_eq!(lane.rescan_sensors(spec300()), (0, 0));
     }
 
     #[test]
@@ -521,15 +671,15 @@ mod tests {
         let mut lane = Lane::default();
         // Five vehicles strung out; head blocked at the line.
         for (i, pos) in [280.0, 220.0, 160.0, 100.0, 40.0].iter().enumerate() {
-            push(&mut lane, veh(i as u64, *pos, 10.0), spec300());
+            push(&mut lane, i as u32, *pos, 10.0, spec300());
         }
         let mut r = rng();
         for _ in 0..80 {
             update_lane(&mut lane, 300.0, HeadMode::Blocked, &c, &mut r);
             // Strict ordering with at least a vehicle length between
             // consecutive front bumpers.
-            for w in 0..lane.vehicles.len() - 1 {
-                let gap = lane.vehicles[w].pos - lane.vehicles[w + 1].pos;
+            for w in 0..lane.len() - 1 {
+                let gap = lane.pos_at(w) - lane.pos_at(w + 1);
                 assert!(
                     gap >= c.vehicle_length_m - 1e-6,
                     "overlap after step: gap {gap}"
@@ -537,8 +687,8 @@ mod tests {
             }
         }
         // All stopped in a jam near the line at ~7.5 m spacing.
-        for w in 0..lane.vehicles.len() - 1 {
-            let gap = lane.vehicles[w].pos - lane.vehicles[w + 1].pos;
+        for w in 0..lane.len() - 1 {
+            let gap = lane.pos_at(w) - lane.pos_at(w + 1);
             assert!(
                 (gap - c.jam_spacing_m()).abs() < 0.6,
                 "jam spacing violated: {gap}"
@@ -549,9 +699,9 @@ mod tests {
     #[test]
     fn detection_counts_only_near_the_stop_line() {
         let mut lane = Lane::default();
-        lane.vehicles.push_back(veh(0, 295.0, 0.0));
-        lane.vehicles.push_back(veh(1, 287.0, 0.0));
-        lane.vehicles.push_back(veh(2, 100.0, 10.0)); // far upstream
+        lane.push(295.0, 0.0, 0, 0, 0);
+        lane.push(287.0, 0.0, 0, 1, 0);
+        lane.push(100.0, 10.0, 0, 2, 0); // far upstream
         assert_eq!(lane.detected(300.0, 100.0), 2);
         assert_eq!(lane.detected(300.0, 300.0), 3);
         assert_eq!(lane.detected(300.0, 1.0), 0);
@@ -562,9 +712,9 @@ mod tests {
         let c = cfg();
         let mut lane = Lane::default();
         assert!(lane.entry_clear(300.0, &c), "empty lane is clear");
-        lane.vehicles.push_back(veh(0, 8.0, 0.0));
+        lane.push(8.0, 0.0, 0, 0, 0);
         assert!(lane.entry_clear(300.0, &c));
-        lane.vehicles.push_back(veh(1, 6.0, 0.0));
+        lane.push(6.0, 0.0, 0, 1, 0);
         assert!(!lane.entry_clear(300.0, &c), "tail at 6 m < 7.5 m");
         assert_eq!(lane.tail_position(300.0), 6.0);
     }
@@ -573,41 +723,114 @@ mod tests {
     fn successor_of_crossed_head_sees_the_line() {
         let c = cfg();
         let mut lane = Lane::default();
-        push(&mut lane, veh(0, 296.0, 12.0), spec300());
-        push(&mut lane, veh(1, 285.0, 12.0), spec300());
+        push(&mut lane, 0, 296.0, 12.0, spec300());
+        push(&mut lane, 1, 285.0, 12.0, spec300());
         let mut r = rng();
         let crossed = update_lane(&mut lane, 300.0, HeadMode::Release, &c, &mut r);
         assert!(crossed.is_some());
-        assert_eq!(lane.vehicles.len(), 1);
+        assert_eq!(lane.len(), 1);
         // The successor advanced but is still on the lane.
-        assert!(lane.vehicles[0].pos < 300.0);
-        assert!(lane.vehicles[0].pos > 285.0);
+        assert!(lane.pos_at(0) < 300.0);
+        assert!(lane.pos_at(0) > 285.0);
     }
 
     #[test]
-    fn incremental_counters_track_every_mutation() {
+    fn advance_deltas_track_every_mutation() {
+        // The advance functions report sensor-counter deltas; applied to a
+        // running pair they must match a from-scratch rescan every step —
+        // the invariant `MicroSim` relies on for its dense counter arrays.
         let c = cfg();
         let spec = spec300();
         let mut lane = Lane::default();
         // One vehicle upstream of the 50 m window, one inside it, halted.
-        push(&mut lane, veh(0, 270.0, 0.0), spec);
-        push(&mut lane, veh(1, 100.0, 13.0), spec);
-        let (d, h) = lane.rescan_sensors(spec);
-        assert_eq!((lane.detected_count(), lane.halted_count()), (d, h));
-        assert_eq!((d, h), (1, 1));
+        push(&mut lane, 0, 270.0, 0.0, spec);
+        push(&mut lane, 1, 100.0, 13.0, spec);
+        let (mut detected, mut halted) = lane.rescan_sensors(spec);
+        assert_eq!((detected, halted), (1, 1));
 
         let mut r = rng();
         for _ in 0..60 {
-            update_lane(&mut lane, 300.0, HeadMode::Blocked, &c, &mut r);
-            let (d, h) = lane.rescan_sensors(spec);
+            let outcome = advance_head(&mut lane, 300.0, HeadMode::Blocked, &c, spec, &mut r, None);
+            let (dd, hd) = advance_followers(&mut lane, 300.0, &c, spec, &mut r, None);
+            detected = (detected as i64 + outcome.detected_delta as i64 + dd) as u32;
+            halted = (halted as i64 + outcome.halted_delta as i64 + hd) as u32;
             assert_eq!(
-                (lane.detected_count(), lane.halted_count()),
-                (d, h),
-                "counters diverged from rescan"
+                (detected, halted),
+                lane.rescan_sensors(spec),
+                "deltas diverged from rescan"
             );
         }
         // Both vehicles end up jammed inside the window.
-        assert_eq!(lane.detected_count(), 2);
-        assert_eq!(lane.halted_count(), 2);
+        assert_eq!((detected, halted), (2, 2));
+    }
+
+    #[test]
+    fn waiting_accumulates_in_place_for_stopped_vehicles() {
+        let c = cfg();
+        let spec = spec300();
+        let mut lane = Lane::default();
+        push(&mut lane, 0, 299.0, 0.0, spec);
+        push(&mut lane, 1, 150.0, c.free_speed_mps, spec);
+        let mut r = rng();
+        for _ in 0..40 {
+            update_lane(&mut lane, 300.0, HeadMode::Blocked, &c, &mut r);
+        }
+        // The head sat at the line the whole time; the follower drove,
+        // then queued behind it.
+        let waits: Vec<u64> = lane.waits().collect();
+        assert!(waits[0] >= 39, "head wait {waits:?}");
+        assert!(
+            waits[1] > 0 && waits[1] < waits[0],
+            "follower waits less: {waits:?}"
+        );
+    }
+
+    #[test]
+    fn pop_head_compacts_storage() {
+        let spec = spec300();
+        let c = cfg();
+        let mut lane = Lane::default();
+        for i in 0..100u32 {
+            push(
+                &mut lane,
+                i,
+                299.0 - i as f64 * c.jam_spacing_m(),
+                0.0,
+                spec,
+            );
+        }
+        for expect in 0..60u32 {
+            let (slot, _) = lane.pop_head();
+            assert_eq!(slot, expect);
+            assert_eq!(lane.len(), (99 - expect) as usize);
+        }
+        // Offset-based dequeue must have compacted by now.
+        assert!(lane.head < 40, "storage not compacted: head {}", lane.head);
+        assert_eq!(lane.slot_at(0), 60);
+        assert_eq!(lane.tail_position(300.0), lane.pos_at(lane.len() - 1));
+    }
+
+    #[test]
+    fn arena_recycles_slots() {
+        use utilbp_core::LinkId;
+        use utilbp_netgen::{IntersectionId, RoadId};
+        let route = Arc::new(Route::new(
+            RoadId::new(0),
+            vec![(IntersectionId::new(0), LinkId::new(0))],
+        ));
+        let mut arena = VehicleArena::new();
+        let a = arena.insert(VehicleId::new(10), Arc::clone(&route));
+        let b = arena.insert(VehicleId::new(11), Arc::clone(&route));
+        assert_ne!(a, b);
+        assert_eq!(arena.id(a), VehicleId::new(10));
+        arena.bump_hop(a);
+        assert_eq!(arena.hop(a), 1);
+        assert_eq!(arena.release(a), VehicleId::new(10));
+        // The freed slot is reused (LIFO) and starts a fresh cursor.
+        let c = arena.insert(VehicleId::new(12), route);
+        assert_eq!(c, a);
+        assert_eq!(arena.hop(c), 0);
+        assert_eq!(arena.id(c), VehicleId::new(12));
+        assert_eq!(arena.id(b), VehicleId::new(11));
     }
 }

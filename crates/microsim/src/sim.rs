@@ -32,13 +32,17 @@
 //! → decide (one controller per intersection; shard-parallel under
 //! `Parallelism::Rayon`) → signal refresh → box countdown → head
 //! release (serial — crossings mutate shared junction/road state) →
-//! car-following for the remaining vehicles (per-road; the expensive
-//! phase, shard-parallel under Rayon) → landings → insertions → waiting
-//! accumulation. See the crate docs' "Performance architecture" section
-//! for the invariants each phase relies on.
+//! car-following for the remaining vehicles (per-road, streaming over the
+//! lanes' SoA arrays; the expensive phase, shard-parallel under Rayon) →
+//! landings → insertions. Waiting is accumulated *inside* the
+//! car-following pass (per-vehicle accumulators; see
+//! [`crate::road`]), so there is no separate waiting phase. See the crate
+//! docs' "Performance architecture" section for the invariants each phase
+//! relies on.
 
 use std::collections::VecDeque;
 use std::sync::Arc;
+use std::time::Instant;
 
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
@@ -52,13 +56,17 @@ use utilbp_netgen::{Arrival, IntersectionId, NetworkTopology, RoadId, Route};
 use crate::config::MicroSimConfig;
 use crate::krauss::{next_speed, LeaderInfo};
 use crate::road::{
-    advance_followers, advance_head, HeadMode, Lane, MovementCounters, SensorSpec, Vehicle,
+    advance_followers, advance_head, HeadMode, Lane, MovementCounters, SensorSpec, VehicleArena,
+    LINK_NONE,
 };
 
-/// A vehicle traversing the junction box.
+/// A vehicle traversing the junction box: its arena slot plus the wait
+/// accumulator riding along (a boxed vehicle is moving, not waiting, but
+/// its earlier waiting must survive to the ledger flush at completion).
 #[derive(Debug, Clone)]
 struct Crossing {
-    vehicle: Vehicle,
+    slot: u32,
+    wait: u64,
     /// Remaining box ticks; 0 means ready to land (may be held if the
     /// destination lane entry is blocked).
     remaining: u64,
@@ -93,6 +101,18 @@ struct RoadSim {
     pending: Vec<u32>,
     /// Detector geometry shared by this road's lanes.
     spec: SensorSpec,
+    /// Per-lane count of vehicles inside the detection window — dense, so
+    /// the sense phase reads a short array instead of walking `Lane`
+    /// structs. Maintained from the deltas the advance functions return.
+    lane_detected: Vec<u32>,
+    /// Per-lane halted-vehicle count (whole lane), dense like
+    /// `lane_detected`.
+    lane_halted: Vec<u32>,
+    /// Σ `lane_detected` — the `PresenceNearJunction` outgoing sensor in
+    /// O(1).
+    detected_sum: u32,
+    /// Σ `lane_halted` — the `HaltedWholeRoad` outgoing sensor in O(1).
+    halted_sum: u32,
     /// Per-(road, link) movement counters, maintained only under
     /// [`LaneDiscipline::SharedMixed`](crate::LaneDiscipline) for roads
     /// feeding an intersection — the O(1) replacement for the mixed-lane
@@ -103,11 +123,31 @@ struct RoadSim {
     /// (not from one global generator) so the per-road phase can shard
     /// across threads while staying bit-identical to serial execution.
     rng: SmallRng,
-    /// Ids of vehicles that ended the current step at waiting speed on
-    /// this road — filled by the head/follower phases (each shard owns
-    /// its road's buffer), drained into the ledger serially. Replaces a
-    /// whole-network per-tick rescan of every vehicle.
-    waiting: Vec<VehicleId>,
+}
+
+impl RoadSim {
+    /// Registers a vehicle appearing on `lane` (landing or insertion) in
+    /// the dense sensor counters.
+    fn sensor_add(&mut self, lane: usize, pos: f64, speed: f64) {
+        if pos >= self.spec.detect_from {
+            self.lane_detected[lane] += 1;
+            self.detected_sum += 1;
+        }
+        if speed < self.spec.halt_speed {
+            self.lane_halted[lane] += 1;
+            self.halted_sum += 1;
+        }
+    }
+}
+
+/// A vehicle waiting outside a full or closed boundary entry. Its backlog
+/// dwell is credited to its wait accumulator in one shot when it finally
+/// inserts (`now − since`), so backlogs are never scanned per tick.
+#[derive(Debug, Clone)]
+struct Backlogged {
+    id: VehicleId,
+    route: Arc<Route>,
+    since: Tick,
 }
 
 /// What happened during one microscopic step.
@@ -137,6 +177,51 @@ impl StepReport {
             crossings: 0,
             completed: 0,
             injected: 0,
+        }
+    }
+}
+
+/// Cumulative wall-clock seconds spent in each phase group of the step
+/// pipeline, filled by [`MicroSim::step_into_timed`]. Lets the perf
+/// harness attribute throughput wins to phases instead of guessing.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct PhaseTimings {
+    /// Sense + controller decide + signal refresh.
+    pub decide: f64,
+    /// Box countdown + head release + follower car-following (the
+    /// physics).
+    pub car_following: f64,
+    /// Junction-box landings.
+    pub landings: f64,
+    /// Insertions, backlog drain, and waiting/report bookkeeping.
+    pub waiting: f64,
+}
+
+impl PhaseTimings {
+    /// Total time across all phases.
+    pub fn total(&self) -> f64 {
+        self.decide + self.car_following + self.landings + self.waiting
+    }
+}
+
+/// Accumulates phase laps into a [`PhaseTimings`]; a no-op when detached
+/// (the untimed step path takes no `Instant` readings at all).
+struct PhaseStopwatch<'a> {
+    timings: Option<&'a mut PhaseTimings>,
+    last: Option<Instant>,
+}
+
+impl<'a> PhaseStopwatch<'a> {
+    fn new(timings: Option<&'a mut PhaseTimings>) -> Self {
+        let last = timings.as_ref().map(|_| Instant::now());
+        PhaseStopwatch { timings, last }
+    }
+
+    fn lap(&mut self, pick: fn(&mut PhaseTimings) -> &mut f64) {
+        if let (Some(t), Some(last)) = (self.timings.as_deref_mut(), self.last) {
+            let now = Instant::now();
+            *pick(t) += now.duration_since(last).as_secs_f64();
+            self.last = Some(now);
         }
     }
 }
@@ -179,7 +264,9 @@ pub struct MicroSim {
     controllers: Vec<ControllerSlot>,
     roads: Vec<RoadSim>,
     junctions: Vec<JunctionSim>,
-    backlogs: Vec<VecDeque<(VehicleId, Arc<Route>, Tick)>>,
+    /// Per-journey vehicle state (id, route, cursor), slab-allocated.
+    arena: VehicleArena,
+    backlogs: Vec<VecDeque<Backlogged>>,
     ledger: WaitingLedger,
     now: Tick,
     total_crossings: u64,
@@ -201,6 +288,15 @@ pub struct MicroSim {
     link_in_road: Vec<Vec<usize>>,
     /// Per intersection, per link: outgoing road index.
     link_out_road: Vec<Vec<usize>>,
+    /// Per road, per lane: whether the lane's movement is green *with*
+    /// service credit this tick — precomputed in the signal-refresh pass
+    /// (which visits every link anyway) so the head phase reads one local
+    /// flag instead of two scattered junction lookups per lane. Only
+    /// maintained under dedicated lanes, where the lane→link map is
+    /// static; a link's credit can drop below 1 mid-phase only by its own
+    /// lane's release, and each lane is visited once, so the flag stays
+    /// exact for the whole head phase.
+    lane_green: Vec<Vec<bool>>,
 }
 
 impl std::fmt::Debug for MicroSim {
@@ -297,14 +393,26 @@ impl MicroSim {
             .map(|r| {
                 let road = topology.road(r);
                 let num_lanes = lane_links[r.index()].len();
+                // Resident vehicles per lane are bounded by the road
+                // geometry; reserving the plateau up front keeps lane
+                // growth out of the steady-state allocation profile.
+                let lane_capacity = (road.length_m() / config.jam_spacing_m()).floor() as usize + 1;
                 RoadSim {
-                    lanes: vec![Lane::default(); num_lanes],
+                    // Built per lane (not `vec![..; n]`) — cloning an
+                    // empty template would drop the reserved capacity.
+                    lanes: (0..num_lanes)
+                        .map(|_| Lane::with_capacity(lane_capacity))
+                        .collect(),
                     length: road.length_m(),
                     capacity: road.capacity(),
                     closed: false,
                     occupancy: 0,
                     pending: vec![0; num_lanes],
                     spec: SensorSpec::for_road(road.length_m(), &config),
+                    lane_detected: vec![0; num_lanes],
+                    lane_halted: vec![0; num_lanes],
+                    detected_sum: 0,
+                    halted_sum: 0,
                     move_counts: match (config.lane_discipline, road.dest()) {
                         (crate::LaneDiscipline::SharedMixed, Some((i, _))) => Some(
                             MovementCounters::new(topology.intersection(i).layout().num_links()),
@@ -316,7 +424,6 @@ impl MicroSim {
                     rng: SmallRng::seed_from_u64(
                         seed ^ (r.index() as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15),
                     ),
-                    waiting: Vec::new(),
                 }
             })
             .collect();
@@ -334,12 +441,17 @@ impl MicroSim {
             controllers: ControllerSlot::wrap_all(controllers),
             roads,
             junctions,
+            arena: VehicleArena::new(),
             backlogs: vec![VecDeque::new(); num_roads],
             ledger: WaitingLedger::new(),
             now: Tick::ZERO,
             total_crossings: 0,
             obs_buf,
             landing_scratch: Vec::new(),
+            lane_green: lane_links
+                .iter()
+                .map(|links| vec![false; links.len()])
+                .collect(),
             road_dest,
             lane_links,
             lane_index_by_link,
@@ -363,9 +475,36 @@ impl MicroSim {
         self.now
     }
 
-    /// Per-vehicle waiting/journey accounting.
+    /// Per-vehicle journey accounting and completed-vehicle waiting
+    /// statistics. Active vehicles carry their waiting in simulator-side
+    /// accumulators; use
+    /// [`mean_waiting_including_active`](Self::mean_waiting_including_active)
+    /// for the paper's headline metric.
     pub fn ledger(&self) -> &WaitingLedger {
         &self.ledger
+    }
+
+    /// Average waiting time per vehicle including vehicles still in the
+    /// network (and those queued outside full entries) — the paper's
+    /// "average queuing time of a vehicle". Folds the live per-vehicle
+    /// wait accumulators into the ledger's completed statistics at query
+    /// time; O(active vehicles), never touched by the step path.
+    pub fn mean_waiting_including_active(&self) -> f64 {
+        let now = self.now;
+        let lane_waits = self
+            .roads
+            .iter()
+            .flat_map(|r| r.lanes.iter().flat_map(|l| l.waits()));
+        let box_waits = self
+            .junctions
+            .iter()
+            .flat_map(|j| j.in_box.iter().map(|c| c.wait));
+        let backlog_waits = self
+            .backlogs
+            .iter()
+            .flat_map(|b| b.iter().map(move |e| now.saturating_since(e.since).count()));
+        self.ledger
+            .mean_waiting_including_active(lane_waits.chain(box_waits).chain(backlog_waits))
     }
 
     /// Stop-line crossings since the start.
@@ -378,7 +517,7 @@ impl MicroSim {
         let on_lanes: usize = self
             .roads
             .iter()
-            .map(|r| r.lanes.iter().map(|l| l.vehicles.len()).sum::<usize>())
+            .map(|r| r.lanes.iter().map(|l| l.len()).sum::<usize>())
             .sum();
         let in_boxes: usize = self.junctions.iter().map(|j| j.in_box.len()).sum();
         on_lanes + in_boxes
@@ -387,6 +526,27 @@ impl MicroSim {
     /// Vehicles waiting outside full boundary entries.
     pub fn backlog_len(&self) -> usize {
         self.backlogs.iter().map(|b| b.len()).sum()
+    }
+
+    /// Debug/test digest of the fleet state: `(on-lane vehicles, in-box
+    /// vehicles, Σ position, Σ speed)`, with the sums taken over on-lane
+    /// vehicles in road/lane/front-to-back order. Backs the
+    /// arena-vs-legacy semantics oracle in the regression suite.
+    pub fn fleet_digest(&self) -> (usize, usize, f64, f64) {
+        let mut on_lanes = 0usize;
+        let mut pos = 0.0f64;
+        let mut speed = 0.0f64;
+        for road in &self.roads {
+            for lane in &road.lanes {
+                for i in 0..lane.len() {
+                    on_lanes += 1;
+                    pos += lane.pos_at(i);
+                    speed += lane.speed_at(i);
+                }
+            }
+        }
+        let in_boxes: usize = self.junctions.iter().map(|j| j.in_box.len()).sum();
+        (on_lanes, in_boxes, pos, speed)
     }
 
     /// Closes or reopens a road (a disruption event). A closed road admits
@@ -430,7 +590,7 @@ impl MicroSim {
         let r = self.link_in_road[intersection.index()][link.index()];
         if self.config.lane_discipline == crate::LaneDiscipline::DedicatedPerMovement {
             let lane = self.lane_index_by_link[r][link.index()];
-            return self.roads[r].lanes[lane].detected_count();
+            return self.roads[r].lane_detected[lane];
         }
         if let Some(mv) = &self.roads[r].move_counts {
             // SharedMixed: the incrementally maintained per-(road, link)
@@ -450,7 +610,7 @@ impl MicroSim {
         let r = self.link_in_road[intersection.index()][link.index()];
         if self.config.lane_discipline == crate::LaneDiscipline::DedicatedPerMovement {
             let lane = self.lane_index_by_link[r][link.index()];
-            return self.roads[r].lanes[lane].vehicles.len() as u32;
+            return self.roads[r].lanes[lane].len() as u32;
         }
         if let Some(mv) = &self.roads[r].move_counts {
             return mv.total[link.index()];
@@ -460,7 +620,8 @@ impl MicroSim {
 
     /// Rescan-based detector read for arbitrary ranges (and the
     /// [`LaneDiscipline::SharedMixed`](crate::LaneDiscipline) fallback,
-    /// where per-movement counts cannot be kept per lane).
+    /// where per-movement counts cannot be kept per lane). Reads the
+    /// lanes' cached per-vehicle movement links, so no route is chased.
     fn movement_detected(&self, intersection: IntersectionId, link: LinkId, range: f64) -> u32 {
         let r = self.link_in_road[intersection.index()][link.index()];
         let road = &self.roads[r];
@@ -471,14 +632,15 @@ impl MicroSim {
             }
             crate::LaneDiscipline::SharedMixed => {
                 // Vehicles for this movement may sit on any lane.
+                let li = link.index() as u16;
                 road.lanes
                     .iter()
-                    .flat_map(|l| l.vehicles.iter())
-                    .filter(|v| {
-                        v.pos >= road.length - range
-                            && v.route.hop(v.hop).map(|(_, l)| l) == Some(link)
+                    .map(|l| {
+                        (0..l.len())
+                            .filter(|&i| l.pos_at(i) >= road.length - range && l.link_at(i) == li)
+                            .count() as u32
                     })
-                    .count() as u32
+                    .sum()
             }
         }
     }
@@ -490,15 +652,11 @@ impl MicroSim {
     ///
     /// Panics if `road` is out of range.
     pub fn road_halted(&self, road: RoadId) -> u32 {
-        self.roads[road.index()]
-            .lanes
-            .iter()
-            .map(|l| l.halted_count())
-            .sum()
+        self.roads[road.index()].halted_sum
     }
 
     /// The outgoing-road sensor reading `q_{i'}` per the configured
-    /// [`OutgoingSensor`](crate::OutgoingSensor) — O(lanes) from the
+    /// [`OutgoingSensor`](crate::OutgoingSensor) — O(1) from the dense
     /// incremental counters, whatever the variant.
     ///
     /// # Panics
@@ -508,11 +666,7 @@ impl MicroSim {
         use crate::config::OutgoingSensor;
         match self.config.outgoing_sensor {
             OutgoingSensor::HaltedWholeRoad => self.road_halted(road),
-            OutgoingSensor::PresenceNearJunction => self.roads[road.index()]
-                .lanes
-                .iter()
-                .map(|l| l.detected_count())
-                .sum(),
+            OutgoingSensor::PresenceNearJunction => self.roads[road.index()].detected_sum,
             OutgoingSensor::Occupancy => self.roads[road.index()].occupancy,
         }
     }
@@ -577,24 +731,29 @@ impl MicroSim {
     }
 
     /// Validates the incremental-sensing invariants: every lane's detector
-    /// and halt counters must equal a from-scratch rescan, and every
-    /// lane's pending-reservation counter must equal the number of
-    /// junction-box crossings heading for it (the scan it replaced).
-    /// Debug/test facility backing the regression suite.
+    /// and halt counters must equal a from-scratch rescan, every lane's
+    /// pending-reservation counter must equal the number of junction-box
+    /// crossings heading for it (the scan it replaced), and every cached
+    /// per-vehicle movement link must equal the one derived from the
+    /// arena's route cursor. Debug/test facility backing the regression
+    /// suite.
     ///
     /// # Errors
     ///
     /// Returns a message naming the first divergent road/lane.
     pub fn verify_sensors(&self) -> Result<(), String> {
         for (r, road) in self.roads.iter().enumerate() {
+            let mut detected_sum = 0u32;
+            let mut halted_sum = 0u32;
             for (l, lane) in road.lanes.iter().enumerate() {
                 let (detected, halted) = lane.rescan_sensors(road.spec);
-                if lane.detected_count() != detected || lane.halted_count() != halted {
+                detected_sum += detected;
+                halted_sum += halted;
+                if road.lane_detected[l] != detected || road.lane_halted[l] != halted {
                     return Err(format!(
                         "road {r} lane {l}: incremental (detected {}, halted {}) != rescan \
                          (detected {detected}, halted {halted})",
-                        lane.detected_count(),
-                        lane.halted_count(),
+                        road.lane_detected[l], road.lane_halted[l],
                     ));
                 }
                 let pending = self
@@ -609,15 +768,37 @@ impl MicroSim {
                         road.pending[l]
                     ));
                 }
+                for i in 0..lane.len() {
+                    let slot = lane.slot_at(i);
+                    let derived = self
+                        .arena
+                        .route(slot)
+                        .hop(self.arena.hop(slot))
+                        .map_or(LINK_NONE, |(_, link)| link.index() as u16);
+                    if lane.link_at(i) != derived {
+                        return Err(format!(
+                            "road {r} lane {l} vehicle {i}: cached link {} != route-derived \
+                             {derived}",
+                            lane.link_at(i)
+                        ));
+                    }
+                }
+            }
+            if road.detected_sum != detected_sum || road.halted_sum != halted_sum {
+                return Err(format!(
+                    "road {r}: sums (detected {}, halted {}) != rescan (detected \
+                     {detected_sum}, halted {halted_sum})",
+                    road.detected_sum, road.halted_sum,
+                ));
             }
             if let Some(mv) = &road.move_counts {
                 for link in 0..mv.total.len() {
                     let (mut total, mut detected) = (0u32, 0u32);
                     for lane in &road.lanes {
-                        for v in &lane.vehicles {
-                            if v.route.hop(v.hop).map(|(_, l)| l.index()) == Some(link) {
+                        for i in 0..lane.len() {
+                            if lane.link_at(i) == link as u16 {
                                 total += 1;
-                                if v.pos >= road.spec.detect_from {
+                                if lane.pos_at(i) >= road.spec.detect_from {
                                     detected += 1;
                                 }
                             }
@@ -649,7 +830,29 @@ impl MicroSim {
     /// and [`StepReport`] across ticks incur no per-tick heap allocation
     /// from observations or decision vectors.
     pub fn step_into(&mut self, arrivals: &mut Vec<Arrival>, report: &mut StepReport) {
+        self.step_phases(arrivals, report, None);
+    }
+
+    /// [`step_into`](Self::step_into) with per-phase wall-clock
+    /// attribution: each phase group's elapsed time is *added* to
+    /// `timings`, so one accumulator can span a whole measured run.
+    pub fn step_into_timed(
+        &mut self,
+        arrivals: &mut Vec<Arrival>,
+        report: &mut StepReport,
+        timings: &mut PhaseTimings,
+    ) {
+        self.step_phases(arrivals, report, Some(timings));
+    }
+
+    fn step_phases(
+        &mut self,
+        arrivals: &mut Vec<Arrival>,
+        report: &mut StepReport,
+        timings: Option<&mut PhaseTimings>,
+    ) {
         let now = self.now;
+        let mut watch = PhaseStopwatch::new(timings);
 
         // 1. Sense: rewrite the per-intersection observation buffer from
         //    the incremental detector counters (O(links) per junction).
@@ -694,8 +897,14 @@ impl MicroSim {
                 } else {
                     j.credit[idx] = 0.0;
                 }
+                if self.config.lane_discipline == crate::LaneDiscipline::DedicatedPerMovement {
+                    let in_road = self.link_in_road[i.index()][idx];
+                    let lane = self.lane_index_by_link[in_road][idx];
+                    self.lane_green[in_road][lane] = j.active[idx] && j.credit[idx] >= 1.0;
+                }
             }
         }
+        watch.lap(|t| &mut t.decide);
 
         // 4. Box countdown.
         for j in &mut self.junctions {
@@ -717,38 +926,51 @@ impl MicroSim {
             let length = self.roads[r].length;
             let spec = self.roads[r].spec;
             let dest = self.road_dest[r];
-            self.roads[r].waiting.clear();
             for lane_idx in 0..self.roads[r].lanes.len() {
-                if self.roads[r].lanes[lane_idx].vehicles.is_empty() {
+                if self.roads[r].lanes[lane_idx].is_empty() {
                     continue;
                 }
                 // Release decision for the head vehicle.
                 let (mode, head_dest) = match dest {
                     None => (HeadMode::Release, None),
                     Some(j) => {
-                        let link = match self.config.lane_discipline {
-                            crate::LaneDiscipline::DedicatedPerMovement => self.lane_links[r]
-                                [lane_idx]
-                                .expect("dedicated lanes always map to a link"),
+                        // Green-with-credit: the precomputed per-lane flag
+                        // under dedicated lanes; the live junction lookup
+                        // under SharedMixed (head-of-line semantics —
+                        // whatever movement the *head* vehicle needs
+                        // governs the lane; its cached link never changes
+                        // on-road).
+                        let (green, li) = match self.config.lane_discipline {
+                            crate::LaneDiscipline::DedicatedPerMovement => {
+                                (self.lane_green[r][lane_idx], usize::MAX)
+                            }
                             crate::LaneDiscipline::SharedMixed => {
-                                // Head-of-line semantics: whatever movement
-                                // the *head* vehicle needs governs the lane.
-                                let head = &self.roads[r].lanes[lane_idx].vehicles[0];
-                                head.route
-                                    .hop(head.hop)
-                                    .expect("vehicles on internal roads have a next hop")
-                                    .1
+                                let li = self.roads[r].lanes[lane_idx].link_at(0) as usize;
+                                (
+                                    self.junctions[j].active[li]
+                                        && self.junctions[j].credit[li] >= 1.0,
+                                    li,
+                                )
                             }
                         };
-                        let li = link.index();
-                        if self.junctions[j].active[li] && self.junctions[j].credit[li] >= 1.0 {
+                        if green {
+                            let li = if li != usize::MAX {
+                                li
+                            } else {
+                                self.lane_links[r][lane_idx]
+                                    .expect("dedicated lanes always map to a link")
+                                    .index()
+                            };
                             let out_r = self.link_out_road[j][li];
                             if !self.roads[out_r].closed
                                 && self.roads[out_r].occupancy < self.roads[out_r].capacity
                             {
-                                let head = &self.roads[r].lanes[lane_idx].vehicles[0];
-                                let dest_lane =
-                                    self.choose_dest_lane(out_r, head.hop + 1, &head.route);
+                                let slot = self.roads[r].lanes[lane_idx].slot_at(0);
+                                let dest_lane = self.choose_dest_lane(
+                                    out_r,
+                                    self.arena.hop(slot) + 1,
+                                    self.arena.route(slot),
+                                );
                                 if self.dest_lane_has_room(out_r, dest_lane) {
                                     (HeadMode::Release, Some((j, li, out_r, dest_lane)))
                                 } else {
@@ -764,22 +986,33 @@ impl MicroSim {
                 };
 
                 let road = &mut self.roads[r];
-                let crossed = advance_head(
+                let outcome = advance_head(
                     &mut road.lanes[lane_idx],
                     length,
                     mode,
                     &self.config,
                     spec,
                     &mut road.rng,
-                    &mut road.waiting,
                     road.move_counts.as_mut(),
                 );
-                if let Some(mut vehicle) = crossed {
+                if outcome.detected_delta != 0 {
+                    road.lane_detected[lane_idx] =
+                        (road.lane_detected[lane_idx] as i32 + outcome.detected_delta) as u32;
+                    road.detected_sum = (road.detected_sum as i32 + outcome.detected_delta) as u32;
+                }
+                if outcome.halted_delta != 0 {
+                    road.lane_halted[lane_idx] =
+                        (road.lane_halted[lane_idx] as i32 + outcome.halted_delta) as u32;
+                    road.halted_sum = (road.halted_sum as i32 + outcome.halted_delta) as u32;
+                }
+                if let Some((slot, wait)) = outcome.crossed {
                     match head_dest {
                         None => {
-                            // Exit road: the vehicle leaves the network.
+                            // Exit road: the vehicle leaves the network,
+                            // flushing its accumulated waiting.
                             road.occupancy = road.occupancy.saturating_sub(1);
-                            self.ledger.complete(vehicle.id, now);
+                            let id = self.arena.release(slot);
+                            self.ledger.complete(id, now, wait);
                             completed += 1;
                         }
                         Some((j, li, out_r, dest_lane)) => {
@@ -787,9 +1020,10 @@ impl MicroSim {
                             self.roads[r].occupancy = self.roads[r].occupancy.saturating_sub(1);
                             self.roads[out_r].occupancy += 1;
                             self.roads[out_r].pending[dest_lane] += 1;
-                            vehicle.hop += 1;
+                            self.arena.bump_hop(slot);
                             self.junctions[j].in_box.push(Crossing {
-                                vehicle,
+                                slot,
+                                wait,
                                 remaining: self.config.crossing_ticks,
                                 dest_road: out_r,
                                 dest_lane,
@@ -804,7 +1038,9 @@ impl MicroSim {
 
         // 6. Car-following for the remaining vehicles: per-road work with
         //    no cross-road reads or writes — the expensive phase, sharded
-        //    under Rayon. Per-road RNGs keep it bit-identical to serial.
+        //    under Rayon and streaming over each lane's SoA arrays (the
+        //    waiting accumulators update in the same pass). Per-road RNGs
+        //    keep it bit-identical to serial.
         {
             let config = &self.config;
             parallel::for_each_indexed_mut(self.config.parallelism, &mut self.roads, |_, road| {
@@ -813,34 +1049,38 @@ impl MicroSim {
                     length,
                     spec,
                     rng,
-                    waiting,
                     move_counts,
+                    lane_detected,
+                    lane_halted,
+                    detected_sum,
+                    halted_sum,
                     ..
                 } = road;
-                for lane in lanes.iter_mut() {
-                    advance_followers(
-                        lane,
-                        *length,
-                        config,
-                        *spec,
-                        rng,
-                        waiting,
-                        move_counts.as_mut(),
-                    );
+                for (li, lane) in lanes.iter_mut().enumerate() {
+                    let (dd, hd) =
+                        advance_followers(lane, *length, config, *spec, rng, move_counts.as_mut());
+                    if dd != 0 {
+                        lane_detected[li] = (lane_detected[li] as i64 + dd) as u32;
+                        *detected_sum = (*detected_sum as i64 + dd) as u32;
+                    }
+                    if hd != 0 {
+                        lane_halted[li] = (lane_halted[li] as i64 + hd) as u32;
+                        *halted_sum = (*halted_sum as i64 + hd) as u32;
+                    }
                 }
             });
         }
+        watch.lap(|t| &mut t.car_following);
 
         // 7. Land vehicles whose box traversal finished. Ready crossings
-        //    are drained through a reused scratch vector so the vehicle
-        //    lands by move (no clone) and box order is preserved for the
-        //    held ones, without per-tick allocation.
+        //    are drained through a reused scratch vector so box order is
+        //    preserved for the held ones, without per-tick allocation.
         {
             let junctions = &mut self.junctions;
             let roads = &mut self.roads;
             let config = &self.config;
             let scratch = &mut self.landing_scratch;
-            let ledger = &mut self.ledger;
+            let arena = &self.arena;
             for junction in junctions.iter_mut() {
                 if junction.in_box.is_empty() {
                     continue;
@@ -858,37 +1098,44 @@ impl MicroSim {
                         junction.in_box.push(crossing);
                         continue;
                     }
-                    let mut vehicle = crossing.vehicle;
                     let leader = lane_entry_leader(lane, road.length, config);
-                    vehicle.pos = 0.0;
-                    vehicle.speed = next_speed(config.insertion_speed_mps, leader, 0.0, config);
-                    if vehicle.speed < config.waiting_speed_mps {
+                    let speed = next_speed(config.insertion_speed_mps, leader, 0.0, config);
+                    let mut wait = crossing.wait;
+                    if speed < config.waiting_speed_mps {
                         // Landed into a standing queue: this tick already
                         // counts as waiting (the follower phase that
                         // normally records it has passed).
-                        ledger.add_wait(vehicle.id, 1);
+                        wait += 1;
                     }
-                    lane.sensor_add(vehicle.pos, vehicle.speed, road.spec);
-                    if let Some(mv) = road.move_counts.as_mut() {
-                        mv.add(&vehicle, road.spec);
+                    let link = arena
+                        .route(crossing.slot)
+                        .hop(arena.hop(crossing.slot))
+                        .map_or(LINK_NONE, |(_, l)| l.index() as u16);
+                    road.sensor_add(crossing.dest_lane, 0.0, speed);
+                    if let (Some(mv), true) = (road.move_counts.as_mut(), link != LINK_NONE) {
+                        mv.add(link as usize, 0.0, road.spec);
                     }
-                    lane.vehicles.push_back(vehicle);
+                    road.lanes[crossing.dest_lane].push(0.0, speed, wait, crossing.slot, link);
                     road.pending[crossing.dest_lane] -= 1;
                 }
             }
         }
+        watch.lap(|t| &mut t.landings);
 
         // 8. Insertions: backlog first, then this tick's arrivals. The
         //    slot is probed before popping, so nothing is cloned and a
-        //    backlogged vehicle is only removed once its insert succeeds.
+        //    backlogged vehicle is only removed once its insert succeeds;
+        //    its whole backlog dwell is credited to its wait accumulator
+        //    here, in one shot (backlogs are never scanned per tick).
         let mut injected = 0u32;
         for r in 0..self.roads.len() {
-            while let Some((_, route, _)) = self.backlogs[r].front() {
-                let Some(lane_idx) = self.insert_slot(r, route) else {
+            while let Some(front) = self.backlogs[r].front() {
+                let Some(lane_idx) = self.insert_slot(r, &front.route) else {
                     break;
                 };
-                let (id, route, _since) = self.backlogs[r].pop_front().expect("checked front");
-                self.place_vehicle(r, lane_idx, id, route);
+                let entry = self.backlogs[r].pop_front().expect("checked front");
+                let dwell = now.saturating_since(entry.since).count();
+                self.place_vehicle(r, lane_idx, entry.id, entry.route, dwell);
             }
         }
         for arrival in arrivals.drain(..) {
@@ -897,28 +1144,16 @@ impl MicroSim {
             self.ledger.enter(vehicle, now);
             if self.backlogs[r].is_empty() {
                 if let Some(lane_idx) = self.insert_slot(r, &route) {
-                    self.place_vehicle(r, lane_idx, vehicle, route);
+                    self.place_vehicle(r, lane_idx, vehicle, route, 0);
                     injected += 1;
                     continue;
                 }
             }
-            self.backlogs[r].push_back((vehicle, route, now));
-        }
-
-        // 9. Waiting accumulation (SUMO definition: speed below threshold).
-        //    Lane vehicles were recorded into the per-road buffers during
-        //    the head/follower phases (landings and insertions directly),
-        //    so this drains compact id lists instead of rescanning every
-        //    vehicle; backlogged vehicles wait by definition.
-        for road in &self.roads {
-            for &id in &road.waiting {
-                self.ledger.add_wait(id, 1);
-            }
-        }
-        for backlog in &self.backlogs {
-            for &(id, _, _) in backlog.iter() {
-                self.ledger.add_wait(id, 1);
-            }
+            self.backlogs[r].push_back(Backlogged {
+                id: vehicle,
+                route,
+                since: now,
+            });
         }
 
         self.now = now.next();
@@ -930,6 +1165,7 @@ impl MicroSim {
         report.crossings = crossings;
         report.completed = completed;
         report.injected = injected;
+        watch.lap(|t| &mut t.waiting);
     }
 
     /// The destination lane on `out_road` for a vehicle whose next hop is
@@ -993,40 +1229,46 @@ impl MicroSim {
     }
 
     /// Inserts a vehicle at the start of lane `lane_idx` of road `r`
-    /// (which [`insert_slot`](Self::insert_slot) must have cleared).
-    fn place_vehicle(&mut self, r: usize, lane_idx: usize, id: VehicleId, route: Arc<Route>) {
+    /// (which [`insert_slot`](Self::insert_slot) must have cleared),
+    /// seeding its wait accumulator with `wait` already-accrued ticks
+    /// (backlog dwell).
+    fn place_vehicle(
+        &mut self,
+        r: usize,
+        lane_idx: usize,
+        id: VehicleId,
+        route: Arc<Route>,
+        mut wait: u64,
+    ) {
+        let (_, link) = route.hop(0).expect("routes have at least one hop");
+        let link = link.index() as u16;
+        let slot = self.arena.insert(id, route);
         let road = &mut self.roads[r];
-        let lane = &mut road.lanes[lane_idx];
-        let leader = lane_entry_leader(lane, road.length, &self.config);
+        let leader = lane_entry_leader(&road.lanes[lane_idx], road.length, &self.config);
         let speed = next_speed(self.config.insertion_speed_mps, leader, 0.0, &self.config);
         if speed < self.config.waiting_speed_mps {
             // Inserted into a standing queue after the follower phase:
             // this tick already counts as waiting.
-            self.ledger.add_wait(id, 1);
+            wait += 1;
         }
-        lane.sensor_add(0.0, speed, road.spec);
-        let vehicle = Vehicle {
-            id,
-            route,
-            hop: 0,
-            pos: 0.0,
-            speed,
-        };
+        road.sensor_add(lane_idx, 0.0, speed);
         if let Some(mv) = road.move_counts.as_mut() {
-            mv.add(&vehicle, road.spec);
+            mv.add(link as usize, 0.0, road.spec);
         }
-        lane.vehicles.push_back(vehicle);
+        road.lanes[lane_idx].push(0.0, speed, wait, slot, link);
         road.occupancy += 1;
     }
 }
 
 /// The leader a vehicle entering at `pos = 0` faces.
 fn lane_entry_leader(lane: &Lane, length: f64, cfg: &MicroSimConfig) -> LeaderInfo {
-    match lane.vehicles.back() {
-        None => LeaderInfo::Wall { distance_m: length },
-        Some(tail) => LeaderInfo::Vehicle {
-            net_gap_m: tail.pos - cfg.vehicle_length_m - cfg.min_gap_m,
-            speed_mps: tail.speed,
-        },
+    if lane.is_empty() {
+        LeaderInfo::Wall { distance_m: length }
+    } else {
+        let last = lane.len() - 1;
+        LeaderInfo::Vehicle {
+            net_gap_m: lane.pos_at(last) - cfg.vehicle_length_m - cfg.min_gap_m,
+            speed_mps: lane.speed_at(last),
+        }
     }
 }

@@ -270,7 +270,7 @@ mod tests {
                 let arrivals = demand.poll(&g, Tick::new(k));
                 sim.step(arrivals);
             }
-            sim.ledger().mean_waiting_including_active()
+            sim.mean_waiting_including_active()
         };
         let n = g.topology().num_intersections();
         let util = run(controllers_util(n));
@@ -299,10 +299,7 @@ mod tests {
                 let arrivals = demand.poll(&g, Tick::new(k));
                 sim.step(arrivals);
             }
-            (
-                sim.total_served(),
-                sim.ledger().mean_waiting_including_active(),
-            )
+            (sim.total_served(), sim.mean_waiting_including_active())
         };
         assert_eq!(run(), run());
     }

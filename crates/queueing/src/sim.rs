@@ -89,6 +89,10 @@ struct QueuedVehicle {
     /// Index of the *current* hop (the intersection this queue belongs to).
     hop: usize,
     joined: Tick,
+    /// Waiting ticks accumulated at *previous* queues (the dwell in this
+    /// queue is credited when the vehicle is served). Flushed to the
+    /// ledger once, at journey completion.
+    waited: u64,
 }
 
 /// A vehicle in free-flow transit along a road.
@@ -100,6 +104,8 @@ struct TransitVehicle {
     /// boundary exit roads).
     hop: usize,
     arrives: Tick,
+    /// Waiting ticks accumulated so far, riding along to the next queue.
+    waited: u64,
 }
 
 #[derive(Debug, Clone, Default)]
@@ -374,9 +380,40 @@ impl QueueSim {
         self.now
     }
 
-    /// Per-vehicle waiting/journey accounting.
+    /// Per-vehicle journey accounting and completed-vehicle waiting
+    /// statistics. Active vehicles carry their waiting in simulator-side
+    /// accumulators; use
+    /// [`mean_waiting_including_active`](Self::mean_waiting_including_active)
+    /// for the paper's headline metric.
     pub fn ledger(&self) -> &WaitingLedger {
         &self.ledger
+    }
+
+    /// Average waiting time per vehicle including vehicles still in the
+    /// network — the paper's "average queuing time of a vehicle". Folds
+    /// the per-vehicle accumulators carried by queued and in-transit
+    /// vehicles into the ledger's completed statistics at query time;
+    /// vehicles still waiting outside a full boundary entry contribute
+    /// their backlog dwell so far (`now − since`, the amount that will be
+    /// credited when they are admitted), matching the microscopic
+    /// substrate — without it, congested runs would *understate* waiting
+    /// by exactly their stuck vehicles.
+    pub fn mean_waiting_including_active(&self) -> f64 {
+        let now = self.now;
+        let queued = self
+            .intersections
+            .iter()
+            .flat_map(|i| i.queues.iter().flat_map(|q| q.iter().map(|v| v.waited)));
+        let transit = self
+            .roads
+            .iter()
+            .flat_map(|r| r.transit.iter().map(|v| v.waited));
+        let backlogged = self.backlogs.iter().flat_map(move |b| {
+            b.iter()
+                .map(move |&(_, _, since)| now.saturating_since(since).count())
+        });
+        self.ledger
+            .mean_waiting_including_active(queued.chain(transit).chain(backlogged))
     }
 
     /// Total vehicles served through junctions so far.
@@ -654,6 +691,7 @@ impl QueueSim {
                                 route: v.route,
                                 hop: v.hop,
                                 joined: now,
+                                waited: v.waited,
                             },
                         );
                         // Occupancy unchanged: the queue is the head of the
@@ -661,9 +699,10 @@ impl QueueSim {
                         self.roads[r].queued += 1;
                     }
                     None => {
-                        // Boundary exit: the vehicle leaves the network.
+                        // Boundary exit: the vehicle leaves the network,
+                        // flushing its accumulated waiting to the ledger.
                         self.roads[r].occupancy = self.roads[r].occupancy.saturating_sub(1);
-                        self.ledger.complete(v.id, now);
+                        self.ledger.complete(v.id, now, v.waited);
                         completed += 1;
                     }
                 }
@@ -681,10 +720,10 @@ impl QueueSim {
             {
                 let (id, route, queued_since) =
                     self.backlogs[r].pop_front().expect("checked non-empty");
-                // The whole backlog dwell counts as waiting.
-                self.ledger
-                    .add_wait(id, now.saturating_since(queued_since).count());
-                self.enter_road(RoadId::new(r as u32), id, route, 0, now);
+                // The whole backlog dwell counts as waiting, credited to
+                // the vehicle's accumulator in one shot.
+                let waited = now.saturating_since(queued_since).count();
+                self.enter_road(RoadId::new(r as u32), id, route, 0, now, waited);
             }
         }
     }
@@ -720,9 +759,8 @@ impl QueueSim {
                 budget -= 1;
                 served += 1;
 
-                // Queue dwell is waiting time.
-                self.ledger
-                    .add_wait(vehicle.id, now.saturating_since(vehicle.joined).count());
+                // Queue dwell is waiting time, accumulated on the vehicle.
+                let waited = vehicle.waited + now.saturating_since(vehicle.joined).count();
                 // Leave the incoming road…
                 let in_road = &mut self.roads[service.in_road.index()];
                 in_road.occupancy = in_road.occupancy.saturating_sub(1);
@@ -734,6 +772,7 @@ impl QueueSim {
                     vehicle.route,
                     vehicle.hop + 1,
                     now,
+                    waited,
                 );
             }
         }
@@ -741,7 +780,8 @@ impl QueueSim {
         served
     }
 
-    /// Puts a vehicle onto `road`, scheduling its transit arrival.
+    /// Puts a vehicle onto `road` with `waited` accumulated waiting ticks,
+    /// scheduling its transit arrival.
     fn enter_road(
         &mut self,
         road: RoadId,
@@ -749,6 +789,7 @@ impl QueueSim {
         route: Arc<Route>,
         hop: usize,
         now: Tick,
+        waited: u64,
     ) {
         let state = &mut self.roads[road.index()];
         state.occupancy += 1;
@@ -762,6 +803,7 @@ impl QueueSim {
             route,
             hop,
             arrives,
+            waited,
         });
     }
 
@@ -773,7 +815,7 @@ impl QueueSim {
         if !self.roads[road.index()].closed
             && self.roads[road.index()].occupancy < self.roads[road.index()].capacity
         {
-            self.enter_road(road, arrival.vehicle, route, 0, now);
+            self.enter_road(road, arrival.vehicle, route, 0, now, 0);
             true
         } else {
             self.backlogs[road.index()].push_back((arrival.vehicle, route, now));

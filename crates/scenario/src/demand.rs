@@ -35,9 +35,15 @@ pub struct NetworkDemand {
     surge: f64,
     /// Closure mask per road.
     closed: Vec<bool>,
-    /// Per entry, per route option: open under the current closure mask.
-    open: Vec<Vec<bool>>,
+    /// Per entry: cumulative weights over the *open* options under the
+    /// current closure mask, paired with the option index — rebuilt once
+    /// per closure-mask change and cached, so sampling is a binary search
+    /// instead of a linear scan of the option list (ring networks with
+    /// many spokes have dozens of options per entry).
+    cum: Vec<Vec<(f64, u32)>>,
     /// Per entry: total weight of open options (0 = entry fully blocked).
+    /// Always the last cumulative weight, kept separate for the O(1)
+    /// blocked-entry check.
     open_weight: Vec<f64>,
     rng: SmallRng,
     next_vehicle: u64,
@@ -68,24 +74,39 @@ impl NetworkDemand {
             .iter()
             .map(|&mean| exponential(&mut rng, mean / m0))
             .collect();
-        let open: Vec<Vec<bool>> = (0..network.num_entries())
-            .map(|i| vec![true; network.route_options(i).len()])
-            .collect();
-        let open_weight = (0..network.num_entries())
-            .map(|i| network.route_options(i).iter().map(|o| o.weight).sum())
-            .collect();
-        NetworkDemand {
+        let mut demand = NetworkDemand {
             schedule,
             dt_seconds,
             clocks,
             base_mean_s,
             surge: 1.0,
             closed: vec![false; network.topology().num_roads()],
-            open,
-            open_weight,
+            cum: vec![Vec::new(); network.num_entries()],
+            open_weight: vec![0.0; network.num_entries()],
             rng,
             next_vehicle: 0,
             suppressed: 0,
+        };
+        demand.rebuild_open_tables(network);
+        demand
+    }
+
+    /// Rebuilds every entry's cumulative-weight table for the current
+    /// closure mask (the weights accumulate in option order, exactly as
+    /// the former linear scan did, so sampled choices are unchanged).
+    fn rebuild_open_tables(&mut self, network: &Network) {
+        for i in 0..network.num_entries() {
+            let table = &mut self.cum[i];
+            table.clear();
+            let mut acc = 0.0;
+            for (j, opt) in network.route_options(i).iter().enumerate() {
+                if opt.roads.iter().any(|r| self.closed[r.index()]) {
+                    continue;
+                }
+                acc += opt.weight;
+                table.push((acc, j as u32));
+            }
+            self.open_weight[i] = acc;
         }
     }
 
@@ -127,18 +148,7 @@ impl NetworkDemand {
     /// Panics if `road` is out of range for the network.
     pub fn set_road_closed(&mut self, network: &Network, road: RoadId, closed: bool) {
         self.closed[road.index()] = closed;
-        for i in 0..network.num_entries() {
-            let options = network.route_options(i);
-            let mut total = 0.0;
-            for (j, opt) in options.iter().enumerate() {
-                let is_open = !opt.roads.iter().any(|r| self.closed[r.index()]);
-                self.open[i][j] = is_open;
-                if is_open {
-                    total += opt.weight;
-                }
-            }
-            self.open_weight[i] = total;
-        }
+        self.rebuild_open_tables(network);
     }
 
     /// Appends the arrivals of mini-slot `[tick, tick+1)` to `arrivals`
@@ -171,28 +181,27 @@ impl NetworkDemand {
         }
     }
 
-    /// Samples an open route of entry `i` by weight (one uniform draw).
+    /// Samples an open route of entry `i` by weight: one uniform draw,
+    /// one binary search over the cached cumulative table.
     fn sample_route(
         &mut self,
         network: &Network,
         i: usize,
     ) -> std::sync::Arc<utilbp_netgen::Route> {
         let u: f64 = self.rng.gen::<f64>() * self.open_weight[i];
-        let options = network.route_options(i);
-        let mut acc = 0.0;
-        let mut chosen = None;
-        for (j, opt) in options.iter().enumerate() {
-            if !self.open[i][j] {
-                continue;
-            }
-            acc += opt.weight;
-            chosen = Some(j);
-            if u < acc {
-                break;
-            }
-        }
-        let j = chosen.expect("open_weight > 0 implies an open option");
-        std::sync::Arc::clone(&options[j].route)
+        let j = self.pick_option(i, u);
+        std::sync::Arc::clone(&network.route_options(i)[j].route)
+    }
+
+    /// The option index whose cumulative-weight interval contains `u`
+    /// (the first open option with `u < cum`; the last open option for
+    /// the floating-point edge `u ≥ total`, matching the linear scan this
+    /// replaced).
+    fn pick_option(&self, i: usize, u: f64) -> usize {
+        let table = &self.cum[i];
+        debug_assert!(!table.is_empty(), "open_weight > 0 implies an open option");
+        let k = table.partition_point(|&(c, _)| c <= u).min(table.len() - 1);
+        table[k].1 as usize
     }
 }
 
@@ -328,6 +337,106 @@ mod tests {
             reopened |= buf.iter().any(|a| a.route.entry() == entry_road);
         }
         assert!(reopened);
+    }
+
+    #[test]
+    fn binary_search_sampling_matches_the_linear_scan() {
+        use utilbp_netgen::RingSpec;
+        let net = RingSpec::default().build();
+        let mut demand = NetworkDemand::new(&net, RateSchedule::flat(), 1.0, 3);
+        // Reference: the linear scan the cumulative table replaced.
+        let linear_pick = |demand: &NetworkDemand, i: usize, u: f64| -> usize {
+            let mut acc = 0.0;
+            let mut chosen = None;
+            for (j, opt) in net.route_options(i).iter().enumerate() {
+                if opt.roads.iter().any(|r| demand.closed[r.index()]) {
+                    continue;
+                }
+                acc += opt.weight;
+                chosen = Some(j);
+                if u < acc {
+                    break;
+                }
+            }
+            chosen.expect("an open option exists")
+        };
+        let closable: Vec<RoadId> = net
+            .topology()
+            .road_ids()
+            .filter(|&r| net.topology().road(r).is_internal())
+            .take(2)
+            .collect();
+        for mask in 0..4u32 {
+            for (b, &road) in closable.iter().enumerate() {
+                demand.set_road_closed(&net, road, mask & (1 << b) != 0);
+            }
+            for i in 0..net.num_entries() {
+                let total = demand.open_weight[i];
+                if total == 0.0 {
+                    continue;
+                }
+                // Sweep the whole weight range including both edges.
+                for step in 0..=400 {
+                    let u = total * step as f64 / 400.0;
+                    assert_eq!(
+                        demand.pick_option(i, u),
+                        linear_pick(&demand, i, u),
+                        "mask {mask}, entry {i}, u {u}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn sampling_stream_matches_pre_table_golden() {
+        // Golden captured from the linear-scan implementation on this
+        // exact run (ring network, seed 13, closures toggled mid-run,
+        // entry closure exercising suppression): the cached
+        // cumulative-weight tables must reproduce the identical arrival
+        // stream.
+        use utilbp_netgen::RingSpec;
+        let ring = RingSpec::default().build();
+        let mut nd = NetworkDemand::new(&ring, RateSchedule::flat(), 1.0, 13);
+        let mut buf = Vec::new();
+        let mut checksum = 0u64;
+        let closable: Vec<RoadId> = ring
+            .topology()
+            .road_ids()
+            .filter(|&r| ring.topology().road(r).is_internal())
+            .take(3)
+            .collect();
+        for k in 0..1200u64 {
+            if k == 300 {
+                nd.set_road_closed(&ring, closable[0], true);
+            }
+            if k == 500 {
+                nd.set_road_closed(&ring, closable[1], true);
+                nd.set_road_closed(&ring, closable[2], true);
+            }
+            if k == 800 {
+                nd.set_road_closed(&ring, closable[0], false);
+            }
+            if k == 900 {
+                nd.set_road_closed(&ring, ring.entries()[0].road, true);
+            }
+            if k == 1050 {
+                nd.set_road_closed(&ring, ring.entries()[0].road, false);
+            }
+            buf.clear();
+            nd.poll_into(&ring, Tick::new(k), &mut buf);
+            for a in &buf {
+                checksum = checksum
+                    .wrapping_mul(0x100000001B3)
+                    .wrapping_add(a.route.entry().index() as u64)
+                    .wrapping_mul(0x100000001B3)
+                    .wrapping_add(a.route.len() as u64)
+                    .wrapping_add(a.vehicle.raw());
+            }
+        }
+        assert_eq!(nd.generated(), 1690);
+        assert_eq!(nd.suppressed(), 15);
+        assert_eq!(checksum, 0xbc31026d473e5e5c);
     }
 
     #[test]

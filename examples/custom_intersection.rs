@@ -117,7 +117,7 @@ fn main() {
     println!("journeys completed : {}", ledger.completed());
     println!(
         "avg queuing time   : {:.1} s",
-        ledger.mean_waiting_including_active()
+        sim.mean_waiting_including_active()
     );
     println!(
         "minor-road service : UTIL-BP interleaves the stub's phase whenever \

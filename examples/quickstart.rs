@@ -49,7 +49,7 @@ fn main() {
     println!("journeys completed : {}", ledger.completed());
     println!(
         "avg queuing time   : {:.1} s (including vehicles still queued)",
-        ledger.mean_waiting_including_active()
+        sim.mean_waiting_including_active()
     );
     println!(
         "avg journey time   : {:.1} s over completed vehicles",

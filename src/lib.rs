@@ -56,7 +56,7 @@
 //! println!(
 //!     "served {} vehicles, mean queuing time {:.1} s",
 //!     sim.ledger().completed(),
-//!     sim.ledger().mean_waiting_including_active(),
+//!     sim.mean_waiting_including_active(),
 //! );
 //! ```
 //!

@@ -1,14 +1,18 @@
 //! Integration tests of the performance architecture: shard-parallel
-//! stepping must be bit-identical to serial stepping, and the
-//! incrementally maintained sensor counters must never diverge from a
-//! from-scratch rescan.
+//! stepping must be bit-identical to serial stepping, the incrementally
+//! maintained sensor counters must never diverge from a from-scratch
+//! rescan, and the SoA vehicle-arena hot loop must reproduce the legacy
+//! array-of-structs implementation bit for bit (golden oracle below).
+//! The steady-state allocation bound lives in `tests/perf_alloc.rs`,
+//! which needs a process-exclusive counting allocator.
 
 use adaptive_backpressure::core::{Parallelism, SignalController, Tick, Ticks, UtilBp};
 use adaptive_backpressure::microsim::{MicroSim, MicroSimConfig};
 use adaptive_backpressure::netgen::{
-    Arrival, DemandConfig, DemandGenerator, DemandSchedule, GridNetwork, GridSpec, Pattern,
+    Arrival, DemandConfig, DemandGenerator, DemandSchedule, GridNetwork, GridSpec, Network, Pattern,
 };
 use adaptive_backpressure::queueing::{QueueSim, QueueSimConfig};
+use adaptive_backpressure::scenario::{NetworkDemand, RateSchedule};
 
 fn controllers(n: usize) -> Vec<Box<dyn SignalController>> {
     (0..n)
@@ -66,6 +70,7 @@ fn microsim_serial_and_rayon_are_step_identical() {
     assert_eq!(serial.total_crossings(), parallel.total_crossings());
     assert_eq!(serial.vehicles_in_network(), parallel.vehicles_in_network());
     assert_eq!(serial.backlog_len(), parallel.backlog_len());
+    assert_eq!(serial.fleet_digest(), parallel.fleet_digest());
     // Final ledgers agree on every aggregate.
     let (ls, lp) = (serial.ledger(), parallel.ledger());
     assert_eq!(ls.completed(), lp.completed());
@@ -73,8 +78,8 @@ fn microsim_serial_and_rayon_are_step_identical() {
     assert_eq!(ls.waiting_stats().mean(), lp.waiting_stats().mean());
     assert_eq!(ls.journey_stats().mean(), lp.journey_stats().mean());
     assert_eq!(
-        ls.mean_waiting_including_active(),
-        lp.mean_waiting_including_active()
+        serial.mean_waiting_including_active(),
+        parallel.mean_waiting_including_active()
     );
 }
 
@@ -115,6 +120,10 @@ fn queueing_serial_and_rayon_are_step_identical() {
     assert_eq!(ls.active(), lp.active());
     assert_eq!(ls.waiting_stats().mean(), lp.waiting_stats().mean());
     assert_eq!(ls.journey_stats().mean(), lp.journey_stats().mean());
+    assert_eq!(
+        serial.mean_waiting_including_active(),
+        parallel.mean_waiting_including_active()
+    );
 }
 
 #[test]
@@ -190,4 +199,167 @@ fn step_into_reuses_buffers_and_matches_step() {
         assert_eq!(wrapped, report, "reports diverged at tick {k}");
         assert!(arrivals.is_empty(), "step_into must drain the arrivals");
     }
+}
+
+/// Legacy-semantics oracle: these constants were produced by the
+/// pre-arena implementation (`VecDeque<Vehicle>` per lane, ledger-side
+/// waiting accumulation) on the identical seeded run — 5×5 grid,
+/// UTIL-BP, Pattern I demand (seed 77), microsim seed 0, serial. The SoA
+/// arena, per-vehicle wait accumulators, and query-time ledger fold must
+/// reproduce every number bit for bit, including the f64 position/speed
+/// sums (same operations in the same order).
+#[test]
+fn arena_matches_legacy_oracle_on_seeded_5x5_run() {
+    struct Golden {
+        tick: u64,
+        crossings: u64,
+        completed: u64,
+        active: usize,
+        in_network: usize,
+        backlog: usize,
+        digest: (usize, usize, f64, f64),
+        wait_mean: f64,
+        wait_inc: f64,
+        journey: f64,
+    }
+    let goldens = [
+        Golden {
+            tick: 299,
+            crossings: 3048,
+            completed: 291,
+            active: 944,
+            in_network: 942,
+            backlog: 2,
+            digest: (910, 32, 182945.353260837, 6016.231170764876),
+            wait_mean: 15.996563573883163,
+            wait_inc: 27.54736842105263,
+            journey: 163.68041237113405,
+        },
+        Golden {
+            tick: 599,
+            crossings: 7579,
+            completed: 1188,
+            active: 1234,
+            in_network: 1086,
+            backlog: 148,
+            digest: (1035, 51, 206771.5661903171, 5327.037561466268),
+            wait_mean: 49.741582491582506,
+            wait_inc: 61.77208918249381,
+            journey: 229.6952861952861,
+        },
+    ];
+
+    let g = GridNetwork::new(GridSpec::with_size(5, 5));
+    let n = g.topology().num_intersections();
+    let mut sim = MicroSim::new(
+        g.topology().clone(),
+        controllers(n),
+        MicroSimConfig {
+            parallelism: Parallelism::Serial,
+            ..MicroSimConfig::default()
+        },
+    );
+    let mut gen = DemandGenerator::new(
+        &g,
+        DemandConfig::new(DemandSchedule::constant(Pattern::I, Ticks::new(600))),
+        77,
+    );
+    let mut next = goldens.iter();
+    let mut expect = next.next();
+    for k in 0..600u64 {
+        sim.step(gen.poll(&g, Tick::new(k)));
+        if let Some(golden) = expect {
+            if k == golden.tick {
+                assert_eq!(sim.total_crossings(), golden.crossings, "tick {k}");
+                assert_eq!(sim.ledger().completed(), golden.completed, "tick {k}");
+                assert_eq!(sim.ledger().active(), golden.active, "tick {k}");
+                assert_eq!(sim.vehicles_in_network(), golden.in_network, "tick {k}");
+                assert_eq!(sim.backlog_len(), golden.backlog, "tick {k}");
+                assert_eq!(sim.fleet_digest(), golden.digest, "tick {k}");
+                assert_eq!(
+                    sim.ledger().waiting_stats().mean(),
+                    golden.wait_mean,
+                    "tick {k}"
+                );
+                assert_eq!(
+                    sim.mean_waiting_including_active(),
+                    golden.wait_inc,
+                    "tick {k}"
+                );
+                assert_eq!(
+                    sim.ledger().journey_stats().mean(),
+                    golden.journey,
+                    "tick {k}"
+                );
+                expect = next.next();
+            }
+        }
+    }
+    assert!(expect.is_none(), "all golden ticks must be reached");
+}
+
+/// One full disruption scenario (mid-run closure + reopen + demand surge)
+/// driven over the arena layout, per execution mode; returns every
+/// aggregate worth comparing.
+fn disruption_run(parallelism: Parallelism) -> (u64, u64, usize, (usize, usize, f64, f64), f64) {
+    const HORIZON: u64 = 400;
+    let g = grid();
+    let net = Network::from_grid(&g, Pattern::I);
+    let n = g.topology().num_intersections();
+    let mut sim = MicroSim::new(
+        g.topology().clone(),
+        controllers(n),
+        MicroSimConfig {
+            parallelism,
+            ..MicroSimConfig::default()
+        },
+    );
+    let mut demand = NetworkDemand::new(&net, RateSchedule::flat(), 1.0, 21);
+    let closed = net
+        .topology()
+        .road_ids()
+        .find(|&r| net.topology().road(r).is_internal())
+        .expect("grid has internal roads");
+    let mut arrivals = Vec::new();
+    let mut report = adaptive_backpressure::microsim::StepReport::empty();
+    for k in 0..HORIZON {
+        if k == 100 {
+            sim.set_road_closed(closed, true);
+            demand.set_road_closed(&net, closed, true);
+        }
+        if k == 150 {
+            demand.set_surge(3.0);
+        }
+        if k == 220 {
+            sim.set_road_closed(closed, false);
+            demand.set_road_closed(&net, closed, false);
+        }
+        if k == 280 {
+            demand.set_surge(1.0);
+        }
+        arrivals.clear();
+        demand.poll_into(&net, Tick::new(k), &mut arrivals);
+        sim.step_into(&mut arrivals, &mut report);
+        if k % 50 == 0 {
+            sim.verify_sensors()
+                .unwrap_or_else(|msg| panic!("tick {k}: {msg}"));
+        }
+    }
+    (
+        sim.total_crossings(),
+        sim.ledger().completed(),
+        sim.backlog_len(),
+        sim.fleet_digest(),
+        sim.mean_waiting_including_active(),
+    )
+}
+
+#[test]
+fn arena_is_deterministic_across_modes_under_disruption_events() {
+    let serial = disruption_run(Parallelism::Serial);
+    let rayon = disruption_run(Parallelism::Rayon);
+    let repeat = disruption_run(Parallelism::Serial);
+    assert_eq!(serial, rayon, "serial vs rayon diverged under events");
+    assert_eq!(serial, repeat, "repeated runs diverged under events");
+    assert!(serial.0 > 0, "traffic must actually flow");
 }
