@@ -5,13 +5,17 @@
 //! writes the machine-readable `BENCH_sim_throughput.json`
 //! (`cargo run --release -p utilbp-bench --bin sim_throughput`).
 //!
-//! Workloads: square grids (3×3 … 20×20, Pattern I demand) plus a
-//! scenario-driven row (the built-in `arterial-rush-hour` scenario
-//! stepped through `ScenarioEngine`, so demand scheduling and event
-//! dispatch are inside the measured loop). Microscopic grid rows also
-//! record a per-phase wall-clock breakdown (decide / car-following /
-//! landings / waiting, via `MicroSim::step_into_timed` on a separate
-//! rep) so future optimization PRs can attribute their wins.
+//! Workloads: square grids (3×3 … 20×20, Pattern I demand) plus
+//! scenario-driven rows (the built-in `arterial-rush-hour` and
+//! `grid-incident-replan` scenarios stepped through `ScenarioEngine`, so
+//! demand scheduling, event dispatch, and — for the incident row — the
+//! en-route replanning path are inside the measured run). Every
+//! simulator is built through `utilbp-substrate`'s shared constructor
+//! and stepped through the `TrafficSubstrate` trait, exactly like the
+//! production drivers. Microscopic grid rows also record a per-phase
+//! wall-clock breakdown (decide / car-following / landings / waiting,
+//! via the trait's timed step on a separate rep) so future optimization
+//! PRs can attribute their wins.
 //!
 //! Each invocation **appends** a run object to the JSON's `runs` array —
 //! the perf trajectory across PRs is preserved, never overwritten (a
@@ -28,12 +32,12 @@
 use std::time::Instant;
 
 use utilbp_core::{Parallelism, SignalController, Tick, Ticks, UtilBp};
-use utilbp_microsim::{MicroSim, MicroSimConfig, PhaseTimings};
+use utilbp_microsim::{MicroSimConfig, PhaseTimings};
 use utilbp_netgen::{
     DemandConfig, DemandGenerator, DemandSchedule, GridNetwork, GridSpec, Pattern,
 };
-use utilbp_queueing::{QueueSim, QueueSimConfig};
 use utilbp_scenario::{builtin, Backend, EngineConfig, ScenarioEngine};
+use utilbp_substrate::{build_substrate, SubstrateScratch};
 
 const WARMUP_TICKS: u64 = 300;
 
@@ -72,52 +76,22 @@ fn demand(grid: &GridNetwork) -> DemandGenerator {
     )
 }
 
-fn measure_queueing(size: u32, mode: Parallelism, ticks: u64, reps: u32) -> Measurement {
+/// Grid workload on either backend, built through the shared substrate
+/// constructor and stepped through the `TrafficSubstrate` trait.
+/// Microscopic rows add one instrumented rep for phase attribution
+/// (kept out of the headline measurement so the `Instant` reads cannot
+/// skew it); the queueing substrate has no phase breakdown.
+fn measure_grid(
+    backend: Backend,
+    size: u32,
+    mode: Parallelism,
+    ticks: u64,
+    reps: u32,
+) -> Measurement {
     let grid = GridNetwork::new(GridSpec::with_size(size, size));
     let n = grid.topology().num_intersections();
-    let mut sim = QueueSim::new(
-        grid.topology().clone(),
-        controllers(n),
-        QueueSimConfig {
-            parallelism: mode,
-            ..QueueSimConfig::paper_exact()
-        },
-    );
-    let mut gen = demand(&grid);
-    let mut k = 0u64;
-    let mut report = utilbp_queueing::StepReport::empty();
-    let mut arrivals = Vec::new();
-    for _ in 0..WARMUP_TICKS {
-        arrivals.clear();
-        gen.poll_into(&grid, Tick::new(k), &mut arrivals);
-        sim.step_into(&mut arrivals, &mut report);
-        k += 1;
-    }
-    let mut best = f64::INFINITY;
-    for _ in 0..reps.max(1) {
-        let start = Instant::now();
-        for _ in 0..ticks {
-            arrivals.clear();
-            gen.poll_into(&grid, Tick::new(k), &mut arrivals);
-            sim.step_into(&mut arrivals, &mut report);
-            k += 1;
-        }
-        best = best.min(start.elapsed().as_secs_f64());
-    }
-    Measurement {
-        substrate: "queueing",
-        workload: format!("{size}x{size}"),
-        mode,
-        ticks,
-        seconds: best,
-        phases: None,
-    }
-}
-
-fn measure_micro(size: u32, mode: Parallelism, ticks: u64, reps: u32) -> Measurement {
-    let grid = GridNetwork::new(GridSpec::with_size(size, size));
-    let n = grid.topology().num_intersections();
-    let mut sim = MicroSim::new(
+    let mut sim = build_substrate(
+        backend,
         grid.topology().clone(),
         controllers(n),
         MicroSimConfig {
@@ -127,12 +101,12 @@ fn measure_micro(size: u32, mode: Parallelism, ticks: u64, reps: u32) -> Measure
     );
     let mut gen = demand(&grid);
     let mut k = 0u64;
-    let mut report = utilbp_microsim::StepReport::empty();
+    let mut scratch = SubstrateScratch::new();
     let mut arrivals = Vec::new();
     for _ in 0..WARMUP_TICKS {
         arrivals.clear();
         gen.poll_into(&grid, Tick::new(k), &mut arrivals);
-        sim.step_into(&mut arrivals, &mut report);
+        sim.step_into(&mut arrivals, &mut scratch);
         k += 1;
     }
     let mut best = f64::INFINITY;
@@ -141,39 +115,46 @@ fn measure_micro(size: u32, mode: Parallelism, ticks: u64, reps: u32) -> Measure
         for _ in 0..ticks {
             arrivals.clear();
             gen.poll_into(&grid, Tick::new(k), &mut arrivals);
-            sim.step_into(&mut arrivals, &mut report);
+            sim.step_into(&mut arrivals, &mut scratch);
             k += 1;
         }
         best = best.min(start.elapsed().as_secs_f64());
     }
-    // One extra instrumented rep for phase attribution (kept out of the
-    // headline measurement so the `Instant` reads cannot skew it).
-    let mut phases = PhaseTimings::default();
-    for _ in 0..ticks {
-        arrivals.clear();
-        gen.poll_into(&grid, Tick::new(k), &mut arrivals);
-        sim.step_into_timed(&mut arrivals, &mut report, &mut phases);
-        k += 1;
-    }
+    let phases = match backend {
+        Backend::Queueing => None,
+        Backend::Microscopic => {
+            let mut phases = PhaseTimings::default();
+            for _ in 0..ticks {
+                arrivals.clear();
+                gen.poll_into(&grid, Tick::new(k), &mut arrivals);
+                sim.step_into_timed(&mut arrivals, &mut scratch, &mut phases);
+                k += 1;
+            }
+            Some(phases)
+        }
+    };
     Measurement {
-        substrate: "microscopic",
+        substrate: backend.name(),
         workload: format!("{size}x{size}"),
         mode,
         ticks,
         seconds: best,
-        phases: Some(phases),
+        phases,
     }
 }
 
 /// Scenario-driven row: the whole per-tick path of a scenario run —
-/// event dispatch, schedule-driven demand, stepping — measured through
+/// event dispatch, schedule-driven demand, stepping, and (for scenarios
+/// that enable it) en-route replanning — measured through
 /// [`ScenarioEngine`].
 fn measure_scenario(name: &str, backend: Backend, ticks: u64, reps: u32) -> Measurement {
     let mut best = f64::INFINITY;
     for _ in 0..reps.max(1) {
         let mut spec = builtin(name).expect("built-in scenario exists");
-        // The engine is throughput-bound here, not horizon-bound.
-        spec.horizon = Ticks::new(WARMUP_TICKS + ticks + 1);
+        // The engine is throughput-bound here, not horizon-bound; events
+        // the new horizon no longer covers are dropped with it (a closure
+        // whose reopening is dropped simply stays closed).
+        spec.set_horizon(Ticks::new(WARMUP_TICKS + ticks + 1));
         let mut engine = ScenarioEngine::new(spec, EngineConfig::new(backend), &|_| {
             Box::new(UtilBp::paper())
         })
@@ -188,10 +169,7 @@ fn measure_scenario(name: &str, backend: Backend, ticks: u64, reps: u32) -> Meas
         best = best.min(start.elapsed().as_secs_f64());
     }
     Measurement {
-        substrate: match backend {
-            Backend::Queueing => "queueing",
-            Backend::Microscopic => "microscopic",
-        },
+        substrate: backend.name(),
         workload: name.to_string(),
         mode: Parallelism::Serial,
         ticks,
@@ -323,14 +301,26 @@ fn main() {
     let mut results = Vec::new();
     for &(size, q_ticks, m_ticks) in plan {
         for mode in [Parallelism::Serial, Parallelism::Rayon] {
-            let q = measure_queueing(size, mode, tick_override.unwrap_or(q_ticks), reps);
+            let q = measure_grid(
+                Backend::Queueing,
+                size,
+                mode,
+                tick_override.unwrap_or(q_ticks),
+                reps,
+            );
             eprintln!(
                 "queueing    {size:>2}x{size:<2} {:>6}: {:>10.1} ticks/s",
                 mode_name(mode),
                 q.ticks_per_sec()
             );
             results.push(q);
-            let m = measure_micro(size, mode, tick_override.unwrap_or(m_ticks), reps);
+            let m = measure_grid(
+                Backend::Microscopic,
+                size,
+                mode,
+                tick_override.unwrap_or(m_ticks),
+                reps,
+            );
             eprintln!(
                 "microscopic {size:>2}x{size:<2} {:>6}: {:>10.1} ticks/s",
                 mode_name(mode),
@@ -339,18 +329,23 @@ fn main() {
             results.push(m);
         }
     }
-    for backend in [Backend::Queueing, Backend::Microscopic] {
-        let ticks = tick_override.unwrap_or(match backend {
-            Backend::Queueing => 2000,
-            Backend::Microscopic => 600,
-        });
-        let s = measure_scenario("arterial-rush-hour", backend, ticks, reps);
-        eprintln!(
-            "{:<11} arterial-rush-hour serial: {:>10.1} ticks/s",
-            s.substrate,
-            s.ticks_per_sec()
-        );
-        results.push(s);
+    // `grid-incident-replan` keeps the replanning machinery in the
+    // measured path: the closure fires during warm-up, so the measured
+    // window steps a network whose traffic was diverted en route.
+    for scenario_name in ["arterial-rush-hour", "grid-incident-replan"] {
+        for backend in [Backend::Queueing, Backend::Microscopic] {
+            let ticks = tick_override.unwrap_or(match backend {
+                Backend::Queueing => 2000,
+                Backend::Microscopic => 600,
+            });
+            let s = measure_scenario(scenario_name, backend, ticks, reps);
+            eprintln!(
+                "{:<11} {scenario_name} serial: {:>10.1} ticks/s",
+                s.substrate,
+                s.ticks_per_sec()
+            );
+            results.push(s);
+        }
     }
 
     let new_run = render_run(&results, reps, &label);

@@ -2,7 +2,8 @@
 //!
 //! Supports the subset this workspace's property tests use: the
 //! [`proptest!`] macro (with `#![proptest_config(...)]`), [`Strategy`]
-//! over numeric ranges / tuples / [`Just`] / [`collection::vec`],
+//! over numeric ranges / tuples / [`strategy::Just`] /
+//! [`collection::vec()`],
 //! `prop_oneof!`, and the `prop_assert*` macros. Cases are sampled from a
 //! fixed-seed deterministic RNG; there is **no shrinking** — a failing
 //! case prints its inputs via the assertion message instead.
@@ -243,7 +244,7 @@ pub mod collection {
         }
     }
 
-    /// See [`vec`].
+    /// See [`vec()`].
     pub struct VecStrategy<S> {
         element: S,
         lengths: SizeRange,

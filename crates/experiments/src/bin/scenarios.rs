@@ -2,22 +2,43 @@
 //! comparison table.
 //!
 //! ```text
-//! scenarios                # the whole built-in library, both backends
-//! scenarios --smoke        # one small built-in per backend (CI smoke)
-//! scenarios file.scn ...   # scenario files in the text format
+//! scenarios                    # the whole built-in library, both backends
+//! scenarios --smoke            # one small built-in per backend (CI smoke)
+//! scenarios --builtin NAME ... # selected built-ins by name
+//! scenarios file.scn ...       # scenario files in the text format
 //! ```
 //!
 //! Env: `UTILBP_QUICK=1` caps every horizon at 300 ticks.
 
 use utilbp_experiments::{scenario_comparison, Backend, ControllerKind};
-use utilbp_scenario::{builtin_scenarios, parse_scenario, ScenarioSpec};
+use utilbp_scenario::{builtin, builtin_scenarios, parse_scenario, ScenarioSpec};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let smoke = args.iter().any(|a| a == "--smoke");
-    let files: Vec<&String> = args.iter().filter(|a| !a.starts_with("--")).collect();
+    let mut files: Vec<&String> = Vec::new();
+    let mut builtins: Vec<ScenarioSpec> = Vec::new();
+    let mut iter = args.iter();
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "--smoke" => {}
+            "--builtin" => {
+                let name = iter.next().expect("--builtin needs a scenario name");
+                builtins
+                    .push(builtin(name).unwrap_or_else(|| panic!("no built-in scenario `{name}`")));
+            }
+            other if other.starts_with("--") => panic!("unknown flag `{other}`"),
+            _ => files.push(arg),
+        }
+    }
 
-    let mut specs: Vec<ScenarioSpec> = if files.is_empty() {
+    assert!(
+        builtins.is_empty() || files.is_empty(),
+        "pass either --builtin names or scenario files, not both"
+    );
+    let mut specs: Vec<ScenarioSpec> = if !builtins.is_empty() {
+        builtins
+    } else if files.is_empty() {
         builtin_scenarios()
     } else {
         files

@@ -89,12 +89,8 @@ pub fn scenario_comparison(
         if let Some(cap) = horizon_cap {
             let cap = cap.max(1);
             if spec.horizon.count() > cap {
-                spec.horizon = utilbp_core::Ticks::new(cap);
-                spec.events.retain(|e| match e {
-                    utilbp_scenario::ScenarioEvent::CloseRoad { at, .. }
-                    | utilbp_scenario::ScenarioEvent::ReopenRoad { at, .. } => at.index() < cap,
-                    _ => true,
-                });
+                // Drops closure/reopen events past the cap with the trim.
+                spec.set_horizon(utilbp_core::Ticks::new(cap));
             }
         }
         for &backend in backends {

@@ -23,13 +23,22 @@
 //!
 //! See [`MicroSim`] for the step protocol and an end-to-end example.
 //!
+//! Together with `utilbp-queueing`, this simulator implements the
+//! workspace's unified plant interface — the `TrafficSubstrate` trait in
+//! `utilbp-substrate` — which states the cross-substrate contract
+//! (determinism across execution modes and repeats, road-closure
+//! semantics, accumulator-based waiting accounting, deterministic
+//! route-cursor access for en-route replanning) once for both backends;
+//! the notes below cover only what is specific to the microscopic model.
+//!
 //! ## Performance architecture
 //!
 //! The step path is built to run as fast as the hardware allows over
 //! large grids; five mechanisms carry it:
 //!
 //! **Data-oriented vehicle layout.** Vehicle state is split by access
-//! pattern (see [`crate::road`] for the full layout). Per-tick hot state
+//! pattern (see the `road` module source for the full layout). Per-tick
+//! hot state
 //! — interleaved `[position, speed]` pairs and a waiting-tick
 //! accumulator — lives in struct-of-arrays lanes that the Krauss
 //! car-following phase streams over; per-journey cold state (external

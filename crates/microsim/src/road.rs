@@ -127,6 +127,19 @@ impl VehicleArena {
     pub fn bump_hop(&mut self, slot: u32) {
         self.hop[slot as usize] += 1;
     }
+
+    /// Replaces a live slot's route (en-route replanning). The caller
+    /// must preserve every hop up to and including the current cursor —
+    /// the vehicle's lane (and, while crossing, its destination lane) is
+    /// bound to that movement, and the lanes cache its link index.
+    pub fn set_route(&mut self, slot: u32, route: Arc<Route>) {
+        let i = slot as usize;
+        debug_assert!(
+            route.hops()[..=self.hop[i] as usize] == self.route[i].hops()[..=self.hop[i] as usize],
+            "replanned route must preserve the committed prefix"
+        );
+        self.route[i] = route;
+    }
 }
 
 /// The fixed sensor geometry of one road's lanes: everything needed to

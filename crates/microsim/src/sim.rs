@@ -95,6 +95,11 @@ struct RoadSim {
     /// Vehicles on the lanes plus reservations by vehicles crossing toward
     /// this road.
     occupancy: u32,
+    /// Cumulative vehicles that have entered the road's lanes (boundary
+    /// insertions + junction-box landings) — a monotone counter that lets
+    /// callers observe where traffic actually went (e.g. detour roads
+    /// after a replanned closure) without per-road event probes.
+    entered: u64,
     /// Per-lane count of vehicles currently in a junction box heading for
     /// that lane — the reservations [`MicroSim::dest_lane_has_room`]
     /// consults in O(1) instead of scanning every junction's box.
@@ -407,6 +412,7 @@ impl MicroSim {
                     capacity: road.capacity(),
                     closed: false,
                     occupancy: 0,
+                    entered: 0,
                     pending: vec![0; num_lanes],
                     spec: SensorSpec::for_road(road.length_m(), &config),
                     lane_detected: vec![0; num_lanes],
@@ -694,6 +700,16 @@ impl MicroSim {
     /// Panics if `road` is out of range.
     pub fn road_occupancy(&self, road: RoadId) -> u32 {
         self.roads[road.index()].occupancy
+    }
+
+    /// Cumulative vehicles that have entered `road` since the start
+    /// (boundary insertions plus junction-box landings).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `road` is out of range.
+    pub fn road_entered(&self, road: RoadId) -> u64 {
+        self.roads[road.index()].entered
     }
 
     /// The queue observation the controller at `intersection` sees.
@@ -1117,6 +1133,7 @@ impl MicroSim {
                     }
                     road.lanes[crossing.dest_lane].push(0.0, speed, wait, crossing.slot, link);
                     road.pending[crossing.dest_lane] -= 1;
+                    road.entered += 1;
                 }
             }
         }
@@ -1257,6 +1274,61 @@ impl MicroSim {
         }
         road.lanes[lane_idx].push(0.0, speed, wait, slot, link);
         road.occupancy += 1;
+        road.entered += 1;
+    }
+
+    /// Visits every vehicle that still has junction crossings ahead of it
+    /// and lets `replan` rewrite its remaining route (en-route
+    /// replanning; part of the `TrafficSubstrate` contract in
+    /// `utilbp-substrate`).
+    ///
+    /// The walk order is deterministic: roads in index order (lanes in
+    /// order, head to tail), then junction boxes in index order (box
+    /// order), then backlogs in road order (FIFO). The callback receives
+    /// the vehicle's route and the number of committed leading hops —
+    /// `cursor + 1` for vehicles in the network, whose current lane (or,
+    /// while crossing, destination lane) is bound to the cursor's
+    /// movement, and `0` for backlogged vehicles that have not entered
+    /// yet. A returned replacement must preserve exactly that prefix; the
+    /// lanes' cached link indices and the pending-reservation counters
+    /// stay valid because the bound movement never changes. Returns the
+    /// number of vehicles rewritten; draws no randomness.
+    pub fn replan_routes(
+        &mut self,
+        replan: &mut dyn FnMut(&Route, usize) -> Option<Arc<Route>>,
+    ) -> u64 {
+        let mut diverted = 0u64;
+        for r in 0..self.roads.len() {
+            for lane_idx in 0..self.roads[r].lanes.len() {
+                for i in 0..self.roads[r].lanes[lane_idx].len() {
+                    let slot = self.roads[r].lanes[lane_idx].slot_at(i);
+                    let fixed = self.arena.hop(slot) + 1;
+                    if let Some(route) = replan(self.arena.route(slot), fixed) {
+                        self.arena.set_route(slot, route);
+                        diverted += 1;
+                    }
+                }
+            }
+        }
+        for j in 0..self.junctions.len() {
+            for c in 0..self.junctions[j].in_box.len() {
+                let slot = self.junctions[j].in_box[c].slot;
+                let fixed = self.arena.hop(slot) + 1;
+                if let Some(route) = replan(self.arena.route(slot), fixed) {
+                    self.arena.set_route(slot, route);
+                    diverted += 1;
+                }
+            }
+        }
+        for backlog in &mut self.backlogs {
+            for entry in backlog.iter_mut() {
+                if let Some(route) = replan(&entry.route, 0) {
+                    entry.route = route;
+                    diverted += 1;
+                }
+            }
+        }
+        diverted
     }
 }
 

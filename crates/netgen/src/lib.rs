@@ -17,6 +17,9 @@
 //!   [`DemandSchedule`] (Table II, including the 4 h mixed pattern);
 //! - [`Route`] / [`RouteChoice`] — per-vehicle journeys: straight through,
 //!   or one turn at a randomly selected intersection;
+//! - [`Replanner`] — deterministic en-route replanning: rewrites a
+//!   vehicle's remaining route around mid-run road closures by
+//!   enumerating open detours from the first uncommitted road;
 //! - [`DemandGenerator`] — seeded Poisson arrivals with routed vehicles,
 //!   served allocation-free from a per-(entry, choice) route cache.
 //!
@@ -47,6 +50,7 @@ mod generators;
 mod grid;
 mod network;
 mod patterns;
+mod replan;
 mod route;
 mod topology;
 
@@ -55,6 +59,7 @@ pub use generators::{ArterialSpec, AsymmetricGridSpec, RingSpec};
 pub use grid::{EntryPoint, GridNetwork, GridPos, GridSpec, RouteChoice};
 pub use network::{enumerate_routes, NetEntry, Network, RouteOption};
 pub use patterns::{DemandSchedule, Pattern, TurningProbabilities};
+pub use replan::Replanner;
 pub use route::Route;
 pub use topology::{
     IntersectionId, IntersectionNode, NetworkTopology, NetworkTopologyBuilder, Road, RoadId,

@@ -191,6 +191,11 @@ impl Network {
 /// within `max_hops` junction crossings, making at most `max_turns`
 /// non-straight movements.
 ///
+/// `entry` may be any road that feeds an intersection — a boundary entry
+/// when building a [`Network`]'s per-entry route sets, or an *internal*
+/// road when continuing a journey mid-network (the en-route replanning
+/// of [`crate::Replanner`] enumerates detours this way).
+///
 /// Weights follow a memoryless turning model: at each junction the vehicle
 /// goes straight, left, or right with the probability `turning` assigns to
 /// the arm it arrives from, and a route's weight is the product of its
@@ -204,8 +209,8 @@ impl Network {
 ///
 /// # Panics
 ///
-/// Panics if `entry` is not a boundary entry road or a traversed
-/// intersection is not a standard four-way junction.
+/// Panics if `entry` is a boundary exit road (it feeds no intersection)
+/// or a traversed intersection is not a standard four-way junction.
 pub fn enumerate_routes(
     topology: &NetworkTopology,
     entry: RoadId,
@@ -216,7 +221,7 @@ pub fn enumerate_routes(
     let (start_i, start_arm) = topology
         .road(entry)
         .dest()
-        .expect("route enumeration starts at a boundary entry road");
+        .expect("route enumeration starts at a road that feeds an intersection");
     let start_approach =
         Approach::from_incoming(start_arm).expect("entry feeds a four-way incoming arm");
 

@@ -1,0 +1,353 @@
+//! En-route replanning: rewriting a vehicle's remaining route around
+//! closed roads.
+//!
+//! A [`Replanner`] is built per closure event over the current closure
+//! mask. For each vehicle it is shown (via the substrate layer's
+//! route-cursor walk), it derives the road sequence of the remaining
+//! journey, checks whether any road *after the committed prefix* is
+//! closed, and — if so — enumerates open detours from the first
+//! uncommitted road with [`enumerate_routes`] and splices the
+//! best-weighted one onto the preserved prefix. Everything is
+//! deterministic: enumeration order is fixed by the topology, the best
+//! option wins by weight with ties broken by enumeration order, and no
+//! randomness is drawn — so replanning cannot perturb the simulators'
+//! RNG streams, and Serial/Rayon runs stay bit-identical.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use utilbp_core::LinkId;
+
+use crate::network::enumerate_routes;
+use crate::patterns::TurningProbabilities;
+use crate::route::Route;
+use crate::topology::{IntersectionId, NetworkTopology, RoadId};
+
+/// Default bound on non-straight movements in a detour suffix: rejoining
+/// a grid route around one closed segment takes up to four turns
+/// (off, around, back, re-align); three covers every detour that does
+/// not re-cross the closure's row/column twice.
+const DEFAULT_MAX_TURNS: usize = 3;
+
+/// Hard cap on detour enumeration depth, independent of network size
+/// (bounded-turn enumeration is exponential in the turn budget only, but
+/// depth still multiplies the walk).
+const MAX_HOPS_CAP: usize = 32;
+
+/// A cached detour from one anchor road: the hops to splice and the
+/// roads they traverse (anchor first).
+type SuffixPlan = (Vec<(IntersectionId, LinkId)>, Vec<RoadId>);
+
+/// Deterministic route-suffix planner for one closure event.
+///
+/// # Examples
+///
+/// ```
+/// use utilbp_netgen::{GridNetwork, GridSpec, Network, Pattern, Replanner, TurningProbabilities};
+///
+/// let grid = GridNetwork::new(GridSpec::paper());
+/// let net = Network::from_grid(&grid, Pattern::II);
+/// let closed_road = net
+///     .topology()
+///     .road_ids()
+///     .find(|&r| net.topology().road(r).is_internal())
+///     .unwrap();
+/// let mut closed = vec![false; net.topology().num_roads()];
+/// closed[closed_road.index()] = true;
+/// let mut planner = Replanner::new(net.topology(), &TurningProbabilities::PAPER, &closed);
+///
+/// // A route that enters the closed road beyond its committed first hop
+/// // gets rewritten around it…
+/// let through = (0..net.num_entries())
+///     .flat_map(|e| net.route_options(e))
+///     .find(|o| o.roads[2..].contains(&closed_road))
+///     .expect("some option crosses the closed road late enough to divert");
+/// let diverted = planner.replan(&through.route, 1).expect("an open detour exists");
+/// assert_eq!(diverted.hops()[0], through.route.hops()[0], "committed hop preserved");
+///
+/// // …while a route that avoids it is left alone.
+/// let clear = net
+///     .route_options(0)
+///     .iter()
+///     .find(|o| !o.roads.contains(&closed_road))
+///     .unwrap();
+/// assert!(planner.replan(&clear.route, 1).is_none());
+/// ```
+pub struct Replanner<'a> {
+    topology: &'a NetworkTopology,
+    turning: &'a TurningProbabilities,
+    closed: &'a [bool],
+    max_turns: usize,
+    max_hops: usize,
+    /// Best open suffix per anchor road (`None` = no open detour exists),
+    /// so N stranded vehicles behind the same junction cost one
+    /// enumeration, not N.
+    cache: HashMap<usize, Option<SuffixPlan>>,
+    /// Roads introduced by rewritten suffixes that the original routes
+    /// did not traverse, in first-seen order (deduplicated).
+    detours: Vec<RoadId>,
+    diverted: u64,
+}
+
+impl<'a> Replanner<'a> {
+    /// A planner over `topology` with `closed` as the per-road closure
+    /// mask (indexed by `RoadId`) and `turning` weighting the detour
+    /// choice, using the default turn/depth budget.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `closed` is not sized to the topology's road count.
+    pub fn new(
+        topology: &'a NetworkTopology,
+        turning: &'a TurningProbabilities,
+        closed: &'a [bool],
+    ) -> Self {
+        assert_eq!(
+            closed.len(),
+            topology.num_roads(),
+            "closure mask must cover every road"
+        );
+        Replanner {
+            topology,
+            turning,
+            closed,
+            max_turns: DEFAULT_MAX_TURNS,
+            max_hops: (topology.num_intersections() + 4).min(MAX_HOPS_CAP),
+            cache: HashMap::new(),
+            detours: Vec::new(),
+            diverted: 0,
+        }
+    }
+
+    /// Vehicles diverted so far.
+    pub fn diverted(&self) -> u64 {
+        self.diverted
+    }
+
+    /// Roads that rewritten routes traverse which their originals did
+    /// not — the detour set, in first-seen order.
+    pub fn detour_roads(&self) -> &[RoadId] {
+        &self.detours
+    }
+
+    /// The outgoing road a crossing lands on.
+    fn out_road(&self, intersection: IntersectionId, link: LinkId) -> RoadId {
+        let node = self.topology.intersection(intersection);
+        node.outgoing_road(node.layout().link(link).to())
+    }
+
+    /// Proposes a replacement for `route` whose first `fixed_hops` hops
+    /// are committed (the vehicle's lane, queue, or crossing is already
+    /// bound to them; `0` for a vehicle still outside the network).
+    ///
+    /// Returns `None` when the remaining journey never enters a closed
+    /// road, when the cursor is already past every junction, or when no
+    /// open detour exists within the turn/depth budget — in all three
+    /// cases the vehicle keeps its route.
+    pub fn replan(&mut self, route: &Route, fixed_hops: usize) -> Option<Arc<Route>> {
+        let hops = route.hops();
+        if fixed_hops >= hops.len() {
+            // Only the final exit road remains, and exits cannot close.
+            return None;
+        }
+        // Roads entered strictly after the anchor: the landing road of
+        // every uncommitted hop. If none of them is closed, the journey
+        // is unaffected.
+        let threatened = hops[fixed_hops..]
+            .iter()
+            .any(|&(i, l)| self.closed[self.out_road(i, l).index()]);
+        if !threatened {
+            return None;
+        }
+        // The anchor: the first road the vehicle is not yet committed
+        // beyond — its entry road if nothing is committed, otherwise the
+        // landing road of the last committed hop.
+        let anchor = if fixed_hops == 0 {
+            route.entry()
+        } else {
+            let (i, l) = hops[fixed_hops - 1];
+            self.out_road(i, l)
+        };
+        if !self.cache.contains_key(&anchor.index()) {
+            let plan = best_open_suffix(
+                self.topology,
+                anchor,
+                self.turning,
+                self.closed,
+                self.max_turns,
+                self.max_hops,
+            );
+            self.cache.insert(anchor.index(), plan);
+        }
+        let (suffix, suffix_roads) = self.cache.get(&anchor.index()).unwrap().as_ref()?;
+
+        // Record which roads the detour adds relative to the old journey.
+        let old_roads: Vec<RoadId> = std::iter::once(route.entry())
+            .chain(hops.iter().map(|&(i, l)| self.out_road(i, l)))
+            .collect();
+        let fresh: Vec<RoadId> = suffix_roads
+            .iter()
+            .skip(1) // the anchor itself is shared
+            .filter(|r| !old_roads.contains(r))
+            .copied()
+            .collect();
+        let mut new_hops = hops[..fixed_hops].to_vec();
+        new_hops.extend_from_slice(suffix);
+        for r in fresh {
+            if !self.detours.contains(&r) {
+                self.detours.push(r);
+            }
+        }
+        self.diverted += 1;
+        Some(Arc::new(Route::new(route.entry(), new_hops)))
+    }
+}
+
+/// The best fully-open journey continuing from `anchor` under the
+/// closure mask: highest weight wins, ties keep enumeration order.
+fn best_open_suffix(
+    topology: &NetworkTopology,
+    anchor: RoadId,
+    turning: &TurningProbabilities,
+    closed: &[bool],
+    max_turns: usize,
+    max_hops: usize,
+) -> Option<SuffixPlan> {
+    let options = enumerate_routes(topology, anchor, turning, max_turns, max_hops);
+    let mut best: Option<&crate::network::RouteOption> = None;
+    for opt in &options {
+        // `roads[0]` is the anchor itself: the vehicle is already bound
+        // to it, so its closure state cannot be helped here.
+        if opt.roads[1..].iter().any(|r| closed[r.index()]) {
+            continue;
+        }
+        match best {
+            Some(b) if opt.weight <= b.weight => {}
+            _ => best = Some(opt),
+        }
+    }
+    best.map(|opt| (opt.route.hops().to_vec(), opt.roads.clone()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::grid::{GridNetwork, GridSpec};
+    use crate::network::Network;
+    use crate::patterns::Pattern;
+
+    fn setup() -> (Network, RoadId, Vec<bool>) {
+        let grid = GridNetwork::new(GridSpec::paper());
+        let net = Network::from_grid(&grid, Pattern::II);
+        let closed_road = net
+            .topology()
+            .road_ids()
+            .find(|&r| net.topology().road(r).is_internal())
+            .unwrap();
+        let mut mask = vec![false; net.topology().num_roads()];
+        mask[closed_road.index()] = true;
+        (net, closed_road, mask)
+    }
+
+    /// The roads a route traverses, entry first.
+    fn roads_of(topology: &NetworkTopology, route: &Route) -> Vec<RoadId> {
+        std::iter::once(route.entry())
+            .chain(route.hops().iter().map(|&(i, l)| {
+                let node = topology.intersection(i);
+                node.outgoing_road(node.layout().link(l).to())
+            }))
+            .collect()
+    }
+
+    #[test]
+    fn rewrites_avoid_the_closure_and_preserve_the_prefix() {
+        let (net, closed_road, mask) = setup();
+        let mut planner = Replanner::new(net.topology(), &TurningProbabilities::PAPER, &mask);
+        let mut rewrote = 0;
+        for entry in 0..net.num_entries() {
+            for opt in net.route_options(entry) {
+                let hits = opt.roads.contains(&closed_road);
+                for fixed in 0..=opt.route.len() {
+                    let result = planner.replan(&opt.route, fixed);
+                    let remaining_hit =
+                        opt.roads[(fixed + 1).min(opt.roads.len())..].contains(&closed_road);
+                    if !remaining_hit {
+                        assert!(result.is_none(), "untouched journeys keep their route");
+                        continue;
+                    }
+                    let new = result.expect("the paper grid always has an open detour");
+                    rewrote += 1;
+                    assert_eq!(
+                        &new.hops()[..fixed],
+                        &opt.route.hops()[..fixed],
+                        "committed prefix must be preserved"
+                    );
+                    assert_eq!(new.entry(), opt.route.entry());
+                    let new_roads = roads_of(net.topology(), &new);
+                    assert!(
+                        !new_roads[fixed + 1..].contains(&closed_road),
+                        "the rewritten journey must avoid the closed road"
+                    );
+                    // The route must still end at a boundary exit.
+                    assert!(net.topology().road(*new_roads.last().unwrap()).is_exit());
+                }
+                let _ = hits;
+            }
+        }
+        assert!(rewrote > 0, "the option set crosses the closed road");
+        assert_eq!(planner.diverted(), rewrote);
+        assert!(!planner.detour_roads().is_empty());
+    }
+
+    #[test]
+    fn replanning_is_deterministic() {
+        let (net, _, mask) = setup();
+        let run = || {
+            let mut planner = Replanner::new(net.topology(), &TurningProbabilities::PAPER, &mask);
+            let mut digest: Vec<Option<Vec<(IntersectionId, LinkId)>>> = Vec::new();
+            for entry in 0..net.num_entries() {
+                for opt in net.route_options(entry) {
+                    digest.push(planner.replan(&opt.route, 1).map(|r| r.hops().to_vec()));
+                }
+            }
+            (digest, planner.detour_roads().to_vec())
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn fully_blocked_detours_leave_the_route_alone() {
+        // Close every road except the boundary entries: no suffix from
+        // any anchor can reach an (open) exit, so nothing is rewritten.
+        // (Scenario validation forbids closing exits, but the planner
+        // must stay correct for any mask it is handed.)
+        let grid = GridNetwork::new(GridSpec::paper());
+        let net = Network::from_grid(&grid, Pattern::II);
+        let mut mask = vec![false; net.topology().num_roads()];
+        for r in net.topology().road_ids() {
+            if !net.topology().road(r).is_entry() {
+                mask[r.index()] = true;
+            }
+        }
+        let mut planner = Replanner::new(net.topology(), &TurningProbabilities::PAPER, &mask);
+        let long = net
+            .route_options(0)
+            .iter()
+            .max_by_key(|o| o.route.len())
+            .unwrap();
+        assert!(
+            planner.replan(&long.route, 1).is_none(),
+            "no open detour exists, the vehicle keeps its route"
+        );
+        assert_eq!(planner.diverted(), 0);
+    }
+
+    #[test]
+    fn cursor_past_all_junctions_is_untouched() {
+        let (net, _, mask) = setup();
+        let mut planner = Replanner::new(net.topology(), &TurningProbabilities::PAPER, &mask);
+        let opt = &net.route_options(0)[0];
+        assert!(planner.replan(&opt.route, opt.route.len()).is_none());
+        assert!(planner.replan(&opt.route, opt.route.len() + 1).is_none());
+    }
+}

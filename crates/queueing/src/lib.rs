@@ -12,6 +12,13 @@
 //! tests, parameter sweeps, and cross-validation of the microscopic
 //! results.
 //!
+//! Both simulators implement the workspace's unified plant interface —
+//! the `TrafficSubstrate` trait in `utilbp-substrate` — which states the
+//! cross-substrate contract (determinism across execution modes and
+//! repeats, road-closure semantics, accumulator-based waiting
+//! accounting, deterministic route-cursor access for en-route
+//! replanning) once for both backends.
+//!
 //! See [`QueueSim`] for the step semantics and an end-to-end example.
 
 #![forbid(unsafe_code)]

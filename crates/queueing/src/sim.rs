@@ -116,6 +116,11 @@ struct RoadState {
     closed: bool,
     /// Vehicles physically on the road: in transit plus queued at its head.
     occupancy: u32,
+    /// Cumulative vehicles that have entered the road (injections,
+    /// backlog drains, junction transfers) — a monotone counter that lets
+    /// callers observe where traffic actually went (e.g. detour roads
+    /// after a replanned closure).
+    entered: u64,
     /// Vehicles queued at the road's downstream junction (the `q_{i'}`
     /// the controllers observe) — maintained incrementally as vehicles
     /// join and leave the head queues, so the outgoing-road sensor is an
@@ -331,6 +336,7 @@ impl QueueSim {
                 RoadState {
                     closed: false,
                     occupancy: 0,
+                    entered: 0,
                     queued: 0,
                     transit: VecDeque::new(),
                     travel,
@@ -468,6 +474,16 @@ impl QueueSim {
     /// Panics if `road` is out of range.
     pub fn road_occupancy(&self, road: RoadId) -> u32 {
         self.roads[road.index()].occupancy
+    }
+
+    /// Cumulative vehicles that have entered `road` since the start
+    /// (injections, backlog drains, and junction transfers).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `road` is out of range.
+    pub fn road_entered(&self, road: RoadId) -> u64 {
+        self.roads[road.index()].entered
     }
 
     /// The number of vehicles *queued* on a road (waiting at its
@@ -793,6 +809,7 @@ impl QueueSim {
     ) {
         let state = &mut self.roads[road.index()];
         state.occupancy += 1;
+        state.entered += 1;
         let arrives = now + state.travel;
         if let Some(i) = state.dest_intersection {
             let (_, link) = route.hop(hop).expect("internal road implies a further hop");
@@ -805,6 +822,59 @@ impl QueueSim {
             arrives,
             waited,
         });
+    }
+
+    /// Visits every vehicle that still has junction crossings ahead of it
+    /// and lets `replan` rewrite its remaining route (en-route
+    /// replanning; part of the `TrafficSubstrate` contract in
+    /// `utilbp-substrate`).
+    ///
+    /// The walk order is deterministic: movement queues in intersection /
+    /// link / FIFO order, then transit delay lines in road / FIFO order,
+    /// then backlogs in road / FIFO order. The callback receives the
+    /// vehicle's route and the number of committed leading hops —
+    /// `hop + 1` for queued and in-transit vehicles, whose movement queue
+    /// (and the incremental `transit_by_link` counter) is bound to the
+    /// cursor's movement, and `0` for backlogged vehicles that have not
+    /// entered yet. A returned replacement must preserve exactly that
+    /// prefix. Returns the number of vehicles rewritten; draws no
+    /// randomness.
+    pub fn replan_routes(
+        &mut self,
+        replan: &mut dyn FnMut(&Route, usize) -> Option<Arc<Route>>,
+    ) -> u64 {
+        let mut diverted = 0u64;
+        for intersection in &mut self.intersections {
+            for queue in &mut intersection.queues {
+                for v in queue.iter_mut() {
+                    if let Some(route) = replan(&v.route, v.hop + 1) {
+                        v.route = route;
+                        diverted += 1;
+                    }
+                }
+            }
+        }
+        for road in &mut self.roads {
+            // Exit-road transit: the journey has no further crossings.
+            if road.dest_intersection.is_none() {
+                continue;
+            }
+            for v in road.transit.iter_mut() {
+                if let Some(route) = replan(&v.route, v.hop + 1) {
+                    v.route = route;
+                    diverted += 1;
+                }
+            }
+        }
+        for backlog in &mut self.backlogs {
+            for (_, route, _) in backlog.iter_mut() {
+                if let Some(new_route) = replan(route, 0) {
+                    *route = new_route;
+                    diverted += 1;
+                }
+            }
+        }
+        diverted
     }
 
     /// Injects an exogenous arrival; returns `false` if it was backlogged.

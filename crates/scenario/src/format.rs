@@ -12,6 +12,7 @@
 //! horizon 900
 //! topology arterial intersections=5 arterial-length=400 ...
 //! demand rush-hour ramp=200 peak=200 factor=2.5
+//! replan at-next-junction
 //! event close road=12 at=300
 //! event reopen road=12 at=600
 //! event surge factor=3 from=100 until=250
@@ -30,7 +31,7 @@ use utilbp_netgen::{
     ArterialSpec, AsymmetricGridSpec, GridSpec, Pattern, RingSpec, RoadId, TurningProbabilities,
 };
 
-use crate::spec::{DemandProfile, ScenarioEvent, ScenarioSpec, TopologySpec};
+use crate::spec::{DemandProfile, ReplanPolicy, ScenarioEvent, ScenarioSpec, TopologySpec};
 
 /// Parsed `key=value` arguments of one directive line.
 struct Args {
@@ -174,6 +175,7 @@ pub fn parse_scenario(text: &str) -> Result<ScenarioSpec, String> {
     let mut topology = None;
     let mut demand = DemandProfile::Constant;
     let mut events = Vec::new();
+    let mut replan = ReplanPolicy::Off;
 
     for (idx, raw) in text.lines().enumerate() {
         let line_no = idx + 1;
@@ -219,6 +221,16 @@ pub fn parse_scenario(text: &str) -> Result<ScenarioSpec, String> {
                 demand = parse_demand(line_no, kind, &mut args)?;
                 args.finish()?;
             }
+            "replan" => {
+                replan = match rest.first().copied() {
+                    Some("off") => ReplanPolicy::Off,
+                    Some("at-next-junction") => ReplanPolicy::AtNextJunction,
+                    Some(other) => {
+                        return Err(format!("line {line_no}: unknown replan policy `{other}`"))
+                    }
+                    None => return Err(format!("line {line_no}: replan needs a policy")),
+                };
+            }
             "event" => {
                 let kind = *rest
                     .first()
@@ -238,6 +250,7 @@ pub fn parse_scenario(text: &str) -> Result<ScenarioSpec, String> {
         topology: topology.ok_or("missing `topology` line")?,
         demand,
         events,
+        replan,
     })
 }
 
@@ -452,6 +465,11 @@ impl ScenarioSpec {
                 out.push_str(&format!("demand day factor={peak_factor}\n"));
             }
         }
+        // `off` is the parse default; only the non-default policy needs a
+        // line, which keeps pre-replanning scenario files valid as-is.
+        if self.replan != ReplanPolicy::Off {
+            out.push_str(&format!("replan {}\n", self.replan));
+        }
         for event in &self.events {
             match event {
                 ScenarioEvent::CloseRoad { road, at } => out.push_str(&format!(
@@ -506,6 +524,38 @@ mod tests {
                 parse_scenario(&text).unwrap_or_else(|e| panic!("{}: {e}\n{text}", spec.name));
             assert_eq!(parsed, spec, "round trip of {}", spec.name);
         }
+        // The library's replanning builtin pins the `replan` line through
+        // the round trip.
+        let replanned = builtin_scenarios()
+            .into_iter()
+            .find(|s| s.replan == ReplanPolicy::AtNextJunction)
+            .expect("a replanning builtin exists");
+        assert!(replanned.to_text().contains("replan at-next-junction"));
+    }
+
+    #[test]
+    fn replan_directive_round_trips_and_rejects_unknown_policies() {
+        let base = "scenario x\nhorizon 10\ntopology grid\n";
+        assert_eq!(
+            parse_scenario(base).unwrap().replan,
+            ReplanPolicy::Off,
+            "omitted replan defaults to off"
+        );
+        let off = parse_scenario(&format!("{base}replan off\n")).unwrap();
+        assert_eq!(off.replan, ReplanPolicy::Off);
+        // `off` is the default, so rendering omits the line entirely.
+        assert!(!off.to_text().contains("replan"));
+        let on = parse_scenario(&format!("{base}replan at-next-junction\n")).unwrap();
+        assert_eq!(on.replan, ReplanPolicy::AtNextJunction);
+        assert_eq!(parse_scenario(&on.to_text()).unwrap(), on);
+        let bad = parse_scenario(&format!("{base}replan sometimes\n"));
+        let err = bad.unwrap_err();
+        assert!(err.contains("unknown replan policy"), "{err}");
+        assert!(err.contains("line 4"), "{err}");
+        // A bare `replan` must error like every other value-taking
+        // directive, not silently mean `off`.
+        let bare = parse_scenario(&format!("{base}replan\n"));
+        assert!(bare.unwrap_err().contains("needs a policy"));
     }
 
     #[test]

@@ -5,7 +5,7 @@
 use utilbp_core::{Tick, Ticks};
 use utilbp_netgen::{ArterialSpec, AsymmetricGridSpec, GridSpec, Pattern, RingSpec};
 
-use crate::spec::{DemandProfile, ScenarioEvent, ScenarioSpec, TopologySpec};
+use crate::spec::{DemandProfile, ReplanPolicy, ScenarioEvent, ScenarioSpec, TopologySpec};
 
 /// All built-in scenarios, in presentation order:
 ///
@@ -16,15 +16,22 @@ use crate::spec::{DemandProfile, ScenarioEvent, ScenarioSpec, TopologySpec};
 /// | `ring-pulse` | 6-junction ring | pulse | — |
 /// | `asym-bottleneck` | 3×3 asymmetric grid | constant | — |
 /// | `grid-incident` | 3×3 grid | constant | closure + reopening |
+/// | `grid-incident-replan` | 3×3 grid | constant | mid-network closure + reopening, en-route replanning on |
 /// | `arterial-sensor-dropout` | 5-junction arterial | day profile | sensor-fault window |
+///
+/// `grid-incident-replan` closes a road two hops into the network (the
+/// center intersection's southbound arm) with
+/// [`ReplanPolicy::AtNextJunction`], so upstream vehicles that have not
+/// yet committed to the closed segment divert instead of queueing into
+/// the spill-back.
 pub fn builtin_scenarios() -> Vec<ScenarioSpec> {
     let paper_grid = TopologySpec::Grid {
         spec: GridSpec::paper(),
         pattern: Pattern::II,
     };
-    // The road the incident closes: the first internal road of the paper
-    // grid (deterministic by construction order). Built from the bare
-    // grid topology — no route enumeration needed for a road lookup.
+    // The road `grid-incident` closes: the first internal road of the
+    // paper grid (deterministic by construction order). Built from the
+    // bare grid topology — no route enumeration needed for a road lookup.
     let incident_road = {
         let grid = utilbp_netgen::GridNetwork::new(GridSpec::paper());
         let topo = grid.topology();
@@ -33,6 +40,20 @@ pub fn builtin_scenarios() -> Vec<ScenarioSpec> {
             .find(|&r| topo.road(r).is_internal())
             .expect("the paper grid has internal roads");
         road
+    };
+    // The road `grid-incident-replan` closes: the center intersection's
+    // southbound road. It sits two hops deep, so when it closes there is
+    // real upstream traffic that has *not* yet committed to it — exactly
+    // the population en-route replanning can divert. (The first internal
+    // road above is committed at every crossing route's first hop, which
+    // would leave the replanner nothing to rewrite.)
+    let deep_incident_road = {
+        use utilbp_core::standard::Approach;
+        let grid = utilbp_netgen::GridNetwork::new(GridSpec::paper());
+        let center = grid.intersection_at(utilbp_netgen::GridPos::new(1, 1));
+        grid.topology()
+            .intersection(center)
+            .outgoing_road(Approach::South.outgoing())
     };
 
     vec![
@@ -43,6 +64,7 @@ pub fn builtin_scenarios() -> Vec<ScenarioSpec> {
             topology: paper_grid.clone(),
             demand: DemandProfile::Constant,
             events: Vec::new(),
+            replan: ReplanPolicy::Off,
         },
         ScenarioSpec {
             name: "arterial-rush-hour".to_string(),
@@ -55,6 +77,7 @@ pub fn builtin_scenarios() -> Vec<ScenarioSpec> {
                 peak_factor: 2.5,
             },
             events: Vec::new(),
+            replan: ReplanPolicy::Off,
         },
         ScenarioSpec {
             name: "ring-pulse".to_string(),
@@ -67,6 +90,7 @@ pub fn builtin_scenarios() -> Vec<ScenarioSpec> {
                 factor: 3.0,
             },
             events: Vec::new(),
+            replan: ReplanPolicy::Off,
         },
         ScenarioSpec {
             name: "asym-bottleneck".to_string(),
@@ -75,6 +99,7 @@ pub fn builtin_scenarios() -> Vec<ScenarioSpec> {
             topology: TopologySpec::AsymmetricGrid(AsymmetricGridSpec::default()),
             demand: DemandProfile::Constant,
             events: Vec::new(),
+            replan: ReplanPolicy::Off,
         },
         ScenarioSpec {
             name: "grid-incident".to_string(),
@@ -92,6 +117,31 @@ pub fn builtin_scenarios() -> Vec<ScenarioSpec> {
                     at: Tick::new(400),
                 },
             ],
+            replan: ReplanPolicy::Off,
+        },
+        ScenarioSpec {
+            name: "grid-incident-replan".to_string(),
+            seed: 2020,
+            horizon: Ticks::new(700),
+            // Pattern I loads the north/south axis, so the center
+            // column's southbound closure has real upstream traffic to
+            // divert.
+            topology: TopologySpec::Grid {
+                spec: GridSpec::paper(),
+                pattern: Pattern::I,
+            },
+            demand: DemandProfile::Constant,
+            events: vec![
+                ScenarioEvent::CloseRoad {
+                    road: deep_incident_road,
+                    at: Tick::new(150),
+                },
+                ScenarioEvent::ReopenRoad {
+                    road: deep_incident_road,
+                    at: Tick::new(450),
+                },
+            ],
+            replan: ReplanPolicy::AtNextJunction,
         },
         ScenarioSpec {
             name: "arterial-sensor-dropout".to_string(),
@@ -109,6 +159,7 @@ pub fn builtin_scenarios() -> Vec<ScenarioSpec> {
                 from: Tick::new(150),
                 until: Tick::new(450),
             }],
+            replan: ReplanPolicy::Off,
         },
     ]
 }
@@ -125,7 +176,12 @@ mod tests {
     #[test]
     fn library_covers_the_required_axes() {
         let all = builtin_scenarios();
-        assert!(all.len() >= 6, "at least six built-ins");
+        assert!(all.len() >= 7, "at least seven built-ins");
+        assert!(
+            all.iter()
+                .any(|s| s.replan == ReplanPolicy::AtNextJunction && s.has_closures()),
+            "a replanning incident scenario"
+        );
         let non_grid = all
             .iter()
             .filter(|s| !matches!(s.topology, TopologySpec::Grid { .. }))
@@ -152,6 +208,7 @@ mod tests {
     fn builtin_lookup_by_name() {
         assert!(builtin("paper-grid").is_some());
         assert!(builtin("ring-pulse").is_some());
+        assert!(builtin("grid-incident-replan").is_some());
         assert!(builtin("no-such-scenario").is_none());
     }
 }

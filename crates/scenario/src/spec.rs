@@ -7,30 +7,10 @@ use utilbp_netgen::{
     ArterialSpec, AsymmetricGridSpec, GridNetwork, GridSpec, Network, Pattern, RingSpec, RoadId,
 };
 
-/// Which simulation substrate a scenario runs on.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
-pub enum Backend {
-    /// The mesoscopic queueing-network simulator (`utilbp-queueing`) —
-    /// fast, exactly the paper's Section II model.
-    Queueing,
-    /// The microscopic simulator (`utilbp-microsim`) — the SUMO
-    /// substitute used for the headline results.
-    Microscopic,
-}
-
-impl Backend {
-    /// Both substrates, queueing first.
-    pub const ALL: [Backend; 2] = [Backend::Queueing, Backend::Microscopic];
-}
-
-impl std::fmt::Display for Backend {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        match self {
-            Backend::Queueing => f.write_str("queueing"),
-            Backend::Microscopic => f.write_str("microscopic"),
-        }
-    }
-}
+// The substrate selector and the replanning policy live in
+// `utilbp-substrate` (the plant layer below this crate); re-exported here
+// so scenario consumers keep one import path.
+pub use utilbp_substrate::{Backend, ReplanPolicy};
 
 /// The network family a scenario runs on. The paper's grid is one variant
 /// among the generators of [`utilbp_netgen`].
@@ -72,6 +52,18 @@ impl TopologySpec {
             TopologySpec::Arterial(_) => "arterial",
             TopologySpec::Ring(_) => "ring",
             TopologySpec::AsymmetricGrid(_) => "asym-grid",
+        }
+    }
+
+    /// The turning-probability table this topology's routes are weighted
+    /// by (the grid uses the paper's Table I) — also what en-route
+    /// replanning weighs detours with.
+    pub fn turning(&self) -> utilbp_netgen::TurningProbabilities {
+        match self {
+            TopologySpec::Grid { .. } => utilbp_netgen::TurningProbabilities::PAPER,
+            TopologySpec::Arterial(s) => s.turning,
+            TopologySpec::Ring(s) => s.turning,
+            TopologySpec::AsymmetricGrid(s) => s.turning,
         }
     }
 }
@@ -296,6 +288,9 @@ pub struct ScenarioSpec {
     pub demand: DemandProfile,
     /// Disruptions, in any order; the engine sorts them by tick.
     pub events: Vec<ScenarioEvent>,
+    /// How vehicles already en route react to closure events (default:
+    /// routes stay fixed at entry).
+    pub replan: ReplanPolicy,
 }
 
 impl ScenarioSpec {
@@ -408,6 +403,23 @@ impl ScenarioSpec {
         Ok(())
     }
 
+    /// Sets the run length, dropping closure/reopen events the new
+    /// horizon no longer covers (validation requires them inside the
+    /// horizon; surge and sensor-fault windows may overhang and are
+    /// kept). A closure whose reopening is dropped simply stays closed —
+    /// the one rule every horizon-trimming caller (CI caps, benches,
+    /// tests) must agree on, so it lives here.
+    pub fn set_horizon(&mut self, horizon: Ticks) {
+        self.horizon = horizon;
+        let end = horizon.count();
+        self.events.retain(|e| match e {
+            ScenarioEvent::CloseRoad { at, .. } | ScenarioEvent::ReopenRoad { at, .. } => {
+                at.index() < end
+            }
+            _ => true,
+        });
+    }
+
     /// The sensor-fault window, if the scenario has one.
     pub fn sensor_fault(&self) -> Option<(SensorFaultConfig, Tick, Tick)> {
         self.events.iter().find_map(|e| match e {
@@ -446,6 +458,7 @@ mod tests {
             },
             demand: DemandProfile::Constant,
             events,
+            replan: ReplanPolicy::Off,
         }
     }
 

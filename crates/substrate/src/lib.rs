@@ -1,0 +1,539 @@
+//! # utilbp-substrate
+//!
+//! The **unified plant layer** of the adaptive back-pressure workspace:
+//! one [`TrafficSubstrate`] trait covering the full road-network API that
+//! both simulators expose, so every driver — the scenario engine, the
+//! experiments runner, the `scenarios` binary, the perf harness — steps,
+//! probes, and disrupts a simulation through a single generic code path
+//! instead of hand-dispatching over a per-crate substrate enum.
+//!
+//! In the paper's CPS framing the *control plane* (decentralized adaptive
+//! back-pressure signal decisions) is separate from the *plant* (the road
+//! network). This crate is the plant's contract. Its two implementations
+//! are [`QueueSim`] (the paper's Section II store-and-forward model,
+//! exact and fast) and [`MicroSim`] (the microscopic SUMO substitute:
+//! Krauss car-following, junction boxes, ambers).
+//!
+//! ## The substrate contract
+//!
+//! Every implementation guarantees:
+//!
+//! - **Determinism.** The same topology, controllers, configuration, and
+//!   arrival stream produce bit-identical step reports, ledgers, and
+//!   metrics — across repeated runs *and* across execution modes
+//!   (`Parallelism::Serial` vs `Parallelism::Rayon`): sharded phases use
+//!   per-road RNG streams and touch no cross-shard state.
+//! - **Closure semantics.** [`set_road_closed`](TrafficSubstrate::set_road_closed)
+//!   closes a road *to entering traffic*: junctions stop serving vehicles
+//!   onto it and boundary insertions onto it stay backlogged, while
+//!   vehicles already on the road keep moving and may leave it (a street
+//!   closed at its upstream end). Reopening restores normal admission.
+//! - **Waiting accounting.** Waiting time accumulates per vehicle inside
+//!   the step path (simulator-side accumulators that ride through
+//!   junctions) and is flushed to the [`WaitingLedger`] once, at journey
+//!   completion;
+//!   [`mean_waiting_including_active`](TrafficSubstrate::mean_waiting_including_active)
+//!   folds the live accumulators — including backlog dwell — into the
+//!   completed statistics at query time. Nothing scans the fleet per tick.
+//! - **Allocation-free stepping.** [`step_into`](TrafficSubstrate::step_into)
+//!   reuses the caller's [`SubstrateScratch`] and drains the arrival
+//!   buffer in place; the steady-state hot path performs no heap
+//!   allocation (bounded by the workspace's counting-allocator test).
+//! - **Route-cursor access.** [`replan_routes`](TrafficSubstrate::replan_routes)
+//!   walks every vehicle that still has junctions ahead of it in a
+//!   deterministic order and lets the caller rewrite its remaining route —
+//!   the hook en-route replanning ([`ReplanPolicy`]) is built on.
+//!
+//! ## En-route replanning
+//!
+//! [`ReplanPolicy::AtNextJunction`] lets vehicles already in the network
+//! divert around a road that closes mid-run: when a closure fires, the
+//! scenario engine rewrites the route of every upstream vehicle whose
+//! remaining journey would enter the closed road, using
+//! `utilbp-netgen`'s bounded-turn route enumeration from the first road
+//! the vehicle has not yet committed to. The committed prefix — every
+//! hop up to and including the vehicle's next crossing — is never
+//! touched, because the microscopic substrate binds a vehicle's current
+//! lane (and a crossing vehicle's destination lane) to that movement.
+//! Replanning happens in the serial event-application phase and draws no
+//! randomness, so Serial/Rayon bit-identity is preserved; with
+//! [`ReplanPolicy::Off`] (the default) no route is ever rewritten and all
+//! fixed-seed results are unchanged.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::sync::Arc;
+
+use serde::{Deserialize, Serialize};
+use utilbp_core::{IncomingId, PhaseDecision, SignalController};
+use utilbp_metrics::WaitingLedger;
+use utilbp_microsim::{MicroSim, MicroSimConfig, PhaseTimings};
+use utilbp_netgen::{Arrival, IntersectionId, NetworkTopology, RoadId, Route};
+use utilbp_queueing::{QueueSim, QueueSimConfig};
+
+/// Which simulation substrate drives the plant.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Backend {
+    /// The mesoscopic queueing-network simulator (`utilbp-queueing`) —
+    /// fast, exactly the paper's Section II model.
+    Queueing,
+    /// The microscopic simulator (`utilbp-microsim`) — the SUMO
+    /// substitute used for the headline results.
+    Microscopic,
+}
+
+impl Backend {
+    /// Both substrates, queueing first.
+    pub const ALL: [Backend; 2] = [Backend::Queueing, Backend::Microscopic];
+
+    /// The backend's canonical lowercase name (what [`Display`] prints
+    /// and what tables/JSON rows record).
+    ///
+    /// [`Display`]: std::fmt::Display
+    pub fn name(self) -> &'static str {
+        match self {
+            Backend::Queueing => "queueing",
+            Backend::Microscopic => "microscopic",
+        }
+    }
+}
+
+impl std::fmt::Display for Backend {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// How vehicles already en route react to a road closing mid-run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum ReplanPolicy {
+    /// Routes are fixed at entry: a journey through a road that closes
+    /// later queues upstream until the reopening (the congestion
+    /// spill-back the adaptive controllers must absorb).
+    #[default]
+    Off,
+    /// When a closure fires, every vehicle whose remaining route would
+    /// enter the closed road diverts at the next junction it has not yet
+    /// committed to, via bounded-turn route enumeration over the open
+    /// network. Vehicles with no open detour (or already committed to
+    /// enter the closed road) keep their route and wait, as under
+    /// [`ReplanPolicy::Off`].
+    AtNextJunction,
+}
+
+impl std::fmt::Display for ReplanPolicy {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ReplanPolicy::Off => f.write_str("off"),
+            ReplanPolicy::AtNextJunction => f.write_str("at-next-junction"),
+        }
+    }
+}
+
+/// Reusable per-tick report scratch for whichever substrate is active.
+/// Holding both report types costs a few empty `Vec`s and keeps
+/// [`TrafficSubstrate::step_into`] allocation-free for every caller,
+/// whichever backend is behind the trait object.
+#[derive(Debug, Clone)]
+pub struct SubstrateScratch {
+    /// The queueing substrate's step report.
+    pub queueing: utilbp_queueing::StepReport,
+    /// The microscopic substrate's step report.
+    pub micro: utilbp_microsim::StepReport,
+}
+
+impl SubstrateScratch {
+    /// Empty scratch, ready to be reused across ticks.
+    pub fn new() -> Self {
+        SubstrateScratch {
+            queueing: utilbp_queueing::StepReport::empty(),
+            micro: utilbp_microsim::StepReport::empty(),
+        }
+    }
+}
+
+impl Default for SubstrateScratch {
+    fn default() -> Self {
+        SubstrateScratch::new()
+    }
+}
+
+/// The plant interface both simulators implement — see the crate docs for
+/// the cross-substrate contract (determinism, closure semantics, waiting
+/// accounting) every implementation upholds.
+pub trait TrafficSubstrate {
+    /// Which backend this substrate is.
+    fn backend(&self) -> Backend;
+
+    /// Simulates one mini-slot, draining `arrivals` (produced for this
+    /// tick by a demand generator) and reusing `scratch`'s buffers.
+    /// Returns the per-intersection decisions of the tick, borrowed from
+    /// the scratch.
+    fn step_into<'a>(
+        &mut self,
+        arrivals: &mut Vec<Arrival>,
+        scratch: &'a mut SubstrateScratch,
+    ) -> &'a [PhaseDecision];
+
+    /// [`step_into`](Self::step_into) with per-phase wall-clock
+    /// attribution added to `timings`. Substrates without phase
+    /// instrumentation (the queueing model's step is a single phase)
+    /// leave `timings` untouched.
+    fn step_into_timed<'a>(
+        &mut self,
+        arrivals: &mut Vec<Arrival>,
+        scratch: &'a mut SubstrateScratch,
+        timings: &mut PhaseTimings,
+    ) -> &'a [PhaseDecision];
+
+    /// Closes or reopens a road (a disruption event); see the crate docs
+    /// for the closure semantics.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `road` is out of range.
+    fn set_road_closed(&mut self, road: RoadId, closed: bool);
+
+    /// Whether `road` is currently closed to entering traffic.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `road` is out of range.
+    fn road_closed(&self, road: RoadId) -> bool;
+
+    /// Vehicles currently on `road` (including, for the microscopic
+    /// substrate, inbound junction-box reservations).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `road` is out of range.
+    fn road_occupancy(&self, road: RoadId) -> u32;
+
+    /// Cumulative count of vehicles that have entered `road` since the
+    /// start (boundary insertions plus junction transfers).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `road` is out of range.
+    fn road_entered(&self, road: RoadId) -> u64;
+
+    /// The per-movement queue sensor `q_i^{i'}` a controller observes for
+    /// `link` at `intersection`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the ids are out of range.
+    fn movement_queue_len(&self, intersection: IntersectionId, link: utilbp_core::LinkId) -> u32;
+
+    /// Total sensed queue `q_i` (Eq. 1) at an incoming arm — the paper's
+    /// Fig. 5 quantity.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the ids are out of range.
+    fn incoming_queue_len(&self, intersection: IntersectionId, arm: IncomingId) -> u32;
+
+    /// Vehicles waiting outside full or closed boundary entries.
+    fn backlog_len(&self) -> usize;
+
+    /// Per-vehicle journey accounting over completed vehicles.
+    fn ledger(&self) -> &WaitingLedger;
+
+    /// Mean waiting ticks per vehicle including vehicles still in the
+    /// network and backlogged outside it — the paper's "average queuing
+    /// time of a vehicle", folded from the live accumulators at query
+    /// time.
+    fn mean_waiting_including_active(&self) -> f64;
+
+    /// Visits every vehicle that still has junction crossings ahead of it
+    /// (on-road, queued, in transit, in a junction box, or backlogged
+    /// outside an entry), in a deterministic substrate-defined order, and
+    /// lets `replan` rewrite its route. The callback receives the
+    /// vehicle's current route and the number of leading hops that are
+    /// **committed** (the vehicle's lane or queue is already bound to
+    /// them); a returned replacement must preserve exactly that prefix
+    /// and keep the same entry road. Returns the number of vehicles whose
+    /// route was rewritten. Draws no randomness.
+    fn replan_routes(&mut self, replan: &mut dyn FnMut(&Route, usize) -> Option<Arc<Route>>)
+        -> u64;
+}
+
+impl TrafficSubstrate for QueueSim {
+    fn backend(&self) -> Backend {
+        Backend::Queueing
+    }
+
+    fn step_into<'a>(
+        &mut self,
+        arrivals: &mut Vec<Arrival>,
+        scratch: &'a mut SubstrateScratch,
+    ) -> &'a [PhaseDecision] {
+        QueueSim::step_into(self, arrivals, &mut scratch.queueing);
+        &scratch.queueing.decisions
+    }
+
+    fn step_into_timed<'a>(
+        &mut self,
+        arrivals: &mut Vec<Arrival>,
+        scratch: &'a mut SubstrateScratch,
+        _timings: &mut PhaseTimings,
+    ) -> &'a [PhaseDecision] {
+        // The queueing step is one phase; there is nothing to attribute.
+        QueueSim::step_into(self, arrivals, &mut scratch.queueing);
+        &scratch.queueing.decisions
+    }
+
+    fn set_road_closed(&mut self, road: RoadId, closed: bool) {
+        QueueSim::set_road_closed(self, road, closed);
+    }
+
+    fn road_closed(&self, road: RoadId) -> bool {
+        QueueSim::road_closed(self, road)
+    }
+
+    fn road_occupancy(&self, road: RoadId) -> u32 {
+        QueueSim::road_occupancy(self, road)
+    }
+
+    fn road_entered(&self, road: RoadId) -> u64 {
+        QueueSim::road_entered(self, road)
+    }
+
+    fn movement_queue_len(&self, intersection: IntersectionId, link: utilbp_core::LinkId) -> u32 {
+        QueueSim::movement_queue_len(self, intersection, link)
+    }
+
+    fn incoming_queue_len(&self, intersection: IntersectionId, arm: IncomingId) -> u32 {
+        QueueSim::incoming_queue_len(self, intersection, arm)
+    }
+
+    fn backlog_len(&self) -> usize {
+        QueueSim::backlog_len(self)
+    }
+
+    fn ledger(&self) -> &WaitingLedger {
+        QueueSim::ledger(self)
+    }
+
+    fn mean_waiting_including_active(&self) -> f64 {
+        QueueSim::mean_waiting_including_active(self)
+    }
+
+    fn replan_routes(
+        &mut self,
+        replan: &mut dyn FnMut(&Route, usize) -> Option<Arc<Route>>,
+    ) -> u64 {
+        QueueSim::replan_routes(self, replan)
+    }
+}
+
+impl TrafficSubstrate for MicroSim {
+    fn backend(&self) -> Backend {
+        Backend::Microscopic
+    }
+
+    fn step_into<'a>(
+        &mut self,
+        arrivals: &mut Vec<Arrival>,
+        scratch: &'a mut SubstrateScratch,
+    ) -> &'a [PhaseDecision] {
+        MicroSim::step_into(self, arrivals, &mut scratch.micro);
+        &scratch.micro.decisions
+    }
+
+    fn step_into_timed<'a>(
+        &mut self,
+        arrivals: &mut Vec<Arrival>,
+        scratch: &'a mut SubstrateScratch,
+        timings: &mut PhaseTimings,
+    ) -> &'a [PhaseDecision] {
+        MicroSim::step_into_timed(self, arrivals, &mut scratch.micro, timings);
+        &scratch.micro.decisions
+    }
+
+    fn set_road_closed(&mut self, road: RoadId, closed: bool) {
+        MicroSim::set_road_closed(self, road, closed);
+    }
+
+    fn road_closed(&self, road: RoadId) -> bool {
+        MicroSim::road_closed(self, road)
+    }
+
+    fn road_occupancy(&self, road: RoadId) -> u32 {
+        MicroSim::road_occupancy(self, road)
+    }
+
+    fn road_entered(&self, road: RoadId) -> u64 {
+        MicroSim::road_entered(self, road)
+    }
+
+    fn movement_queue_len(&self, intersection: IntersectionId, link: utilbp_core::LinkId) -> u32 {
+        MicroSim::movement_queue_len(self, intersection, link)
+    }
+
+    fn incoming_queue_len(&self, intersection: IntersectionId, arm: IncomingId) -> u32 {
+        MicroSim::incoming_queue_len(self, intersection, arm)
+    }
+
+    fn backlog_len(&self) -> usize {
+        MicroSim::backlog_len(self)
+    }
+
+    fn ledger(&self) -> &WaitingLedger {
+        MicroSim::ledger(self)
+    }
+
+    fn mean_waiting_including_active(&self) -> f64 {
+        MicroSim::mean_waiting_including_active(self)
+    }
+
+    fn replan_routes(
+        &mut self,
+        replan: &mut dyn FnMut(&Route, usize) -> Option<Arc<Route>>,
+    ) -> u64 {
+        MicroSim::replan_routes(self, replan)
+    }
+}
+
+/// Builds the substrate for `backend` over `topology`, one controller per
+/// intersection.
+///
+/// `micro` supplies the full microscopic configuration; the queueing
+/// substrate derives its `Δt`, free-flow speed, and execution mode from
+/// it (on the paper-exact instant-transfer model), so both backends
+/// simulate the same physical setup under the same `Parallelism`. This is
+/// the one construction path every driver shares — the scenario engine,
+/// the experiments runner, and the perf harness all build through here.
+///
+/// # Panics
+///
+/// Panics if the controller count does not match the intersection count
+/// or the configuration is invalid (see [`QueueSim::new`] /
+/// [`MicroSim::new`]).
+pub fn build_substrate(
+    backend: Backend,
+    topology: NetworkTopology,
+    controllers: Vec<Box<dyn SignalController>>,
+    micro: MicroSimConfig,
+) -> Box<dyn TrafficSubstrate> {
+    match backend {
+        Backend::Queueing => Box::new(QueueSim::new(
+            topology,
+            controllers,
+            QueueSimConfig {
+                dt_seconds: micro.dt_seconds,
+                free_speed_mps: micro.free_speed_mps,
+                parallelism: micro.parallelism,
+                ..QueueSimConfig::paper_exact()
+            },
+        )),
+        Backend::Microscopic => Box::new(MicroSim::new(topology, controllers, micro)),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use utilbp_core::{Tick, UtilBp};
+    use utilbp_netgen::{GridNetwork, GridSpec, Network, Pattern};
+
+    fn controllers(n: usize) -> Vec<Box<dyn SignalController>> {
+        (0..n)
+            .map(|_| Box::new(UtilBp::paper()) as Box<dyn SignalController>)
+            .collect()
+    }
+
+    #[test]
+    fn both_backends_build_and_step_through_the_trait() {
+        let grid = GridNetwork::new(GridSpec::paper());
+        let net = Network::from_grid(&grid, Pattern::II);
+        for backend in Backend::ALL {
+            let n = grid.topology().num_intersections();
+            let mut substrate = build_substrate(
+                backend,
+                grid.topology().clone(),
+                controllers(n),
+                MicroSimConfig::default(),
+            );
+            assert_eq!(substrate.backend(), backend);
+            let mut demand = utilbp_netgen::DemandGenerator::new(
+                &grid,
+                utilbp_netgen::DemandConfig::new(utilbp_netgen::DemandSchedule::constant(
+                    Pattern::II,
+                    utilbp_core::Ticks::new(200),
+                )),
+                7,
+            );
+            let mut arrivals = Vec::new();
+            let mut scratch = SubstrateScratch::new();
+            for k in 0..200u64 {
+                arrivals.clear();
+                demand.poll_into(&grid, Tick::new(k), &mut arrivals);
+                let decisions = substrate.step_into(&mut arrivals, &mut scratch);
+                assert_eq!(decisions.len(), n);
+                assert!(arrivals.is_empty(), "step must drain the arrivals");
+            }
+            assert!(substrate.ledger().completed() > 0, "{backend}");
+            assert!(substrate.mean_waiting_including_active() >= 0.0);
+            // Entered counters: every road entry shows cumulative traffic.
+            let total_entered: u64 = net
+                .topology()
+                .road_ids()
+                .map(|r| substrate.road_entered(r))
+                .sum();
+            assert!(total_entered > 0, "{backend}: entered counters track");
+            // Closure round-trips through the trait.
+            let internal = net
+                .topology()
+                .road_ids()
+                .find(|&r| net.topology().road(r).is_internal())
+                .unwrap();
+            substrate.set_road_closed(internal, true);
+            assert!(substrate.road_closed(internal));
+            substrate.set_road_closed(internal, false);
+            assert!(!substrate.road_closed(internal));
+        }
+    }
+
+    #[test]
+    fn replan_walk_reports_committed_prefixes() {
+        // Every visited vehicle must present a committed prefix that is
+        // consistent with its route (at least the next crossing when in
+        // the network, nothing when backlogged), and a `None`-returning
+        // callback must rewrite nobody.
+        let grid = GridNetwork::new(GridSpec::paper());
+        for backend in Backend::ALL {
+            let n = grid.topology().num_intersections();
+            let mut substrate = build_substrate(
+                backend,
+                grid.topology().clone(),
+                controllers(n),
+                MicroSimConfig::default(),
+            );
+            let mut demand = utilbp_netgen::DemandGenerator::new(
+                &grid,
+                utilbp_netgen::DemandConfig::new(utilbp_netgen::DemandSchedule::constant(
+                    Pattern::II,
+                    utilbp_core::Ticks::new(150),
+                )),
+                9,
+            );
+            let mut arrivals = Vec::new();
+            let mut scratch = SubstrateScratch::new();
+            for k in 0..150u64 {
+                arrivals.clear();
+                demand.poll_into(&grid, Tick::new(k), &mut arrivals);
+                substrate.step_into(&mut arrivals, &mut scratch);
+            }
+            let mut visited = 0u64;
+            let rewritten = substrate.replan_routes(&mut |route, fixed| {
+                visited += 1;
+                assert!(fixed <= route.len() + 1, "{backend}: prefix out of range");
+                None
+            });
+            assert_eq!(rewritten, 0);
+            assert!(visited > 0, "{backend}: a loaded network has vehicles");
+        }
+    }
+}

@@ -18,10 +18,45 @@
 //! | [`baselines`] | `utilbp-baselines` | CAP-BP, original BP, fixed-time, greedy, fixed-length ablation |
 //! | [`queueing`] | `utilbp-queueing` | Mesoscopic store-and-forward network simulator (Eq. 2) |
 //! | [`microsim`] | `utilbp-microsim` | Microscopic simulator: Krauss car-following, dedicated lanes, ambers |
-//! | [`netgen`] | `utilbp-netgen` | 3×3 grid builder, Table I/II demand, routes |
+//! | [`netgen`] | `utilbp-netgen` | 3×3 grid builder, Table I/II demand, routes, en-route replanning |
 //! | [`metrics`] | `utilbp-metrics` | Waiting ledgers, time series, phase traces, rendering |
+//! | [`substrate`] | `utilbp-substrate` | The unified plant layer: one `TrafficSubstrate` trait over both simulators |
 //! | [`scenario`] | `utilbp-scenario` | Scenario files: topologies × demand profiles × disruption events |
 //! | [`experiments`] | `utilbp-experiments` | Fig. 2, Table III, Figs. 3–5, ablations, scenario sweeps |
+//!
+//! ## Substrate layer
+//!
+//! The paper's CPS framing separates the *control plane* (decentralized
+//! adaptive back-pressure signal decisions) from the *plant* (the road
+//! network). In this workspace the plant is a single trait —
+//! [`substrate::TrafficSubstrate`] — with two implementations:
+//! [`queueing::QueueSim`] (the paper's Section II store-and-forward
+//! model, exact and fast) and [`microsim::MicroSim`] (the microscopic
+//! SUMO substitute). Every driver — the scenario engine, the experiments
+//! runner, the `scenarios` binary, the perf harness — builds a simulator
+//! through [`substrate::build_substrate`] and steps it through the trait;
+//! nothing above the substrate crate dispatches on the backend.
+//!
+//! The trait is a *contract*, not just an interface (the full statement
+//! lives in the `utilbp-substrate` crate docs):
+//!
+//! - **Determinism** — identical inputs give bit-identical metrics,
+//!   across repeats and across `Parallelism::{Serial, Rayon}` (sharded
+//!   phases use per-road RNG streams and no cross-shard state).
+//! - **Closure semantics** — `set_road_closed` stops traffic from
+//!   *entering* a road while on-road traffic drains; reopening restores
+//!   admission. Exit roads never close (validated at the scenario layer).
+//! - **Waiting accounting** — waiting accumulates per vehicle inside the
+//!   step path and is flushed to the ledger once at completion;
+//!   `mean_waiting_including_active` folds live accumulators (and
+//!   backlog dwell) at query time. Nothing scans the fleet per tick.
+//! - **Route-cursor access** — `replan_routes` walks every vehicle with
+//!   junctions still ahead in a deterministic order and lets the caller
+//!   rewrite its uncommitted route suffix. En-route replanning
+//!   ([`scenario::ReplanPolicy`]) is built on this: when a road closes
+//!   mid-run, [`netgen::Replanner`] diverts upstream vehicles via
+//!   bounded-turn route enumeration, drawing no randomness, so
+//!   replanning preserves the determinism guarantee.
 //!
 //! ## Quickstart
 //!
@@ -97,6 +132,13 @@ pub mod netgen {
 /// Measurement and reporting utilities (re-export of `utilbp-metrics`).
 pub mod metrics {
     pub use utilbp_metrics::*;
+}
+
+/// The unified plant layer: the `TrafficSubstrate` trait both simulators
+/// implement and the shared constructor every driver builds through
+/// (re-export of `utilbp-substrate`).
+pub mod substrate {
+    pub use utilbp_substrate::*;
 }
 
 /// Scenario descriptions and the engine that drives both substrates

@@ -5,7 +5,7 @@
 use adaptive_backpressure::core::{Parallelism, SignalController, Tick, Ticks, UtilBp};
 use adaptive_backpressure::scenario::{
     builtin, builtin_scenarios, parse_scenario, run_scenario, Backend, DemandProfile, EngineConfig,
-    ScenarioEngine, ScenarioEvent, ScenarioOutcome, ScenarioSpec, TopologySpec,
+    ReplanPolicy, ScenarioEngine, ScenarioEvent, ScenarioOutcome, ScenarioSpec, TopologySpec,
 };
 
 fn util_factory() -> impl Fn(usize) -> Box<dyn SignalController> {
@@ -28,11 +28,21 @@ fn incident_spec() -> ScenarioSpec {
     spec
 }
 
+/// The replanning incident scenario trimmed to a fast horizon that still
+/// covers the closure and the reopening.
+fn replan_spec() -> ScenarioSpec {
+    let mut spec = builtin("grid-incident-replan").expect("builtin exists");
+    assert_eq!(spec.replan, ReplanPolicy::AtNextJunction);
+    spec.horizon = Ticks::new(500);
+    spec
+}
+
 #[test]
 fn same_scenario_and_seed_is_bit_identical_across_parallelism_and_repeats() {
-    // Includes the closure/reopen scenario: events must not disturb
+    // Includes the closure/reopen scenarios — with and without en-route
+    // replanning: events and route rewriting must not disturb
     // determinism in either execution mode.
-    let specs = [incident_spec(), {
+    let specs = [incident_spec(), replan_spec(), {
         let mut s = builtin("ring-pulse").expect("builtin exists");
         s.horizon = Ticks::new(300);
         s
@@ -124,6 +134,104 @@ fn closure_blocks_the_road_and_demand_reroutes_around_it() {
 }
 
 #[test]
+fn replanning_diverts_upstream_vehicles_onto_detour_roads() {
+    let spec = replan_spec();
+    let (closed_road, close_at, reopen_at) = {
+        let mut close = None;
+        let mut reopen = None;
+        for e in &spec.events {
+            match *e {
+                ScenarioEvent::CloseRoad { road, at } => close = Some((road, at)),
+                ScenarioEvent::ReopenRoad { at, .. } => reopen = Some(at),
+                _ => {}
+            }
+        }
+        let (road, at) = close.expect("incident closes a road");
+        (road, at, reopen.expect("incident reopens the road"))
+    };
+
+    for backend in Backend::ALL {
+        let mut engine =
+            ScenarioEngine::new(spec.clone(), EngineConfig::new(backend), &util_factory())
+                .expect("spec validates");
+        while engine.now() < close_at {
+            engine.step();
+        }
+        assert_eq!(
+            engine.vehicles_diverted(),
+            0,
+            "{backend}: nothing diverts early"
+        );
+        // Step across the closure event.
+        engine.step();
+        let diverted = engine.vehicles_diverted();
+        assert!(
+            diverted > 0,
+            "{backend}: a loaded grid must have upstream vehicles to divert"
+        );
+        let detours: Vec<_> = engine.detour_roads().to_vec();
+        assert!(
+            !detours.is_empty(),
+            "{backend}: diversions add detour roads"
+        );
+        assert!(
+            !detours.contains(&closed_road),
+            "{backend}: the closed road is never a detour"
+        );
+        let entered_before: Vec<u64> = detours.iter().map(|&r| engine.road_entered(r)).collect();
+
+        // Run out the closure window: the diverted vehicles must actually
+        // land on their detour roads, and the closed road must drain and
+        // stay empty.
+        let mut drained = false;
+        let mut reentered = false;
+        while engine.now() < reopen_at {
+            engine.step();
+            let occ = engine.road_occupancy(closed_road);
+            reentered |= drained && occ > 0;
+            drained |= occ == 0;
+        }
+        assert!(drained, "{backend}: the closed road must drain");
+        assert!(!reentered, "{backend}: nothing re-enters a closed road");
+        let landings: u64 = detours
+            .iter()
+            .zip(&entered_before)
+            .map(|(&r, &before)| engine.road_entered(r) - before)
+            .sum();
+        assert!(
+            landings > 0,
+            "{backend}: diverted vehicles must land on detour roads"
+        );
+        // No diversions fire after the single closure event.
+        assert_eq!(engine.vehicles_diverted(), diverted, "{backend}");
+    }
+}
+
+#[test]
+fn replanning_off_and_on_agree_until_the_closure() {
+    // The same incident timeline with replanning off (`grid-incident`
+    // uses reopen=400, so compare against a copy of the replan spec with
+    // the policy switched off): identical demand stream, identical
+    // everything — except the diverted counter and the post-closure
+    // traffic pattern.
+    let on = replan_spec();
+    let mut off = on.clone();
+    off.replan = ReplanPolicy::Off;
+    for backend in Backend::ALL {
+        let outcome_on =
+            run_scenario(on.clone(), EngineConfig::new(backend), &util_factory()).unwrap();
+        let outcome_off =
+            run_scenario(off.clone(), EngineConfig::new(backend), &util_factory()).unwrap();
+        assert!(outcome_on.diverted > 0, "{backend}");
+        assert_eq!(outcome_off.diverted, 0, "{backend}");
+        // Demand generation is upstream of replanning: both runs see the
+        // same arrival process.
+        assert_eq!(outcome_on.generated, outcome_off.generated, "{backend}");
+        assert_eq!(outcome_on.suppressed, outcome_off.suppressed, "{backend}");
+    }
+}
+
+#[test]
 fn surge_and_fault_scenarios_stay_deterministic_with_events_applied() {
     let spec = ScenarioSpec {
         name: "events-determinism".to_string(),
@@ -152,6 +260,7 @@ fn surge_and_fault_scenarios_stay_deterministic_with_events_applied() {
                 until: Tick::new(220),
             },
         ],
+        replan: ReplanPolicy::Off,
     };
     for backend in Backend::ALL {
         let a = run(&spec, backend, Parallelism::Serial);
@@ -163,7 +272,7 @@ fn surge_and_fault_scenarios_stay_deterministic_with_events_applied() {
 #[test]
 fn builtin_library_meets_the_coverage_floor() {
     let all = builtin_scenarios();
-    assert!(all.len() >= 6);
+    assert!(all.len() >= 7);
     let non_grid = all
         .iter()
         .filter(|s| !matches!(s.topology, TopologySpec::Grid { .. }))
@@ -172,4 +281,7 @@ fn builtin_library_meets_the_coverage_floor() {
     assert!(all.iter().filter(|s| s.demand.is_time_varying()).count() >= 2);
     assert!(all.iter().any(|s| s.has_closures()));
     assert!(all.iter().any(|s| s.sensor_fault().is_some()));
+    assert!(all
+        .iter()
+        .any(|s| s.replan == ReplanPolicy::AtNextJunction && s.has_closures()));
 }
