@@ -6,10 +6,11 @@
 //! (`cargo run --release -p utilbp-bench --bin sim_throughput`).
 //!
 //! Workloads: square grids (3×3 … 20×20, Pattern I demand) plus
-//! scenario-driven rows (the built-in `arterial-rush-hour` and
-//! `grid-incident-replan` scenarios stepped through `ScenarioEngine`, so
-//! demand scheduling, event dispatch, and — for the incident row — the
-//! en-route replanning path are inside the measured run). Every
+//! scenario-driven rows (the built-in `arterial-rush-hour`,
+//! `grid-incident-replan`, and `grid-congestion-replan` scenarios stepped
+//! through `ScenarioEngine`, so demand scheduling, event dispatch, and —
+//! for the replanning rows — the closure-diversion and periodic
+//! congestion-replanning paths are inside the measured run). Every
 //! simulator is built through `utilbp-substrate`'s shared constructor
 //! and stepped through the `TrafficSubstrate` trait, exactly like the
 //! production drivers. Microscopic grid rows also record a per-phase
@@ -31,6 +32,7 @@
 
 use std::time::Instant;
 
+use utilbp_bench::trajectory::{append_run, render_run, Measurement};
 use utilbp_core::{Parallelism, SignalController, Tick, Ticks, UtilBp};
 use utilbp_microsim::{MicroSimConfig, PhaseTimings};
 use utilbp_netgen::{
@@ -45,24 +47,6 @@ fn controllers(n: usize) -> Vec<Box<dyn SignalController>> {
     (0..n)
         .map(|_| Box::new(UtilBp::paper()) as Box<dyn SignalController>)
         .collect()
-}
-
-struct Measurement {
-    substrate: &'static str,
-    /// Workload label: "5x5" for grids, the scenario name otherwise.
-    workload: String,
-    mode: Parallelism,
-    ticks: u64,
-    seconds: f64,
-    /// Per-phase breakdown (microscopic rows only), from one extra timed
-    /// rep — fractions of that rep's step time.
-    phases: Option<PhaseTimings>,
-}
-
-impl Measurement {
-    fn ticks_per_sec(&self) -> f64 {
-        self.ticks as f64 / self.seconds
-    }
 }
 
 fn demand(grid: &GridNetwork) -> DemandGenerator {
@@ -178,102 +162,6 @@ fn measure_scenario(name: &str, backend: Backend, ticks: u64, reps: u32) -> Meas
     }
 }
 
-fn mode_name(mode: Parallelism) -> &'static str {
-    match mode {
-        Parallelism::Serial => "serial",
-        Parallelism::Rayon => "rayon",
-    }
-}
-
-/// Keeps an operator-supplied string JSON-safe inside the hand-rolled
-/// output (quotes, backslashes, and control characters would corrupt the
-/// whole trajectory file).
-fn sanitize(label: &str) -> String {
-    label
-        .chars()
-        .filter(|c| !c.is_control() && *c != '"' && *c != '\\')
-        .collect()
-}
-
-/// Renders one run object (protocol + results), `indent` spaces deep.
-fn render_run(results: &[Measurement], reps: u32, label: &str) -> String {
-    let mut s = String::new();
-    s.push_str("    {\n");
-    s.push_str(&format!(
-        "      \"protocol\": {{\"label\": \"{}\", \"warmup_ticks\": {WARMUP_TICKS}, \"controller\": \"util-bp\", \"pattern\": \"I\", \"seed\": 7, \"best_of_reps\": {reps}}},\n",
-        sanitize(label),
-    ));
-    s.push_str("      \"results\": [\n");
-    for (i, m) in results.iter().enumerate() {
-        s.push_str(&format!(
-            "        {{\"substrate\": \"{}\", \"grid\": \"{}\", \"mode\": \"{}\", \"measured_ticks\": {}, \"seconds\": {:.4}, \"ticks_per_sec\": {:.1}",
-            m.substrate,
-            m.workload,
-            mode_name(m.mode),
-            m.ticks,
-            m.seconds,
-            m.ticks_per_sec(),
-        ));
-        if let Some(p) = m.phases {
-            let total = p.total().max(f64::MIN_POSITIVE);
-            s.push_str(&format!(
-                ", \"phase_fractions\": {{\"decide\": {:.3}, \"car_following\": {:.3}, \"landings\": {:.3}, \"waiting\": {:.3}}}",
-                p.decide / total,
-                p.car_following / total,
-                p.landings / total,
-                p.waiting / total,
-            ));
-        }
-        s.push_str(if i + 1 == results.len() {
-            "}\n"
-        } else {
-            "},\n"
-        });
-    }
-    s.push_str("      ]\n    }");
-    s
-}
-
-/// Appends `new_run` to the `runs` array of an existing benchmark file,
-/// migrating the pre-`runs` flat format (a single `protocol`/`results`
-/// object) to `runs[0]`. Returns the full new file contents.
-fn append_run(existing: Option<String>, new_run: &str) -> String {
-    let header = "{\n  \"benchmark\": \"sim_throughput\",\n  \"unit\": \"ticks_per_second\",\n  \"runs\": [\n";
-    let footer = "\n  ]\n}\n";
-    if let Some(text) = existing {
-        if let Some(end) = text.rfind("\n  ]\n}") {
-            if text.contains("\"runs\": [") {
-                // Already the runs format: splice before the closing `]`.
-                return format!("{},\n{new_run}{footer}", &text[..end]);
-            }
-        }
-        if let (Some(proto_start), Some(res_start)) =
-            (text.find("\"protocol\": "), text.find("\"results\": [\n"))
-        {
-            // Flat single-run format: lift protocol + rows into runs[0].
-            let proto_end = text[proto_start..].find('\n').map(|o| proto_start + o);
-            let res_body_start = res_start + "\"results\": [\n".len();
-            let res_end = text[res_body_start..]
-                .find("\n  ]")
-                .map(|o| res_body_start + o);
-            if let (Some(proto_end), Some(res_end)) = (proto_end, res_end) {
-                let protocol = text[proto_start..proto_end].trim_end_matches(',');
-                let rows: String = text[res_body_start..res_end]
-                    .lines()
-                    .map(|l| format!("    {l}\n"))
-                    .collect();
-                let migrated = format!(
-                    "    {{\n      {protocol},\n      \"results\": [\n{}      ]\n    }}",
-                    rows
-                );
-                return format!("{header}{migrated},\n{new_run}{footer}");
-            }
-        }
-        eprintln!("warning: could not parse existing benchmark file; starting a fresh trajectory");
-    }
-    format!("{header}{new_run}{footer}")
-}
-
 fn main() {
     let tick_override = std::env::var("BENCH_TICKS")
         .ok()
@@ -310,7 +198,7 @@ fn main() {
             );
             eprintln!(
                 "queueing    {size:>2}x{size:<2} {:>6}: {:>10.1} ticks/s",
-                mode_name(mode),
+                utilbp_bench::trajectory::mode_name(mode),
                 q.ticks_per_sec()
             );
             results.push(q);
@@ -323,16 +211,23 @@ fn main() {
             );
             eprintln!(
                 "microscopic {size:>2}x{size:<2} {:>6}: {:>10.1} ticks/s",
-                mode_name(mode),
+                utilbp_bench::trajectory::mode_name(mode),
                 m.ticks_per_sec()
             );
             results.push(m);
         }
     }
-    // `grid-incident-replan` keeps the replanning machinery in the
-    // measured path: the closure fires during warm-up, so the measured
-    // window steps a network whose traffic was diverted en route.
-    for scenario_name in ["arterial-rush-hour", "grid-incident-replan"] {
+    // `grid-incident-replan` keeps the closure-replanning machinery in
+    // the measured path (the closure fires during warm-up, so the
+    // measured window steps a network whose traffic was diverted en
+    // route); `grid-congestion-replan` keeps the periodic
+    // congestion-monitor path in it (each period snapshots occupancy and
+    // replans around congested roads mid-measurement).
+    for scenario_name in [
+        "arterial-rush-hour",
+        "grid-incident-replan",
+        "grid-congestion-replan",
+    ] {
         for backend in [Backend::Queueing, Backend::Microscopic] {
             let ticks = tick_override.unwrap_or(match backend {
                 Backend::Queueing => 2000,
@@ -348,7 +243,7 @@ fn main() {
         }
     }
 
-    let new_run = render_run(&results, reps, &label);
+    let new_run = render_run(&results, WARMUP_TICKS, reps, &label);
     let existing = std::fs::read_to_string(&out_path).ok();
     let json = append_run(existing, &new_run);
     std::fs::write(&out_path, &json).expect("write benchmark JSON");

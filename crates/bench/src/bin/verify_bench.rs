@@ -1,0 +1,36 @@
+//! CI gate for the `sim_throughput` perf-trajectory JSON.
+//!
+//! ```text
+//! verify_bench <trajectory.json> <expected-label>...
+//! ```
+//!
+//! Exits non-zero (with the violated invariant on stderr) unless the file
+//! passes [`utilbp_bench::trajectory::verify_trajectory`]: the run labels
+//! match the expected sequence exactly, the newest run carries every
+//! required workload row (both replanning scenarios on both substrates),
+//! and a per-phase breakdown is present. The same checks run locally via
+//! `cargo test -p utilbp-bench`.
+
+use utilbp_bench::trajectory::verify_trajectory;
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let path = args.next().unwrap_or_else(|| {
+        eprintln!("usage: verify_bench <trajectory.json> <expected-label>...");
+        std::process::exit(2);
+    });
+    let expected: Vec<String> = args.collect();
+    assert!(
+        !expected.is_empty(),
+        "pass the expected run labels in order"
+    );
+    let text = std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("cannot read {path}: {e}"));
+    let labels: Vec<&str> = expected.iter().map(String::as_str).collect();
+    match verify_trajectory(&text, &labels) {
+        Ok(()) => println!("{path}: trajectory invariants hold ({} runs)", labels.len()),
+        Err(e) => {
+            eprintln!("{path}: {e}");
+            std::process::exit(1);
+        }
+    }
+}

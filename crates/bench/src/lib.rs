@@ -18,9 +18,17 @@
 //! pattern hours) so `cargo bench` finishes in minutes; set `UTILBP_FULL=1`
 //! for the paper's full 1-hour/4-hour horizons, and see
 //! [`bench_options`] for the exact policy.
+//!
+//! The plain `sim_throughput` *binary* (no Criterion) writes the
+//! machine-readable perf trajectory; its JSON rendering and the
+//! structural invariants CI checks on it live in [`trajectory`] (shared
+//! with the `verify_bench` binary, and unit-tested so the invariants run
+//! locally via `cargo test -p utilbp-bench`).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+
+pub mod trajectory;
 
 use utilbp_core::Ticks;
 use utilbp_experiments::ExperimentOptions;

@@ -5,11 +5,17 @@
 //! scenarios                    # the whole built-in library, both backends
 //! scenarios --smoke            # one small built-in per backend (CI smoke)
 //! scenarios --builtin NAME ... # selected built-ins by name
+//! scenarios --parallelism rayon # run the sharded sim phases on the pool
 //! scenarios file.scn ...       # scenario files in the text format
 //! ```
 //!
 //! Env: `UTILBP_QUICK=1` caps every horizon at 300 ticks.
+//!
+//! Results are bit-identical across `--parallelism` modes and
+//! `RAYON_NUM_THREADS` settings (the substrate determinism contract); the
+//! CI determinism matrix diffs this binary's output across thread counts.
 
+use utilbp_core::Parallelism;
 use utilbp_experiments::{scenario_comparison, Backend, ControllerKind};
 use utilbp_scenario::{builtin, builtin_scenarios, parse_scenario, ScenarioSpec};
 
@@ -18,6 +24,7 @@ fn main() {
     let smoke = args.iter().any(|a| a == "--smoke");
     let mut files: Vec<&String> = Vec::new();
     let mut builtins: Vec<ScenarioSpec> = Vec::new();
+    let mut parallelism = Parallelism::Serial;
     let mut iter = args.iter();
     while let Some(arg) = iter.next() {
         match arg.as_str() {
@@ -26,6 +33,17 @@ fn main() {
                 let name = iter.next().expect("--builtin needs a scenario name");
                 builtins
                     .push(builtin(name).unwrap_or_else(|| panic!("no built-in scenario `{name}`")));
+            }
+            "--parallelism" => {
+                parallelism = match iter
+                    .next()
+                    .expect("--parallelism needs serial|rayon")
+                    .as_str()
+                {
+                    "serial" => Parallelism::Serial,
+                    "rayon" => Parallelism::Rayon,
+                    other => panic!("unknown parallelism `{other}` (serial|rayon)"),
+                };
             }
             other if other.starts_with("--") => panic!("unknown flag `{other}`"),
             _ => files.push(arg),
@@ -79,7 +97,7 @@ fn main() {
         backends.len(),
         controllers.len()
     );
-    let comparison = scenario_comparison(&specs, &backends, &controllers, horizon_cap);
+    let comparison = scenario_comparison(&specs, &backends, &controllers, horizon_cap, parallelism);
     assert!(
         !comparison.rows.is_empty(),
         "scenario sweep produced no rows"

@@ -1,6 +1,7 @@
 //! Scenario sweeps: run scenario specs across controllers on both
 //! substrates and render a comparison table.
 
+use utilbp_core::Parallelism;
 use utilbp_metrics::TextTable;
 use utilbp_scenario::{run_scenario, EngineConfig, ScenarioOutcome, ScenarioSpec};
 
@@ -55,10 +56,17 @@ impl ScenarioComparison {
                 row.backend.to_string(),
             ];
             for outcome in &row.outcomes {
-                cells.push(format!(
+                let mut cell = format!(
                     "{:.1}s ({}/{})",
                     outcome.avg_queuing_time_s, outcome.completed, outcome.generated
-                ));
+                );
+                // Routing-response counters, when the scenario has any:
+                // the determinism matrix diffs these tables byte-for-byte,
+                // so the replanning machinery is covered by the diff.
+                if outcome.diverted > 0 || outcome.restored > 0 {
+                    cell.push_str(&format!(" d{} r{}", outcome.diverted, outcome.restored));
+                }
+                cells.push(cell);
             }
             table.push_row(cells);
         }
@@ -72,6 +80,10 @@ impl ScenarioComparison {
 ///
 /// `horizon_cap` trims each scenario's horizon (quick/CI runs); closure
 /// and fault events past a trimmed horizon are dropped with the trim.
+/// `parallelism` selects the execution mode of each simulation's sharded
+/// phases — results are bit-identical across modes (the substrate
+/// determinism contract), which the CI determinism matrix checks by
+/// diffing rendered tables across `RAYON_NUM_THREADS` settings.
 ///
 /// # Panics
 ///
@@ -82,6 +94,7 @@ pub fn scenario_comparison(
     backends: &[Backend],
     controllers: &[ControllerKind],
     horizon_cap: Option<u64>,
+    parallelism: Parallelism,
 ) -> ScenarioComparison {
     let mut jobs: Vec<(ScenarioSpec, Backend)> = Vec::new();
     for spec in specs {
@@ -106,10 +119,12 @@ pub fn scenario_comparison(
                     let outcomes: Vec<ScenarioOutcome> = controllers
                         .iter()
                         .map(|kind| {
-                            run_scenario(spec.clone(), EngineConfig::new(*backend), &|_| {
-                                kind.build()
-                            })
-                            .unwrap_or_else(|e| panic!("scenario {}: {e}", spec.name))
+                            let config = EngineConfig {
+                                parallelism,
+                                ..EngineConfig::new(*backend)
+                            };
+                            run_scenario(spec.clone(), config, &|_| kind.build())
+                                .unwrap_or_else(|e| panic!("scenario {}: {e}", spec.name))
                         })
                         .collect();
                     ScenarioRow {
@@ -151,6 +166,7 @@ mod tests {
                 ControllerKind::FixedTime { period: 20 },
             ],
             Some(150),
+            Parallelism::Serial,
         );
         assert_eq!(comparison.rows.len(), 2);
         for row in &comparison.rows {
@@ -167,6 +183,24 @@ mod tests {
     }
 
     #[test]
+    fn replanning_counters_surface_in_the_rendered_table() {
+        let comparison = scenario_comparison(
+            &[builtin("grid-incident-recover").unwrap()],
+            &[Backend::Queueing],
+            &[ControllerKind::UtilBp],
+            Some(200),
+            Parallelism::Serial,
+        );
+        let rendered = comparison.render();
+        let outcome = &comparison.rows[0].outcomes[0];
+        assert!(outcome.diverted > 0 && outcome.restored > 0);
+        assert!(
+            rendered.contains(&format!("d{} r{}", outcome.diverted, outcome.restored)),
+            "diverted/restored counters render into the diffable table:\n{rendered}"
+        );
+    }
+
+    #[test]
     fn horizon_cap_trims_and_drops_late_closures() {
         let spec = builtin("grid-incident").unwrap();
         let comparison = scenario_comparison(
@@ -174,6 +208,7 @@ mod tests {
             &[Backend::Queueing],
             &[ControllerKind::UtilBp],
             Some(100),
+            Parallelism::Serial,
         );
         // Close at 150 is past the 100-tick cap, so the event is gone and
         // the run still validates.

@@ -107,7 +107,6 @@ impl VehicleArena {
     }
 
     /// The external id of a live slot.
-    #[cfg_attr(not(test), allow(dead_code))]
     pub fn id(&self, slot: u32) -> VehicleId {
         self.id[slot as usize]
     }

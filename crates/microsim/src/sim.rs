@@ -1285,7 +1285,7 @@ impl MicroSim {
     /// The walk order is deterministic: roads in index order (lanes in
     /// order, head to tail), then junction boxes in index order (box
     /// order), then backlogs in road order (FIFO). The callback receives
-    /// the vehicle's route and the number of committed leading hops —
+    /// the vehicle's id, its route, and the number of committed leading hops —
     /// `cursor + 1` for vehicles in the network, whose current lane (or,
     /// while crossing, destination lane) is bound to the cursor's
     /// movement, and `0` for backlogged vehicles that have not entered
@@ -1293,17 +1293,15 @@ impl MicroSim {
     /// lanes' cached link indices and the pending-reservation counters
     /// stay valid because the bound movement never changes. Returns the
     /// number of vehicles rewritten; draws no randomness.
-    pub fn replan_routes(
-        &mut self,
-        replan: &mut dyn FnMut(&Route, usize) -> Option<Arc<Route>>,
-    ) -> u64 {
+    pub fn replan_routes(&mut self, replan: &mut utilbp_netgen::RouteRewrite<'_>) -> u64 {
         let mut diverted = 0u64;
         for r in 0..self.roads.len() {
             for lane_idx in 0..self.roads[r].lanes.len() {
                 for i in 0..self.roads[r].lanes[lane_idx].len() {
                     let slot = self.roads[r].lanes[lane_idx].slot_at(i);
                     let fixed = self.arena.hop(slot) + 1;
-                    if let Some(route) = replan(self.arena.route(slot), fixed) {
+                    if let Some(route) = replan(self.arena.id(slot), self.arena.route(slot), fixed)
+                    {
                         self.arena.set_route(slot, route);
                         diverted += 1;
                     }
@@ -1314,7 +1312,7 @@ impl MicroSim {
             for c in 0..self.junctions[j].in_box.len() {
                 let slot = self.junctions[j].in_box[c].slot;
                 let fixed = self.arena.hop(slot) + 1;
-                if let Some(route) = replan(self.arena.route(slot), fixed) {
+                if let Some(route) = replan(self.arena.id(slot), self.arena.route(slot), fixed) {
                     self.arena.set_route(slot, route);
                     diverted += 1;
                 }
@@ -1322,13 +1320,21 @@ impl MicroSim {
         }
         for backlog in &mut self.backlogs {
             for entry in backlog.iter_mut() {
-                if let Some(route) = replan(&entry.route, 0) {
+                if let Some(route) = replan(entry.id, &entry.route, 0) {
                     entry.route = route;
                     diverted += 1;
                 }
             }
         }
         diverted
+    }
+
+    /// Fills `out` with every road's current occupancy, indexed by
+    /// [`RoadId`] (the `TrafficSubstrate` occupancy-snapshot contract).
+    /// O(roads) reads of the incrementally maintained counters.
+    pub fn occupancy_snapshot(&self, out: &mut Vec<u32>) {
+        out.clear();
+        out.extend(self.roads.iter().map(|r| r.occupancy));
     }
 }
 

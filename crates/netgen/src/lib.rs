@@ -59,7 +59,7 @@ pub use generators::{ArterialSpec, AsymmetricGridSpec, RingSpec};
 pub use grid::{EntryPoint, GridNetwork, GridPos, GridSpec, RouteChoice};
 pub use network::{enumerate_routes, NetEntry, Network, RouteOption};
 pub use patterns::{DemandSchedule, Pattern, TurningProbabilities};
-pub use replan::Replanner;
+pub use replan::{Replanner, RouteRewrite};
 pub use route::Route;
 pub use topology::{
     IntersectionId, IntersectionNode, NetworkTopology, NetworkTopologyBuilder, Road, RoadId,

@@ -832,22 +832,19 @@ impl QueueSim {
     /// The walk order is deterministic: movement queues in intersection /
     /// link / FIFO order, then transit delay lines in road / FIFO order,
     /// then backlogs in road / FIFO order. The callback receives the
-    /// vehicle's route and the number of committed leading hops —
+    /// vehicle's id, its route, and the number of committed leading hops —
     /// `hop + 1` for queued and in-transit vehicles, whose movement queue
     /// (and the incremental `transit_by_link` counter) is bound to the
     /// cursor's movement, and `0` for backlogged vehicles that have not
     /// entered yet. A returned replacement must preserve exactly that
     /// prefix. Returns the number of vehicles rewritten; draws no
     /// randomness.
-    pub fn replan_routes(
-        &mut self,
-        replan: &mut dyn FnMut(&Route, usize) -> Option<Arc<Route>>,
-    ) -> u64 {
+    pub fn replan_routes(&mut self, replan: &mut utilbp_netgen::RouteRewrite<'_>) -> u64 {
         let mut diverted = 0u64;
         for intersection in &mut self.intersections {
             for queue in &mut intersection.queues {
                 for v in queue.iter_mut() {
-                    if let Some(route) = replan(&v.route, v.hop + 1) {
+                    if let Some(route) = replan(v.id, &v.route, v.hop + 1) {
                         v.route = route;
                         diverted += 1;
                     }
@@ -860,21 +857,29 @@ impl QueueSim {
                 continue;
             }
             for v in road.transit.iter_mut() {
-                if let Some(route) = replan(&v.route, v.hop + 1) {
+                if let Some(route) = replan(v.id, &v.route, v.hop + 1) {
                     v.route = route;
                     diverted += 1;
                 }
             }
         }
         for backlog in &mut self.backlogs {
-            for (_, route, _) in backlog.iter_mut() {
-                if let Some(new_route) = replan(route, 0) {
+            for (id, route, _) in backlog.iter_mut() {
+                if let Some(new_route) = replan(*id, route, 0) {
                     *route = new_route;
                     diverted += 1;
                 }
             }
         }
         diverted
+    }
+
+    /// Fills `out` with every road's current occupancy, indexed by
+    /// [`RoadId`] (the `TrafficSubstrate` occupancy-snapshot contract).
+    /// O(roads) reads of the incrementally maintained counters.
+    pub fn occupancy_snapshot(&self, out: &mut Vec<u32>) {
+        out.clear();
+        out.extend(self.roads.iter().map(|r| r.occupancy));
     }
 
     /// Injects an exogenous arrival; returns `false` if it was backlogged.

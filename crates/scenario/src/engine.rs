@@ -3,14 +3,23 @@
 //!
 //! Both simulators are driven through the one plant interface of
 //! `utilbp-substrate` — the engine never dispatches on the backend. When
-//! the scenario enables [`ReplanPolicy::AtNextJunction`], a closure event
-//! additionally rewrites the routes of vehicles already en route via
-//! [`Replanner`] (see the substrate crate's docs for the replanning
-//! semantics and determinism contract).
+//! the scenario enables a routing-response policy, the engine rewrites
+//! the routes of vehicles already en route via [`Replanner`]: closure
+//! events divert threatened journeys, reopenings restore previously
+//! diverted vehicles onto strictly better open routes, and — under
+//! [`ReplanPolicy::Congestion`] — a periodic monitor diverts journeys
+//! headed into congested roads, with hysteresis preventing reroute
+//! oscillation (see the substrate crate's docs for the routing-response
+//! semantics and determinism contract). Periodic congestion checks are
+//! interleaved deterministically with the event timeline: each tick
+//! applies due events first, then the congestion check when one is due,
+//! then demand and the simulation step.
+
+use std::collections::HashSet;
 
 use utilbp_baselines::{FaultSwitch, FaultySensors};
 use utilbp_core::{Parallelism, SignalController, Tick};
-use utilbp_metrics::WaitingLedger;
+use utilbp_metrics::{VehicleId, WaitingLedger};
 use utilbp_microsim::MicroSimConfig;
 use utilbp_netgen::{Arrival, Network, Replanner, RoadId, TurningProbabilities};
 use utilbp_substrate::{build_substrate, SubstrateScratch, TrafficSubstrate};
@@ -63,6 +72,100 @@ enum Action {
     Faults(bool),
 }
 
+/// Floor for the congestion weight of an open, uncongested road: keeps a
+/// nearly-full (but below-threshold) road admissible rather than rounding
+/// its weight to zero.
+const MIN_OPEN_ROAD_WEIGHT: f64 = 0.05;
+
+/// The hysteresis-banded congested-road set behind
+/// [`ReplanPolicy::Congestion`].
+///
+/// A road *enters* the set when its occupancy/capacity ratio reaches
+/// `threshold` and *leaves* it only when the ratio falls below
+/// `threshold - hysteresis`. Occupancy hovering anywhere inside the band
+/// therefore never toggles the set — and since the engine only replans
+/// when the set is non-empty and a rerouted journey avoids every
+/// congested road, a stable set means zero reroute churn.
+///
+/// # Examples
+///
+/// ```
+/// use utilbp_scenario::CongestionMonitor;
+///
+/// let mut monitor = CongestionMonitor::new(0.8, 0.2, 1);
+/// assert!(!monitor.update(&[0.79]), "below threshold: clear");
+/// assert!(monitor.update(&[0.8]), "at threshold: congested");
+/// assert!(monitor.update(&[0.65]), "inside the band: still congested");
+/// assert!(!monitor.update(&[0.59]), "below the band: clear again");
+/// assert_eq!(monitor.transitions(), 2);
+/// ```
+#[derive(Debug, Clone)]
+pub struct CongestionMonitor {
+    threshold: f64,
+    hysteresis: f64,
+    congested: Vec<bool>,
+    transitions: u64,
+}
+
+impl CongestionMonitor {
+    /// A monitor over `num_roads` roads, all initially clear.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the parameters fail [`ReplanPolicy::validate`]'s rules
+    /// (positive finite threshold, hysteresis in `[0, threshold)`).
+    pub fn new(threshold: f64, hysteresis: f64, num_roads: usize) -> Self {
+        ReplanPolicy::Congestion {
+            period: 1,
+            threshold,
+            hysteresis,
+        }
+        .validate()
+        .expect("monitor parameters are valid");
+        CongestionMonitor {
+            threshold,
+            hysteresis,
+            congested: vec![false; num_roads],
+            transitions: 0,
+        }
+    }
+
+    /// Folds one snapshot of per-road occupancy/capacity ratios into the
+    /// set; returns whether any road is congested afterwards.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ratios` is not sized to the road count.
+    pub fn update(&mut self, ratios: &[f64]) -> bool {
+        assert_eq!(ratios.len(), self.congested.len(), "one ratio per road");
+        let mut any = false;
+        for (flag, &ratio) in self.congested.iter_mut().zip(ratios) {
+            let next = if *flag {
+                ratio >= self.threshold - self.hysteresis
+            } else {
+                ratio >= self.threshold
+            };
+            if next != *flag {
+                self.transitions += 1;
+                *flag = next;
+            }
+            any |= next;
+        }
+        any
+    }
+
+    /// The congested flag of every road, indexed by `RoadId`.
+    pub fn congested(&self) -> &[bool] {
+        &self.congested
+    }
+
+    /// Total per-road state flips since construction — the churn metric
+    /// hysteresis is there to bound.
+    pub fn transitions(&self) -> u64 {
+        self.transitions
+    }
+}
+
 /// The aggregate result of one scenario run.
 #[derive(Debug, Clone, PartialEq)]
 pub struct ScenarioOutcome {
@@ -74,9 +177,14 @@ pub struct ScenarioOutcome {
     pub generated: u64,
     /// Would-be arrivals suppressed by closures (no open route).
     pub suppressed: u64,
-    /// Vehicles already en route whose routes were rewritten around a
-    /// closure (0 unless the scenario enables replanning).
+    /// Vehicles already en route whose routes were rewritten away from a
+    /// closed or congested road (0 unless the scenario enables a
+    /// routing-response policy).
     pub diverted: u64,
+    /// Previously diverted vehicles rewritten back onto a strictly better
+    /// open route after a reopening (0 unless the scenario enables a
+    /// routing-response policy).
+    pub restored: u64,
     /// Vehicles that completed their journey within the horizon.
     pub completed: u64,
     /// The paper's headline metric: mean queuing time per vehicle in
@@ -130,11 +238,29 @@ pub struct ScenarioEngine {
     scratch: SubstrateScratch,
     /// Turning probabilities of the scenario's topology (detour weights).
     turning: TurningProbabilities,
-    /// Vehicles diverted by en-route replanning so far.
+    /// Vehicles diverted by en-route replanning so far (closure and
+    /// congestion diversions).
     diverted: u64,
+    /// Previously diverted vehicles rewritten back after a reopening.
+    restored: u64,
+    /// The congestion-diversion share of `diverted`.
+    congestion_reroutes: u64,
+    /// Closure-diverted vehicles still on a detour — the population
+    /// reopen-restore considers. Only membership is ever queried, so the
+    /// unordered set cannot perturb determinism.
+    diverted_ids: HashSet<VehicleId>,
+    /// The congested-road set, when the policy is
+    /// [`ReplanPolicy::Congestion`].
+    monitor: Option<CongestionMonitor>,
     /// Roads introduced by rewritten routes that the original routes did
     /// not traverse (deduplicated, first-seen order).
     detour_roads: Vec<RoadId>,
+    /// Reusable per-road scratch: occupancy snapshot, occupancy/capacity
+    /// ratios, closure mask, and the congestion weight view.
+    occ_scratch: Vec<u32>,
+    ratio_scratch: Vec<f64>,
+    closed_scratch: Vec<bool>,
+    weight_scratch: Vec<f64>,
 }
 
 impl ScenarioEngine {
@@ -222,6 +348,18 @@ impl ScenarioEngine {
         );
 
         let turning = spec.topology.turning();
+        let monitor = match spec.replan {
+            ReplanPolicy::Congestion {
+                threshold,
+                hysteresis,
+                ..
+            } => Some(CongestionMonitor::new(
+                threshold,
+                hysteresis,
+                network.topology().num_roads(),
+            )),
+            _ => None,
+        };
         Ok(ScenarioEngine {
             spec,
             network,
@@ -236,7 +374,15 @@ impl ScenarioEngine {
             scratch: SubstrateScratch::new(),
             turning,
             diverted: 0,
+            restored: 0,
+            congestion_reroutes: 0,
+            diverted_ids: HashSet::new(),
+            monitor,
             detour_roads: Vec::new(),
+            occ_scratch: Vec::new(),
+            ratio_scratch: Vec::new(),
+            closed_scratch: Vec::new(),
+            weight_scratch: Vec::new(),
         })
     }
 
@@ -265,10 +411,43 @@ impl ScenarioEngine {
         self.demand.suppressed()
     }
 
-    /// Vehicles already en route whose routes were rewritten around a
-    /// closure so far (always 0 under [`ReplanPolicy::Off`]).
+    /// Vehicles already en route whose routes were rewritten away from a
+    /// closed or congested road so far (always 0 under
+    /// [`ReplanPolicy::Off`]).
     pub fn vehicles_diverted(&self) -> u64 {
         self.diverted
+    }
+
+    /// Previously diverted vehicles rewritten back onto a strictly better
+    /// open route after a reopening, so far.
+    pub fn vehicles_restored(&self) -> u64 {
+        self.restored
+    }
+
+    /// The congestion-diversion share of
+    /// [`vehicles_diverted`](Self::vehicles_diverted) — reroutes made by
+    /// the periodic congestion monitor rather than a closure event.
+    pub fn congestion_reroutes(&self) -> u64 {
+        self.congestion_reroutes
+    }
+
+    /// Whether the congestion monitor currently flags `road` (always
+    /// `false` outside [`ReplanPolicy::Congestion`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `road` is out of range.
+    pub fn road_congested(&self, road: RoadId) -> bool {
+        self.monitor
+            .as_ref()
+            .map(|m| m.congested()[road.index()])
+            .unwrap_or(false)
+    }
+
+    /// Congested-set state flips so far (the churn metric hysteresis
+    /// bounds; always 0 outside [`ReplanPolicy::Congestion`]).
+    pub fn congestion_transitions(&self) -> u64 {
+        self.monitor.as_ref().map_or(0, |m| m.transitions())
     }
 
     /// Roads that rewritten routes traverse which the original routes did
@@ -320,7 +499,10 @@ impl ScenarioEngine {
         self.substrate.mean_waiting_including_active()
     }
 
-    /// Applies due events, polls demand, and simulates one mini-slot.
+    /// Applies due events, runs the periodic congestion check when one is
+    /// due, polls demand, and simulates one mini-slot. The order is fixed
+    /// — events, then the congestion check, then demand and the step — so
+    /// periodic replans interleave deterministically with the timeline.
     pub fn step(&mut self) {
         let now = self.now;
         while self.cursor < self.actions.len() && self.actions[self.cursor].0 <= now {
@@ -330,12 +512,22 @@ impl ScenarioEngine {
                 Action::Closed(road, closed) => {
                     self.substrate.set_road_closed(road, closed);
                     self.demand.set_road_closed(&self.network, road, closed);
-                    if closed && self.spec.replan == ReplanPolicy::AtNextJunction {
-                        self.replan_after_closure();
+                    if self.spec.replan.responds_to_closures() {
+                        if closed {
+                            self.divert_after_closure();
+                        } else {
+                            self.restore_after_reopen();
+                        }
                     }
                 }
                 Action::Surge(factor) => self.demand.set_surge(factor),
                 Action::Faults(active) => self.fault_switch.set_active(active),
+            }
+        }
+        if let ReplanPolicy::Congestion { period, .. } = self.spec.replan {
+            // Skip tick 0: the network is empty before the first step.
+            if now.index() > 0 && now.index().is_multiple_of(period) {
+                self.congestion_check();
             }
         }
         self.arrivals.clear();
@@ -346,28 +538,144 @@ impl ScenarioEngine {
         self.now = now.next();
     }
 
-    /// Rewrites the routes of vehicles whose remaining journey enters a
-    /// closed road (serial, draws no randomness — see the substrate
-    /// crate's replanning contract).
-    fn replan_after_closure(&mut self) {
-        // The substrate is the single owner of closure state; closures
-        // are rare events, so rebuilding the mask on demand beats keeping
-        // a parallel copy in lockstep.
-        let closed: Vec<bool> = self
-            .network
-            .topology()
-            .road_ids()
-            .map(|r| self.substrate.road_closed(r))
-            .collect();
-        let mut planner = Replanner::new(self.network.topology(), &self.turning, &closed);
-        self.diverted += self
-            .substrate
-            .replan_routes(&mut |route, fixed| planner.replan(route, fixed));
-        for &road in planner.detour_roads() {
+    /// Refreshes the reusable closure-mask scratch from the substrate —
+    /// the single owner of closure state; routing-response passes are
+    /// rare, so rebuilding on demand beats keeping a copy in lockstep.
+    fn refresh_closed_mask(&mut self) {
+        let (mask, network, substrate) = (&mut self.closed_scratch, &self.network, &self.substrate);
+        mask.clear();
+        mask.extend(
+            network
+                .topology()
+                .road_ids()
+                .map(|r| substrate.road_closed(r)),
+        );
+    }
+
+    /// Folds a planner's per-pass results into the engine counters.
+    fn absorb_planner(&mut self, diverted: u64, restored: u64, detours: &[RoadId]) {
+        self.diverted += diverted;
+        self.restored += restored;
+        for &road in detours {
             if !self.detour_roads.contains(&road) {
                 self.detour_roads.push(road);
             }
         }
+    }
+
+    /// Rewrites the routes of vehicles whose remaining journey enters a
+    /// closed road, remembering who diverted so a later reopening can
+    /// restore them (serial, draws no randomness — see the substrate
+    /// crate's routing-response contract).
+    fn divert_after_closure(&mut self) {
+        self.refresh_closed_mask();
+        let mut planner =
+            Replanner::new(self.network.topology(), &self.turning, &self.closed_scratch);
+        let ids = &mut self.diverted_ids;
+        self.substrate.replan_routes(&mut |id, route, fixed| {
+            let new_route = planner.replan(route, fixed)?;
+            ids.insert(id);
+            Some(new_route)
+        });
+        let (diverted, detours) = (planner.diverted(), planner.detour_roads().to_vec());
+        self.absorb_planner(diverted, 0, &detours);
+    }
+
+    /// After a reopening: restores previously diverted vehicles whose
+    /// detour is now strictly dominated by an open continuation, and —
+    /// since the reopened road may unlock a detour around a *different*,
+    /// still-closed road — offers everyone else a closure diversion. The
+    /// tracked diverted set is rebuilt from the walk, so completed
+    /// vehicles fall out of it.
+    fn restore_after_reopen(&mut self) {
+        self.refresh_closed_mask();
+        let mut planner =
+            Replanner::new(self.network.topology(), &self.turning, &self.closed_scratch);
+        let ids = &mut self.diverted_ids;
+        let mut still: HashSet<VehicleId> = HashSet::new();
+        self.substrate.replan_routes(&mut |id, route, fixed| {
+            if ids.contains(&id) {
+                match planner.restore(route, fixed) {
+                    // Restored: the vehicle leaves the tracked set.
+                    Some(new_route) => Some(new_route),
+                    None => {
+                        still.insert(id);
+                        None
+                    }
+                }
+            } else {
+                let new_route = planner.replan(route, fixed)?;
+                still.insert(id);
+                Some(new_route)
+            }
+        });
+        *ids = still;
+        let (diverted, restored, detours) = (
+            planner.diverted(),
+            planner.restored(),
+            planner.detour_roads().to_vec(),
+        );
+        self.absorb_planner(diverted, restored, &detours);
+    }
+
+    /// One periodic congestion check: snapshot occupancy, fold the
+    /// occupancy/capacity ratios into the hysteresis monitor, and — only
+    /// when congested roads exist — divert journeys headed into them
+    /// through a congestion-weighted view of the network (emptier roads
+    /// weigh more; congested and closed roads are inadmissible). When no
+    /// road crosses the threshold the pass is a counter sweep and
+    /// nothing walks the fleet.
+    fn congestion_check(&mut self) {
+        self.substrate.occupancy_snapshot(&mut self.occ_scratch);
+        {
+            let (ratios, occ, network) =
+                (&mut self.ratio_scratch, &self.occ_scratch, &self.network);
+            let topology = network.topology();
+            ratios.clear();
+            ratios.extend(
+                topology
+                    .road_ids()
+                    .map(|r| occ[r.index()] as f64 / topology.road(r).capacity().max(1) as f64),
+            );
+        }
+        let monitor = self.monitor.as_mut().expect("congestion policy installed");
+        if !monitor.update(&self.ratio_scratch) {
+            return;
+        }
+        self.refresh_closed_mask();
+        let (weights, ratios, monitor, closed) = (
+            &mut self.weight_scratch,
+            &self.ratio_scratch,
+            self.monitor.as_ref().expect("congestion policy installed"),
+            &self.closed_scratch,
+        );
+        weights.clear();
+        weights.extend(monitor.congested().iter().zip(ratios).zip(closed).map(
+            |((&congested, &ratio), &closed)| {
+                if congested || closed {
+                    0.0
+                } else {
+                    (1.0 - ratio).max(MIN_OPEN_ROAD_WEIGHT)
+                }
+            },
+        ));
+        let mut planner = Replanner::with_road_weights(
+            self.network.topology(),
+            &self.turning,
+            &self.closed_scratch,
+            &self.weight_scratch,
+        );
+        let congested = self
+            .monitor
+            .as_ref()
+            .expect("congestion policy installed")
+            .congested();
+        let rerouted = self.substrate.replan_routes(&mut |_, route, fixed| {
+            planner.replan_congested(route, fixed, congested)
+        });
+        self.congestion_reroutes += rerouted;
+        let (diverted, detours) = (planner.diverted(), planner.detour_roads().to_vec());
+        self.absorb_planner(diverted, 0, &detours);
     }
 
     /// Steps until the scenario horizon is reached.
@@ -391,6 +699,7 @@ impl ScenarioEngine {
             generated: self.demand.generated(),
             suppressed: self.demand.suppressed(),
             diverted: self.diverted,
+            restored: self.restored,
             completed: ledger.completed(),
             avg_queuing_time_s: self.substrate.mean_waiting_including_active() * self.dt_seconds,
             mean_journey_s: ledger.journey_stats().mean() * self.dt_seconds,

@@ -13,6 +13,8 @@
 //! topology arterial intersections=5 arterial-length=400 ...
 //! demand rush-hour ramp=200 peak=200 factor=2.5
 //! replan at-next-junction
+//! # …or queue-state-driven routing response:
+//! # replan congestion period=32 threshold=0.75 hysteresis=0.1
 //! event close road=12 at=300
 //! event reopen road=12 at=600
 //! event surge factor=3 from=100 until=250
@@ -223,8 +225,31 @@ pub fn parse_scenario(text: &str) -> Result<ScenarioSpec, String> {
             }
             "replan" => {
                 replan = match rest.first().copied() {
-                    Some("off") => ReplanPolicy::Off,
-                    Some("at-next-junction") => ReplanPolicy::AtNextJunction,
+                    Some(kind @ ("off" | "at-next-junction")) => {
+                        if rest.len() > 1 {
+                            return Err(format!(
+                                "line {line_no}: replan {kind} takes no arguments"
+                            ));
+                        }
+                        if kind == "off" {
+                            ReplanPolicy::Off
+                        } else {
+                            ReplanPolicy::AtNextJunction
+                        }
+                    }
+                    Some("congestion") => {
+                        let mut args = Args::parse(line_no, &rest[1..])?;
+                        let policy = ReplanPolicy::Congestion {
+                            period: args.u64("period", 32)?,
+                            threshold: args.f64("threshold", 0.75)?,
+                            hysteresis: args.f64("hysteresis", 0.1)?,
+                        };
+                        args.finish()?;
+                        policy
+                            .validate()
+                            .map_err(|e| format!("line {line_no}: {e}"))?;
+                        policy
+                    }
                     Some(other) => {
                         return Err(format!("line {line_no}: unknown replan policy `{other}`"))
                     }
@@ -556,6 +581,66 @@ mod tests {
         // directive, not silently mean `off`.
         let bare = parse_scenario(&format!("{base}replan\n"));
         assert!(bare.unwrap_err().contains("needs a policy"));
+        // Argument-free policies reject stray arguments rather than
+        // silently dropping them.
+        let stray = parse_scenario(&format!("{base}replan off period=5\n"));
+        assert!(stray.unwrap_err().contains("takes no arguments"));
+    }
+
+    #[test]
+    fn congestion_replan_directive_round_trips_and_validates() {
+        let base = "scenario x\nhorizon 10\ntopology grid\n";
+        let spec = parse_scenario(&format!(
+            "{base}replan congestion period=40 threshold=0.6 hysteresis=0.15\n"
+        ))
+        .unwrap();
+        assert_eq!(
+            spec.replan,
+            ReplanPolicy::Congestion {
+                period: 40,
+                threshold: 0.6,
+                hysteresis: 0.15,
+            }
+        );
+        // Rendering goes through the policy's Display form and parses
+        // back to an equal spec.
+        let text = spec.to_text();
+        assert!(
+            text.contains("replan congestion period=40 threshold=0.6 hysteresis=0.15"),
+            "{text}"
+        );
+        assert_eq!(parse_scenario(&text).unwrap(), spec);
+        // Omitted keys take the documented defaults.
+        let defaulted = parse_scenario(&format!("{base}replan congestion\n")).unwrap();
+        assert_eq!(
+            defaulted.replan,
+            ReplanPolicy::Congestion {
+                period: 32,
+                threshold: 0.75,
+                hysteresis: 0.1,
+            }
+        );
+        assert_eq!(parse_scenario(&defaulted.to_text()).unwrap(), defaulted);
+
+        // Error paths: typo'd keys, non-numeric values, and parameter
+        // combinations the policy itself rejects — all with line numbers.
+        let typo = parse_scenario(&format!("{base}replan congestion perid=40\n"));
+        let err = typo.unwrap_err();
+        assert!(
+            err.contains("unknown argument") && err.contains("perid"),
+            "{err}"
+        );
+        let err = parse_scenario(&format!("{base}replan congestion threshold=hot\n")).unwrap_err();
+        assert!(err.contains("bad number"), "{err}");
+        let err = parse_scenario(&format!("{base}replan congestion period=0\n")).unwrap_err();
+        assert!(err.contains("period") && err.contains("line 4"), "{err}");
+        let err = parse_scenario(&format!(
+            "{base}replan congestion threshold=0.5 hysteresis=0.5\n"
+        ))
+        .unwrap_err();
+        assert!(err.contains("hysteresis"), "{err}");
+        let err = parse_scenario(&format!("{base}replan congestion threshold=-1\n")).unwrap_err();
+        assert!(err.contains("threshold"), "{err}");
     }
 
     #[test]

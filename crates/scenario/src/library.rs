@@ -7,6 +7,20 @@ use utilbp_netgen::{ArterialSpec, AsymmetricGridSpec, GridSpec, Pattern, RingSpe
 
 use crate::spec::{DemandProfile, ReplanPolicy, ScenarioEvent, ScenarioSpec, TopologySpec};
 
+/// The straight-biased 3×3 grid `grid-incident-recover` runs on: heavy
+/// north–south demand and 80% through-traffic at every approach, so a
+/// mid-network closure strictly degrades the through routes (the
+/// precondition for reopen-restore to have anything to rewrite back).
+fn recover_grid() -> AsymmetricGridSpec {
+    AsymmetricGridSpec {
+        // Heavy north/south entries (Pattern I-like), light east/west.
+        inter_arrival_s: [3.0, 9.0, 3.0, 9.0],
+        turning: utilbp_netgen::TurningProbabilities::new([(0.1, 0.1); 4])
+            .expect("0.1 right + 0.1 left per side is a valid table"),
+        ..AsymmetricGridSpec::default()
+    }
+}
+
 /// All built-in scenarios, in presentation order:
 ///
 /// | Name | Topology | Demand | Events |
@@ -17,13 +31,24 @@ use crate::spec::{DemandProfile, ReplanPolicy, ScenarioEvent, ScenarioSpec, Topo
 /// | `asym-bottleneck` | 3×3 asymmetric grid | constant | — |
 /// | `grid-incident` | 3×3 grid | constant | closure + reopening |
 /// | `grid-incident-replan` | 3×3 grid | constant | mid-network closure + reopening, en-route replanning on |
+/// | `grid-incident-recover` | 3×3 straight-biased asym. grid | constant + surge | compressed closure + reopening, divert **and** restore inside a short horizon |
+/// | `grid-congestion-replan` | 3×3 grid | constant + surge | periodic congestion-aware replanning, no closures |
 /// | `arterial-sensor-dropout` | 5-junction arterial | day profile | sensor-fault window |
 ///
 /// `grid-incident-replan` closes a road two hops into the network (the
 /// center intersection's southbound arm) with
 /// [`ReplanPolicy::AtNextJunction`], so upstream vehicles that have not
 /// yet committed to the closed segment divert instead of queueing into
-/// the spill-back.
+/// the spill-back. `grid-incident-recover` runs the same center-south
+/// incident on a *straight-biased* asymmetric grid (80% through-traffic,
+/// so detours are strictly worse than the through route) on a compressed
+/// timeline (close at 100, reopen at 130): both halves of the policy —
+/// diversion *and* reopen-restore — fire even under aggressive CI
+/// horizon caps. `grid-congestion-replan` has no incident at all: a
+/// demand surge saturates the heavily loaded north–south axis and the
+/// [`ReplanPolicy::Congestion`] monitor diverts journeys around roads
+/// whose occupancy crosses the threshold — the endogenous, queue-state-
+/// driven routing regime.
 pub fn builtin_scenarios() -> Vec<ScenarioSpec> {
     let paper_grid = TopologySpec::Grid {
         spec: GridSpec::paper(),
@@ -53,6 +78,16 @@ pub fn builtin_scenarios() -> Vec<ScenarioSpec> {
         let center = grid.intersection_at(utilbp_netgen::GridPos::new(1, 1));
         grid.topology()
             .intersection(center)
+            .outgoing_road(Approach::South.outgoing())
+    };
+    // The same center-southbound incident for `grid-incident-recover`,
+    // on its straight-biased asymmetric grid.
+    let recover_incident_road = {
+        use utilbp_core::standard::Approach;
+        let net = TopologySpec::AsymmetricGrid(recover_grid()).build();
+        // Row-major intersection ids: the center of a 3×3 grid is 4.
+        net.topology()
+            .intersection(utilbp_netgen::IntersectionId::new(4))
             .outgoing_road(Approach::South.outgoing())
     };
 
@@ -144,6 +179,67 @@ pub fn builtin_scenarios() -> Vec<ScenarioSpec> {
             replan: ReplanPolicy::AtNextJunction,
         },
         ScenarioSpec {
+            name: "grid-incident-recover".to_string(),
+            seed: 2020,
+            horizon: Ticks::new(600),
+            // A *straight-biased* grid (the asymmetric-grid family carries
+            // the turning table): with 80% through-traffic, every detour
+            // is strictly worse than the through route, so the reopening
+            // strictly dominates the detours and reopen-restore has a real
+            // population to rewrite back. (On the paper turning table a
+            // right-turn detour often ties the through route exactly —
+            // correct behavior, but nothing to restore.) The timeline is
+            // compressed so the reopening lands while diverted vehicles
+            // are still upstream of their detour turn, even when CI caps
+            // the horizon.
+            topology: TopologySpec::AsymmetricGrid(recover_grid()),
+            demand: DemandProfile::Constant,
+            events: vec![
+                ScenarioEvent::Surge {
+                    factor: 2.5,
+                    from: Tick::new(0),
+                    until: Tick::new(600),
+                },
+                ScenarioEvent::CloseRoad {
+                    road: recover_incident_road,
+                    at: Tick::new(100),
+                },
+                ScenarioEvent::ReopenRoad {
+                    road: recover_incident_road,
+                    at: Tick::new(130),
+                },
+            ],
+            replan: ReplanPolicy::AtNextJunction,
+        },
+        ScenarioSpec {
+            name: "grid-congestion-replan".to_string(),
+            seed: 2020,
+            horizon: Ticks::new(700),
+            // Pattern I again: the north–south axis carries 3× the
+            // east–west load, so the surge saturates the central column
+            // first and the congestion monitor has asymmetry to exploit.
+            topology: TopologySpec::Grid {
+                spec: GridSpec::paper(),
+                pattern: Pattern::I,
+            },
+            demand: DemandProfile::Constant,
+            events: vec![ScenarioEvent::Surge {
+                factor: 4.0,
+                from: Tick::new(40),
+                until: Tick::new(400),
+            }],
+            // The threshold is calibrated to *internal* roads: boundary
+            // entry roads saturate first under the surge, but an entry
+            // road can never appear in a route suffix, so only internal
+            // congestion is divertible (and it builds more slowly than
+            // the entry backlog).
+            replan: ReplanPolicy::Congestion {
+                period: 20,
+                threshold: 0.2,
+                hysteresis: 0.04,
+            },
+        },
+        ScenarioSpec {
             name: "arterial-sensor-dropout".to_string(),
             seed: 2020,
             horizon: Ticks::new(700),
@@ -176,11 +272,16 @@ mod tests {
     #[test]
     fn library_covers_the_required_axes() {
         let all = builtin_scenarios();
-        assert!(all.len() >= 7, "at least seven built-ins");
+        assert!(all.len() >= 9, "at least nine built-ins");
         assert!(
             all.iter()
                 .any(|s| s.replan == ReplanPolicy::AtNextJunction && s.has_closures()),
             "a replanning incident scenario"
+        );
+        assert!(
+            all.iter()
+                .any(|s| matches!(s.replan, ReplanPolicy::Congestion { .. }) && !s.has_closures()),
+            "a congestion-replanning scenario with no incident"
         );
         let non_grid = all
             .iter()
@@ -209,6 +310,8 @@ mod tests {
         assert!(builtin("paper-grid").is_some());
         assert!(builtin("ring-pulse").is_some());
         assert!(builtin("grid-incident-replan").is_some());
+        assert!(builtin("grid-incident-recover").is_some());
+        assert!(builtin("grid-congestion-replan").is_some());
         assert!(builtin("no-such-scenario").is_none());
     }
 }

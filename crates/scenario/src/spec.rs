@@ -288,8 +288,9 @@ pub struct ScenarioSpec {
     pub demand: DemandProfile,
     /// Disruptions, in any order; the engine sorts them by tick.
     pub events: Vec<ScenarioEvent>,
-    /// How vehicles already en route react to closure events (default:
-    /// routes stay fixed at entry).
+    /// How vehicles already en route react to the live network — closure
+    /// events, reopenings, and (under the congestion policy) observed
+    /// queue state (default: routes stay fixed at entry).
     pub replan: ReplanPolicy,
 }
 
@@ -323,6 +324,9 @@ impl ScenarioSpec {
         if self.horizon.is_zero() {
             return Err(format!("scenario {}: horizon must be positive", self.name));
         }
+        self.replan
+            .validate()
+            .map_err(|e| format!("scenario {}: {e}", self.name))?;
         let mut fault_windows = 0usize;
         for event in &self.events {
             match event {

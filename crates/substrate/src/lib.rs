@@ -44,32 +44,48 @@
 //!   deterministic order and lets the caller rewrite its remaining route —
 //!   the hook en-route replanning ([`ReplanPolicy`]) is built on.
 //!
-//! ## En-route replanning
+//! ## Routing response (en-route replanning)
 //!
-//! [`ReplanPolicy::AtNextJunction`] lets vehicles already in the network
-//! divert around a road that closes mid-run: when a closure fires, the
-//! scenario engine rewrites the route of every upstream vehicle whose
-//! remaining journey would enter the closed road, using
-//! `utilbp-netgen`'s bounded-turn route enumeration from the first road
-//! the vehicle has not yet committed to. The committed prefix — every
-//! hop up to and including the vehicle's next crossing — is never
-//! touched, because the microscopic substrate binds a vehicle's current
-//! lane (and a crossing vehicle's destination lane) to that movement.
-//! Replanning happens in the serial event-application phase and draws no
-//! randomness, so Serial/Rayon bit-identity is preserved; with
-//! [`ReplanPolicy::Off`] (the default) no route is ever rewritten and all
-//! fixed-seed results are unchanged.
+//! [`ReplanPolicy`] describes how vehicles already in the network react
+//! to its live state; the scenario engine executes the policy through
+//! [`replan_routes`](TrafficSubstrate::replan_routes) and the sensor
+//! surface above.
+//!
+//! - **Closure diversion** ([`ReplanPolicy::AtNextJunction`]): when a
+//!   closure fires, the engine rewrites the route of every upstream
+//!   vehicle whose remaining journey would enter the closed road, using
+//!   `utilbp-netgen`'s bounded-turn route enumeration from the first road
+//!   the vehicle has not yet committed to.
+//! - **Reopen-restore**: when a closed road reopens, vehicles a closure
+//!   diverted (tracked by id through the `replan_routes` callback) are
+//!   rewritten back onto a strictly better open continuation when one now
+//!   dominates their detour; undominated detours are kept.
+//! - **Congestion replanning** ([`ReplanPolicy::Congestion`]): every
+//!   `period` ticks the engine reads
+//!   [`occupancy_snapshot`](TrafficSubstrate::occupancy_snapshot),
+//!   maintains a hysteresis-banded congested-road set, and diverts
+//!   journeys headed into congestion through a congestion-weighted view
+//!   of the network's edge weights (emptier roads weigh more, congested
+//!   roads are inadmissible — so reroutes cannot oscillate while the
+//!   congested set is unchanged).
+//!
+//! In every case the committed prefix — each hop up to and including the
+//! vehicle's next crossing — is never touched, because the microscopic
+//! substrate binds a vehicle's current lane (and a crossing vehicle's
+//! destination lane) to that movement. Replanning happens in the serial
+//! event/monitor phase and draws no randomness; decisions read only
+//! deterministic sensor state, so Serial/Rayon bit-identity is preserved
+//! under every policy. With [`ReplanPolicy::Off`] (the default) no route
+//! is ever rewritten and all fixed-seed results are unchanged.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
-
-use std::sync::Arc;
 
 use serde::{Deserialize, Serialize};
 use utilbp_core::{IncomingId, PhaseDecision, SignalController};
 use utilbp_metrics::WaitingLedger;
 use utilbp_microsim::{MicroSim, MicroSimConfig, PhaseTimings};
-use utilbp_netgen::{Arrival, IntersectionId, NetworkTopology, RoadId, Route};
+use utilbp_netgen::{Arrival, IntersectionId, NetworkTopology, RoadId, RouteRewrite};
 use utilbp_queueing::{QueueSim, QueueSimConfig};
 
 /// Which simulation substrate drives the plant.
@@ -105,8 +121,9 @@ impl std::fmt::Display for Backend {
     }
 }
 
-/// How vehicles already en route react to a road closing mid-run.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+/// How vehicles already en route react to the live state of the network
+/// (closures, reopenings, congestion).
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
 pub enum ReplanPolicy {
     /// Routes are fixed at entry: a journey through a road that closes
     /// later queues upstream until the reopening (the congestion
@@ -118,8 +135,68 @@ pub enum ReplanPolicy {
     /// committed to, via bounded-turn route enumeration over the open
     /// network. Vehicles with no open detour (or already committed to
     /// enter the closed road) keep their route and wait, as under
-    /// [`ReplanPolicy::Off`].
+    /// [`ReplanPolicy::Off`]. When the road reopens, diverted vehicles
+    /// whose remaining detour is strictly dominated by an open
+    /// continuation are rewritten back (reopen-restore).
     AtNextJunction,
+    /// Everything [`ReplanPolicy::AtNextJunction`] does, plus periodic
+    /// congestion-aware replanning: every `period` ticks the driver
+    /// snapshots per-road occupancy, maintains a congested-road set (a
+    /// road enters it when `occupancy / capacity >= threshold` and leaves
+    /// when the ratio falls below `threshold - hysteresis`), and diverts
+    /// vehicles whose uncommitted suffix would enter a congested road —
+    /// scoring detours through a congestion-weighted view of the network
+    /// in which emptier roads weigh more and congested roads are
+    /// inadmissible, so a diverted journey cannot oscillate back while
+    /// the congested set is unchanged.
+    Congestion {
+        /// Ticks between congestion checks (≥ 1).
+        period: u64,
+        /// Occupancy/capacity ratio at which a road becomes congested
+        /// (positive).
+        threshold: f64,
+        /// How far below `threshold` the ratio must fall before the road
+        /// is considered clear again (in `[0, threshold)`); the band that
+        /// prevents reroute oscillation when occupancy hovers at the
+        /// threshold.
+        hysteresis: f64,
+    },
+}
+
+impl ReplanPolicy {
+    /// Checks the policy's parameters.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message describing the first invalid parameter.
+    pub fn validate(&self) -> Result<(), String> {
+        if let ReplanPolicy::Congestion {
+            period,
+            threshold,
+            hysteresis,
+        } = *self
+        {
+            if period == 0 {
+                return Err("congestion replan period must be at least 1 tick".to_string());
+            }
+            if !(threshold.is_finite() && threshold > 0.0) {
+                return Err("congestion threshold must be positive".to_string());
+            }
+            if !(hysteresis.is_finite() && (0.0..threshold).contains(&hysteresis)) {
+                return Err(
+                    "congestion hysteresis must be in [0, threshold) so the clear level \
+                     stays positive"
+                        .to_string(),
+                );
+            }
+        }
+        Ok(())
+    }
+
+    /// Whether the policy reacts to closure/reopen events.
+    pub fn responds_to_closures(&self) -> bool {
+        !matches!(self, ReplanPolicy::Off)
+    }
 }
 
 impl std::fmt::Display for ReplanPolicy {
@@ -127,6 +204,14 @@ impl std::fmt::Display for ReplanPolicy {
         match self {
             ReplanPolicy::Off => f.write_str("off"),
             ReplanPolicy::AtNextJunction => f.write_str("at-next-junction"),
+            ReplanPolicy::Congestion {
+                period,
+                threshold,
+                hysteresis,
+            } => write!(
+                f,
+                "congestion period={period} threshold={threshold} hysteresis={hysteresis}"
+            ),
         }
     }
 }
@@ -234,6 +319,13 @@ pub trait TrafficSubstrate {
     /// Panics if the ids are out of range.
     fn incoming_queue_len(&self, intersection: IntersectionId, arm: IncomingId) -> u32;
 
+    /// Fills `out` with the current occupancy of every road, indexed by
+    /// `RoadId` (clearing whatever was in the buffer). One call costs
+    /// O(roads) counter reads — the occupancy counters are maintained
+    /// incrementally — so periodic congestion monitoring is cheap and
+    /// allocation-free once the buffer has grown to the road count.
+    fn occupancy_snapshot(&self, out: &mut Vec<u32>);
+
     /// Vehicles waiting outside full or closed boundary entries.
     fn backlog_len(&self) -> usize;
 
@@ -250,13 +342,14 @@ pub trait TrafficSubstrate {
     /// (on-road, queued, in transit, in a junction box, or backlogged
     /// outside an entry), in a deterministic substrate-defined order, and
     /// lets `replan` rewrite its route. The callback receives the
-    /// vehicle's current route and the number of leading hops that are
-    /// **committed** (the vehicle's lane or queue is already bound to
-    /// them); a returned replacement must preserve exactly that prefix
-    /// and keep the same entry road. Returns the number of vehicles whose
-    /// route was rewritten. Draws no randomness.
-    fn replan_routes(&mut self, replan: &mut dyn FnMut(&Route, usize) -> Option<Arc<Route>>)
-        -> u64;
+    /// vehicle's id (so drivers can track per-vehicle routing state, e.g.
+    /// which vehicles a closure diverted), its current route, and the
+    /// number of leading hops that are **committed** (the vehicle's lane
+    /// or queue is already bound to them); a returned replacement must
+    /// preserve exactly that prefix and keep the same entry road. Returns
+    /// the number of vehicles whose route was rewritten. Draws no
+    /// randomness.
+    fn replan_routes(&mut self, replan: &mut RouteRewrite<'_>) -> u64;
 }
 
 impl TrafficSubstrate for QueueSim {
@@ -308,6 +401,10 @@ impl TrafficSubstrate for QueueSim {
         QueueSim::incoming_queue_len(self, intersection, arm)
     }
 
+    fn occupancy_snapshot(&self, out: &mut Vec<u32>) {
+        QueueSim::occupancy_snapshot(self, out);
+    }
+
     fn backlog_len(&self) -> usize {
         QueueSim::backlog_len(self)
     }
@@ -320,10 +417,7 @@ impl TrafficSubstrate for QueueSim {
         QueueSim::mean_waiting_including_active(self)
     }
 
-    fn replan_routes(
-        &mut self,
-        replan: &mut dyn FnMut(&Route, usize) -> Option<Arc<Route>>,
-    ) -> u64 {
+    fn replan_routes(&mut self, replan: &mut RouteRewrite<'_>) -> u64 {
         QueueSim::replan_routes(self, replan)
     }
 }
@@ -376,6 +470,10 @@ impl TrafficSubstrate for MicroSim {
         MicroSim::incoming_queue_len(self, intersection, arm)
     }
 
+    fn occupancy_snapshot(&self, out: &mut Vec<u32>) {
+        MicroSim::occupancy_snapshot(self, out);
+    }
+
     fn backlog_len(&self) -> usize {
         MicroSim::backlog_len(self)
     }
@@ -388,10 +486,7 @@ impl TrafficSubstrate for MicroSim {
         MicroSim::mean_waiting_including_active(self)
     }
 
-    fn replan_routes(
-        &mut self,
-        replan: &mut dyn FnMut(&Route, usize) -> Option<Arc<Route>>,
-    ) -> u64 {
+    fn replan_routes(&mut self, replan: &mut RouteRewrite<'_>) -> u64 {
         MicroSim::replan_routes(self, replan)
     }
 }
@@ -527,9 +622,16 @@ mod tests {
                 substrate.step_into(&mut arrivals, &mut scratch);
             }
             let mut visited = 0u64;
-            let rewritten = substrate.replan_routes(&mut |route, fixed| {
+            let mut last_id = None;
+            let rewritten = substrate.replan_routes(&mut |id, route, fixed| {
                 visited += 1;
                 assert!(fixed <= route.len() + 1, "{backend}: prefix out of range");
+                assert_ne!(
+                    Some(id),
+                    last_id,
+                    "{backend}: each visit is a distinct vehicle"
+                );
+                last_id = Some(id);
                 None
             });
             assert_eq!(rewritten, 0);

@@ -51,12 +51,45 @@
 //!   `mean_waiting_including_active` folds live accumulators (and
 //!   backlog dwell) at query time. Nothing scans the fleet per tick.
 //! - **Route-cursor access** — `replan_routes` walks every vehicle with
-//!   junctions still ahead in a deterministic order and lets the caller
-//!   rewrite its uncommitted route suffix. En-route replanning
-//!   ([`scenario::ReplanPolicy`]) is built on this: when a road closes
-//!   mid-run, [`netgen::Replanner`] diverts upstream vehicles via
-//!   bounded-turn route enumeration, drawing no randomness, so
-//!   replanning preserves the determinism guarantee.
+//!   junctions still ahead in a deterministic order (handing the caller
+//!   the vehicle's id, route, and committed-hop count) and lets the
+//!   caller rewrite its uncommitted route suffix. The routing-response
+//!   layer below is built on this.
+//! - **Occupancy snapshots** — `occupancy_snapshot` fills a reusable
+//!   buffer with every road's incrementally maintained occupancy
+//!   counter, the O(roads) sensor read behind periodic congestion
+//!   monitoring.
+//!
+//! ### Routing response
+//!
+//! [`scenario::ReplanPolicy`] governs how vehicles already en route react
+//! to the live network, executed by the scenario engine through the
+//! substrate hooks above (all passes are serial, draw no randomness, and
+//! read only deterministic sensor state — so Serial/Rayon/repeat runs
+//! stay bit-identical under every policy):
+//!
+//! - **Closure diversion** (`AtNextJunction`): when a road closes
+//!   mid-run, [`netgen::Replanner`] rewrites the uncommitted suffix of
+//!   every upstream vehicle whose journey would enter it, splicing the
+//!   best-weighted open detour from bounded-turn route enumeration onto
+//!   the preserved committed prefix.
+//! - **Reopen-restore**: the engine tracks diverted vehicles by id; when
+//!   the road reopens, vehicles whose detour is *strictly* dominated by
+//!   an open continuation are rewritten back ([`netgen::Replanner`]'s
+//!   `restore`), and the reopened corridor carries its through-traffic
+//!   again. Undominated detours are kept — a detour as good as the
+//!   original is not churned.
+//! - **Congestion replanning** (`Congestion { period, threshold,
+//!   hysteresis }`): every `period` ticks the engine snapshots occupancy,
+//!   folds occupancy/capacity ratios into a hysteresis-banded
+//!   congested-road set ([`scenario::CongestionMonitor`]), and — only
+//!   when the set is non-empty — diverts journeys headed into congestion,
+//!   scoring detours through a congestion-weighted view of the network's
+//!   edge weights (emptier roads weigh more; congested and closed roads
+//!   are inadmissible, so reroutes cannot oscillate while the set is
+//!   stable). Routing thereby responds to observed queue state rather
+//!   than a fixed turn matrix — the regime of back-pressure control with
+//!   unknown routing rates (arXiv:1401.3357).
 //!
 //! ## Quickstart
 //!

@@ -37,16 +37,41 @@ fn replan_spec() -> ScenarioSpec {
     spec
 }
 
+/// The recover scenario (early closure + reopening, replanning on)
+/// trimmed to a fast horizon that still covers both events.
+fn recover_spec() -> ScenarioSpec {
+    let mut spec = builtin("grid-incident-recover").expect("builtin exists");
+    assert_eq!(spec.replan, ReplanPolicy::AtNextJunction);
+    spec.horizon = Ticks::new(400);
+    spec
+}
+
+/// The congestion-replanning scenario trimmed to a fast horizon that
+/// still covers the surge.
+fn congestion_spec() -> ScenarioSpec {
+    let mut spec = builtin("grid-congestion-replan").expect("builtin exists");
+    assert!(matches!(spec.replan, ReplanPolicy::Congestion { .. }));
+    spec.horizon = Ticks::new(400);
+    spec
+}
+
 #[test]
 fn same_scenario_and_seed_is_bit_identical_across_parallelism_and_repeats() {
     // Includes the closure/reopen scenarios — with and without en-route
-    // replanning: events and route rewriting must not disturb
-    // determinism in either execution mode.
-    let specs = [incident_spec(), replan_spec(), {
-        let mut s = builtin("ring-pulse").expect("builtin exists");
-        s.horizon = Ticks::new(300);
-        s
-    }];
+    // replanning — plus the reopen-restore and congestion-replanning
+    // builtins: events, periodic monitor reads, and route rewriting must
+    // not disturb determinism in either execution mode.
+    let specs = [
+        incident_spec(),
+        replan_spec(),
+        recover_spec(),
+        congestion_spec(),
+        {
+            let mut s = builtin("ring-pulse").expect("builtin exists");
+            s.horizon = Ticks::new(300);
+            s
+        },
+    ];
     for spec in &specs {
         for backend in Backend::ALL {
             let serial_a = run(spec, backend, Parallelism::Serial);
@@ -270,6 +295,157 @@ fn surge_and_fault_scenarios_stay_deterministic_with_events_applied() {
 }
 
 #[test]
+fn reopening_restores_diverted_vehicles_with_exact_counters() {
+    let spec = recover_spec();
+    let (closed_road, close_at, reopen_at) = {
+        let mut close = None;
+        let mut reopen = None;
+        for e in &spec.events {
+            match *e {
+                ScenarioEvent::CloseRoad { road, at } => close = Some((road, at)),
+                ScenarioEvent::ReopenRoad { at, .. } => reopen = Some(at),
+                _ => {}
+            }
+        }
+        let (road, at) = close.expect("recover closes a road");
+        (road, at, reopen.expect("recover reopens the road"))
+    };
+
+    for backend in Backend::ALL {
+        let mut engine =
+            ScenarioEngine::new(spec.clone(), EngineConfig::new(backend), &util_factory())
+                .expect("spec validates");
+        // Step across the closure: upstream traffic diverts.
+        while engine.now() <= close_at {
+            engine.step();
+        }
+        let diverted = engine.vehicles_diverted();
+        assert!(diverted > 0, "{backend}: the closure diverts traffic");
+        assert_eq!(
+            engine.vehicles_restored(),
+            0,
+            "{backend}: nothing restores early"
+        );
+
+        // Step across the reopening: diverted vehicles still en route are
+        // rewritten back onto the (strictly better) reopened corridor.
+        let entered_at_reopen = engine.road_entered(closed_road);
+        while engine.now() <= reopen_at {
+            engine.step();
+        }
+        let restored = engine.vehicles_restored();
+        assert!(
+            restored > 0,
+            "{backend}: the reopening must restore diverted vehicles"
+        );
+        assert!(
+            restored <= diverted,
+            "{backend}: only diverted vehicles can restore ({restored} vs {diverted})"
+        );
+        // The reopening itself diverts nobody new in this scenario (there
+        // is no other closure to route around).
+        assert_eq!(
+            engine.vehicles_diverted(),
+            diverted,
+            "{backend}: a reopening with no remaining closures diverts nobody"
+        );
+
+        // Run out the horizon: restored vehicles actually return — the
+        // reopened road carries traffic again.
+        engine.run_to_end();
+        assert!(
+            engine.road_entered(closed_road) > entered_at_reopen,
+            "{backend}: the reopened road must carry traffic again"
+        );
+        let outcome = engine.outcome();
+        assert_eq!(outcome.diverted, engine.vehicles_diverted(), "{backend}");
+        assert_eq!(outcome.restored, engine.vehicles_restored(), "{backend}");
+        assert_eq!(
+            engine.congestion_reroutes(),
+            0,
+            "{backend}: no congestion policy, no congestion reroutes"
+        );
+    }
+}
+
+#[test]
+fn congestion_policy_reroutes_under_load_and_is_free_off_threshold() {
+    let spec = congestion_spec();
+    for backend in Backend::ALL {
+        // Under the surge the monitored axis saturates and the periodic
+        // pass reroutes journeys around it.
+        let mut engine =
+            ScenarioEngine::new(spec.clone(), EngineConfig::new(backend), &util_factory())
+                .expect("spec validates");
+        engine.run_to_end();
+        assert!(
+            engine.congestion_reroutes() > 0,
+            "{backend}: the surge must trigger congestion reroutes"
+        );
+        assert_eq!(
+            engine.vehicles_diverted(),
+            engine.congestion_reroutes(),
+            "{backend}: no closures, so every diversion is congestion-driven"
+        );
+        assert_eq!(engine.vehicles_restored(), 0, "{backend}");
+        assert!(
+            engine.congestion_transitions() > 0,
+            "{backend}: roads crossed the threshold"
+        );
+        let outcome = engine.outcome();
+        assert!(outcome.diverted > 0, "{backend}");
+
+        // With a threshold no road can reach, the policy's off-path cost
+        // is exactly zero: bit-identical to running with replanning off.
+        let mut never = spec.clone();
+        never.replan = ReplanPolicy::Congestion {
+            period: 20,
+            threshold: 1e6,
+            hysteresis: 0.1,
+        };
+        let mut off = spec.clone();
+        off.replan = ReplanPolicy::Off;
+        let never_outcome =
+            run_scenario(never, EngineConfig::new(backend), &util_factory()).unwrap();
+        let off_outcome = run_scenario(off, EngineConfig::new(backend), &util_factory()).unwrap();
+        assert_eq!(
+            never_outcome, off_outcome,
+            "{backend}: an untriggered congestion policy changes nothing"
+        );
+        assert_eq!(never_outcome.diverted, 0, "{backend}");
+    }
+}
+
+#[test]
+fn hysteresis_prevents_congested_set_churn_when_occupancy_hovers() {
+    use adaptive_backpressure::scenario::CongestionMonitor;
+    // Occupancy hovering around the threshold: with a hysteresis band the
+    // road enters the congested set once and stays; with no band it
+    // toggles on every crossing (the churn the band exists to prevent).
+    let hovering = [0.45, 0.52, 0.48, 0.51, 0.46, 0.50, 0.44, 0.53, 0.42, 0.55];
+    let mut banded = CongestionMonitor::new(0.5, 0.1, 1);
+    let mut bare = CongestionMonitor::new(0.5, 0.0, 1);
+    for &ratio in &hovering {
+        banded.update(&[ratio]);
+        bare.update(&[ratio]);
+    }
+    assert_eq!(
+        banded.transitions(),
+        1,
+        "one onset, zero churn: every hovering ratio stays above the clear level"
+    );
+    assert!(
+        bare.transitions() > 2,
+        "without the band the set flips on every crossing ({} transitions)",
+        bare.transitions()
+    );
+    // Falling well below the band releases the road.
+    banded.update(&[0.2]);
+    assert_eq!(banded.transitions(), 2);
+    assert!(!banded.update(&[0.2]));
+}
+
+#[test]
 fn builtin_library_meets_the_coverage_floor() {
     let all = builtin_scenarios();
     assert!(all.len() >= 7);
@@ -284,4 +460,7 @@ fn builtin_library_meets_the_coverage_floor() {
     assert!(all
         .iter()
         .any(|s| s.replan == ReplanPolicy::AtNextJunction && s.has_closures()));
+    assert!(all
+        .iter()
+        .any(|s| matches!(s.replan, ReplanPolicy::Congestion { .. })));
 }
