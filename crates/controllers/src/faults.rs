@@ -9,10 +9,21 @@
 //! - **dropout**: a reading is lost and reported as zero (stuck-off loop
 //!   detector);
 //! - **noise**: counting error of ±`magnitude` vehicles;
-//! - **freeze**: the last reading is repeated (stale communication).
+//! - **freeze**: the last reading is repeated (stale communication);
+//! - **stuck-at**: a detector latches at a fixed value for the rest of
+//!   the fault window (shorted loop);
+//! - **frozen counter**: a detector latches at its *current* truth and
+//!   stops updating for the rest of the window (hung counter firmware).
+//!
+//! `freeze` is transient (each reading independently repeats the
+//! previous one); `stuck-at`/`frozen` are *persistent* — once a reading
+//! latches it stays latched until the fault window deactivates or the
+//! controller is reset.
 //!
 //! Faults are sampled per link/road per decision from a seeded RNG, so
-//! faulty runs are exactly reproducible.
+//! faulty runs are exactly reproducible. Every fault mode's random draw
+//! is gated on its probability being positive, so enabling a new mode
+//! never perturbs the RNG stream of configs that do not use it.
 
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
@@ -33,6 +44,22 @@ pub struct SensorFaultConfig {
     pub noise_magnitude: u32,
     /// Probability a reading freezes at its previous value.
     pub freeze: f64,
+    /// Probability a reading *latches* at [`stuck_at_value`]: once
+    /// sampled, that detector reports the fixed value for the rest of
+    /// the fault window (a shorted loop detector).
+    ///
+    /// [`stuck_at_value`]: SensorFaultConfig::stuck_at_value
+    pub stuck_at: f64,
+    /// The value a stuck-at detector reports.
+    pub stuck_at_value: u32,
+    /// Probability a reading's counter *freezes*: once sampled, that
+    /// detector latches at its current truth and stops updating for the
+    /// rest of the fault window (hung counter firmware). Unlike
+    /// [`freeze`], which independently repeats the previous reading per
+    /// decision, a frozen counter persists.
+    ///
+    /// [`freeze`]: SensorFaultConfig::freeze
+    pub frozen: f64,
 }
 
 impl SensorFaultConfig {
@@ -42,6 +69,9 @@ impl SensorFaultConfig {
         noise: 0.0,
         noise_magnitude: 0,
         freeze: 0.0,
+        stuck_at: 0.0,
+        stuck_at_value: 0,
+        frozen: 0.0,
     };
 
     /// Validates that all probabilities lie in `[0, 1]`.
@@ -54,6 +84,8 @@ impl SensorFaultConfig {
             ("dropout", self.dropout),
             ("noise", self.noise),
             ("freeze", self.freeze),
+            ("stuck-at", self.stuck_at),
+            ("frozen", self.frozen),
         ] {
             if !(0.0..=1.0).contains(&p) {
                 return Err(format!("{name} must be a probability, got {p}"));
@@ -126,6 +158,11 @@ pub struct FaultySensors<C> {
     rng: SmallRng,
     /// Last delivered observation, for the freeze fault.
     last: Option<QueueObservation>,
+    /// Per-reading persistent latches for the stuck-at/frozen-counter
+    /// faults, indexed by reading position (movements first, then
+    /// outgoing roads, in layout order). Empty while the window is
+    /// inactive — latches do not survive deactivation.
+    latched: Vec<Option<u32>>,
     /// Scenario-driven gate: faults apply only while the switch is
     /// active. [`FaultySensors::new`] installs an always-on switch.
     switch: FaultSwitch,
@@ -158,6 +195,7 @@ impl<C: SignalController> FaultySensors<C> {
             config,
             rng: SmallRng::seed_from_u64(seed),
             last: None,
+            latched: Vec::new(),
             switch,
         }
     }
@@ -172,19 +210,37 @@ impl<C: SignalController> FaultySensors<C> {
         &self.config
     }
 
-    fn corrupt(&mut self, truth: u32, previous: Option<u32>) -> u32 {
-        let cfg = self.config;
-        if cfg.freeze > 0.0 && self.rng.gen::<f64>() < cfg.freeze {
+    fn corrupt(
+        cfg: &SensorFaultConfig,
+        rng: &mut SmallRng,
+        truth: u32,
+        previous: Option<u32>,
+        latch: &mut Option<u32>,
+    ) -> u32 {
+        // A persistent latch, once sampled, overrides every transient
+        // mode (and draws no further randomness for this reading).
+        if let Some(v) = *latch {
+            return v;
+        }
+        if cfg.stuck_at > 0.0 && rng.gen::<f64>() < cfg.stuck_at {
+            *latch = Some(cfg.stuck_at_value);
+            return cfg.stuck_at_value;
+        }
+        if cfg.frozen > 0.0 && rng.gen::<f64>() < cfg.frozen {
+            *latch = Some(truth);
+            return truth;
+        }
+        if cfg.freeze > 0.0 && rng.gen::<f64>() < cfg.freeze {
             if let Some(prev) = previous {
                 return prev;
             }
         }
-        if cfg.dropout > 0.0 && self.rng.gen::<f64>() < cfg.dropout {
+        if cfg.dropout > 0.0 && rng.gen::<f64>() < cfg.dropout {
             return 0;
         }
-        if cfg.noise > 0.0 && cfg.noise_magnitude > 0 && self.rng.gen::<f64>() < cfg.noise {
+        if cfg.noise > 0.0 && cfg.noise_magnitude > 0 && rng.gen::<f64>() < cfg.noise {
             let delta =
-                self.rng.gen_range(0..=2 * cfg.noise_magnitude as i64) - cfg.noise_magnitude as i64;
+                rng.gen_range(0..=2 * cfg.noise_magnitude as i64) - cfg.noise_magnitude as i64;
             return truth.saturating_add_signed(delta as i32);
         }
         truth
@@ -212,18 +268,42 @@ impl<C: SignalController> SignalController for FaultySensors<C> {
                     truth.set_outgoing(out, view.outgoing_occupancy(out));
                 }
             }
+            // Persistent latches model in-window hardware state; a
+            // window that closed means the detector was serviced.
+            self.latched.clear();
             return self.inner.decide(view, now);
         }
         let mut corrupted = QueueObservation::zeros(layout);
+        let mut slot = 0usize;
         for link in layout.link_ids() {
             let previous = self.last.as_ref().map(|o| o.movement(link));
-            let reading = self.corrupt(view.movement_queue(link), previous);
+            if self.latched.len() <= slot {
+                self.latched.push(None);
+            }
+            let reading = Self::corrupt(
+                &self.config,
+                &mut self.rng,
+                view.movement_queue(link),
+                previous,
+                &mut self.latched[slot],
+            );
             corrupted.set_movement(link, reading);
+            slot += 1;
         }
         for out in layout.outgoing_ids() {
             let previous = self.last.as_ref().map(|o| o.outgoing(out));
-            let reading = self.corrupt(view.outgoing_occupancy(out), previous);
+            if self.latched.len() <= slot {
+                self.latched.push(None);
+            }
+            let reading = Self::corrupt(
+                &self.config,
+                &mut self.rng,
+                view.outgoing_occupancy(out),
+                previous,
+                &mut self.latched[slot],
+            );
             corrupted.set_outgoing(out, reading);
+            slot += 1;
         }
         self.last = Some(corrupted.clone());
         let faulty_view = IntersectionView::new(layout, &corrupted)
@@ -234,6 +314,7 @@ impl<C: SignalController> SignalController for FaultySensors<C> {
     fn reset(&mut self) {
         self.inner.reset();
         self.last = None;
+        self.latched.clear();
     }
 
     fn name(&self) -> &'static str {
@@ -335,6 +416,9 @@ mod tests {
             noise: 0.3,
             noise_magnitude: 3,
             freeze: 0.1,
+            stuck_at: 0.05,
+            stuck_at_value: 99,
+            frozen: 0.05,
         };
         let run = |seed: u64| -> Vec<PhaseDecision> {
             let mut c = FaultySensors::new(UtilBp::paper(), cfg, seed);
@@ -413,6 +497,108 @@ mod tests {
             settled |= gated.decide(&view, Tick::new(k)) == c3;
         }
         assert!(settled, "healthy sensors must reveal the loaded movement");
+    }
+
+    #[test]
+    fn stuck_at_latches_every_reading_at_the_fixed_value() {
+        let layout = layout();
+        let link = standard::link_id(Approach::North, Turn::Straight);
+        let mut obs = QueueObservation::zeros(&layout);
+        obs.set_movement(link, 25);
+        // stuck_at = 1.0 with value 0: every detector latches dark on
+        // its first in-window reading, so the controller is blind and
+        // pinned regardless of how the physical queues evolve.
+        let mut wrapped = FaultySensors::new(
+            UtilBp::paper(),
+            SensorFaultConfig {
+                stuck_at: 1.0,
+                stuck_at_value: 0,
+                ..SensorFaultConfig::NONE
+            },
+            1,
+        );
+        let view = IntersectionView::new(&layout, &obs).unwrap();
+        let first = wrapped.decide(&view, Tick::ZERO);
+        obs.set_movement(link, 60);
+        for k in 1..20 {
+            let view = IntersectionView::new(&layout, &obs).unwrap();
+            assert_eq!(
+                wrapped.decide(&view, Tick::new(k)),
+                first,
+                "stuck-at detectors must pin the decision at k={k}"
+            );
+        }
+    }
+
+    #[test]
+    fn frozen_counter_persists_after_truth_changes() {
+        let layout = layout();
+        let link = standard::link_id(Approach::East, Turn::Straight);
+        let mut obs = QueueObservation::zeros(&layout);
+        obs.set_movement(link, 30);
+        // frozen = 1.0: every counter latches at its tick-0 truth; the
+        // loaded east approach keeps reporting 30 even once emptied, so
+        // the controller keeps serving it exactly as if nothing changed.
+        let run = |frozen: bool, empty_after_first: bool| -> Vec<PhaseDecision> {
+            let cfg = if frozen {
+                SensorFaultConfig {
+                    frozen: 1.0,
+                    ..SensorFaultConfig::NONE
+                }
+            } else {
+                SensorFaultConfig::NONE
+            };
+            let mut obs = QueueObservation::zeros(&layout);
+            obs.set_movement(link, 30);
+            let mut c = FaultySensors::new(UtilBp::paper(), cfg, 7);
+            (0..40)
+                .map(|k| {
+                    if k == 1 && empty_after_first {
+                        obs.set_movement(link, 0);
+                    }
+                    let view = IntersectionView::new(&layout, &obs).unwrap();
+                    c.decide(&view, Tick::new(k))
+                })
+                .collect()
+        };
+        // Frozen counters make the emptied junction look permanently
+        // loaded: decisions match the run where the queue really stayed.
+        assert_eq!(run(true, true), run(false, false));
+    }
+
+    #[test]
+    fn latches_clear_when_the_window_deactivates() {
+        let layout = layout();
+        let link = standard::link_id(Approach::East, Turn::Straight);
+        let mut obs = QueueObservation::zeros(&layout);
+        obs.set_movement(link, 30);
+        let switch = FaultSwitch::new(true);
+        let mut gated = FaultySensors::gated(
+            UtilBp::paper(),
+            SensorFaultConfig {
+                stuck_at: 1.0,
+                stuck_at_value: 0,
+                ..SensorFaultConfig::NONE
+            },
+            1,
+            switch.clone(),
+        );
+        let view = IntersectionView::new(&layout, &obs).unwrap();
+        let blind = gated.decide(&view, Tick::ZERO);
+        for k in 1..20 {
+            let view = IntersectionView::new(&layout, &obs).unwrap();
+            assert_eq!(gated.decide(&view, Tick::new(k)), blind);
+        }
+        // Deactivate: detectors are serviced, latches clear, and the
+        // controller must rediscover the loaded east–west movement.
+        switch.set_active(false);
+        let c3 = PhaseDecision::Control(standard::phase_id(3));
+        let mut settled = false;
+        for k in 20..120 {
+            let view = IntersectionView::new(&layout, &obs).unwrap();
+            settled |= gated.decide(&view, Tick::new(k)) == c3;
+        }
+        assert!(settled, "cleared latches must reveal the loaded movement");
     }
 
     #[test]

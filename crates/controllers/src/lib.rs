@@ -18,6 +18,34 @@
 //! All of them implement [`SignalController`](utilbp_core::SignalController)
 //! and can drive either simulation substrate.
 //!
+//! ## Fault model
+//!
+//! The paper's CPS decomposition — sensors, controller, actuator — is
+//! mirrored by three composable decorators, each deterministic under a
+//! seeded RNG and gated by a shared [`FaultSwitch`] so scenario fault
+//! *windows* can flip them mid-run:
+//!
+//! - [`FaultySensors`] corrupts the *observation path*: dropout, noise,
+//!   stale repeats (`freeze`), and the persistent stuck-at /
+//!   frozen-counter latch modes ([`SensorFaultConfig`]);
+//! - [`FaultyActuation`] corrupts the *command path*: stuck-phase
+//!   actuators, dropped commands (hold last phase), and delayed
+//!   delivery ([`ActuationFaultConfig`]);
+//! - [`Degrading`] closes the loop: a per-intersection watchdog that
+//!   detects implausible sensor streams (frozen counters, impossible
+//!   deltas) and swaps in a fixed-time fallback until readings become
+//!   plausible again, with hysteresis ([`WatchdogConfig`],
+//!   [`WatchdogStats`]).
+//!
+//! Composition order matters: wrap the watchdog *inside* the sensor
+//! decorator (so it monitors what the controller actually sees) and
+//! the actuation decorator *outside* everything (faulty execution of
+//! whatever the control stack decided):
+//! `FaultyActuation(FaultySensors(Degrading(inner, fallback)))`.
+//! Every fault mode's random draw is gated on its probability being
+//! positive, so configurations that do not use a mode reproduce the
+//! exact decision streams they produced before that mode existed.
+//!
 //! ```
 //! use utilbp_baselines::CapBp;
 //! use utilbp_core::{standard, QueueObservation, IntersectionView, SignalController, Tick, Ticks};
@@ -33,17 +61,21 @@
 #![warn(missing_docs)]
 
 mod actuated;
+mod actuation;
 mod capbp;
 mod faults;
 mod fixed_util;
 mod original;
 mod simple;
 mod slot;
+mod watchdog;
 
 pub use actuated::{Actuated, ActuatedConfig};
+pub use actuation::{ActuationFaultConfig, FaultyActuation};
 pub use capbp::{CapBp, CapBpConfig, CapBpPressure};
 pub use faults::{FaultSwitch, FaultySensors, SensorFaultConfig};
 pub use fixed_util::{FixedLengthUtilBp, FixedLengthUtilBpConfig};
 pub use original::{OriginalBp, OriginalBpConfig};
 pub use simple::{FixedTime, LongestQueueFirst, LongestQueueFirstConfig};
 pub use slot::SlotMachine;
+pub use watchdog::{Degrading, WatchdogConfig, WatchdogStats};

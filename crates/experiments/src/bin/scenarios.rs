@@ -14,12 +14,24 @@
 //! Results are bit-identical across `--parallelism` modes and
 //! `RAYON_NUM_THREADS` settings (the substrate determinism contract); the
 //! CI determinism matrix diffs this binary's output across thread counts.
+//!
+//! Every operator-facing failure — an unknown flag, a missing built-in,
+//! an unreadable or malformed scenario file — prints a one-line
+//! diagnostic to stderr and exits non-zero; the binary never panics on
+//! bad input.
 
 use utilbp_core::Parallelism;
 use utilbp_experiments::{scenario_comparison, Backend, ControllerKind};
 use utilbp_scenario::{builtin, builtin_scenarios, parse_scenario, ScenarioSpec};
 
 fn main() {
+    if let Err(message) = run() {
+        eprintln!("scenarios: {message}");
+        std::process::exit(1);
+    }
+}
+
+fn run() -> Result<(), String> {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let smoke = args.iter().any(|a| a == "--smoke");
     let mut files: Vec<&String> = Vec::new();
@@ -30,47 +42,45 @@ fn main() {
         match arg.as_str() {
             "--smoke" => {}
             "--builtin" => {
-                let name = iter.next().expect("--builtin needs a scenario name");
+                let name = iter
+                    .next()
+                    .ok_or_else(|| "--builtin needs a scenario name".to_string())?;
                 builtins
-                    .push(builtin(name).unwrap_or_else(|| panic!("no built-in scenario `{name}`")));
+                    .push(builtin(name).ok_or_else(|| format!("no built-in scenario `{name}`"))?);
             }
             "--parallelism" => {
                 parallelism = match iter
                     .next()
-                    .expect("--parallelism needs serial|rayon")
+                    .ok_or_else(|| "--parallelism needs serial|rayon".to_string())?
                     .as_str()
                 {
                     "serial" => Parallelism::Serial,
                     "rayon" => Parallelism::Rayon,
-                    other => panic!("unknown parallelism `{other}` (serial|rayon)"),
+                    other => return Err(format!("unknown parallelism `{other}` (serial|rayon)")),
                 };
             }
-            other if other.starts_with("--") => panic!("unknown flag `{other}`"),
+            other if other.starts_with("--") => return Err(format!("unknown flag `{other}`")),
             _ => files.push(arg),
         }
     }
 
-    assert!(
-        builtins.is_empty() || files.is_empty(),
-        "pass either --builtin names or scenario files, not both"
-    );
+    if !builtins.is_empty() && !files.is_empty() {
+        return Err("pass either --builtin names or scenario files, not both".to_string());
+    }
     let mut specs: Vec<ScenarioSpec> = if !builtins.is_empty() {
         builtins
     } else if files.is_empty() {
         builtin_scenarios()
     } else {
-        files
-            .iter()
-            .map(|path| {
-                let text = std::fs::read_to_string(path)
-                    .unwrap_or_else(|e| panic!("cannot read {path}: {e}"));
-                let spec = parse_scenario(&text).unwrap_or_else(|e| panic!("{path}: {e}"));
-                if let Err(e) = spec.validate() {
-                    panic!("{path}: {e}");
-                }
-                spec
-            })
-            .collect()
+        let mut specs = Vec::new();
+        for path in files {
+            let text =
+                std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+            let spec = parse_scenario(&text).map_err(|e| format!("{path}: {e}"))?;
+            spec.validate().map_err(|e| format!("{path}: {e}"))?;
+            specs.push(spec);
+        }
+        specs
     };
 
     let mut horizon_cap = None;
@@ -98,20 +108,20 @@ fn main() {
         controllers.len()
     );
     let comparison = scenario_comparison(&specs, &backends, &controllers, horizon_cap, parallelism);
-    assert!(
-        !comparison.rows.is_empty(),
-        "scenario sweep produced no rows"
-    );
+    if comparison.rows.is_empty() {
+        return Err("scenario sweep produced no rows".to_string());
+    }
     for row in &comparison.rows {
-        assert!(
-            row.outcomes.iter().all(|o| o.generated > 0),
-            "scenario {} on {} generated no vehicles",
-            row.spec.name,
-            row.backend
-        );
+        if !row.outcomes.iter().all(|o| o.generated > 0) {
+            return Err(format!(
+                "scenario {} on {} generated no vehicles",
+                row.spec.name, row.backend
+            ));
+        }
     }
 
     println!("Scenario comparison — mean queuing time (completed/generated)");
     println!();
     println!("{}", comparison.render());
+    Ok(())
 }

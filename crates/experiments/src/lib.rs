@@ -26,6 +26,7 @@
 
 mod ablation;
 pub mod artifacts;
+mod chaos;
 mod fig2;
 mod inputs;
 mod options;
@@ -38,6 +39,7 @@ mod traces;
 mod tradeoff;
 
 pub use ablation::{ablation, variants, AblationResult, AblationRow};
+pub use chaos::{chaos_timeline, run_chaos, ChaosConfig, ChaosReport, TimelineReport};
 pub use fig2::{fig2, Fig2Result};
 pub use inputs::{render_table1, render_table2};
 pub use options::ExperimentOptions;

@@ -66,6 +66,13 @@ impl ScenarioComparison {
                 if outcome.diverted > 0 || outcome.restored > 0 {
                     cell.push_str(&format!(" d{} r{}", outcome.diverted, outcome.restored));
                 }
+                // Watchdog counters, when a fallback ever activated.
+                if outcome.fallback_activations > 0 {
+                    cell.push_str(&format!(
+                        " w{}/{}",
+                        outcome.fallback_activations, outcome.ticks_degraded
+                    ));
+                }
                 cells.push(cell);
             }
             table.push_row(cells);

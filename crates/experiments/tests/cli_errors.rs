@@ -1,0 +1,121 @@
+//! Operator-facing error paths of the `scenarios` and `chaos` binaries:
+//! bad input gets a one-line stderr diagnostic and a non-zero exit, never
+//! a panic (no `RUST_BACKTRACE` noise, no abort).
+
+use std::process::{Command, Output};
+
+fn scenarios(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_scenarios"))
+        .args(args)
+        .output()
+        .expect("binary spawns")
+}
+
+fn chaos(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_chaos"))
+        .args(args)
+        .output()
+        .expect("binary spawns")
+}
+
+/// The failure contract: exit code 1, a single-line diagnostic on stderr
+/// with the binary's name prefix, and no panic markers.
+fn assert_clean_failure(output: &Output, binary: &str, needle: &str) {
+    let stderr = String::from_utf8_lossy(&output.stderr);
+    assert_eq!(
+        output.status.code(),
+        Some(1),
+        "exit code 1, not a panic abort: {stderr}"
+    );
+    assert!(
+        stderr.contains(&format!("{binary}: ")),
+        "diagnostic carries the binary name: {stderr}"
+    );
+    assert!(stderr.contains(needle), "diagnostic says why: {stderr}");
+    assert!(
+        !stderr.contains("panicked"),
+        "user errors never panic: {stderr}"
+    );
+}
+
+#[test]
+fn scenarios_rejects_an_unknown_flag() {
+    assert_clean_failure(
+        &scenarios(&["--frobnicate"]),
+        "scenarios",
+        "unknown flag `--frobnicate`",
+    );
+}
+
+#[test]
+fn scenarios_rejects_an_unknown_builtin() {
+    assert_clean_failure(
+        &scenarios(&["--builtin", "no-such-scenario"]),
+        "scenarios",
+        "no built-in scenario `no-such-scenario`",
+    );
+}
+
+#[test]
+fn scenarios_rejects_a_missing_flag_value() {
+    assert_clean_failure(
+        &scenarios(&["--builtin"]),
+        "scenarios",
+        "--builtin needs a scenario name",
+    );
+    assert_clean_failure(
+        &scenarios(&["--parallelism"]),
+        "scenarios",
+        "--parallelism needs serial|rayon",
+    );
+    assert_clean_failure(
+        &scenarios(&["--parallelism", "osmosis"]),
+        "scenarios",
+        "unknown parallelism `osmosis`",
+    );
+}
+
+#[test]
+fn scenarios_rejects_an_unreadable_file() {
+    assert_clean_failure(
+        &scenarios(&["/no/such/dir/missing.scn"]),
+        "scenarios",
+        "cannot read /no/such/dir/missing.scn",
+    );
+}
+
+#[test]
+fn scenarios_rejects_a_malformed_scenario_file() {
+    let path = std::env::temp_dir().join("utilbp-cli-errors-malformed.scn");
+    std::fs::write(&path, "scenario broken\nnot-a-directive yes\n").expect("temp file writes");
+    let output = scenarios(&[path.to_str().expect("utf-8 temp path")]);
+    std::fs::remove_file(&path).ok();
+    assert_clean_failure(&output, "scenarios", "");
+}
+
+#[test]
+fn scenarios_rejects_mixing_builtins_and_files() {
+    assert_clean_failure(
+        &scenarios(&["--builtin", "paper-grid", "whatever.scn"]),
+        "scenarios",
+        "not both",
+    );
+}
+
+#[test]
+fn chaos_rejects_bad_arguments() {
+    assert_clean_failure(&chaos(&["--frobnicate"]), "chaos", "unknown flag");
+    assert_clean_failure(
+        &chaos(&["--timelines"]),
+        "chaos",
+        "--timelines needs a value",
+    );
+    assert_clean_failure(&chaos(&["--timelines", "zero"]), "chaos", "--timelines");
+    assert_clean_failure(&chaos(&["--timelines", "0"]), "chaos", "at least 1");
+    assert_clean_failure(&chaos(&["--horizon", "10"]), "chaos", "at least 40");
+    assert_clean_failure(
+        &chaos(&["--backend", "imaginary"]),
+        "chaos",
+        "unknown backend `imaginary`",
+    );
+}

@@ -14,15 +14,27 @@
 //! interleaved deterministically with the event timeline: each tick
 //! applies due events first, then the congestion check when one is due,
 //! then demand and the simulation step.
+//!
+//! The engine is also where the CPS fault plane composes: sensor-fault
+//! windows wrap each controller in a gated [`FaultySensors`] decorator,
+//! actuation-fault windows add a gated [`FaultyActuation`] decorator on
+//! the outside, and a scenario-level watchdog installs a [`Degrading`]
+//! monitor (fixed-time fallback) on the inside — so the watchdog judges
+//! exactly the sensor stream the controller sees, and the actuator fault
+//! distorts whatever the (possibly degraded) controller commands. An
+//! [`EngineConfig::guard`] flag wraps the substrate in an
+//! [`InvariantGuard`] that re-proves conservation every tick.
 
 use std::collections::HashSet;
 
-use utilbp_baselines::{FaultSwitch, FaultySensors};
-use utilbp_core::{Parallelism, SignalController, Tick};
+use utilbp_baselines::{
+    Degrading, FaultSwitch, FaultyActuation, FaultySensors, FixedTime, WatchdogStats,
+};
+use utilbp_core::{Parallelism, SignalController, Tick, Ticks};
 use utilbp_metrics::{VehicleId, WaitingLedger};
 use utilbp_microsim::MicroSimConfig;
 use utilbp_netgen::{Arrival, Network, Replanner, RoadId, TurningProbabilities};
-use utilbp_substrate::{build_substrate, SubstrateScratch, TrafficSubstrate};
+use utilbp_substrate::{build_substrate, InvariantGuard, SubstrateScratch, TrafficSubstrate};
 
 use crate::demand::NetworkDemand;
 use crate::spec::{Backend, ReplanPolicy, ScenarioEvent, ScenarioSpec};
@@ -39,6 +51,13 @@ pub struct EngineConfig {
     pub parallelism: Parallelism,
     /// Microscopic parameters.
     pub micro: MicroSimConfig,
+    /// When set, the substrate is wrapped in an [`InvariantGuard`] that
+    /// re-proves vehicle conservation, sensor consistency, and
+    /// closed-road emptiness after every tick, panicking with a
+    /// tick-stamped diagnostic on the first violation. Off by default:
+    /// the guard costs a per-tick occupancy sweep, and production runs
+    /// pay nothing for it when disabled.
+    pub guard: bool,
 }
 
 impl EngineConfig {
@@ -48,7 +67,14 @@ impl EngineConfig {
             backend,
             parallelism: Parallelism::Serial,
             micro: MicroSimConfig::default(),
+            guard: false,
         }
+    }
+
+    /// The same config with the invariant guard enabled.
+    pub fn guarded(mut self) -> Self {
+        self.guard = true;
+        self
     }
 }
 
@@ -64,12 +90,19 @@ impl Default for EngineConfig {
 /// directly from `ScenarioSpec::seed`.
 const FAULT_SEED_DOMAIN: u64 = 0x534E_534F_5246_4C54;
 
+/// Domain-separation tag for the actuation-fault RNG streams — distinct
+/// from [`FAULT_SEED_DOMAIN`] so a scenario with both a sensor-fault and
+/// an actuation-fault window gives each decorator its own stream, and
+/// adding one window never perturbs the other's draws.
+const ACTUATION_SEED_DOMAIN: u64 = 0x4143_5455_4154_4F52;
+
 /// A normalized timeline action (events unpacked into on/off edges).
 #[derive(Debug, Clone, Copy, PartialEq)]
 enum Action {
     Closed(RoadId, bool),
     Surge(f64),
     Faults(bool),
+    ActuationFaults(bool),
 }
 
 /// Floor for the congestion weight of an open, uncongested road: keeps a
@@ -182,11 +215,21 @@ pub struct ScenarioOutcome {
     /// routing-response policy).
     pub diverted: u64,
     /// Previously diverted vehicles rewritten back onto a strictly better
-    /// open route after a reopening (0 unless the scenario enables a
-    /// routing-response policy).
+    /// open route after a reopening or once the congested set cleared
+    /// (0 unless the scenario enables a routing-response policy).
     pub restored: u64,
     /// Vehicles that completed their journey within the horizon.
     pub completed: u64,
+    /// Watchdog fallback activations summed over intersections (0 unless
+    /// the scenario installs a watchdog).
+    pub fallback_activations: u64,
+    /// Intersection-ticks spent under the fixed-time fallback, summed
+    /// over intersections.
+    pub ticks_degraded: u64,
+    /// Mean ticks from fallback activation to hysteresis-confirmed
+    /// recovery, over completed degradation episodes (0.0 when none
+    /// recovered).
+    pub recovery_time: f64,
     /// The paper's headline metric: mean queuing time per vehicle in
     /// seconds, counting vehicles still in the network at the horizon.
     pub avg_queuing_time_s: f64,
@@ -233,6 +276,10 @@ pub struct ScenarioEngine {
     actions: Vec<(Tick, Action)>,
     cursor: usize,
     fault_switch: FaultSwitch,
+    actuation_switch: FaultSwitch,
+    /// One stats handle per intersection watchdog (empty unless the spec
+    /// installs one).
+    watchdogs: Vec<WatchdogStats>,
     now: Tick,
     arrivals: Vec<Arrival>,
     scratch: SubstrateScratch,
@@ -245,6 +292,18 @@ pub struct ScenarioEngine {
     restored: u64,
     /// The congestion-diversion share of `diverted`.
     congestion_reroutes: u64,
+    /// The congestion-clearance share of `restored`.
+    congestion_restores: u64,
+    /// Congestion-diverted vehicles still on a detour — restored once
+    /// the congested set empties. Only membership is ever queried, so
+    /// the unordered set cannot perturb determinism.
+    congestion_diverted_ids: HashSet<VehicleId>,
+    /// Set while a congestion episode is in progress; the restore pass
+    /// runs once, at the congested→clear transition, rather than on
+    /// every clear periodic check (vehicles whose detour ties their
+    /// canonical route would otherwise trigger a futile fleet walk
+    /// every period for the rest of the run).
+    congestion_restore_pending: bool,
     /// Closure-diverted vehicles still on a detour — the population
     /// reopen-restore considers. Only membership is ever queried, so the
     /// unordered set cannot perturb determinism.
@@ -280,28 +339,53 @@ impl ScenarioEngine {
         spec.validate_against(&network)?;
 
         let fault_switch = FaultSwitch::new(false);
-        let fault = spec.sensor_fault();
+        let actuation_switch = FaultSwitch::new(false);
+        let sensor_fault = spec.sensor_fault();
+        let actuation_fault = spec.actuation_fault();
         let n = network.topology().num_intersections();
+        let mut watchdogs: Vec<WatchdogStats> = Vec::new();
         let controllers: Vec<Box<dyn SignalController>> = (0..n)
             .map(|i| {
-                let inner = make_controller(i);
-                match fault {
-                    // Every controller gets its own fault RNG stream but
-                    // shares the window switch.
-                    // The domain tag keeps even intersection 0's fault
-                    // stream disjoint from the demand RNG and the
-                    // simulators' per-road dawdling streams, which also
-                    // derive from `spec.seed`.
-                    Some((fault_config, _, _)) => Box::new(FaultySensors::gated(
-                        inner,
-                        fault_config,
-                        (spec.seed ^ FAULT_SEED_DOMAIN)
-                            ^ (i as u64 + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15),
-                        fault_switch.clone(),
-                    ))
-                        as Box<dyn SignalController>,
-                    None => inner,
+                // Every decorator gets its own fault RNG stream but
+                // shares its window switch. The domain tags keep even
+                // intersection 0's fault streams disjoint from the
+                // demand RNG and the simulators' per-road dawdling
+                // streams, which also derive from `spec.seed`.
+                let stream = |domain: u64| {
+                    (spec.seed ^ domain) ^ (i as u64 + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15)
+                };
+                // Composition order, inside out: watchdog first (it must
+                // judge the same sensor stream the controller consumes),
+                // then sensor corruption, then actuation faults on the
+                // outermost layer (the plant executes what the actuator
+                // delivers, however degraded the decision behind it).
+                let mut ctrl: Box<dyn SignalController> = make_controller(i);
+                if let Some(watchdog_config) = spec.watchdog {
+                    let monitored = Degrading::new(
+                        ctrl,
+                        FixedTime::new(Ticks::new(15), Ticks::new(4)),
+                        watchdog_config,
+                    );
+                    watchdogs.push(monitored.stats());
+                    ctrl = Box::new(monitored);
                 }
+                if let Some((fault_config, _, _)) = sensor_fault {
+                    ctrl = Box::new(FaultySensors::gated(
+                        ctrl,
+                        fault_config,
+                        stream(FAULT_SEED_DOMAIN),
+                        fault_switch.clone(),
+                    ));
+                }
+                if let Some((fault_config, _, _)) = actuation_fault {
+                    ctrl = Box::new(FaultyActuation::gated(
+                        ctrl,
+                        fault_config,
+                        stream(ACTUATION_SEED_DOMAIN),
+                        actuation_switch.clone(),
+                    ));
+                }
+                ctrl
             })
             .collect();
 
@@ -314,6 +398,11 @@ impl ScenarioEngine {
             controllers,
             micro,
         );
+        let substrate: Box<dyn TrafficSubstrate> = if config.guard {
+            Box::new(InvariantGuard::new(substrate))
+        } else {
+            substrate
+        };
 
         let mut actions: Vec<(Tick, Action)> = Vec::new();
         for event in &spec.events {
@@ -335,6 +424,10 @@ impl ScenarioEngine {
                 ScenarioEvent::SensorFault { from, until, .. } => {
                     actions.push((from, Action::Faults(true)));
                     actions.push((until, Action::Faults(false)));
+                }
+                ScenarioEvent::ActuationFault { from, until, .. } => {
+                    actions.push((from, Action::ActuationFaults(true)));
+                    actions.push((until, Action::ActuationFaults(false)));
                 }
             }
         }
@@ -369,6 +462,8 @@ impl ScenarioEngine {
             actions,
             cursor: 0,
             fault_switch,
+            actuation_switch,
+            watchdogs,
             now: Tick::ZERO,
             arrivals: Vec::new(),
             scratch: SubstrateScratch::new(),
@@ -376,6 +471,9 @@ impl ScenarioEngine {
             diverted: 0,
             restored: 0,
             congestion_reroutes: 0,
+            congestion_restores: 0,
+            congestion_diverted_ids: HashSet::new(),
+            congestion_restore_pending: false,
             diverted_ids: HashSet::new(),
             monitor,
             detour_roads: Vec::new(),
@@ -418,8 +516,9 @@ impl ScenarioEngine {
         self.diverted
     }
 
-    /// Previously diverted vehicles rewritten back onto a strictly better
-    /// open route after a reopening, so far.
+    /// Previously diverted vehicles rewritten back onto a strictly
+    /// better open route — after a reopening, or once the congestion
+    /// monitor's congested set emptied — so far.
     pub fn vehicles_restored(&self) -> u64 {
         self.restored
     }
@@ -457,9 +556,67 @@ impl ScenarioEngine {
         &self.detour_roads
     }
 
+    /// Previously congestion-diverted vehicles rewritten back onto a
+    /// strictly better route after the congested set cleared — the
+    /// congestion-clearance share of
+    /// [`vehicles_restored`](Self::vehicles_restored).
+    pub fn congestion_restores(&self) -> u64 {
+        self.congestion_restores
+    }
+
     /// Whether the sensor-fault window is currently open.
     pub fn faults_active(&self) -> bool {
         self.fault_switch.is_active()
+    }
+
+    /// Whether the actuation-fault window is currently open.
+    pub fn actuation_faults_active(&self) -> bool {
+        self.actuation_switch.is_active()
+    }
+
+    /// A handle on the sensor-fault window switch. Cloning shares the
+    /// underlying flag, so a test (or an external supervisor) can toggle
+    /// the window between steps, overriding the timeline.
+    pub fn sensor_fault_switch(&self) -> FaultSwitch {
+        self.fault_switch.clone()
+    }
+
+    /// A handle on the actuation-fault window switch (see
+    /// [`sensor_fault_switch`](Self::sensor_fault_switch)).
+    pub fn actuation_fault_switch(&self) -> FaultSwitch {
+        self.actuation_switch.clone()
+    }
+
+    /// Watchdog fallback activations summed over intersections (0
+    /// unless the scenario installs a watchdog).
+    pub fn fallback_activations(&self) -> u64 {
+        self.watchdogs.iter().map(|w| w.activations()).sum()
+    }
+
+    /// Intersection-ticks spent under the fixed-time fallback so far.
+    pub fn ticks_degraded(&self) -> u64 {
+        self.watchdogs.iter().map(|w| w.degraded_ticks()).sum()
+    }
+
+    /// Whether any intersection is currently running its fallback.
+    pub fn currently_degraded(&self) -> bool {
+        self.watchdogs.iter().any(|w| w.is_degraded())
+    }
+
+    /// Mean ticks from fallback activation to hysteresis-confirmed
+    /// recovery, over completed degradation episodes (0.0 when none
+    /// recovered).
+    pub fn recovery_time(&self) -> f64 {
+        let recoveries: u64 = self.watchdogs.iter().map(|w| w.recoveries()).sum();
+        if recoveries == 0 {
+            return 0.0;
+        }
+        let total: u64 = self
+            .watchdogs
+            .iter()
+            .map(|w| w.recovery_ticks_total())
+            .sum();
+        total as f64 / recoveries as f64
     }
 
     /// Current occupancy of `road` in the running substrate.
@@ -522,6 +679,7 @@ impl ScenarioEngine {
                 }
                 Action::Surge(factor) => self.demand.set_surge(factor),
                 Action::Faults(active) => self.fault_switch.set_active(active),
+                Action::ActuationFaults(active) => self.actuation_switch.set_active(active),
             }
         }
         if let ReplanPolicy::Congestion { period, .. } = self.spec.replan {
@@ -639,9 +797,35 @@ impl ScenarioEngine {
             );
         }
         let monitor = self.monitor.as_mut().expect("congestion policy installed");
-        if !monitor.update(&self.ratio_scratch) {
+        let any = monitor.update(&self.ratio_scratch);
+        // Only suffix-eligible congestion matters in either direction:
+        // an entry road can never appear in a rewritten route suffix,
+        // so a congested entry road neither justifies a diversion pass
+        // nor keeps restored detours out (the surge backlog drains
+        // through entry roads long after the internal network clears).
+        let suffix_congested = any && {
+            let topology = self.network.topology();
+            monitor
+                .congested()
+                .iter()
+                .zip(topology.road_ids())
+                .any(|(&congested, road)| congested && !topology.road(road).is_entry())
+        };
+        if !suffix_congested {
+            // No congested road a route could avoid: vehicles still on
+            // a congestion detour can come home. The pass runs once per
+            // episode, at the congested→clear transition — undominated
+            // (tied) detours stay tracked but are only re-examined when
+            // a later episode clears, never on every periodic check.
+            if self.congestion_restore_pending {
+                self.congestion_restore_pending = false;
+                if !self.congestion_diverted_ids.is_empty() {
+                    self.restore_after_congestion_clears();
+                }
+            }
             return;
         }
+        self.congestion_restore_pending = true;
         self.refresh_closed_mask();
         let (weights, ratios, monitor, closed) = (
             &mut self.weight_scratch,
@@ -670,12 +854,47 @@ impl ScenarioEngine {
             .as_ref()
             .expect("congestion policy installed")
             .congested();
-        let rerouted = self.substrate.replan_routes(&mut |_, route, fixed| {
-            planner.replan_congested(route, fixed, congested)
+        let ids = &mut self.congestion_diverted_ids;
+        let rerouted = self.substrate.replan_routes(&mut |id, route, fixed| {
+            let new_route = planner.replan_congested(route, fixed, congested)?;
+            ids.insert(id);
+            Some(new_route)
         });
         self.congestion_reroutes += rerouted;
         let (diverted, detours) = (planner.diverted(), planner.detour_roads().to_vec());
         self.absorb_planner(diverted, 0, &detours);
+    }
+
+    /// Once the congested set empties: restores previously
+    /// congestion-diverted vehicles whose detour is strictly dominated
+    /// by an open continuation, using a weight-free planner (restore
+    /// compares plain route lengths, not congestion weights). The
+    /// tracked set is rebuilt from the walk, so completed vehicles fall
+    /// out of it; vehicles whose detour is not dominated stay tracked
+    /// and are re-examined when the next congestion episode clears.
+    fn restore_after_congestion_clears(&mut self) {
+        self.refresh_closed_mask();
+        let mut planner =
+            Replanner::new(self.network.topology(), &self.turning, &self.closed_scratch);
+        let ids = &mut self.congestion_diverted_ids;
+        let mut still: HashSet<VehicleId> = HashSet::new();
+        self.substrate.replan_routes(&mut |id, route, fixed| {
+            if !ids.contains(&id) {
+                return None;
+            }
+            match planner.restore(route, fixed) {
+                // Restored: the vehicle leaves the tracked set.
+                Some(new_route) => Some(new_route),
+                None => {
+                    still.insert(id);
+                    None
+                }
+            }
+        });
+        *ids = still;
+        let (restored, detours) = (planner.restored(), planner.detour_roads().to_vec());
+        self.congestion_restores += restored;
+        self.absorb_planner(0, restored, &detours);
     }
 
     /// Steps until the scenario horizon is reached.
@@ -701,6 +920,9 @@ impl ScenarioEngine {
             diverted: self.diverted,
             restored: self.restored,
             completed: ledger.completed(),
+            fallback_activations: self.fallback_activations(),
+            ticks_degraded: self.ticks_degraded(),
+            recovery_time: self.recovery_time(),
             avg_queuing_time_s: self.substrate.mean_waiting_including_active() * self.dt_seconds,
             mean_journey_s: ledger.journey_stats().mean() * self.dt_seconds,
             final_backlog: self.substrate.backlog_len(),
@@ -851,6 +1073,7 @@ mod tests {
                 until: Tick::new(400),
             }],
             replan: ReplanPolicy::Off,
+            watchdog: None,
         };
         let mut engine =
             ScenarioEngine::new(spec, EngineConfig::default(), &util_factory()).unwrap();
@@ -882,6 +1105,7 @@ mod tests {
                 at: Tick::new(1),
             }],
             replan: ReplanPolicy::Off,
+            watchdog: None,
         };
         assert!(ScenarioEngine::new(spec, EngineConfig::default(), &util_factory()).is_err());
     }

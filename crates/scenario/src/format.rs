@@ -18,7 +18,13 @@
 //! event close road=12 at=300
 //! event reopen road=12 at=600
 //! event surge factor=3 from=100 until=250
-//! event sensor-fault from=150 until=450 dropout=0.3 noise=0.1 noise-mag=3 freeze=0.05
+//! event sensor-fault from=150 until=450 dropout=0.3 noise=0.1 noise-mag=3 freeze=0.05 \
+//!   stuck-at=0.01 stuck-value=0 frozen=0.02
+//! # actuator/comms fault windows (the command path, not the sensors):
+//! fault actuator from=100 until=400 stuck=0.02 stuck-ticks=40 drop=0.1 delay=0.1 delay-ticks=4
+//! fault comms from=100 until=400 drop=0.2 delay=0.1 delay-ticks=4
+//! # per-intersection watchdog fallback (omit for no watchdog):
+//! watchdog freeze-ticks=24 max-delta=16 recovery-ticks=12
 //! ```
 //!
 //! Every `key=value` argument is optional unless noted; omitted keys take
@@ -27,7 +33,7 @@
 
 use std::collections::HashMap;
 
-use utilbp_baselines::SensorFaultConfig;
+use utilbp_baselines::{ActuationFaultConfig, SensorFaultConfig, WatchdogConfig};
 use utilbp_core::{Tick, Ticks};
 use utilbp_netgen::{
     ArterialSpec, AsymmetricGridSpec, GridSpec, Pattern, RingSpec, RoadId, TurningProbabilities,
@@ -178,6 +184,7 @@ pub fn parse_scenario(text: &str) -> Result<ScenarioSpec, String> {
     let mut demand = DemandProfile::Constant;
     let mut events = Vec::new();
     let mut replan = ReplanPolicy::Off;
+    let mut watchdog = None;
 
     for (idx, raw) in text.lines().enumerate() {
         let line_no = idx + 1;
@@ -264,6 +271,28 @@ pub fn parse_scenario(text: &str) -> Result<ScenarioSpec, String> {
                 events.push(parse_event(line_no, kind, &mut args)?);
                 args.finish()?;
             }
+            "fault" => {
+                let kind = *rest
+                    .first()
+                    .ok_or_else(|| format!("line {line_no}: fault needs a kind"))?;
+                let mut args = Args::parse(line_no, &rest[1..])?;
+                events.push(parse_fault(line_no, kind, &mut args)?);
+                args.finish()?;
+            }
+            "watchdog" => {
+                let d = WatchdogConfig::default();
+                let mut args = Args::parse(line_no, &rest)?;
+                let config = WatchdogConfig {
+                    freeze_ticks: args.u64("freeze-ticks", d.freeze_ticks)?,
+                    max_delta: args.u32("max-delta", d.max_delta)?,
+                    recovery_ticks: args.u64("recovery-ticks", d.recovery_ticks)?,
+                };
+                args.finish()?;
+                config
+                    .validate()
+                    .map_err(|e| format!("line {line_no}: {e}"))?;
+                watchdog = Some(config);
+            }
             other => return Err(format!("line {line_no}: unknown directive `{other}`")),
         }
     }
@@ -276,6 +305,7 @@ pub fn parse_scenario(text: &str) -> Result<ScenarioSpec, String> {
         demand,
         events,
         replan,
+        watchdog,
     })
 }
 
@@ -391,12 +421,47 @@ fn parse_event(line_no: usize, kind: &str, args: &mut Args) -> Result<ScenarioEv
                 noise: args.f64("noise", 0.0)?,
                 noise_magnitude: args.u32("noise-mag", 0)?,
                 freeze: args.f64("freeze", 0.0)?,
+                stuck_at: args.f64("stuck-at", 0.0)?,
+                stuck_at_value: args.u32("stuck-value", 0)?,
+                frozen: args.f64("frozen", 0.0)?,
             },
             from: Tick::new(args.req_u64("from")?),
             until: Tick::new(args.req_u64("until")?),
         }),
         other => Err(format!("line {line_no}: unknown event `{other}`")),
     }
+}
+
+/// Parses a `fault` directive: `actuator` takes the full actuation fault
+/// model, `comms` the channel-only subset (drop/delay — a comms fault
+/// cannot jam the actuator hardware). Both produce the same event; the
+/// renderer picks the narrowest directive that preserves the config.
+fn parse_fault(line_no: usize, kind: &str, args: &mut Args) -> Result<ScenarioEvent, String> {
+    let config = match kind {
+        "actuator" => ActuationFaultConfig {
+            stuck: args.f64("stuck", 0.0)?,
+            stuck_ticks: args.u64("stuck-ticks", 0)?,
+            drop: args.f64("drop", 0.0)?,
+            delay: args.f64("delay", 0.0)?,
+            delay_ticks: args.u64("delay-ticks", 0)?,
+        },
+        "comms" => ActuationFaultConfig {
+            stuck: 0.0,
+            stuck_ticks: 0,
+            drop: args.f64("drop", 0.0)?,
+            delay: args.f64("delay", 0.0)?,
+            delay_ticks: args.u64("delay-ticks", 0)?,
+        },
+        other => Err(format!("line {line_no}: unknown fault kind `{other}`"))?,
+    };
+    config
+        .validate()
+        .map_err(|e| format!("line {line_no}: {e}"))?;
+    Ok(ScenarioEvent::ActuationFault {
+        config,
+        from: Tick::new(args.req_u64("from")?),
+        until: Tick::new(args.req_u64("until")?),
+    })
 }
 
 impl ScenarioSpec {
@@ -495,6 +560,14 @@ impl ScenarioSpec {
         if self.replan != ReplanPolicy::Off {
             out.push_str(&format!("replan {}\n", self.replan));
         }
+        // No watchdog is the parse default; only an installed watchdog
+        // needs a line, which keeps pre-fault-plane files valid as-is.
+        if let Some(w) = &self.watchdog {
+            out.push_str(&format!(
+                "watchdog freeze-ticks={} max-delta={} recovery-ticks={}\n",
+                w.freeze_ticks, w.max_delta, w.recovery_ticks,
+            ));
+        }
         for event in &self.events {
             match event {
                 ScenarioEvent::CloseRoad { road, at } => out.push_str(&format!(
@@ -522,14 +595,48 @@ impl ScenarioSpec {
                     until,
                 } => out.push_str(&format!(
                     "event sensor-fault from={} until={} dropout={} noise={} noise-mag={} \
-                     freeze={}\n",
+                     freeze={} stuck-at={} stuck-value={} frozen={}\n",
                     from.index(),
                     until.index(),
                     config.dropout,
                     config.noise,
                     config.noise_magnitude,
                     config.freeze,
+                    config.stuck_at,
+                    config.stuck_at_value,
+                    config.frozen,
                 )),
+                ScenarioEvent::ActuationFault {
+                    config,
+                    from,
+                    until,
+                } => {
+                    // The narrowest directive that preserves the config:
+                    // a channel-only fault renders as `fault comms`, so
+                    // its round trip cannot resurrect actuator keys.
+                    if config.stuck == 0.0 && config.stuck_ticks == 0 {
+                        out.push_str(&format!(
+                            "fault comms from={} until={} drop={} delay={} delay-ticks={}\n",
+                            from.index(),
+                            until.index(),
+                            config.drop,
+                            config.delay,
+                            config.delay_ticks,
+                        ));
+                    } else {
+                        out.push_str(&format!(
+                            "fault actuator from={} until={} stuck={} stuck-ticks={} drop={} \
+                             delay={} delay-ticks={}\n",
+                            from.index(),
+                            until.index(),
+                            config.stuck,
+                            config.stuck_ticks,
+                            config.drop,
+                            config.delay,
+                            config.delay_ticks,
+                        ));
+                    }
+                }
             }
         }
         out
@@ -641,6 +748,85 @@ mod tests {
         assert!(err.contains("hysteresis"), "{err}");
         let err = parse_scenario(&format!("{base}replan congestion threshold=-1\n")).unwrap_err();
         assert!(err.contains("threshold"), "{err}");
+    }
+
+    #[test]
+    fn fault_and_watchdog_directives_round_trip() {
+        let base = "scenario x\nhorizon 500\ntopology grid\n";
+        // Full actuator fault.
+        let spec = parse_scenario(&format!(
+            "{base}fault actuator from=100 until=400 stuck=0.02 stuck-ticks=40 drop=0.1 \
+             delay=0.1 delay-ticks=4\n"
+        ))
+        .unwrap();
+        let (config, from, until) = spec.actuation_fault().expect("window parsed");
+        assert_eq!(config.stuck, 0.02);
+        assert_eq!(config.stuck_ticks, 40);
+        assert_eq!(config.drop, 0.1);
+        assert_eq!((from.index(), until.index()), (100, 400));
+        let text = spec.to_text();
+        assert!(text.contains("fault actuator"), "{text}");
+        assert_eq!(parse_scenario(&text).unwrap(), spec);
+        // Channel-only faults render through the narrower comms form.
+        let spec = parse_scenario(&format!(
+            "{base}fault comms from=50 until=90 drop=0.25 delay=0.1 delay-ticks=2\n"
+        ))
+        .unwrap();
+        let (config, ..) = spec.actuation_fault().unwrap();
+        assert_eq!(config.stuck, 0.0);
+        let text = spec.to_text();
+        assert!(
+            text.contains("fault comms") && !text.contains("stuck"),
+            "{text}"
+        );
+        assert_eq!(parse_scenario(&text).unwrap(), spec);
+        // Watchdog line round-trips; omitted means no watchdog.
+        let spec = parse_scenario(&format!(
+            "{base}watchdog freeze-ticks=30 max-delta=20 recovery-ticks=8\n"
+        ))
+        .unwrap();
+        let w = spec.watchdog.expect("watchdog parsed");
+        assert_eq!((w.freeze_ticks, w.max_delta, w.recovery_ticks), (30, 20, 8));
+        assert_eq!(parse_scenario(&spec.to_text()).unwrap(), spec);
+        assert!(parse_scenario(base).unwrap().watchdog.is_none());
+        // Extended sensor-fault keys round-trip too.
+        let spec = parse_scenario(&format!(
+            "{base}event sensor-fault from=10 until=90 frozen=0.5 stuck-at=0.1 stuck-value=7\n"
+        ))
+        .unwrap();
+        let (config, ..) = spec.sensor_fault().unwrap();
+        assert_eq!(config.frozen, 0.5);
+        assert_eq!(config.stuck_at, 0.1);
+        assert_eq!(config.stuck_at_value, 7);
+        assert_eq!(parse_scenario(&spec.to_text()).unwrap(), spec);
+
+        // Error paths: unknown fault kinds, comms rejecting actuator
+        // keys, invalid configs and watchdogs — all with line numbers.
+        let err = parse_scenario(&format!("{base}fault gremlin from=0 until=9\n")).unwrap_err();
+        assert!(
+            err.contains("unknown fault kind") && err.contains("line 4"),
+            "{err}"
+        );
+        let err = parse_scenario(&format!(
+            "{base}fault comms from=0 until=9 stuck=0.5 stuck-ticks=9\n"
+        ))
+        .unwrap_err();
+        assert!(
+            err.contains("unknown argument") && err.contains("stuck"),
+            "{err}"
+        );
+        let err = parse_scenario(&format!("{base}fault actuator from=0 until=9 stuck=0.5\n"))
+            .unwrap_err();
+        assert!(err.contains("stuck-ticks"), "{err}");
+        let err = parse_scenario(&format!("{base}fault comms drop=0.5 until=9\n")).unwrap_err();
+        assert!(err.contains("from="), "{err}");
+        let err = parse_scenario(&format!("{base}watchdog freeze-ticks=0\n")).unwrap_err();
+        assert!(
+            err.contains("freeze-ticks") && err.contains("line 4"),
+            "{err}"
+        );
+        let err = parse_scenario(&format!("{base}watchdog max-deltas=3\n")).unwrap_err();
+        assert!(err.contains("unknown argument"), "{err}");
     }
 
     #[test]

@@ -1,6 +1,6 @@
 //! The built-in scenario library: ready-made specs covering every
-//! topology family, time-varying demand, closures, and sensor-fault
-//! windows.
+//! topology family, time-varying demand, closures, sensor/actuator
+//! fault windows, and watchdog-guarded degradation.
 
 use utilbp_core::{Tick, Ticks};
 use utilbp_netgen::{ArterialSpec, AsymmetricGridSpec, GridSpec, Pattern, RingSpec};
@@ -34,6 +34,8 @@ fn recover_grid() -> AsymmetricGridSpec {
 /// | `grid-incident-recover` | 3×3 straight-biased asym. grid | constant + surge | compressed closure + reopening, divert **and** restore inside a short horizon |
 /// | `grid-congestion-replan` | 3×3 grid | constant + surge | periodic congestion-aware replanning, no closures |
 /// | `arterial-sensor-dropout` | 5-junction arterial | day profile | sensor-fault window |
+/// | `grid-actuator-fault` | 3×3 grid | constant | actuator/comms fault window (stuck, dropped, delayed commands) |
+/// | `grid-degraded-recovery` | 3×3 grid | constant | frozen-counter sensor window + per-intersection watchdog fallback |
 ///
 /// `grid-incident-replan` closes a road two hops into the network (the
 /// center intersection's southbound arm) with
@@ -49,6 +51,17 @@ fn recover_grid() -> AsymmetricGridSpec {
 /// [`ReplanPolicy::Congestion`] monitor diverts journeys around roads
 /// whose occupancy crosses the threshold — the endogenous, queue-state-
 /// driven routing regime.
+///
+/// The two fault-plane builtins exercise the CPS failure modes beyond
+/// sensing: `grid-actuator-fault` opens an actuation window over the
+/// loaded grid (phases jam, commands drop and arrive late — the
+/// controller computes correctly but the plant executes something else);
+/// `grid-degraded-recovery` freezes every detector counter mid-run with
+/// a watchdog installed, so each intersection's monitor flags the frozen
+/// stream, hands control to its fixed-time fallback
+/// (`fallback_activations > 0`), and hands it back with hysteresis once
+/// the window closes and readings go live again (`ticks_degraded` stops
+/// growing — full recovery).
 pub fn builtin_scenarios() -> Vec<ScenarioSpec> {
     let paper_grid = TopologySpec::Grid {
         spec: GridSpec::paper(),
@@ -100,6 +113,7 @@ pub fn builtin_scenarios() -> Vec<ScenarioSpec> {
             demand: DemandProfile::Constant,
             events: Vec::new(),
             replan: ReplanPolicy::Off,
+            watchdog: None,
         },
         ScenarioSpec {
             name: "arterial-rush-hour".to_string(),
@@ -113,6 +127,7 @@ pub fn builtin_scenarios() -> Vec<ScenarioSpec> {
             },
             events: Vec::new(),
             replan: ReplanPolicy::Off,
+            watchdog: None,
         },
         ScenarioSpec {
             name: "ring-pulse".to_string(),
@@ -126,6 +141,7 @@ pub fn builtin_scenarios() -> Vec<ScenarioSpec> {
             },
             events: Vec::new(),
             replan: ReplanPolicy::Off,
+            watchdog: None,
         },
         ScenarioSpec {
             name: "asym-bottleneck".to_string(),
@@ -135,6 +151,7 @@ pub fn builtin_scenarios() -> Vec<ScenarioSpec> {
             demand: DemandProfile::Constant,
             events: Vec::new(),
             replan: ReplanPolicy::Off,
+            watchdog: None,
         },
         ScenarioSpec {
             name: "grid-incident".to_string(),
@@ -153,6 +170,7 @@ pub fn builtin_scenarios() -> Vec<ScenarioSpec> {
                 },
             ],
             replan: ReplanPolicy::Off,
+            watchdog: None,
         },
         ScenarioSpec {
             name: "grid-incident-replan".to_string(),
@@ -177,6 +195,7 @@ pub fn builtin_scenarios() -> Vec<ScenarioSpec> {
                 },
             ],
             replan: ReplanPolicy::AtNextJunction,
+            watchdog: None,
         },
         ScenarioSpec {
             name: "grid-incident-recover".to_string(),
@@ -210,6 +229,7 @@ pub fn builtin_scenarios() -> Vec<ScenarioSpec> {
                 },
             ],
             replan: ReplanPolicy::AtNextJunction,
+            watchdog: None,
         },
         ScenarioSpec {
             name: "grid-congestion-replan".to_string(),
@@ -238,6 +258,7 @@ pub fn builtin_scenarios() -> Vec<ScenarioSpec> {
                 threshold: 0.2,
                 hysteresis: 0.04,
             },
+            watchdog: None,
         },
         ScenarioSpec {
             name: "arterial-sensor-dropout".to_string(),
@@ -248,14 +269,62 @@ pub fn builtin_scenarios() -> Vec<ScenarioSpec> {
             events: vec![ScenarioEvent::SensorFault {
                 config: utilbp_baselines::SensorFaultConfig {
                     dropout: 0.3,
-                    noise: 0.0,
-                    noise_magnitude: 0,
                     freeze: 0.1,
+                    ..utilbp_baselines::SensorFaultConfig::NONE
                 },
                 from: Tick::new(150),
                 until: Tick::new(450),
             }],
             replan: ReplanPolicy::Off,
+            watchdog: None,
+        },
+        ScenarioSpec {
+            name: "grid-actuator-fault".to_string(),
+            seed: 2020,
+            horizon: Ticks::new(600),
+            topology: TopologySpec::Grid {
+                spec: GridSpec::paper(),
+                pattern: Pattern::II,
+            },
+            demand: DemandProfile::Constant,
+            events: vec![ScenarioEvent::ActuationFault {
+                config: utilbp_baselines::ActuationFaultConfig {
+                    stuck: 0.05,
+                    stuck_ticks: 40,
+                    drop: 0.2,
+                    delay: 0.15,
+                    delay_ticks: 4,
+                },
+                from: Tick::new(100),
+                until: Tick::new(400),
+            }],
+            replan: ReplanPolicy::Off,
+            watchdog: None,
+        },
+        ScenarioSpec {
+            name: "grid-degraded-recovery".to_string(),
+            seed: 2020,
+            horizon: Ticks::new(600),
+            topology: TopologySpec::Grid {
+                spec: GridSpec::paper(),
+                pattern: Pattern::II,
+            },
+            demand: DemandProfile::Constant,
+            // frozen = 1.0: every detector latches at its tick-100 truth
+            // for the whole window. The loaded grid has non-empty queues
+            // by then, so each watchdog sees a frozen, non-empty stream,
+            // degrades to fixed-time, and recovers (with hysteresis)
+            // once the window closes at 250 and counters go live again.
+            events: vec![ScenarioEvent::SensorFault {
+                config: utilbp_baselines::SensorFaultConfig {
+                    frozen: 1.0,
+                    ..utilbp_baselines::SensorFaultConfig::NONE
+                },
+                from: Tick::new(100),
+                until: Tick::new(250),
+            }],
+            replan: ReplanPolicy::Off,
+            watchdog: Some(utilbp_baselines::WatchdogConfig::default()),
         },
     ]
 }
@@ -272,7 +341,7 @@ mod tests {
     #[test]
     fn library_covers_the_required_axes() {
         let all = builtin_scenarios();
-        assert!(all.len() >= 9, "at least nine built-ins");
+        assert!(all.len() >= 11, "at least eleven built-ins");
         assert!(
             all.iter()
                 .any(|s| s.replan == ReplanPolicy::AtNextJunction && s.has_closures()),
@@ -295,6 +364,15 @@ mod tests {
             all.iter().any(|s| s.sensor_fault().is_some()),
             "a sensor-fault scenario"
         );
+        assert!(
+            all.iter().any(|s| s.actuation_fault().is_some()),
+            "an actuation-fault scenario"
+        );
+        assert!(
+            all.iter()
+                .any(|s| s.watchdog.is_some() && s.sensor_fault().is_some()),
+            "a watchdog-guarded degradation scenario"
+        );
     }
 
     #[test]
@@ -312,6 +390,8 @@ mod tests {
         assert!(builtin("grid-incident-replan").is_some());
         assert!(builtin("grid-incident-recover").is_some());
         assert!(builtin("grid-congestion-replan").is_some());
+        assert!(builtin("grid-actuator-fault").is_some());
+        assert!(builtin("grid-degraded-recovery").is_some());
         assert!(builtin("no-such-scenario").is_none());
     }
 }

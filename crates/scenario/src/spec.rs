@@ -1,7 +1,7 @@
 //! Scenario descriptions: topology + demand profile + event timeline.
 
 use serde::{Deserialize, Serialize};
-use utilbp_baselines::SensorFaultConfig;
+use utilbp_baselines::{ActuationFaultConfig, SensorFaultConfig, WatchdogConfig};
 use utilbp_core::{Tick, Ticks};
 use utilbp_netgen::{
     ArterialSpec, AsymmetricGridSpec, GridNetwork, GridSpec, Network, Pattern, RingSpec, RoadId,
@@ -266,6 +266,18 @@ pub enum ScenarioEvent {
         /// Window end tick (exclusive).
         until: Tick,
     },
+    /// Activate the actuator/comms fault model during `[from, until)` —
+    /// the window in which every controller's `FaultyActuation`
+    /// decorator corrupts the command path (stuck phases, dropped and
+    /// delayed commands).
+    ActuationFault {
+        /// The fault model applied while the window is open.
+        config: ActuationFaultConfig,
+        /// Window start tick (inclusive).
+        from: Tick,
+        /// Window end tick (exclusive).
+        until: Tick,
+    },
 }
 
 /// A complete, serializable scenario: topology family, demand profile,
@@ -292,6 +304,13 @@ pub struct ScenarioSpec {
     /// events, reopenings, and (under the congestion policy) observed
     /// queue state (default: routes stay fixed at entry).
     pub replan: ReplanPolicy,
+    /// Per-intersection watchdog configuration: when set, every
+    /// controller is wrapped in a `Degrading` fallback stack that
+    /// switches the intersection to fixed-time control while its sensor
+    /// stream looks implausible (default: no watchdog, controllers are
+    /// exactly the pre-fault-plane stack).
+    #[serde(default)]
+    pub watchdog: Option<WatchdogConfig>,
 }
 
 impl ScenarioSpec {
@@ -328,6 +347,7 @@ impl ScenarioSpec {
             .validate()
             .map_err(|e| format!("scenario {}: {e}", self.name))?;
         let mut fault_windows = 0usize;
+        let mut actuation_windows = 0usize;
         for event in &self.events {
             match event {
                 ScenarioEvent::CloseRoad { road, at } | ScenarioEvent::ReopenRoad { road, at } => {
@@ -381,7 +401,37 @@ impl ScenarioSpec {
                         return Err(format!("scenario {}: empty sensor-fault window", self.name));
                     }
                 }
+                ScenarioEvent::ActuationFault {
+                    config,
+                    from,
+                    until,
+                } => {
+                    actuation_windows += 1;
+                    if actuation_windows > 1 {
+                        return Err(format!(
+                            "scenario {}: at most one actuation-fault window is supported",
+                            self.name
+                        ));
+                    }
+                    config.validate().map_err(|e| {
+                        format!(
+                            "scenario {}: invalid actuation fault config: {e}",
+                            self.name
+                        )
+                    })?;
+                    if from >= until {
+                        return Err(format!(
+                            "scenario {}: empty actuation-fault window",
+                            self.name
+                        ));
+                    }
+                }
             }
+        }
+        if let Some(watchdog) = &self.watchdog {
+            watchdog
+                .validate()
+                .map_err(|e| format!("scenario {}: invalid watchdog config: {e}", self.name))?;
         }
         // Surge windows must not overlap: the engine applies one surge
         // multiplier at a time, so a window ending inside another would
@@ -436,6 +486,18 @@ impl ScenarioSpec {
         })
     }
 
+    /// The actuation-fault window, if the scenario has one.
+    pub fn actuation_fault(&self) -> Option<(ActuationFaultConfig, Tick, Tick)> {
+        self.events.iter().find_map(|e| match e {
+            ScenarioEvent::ActuationFault {
+                config,
+                from,
+                until,
+            } => Some((*config, *from, *until)),
+            _ => None,
+        })
+    }
+
     /// Whether any closure/reopen event is on the timeline.
     pub fn has_closures(&self) -> bool {
         self.events.iter().any(|e| {
@@ -463,6 +525,7 @@ mod tests {
             demand: DemandProfile::Constant,
             events,
             replan: ReplanPolicy::Off,
+            watchdog: None,
         }
     }
 
@@ -576,6 +639,62 @@ mod tests {
         good.validate_against(&net).expect("valid spec");
         assert!(good.has_closures());
         assert!(good.sensor_fault().is_some());
+    }
+
+    #[test]
+    fn validation_covers_actuation_and_watchdog() {
+        let net = grid_spec(Vec::new()).build_network();
+        let actuation = |from: u64| ScenarioEvent::ActuationFault {
+            config: ActuationFaultConfig {
+                drop: 0.5,
+                ..ActuationFaultConfig::NONE
+            },
+            from: Tick::new(from),
+            until: Tick::new(from + 10),
+        };
+        // One window is fine and discoverable.
+        let good = grid_spec(vec![actuation(20)]);
+        good.validate_against(&net).expect("one actuation window");
+        assert!(good.actuation_fault().is_some());
+        // Two windows are rejected.
+        let bad = grid_spec(vec![actuation(0), actuation(100)]);
+        assert!(bad
+            .validate_against(&net)
+            .unwrap_err()
+            .contains("at most one actuation-fault"));
+        // A bad config is rejected.
+        let bad = grid_spec(vec![ScenarioEvent::ActuationFault {
+            config: ActuationFaultConfig {
+                stuck: 0.5,
+                stuck_ticks: 0,
+                ..ActuationFaultConfig::NONE
+            },
+            from: Tick::new(0),
+            until: Tick::new(10),
+        }]);
+        assert!(bad
+            .validate_against(&net)
+            .unwrap_err()
+            .contains("invalid actuation fault config"));
+        // An empty window is rejected.
+        let bad = grid_spec(vec![ScenarioEvent::ActuationFault {
+            config: ActuationFaultConfig::NONE,
+            from: Tick::new(10),
+            until: Tick::new(10),
+        }]);
+        assert!(bad.validate_against(&net).unwrap_err().contains("empty"));
+        // A bad watchdog config is rejected; a sound one passes.
+        let mut spec = grid_spec(Vec::new());
+        spec.watchdog = Some(WatchdogConfig {
+            freeze_ticks: 0,
+            ..WatchdogConfig::default()
+        });
+        assert!(spec
+            .validate_against(&net)
+            .unwrap_err()
+            .contains("invalid watchdog config"));
+        spec.watchdog = Some(WatchdogConfig::default());
+        spec.validate_against(&net).expect("default watchdog");
     }
 
     #[test]

@@ -77,6 +77,32 @@
 //! deterministic sensor state, so Serial/Rayon bit-identity is preserved
 //! under every policy. With [`ReplanPolicy::Off`] (the default) no route
 //! is ever rewritten and all fixed-seed results are unchanged.
+//!
+//! ## The invariant guard
+//!
+//! [`InvariantGuard`] is an **opt-in** wrapper over any substrate that
+//! re-derives the contract's bookkeeping invariants after every step and
+//! panics with a tick-stamped diagnostic on the first violation:
+//!
+//! - **Vehicle conservation** — every vehicle the demand layer injected
+//!   is exactly one of *completed*, *on the network* (road occupancy,
+//!   which includes junction-box reservations on the microscopic
+//!   substrate), or *backlogged* outside an entry:
+//!   `ledger.active() == Σ occupancy + backlog`.
+//! - **Sensor consistency** — the incrementally maintained queue/sensor
+//!   counters equal a from-scratch rescan
+//!   ([`verify_sensors`](TrafficSubstrate::verify_sensors)), which also
+//!   implies every queue length is a well-formed non-negative count.
+//! - **Closure monotonicity** — a closed road only drains: its
+//!   occupancy never increases while it stays closed, and no road's
+//!   cumulative `entered` counter ever decreases.
+//!
+//! The guard is a plain wrapper: when it is not installed nothing in the
+//! step path changes (zero cost), and because every check is read-only
+//! the guarded run produces bit-identical metrics to the unguarded one —
+//! fixed-seed goldens are unchanged. The checks rescan the network, so
+//! install the guard in tests, chaos harnesses, and debugging sessions
+//! rather than benchmark loops.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -350,6 +376,87 @@ pub trait TrafficSubstrate {
     /// the number of vehicles whose route was rewritten. Draws no
     /// randomness.
     fn replan_routes(&mut self, replan: &mut RouteRewrite<'_>) -> u64;
+
+    /// Re-derives the substrate's incrementally maintained sensor
+    /// counters from scratch and compares them — the internal
+    /// consistency check behind the regression suite and the
+    /// [`InvariantGuard`]. O(network); not meant for benchmark loops.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message naming the first divergent counter.
+    fn verify_sensors(&self) -> Result<(), String>;
+}
+
+impl<S: TrafficSubstrate + ?Sized> TrafficSubstrate for Box<S> {
+    fn backend(&self) -> Backend {
+        (**self).backend()
+    }
+
+    fn step_into<'a>(
+        &mut self,
+        arrivals: &mut Vec<Arrival>,
+        scratch: &'a mut SubstrateScratch,
+    ) -> &'a [PhaseDecision] {
+        (**self).step_into(arrivals, scratch)
+    }
+
+    fn step_into_timed<'a>(
+        &mut self,
+        arrivals: &mut Vec<Arrival>,
+        scratch: &'a mut SubstrateScratch,
+        timings: &mut PhaseTimings,
+    ) -> &'a [PhaseDecision] {
+        (**self).step_into_timed(arrivals, scratch, timings)
+    }
+
+    fn set_road_closed(&mut self, road: RoadId, closed: bool) {
+        (**self).set_road_closed(road, closed);
+    }
+
+    fn road_closed(&self, road: RoadId) -> bool {
+        (**self).road_closed(road)
+    }
+
+    fn road_occupancy(&self, road: RoadId) -> u32 {
+        (**self).road_occupancy(road)
+    }
+
+    fn road_entered(&self, road: RoadId) -> u64 {
+        (**self).road_entered(road)
+    }
+
+    fn movement_queue_len(&self, intersection: IntersectionId, link: utilbp_core::LinkId) -> u32 {
+        (**self).movement_queue_len(intersection, link)
+    }
+
+    fn incoming_queue_len(&self, intersection: IntersectionId, arm: IncomingId) -> u32 {
+        (**self).incoming_queue_len(intersection, arm)
+    }
+
+    fn occupancy_snapshot(&self, out: &mut Vec<u32>) {
+        (**self).occupancy_snapshot(out);
+    }
+
+    fn backlog_len(&self) -> usize {
+        (**self).backlog_len()
+    }
+
+    fn ledger(&self) -> &WaitingLedger {
+        (**self).ledger()
+    }
+
+    fn mean_waiting_including_active(&self) -> f64 {
+        (**self).mean_waiting_including_active()
+    }
+
+    fn replan_routes(&mut self, replan: &mut RouteRewrite<'_>) -> u64 {
+        (**self).replan_routes(replan)
+    }
+
+    fn verify_sensors(&self) -> Result<(), String> {
+        (**self).verify_sensors()
+    }
 }
 
 impl TrafficSubstrate for QueueSim {
@@ -420,6 +527,10 @@ impl TrafficSubstrate for QueueSim {
     fn replan_routes(&mut self, replan: &mut RouteRewrite<'_>) -> u64 {
         QueueSim::replan_routes(self, replan)
     }
+
+    fn verify_sensors(&self) -> Result<(), String> {
+        QueueSim::verify_sensors(self)
+    }
 }
 
 impl TrafficSubstrate for MicroSim {
@@ -488,6 +599,228 @@ impl TrafficSubstrate for MicroSim {
 
     fn replan_routes(&mut self, replan: &mut RouteRewrite<'_>) -> u64 {
         MicroSim::replan_routes(self, replan)
+    }
+
+    fn verify_sensors(&self) -> Result<(), String> {
+        MicroSim::verify_sensors(self)
+    }
+}
+
+/// An opt-in runtime checker over any substrate: after every step it
+/// re-derives the plant's bookkeeping invariants — vehicle conservation,
+/// sensor-counter consistency, closure monotonicity — and panics with a
+/// tick-stamped diagnostic on the first violation (see the crate docs
+/// for the exact invariant statements).
+///
+/// The guard is a plain wrapper: it draws no randomness, mutates nothing
+/// in the wrapped substrate, and reads only query-side state, so a
+/// guarded run produces bit-identical metrics to an unguarded one. When
+/// the guard is not installed, nothing in the step path changes.
+///
+/// # Examples
+///
+/// ```
+/// use utilbp_core::{SignalController, UtilBp};
+/// use utilbp_microsim::MicroSimConfig;
+/// use utilbp_netgen::{GridNetwork, GridSpec};
+/// use utilbp_substrate::{build_substrate, Backend, InvariantGuard};
+///
+/// let grid = GridNetwork::new(GridSpec::paper());
+/// let controllers = (0..9)
+///     .map(|_| Box::new(UtilBp::paper()) as Box<dyn SignalController>)
+///     .collect();
+/// let plant = build_substrate(
+///     Backend::Queueing,
+///     grid.topology().clone(),
+///     controllers,
+///     MicroSimConfig::default(),
+/// );
+/// let mut guarded = InvariantGuard::new(plant);
+/// // step `guarded` exactly like the unguarded substrate…
+/// # let _ = &mut guarded;
+/// ```
+#[derive(Debug)]
+pub struct InvariantGuard<S> {
+    inner: S,
+    /// Steps taken so far (the tick stamp of the *next* diagnostic).
+    ticks: u64,
+    /// Reusable occupancy snapshot buffer.
+    occ: Vec<u32>,
+    /// Last observed occupancy of each road *while closed*; `None` for
+    /// open roads.
+    closed_occ: Vec<Option<u32>>,
+    /// Last observed cumulative `entered` counter per road.
+    prev_entered: Vec<u64>,
+}
+
+impl<S: TrafficSubstrate> InvariantGuard<S> {
+    /// Wraps `inner`; checks run after every step from now on.
+    pub fn new(inner: S) -> Self {
+        InvariantGuard {
+            inner,
+            ticks: 0,
+            occ: Vec::new(),
+            closed_occ: Vec::new(),
+            prev_entered: Vec::new(),
+        }
+    }
+
+    /// The wrapped substrate.
+    pub fn inner(&self) -> &S {
+        &self.inner
+    }
+
+    /// Unwraps the guard, returning the substrate.
+    pub fn into_inner(self) -> S {
+        self.inner
+    }
+
+    /// How many steps the guard has checked.
+    pub fn ticks_checked(&self) -> u64 {
+        self.ticks
+    }
+
+    /// Runs every invariant check against the current state.
+    ///
+    /// # Panics
+    ///
+    /// Panics with a tick-stamped diagnostic on the first violation.
+    fn check(&mut self) {
+        let tick = self.ticks;
+        self.ticks += 1;
+        // Vehicle conservation: each injected vehicle is exactly one of
+        // completed, on the network, or backlogged. The ledger enters
+        // every injection (backlogged included) and retires completions,
+        // so its active count must equal on-network plus backlog.
+        self.inner.occupancy_snapshot(&mut self.occ);
+        let on_network: u64 = self.occ.iter().map(|&o| u64::from(o)).sum();
+        let backlog = self.inner.backlog_len() as u64;
+        let active = self.inner.ledger().active() as u64;
+        if active != on_network + backlog {
+            panic!(
+                "invariant violated at tick {tick}: vehicle conservation: ledger holds \
+                 {active} uncompleted vehicles but the plant accounts for {on_network} \
+                 on-network + {backlog} backlogged"
+            );
+        }
+        // Sensor consistency (also proves every queue length is a
+        // well-formed non-negative count): incremental counters must
+        // equal a from-scratch rescan.
+        if let Err(msg) = self.inner.verify_sensors() {
+            panic!("invariant violated at tick {tick}: sensor consistency: {msg}");
+        }
+        // Closure monotonicity: a closed road only drains, and entered
+        // counters never run backwards.
+        if self.closed_occ.len() != self.occ.len() {
+            self.closed_occ.resize(self.occ.len(), None);
+            self.prev_entered.resize(self.occ.len(), 0);
+        }
+        for r in 0..self.occ.len() {
+            let road = RoadId::new(r as u32);
+            let entered = self.inner.road_entered(road);
+            if entered < self.prev_entered[r] {
+                panic!(
+                    "invariant violated at tick {tick}: road {road} entered counter went \
+                     backwards ({} -> {entered})",
+                    self.prev_entered[r]
+                );
+            }
+            self.prev_entered[r] = entered;
+            if self.inner.road_closed(road) {
+                if let Some(before) = self.closed_occ[r] {
+                    if self.occ[r] > before {
+                        panic!(
+                            "invariant violated at tick {tick}: closed road {road} admitted \
+                             traffic (occupancy {before} -> {})",
+                            self.occ[r]
+                        );
+                    }
+                }
+                self.closed_occ[r] = Some(self.occ[r]);
+            } else {
+                self.closed_occ[r] = None;
+            }
+        }
+    }
+}
+
+impl<S: TrafficSubstrate> TrafficSubstrate for InvariantGuard<S> {
+    fn backend(&self) -> Backend {
+        self.inner.backend()
+    }
+
+    fn step_into<'a>(
+        &mut self,
+        arrivals: &mut Vec<Arrival>,
+        scratch: &'a mut SubstrateScratch,
+    ) -> &'a [PhaseDecision] {
+        let decisions = self.inner.step_into(arrivals, scratch);
+        self.check();
+        decisions
+    }
+
+    fn step_into_timed<'a>(
+        &mut self,
+        arrivals: &mut Vec<Arrival>,
+        scratch: &'a mut SubstrateScratch,
+        timings: &mut PhaseTimings,
+    ) -> &'a [PhaseDecision] {
+        let decisions = self.inner.step_into_timed(arrivals, scratch, timings);
+        self.check();
+        decisions
+    }
+
+    fn set_road_closed(&mut self, road: RoadId, closed: bool) {
+        self.inner.set_road_closed(road, closed);
+        // Restart the drain watermark on any closure transition so a
+        // close→reopen→close sequence is not compared across windows.
+        if let Some(slot) = self.closed_occ.get_mut(road.index()) {
+            *slot = None;
+        }
+    }
+
+    fn road_closed(&self, road: RoadId) -> bool {
+        self.inner.road_closed(road)
+    }
+
+    fn road_occupancy(&self, road: RoadId) -> u32 {
+        self.inner.road_occupancy(road)
+    }
+
+    fn road_entered(&self, road: RoadId) -> u64 {
+        self.inner.road_entered(road)
+    }
+
+    fn movement_queue_len(&self, intersection: IntersectionId, link: utilbp_core::LinkId) -> u32 {
+        self.inner.movement_queue_len(intersection, link)
+    }
+
+    fn incoming_queue_len(&self, intersection: IntersectionId, arm: IncomingId) -> u32 {
+        self.inner.incoming_queue_len(intersection, arm)
+    }
+
+    fn occupancy_snapshot(&self, out: &mut Vec<u32>) {
+        self.inner.occupancy_snapshot(out);
+    }
+
+    fn backlog_len(&self) -> usize {
+        self.inner.backlog_len()
+    }
+
+    fn ledger(&self) -> &WaitingLedger {
+        self.inner.ledger()
+    }
+
+    fn mean_waiting_including_active(&self) -> f64 {
+        self.inner.mean_waiting_including_active()
+    }
+
+    fn replan_routes(&mut self, replan: &mut RouteRewrite<'_>) -> u64 {
+        self.inner.replan_routes(replan)
+    }
+
+    fn verify_sensors(&self) -> Result<(), String> {
+        self.inner.verify_sensors()
     }
 }
 
@@ -588,6 +921,68 @@ mod tests {
             assert!(substrate.road_closed(internal));
             substrate.set_road_closed(internal, false);
             assert!(!substrate.road_closed(internal));
+        }
+    }
+
+    #[test]
+    fn guarded_runs_match_unguarded_runs_on_both_backends() {
+        // The guard reads, never writes: stepping the same seed through
+        // a guarded and an unguarded substrate (with a mid-run closure
+        // and reopen) must produce identical ledgers and metrics, and no
+        // check may fire on a healthy plant.
+        let grid = GridNetwork::new(GridSpec::paper());
+        let net = Network::from_grid(&grid, Pattern::II);
+        let closed = net
+            .topology()
+            .road_ids()
+            .find(|&r| net.topology().road(r).is_internal())
+            .unwrap();
+        for backend in Backend::ALL {
+            let n = grid.topology().num_intersections();
+            let run = |guard: bool| -> (u64, f64, usize) {
+                let plant = build_substrate(
+                    backend,
+                    grid.topology().clone(),
+                    controllers(n),
+                    MicroSimConfig::default(),
+                );
+                let mut plain;
+                let mut guarded;
+                let substrate: &mut dyn TrafficSubstrate = if guard {
+                    guarded = InvariantGuard::new(plant);
+                    &mut guarded
+                } else {
+                    plain = plant;
+                    &mut plain
+                };
+                let mut demand = utilbp_netgen::DemandGenerator::new(
+                    &grid,
+                    utilbp_netgen::DemandConfig::new(utilbp_netgen::DemandSchedule::constant(
+                        Pattern::II,
+                        utilbp_core::Ticks::new(300),
+                    )),
+                    11,
+                );
+                let mut arrivals = Vec::new();
+                let mut scratch = SubstrateScratch::new();
+                for k in 0..300u64 {
+                    if k == 80 {
+                        substrate.set_road_closed(closed, true);
+                    }
+                    if k == 200 {
+                        substrate.set_road_closed(closed, false);
+                    }
+                    arrivals.clear();
+                    demand.poll_into(&grid, Tick::new(k), &mut arrivals);
+                    substrate.step_into(&mut arrivals, &mut scratch);
+                }
+                (
+                    substrate.ledger().completed(),
+                    substrate.mean_waiting_including_active(),
+                    substrate.backlog_len(),
+                )
+            };
+            assert_eq!(run(true), run(false), "{backend}");
         }
     }
 

@@ -15,14 +15,14 @@
 //! | Module | Crate | Contents |
 //! |---|---|---|
 //! | [`core`] | `utilbp-core` | Intersection model (Section II), link gains (Eqs. 4–11), **Algorithm 1** |
-//! | [`baselines`] | `utilbp-baselines` | CAP-BP, original BP, fixed-time, greedy, fixed-length ablation |
+//! | [`baselines`] | `utilbp-baselines` | CAP-BP, original BP, fixed-time, greedy, fixed-length ablation; fault-injection wrappers and the watchdog fallback |
 //! | [`queueing`] | `utilbp-queueing` | Mesoscopic store-and-forward network simulator (Eq. 2) |
 //! | [`microsim`] | `utilbp-microsim` | Microscopic simulator: Krauss car-following, dedicated lanes, ambers |
 //! | [`netgen`] | `utilbp-netgen` | 3×3 grid builder, Table I/II demand, routes, en-route replanning |
 //! | [`metrics`] | `utilbp-metrics` | Waiting ledgers, time series, phase traces, rendering |
-//! | [`substrate`] | `utilbp-substrate` | The unified plant layer: one `TrafficSubstrate` trait over both simulators |
-//! | [`scenario`] | `utilbp-scenario` | Scenario files: topologies × demand profiles × disruption events |
-//! | [`experiments`] | `utilbp-experiments` | Fig. 2, Table III, Figs. 3–5, ablations, scenario sweeps |
+//! | [`substrate`] | `utilbp-substrate` | The unified plant layer: one `TrafficSubstrate` trait over both simulators, plus the opt-in `InvariantGuard` |
+//! | [`scenario`] | `utilbp-scenario` | Scenario files: topologies × demand profiles × disruption events (closures, sensor/actuator/comms faults) |
+//! | [`experiments`] | `utilbp-experiments` | Fig. 2, Table III, Figs. 3–5, ablations, scenario sweeps, the `chaos` resilience harness |
 //!
 //! ## Substrate layer
 //!
@@ -90,6 +90,53 @@
 //!   stable). Routing thereby responds to observed queue state rather
 //!   than a fixed turn matrix — the regime of back-pressure control with
 //!   unknown routing rates (arXiv:1401.3357).
+//!
+//! ## Robustness & fault plane
+//!
+//! The paper's CPS story is incomplete without the failure modes a
+//! deployed signal system actually sees: dead induction loops, stuck
+//! actuators, dropped command messages. The workspace models them as a
+//! *fault plane* — deterministic decorators between the controller and
+//! the plant, plus a watchdog that detects implausible sensing and
+//! degrades gracefully:
+//!
+//! - **Sensor faults** ([`baselines::FaultySensors`],
+//!   [`baselines::SensorFaultConfig`]): per-intersection seeded streams
+//!   inject dropouts (counters read zero), frozen counters (stale
+//!   reads), and stuck-at values into the queue lengths a controller
+//!   sees. The plant itself is untouched — only perception is corrupted.
+//! - **Actuator / comms faults** ([`baselines::FaultyActuation`],
+//!   [`baselines::ActuationFaultConfig`]): the controller's *decision*
+//!   is distorted on its way to the plant — phases stick for a
+//!   configured dwell, commands drop (the last delivered decision
+//!   holds), or deliveries lag by a bounded delay, each from an
+//!   independent seeded stream.
+//! - **Watchdog fallback** ([`baselines::Degrading`],
+//!   [`baselines::WatchdogConfig`]): a per-intersection plausibility
+//!   monitor over the sensor stream the controller consumes. When the
+//!   stream turns implausible (frozen, impossibly jumpy, all-zero), the
+//!   intersection switches to a fixed-time fallback; a hysteresis band
+//!   of consecutive plausible reads must pass before control returns.
+//!   Activation counts, degraded ticks, and mean recovery time surface
+//!   in [`scenario::ScenarioOutcome`].
+//! - **Runtime invariant guard** ([`substrate::InvariantGuard`]): an
+//!   opt-in substrate wrapper (engine: `EngineConfig::guarded()`)
+//!   checking vehicle conservation, queue non-negativity, and
+//!   closed-road admission every tick, panicking with a tick-stamped
+//!   diagnostic on the first violation. When absent it costs nothing —
+//!   the unguarded path is untouched.
+//!
+//! All fault draws come from per-intersection streams split from the
+//! scenario seed by fault domain, and every mode's draw is gated on its
+//! probability, so enabling one mode never perturbs another's stream —
+//! fixed-seed goldens hold with faults off, and runs with faults on are
+//! bit-identical across Serial/Rayon and across repeats. Mid-run
+//! toggling is exposed through shared [`baselines::FaultSwitch`]
+//! handles. The `chaos` binary (and `tests/chaos.rs`) sweeps seeded
+//! fault timelines — sensor, actuator, comms, closure/reopen
+//! interleavings — over both backends under the guard, asserting zero
+//! panics, exact conservation, bit-identical outcomes, and bounded
+//! degradation with the fallback on.
 //!
 //! ## Quickstart
 //!

@@ -277,20 +277,114 @@ fn surge_and_fault_scenarios_stay_deterministic_with_events_applied() {
             ScenarioEvent::SensorFault {
                 config: adaptive_backpressure::baselines::SensorFaultConfig {
                     dropout: 0.25,
-                    noise: 0.0,
-                    noise_magnitude: 0,
                     freeze: 0.1,
+                    ..adaptive_backpressure::baselines::SensorFaultConfig::NONE
                 },
                 from: Tick::new(80),
                 until: Tick::new(220),
             },
+            ScenarioEvent::ActuationFault {
+                config: adaptive_backpressure::baselines::ActuationFaultConfig {
+                    stuck: 0.05,
+                    stuck_ticks: 20,
+                    drop: 0.2,
+                    delay: 0.1,
+                    delay_ticks: 3,
+                },
+                from: Tick::new(120),
+                until: Tick::new(260),
+            },
         ],
         replan: ReplanPolicy::Off,
+        watchdog: Some(adaptive_backpressure::baselines::WatchdogConfig::default()),
     };
     for backend in Backend::ALL {
         let a = run(&spec, backend, Parallelism::Serial);
         let b = run(&spec, backend, Parallelism::Rayon);
         assert_eq!(a, b, "events + faults stay deterministic on {backend}");
+    }
+}
+
+#[test]
+fn mid_run_fault_switch_toggling_stays_deterministic_across_parallelism() {
+    // The timeline normally drives the fault switches; here an external
+    // supervisor toggles them between steps — open, shut, open again —
+    // while the sharded phases run on the pool. Outcomes must stay
+    // bit-identical across Serial/Rayon and across repeats: the switch
+    // is read once per decision, and gated decorators draw nothing
+    // while inactive.
+    let spec = ScenarioSpec {
+        name: "switch-toggle".to_string(),
+        seed: 17,
+        horizon: Ticks::new(240),
+        topology: TopologySpec::Grid {
+            spec: adaptive_backpressure::netgen::GridSpec::paper(),
+            pattern: adaptive_backpressure::netgen::Pattern::II,
+        },
+        demand: DemandProfile::Constant,
+        // Windowless fault events would never open the switches; give
+        // the spec both fault configs with inert timelines so the
+        // engine installs the gated decorators, then drive the switches
+        // by hand.
+        events: vec![
+            ScenarioEvent::SensorFault {
+                config: adaptive_backpressure::baselines::SensorFaultConfig {
+                    frozen: 0.8,
+                    dropout: 0.2,
+                    ..adaptive_backpressure::baselines::SensorFaultConfig::NONE
+                },
+                from: Tick::new(230),
+                until: Tick::new(235),
+            },
+            ScenarioEvent::ActuationFault {
+                config: adaptive_backpressure::baselines::ActuationFaultConfig {
+                    stuck: 0.1,
+                    stuck_ticks: 15,
+                    drop: 0.25,
+                    delay: 0.2,
+                    delay_ticks: 2,
+                },
+                from: Tick::new(230),
+                until: Tick::new(235),
+            },
+        ],
+        replan: ReplanPolicy::Off,
+        watchdog: None,
+    };
+    let toggled_run = |backend: Backend, parallelism: Parallelism| -> ScenarioOutcome {
+        let config = EngineConfig {
+            parallelism,
+            ..EngineConfig::new(backend)
+        };
+        let mut engine =
+            ScenarioEngine::new(spec.clone(), config, &util_factory()).expect("spec validates");
+        let sensors = engine.sensor_fault_switch();
+        let actuators = engine.actuation_fault_switch();
+        while engine.now().index() < engine.spec().horizon.count() {
+            match engine.now().index() {
+                40 => sensors.set_active(true),
+                90 => {
+                    sensors.set_active(false);
+                    actuators.set_active(true);
+                }
+                140 => sensors.set_active(true),
+                190 => {
+                    sensors.set_active(false);
+                    actuators.set_active(false);
+                }
+                _ => {}
+            }
+            engine.step();
+        }
+        engine.outcome()
+    };
+    for backend in Backend::ALL {
+        let serial_a = toggled_run(backend, Parallelism::Serial);
+        let serial_b = toggled_run(backend, Parallelism::Serial);
+        let rayon = toggled_run(backend, Parallelism::Rayon);
+        assert_eq!(serial_a, serial_b, "{backend}: repeat determinism");
+        assert_eq!(serial_a, rayon, "{backend}: serial vs rayon");
+        assert!(serial_a.generated > 0, "{backend}");
     }
 }
 
@@ -417,6 +511,67 @@ fn congestion_policy_reroutes_under_load_and_is_free_off_threshold() {
 }
 
 #[test]
+fn congestion_diverted_vehicles_restore_once_the_congested_set_clears() {
+    // A surge on the straight-biased asymmetric grid (80%
+    // through-traffic, so congestion detours are strictly worse by
+    // turning weight — the same precondition reopen-restore needs)
+    // saturates the north–south axis and the monitor diverts journeys
+    // around it. Once every suffix-eligible road leaves the hysteresis
+    // band, the engine offers each tracked congestion-diverted vehicle
+    // its restore — the mirror image of reopen-restore for the
+    // endogenous congestion regime.
+    let spec = ScenarioSpec {
+        name: "congestion-restore".to_string(),
+        seed: 2020,
+        horizon: Ticks::new(600),
+        topology: TopologySpec::AsymmetricGrid(adaptive_backpressure::netgen::AsymmetricGridSpec {
+            inter_arrival_s: [5.0, 12.0, 5.0, 12.0],
+            turning: adaptive_backpressure::netgen::TurningProbabilities::new([(0.1, 0.1); 4])
+                .expect("0.1 right + 0.1 left per side is a valid table"),
+            ..adaptive_backpressure::netgen::AsymmetricGridSpec::default()
+        }),
+        demand: DemandProfile::Constant,
+        events: vec![ScenarioEvent::Surge {
+            factor: 5.0,
+            from: Tick::new(40),
+            until: Tick::new(100),
+        }],
+        replan: ReplanPolicy::Congestion {
+            period: 10,
+            threshold: 0.2,
+            hysteresis: 0.04,
+        },
+        watchdog: None,
+    };
+    for backend in Backend::ALL {
+        let mut engine =
+            ScenarioEngine::new(spec.clone(), EngineConfig::new(backend), &util_factory())
+                .expect("spec validates");
+        engine.run_to_end();
+        assert!(
+            engine.congestion_reroutes() > 0,
+            "{backend}: the surge must trigger congestion reroutes"
+        );
+        let restores = engine.congestion_restores();
+        assert!(
+            restores > 0,
+            "{backend}: clearing congestion must restore tracked detours"
+        );
+        assert_eq!(
+            engine.vehicles_restored(),
+            restores,
+            "{backend}: no closures, so every restore is congestion-driven"
+        );
+        assert!(
+            restores <= engine.congestion_reroutes(),
+            "{backend}: only diverted vehicles can restore"
+        );
+        let outcome = engine.outcome();
+        assert_eq!(outcome.restored, restores, "{backend}");
+    }
+}
+
+#[test]
 fn hysteresis_prevents_congested_set_churn_when_occupancy_hovers() {
     use adaptive_backpressure::scenario::CongestionMonitor;
     // Occupancy hovering around the threshold: with a hysteresis band the
@@ -457,6 +612,8 @@ fn builtin_library_meets_the_coverage_floor() {
     assert!(all.iter().filter(|s| s.demand.is_time_varying()).count() >= 2);
     assert!(all.iter().any(|s| s.has_closures()));
     assert!(all.iter().any(|s| s.sensor_fault().is_some()));
+    assert!(all.iter().any(|s| s.actuation_fault().is_some()));
+    assert!(all.iter().any(|s| s.watchdog.is_some()));
     assert!(all
         .iter()
         .any(|s| s.replan == ReplanPolicy::AtNextJunction && s.has_closures()));
