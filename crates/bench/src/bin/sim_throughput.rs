@@ -10,8 +10,11 @@
 //! `grid-incident-replan`, and `grid-congestion-replan` scenarios stepped
 //! through `ScenarioEngine`, so demand scheduling, event dispatch, and —
 //! for the replanning rows — the closure-diversion and periodic
-//! congestion-replanning paths are inside the measured run). Every
-//! simulator is built through `utilbp-substrate`'s shared constructor
+//! congestion-replanning paths are inside the measured run, and the
+//! `grid-degraded-recovery` / `grid-degraded-recovery+recorder` pair
+//! measures the flight recorder's off/on cost on a busy event stream).
+//! Every simulator is built through `utilbp-substrate`'s shared
+//! constructor
 //! and stepped through the `TrafficSubstrate` trait, exactly like the
 //! production drivers. Microscopic grid rows also record a per-phase
 //! wall-clock breakdown (decide / car-following / landings / waiting,
@@ -132,6 +135,21 @@ fn measure_grid(
 /// that enable it) en-route replanning — measured through
 /// [`ScenarioEngine`].
 fn measure_scenario(name: &str, backend: Backend, ticks: u64, reps: u32) -> Measurement {
+    measure_scenario_recorded(name, backend, ticks, reps, false)
+}
+
+/// Scenario row with the flight recorder optionally attached, so the
+/// trajectory file documents both sides of the telemetry contract: the
+/// recording-off row is the default engine (`NullRecorder`, every
+/// emission site gated on one cached bool — cost ≈ 0) and the `+recorder`
+/// row runs the same scenario with a live ring-buffer recorder.
+fn measure_scenario_recorded(
+    name: &str,
+    backend: Backend,
+    ticks: u64,
+    reps: u32,
+    recording: bool,
+) -> Measurement {
     let mut best = f64::INFINITY;
     for _ in 0..reps.max(1) {
         let mut spec = builtin(name).expect("built-in scenario exists");
@@ -143,6 +161,9 @@ fn measure_scenario(name: &str, backend: Backend, ticks: u64, reps: u32) -> Meas
             Box::new(UtilBp::paper())
         })
         .expect("built-in scenario validates");
+        if recording {
+            engine.enable_recording(1 << 16);
+        }
         for _ in 0..WARMUP_TICKS {
             engine.step();
         }
@@ -154,7 +175,11 @@ fn measure_scenario(name: &str, backend: Backend, ticks: u64, reps: u32) -> Meas
     }
     Measurement {
         substrate: backend.name(),
-        workload: name.to_string(),
+        workload: if recording {
+            format!("{name}+recorder")
+        } else {
+            name.to_string()
+        },
         mode: Parallelism::Serial,
         ticks,
         seconds: best,
@@ -237,6 +262,33 @@ fn main() {
             eprintln!(
                 "{:<11} {scenario_name} serial: {:>10.1} ticks/s",
                 s.substrate,
+                s.ticks_per_sec()
+            );
+            results.push(s);
+        }
+    }
+    // The telemetry overhead pair: the watchdog builtin (a busy event
+    // stream — fault window, activations, recoveries, phase switches)
+    // with recording off and on. The off row is the zero-cost-when-off
+    // claim in the trajectory; the delta to the on row is the full price
+    // of a live flight recorder.
+    for backend in [Backend::Queueing, Backend::Microscopic] {
+        let ticks = tick_override.unwrap_or(match backend {
+            Backend::Queueing => 2000,
+            Backend::Microscopic => 600,
+        });
+        for recording in [false, true] {
+            let s = measure_scenario_recorded(
+                "grid-degraded-recovery",
+                backend,
+                ticks,
+                reps,
+                recording,
+            );
+            eprintln!(
+                "{:<11} {} serial: {:>10.1} ticks/s",
+                s.substrate,
+                s.workload,
                 s.ticks_per_sec()
             );
             results.push(s);

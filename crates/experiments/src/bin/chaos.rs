@@ -6,6 +6,8 @@
 //! chaos --horizon 160          # shorter timelines
 //! chaos --seed 7               # a different timeline family
 //! chaos --backend queueing     # one substrate (queueing|microscopic)
+//! chaos --trace                # append a flight-recorder replay of timeline 0
+//! chaos --trace --profile      # …with the tick-section profile table
 //! ```
 //!
 //! Every simulation runs with the invariant guard installed; any
@@ -14,7 +16,9 @@
 //! report gracefully (Serial/Rayon divergence, repeat-run divergence,
 //! degradation bound breach) print a one-line diagnostic and exit 1.
 
-use utilbp_experiments::{run_chaos, ChaosConfig};
+use utilbp_experiments::{
+    chaos_timeline, run_chaos, run_trace, ChaosConfig, ControllerKind, TraceOptions,
+};
 use utilbp_scenario::Backend;
 
 fn main() {
@@ -26,6 +30,8 @@ fn main() {
 
 fn run() -> Result<(), String> {
     let mut config = ChaosConfig::default();
+    let mut trace = false;
+    let mut profile = false;
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut iter = args.iter();
     while let Some(arg) = iter.next() {
@@ -49,6 +55,11 @@ fn run() -> Result<(), String> {
                 config.master_seed = value("--seed")?
                     .parse()
                     .map_err(|e| format!("--seed: {e}"))?;
+            }
+            "--trace" => trace = true,
+            "--profile" => {
+                trace = true;
+                profile = true;
             }
             "--backend" => {
                 config.backends = vec![match value("--backend")?.as_str() {
@@ -84,5 +95,25 @@ fn run() -> Result<(), String> {
     );
     println!();
     println!("{}", report.render());
+
+    if trace {
+        // Opt-in appendix: replay timeline 0 (with the watchdog
+        // installed, as the harness runs it) under the flight recorder.
+        // The replay uses the guard's observe mode — violations become
+        // events in the stream — while the harness proper keeps the
+        // panicking guard above.
+        for &backend in &config.backends {
+            let mut spec = chaos_timeline(config.master_seed, 0, config.horizon);
+            spec.watchdog = Some(utilbp_baselines::WatchdogConfig::default());
+            let options = TraceOptions {
+                backend,
+                profile,
+                ..TraceOptions::default()
+            };
+            let report = run_trace(spec, &options, &|_| ControllerKind::UtilBp.build())?;
+            println!();
+            println!("{}", report.render());
+        }
+    }
     Ok(())
 }

@@ -7,6 +7,8 @@
 //! scenarios --builtin NAME ... # selected built-ins by name
 //! scenarios --parallelism rayon # run the sharded sim phases on the pool
 //! scenarios file.scn ...       # scenario files in the text format
+//! scenarios --trace            # append a flight-recorder trace per spec
+//! scenarios --trace --profile  # …with the tick-section profile table
 //! ```
 //!
 //! Env: `UTILBP_QUICK=1` caps every horizon at 300 ticks.
@@ -21,7 +23,7 @@
 //! bad input.
 
 use utilbp_core::Parallelism;
-use utilbp_experiments::{scenario_comparison, Backend, ControllerKind};
+use utilbp_experiments::{run_trace, scenario_comparison, Backend, ControllerKind, TraceOptions};
 use utilbp_scenario::{builtin, builtin_scenarios, parse_scenario, ScenarioSpec};
 
 fn main() {
@@ -37,10 +39,17 @@ fn run() -> Result<(), String> {
     let mut files: Vec<&String> = Vec::new();
     let mut builtins: Vec<ScenarioSpec> = Vec::new();
     let mut parallelism = Parallelism::Serial;
+    let mut trace = false;
+    let mut profile = false;
     let mut iter = args.iter();
     while let Some(arg) = iter.next() {
         match arg.as_str() {
             "--smoke" => {}
+            "--trace" => trace = true,
+            "--profile" => {
+                trace = true;
+                profile = true;
+            }
             "--builtin" => {
                 let name = iter
                     .next()
@@ -123,5 +132,23 @@ fn run() -> Result<(), String> {
     println!("Scenario comparison — mean queuing time (completed/generated)");
     println!();
     println!("{}", comparison.render());
+
+    if trace {
+        // Opt-in appendix: replay each spec once on the queueing
+        // substrate with the flight recorder (and optionally the
+        // profiler) on. The replayed outcomes are bit-identical to the
+        // comparison runs above — recording is strictly passive.
+        let options = TraceOptions {
+            parallelism,
+            profile,
+            horizon_cap,
+            ..TraceOptions::default()
+        };
+        for spec in &specs {
+            let report = run_trace(spec.clone(), &options, &|_| ControllerKind::UtilBp.build())?;
+            println!();
+            println!("{}", report.render());
+        }
+    }
     Ok(())
 }

@@ -35,6 +35,7 @@ mod runner;
 mod scenario;
 mod scenarios;
 mod table3;
+mod trace;
 mod traces;
 mod tradeoff;
 
@@ -48,5 +49,6 @@ pub use runner::{run, run_many, Probe, RunResult};
 pub use scenario::{Backend, ControllerKind, Scenario};
 pub use scenarios::{scenario_comparison, ScenarioComparison, ScenarioRow};
 pub use table3::{table3, Table3Result, Table3Row};
+pub use trace::{run_trace, TraceOptions, TraceReport};
 pub use traces::{pattern1_detail, Pattern1Detail};
 pub use tradeoff::{penalty_grid, tradeoff, TradeoffResult, TradeoffRow};

@@ -1,6 +1,6 @@
-//! Operator-facing error paths of the `scenarios` and `chaos` binaries:
-//! bad input gets a one-line stderr diagnostic and a non-zero exit, never
-//! a panic (no `RUST_BACKTRACE` noise, no abort).
+//! Operator-facing error paths of the `scenarios`, `chaos`, and `trace`
+//! binaries: bad input gets a one-line stderr diagnostic and a non-zero
+//! exit, never a panic (no `RUST_BACKTRACE` noise, no abort).
 
 use std::process::{Command, Output};
 
@@ -13,6 +13,13 @@ fn scenarios(args: &[&str]) -> Output {
 
 fn chaos(args: &[&str]) -> Output {
     Command::new(env!("CARGO_BIN_EXE_chaos"))
+        .args(args)
+        .output()
+        .expect("binary spawns")
+}
+
+fn trace(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_trace"))
         .args(args)
         .output()
         .expect("binary spawns")
@@ -99,6 +106,56 @@ fn scenarios_rejects_mixing_builtins_and_files() {
         &scenarios(&["--builtin", "paper-grid", "whatever.scn"]),
         "scenarios",
         "not both",
+    );
+}
+
+#[test]
+fn trace_rejects_bad_arguments() {
+    assert_clean_failure(
+        &trace(&["--frobnicate"]),
+        "trace",
+        "unknown flag `--frobnicate`",
+    );
+    assert_clean_failure(&trace(&["--builtin"]), "trace", "--builtin needs a value");
+    assert_clean_failure(
+        &trace(&[]),
+        "trace",
+        "pass a scenario: --builtin NAME or a scenario file",
+    );
+    assert_clean_failure(
+        &trace(&["--builtin", "no-such-scenario"]),
+        "trace",
+        "no built-in scenario `no-such-scenario`",
+    );
+    assert_clean_failure(
+        &trace(&["--builtin", "paper-grid", "whatever.scn"]),
+        "trace",
+        "not both",
+    );
+    assert_clean_failure(
+        &trace(&["one.scn", "two.scn"]),
+        "trace",
+        "exactly one scenario file",
+    );
+    assert_clean_failure(
+        &trace(&["/no/such/dir/missing.scn"]),
+        "trace",
+        "cannot read /no/such/dir/missing.scn",
+    );
+    assert_clean_failure(
+        &trace(&["--builtin", "paper-grid", "--capacity", "0"]),
+        "trace",
+        "--capacity must be at least 1",
+    );
+    assert_clean_failure(
+        &trace(&["--builtin", "paper-grid", "--every", "0"]),
+        "trace",
+        "--every must be at least 1",
+    );
+    assert_clean_failure(
+        &trace(&["--builtin", "paper-grid", "--backend", "imaginary"]),
+        "trace",
+        "unknown backend `imaginary`",
     );
 }
 

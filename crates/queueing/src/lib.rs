@@ -26,7 +26,7 @@
 
 mod sim;
 
-pub use sim::{QueueSim, QueueSimConfig, StepReport, TransitModel};
+pub use sim::{QueueSim, QueueSimConfig, StepPhaseTimings, StepReport, TransitModel};
 
 #[cfg(test)]
 mod tests {

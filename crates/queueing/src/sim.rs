@@ -154,6 +154,53 @@ struct LinkService {
     out_road: RoadId,
 }
 
+/// Cumulative wall-clock seconds attributed to each section of the
+/// queueing step pipeline by [`QueueSim::step_into_timed`]. Fields are
+/// **added onto** across ticks, so one instance accumulates a whole
+/// run's profile.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct StepPhaseTimings {
+    /// Transit arrivals landing on queues + boundary backlog drains.
+    pub transit: f64,
+    /// Sensing (observation rewrite) + controller decisions.
+    pub decide: f64,
+    /// Serving activated links.
+    pub serve: f64,
+    /// Exogenous arrival injection + report bookkeeping.
+    pub inject: f64,
+}
+
+impl StepPhaseTimings {
+    /// Total attributed seconds.
+    pub fn total(&self) -> f64 {
+        self.transit + self.decide + self.serve + self.inject
+    }
+}
+
+/// Lap timer for [`QueueSim::step_into_timed`]: when disabled (`None`
+/// timings) every call is a no-op the optimizer removes, so the untimed
+/// hot path pays nothing.
+struct SlotStopwatch<'a> {
+    timings: Option<&'a mut StepPhaseTimings>,
+    last: Option<std::time::Instant>,
+}
+
+impl<'a> SlotStopwatch<'a> {
+    fn new(timings: Option<&'a mut StepPhaseTimings>) -> Self {
+        let last = timings.as_ref().map(|_| std::time::Instant::now());
+        SlotStopwatch { timings, last }
+    }
+
+    /// Adds the time since the previous lap onto the picked field.
+    fn lap(&mut self, pick: fn(&mut StepPhaseTimings) -> &mut f64) {
+        if let (Some(timings), Some(last)) = (self.timings.as_deref_mut(), self.last.as_mut()) {
+            let now = std::time::Instant::now();
+            *pick(timings) += now.duration_since(*last).as_secs_f64();
+            *last = now;
+        }
+    }
+}
+
 /// What happened during one simulation step.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct StepReport {
@@ -613,10 +660,35 @@ impl QueueSim {
     /// and [`StepReport`] across ticks incur no per-tick heap allocation
     /// from the stepping machinery.
     pub fn step_into(&mut self, arrivals: &mut Vec<Arrival>, report: &mut StepReport) {
+        self.step_impl(arrivals, report, None);
+    }
+
+    /// [`step_into`](Self::step_into) with per-section wall-clock
+    /// attribution: each pipeline section's elapsed time is **added**
+    /// onto the matching [`StepPhaseTimings`] field. Timing reads are
+    /// measurements, not inputs — the simulated outcome is identical to
+    /// the untimed path.
+    pub fn step_into_timed(
+        &mut self,
+        arrivals: &mut Vec<Arrival>,
+        report: &mut StepReport,
+        timings: &mut StepPhaseTimings,
+    ) {
+        self.step_impl(arrivals, report, Some(timings));
+    }
+
+    fn step_impl(
+        &mut self,
+        arrivals: &mut Vec<Arrival>,
+        report: &mut StepReport,
+        timings: Option<&mut StepPhaseTimings>,
+    ) {
+        let mut watch = SlotStopwatch::new(timings);
         let now = self.now;
 
         let completed = self.move_transit_arrivals(now);
         self.drain_backlogs(now);
+        watch.lap(|t| &mut t.transit);
 
         // Sense: rewrite the reusable observation buffer (O(1) reads per
         // field from deque lengths and the incremental road counters).
@@ -643,6 +715,7 @@ impl QueueSim {
             );
         }
         self.obs_buf = obs_buf;
+        watch.lap(|t| &mut t.decide);
 
         // Serve activated links.
         let mut served = 0u32;
@@ -651,6 +724,7 @@ impl QueueSim {
                 served += self.serve_phase(i, phase, now);
             }
         }
+        watch.lap(|t| &mut t.serve);
 
         // Inject this slot's exogenous arrivals.
         let mut injected = 0u32;
@@ -670,6 +744,7 @@ impl QueueSim {
         report.served = served;
         report.completed = completed;
         report.injected = injected;
+        watch.lap(|t| &mut t.inject);
     }
 
     /// Runs `horizon` steps with no exogenous demand (useful to drain the

@@ -24,6 +24,16 @@
 //! distorts whatever the (possibly degraded) controller commands. An
 //! [`EngineConfig::guard`] flag wraps the substrate in an
 //! [`InvariantGuard`] that re-proves conservation every tick.
+//!
+//! The engine is also the attachment point of the `utilbp-telemetry`
+//! flight recorder: [`ScenarioEngine::enable_recording`] installs a
+//! [`FlightRecorder`] capturing tick-stamped events (phase changes,
+//! closures, fault windows, watchdog transitions, replans, observe-mode
+//! guard violations), [`ScenarioEngine::enable_gauges`] samples queue /
+//! pressure / occupancy / backlog gauges on a cadence, and
+//! [`ScenarioEngine::enable_profiling`] attributes each tick's
+//! wall-clock to pipeline [`Section`]s. All instruments are strictly
+//! passive — see the telemetry crate's determinism/passivity contract.
 
 use std::collections::HashSet;
 
@@ -31,10 +41,17 @@ use utilbp_baselines::{
     Degrading, FaultSwitch, FaultyActuation, FaultySensors, FixedTime, WatchdogStats,
 };
 use utilbp_core::{Parallelism, SignalController, Tick, Ticks};
-use utilbp_metrics::{VehicleId, WaitingLedger};
+use utilbp_metrics::{TimeSeries, VehicleId, WaitingLedger};
 use utilbp_microsim::MicroSimConfig;
+use utilbp_microsim::PhaseTimings;
 use utilbp_netgen::{Arrival, Network, Replanner, RoadId, TurningProbabilities};
-use utilbp_substrate::{build_substrate, InvariantGuard, SubstrateScratch, TrafficSubstrate};
+use utilbp_substrate::{
+    build_substrate, GuardLog, GuardViolation, InvariantGuard, SubstrateScratch, TrafficSubstrate,
+};
+use utilbp_telemetry::{
+    Event, EventKind, FlightRecorder, GaugeId, GaugeRegistry, NullRecorder, Recorder,
+    ReplanTrigger, Section, TickProfiler,
+};
 
 use crate::demand::NetworkDemand;
 use crate::spec::{Backend, ReplanPolicy, ScenarioEvent, ScenarioSpec};
@@ -58,6 +75,12 @@ pub struct EngineConfig {
     /// the guard costs a per-tick occupancy sweep, and production runs
     /// pay nothing for it when disabled.
     pub guard: bool,
+    /// With [`guard`](Self::guard) set, switches the guard to
+    /// **observe** mode: violations are logged (and surfaced as
+    /// `guard_violation` events when a recorder is installed) instead of
+    /// aborting the run. Ignored when the guard is off. Chaos harnesses
+    /// keep the default panicking mode; the `trace` replay uses this.
+    pub guard_observe: bool,
 }
 
 impl EngineConfig {
@@ -68,12 +91,21 @@ impl EngineConfig {
             parallelism: Parallelism::Serial,
             micro: MicroSimConfig::default(),
             guard: false,
+            guard_observe: false,
         }
     }
 
     /// The same config with the invariant guard enabled.
     pub fn guarded(mut self) -> Self {
         self.guard = true;
+        self
+    }
+
+    /// The same config with the invariant guard enabled in observe
+    /// (non-panicking, event-emitting) mode.
+    pub fn observed(mut self) -> Self {
+        self.guard = true;
+        self.guard_observe = true;
         self
     }
 }
@@ -240,6 +272,107 @@ pub struct ScenarioOutcome {
     pub final_backlog: usize,
 }
 
+/// The engine's gauge handles: one registry plus the ids of every
+/// registered series, so sampling never does a name lookup.
+struct Gauges {
+    registry: GaugeRegistry,
+    backlog: GaugeId,
+    congested: GaugeId,
+    /// Per-intersection total incoming queue, intersection order.
+    queue: Vec<GaugeId>,
+    /// Per-intersection peak movement queue (a pressure proxy: the
+    /// back-pressure controllers activate the phase serving the longest
+    /// movement queues), intersection order.
+    pressure: Vec<GaugeId>,
+    /// Per-road occupancy, road order.
+    occupancy: Vec<GaugeId>,
+}
+
+/// The engine's observability state. All of it is strictly passive:
+/// with the default [`NullRecorder`] (`active == false`), no profiler,
+/// and no gauges, every telemetry branch in the step path is a cold
+/// boolean test and the hot loop allocates nothing.
+struct Telemetry {
+    recorder: Box<dyn Recorder>,
+    /// Cached `recorder.enabled()` — the one flag the step path tests.
+    active: bool,
+    gauges: Option<Gauges>,
+    profiler: Option<TickProfiler>,
+    /// Last recorded `trace_value` per intersection (empty until the
+    /// first recorded tick, which emits every intersection's phase).
+    prev_trace: Vec<u16>,
+    /// Watchdog counter watermarks, for activation/recovery deltas.
+    prev_activations: Vec<u64>,
+    prev_recoveries: Vec<u64>,
+    /// Reusable buffer for draining the observe-mode guard log.
+    violations: Vec<GuardViolation>,
+}
+
+impl Telemetry {
+    fn off() -> Self {
+        Telemetry {
+            recorder: Box::new(NullRecorder),
+            active: false,
+            gauges: None,
+            profiler: None,
+            prev_trace: Vec::new(),
+            prev_activations: Vec::new(),
+            prev_recoveries: Vec::new(),
+            violations: Vec::new(),
+        }
+    }
+
+    /// Emits a `phase_change` event for every intersection whose
+    /// decision differs from the last recorded one (all of them on the
+    /// first recorded tick).
+    fn record_phases(&mut self, now: Tick, decisions: &[utilbp_core::PhaseDecision]) {
+        if self.prev_trace.len() != decisions.len() {
+            self.prev_trace.clear();
+            self.prev_trace.resize(decisions.len(), u16::MAX);
+        }
+        for (i, decision) in decisions.iter().enumerate() {
+            let value = u16::from(decision.trace_value());
+            if self.prev_trace[i] != value {
+                self.prev_trace[i] = value;
+                self.recorder.record(Event {
+                    tick: now,
+                    kind: EventKind::PhaseChange {
+                        intersection: i as u32,
+                        phase: u32::from(value),
+                    },
+                });
+            }
+        }
+    }
+
+    /// Emits watchdog activation/recovery events from per-intersection
+    /// counter deltas since the last recorded tick.
+    fn record_watchdogs(&mut self, now: Tick, watchdogs: &[WatchdogStats]) {
+        for (i, watchdog) in watchdogs.iter().enumerate() {
+            let activations = watchdog.activations();
+            for _ in self.prev_activations[i]..activations {
+                self.recorder.record(Event {
+                    tick: now,
+                    kind: EventKind::WatchdogActivated {
+                        intersection: i as u32,
+                    },
+                });
+            }
+            self.prev_activations[i] = activations;
+            let recoveries = watchdog.recoveries();
+            for _ in self.prev_recoveries[i]..recoveries {
+                self.recorder.record(Event {
+                    tick: now,
+                    kind: EventKind::WatchdogRecovered {
+                        intersection: i as u32,
+                    },
+                });
+            }
+            self.prev_recoveries[i] = recoveries;
+        }
+    }
+}
+
 /// Drives one controller family through one scenario on one substrate.
 ///
 /// Construction builds the network from the spec, instantiates one
@@ -320,6 +453,11 @@ pub struct ScenarioEngine {
     ratio_scratch: Vec<f64>,
     closed_scratch: Vec<bool>,
     weight_scratch: Vec<f64>,
+    /// The flight-recorder / gauge / profiler plane (off by default).
+    telemetry: Telemetry,
+    /// The observe-mode guard's violation log (only under
+    /// [`EngineConfig::guard_observe`]).
+    guard_log: Option<GuardLog>,
 }
 
 impl ScenarioEngine {
@@ -398,8 +536,15 @@ impl ScenarioEngine {
             controllers,
             micro,
         );
+        let mut guard_log = None;
         let substrate: Box<dyn TrafficSubstrate> = if config.guard {
-            Box::new(InvariantGuard::new(substrate))
+            if config.guard_observe {
+                let log = GuardLog::new();
+                guard_log = Some(log.clone());
+                Box::new(InvariantGuard::observing(substrate, log))
+            } else {
+                Box::new(InvariantGuard::new(substrate))
+            }
         } else {
             substrate
         };
@@ -481,6 +626,8 @@ impl ScenarioEngine {
             ratio_scratch: Vec::new(),
             closed_scratch: Vec::new(),
             weight_scratch: Vec::new(),
+            telemetry: Telemetry::off(),
+            guard_log,
         })
     }
 
@@ -587,36 +734,146 @@ impl ScenarioEngine {
         self.actuation_switch.clone()
     }
 
+    /// One [`WatchdogStats`] handle per intersection, in intersection
+    /// order (empty unless the scenario installs a watchdog). This is
+    /// the attribution surface: the summed accessors below are derived
+    /// from it, and the trace timeline uses it to pin each fallback to
+    /// the intersection that degraded.
+    pub fn watchdog_stats(&self) -> &[WatchdogStats] {
+        &self.watchdogs
+    }
+
     /// Watchdog fallback activations summed over intersections (0
     /// unless the scenario installs a watchdog).
     pub fn fallback_activations(&self) -> u64 {
-        self.watchdogs.iter().map(|w| w.activations()).sum()
+        self.watchdog_stats().iter().map(|w| w.activations()).sum()
     }
 
     /// Intersection-ticks spent under the fixed-time fallback so far.
     pub fn ticks_degraded(&self) -> u64 {
-        self.watchdogs.iter().map(|w| w.degraded_ticks()).sum()
+        self.watchdog_stats()
+            .iter()
+            .map(|w| w.degraded_ticks())
+            .sum()
     }
 
     /// Whether any intersection is currently running its fallback.
     pub fn currently_degraded(&self) -> bool {
-        self.watchdogs.iter().any(|w| w.is_degraded())
+        self.watchdog_stats().iter().any(|w| w.is_degraded())
     }
 
     /// Mean ticks from fallback activation to hysteresis-confirmed
     /// recovery, over completed degradation episodes (0.0 when none
     /// recovered).
     pub fn recovery_time(&self) -> f64 {
-        let recoveries: u64 = self.watchdogs.iter().map(|w| w.recoveries()).sum();
+        let recoveries: u64 = self.watchdog_stats().iter().map(|w| w.recoveries()).sum();
         if recoveries == 0 {
             return 0.0;
         }
         let total: u64 = self
-            .watchdogs
+            .watchdog_stats()
             .iter()
             .map(|w| w.recovery_ticks_total())
             .sum();
         total as f64 / recoveries as f64
+    }
+
+    /// Installs `recorder` as the engine's event sink, replacing the
+    /// previous one (a [`NullRecorder`] by default). Event emission is
+    /// gated on `recorder.enabled()`, so installing a `NullRecorder`
+    /// returns the step path to its zero-cost recording-off shape.
+    /// Watchdog watermarks reset to the *current* counters: events
+    /// describe what happens after installation, not history.
+    pub fn set_recorder(&mut self, recorder: Box<dyn Recorder>) {
+        self.telemetry.active = recorder.enabled();
+        self.telemetry.recorder = recorder;
+        self.telemetry.prev_trace.clear();
+        self.telemetry.prev_activations.clear();
+        self.telemetry
+            .prev_activations
+            .extend(self.watchdogs.iter().map(|w| w.activations()));
+        self.telemetry.prev_recoveries.clear();
+        self.telemetry
+            .prev_recoveries
+            .extend(self.watchdogs.iter().map(|w| w.recoveries()));
+    }
+
+    /// Installs a [`FlightRecorder`] ring buffer retaining the most
+    /// recent `capacity` events.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is 0.
+    pub fn enable_recording(&mut self, capacity: usize) {
+        self.set_recorder(Box::new(FlightRecorder::new(capacity)));
+    }
+
+    /// The installed [`FlightRecorder`], when the current recorder is
+    /// one (`None` under the default [`NullRecorder`]).
+    pub fn recorder(&self) -> Option<&FlightRecorder> {
+        self.telemetry.recorder.flight()
+    }
+
+    /// The recorded event stream as JSON Lines (empty without a
+    /// [`FlightRecorder`]). Byte-deterministic for a fixed scenario.
+    pub fn events_jsonl(&self) -> String {
+        self.recorder().map(|f| f.to_jsonl()).unwrap_or_default()
+    }
+
+    /// Registers the gauge set — backlog depth, congestion-set size,
+    /// per-intersection total incoming queue and peak movement-queue
+    /// pressure, per-road occupancy — sampled every `every` ticks into
+    /// [`TimeSeries`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `every` is 0.
+    pub fn enable_gauges(&mut self, every: u64) {
+        let topology = self.network.topology();
+        let mut registry = GaugeRegistry::new(every);
+        let backlog = registry.register("backlog");
+        let congested = registry.register("congested_roads");
+        let mut queue = Vec::with_capacity(topology.num_intersections());
+        let mut pressure = Vec::with_capacity(topology.num_intersections());
+        for i in topology.intersection_ids() {
+            queue.push(registry.register(format!("queue[i{}]", i.index())));
+            pressure.push(registry.register(format!("pressure[i{}]", i.index())));
+        }
+        let mut occupancy = Vec::with_capacity(topology.num_roads());
+        for r in topology.road_ids() {
+            occupancy.push(registry.register(format!("occupancy[r{}]", r.index())));
+        }
+        self.telemetry.gauges = Some(Gauges {
+            registry,
+            backlog,
+            congested,
+            queue,
+            pressure,
+            occupancy,
+        });
+    }
+
+    /// The sampled gauge series, in registration order (empty unless
+    /// [`enable_gauges`](Self::enable_gauges) was called).
+    pub fn gauge_series(&self) -> &[TimeSeries] {
+        self.telemetry
+            .gauges
+            .as_ref()
+            .map(|g| g.registry.series())
+            .unwrap_or(&[])
+    }
+
+    /// Turns on the tick-section profiler: subsequent steps run through
+    /// the substrate's timed path and attribute wall-clock to
+    /// [`Section`]s. Profiling measures the run without influencing it.
+    pub fn enable_profiling(&mut self) {
+        self.telemetry.profiler = Some(TickProfiler::new());
+    }
+
+    /// The profiler, when [`enable_profiling`](Self::enable_profiling)
+    /// was called.
+    pub fn profiler(&self) -> Option<&TickProfiler> {
+        self.telemetry.profiler.as_ref()
     }
 
     /// Current occupancy of `road` in the running substrate.
@@ -662,6 +919,7 @@ impl ScenarioEngine {
     /// periodic replans interleave deterministically with the timeline.
     pub fn step(&mut self) {
         let now = self.now;
+        let recording = self.telemetry.active;
         while self.cursor < self.actions.len() && self.actions[self.cursor].0 <= now {
             let (_, action) = self.actions[self.cursor];
             self.cursor += 1;
@@ -669,31 +927,222 @@ impl ScenarioEngine {
                 Action::Closed(road, closed) => {
                     self.substrate.set_road_closed(road, closed);
                     self.demand.set_road_closed(&self.network, road, closed);
+                    if recording {
+                        let road = road.index() as u32;
+                        let kind = if closed {
+                            EventKind::RoadClosed { road }
+                        } else {
+                            EventKind::RoadReopened { road }
+                        };
+                        self.telemetry.recorder.record(Event { tick: now, kind });
+                    }
                     if self.spec.replan.responds_to_closures() {
+                        let before = (self.diverted, self.restored);
+                        let start = self
+                            .telemetry
+                            .profiler
+                            .as_ref()
+                            .map(|_| std::time::Instant::now());
                         if closed {
                             self.divert_after_closure();
                         } else {
                             self.restore_after_reopen();
                         }
+                        if let (Some(profiler), Some(start)) =
+                            (self.telemetry.profiler.as_mut(), start)
+                        {
+                            profiler.record(Section::Replan, start.elapsed().as_secs_f64());
+                        }
+                        if recording {
+                            self.telemetry.recorder.record(Event {
+                                tick: now,
+                                kind: EventKind::Replan {
+                                    trigger: if closed {
+                                        ReplanTrigger::Closure
+                                    } else {
+                                        ReplanTrigger::Reopen
+                                    },
+                                    diverted: self.diverted - before.0,
+                                    restored: self.restored - before.1,
+                                },
+                            });
+                        }
                     }
                 }
-                Action::Surge(factor) => self.demand.set_surge(factor),
-                Action::Faults(active) => self.fault_switch.set_active(active),
-                Action::ActuationFaults(active) => self.actuation_switch.set_active(active),
+                Action::Surge(factor) => {
+                    self.demand.set_surge(factor);
+                    if recording {
+                        self.telemetry.recorder.record(Event {
+                            tick: now,
+                            kind: EventKind::Surge { factor },
+                        });
+                    }
+                }
+                Action::Faults(active) => {
+                    self.fault_switch.set_active(active);
+                    if recording {
+                        self.telemetry.recorder.record(Event {
+                            tick: now,
+                            kind: EventKind::SensorFaultWindow { active },
+                        });
+                    }
+                }
+                Action::ActuationFaults(active) => {
+                    self.actuation_switch.set_active(active);
+                    if recording {
+                        self.telemetry.recorder.record(Event {
+                            tick: now,
+                            kind: EventKind::ActuationFaultWindow { active },
+                        });
+                    }
+                }
             }
         }
         if let ReplanPolicy::Congestion { period, .. } = self.spec.replan {
             // Skip tick 0: the network is empty before the first step.
             if now.index() > 0 && now.index().is_multiple_of(period) {
+                let before_reroutes = self.congestion_reroutes;
+                let before_restores = self.congestion_restores;
+                let start = self
+                    .telemetry
+                    .profiler
+                    .as_ref()
+                    .map(|_| std::time::Instant::now());
                 self.congestion_check();
+                if let (Some(profiler), Some(start)) = (self.telemetry.profiler.as_mut(), start) {
+                    profiler.record(Section::Monitor, start.elapsed().as_secs_f64());
+                }
+                if recording {
+                    // Periodic checks mostly find nothing; only record
+                    // the passes that actually rewrote a route.
+                    let rerouted = self.congestion_reroutes - before_reroutes;
+                    if rerouted > 0 {
+                        self.telemetry.recorder.record(Event {
+                            tick: now,
+                            kind: EventKind::Replan {
+                                trigger: ReplanTrigger::Congestion,
+                                diverted: rerouted,
+                                restored: 0,
+                            },
+                        });
+                    }
+                    let restored = self.congestion_restores - before_restores;
+                    if restored > 0 {
+                        self.telemetry.recorder.record(Event {
+                            tick: now,
+                            kind: EventKind::Replan {
+                                trigger: ReplanTrigger::CongestionCleared,
+                                diverted: 0,
+                                restored,
+                            },
+                        });
+                    }
+                }
             }
         }
         self.arrivals.clear();
         self.demand
             .poll_into(&self.network, now, &mut self.arrivals);
-        self.substrate
-            .step_into(&mut self.arrivals, &mut self.scratch);
+        if self.telemetry.profiler.is_some() {
+            let mut timings = PhaseTimings::default();
+            {
+                let decisions = self.substrate.step_into_timed(
+                    &mut self.arrivals,
+                    &mut self.scratch,
+                    &mut timings,
+                );
+                if recording {
+                    self.telemetry.record_phases(now, decisions);
+                }
+            }
+            let profiler = self
+                .telemetry
+                .profiler
+                .as_mut()
+                .expect("profiler installed");
+            profiler.record(Section::Decide, timings.decide);
+            profiler.record(Section::CarFollowing, timings.car_following);
+            profiler.record(Section::Landings, timings.landings);
+            profiler.record(Section::Waiting, timings.waiting);
+        } else {
+            let decisions = self
+                .substrate
+                .step_into(&mut self.arrivals, &mut self.scratch);
+            if recording {
+                self.telemetry.record_phases(now, decisions);
+            }
+        }
+        if recording {
+            self.telemetry.record_watchdogs(now, &self.watchdogs);
+            self.drain_guard_log();
+        }
+        self.sample_gauges(now);
         self.now = now.next();
+    }
+
+    /// Moves observe-mode guard violations into the recorder as
+    /// tick-stamped `guard_violation` events.
+    fn drain_guard_log(&mut self) {
+        let Some(log) = &self.guard_log else {
+            return;
+        };
+        self.telemetry.violations.clear();
+        log.drain_into(&mut self.telemetry.violations);
+        for violation in self.telemetry.violations.drain(..) {
+            self.telemetry.recorder.record(Event {
+                tick: Tick::new(violation.tick),
+                kind: EventKind::GuardViolation {
+                    check: violation.check.to_string(),
+                    message: violation.message,
+                },
+            });
+        }
+    }
+
+    /// Pushes one sample per registered gauge when the cadence is due.
+    fn sample_gauges(&mut self, now: Tick) {
+        let Some(gauges) = self.telemetry.gauges.as_mut() else {
+            return;
+        };
+        if !gauges.registry.due(now) {
+            return;
+        }
+        let substrate = &self.substrate;
+        let topology = self.network.topology();
+        gauges
+            .registry
+            .sample(gauges.backlog, now, substrate.backlog_len() as f64);
+        let congested = self
+            .monitor
+            .as_ref()
+            .map_or(0, |m| m.congested().iter().filter(|&&c| c).count());
+        gauges
+            .registry
+            .sample(gauges.congested, now, congested as f64);
+        for (k, i) in topology.intersection_ids().enumerate() {
+            let layout = topology.intersection(i).layout();
+            let queue: u32 = layout
+                .incoming_ids()
+                .map(|arm| substrate.incoming_queue_len(i, arm))
+                .sum();
+            gauges
+                .registry
+                .sample(gauges.queue[k], now, f64::from(queue));
+            let pressure: u32 = layout
+                .link_ids()
+                .map(|link| substrate.movement_queue_len(i, link))
+                .max()
+                .unwrap_or(0);
+            gauges
+                .registry
+                .sample(gauges.pressure[k], now, f64::from(pressure));
+        }
+        substrate.occupancy_snapshot(&mut self.occ_scratch);
+        for (k, &occ) in self.occ_scratch.iter().enumerate() {
+            gauges
+                .registry
+                .sample(gauges.occupancy[k], now, f64::from(occ));
+        }
     }
 
     /// Refreshes the reusable closure-mask scratch from the substrate —

@@ -103,6 +103,14 @@
 //! fixed-seed goldens are unchanged. The checks rescan the network, so
 //! install the guard in tests, chaos harnesses, and debugging sessions
 //! rather than benchmark loops.
+//!
+//! Besides the default abort-on-violation mode
+//! ([`InvariantGuard::new`]), the guard has a non-panicking **observe**
+//! mode ([`InvariantGuard::observing`]) that appends every violation to
+//! a shared [`GuardLog`] and keeps stepping — the `utilbp-telemetry`
+//! flight recorder drains that log into tick-stamped `guard_violation`
+//! events so traces can show near-misses without killing the run. Chaos
+//! harnesses keep the panicking mode.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -112,7 +120,7 @@ use utilbp_core::{IncomingId, PhaseDecision, SignalController};
 use utilbp_metrics::WaitingLedger;
 use utilbp_microsim::{MicroSim, MicroSimConfig, PhaseTimings};
 use utilbp_netgen::{Arrival, IntersectionId, NetworkTopology, RoadId, RouteRewrite};
-use utilbp_queueing::{QueueSim, QueueSimConfig};
+use utilbp_queueing::{QueueSim, QueueSimConfig, StepPhaseTimings};
 
 /// Which simulation substrate drives the plant.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -477,10 +485,18 @@ impl TrafficSubstrate for QueueSim {
         &mut self,
         arrivals: &mut Vec<Arrival>,
         scratch: &'a mut SubstrateScratch,
-        _timings: &mut PhaseTimings,
+        timings: &mut PhaseTimings,
     ) -> &'a [PhaseDecision] {
-        // The queueing step is one phase; there is nothing to attribute.
-        QueueSim::step_into(self, arrivals, &mut scratch.queueing);
+        // The queueing pipeline has its own section names; map them onto
+        // the shared axes: sensing+deciding -> decide, serving activated
+        // links -> car_following (vehicle advancement), transit arrivals
+        // landing -> landings, injection+bookkeeping -> waiting.
+        let mut slot = StepPhaseTimings::default();
+        QueueSim::step_into_timed(self, arrivals, &mut scratch.queueing, &mut slot);
+        timings.decide += slot.decide;
+        timings.car_following += slot.serve;
+        timings.landings += slot.transit;
+        timings.waiting += slot.inject;
         &scratch.queueing.decisions
     }
 
@@ -651,17 +667,112 @@ pub struct InvariantGuard<S> {
     closed_occ: Vec<Option<u32>>,
     /// Last observed cumulative `entered` counter per road.
     prev_entered: Vec<u64>,
+    /// Where violations go: abort the run, or log and keep stepping.
+    sink: GuardSink,
+}
+
+/// One invariant violation recorded by an observe-mode guard.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GuardViolation {
+    /// The step the violation was detected after (0-based).
+    pub tick: u64,
+    /// Which check fired: `"conservation"`, `"sensors"`,
+    /// `"entered_monotonic"`, or `"closure_drain"`.
+    pub check: &'static str,
+    /// The guard's full diagnostic.
+    pub message: String,
+}
+
+/// How many violations an observe-mode [`GuardLog`] retains verbatim;
+/// later ones still count toward [`GuardLog::total`] but their messages
+/// are discarded (a broken invariant tends to re-fire every tick).
+const GUARD_LOG_CAP: usize = 256;
+
+#[derive(Debug, Default)]
+struct GuardLogInner {
+    violations: Vec<GuardViolation>,
+    total: u64,
+}
+
+/// A shared, cloneable sink for observe-mode guard violations. The
+/// driver keeps one clone and hands the other to
+/// [`InvariantGuard::observing`]; after each step it drains newly
+/// recorded violations with [`drain_into`](Self::drain_into).
+#[derive(Debug, Clone, Default)]
+pub struct GuardLog(std::sync::Arc<std::sync::Mutex<GuardLogInner>>);
+
+impl GuardLog {
+    /// An empty log.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Violations recorded over the log's lifetime (drained or not,
+    /// including any beyond the retention cap).
+    pub fn total(&self) -> u64 {
+        self.0.lock().expect("guard log poisoned").total
+    }
+
+    /// Moves all retained violations into `out` (appending), oldest
+    /// first, leaving the log empty.
+    pub fn drain_into(&self, out: &mut Vec<GuardViolation>) {
+        let mut inner = self.0.lock().expect("guard log poisoned");
+        out.append(&mut inner.violations);
+    }
+
+    fn record(&self, violation: GuardViolation) {
+        let mut inner = self.0.lock().expect("guard log poisoned");
+        inner.total += 1;
+        if inner.violations.len() < GUARD_LOG_CAP {
+            inner.violations.push(violation);
+        }
+    }
+}
+
+#[derive(Debug)]
+enum GuardSink {
+    /// Abort the run with a tick-stamped diagnostic (the default).
+    Panic,
+    /// Append to the shared log and keep stepping.
+    Observe(GuardLog),
+}
+
+impl GuardSink {
+    fn fail(&self, tick: u64, check: &'static str, message: String) {
+        match self {
+            GuardSink::Panic => panic!("invariant violated at tick {tick}: {message}"),
+            GuardSink::Observe(log) => log.record(GuardViolation {
+                tick,
+                check,
+                message,
+            }),
+        }
+    }
 }
 
 impl<S: TrafficSubstrate> InvariantGuard<S> {
-    /// Wraps `inner`; checks run after every step from now on.
+    /// Wraps `inner`; checks run after every step from now on and panic
+    /// on the first violation.
     pub fn new(inner: S) -> Self {
+        Self::with_sink(inner, GuardSink::Panic)
+    }
+
+    /// Wraps `inner` in **observe** mode: checks still run after every
+    /// step, but violations are appended to `log` instead of aborting
+    /// the run. A violated invariant does not stop later checks, so one
+    /// step can log several violations.
+    pub fn observing(inner: S, log: GuardLog) -> Self {
+        Self::with_sink(inner, GuardSink::Observe(log))
+    }
+
+    fn with_sink(inner: S, sink: GuardSink) -> Self {
         InvariantGuard {
             inner,
             ticks: 0,
             occ: Vec::new(),
             closed_occ: Vec::new(),
             prev_entered: Vec::new(),
+            sink,
         }
     }
 
@@ -684,7 +795,9 @@ impl<S: TrafficSubstrate> InvariantGuard<S> {
     ///
     /// # Panics
     ///
-    /// Panics with a tick-stamped diagnostic on the first violation.
+    /// In the default mode, panics with a tick-stamped diagnostic on
+    /// the first violation; in observe mode, logs every violation and
+    /// returns normally.
     fn check(&mut self) {
         let tick = self.ticks;
         self.ticks += 1;
@@ -697,17 +810,21 @@ impl<S: TrafficSubstrate> InvariantGuard<S> {
         let backlog = self.inner.backlog_len() as u64;
         let active = self.inner.ledger().active() as u64;
         if active != on_network + backlog {
-            panic!(
-                "invariant violated at tick {tick}: vehicle conservation: ledger holds \
-                 {active} uncompleted vehicles but the plant accounts for {on_network} \
-                 on-network + {backlog} backlogged"
+            self.sink.fail(
+                tick,
+                "conservation",
+                format!(
+                    "vehicle conservation: ledger holds {active} uncompleted vehicles but \
+                     the plant accounts for {on_network} on-network + {backlog} backlogged"
+                ),
             );
         }
         // Sensor consistency (also proves every queue length is a
         // well-formed non-negative count): incremental counters must
         // equal a from-scratch rescan.
         if let Err(msg) = self.inner.verify_sensors() {
-            panic!("invariant violated at tick {tick}: sensor consistency: {msg}");
+            self.sink
+                .fail(tick, "sensors", format!("sensor consistency: {msg}"));
         }
         // Closure monotonicity: a closed road only drains, and entered
         // counters never run backwards.
@@ -719,20 +836,26 @@ impl<S: TrafficSubstrate> InvariantGuard<S> {
             let road = RoadId::new(r as u32);
             let entered = self.inner.road_entered(road);
             if entered < self.prev_entered[r] {
-                panic!(
-                    "invariant violated at tick {tick}: road {road} entered counter went \
-                     backwards ({} -> {entered})",
-                    self.prev_entered[r]
+                self.sink.fail(
+                    tick,
+                    "entered_monotonic",
+                    format!(
+                        "road {road} entered counter went backwards ({} -> {entered})",
+                        self.prev_entered[r]
+                    ),
                 );
             }
             self.prev_entered[r] = entered;
             if self.inner.road_closed(road) {
                 if let Some(before) = self.closed_occ[r] {
                     if self.occ[r] > before {
-                        panic!(
-                            "invariant violated at tick {tick}: closed road {road} admitted \
-                             traffic (occupancy {before} -> {})",
-                            self.occ[r]
+                        self.sink.fail(
+                            tick,
+                            "closure_drain",
+                            format!(
+                                "closed road {road} admitted traffic (occupancy {before} -> {})",
+                                self.occ[r]
+                            ),
                         );
                     }
                 }

@@ -1,0 +1,223 @@
+//! A diffable plain-text timeline rendered from an event stream.
+
+use crate::event::{Event, EventKind};
+
+/// Renders `events` (tick-ordered, as a [`FlightRecorder`] retains
+/// them) as a plain-text timeline over `horizon` ticks, bucketed into
+/// at most `width` columns.
+///
+/// The first lane aggregates disruptions; one lane per intersection
+/// follows. Per bucket, each lane shows the highest-priority symbol:
+///
+/// - disruption lane: `!` guard violation > `R` replan pass > `C` a
+///   road is closed > `S` sensor-fault window open > `A`
+///   actuation-fault window open > `.` quiet;
+/// - intersection lane: `!` fallback activation in this bucket > `x`
+///   degraded (fixed-time fallback in control) at bucket end > the
+///   phase digit at bucket end (`-` = transition, `#` = phase above 9,
+///   blank = no decision recorded yet).
+///
+/// The output is pure text derived only from the events, so identical
+/// streams render byte-identically — timelines are diffable artifacts.
+///
+/// [`FlightRecorder`]: crate::FlightRecorder
+pub fn render_timeline(
+    events: &[Event],
+    intersections: usize,
+    horizon: u64,
+    width: usize,
+) -> String {
+    let width = width.max(1);
+    let bucket_ticks = horizon.max(1).div_ceil(width as u64).max(1);
+    let cols = (horizon.max(1).div_ceil(bucket_ticks) as usize).max(1);
+
+    // Persistent state carried across buckets.
+    let mut closed_roads: Vec<u32> = Vec::new();
+    let mut sensor_window = false;
+    let mut actuation_window = false;
+    let mut phase: Vec<Option<u32>> = vec![None; intersections];
+    let mut degraded = vec![false; intersections];
+
+    let mut disruption_row = String::with_capacity(cols);
+    let mut lane_rows: Vec<String> = vec![String::with_capacity(cols); intersections];
+
+    let mut next = 0usize;
+    for col in 0..cols {
+        let bucket_end = (col as u64 + 1) * bucket_ticks;
+        // Flags that only live for this bucket.
+        let mut guard_hit = false;
+        let mut replan_hit = false;
+        let mut activation = vec![false; intersections];
+
+        while next < events.len() && events[next].tick.index() < bucket_end {
+            match &events[next].kind {
+                EventKind::PhaseChange {
+                    intersection,
+                    phase: value,
+                } => {
+                    if let Some(slot) = phase.get_mut(*intersection as usize) {
+                        *slot = Some(*value);
+                    }
+                }
+                EventKind::RoadClosed { road } => {
+                    if !closed_roads.contains(road) {
+                        closed_roads.push(*road);
+                    }
+                }
+                EventKind::RoadReopened { road } => {
+                    closed_roads.retain(|r| r != road);
+                }
+                EventKind::Surge { .. } => {}
+                EventKind::SensorFaultWindow { active } => sensor_window = *active,
+                EventKind::ActuationFaultWindow { active } => actuation_window = *active,
+                EventKind::WatchdogActivated { intersection } => {
+                    let i = *intersection as usize;
+                    if i < intersections {
+                        activation[i] = true;
+                        degraded[i] = true;
+                    }
+                }
+                EventKind::WatchdogRecovered { intersection } => {
+                    if let Some(slot) = degraded.get_mut(*intersection as usize) {
+                        *slot = false;
+                    }
+                }
+                EventKind::Replan { .. } => replan_hit = true,
+                EventKind::GuardViolation { .. } => guard_hit = true,
+            }
+            next += 1;
+        }
+
+        disruption_row.push(if guard_hit {
+            '!'
+        } else if replan_hit {
+            'R'
+        } else if !closed_roads.is_empty() {
+            'C'
+        } else if sensor_window {
+            'S'
+        } else if actuation_window {
+            'A'
+        } else {
+            '.'
+        });
+
+        for (i, row) in lane_rows.iter_mut().enumerate() {
+            row.push(if activation[i] {
+                '!'
+            } else if degraded[i] {
+                'x'
+            } else {
+                match phase[i] {
+                    None => ' ',
+                    Some(0) => '-',
+                    Some(p @ 1..=9) => char::from(b'0' + p as u8),
+                    Some(_) => '#',
+                }
+            });
+        }
+    }
+
+    let label_width = format!("i{}", intersections.saturating_sub(1))
+        .len()
+        .max("faults".len());
+    let mut out = String::new();
+    out.push_str(&format!(
+        "ticks 0..{horizon}, 1 column = {bucket_ticks} tick(s)\n"
+    ));
+    out.push_str(&format!("{:<label_width$} |{disruption_row}|\n", "faults"));
+    for (i, row) in lane_rows.iter().enumerate() {
+        out.push_str(&format!("{:<label_width$} |{row}|\n", format!("i{i}")));
+    }
+    out.push_str(
+        "legend: faults lane  ! guard violation  R replan  C closure  S sensor fault  \
+         A actuation fault  . quiet\n",
+    );
+    out.push_str(
+        "        phase lanes  digit = control phase  - transition  x degraded  \
+         ! fallback activation\n",
+    );
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::ReplanTrigger;
+    use utilbp_core::Tick;
+
+    fn ev(tick: u64, kind: EventKind) -> Event {
+        Event {
+            tick: Tick::new(tick),
+            kind,
+        }
+    }
+
+    #[test]
+    fn phases_degradation_and_faults_render_in_their_lanes() {
+        let events = vec![
+            ev(
+                0,
+                EventKind::PhaseChange {
+                    intersection: 0,
+                    phase: 1,
+                },
+            ),
+            ev(
+                0,
+                EventKind::PhaseChange {
+                    intersection: 1,
+                    phase: 2,
+                },
+            ),
+            ev(20, EventKind::SensorFaultWindow { active: true }),
+            ev(25, EventKind::WatchdogActivated { intersection: 1 }),
+            ev(50, EventKind::SensorFaultWindow { active: false }),
+            ev(55, EventKind::WatchdogRecovered { intersection: 1 }),
+            ev(
+                55,
+                EventKind::PhaseChange {
+                    intersection: 1,
+                    phase: 3,
+                },
+            ),
+        ];
+        let rendered = render_timeline(&events, 2, 80, 8);
+        let lines: Vec<&str> = rendered.lines().collect();
+        assert_eq!(lines[1], "faults |..SSS...|");
+        assert_eq!(lines[2], "i0     |11111111|");
+        assert_eq!(lines[3], "i1     |22!xx333|");
+    }
+
+    #[test]
+    fn disruption_priority_prefers_guard_over_replan_over_closure() {
+        let events = vec![
+            ev(0, EventKind::RoadClosed { road: 7 }),
+            ev(
+                10,
+                EventKind::Replan {
+                    trigger: ReplanTrigger::Closure,
+                    diverted: 3,
+                    restored: 0,
+                },
+            ),
+            ev(
+                20,
+                EventKind::GuardViolation {
+                    check: "conservation".to_string(),
+                    message: "off by one".to_string(),
+                },
+            ),
+            ev(30, EventKind::RoadReopened { road: 7 }),
+        ];
+        let rendered = render_timeline(&events, 0, 40, 4);
+        assert!(rendered.contains("|CR!.|"), "got:\n{rendered}");
+    }
+
+    #[test]
+    fn empty_stream_renders_quiet_lanes() {
+        let rendered = render_timeline(&[], 1, 10, 10);
+        assert!(rendered.contains("|..........|"));
+        assert!(rendered.contains("i0     |          |"));
+    }
+}

@@ -22,7 +22,8 @@
 //! | [`metrics`] | `utilbp-metrics` | Waiting ledgers, time series, phase traces, rendering |
 //! | [`substrate`] | `utilbp-substrate` | The unified plant layer: one `TrafficSubstrate` trait over both simulators, plus the opt-in `InvariantGuard` |
 //! | [`scenario`] | `utilbp-scenario` | Scenario files: topologies × demand profiles × disruption events (closures, sensor/actuator/comms faults) |
-//! | [`experiments`] | `utilbp-experiments` | Fig. 2, Table III, Figs. 3–5, ablations, scenario sweeps, the `chaos` resilience harness |
+//! | [`telemetry`] | `utilbp-telemetry` | Flight recorder: typed event stream, gauge registry, tick-section profiler, timeline rendering |
+//! | [`experiments`] | `utilbp-experiments` | Fig. 2, Table III, Figs. 3–5, ablations, scenario sweeps, the `chaos` resilience harness, the `trace` replay binary |
 //!
 //! ## Substrate layer
 //!
@@ -138,6 +139,44 @@
 //! panics, exact conservation, bit-identical outcomes, and bounded
 //! degradation with the fallback on.
 //!
+//! ## Observability
+//!
+//! The observability plane ([`telemetry`]) is a *flight recorder* for the
+//! whole stack: deterministic, strictly passive, and zero-cost when off.
+//! It has four pieces, all engine-attached (`scenario::ScenarioEngine`):
+//!
+//! - **Event stream** ([`telemetry::Recorder`],
+//!   [`telemetry::FlightRecorder`]): typed, tick-stamped events — phase
+//!   switches, closures/reopenings, surges, fault windows, watchdog
+//!   activations/recoveries, replans (closure / reopen / congestion),
+//!   invariant-guard violations — captured into a bounded ring buffer
+//!   (oldest dropped first) and exported as JSONL with a fixed key
+//!   order, so fixed-seed streams are byte-identical across
+//!   Serial/Rayon and across repeats. [`telemetry::NullRecorder`] is
+//!   the default: `enabled()` is false and every emission site is
+//!   gated on one cached bool, so the off path allocates nothing.
+//! - **Gauges** ([`telemetry::GaugeRegistry`]): backlog depth,
+//!   congested-set size, per-intersection queue totals and max
+//!   movement pressure, per-road occupancy — sampled on a fixed tick
+//!   cadence into [`metrics::TimeSeries`].
+//! - **Profiler** ([`telemetry::TickProfiler`]): wall-clock laps per
+//!   tick section (decide / car-following / landings / waiting /
+//!   replan / monitor) through the substrates' timed step hooks,
+//!   rendered as a percentile table. Timing is observational only — it
+//!   never feeds back into simulation state.
+//! - **Sinks**: JSONL export, the per-intersection ASCII timeline
+//!   ([`telemetry::render_timeline`]: phases × faults × fallbacks),
+//!   and the `trace` binary (plus `scenarios --trace` / `chaos
+//!   --trace`), which replays a scenario with recording on — under the
+//!   guard's non-panicking *observe* mode — and renders the full
+//!   report.
+//!
+//! The contract (stated in full in the `utilbp-telemetry` crate docs):
+//! recording is *passive* — attaching any recorder, gauge cadence, or
+//! profiler changes no simulation outcome bit, and the event stream
+//! itself is deterministic. `tests/telemetry.rs` enforces both;
+//! `tests/perf_alloc.rs` bounds the off path's allocations.
+//!
 //! ## Quickstart
 //!
 //! Run UTIL-BP on the paper's 3×3 network for ten simulated minutes:
@@ -225,6 +264,12 @@ pub mod substrate {
 /// through them (re-export of `utilbp-scenario`).
 pub mod scenario {
     pub use utilbp_scenario::*;
+}
+
+/// The flight recorder: deterministic telemetry, tracing, and profiling
+/// (re-export of `utilbp-telemetry`).
+pub mod telemetry {
+    pub use utilbp_telemetry::*;
 }
 
 /// The table/figure regeneration harness (re-export of

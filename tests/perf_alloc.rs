@@ -141,4 +141,38 @@ fn steady_state_stepping_stays_within_the_allocation_budget() {
         "queueing: {queueing_allocs} allocations over {MEASURED} steady-state ticks \
          (budget {BUDGET}) — a per-tick allocation crept back into the hot path"
     );
+
+    // --- Scenario engine with recording off. ---
+    // The telemetry plane's zero-cost-when-off claim, measured: with the
+    // `NullRecorder` explicitly installed (the emission sites are gated
+    // on its cached `enabled()`), the engine's steady-state step adds no
+    // allocations of its own on top of the substrate budget above.
+    let mut spec = adaptive_backpressure::scenario::builtin("paper-grid").expect("builtin exists");
+    spec.set_horizon(Ticks::new(WARMUP + MEASURED));
+    let mut engine = adaptive_backpressure::scenario::ScenarioEngine::new(
+        spec,
+        adaptive_backpressure::scenario::EngineConfig::new(
+            adaptive_backpressure::scenario::Backend::Queueing,
+        ),
+        &|_| Box::new(UtilBp::paper()) as Box<dyn SignalController>,
+    )
+    .expect("spec validates");
+    engine.set_recorder(Box::new(adaptive_backpressure::telemetry::NullRecorder));
+    for _ in 0..WARMUP {
+        engine.step();
+    }
+    let before = ALLOCATIONS.load(Ordering::Relaxed);
+    for _ in 0..MEASURED {
+        engine.step();
+    }
+    let engine_allocs = ALLOCATIONS.load(Ordering::Relaxed) - before;
+    assert!(
+        engine.demand_generated() > 0,
+        "the run must carry real load"
+    );
+    assert!(
+        engine_allocs <= BUDGET,
+        "engine+NullRecorder: {engine_allocs} allocations over {MEASURED} steady-state ticks \
+         (budget {BUDGET}) — recording-off must stay allocation-free per tick"
+    );
 }
