@@ -10,9 +10,11 @@
 //! `grid-incident-replan`, and `grid-congestion-replan` scenarios stepped
 //! through `ScenarioEngine`, so demand scheduling, event dispatch, and —
 //! for the replanning rows — the closure-diversion and periodic
-//! congestion-replanning paths are inside the measured run, and the
+//! congestion-replanning paths are inside the measured run, the
 //! `grid-degraded-recovery` / `grid-degraded-recovery+recorder` pair
-//! measures the flight recorder's off/on cost on a busy event stream).
+//! measures the flight recorder's off/on cost on a busy event stream,
+//! and the `grid-degraded-recovery+ckpt256` row prices the durable
+//! state plane's periodic full-engine checkpoint captures).
 //! Every simulator is built through `utilbp-substrate`'s shared
 //! constructor
 //! and stepped through the `TrafficSubstrate` trait, exactly like the
@@ -41,7 +43,7 @@ use utilbp_microsim::{MicroSimConfig, PhaseTimings};
 use utilbp_netgen::{
     DemandConfig, DemandGenerator, DemandSchedule, GridNetwork, GridSpec, Pattern,
 };
-use utilbp_scenario::{builtin, Backend, EngineConfig, ScenarioEngine};
+use utilbp_scenario::{builtin, Backend, CheckpointPolicy, EngineConfig, ScenarioEngine};
 use utilbp_substrate::{build_substrate, SubstrateScratch};
 
 const WARMUP_TICKS: u64 = 300;
@@ -135,7 +137,7 @@ fn measure_grid(
 /// that enable it) en-route replanning — measured through
 /// [`ScenarioEngine`].
 fn measure_scenario(name: &str, backend: Backend, ticks: u64, reps: u32) -> Measurement {
-    measure_scenario_recorded(name, backend, ticks, reps, false)
+    measure_scenario_instrumented(name, backend, ticks, reps, false, None)
 }
 
 /// Scenario row with the flight recorder optionally attached, so the
@@ -149,6 +151,26 @@ fn measure_scenario_recorded(
     ticks: u64,
     reps: u32,
     recording: bool,
+) -> Measurement {
+    measure_scenario_instrumented(name, backend, ticks, reps, recording, None)
+}
+
+/// Scenario row with optional recording and an optional periodic
+/// checkpoint policy, so the trajectory file documents the durability
+/// plane's price: the `+ckpt<period>` row serializes the engine's full
+/// state (plant, controllers, demand, telemetry watermarks) into a
+/// checksummed snapshot every `period` ticks inside the measured window;
+/// the delta to the plain row, divided by the captures in the window, is
+/// the per-checkpoint cost. Checkpoint-off rows go through the same
+/// engine with the policy `None` — one branch on a `Copy` option per
+/// tick — so their numbers stay comparable with pre-durability runs.
+fn measure_scenario_instrumented(
+    name: &str,
+    backend: Backend,
+    ticks: u64,
+    reps: u32,
+    recording: bool,
+    checkpoint: Option<u64>,
 ) -> Measurement {
     let mut best = f64::INFINITY;
     for _ in 0..reps.max(1) {
@@ -164,6 +186,9 @@ fn measure_scenario_recorded(
         if recording {
             engine.enable_recording(1 << 16);
         }
+        if let Some(period) = checkpoint {
+            engine.enable_checkpoints(CheckpointPolicy::every(period));
+        }
         for _ in 0..WARMUP_TICKS {
             engine.step();
         }
@@ -173,13 +198,16 @@ fn measure_scenario_recorded(
         }
         best = best.min(start.elapsed().as_secs_f64());
     }
+    let mut workload = name.to_string();
+    if recording {
+        workload.push_str("+recorder");
+    }
+    if let Some(period) = checkpoint {
+        workload.push_str(&format!("+ckpt{period}"));
+    }
     Measurement {
         substrate: backend.name(),
-        workload: if recording {
-            format!("{name}+recorder")
-        } else {
-            name.to_string()
-        },
+        workload,
         mode: Parallelism::Serial,
         ticks,
         seconds: best,
@@ -293,6 +321,26 @@ fn main() {
             );
             results.push(s);
         }
+        // Durability cost row: same scenario with periodic checkpointing
+        // (period 256, the durable-cadence default used by the recovery
+        // drill's long runs). The delta to the plain off row, divided by
+        // the ~ticks/256 captures inside the measured window, is the
+        // per-checkpoint price of serializing the full engine snapshot.
+        let s = measure_scenario_instrumented(
+            "grid-degraded-recovery",
+            backend,
+            ticks,
+            reps,
+            false,
+            Some(256),
+        );
+        eprintln!(
+            "{:<11} {} serial: {:>10.1} ticks/s",
+            s.substrate,
+            s.workload,
+            s.ticks_per_sec()
+        );
+        results.push(s);
     }
 
     let new_run = render_run(&results, WARMUP_TICKS, reps, &label);

@@ -23,6 +23,7 @@ pub const REQUIRED_WORKLOADS: &[&str] = &[
     "arterial-rush-hour",
     "grid-incident-replan",
     "grid-congestion-replan",
+    "grid-degraded-recovery+ckpt256",
 ];
 
 /// One throughput measurement: a substrate × workload × mode row.
@@ -252,6 +253,7 @@ mod tests {
             "arterial-rush-hour",
             "grid-incident-replan",
             "grid-congestion-replan",
+            "grid-degraded-recovery+ckpt256",
         ] {
             for substrate in ["queueing", "microscopic"] {
                 rows.push(measurement(substrate, scenario, false));
@@ -300,6 +302,7 @@ mod tests {
                 measurement("queueing", "grid-incident-replan", false),
                 measurement("microscopic", "grid-incident-replan", false),
                 measurement("queueing", "grid-congestion-replan", false),
+                measurement("queueing", "grid-degraded-recovery+ckpt256", false),
             ],
             300,
             3,
@@ -320,6 +323,7 @@ mod tests {
                     "arterial-rush-hour",
                     "grid-incident-replan",
                     "grid-congestion-replan",
+                    "grid-degraded-recovery+ckpt256",
                 ] {
                     for substrate in ["queueing", "microscopic"] {
                         rows.push(measurement(substrate, scenario, false));

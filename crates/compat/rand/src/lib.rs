@@ -148,6 +148,20 @@ pub mod rngs {
     }
 
     impl SmallRng {
+        /// The generator's raw 256-bit state — the exact stream position.
+        /// Feeding it back through [`SmallRng::from_state`] resumes the
+        /// sequence where it left off, which is what checkpoint/restore
+        /// needs for bit-identical continuation.
+        pub fn state(&self) -> [u64; 4] {
+            self.s
+        }
+
+        /// Rebuilds a generator at an exact stream position previously
+        /// captured with [`SmallRng::state`].
+        pub fn from_state(s: [u64; 4]) -> Self {
+            SmallRng { s }
+        }
+
         fn from_splitmix(seed: u64) -> Self {
             let mut x = seed;
             let mut next = move || {

@@ -184,6 +184,56 @@ impl SignalController for Actuated {
     fn name(&self) -> &'static str {
         "actuated"
     }
+
+    fn save_state(&self, writer: &mut utilbp_core::state::StateWriter) {
+        match self.state {
+            State::Idle => {
+                writer.push(0);
+            }
+            State::Green(phase, since) => {
+                writer.push(1);
+                writer.push(PhaseDecision::Control(phase).state_word());
+                writer.push(since.index());
+            }
+            State::Amber(until, pending) => {
+                writer.push(2);
+                writer.push(until.index());
+                writer.push(PhaseDecision::Control(pending).state_word());
+            }
+        }
+    }
+
+    fn load_state(
+        &mut self,
+        reader: &mut utilbp_core::state::StateReader<'_>,
+    ) -> Result<(), utilbp_core::state::StateError> {
+        let take_phase = |reader: &mut utilbp_core::state::StateReader<'_>| {
+            PhaseDecision::from_state_word(reader.take()?)?
+                .phase()
+                .ok_or(utilbp_core::state::StateError::Invalid {
+                    what: "actuated phase",
+                    word: 0,
+                })
+        };
+        self.state = match reader.take()? {
+            0 => State::Idle,
+            1 => {
+                let phase = take_phase(reader)?;
+                State::Green(phase, Tick::new(reader.take()?))
+            }
+            2 => {
+                let until = Tick::new(reader.take()?);
+                State::Amber(until, take_phase(reader)?)
+            }
+            word => {
+                return Err(utilbp_core::state::StateError::Invalid {
+                    what: "actuated state tag",
+                    word,
+                })
+            }
+        };
+        Ok(())
+    }
 }
 
 #[cfg(test)]

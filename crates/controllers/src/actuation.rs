@@ -238,6 +238,53 @@ impl<C: SignalController> SignalController for FaultyActuation<C> {
     fn name(&self) -> &'static str {
         "faulty-actuation"
     }
+
+    fn save_state(&self, writer: &mut utilbp_core::state::StateWriter) {
+        // The switch is engine-owned state (a scenario fault window) and
+        // is restored by the engine, not here.
+        for word in self.rng.state() {
+            writer.push(word);
+        }
+        match self.applied {
+            None => writer.push_bool(false),
+            Some(decision) => {
+                writer.push_bool(true);
+                writer.push(decision.state_word());
+            }
+        }
+        writer.push(self.stuck_until);
+        writer.push_usize(self.pending.len());
+        for &(at, decision) in &self.pending {
+            writer.push(at);
+            writer.push(decision.state_word());
+        }
+        self.inner.save_state(writer);
+    }
+
+    fn load_state(
+        &mut self,
+        reader: &mut utilbp_core::state::StateReader<'_>,
+    ) -> Result<(), utilbp_core::state::StateError> {
+        let mut rng_state = [0u64; 4];
+        for word in &mut rng_state {
+            *word = reader.take()?;
+        }
+        self.rng = SmallRng::from_state(rng_state);
+        self.applied = if reader.take_bool()? {
+            Some(PhaseDecision::from_state_word(reader.take()?)?)
+        } else {
+            None
+        };
+        self.stuck_until = reader.take()?;
+        let len = reader.take_usize()?;
+        self.pending.clear();
+        for _ in 0..len {
+            let at = reader.take()?;
+            let decision = PhaseDecision::from_state_word(reader.take()?)?;
+            self.pending.push_back((at, decision));
+        }
+        self.inner.load_state(reader)
+    }
 }
 
 #[cfg(test)]

@@ -215,6 +215,17 @@ impl SignalController for CapBp {
     fn name(&self) -> &'static str {
         "cap-bp"
     }
+
+    fn save_state(&self, writer: &mut utilbp_core::state::StateWriter) {
+        self.slots.save_state(writer);
+    }
+
+    fn load_state(
+        &mut self,
+        reader: &mut utilbp_core::state::StateReader<'_>,
+    ) -> Result<(), utilbp_core::state::StateError> {
+        self.slots.load_state(reader)
+    }
 }
 
 #[cfg(test)]

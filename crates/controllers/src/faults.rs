@@ -320,6 +320,59 @@ impl<C: SignalController> SignalController for FaultySensors<C> {
     fn name(&self) -> &'static str {
         "faulty-sensors"
     }
+
+    fn save_state(&self, writer: &mut utilbp_core::state::StateWriter) {
+        // The switch is engine-owned state (a scenario fault window) and
+        // is restored by the engine, not here.
+        for word in self.rng.state() {
+            writer.push(word);
+        }
+        match &self.last {
+            None => writer.push_bool(false),
+            Some(obs) => {
+                writer.push_bool(true);
+                obs.save_state(writer);
+            }
+        }
+        writer.push_usize(self.latched.len());
+        for latch in &self.latched {
+            match latch {
+                None => writer.push_bool(false),
+                Some(v) => {
+                    writer.push_bool(true);
+                    writer.push_u32(*v);
+                }
+            }
+        }
+        self.inner.save_state(writer);
+    }
+
+    fn load_state(
+        &mut self,
+        reader: &mut utilbp_core::state::StateReader<'_>,
+    ) -> Result<(), utilbp_core::state::StateError> {
+        let mut rng_state = [0u64; 4];
+        for word in &mut rng_state {
+            *word = reader.take()?;
+        }
+        self.rng = SmallRng::from_state(rng_state);
+        self.last = if reader.take_bool()? {
+            Some(QueueObservation::load_state(reader)?)
+        } else {
+            None
+        };
+        let len = reader.take_usize()?;
+        self.latched.clear();
+        for _ in 0..len {
+            let latch = if reader.take_bool()? {
+                Some(reader.take_u32()?)
+            } else {
+                None
+            };
+            self.latched.push(latch);
+        }
+        self.inner.load_state(reader)
+    }
 }
 
 #[cfg(test)]

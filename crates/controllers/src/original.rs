@@ -106,6 +106,17 @@ impl SignalController for OriginalBp {
     fn name(&self) -> &'static str {
         "original-bp"
     }
+
+    fn save_state(&self, writer: &mut utilbp_core::state::StateWriter) {
+        self.slots.save_state(writer);
+    }
+
+    fn load_state(
+        &mut self,
+        reader: &mut utilbp_core::state::StateReader<'_>,
+    ) -> Result<(), utilbp_core::state::StateError> {
+        self.slots.load_state(reader)
+    }
 }
 
 #[cfg(test)]

@@ -61,6 +61,17 @@ impl SignalController for FixedTime {
     fn name(&self) -> &'static str {
         "fixed-time"
     }
+
+    fn save_state(&self, writer: &mut utilbp_core::state::StateWriter) {
+        self.slots.save_state(writer);
+    }
+
+    fn load_state(
+        &mut self,
+        reader: &mut utilbp_core::state::StateReader<'_>,
+    ) -> Result<(), utilbp_core::state::StateError> {
+        self.slots.load_state(reader)
+    }
 }
 
 /// Serializable parameters of [`LongestQueueFirst`].
@@ -137,6 +148,17 @@ impl SignalController for LongestQueueFirst {
 
     fn name(&self) -> &'static str {
         "longest-queue-first"
+    }
+
+    fn save_state(&self, writer: &mut utilbp_core::state::StateWriter) {
+        self.slots.save_state(writer);
+    }
+
+    fn load_state(
+        &mut self,
+        reader: &mut utilbp_core::state::StateReader<'_>,
+    ) -> Result<(), utilbp_core::state::StateError> {
+        self.slots.load_state(reader)
     }
 }
 

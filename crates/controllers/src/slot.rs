@@ -120,6 +120,56 @@ impl SlotMachine {
         self.slot_end = Tick::ZERO;
         self.pending = None;
     }
+
+    /// Appends the machine's timing state (running phase, slot end,
+    /// pending amber) to a checkpoint stream. Configuration (period,
+    /// amber length, always-transition) is not written — a restored
+    /// machine is rebuilt from the same constructor arguments.
+    pub fn save_state(&self, writer: &mut utilbp_core::state::StateWriter) {
+        writer.push(
+            self.current
+                .map(PhaseDecision::Control)
+                .unwrap_or(PhaseDecision::Transition)
+                .state_word(),
+        );
+        writer.push(self.slot_end.index());
+        match self.pending {
+            Some((until, next)) => {
+                writer.push_bool(true);
+                writer.push(until.index());
+                writer.push(PhaseDecision::Control(next).state_word());
+            }
+            None => writer.push_bool(false),
+        }
+    }
+
+    /// Restores the timing state written by
+    /// [`save_state`](Self::save_state).
+    ///
+    /// # Errors
+    ///
+    /// [`StateError`](utilbp_core::state::StateError) when the stream
+    /// is truncated or malformed.
+    pub fn load_state(
+        &mut self,
+        reader: &mut utilbp_core::state::StateReader<'_>,
+    ) -> Result<(), utilbp_core::state::StateError> {
+        self.current = PhaseDecision::from_state_word(reader.take()?)?.phase();
+        self.slot_end = Tick::new(reader.take()?);
+        self.pending = if reader.take_bool()? {
+            let until = Tick::new(reader.take()?);
+            let next = PhaseDecision::from_state_word(reader.take()?)?
+                .phase()
+                .ok_or(utilbp_core::state::StateError::Invalid {
+                    what: "pending phase",
+                    word: 0,
+                })?;
+            Some((until, next))
+        } else {
+            None
+        };
+        Ok(())
+    }
 }
 
 #[cfg(test)]

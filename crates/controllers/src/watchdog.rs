@@ -287,6 +287,62 @@ impl<C: SignalController, F: SignalController> SignalController for Degrading<C,
     fn name(&self) -> &'static str {
         "degrading"
     }
+
+    fn save_state(&self, writer: &mut utilbp_core::state::StateWriter) {
+        writer.push_usize(self.prev.len());
+        for &reading in &self.prev {
+            writer.push_u32(reading);
+        }
+        writer.push(self.same_streak);
+        writer.push(self.plausible_streak);
+        writer.push(self.episode_ticks);
+        writer.push_bool(self.degraded);
+        // Counters ride along so a restored run's aggregate watchdog
+        // telemetry matches the uninterrupted run's.
+        writer.push(self.stats.0.activations.load(Ordering::Relaxed));
+        writer.push(self.stats.0.degraded_ticks.load(Ordering::Relaxed));
+        writer.push(self.stats.0.recoveries.load(Ordering::Relaxed));
+        writer.push(self.stats.0.recovery_ticks_total.load(Ordering::Relaxed));
+        self.inner.save_state(writer);
+        self.fallback.save_state(writer);
+    }
+
+    fn load_state(
+        &mut self,
+        reader: &mut utilbp_core::state::StateReader<'_>,
+    ) -> Result<(), utilbp_core::state::StateError> {
+        let len = reader.take_usize()?;
+        self.prev.clear();
+        for _ in 0..len {
+            self.prev.push(reader.take_u32()?);
+        }
+        self.same_streak = reader.take()?;
+        self.plausible_streak = reader.take()?;
+        self.episode_ticks = reader.take()?;
+        self.degraded = reader.take_bool()?;
+        self.stats
+            .0
+            .activations
+            .store(reader.take()?, Ordering::Relaxed);
+        self.stats
+            .0
+            .degraded_ticks
+            .store(reader.take()?, Ordering::Relaxed);
+        self.stats
+            .0
+            .recoveries
+            .store(reader.take()?, Ordering::Relaxed);
+        self.stats
+            .0
+            .recovery_ticks_total
+            .store(reader.take()?, Ordering::Relaxed);
+        self.stats
+            .0
+            .degraded_now
+            .store(self.degraded, Ordering::Relaxed);
+        self.inner.load_state(reader)?;
+        self.fallback.load_state(reader)
+    }
 }
 
 #[cfg(test)]

@@ -12,6 +12,7 @@ use serde::{Deserialize, Serialize};
 
 use crate::ids::PhaseId;
 use crate::observation::IntersectionView;
+use crate::state::{StateError, StateReader, StateWriter};
 use crate::time::Tick;
 
 /// The controller's output at instant `k`: either a control phase `c_j` or
@@ -46,6 +47,29 @@ impl PhaseDecision {
         match self {
             PhaseDecision::Transition => 0,
             PhaseDecision::Control(p) => p.index() as u8 + 1,
+        }
+    }
+
+    /// Encodes the decision as one state word (the same 0 / `j+1`
+    /// numbering as [`trace_value`](Self::trace_value), widened) for
+    /// checkpoint streams.
+    pub const fn state_word(self) -> u64 {
+        self.trace_value() as u64
+    }
+
+    /// Decodes a word written by [`state_word`](Self::state_word).
+    ///
+    /// # Errors
+    ///
+    /// [`StateError::Invalid`] when the word is not a valid encoding.
+    pub fn from_state_word(word: u64) -> Result<Self, StateError> {
+        match word {
+            0 => Ok(PhaseDecision::Transition),
+            v if v <= u8::MAX as u64 => Ok(PhaseDecision::Control(PhaseId::new(v as u8 - 1))),
+            _ => Err(StateError::Invalid {
+                what: "phase decision",
+                word,
+            }),
         }
     }
 }
@@ -104,6 +128,25 @@ pub trait SignalController: Send {
     /// A short, stable identifier used in reports and plots
     /// (e.g. `"util-bp"`, `"cap-bp"`).
     fn name(&self) -> &'static str;
+
+    /// Appends the controller's dynamic state to a checkpoint stream.
+    ///
+    /// The default writes nothing — correct for stateless controllers.
+    /// Stateful controllers (and every decorator, which must forward to
+    /// its inner controller after writing its own state) override both
+    /// this and [`load_state`](Self::load_state) as a pair, under the
+    /// [`state`](crate::state) module's determinism contract.
+    fn save_state(&self, _writer: &mut StateWriter) {}
+
+    /// Restores the state written by [`save_state`](Self::save_state).
+    ///
+    /// # Errors
+    ///
+    /// [`StateError`] when the stream is truncated or malformed; the
+    /// controller may be left partially restored and must be discarded.
+    fn load_state(&mut self, _reader: &mut StateReader<'_>) -> Result<(), StateError> {
+        Ok(())
+    }
 }
 
 impl<T: SignalController + ?Sized> SignalController for Box<T> {
@@ -117,6 +160,14 @@ impl<T: SignalController + ?Sized> SignalController for Box<T> {
 
     fn name(&self) -> &'static str {
         (**self).name()
+    }
+
+    fn save_state(&self, writer: &mut StateWriter) {
+        (**self).save_state(writer);
+    }
+
+    fn load_state(&mut self, reader: &mut StateReader<'_>) -> Result<(), StateError> {
+        (**self).load_state(reader)
     }
 }
 

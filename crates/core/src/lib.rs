@@ -63,6 +63,7 @@ mod observation;
 pub mod parallel;
 pub mod pressure;
 pub mod standard;
+pub mod state;
 mod time;
 mod utilbp;
 

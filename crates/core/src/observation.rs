@@ -128,6 +128,41 @@ impl QueueObservation {
         self.outgoing[out.index()] = value;
     }
 
+    /// Appends the observation's shape and values to a checkpoint
+    /// stream (see [`state`](crate::state)).
+    pub fn save_state(&self, writer: &mut crate::state::StateWriter) {
+        writer.push_usize(self.movement.len());
+        for &q in &self.movement {
+            writer.push_u32(q);
+        }
+        writer.push_usize(self.outgoing.len());
+        for &q in &self.outgoing {
+            writer.push_u32(q);
+        }
+    }
+
+    /// Reads an observation written by [`save_state`](Self::save_state).
+    ///
+    /// # Errors
+    ///
+    /// [`state::StateError`](crate::state::StateError) when the stream
+    /// is truncated or malformed.
+    pub fn load_state(
+        reader: &mut crate::state::StateReader<'_>,
+    ) -> Result<Self, crate::state::StateError> {
+        let links = reader.take_usize()?;
+        let mut movement = Vec::with_capacity(links);
+        for _ in 0..links {
+            movement.push(reader.take_u32()?);
+        }
+        let outgoing_len = reader.take_usize()?;
+        let mut outgoing = Vec::with_capacity(outgoing_len);
+        for _ in 0..outgoing_len {
+            outgoing.push(reader.take_u32()?);
+        }
+        Ok(QueueObservation { movement, outgoing })
+    }
+
     /// Raw movement-queue slice, indexed by `LinkId`.
     pub fn movements(&self) -> &[u32] {
         &self.movement

@@ -1,0 +1,347 @@
+//! Word-level state serialization for checkpoint/restore.
+//!
+//! Every stateful component in this workspace — controllers and their
+//! fault/watchdog decorators, the simulation substrates, the demand
+//! generator, the flight recorder — exposes its dynamic state as a flat
+//! sequence of `u64` words through a [`StateWriter`], and rebuilds it
+//! from a [`StateReader`]. The word stream is the *logical* encoding;
+//! the on-disk container (format version, section framing, checksums)
+//! lives in `utilbp-snapshot`, which packs word streams into verified
+//! byte sections.
+//!
+//! ## Contract
+//!
+//! - **Determinism.** `save_state` must emit an identical word sequence
+//!   for identical logical state: collections are written in index
+//!   order, unordered sets are sorted before writing, and floats are
+//!   written bit-exactly via [`f64::to_bits`] (so a restored
+//!   accumulator continues *bit-identically*, not approximately).
+//! - **Round-trip.** `load_state(save_state(x))` must reproduce `x`'s
+//!   observable behavior exactly; `save_state` after a restore must
+//!   emit the same words again (canonicalization happens on save, so
+//!   save→load→save is a fixed point).
+//! - **No panics on bad input.** Readers return [`StateError`]; a
+//!   corrupted or truncated stream must surface as an error, never as
+//!   an index-out-of-bounds panic. Values are range-checked as they
+//!   are read ([`StateReader::take_u32`], [`StateReader::take_bool`]).
+
+use std::error::Error;
+use std::fmt;
+
+/// A growable sink of `u64` state words.
+///
+/// # Examples
+///
+/// ```
+/// use utilbp_core::state::{StateReader, StateWriter};
+///
+/// let mut w = StateWriter::new();
+/// w.push(7);
+/// w.push_f64(0.25);
+/// w.push_bool(true);
+///
+/// let mut r = StateReader::new(w.words());
+/// assert_eq!(r.take().unwrap(), 7);
+/// assert_eq!(r.take_f64().unwrap(), 0.25);
+/// assert!(r.take_bool().unwrap());
+/// r.finish().unwrap();
+/// ```
+#[derive(Debug, Default, Clone)]
+pub struct StateWriter {
+    words: Vec<u64>,
+}
+
+impl StateWriter {
+    /// An empty writer.
+    pub fn new() -> Self {
+        StateWriter { words: Vec::new() }
+    }
+
+    /// The words written so far.
+    pub fn words(&self) -> &[u64] {
+        &self.words
+    }
+
+    /// Consumes the writer, returning its words.
+    pub fn into_words(self) -> Vec<u64> {
+        self.words
+    }
+
+    /// Number of words written so far.
+    pub fn len(&self) -> usize {
+        self.words.len()
+    }
+
+    /// Whether nothing has been written.
+    pub fn is_empty(&self) -> bool {
+        self.words.is_empty()
+    }
+
+    /// Appends one raw word.
+    pub fn push(&mut self, word: u64) {
+        self.words.push(word);
+    }
+
+    /// Appends a `u32`, widened.
+    pub fn push_u32(&mut self, value: u32) {
+        self.words.push(u64::from(value));
+    }
+
+    /// Appends a `usize`, widened.
+    pub fn push_usize(&mut self, value: usize) {
+        self.words.push(value as u64);
+    }
+
+    /// Appends a boolean as 0/1.
+    pub fn push_bool(&mut self, value: bool) {
+        self.words.push(u64::from(value));
+    }
+
+    /// Appends an `f64` bit-exactly.
+    pub fn push_f64(&mut self, value: f64) {
+        self.words.push(value.to_bits());
+    }
+
+    /// Appends a UTF-8 string: its byte length, then its bytes packed
+    /// little-endian into words (the final word zero-padded).
+    pub fn push_str(&mut self, s: &str) {
+        let bytes = s.as_bytes();
+        self.push_usize(bytes.len());
+        for chunk in bytes.chunks(8) {
+            let mut word = [0u8; 8];
+            word[..chunk.len()].copy_from_slice(chunk);
+            self.words.push(u64::from_le_bytes(word));
+        }
+    }
+}
+
+/// A cursor over a word stream produced by [`StateWriter`].
+#[derive(Debug)]
+pub struct StateReader<'a> {
+    words: &'a [u64],
+    pos: usize,
+}
+
+impl<'a> StateReader<'a> {
+    /// A reader over `words`, positioned at the start.
+    pub fn new(words: &'a [u64]) -> Self {
+        StateReader { words, pos: 0 }
+    }
+
+    /// Words not yet consumed.
+    pub fn remaining(&self) -> usize {
+        self.words.len() - self.pos
+    }
+
+    /// Takes the next raw word.
+    ///
+    /// # Errors
+    ///
+    /// [`StateError::Exhausted`] if the stream has run out.
+    pub fn take(&mut self) -> Result<u64, StateError> {
+        let word = self
+            .words
+            .get(self.pos)
+            .copied()
+            .ok_or(StateError::Exhausted { at: self.pos })?;
+        self.pos += 1;
+        Ok(word)
+    }
+
+    /// Takes a word that must fit in `u32`.
+    ///
+    /// # Errors
+    ///
+    /// [`StateError::Exhausted`] or [`StateError::Invalid`] when the
+    /// word exceeds `u32::MAX`.
+    pub fn take_u32(&mut self) -> Result<u32, StateError> {
+        let word = self.take()?;
+        u32::try_from(word).map_err(|_| StateError::Invalid { what: "u32", word })
+    }
+
+    /// Takes a word as a `usize`.
+    ///
+    /// # Errors
+    ///
+    /// [`StateError::Exhausted`] or [`StateError::Invalid`] when the
+    /// word does not fit (32-bit targets).
+    pub fn take_usize(&mut self) -> Result<usize, StateError> {
+        let word = self.take()?;
+        usize::try_from(word).map_err(|_| StateError::Invalid {
+            what: "usize",
+            word,
+        })
+    }
+
+    /// Takes a 0/1 word as a boolean.
+    ///
+    /// # Errors
+    ///
+    /// [`StateError::Exhausted`] or [`StateError::Invalid`] on any
+    /// other value.
+    pub fn take_bool(&mut self) -> Result<bool, StateError> {
+        match self.take()? {
+            0 => Ok(false),
+            1 => Ok(true),
+            word => Err(StateError::Invalid { what: "bool", word }),
+        }
+    }
+
+    /// Takes a bit-exact `f64`.
+    ///
+    /// # Errors
+    ///
+    /// [`StateError::Exhausted`] if the stream has run out.
+    pub fn take_f64(&mut self) -> Result<f64, StateError> {
+        Ok(f64::from_bits(self.take()?))
+    }
+
+    /// Takes a string written by [`StateWriter::push_str`].
+    ///
+    /// # Errors
+    ///
+    /// [`StateError::Exhausted`] on truncation, [`StateError::Invalid`]
+    /// when the bytes are not UTF-8.
+    pub fn take_string(&mut self) -> Result<String, StateError> {
+        let len = self.take_usize()?;
+        let mut bytes = Vec::with_capacity(len);
+        let mut left = len;
+        while left > 0 {
+            let word = self.take()?;
+            let n = left.min(8);
+            bytes.extend_from_slice(&word.to_le_bytes()[..n]);
+            left -= n;
+        }
+        String::from_utf8(bytes).map_err(|_| StateError::Invalid {
+            what: "utf-8 string",
+            word: len as u64,
+        })
+    }
+
+    /// Asserts the stream was fully consumed.
+    ///
+    /// # Errors
+    ///
+    /// [`StateError::Trailing`] if words remain.
+    pub fn finish(self) -> Result<(), StateError> {
+        if self.pos == self.words.len() {
+            Ok(())
+        } else {
+            Err(StateError::Trailing {
+                remaining: self.words.len() - self.pos,
+            })
+        }
+    }
+}
+
+/// A malformed or truncated state stream.
+///
+/// Always an error value, never a panic: restore paths surface these to
+/// the caller so recovery can fall back to an older checkpoint.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StateError {
+    /// The stream ended before the component finished reading.
+    Exhausted {
+        /// Word index at which the read failed.
+        at: usize,
+    },
+    /// A word failed a range or encoding check.
+    Invalid {
+        /// What the word was expected to encode.
+        what: &'static str,
+        /// The offending word.
+        word: u64,
+    },
+    /// The component finished but unread words remain.
+    Trailing {
+        /// How many words were left over.
+        remaining: usize,
+    },
+}
+
+impl fmt::Display for StateError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StateError::Exhausted { at } => {
+                write!(f, "state stream exhausted at word {at}")
+            }
+            StateError::Invalid { what, word } => {
+                write!(f, "state word {word:#x} is not a valid {what}")
+            }
+            StateError::Trailing { remaining } => {
+                write!(f, "state stream has {remaining} unread trailing words")
+            }
+        }
+    }
+}
+
+impl Error for StateError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trips_every_value_kind() {
+        let mut w = StateWriter::new();
+        w.push(u64::MAX);
+        w.push_u32(42);
+        w.push_usize(7);
+        w.push_bool(true);
+        w.push_bool(false);
+        w.push_f64(-0.0);
+        w.push_f64(f64::NEG_INFINITY);
+        w.push_str("hello, snapshot");
+        w.push_str("");
+
+        let mut r = StateReader::new(w.words());
+        assert_eq!(r.take().unwrap(), u64::MAX);
+        assert_eq!(r.take_u32().unwrap(), 42);
+        assert_eq!(r.take_usize().unwrap(), 7);
+        assert!(r.take_bool().unwrap());
+        assert!(!r.take_bool().unwrap());
+        assert_eq!(r.take_f64().unwrap().to_bits(), (-0.0f64).to_bits());
+        assert_eq!(r.take_f64().unwrap(), f64::NEG_INFINITY);
+        assert_eq!(r.take_string().unwrap(), "hello, snapshot");
+        assert_eq!(r.take_string().unwrap(), "");
+        r.finish().unwrap();
+    }
+
+    #[test]
+    fn exhaustion_is_an_error_not_a_panic() {
+        let mut r = StateReader::new(&[]);
+        assert_eq!(r.take(), Err(StateError::Exhausted { at: 0 }));
+        assert!(r.take_f64().is_err());
+    }
+
+    #[test]
+    fn invalid_words_are_rejected() {
+        let words = [2u64, u64::MAX];
+        let mut r = StateReader::new(&words);
+        assert!(matches!(
+            r.take_bool(),
+            Err(StateError::Invalid { what: "bool", .. })
+        ));
+        assert!(matches!(
+            r.take_u32(),
+            Err(StateError::Invalid { what: "u32", .. })
+        ));
+    }
+
+    #[test]
+    fn trailing_words_are_detected() {
+        let words = [1u64, 2];
+        let mut r = StateReader::new(&words);
+        r.take().unwrap();
+        assert_eq!(r.finish(), Err(StateError::Trailing { remaining: 1 }));
+    }
+
+    #[test]
+    fn truncated_string_is_exhausted() {
+        let mut w = StateWriter::new();
+        w.push_str("a longer string than one word");
+        let words = &w.words()[..2];
+        let mut r = StateReader::new(words);
+        assert!(matches!(r.take_string(), Err(StateError::Exhausted { .. })));
+    }
+}

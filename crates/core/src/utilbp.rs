@@ -308,6 +308,20 @@ impl SignalController for UtilBp {
         self.transition_until = Tick::ZERO;
     }
 
+    fn save_state(&self, writer: &mut crate::state::StateWriter) {
+        writer.push(self.previous.state_word());
+        writer.push(self.transition_until.index());
+    }
+
+    fn load_state(
+        &mut self,
+        reader: &mut crate::state::StateReader<'_>,
+    ) -> Result<(), crate::state::StateError> {
+        self.previous = PhaseDecision::from_state_word(reader.take()?)?;
+        self.transition_until = Tick::new(reader.take()?);
+        Ok(())
+    }
+
     fn name(&self) -> &'static str {
         match (self.config.gain_mode, self.config.g_star) {
             (GainMode::UtilizationAware, GStarPolicy::AlwaysReevaluate) => "util-bp/no-hysteresis",

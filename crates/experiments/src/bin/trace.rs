@@ -11,6 +11,7 @@
 //! trace --builtin NAME --parallelism rayon         # sharded phases
 //! trace --builtin NAME --capacity 8192 --every 10  # recorder/gauge tuning
 //! trace --builtin NAME --horizon 400 --width 100   # trim / widen
+//! trace --builtin NAME --checkpoint 64             # durable captures → o marks
 //! ```
 //!
 //! The replay runs the invariant guard in observe mode: guard
@@ -96,6 +97,15 @@ fn run() -> Result<(), String> {
                 options.width = value("--width")?
                     .parse()
                     .map_err(|e| format!("--width: {e}"))?;
+            }
+            "--checkpoint" => {
+                let period: u64 = value("--checkpoint")?
+                    .parse()
+                    .map_err(|e| format!("--checkpoint: {e}"))?;
+                if period == 0 {
+                    return Err("--checkpoint must be at least 1".to_string());
+                }
+                options.checkpoint_every = Some(period);
             }
             other if other.starts_with("--") => return Err(format!("unknown flag `{other}`")),
             _ => {

@@ -18,7 +18,15 @@
 //! 2. watchdog installed, `Rayon` — must equal the reference bit for
 //!    bit (the substrate determinism contract under active faults);
 //! 3. watchdog installed, `Serial` again — repeat determinism;
-//! 4. watchdog absent, `Serial` — the degradation baseline.
+//! 4. watchdog absent, `Serial` — the degradation baseline;
+//! 5. a **crash-recovery round**: the reference run is repeated with
+//!    periodic checkpointing, killed at 5/8 of the horizon (inside the
+//!    actuation-fault window), its newest checkpoint suffers a torn
+//!    write, and recovery must reject the damage on checksum/structure
+//!    grounds, fall back to the previous capture, fast-forward, and
+//!    land on the reference outcome exactly — checkpoint durability
+//!    re-proved under active sensor faults, actuation faults, and
+//!    closures, with the guard watching every replayed tick.
 //!
 //! The report's aggregate check bounds degradation: summed over the
 //! timelines of one backend, mean waiting with the watchdog fallback
@@ -32,10 +40,11 @@
 use utilbp_core::{Parallelism, Tick, Ticks};
 use utilbp_metrics::TextTable;
 use utilbp_scenario::{
-    run_scenario, Backend, DemandProfile, EngineConfig, ReplanPolicy, ScenarioEvent,
-    ScenarioOutcome, ScenarioSpec, TopologySpec,
+    run_scenario, Backend, CheckpointPolicy, DemandProfile, EngineConfig, ReplanPolicy,
+    ScenarioEngine, ScenarioEvent, ScenarioOutcome, ScenarioSpec, TopologySpec,
 };
 
+use crate::recovery::recover_newest_valid;
 use crate::scenario::ControllerKind;
 
 /// Headroom the aggregate degradation bound allows for watchdog false
@@ -288,13 +297,52 @@ pub fn run_chaos(config: &ChaosConfig) -> Result<ChaosReport, String> {
                             "timeline seed {seed} on {backend}: Rayon outcome diverges from Serial"
                         ));
                     }
-                    let repeat = run_scenario(with, serial, &factory)
+                    let repeat = run_scenario(with.clone(), serial, &factory)
                         .map_err(|e| format!("timeline seed {seed} on {backend}: {e}"))?;
                     if repeat != reference {
                         return Err(format!(
                             "timeline seed {seed} on {backend}: repeat run diverges"
                         ));
                     }
+
+                    // Run 5: the crash-recovery round (see the module
+                    // docs). Period horizon/6 guarantees at least two
+                    // captures exist by the 5/8-horizon kill, so there
+                    // is a valid fallback behind the torn newest.
+                    let mut doomed = ScenarioEngine::new(with, serial, &factory)
+                        .map_err(|e| format!("timeline seed {seed} on {backend}: {e}"))?;
+                    doomed.enable_checkpoints(CheckpointPolicy::every(config.horizon / 6));
+                    for _ in 0..5 * config.horizon / 8 {
+                        doomed.step();
+                    }
+                    let mut store = doomed.checkpoints().to_vec();
+                    drop(doomed);
+                    let newest = store.last_mut().expect("two captures by the kill tick");
+                    let keep = newest.1.len() * 2 / 3;
+                    newest.1.truncate(keep);
+                    let (mut recovered, resumed_at, rejected) =
+                        recover_newest_valid(&store, serial, &factory)
+                            .map_err(|e| format!("timeline seed {seed} on {backend}: {e}"))?;
+                    if rejected.len() != 1 {
+                        return Err(format!(
+                            "timeline seed {seed} on {backend}: torn checkpoint was not \
+                             rejected exactly once ({rejected:?})"
+                        ));
+                    }
+                    if resumed_at.index() >= 5 * config.horizon / 8 {
+                        return Err(format!(
+                            "timeline seed {seed} on {backend}: recovery resumed at \
+                             tick {resumed_at:?}, past the kill"
+                        ));
+                    }
+                    recovered.run_to_end();
+                    if recovered.outcome() != reference {
+                        return Err(format!(
+                            "timeline seed {seed} on {backend}: recovered run diverges \
+                             from the uninterrupted reference"
+                        ));
+                    }
+
                     let without = run_scenario(spec, serial, &factory)
                         .map_err(|e| format!("timeline seed {seed} on {backend}: {e}"))?;
                     Ok(TimelineReport {

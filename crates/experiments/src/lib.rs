@@ -30,6 +30,7 @@ mod chaos;
 mod fig2;
 mod inputs;
 mod options;
+mod recovery;
 mod robustness;
 mod runner;
 mod scenario;
@@ -44,6 +45,9 @@ pub use chaos::{chaos_timeline, run_chaos, ChaosConfig, ChaosReport, TimelineRep
 pub use fig2::{fig2, Fig2Result};
 pub use inputs::{render_table1, render_table2};
 pub use options::ExperimentOptions;
+pub use recovery::{
+    recover_newest_valid, render_outcome, run_recovery, Corruption, RecoveryConfig, RecoveryReport,
+};
 pub use robustness::{robustness, RobustnessResult};
 pub use runner::{run, run_many, Probe, RunResult};
 pub use scenario::{Backend, ControllerKind, Scenario};

@@ -32,6 +32,11 @@ pub struct TraceOptions {
     pub horizon_cap: Option<u64>,
     /// Timeline / chart width in columns.
     pub width: usize,
+    /// Capture a durable checkpoint every this many ticks (`None` = no
+    /// checkpointing). Captures surface as `checkpoint` events — `o`
+    /// marks in the timeline's faults lane — carrying the snapshot's
+    /// size and CRC.
+    pub checkpoint_every: Option<u64>,
 }
 
 impl Default for TraceOptions {
@@ -44,6 +49,7 @@ impl Default for TraceOptions {
             gauge_every: 25,
             horizon_cap: None,
             width: 72,
+            checkpoint_every: None,
         }
     }
 }
@@ -93,6 +99,9 @@ pub fn run_trace(
     let mut engine = ScenarioEngine::new(spec, config, make_controller)?;
     engine.enable_recording(options.capacity);
     engine.enable_gauges(options.gauge_every);
+    if let Some(period) = options.checkpoint_every {
+        engine.enable_checkpoints(utilbp_scenario::CheckpointPolicy::every(period));
+    }
     if options.profile {
         engine.enable_profiling();
     }

@@ -102,6 +102,53 @@ impl Histogram {
         None // falls in the overflow bin
     }
 
+    /// Appends the histogram (geometry and counts) to a checkpoint
+    /// stream.
+    pub fn save_state(&self, writer: &mut utilbp_core::state::StateWriter) {
+        writer.push_f64(self.bin_width);
+        writer.push_usize(self.bins.len());
+        for &n in &self.bins {
+            writer.push(n);
+        }
+        writer.push(self.overflow);
+        writer.push(self.count);
+    }
+
+    /// Reads a histogram written by [`save_state`](Self::save_state).
+    ///
+    /// # Errors
+    ///
+    /// [`StateError`](utilbp_core::state::StateError) when the stream
+    /// is truncated or encodes an invalid geometry.
+    pub fn load_state(
+        reader: &mut utilbp_core::state::StateReader<'_>,
+    ) -> Result<Self, utilbp_core::state::StateError> {
+        let bin_width = reader.take_f64()?;
+        if !(bin_width.is_finite() && bin_width > 0.0) {
+            return Err(utilbp_core::state::StateError::Invalid {
+                what: "histogram bin width",
+                word: bin_width.to_bits(),
+            });
+        }
+        let len = reader.take_usize()?;
+        if len == 0 {
+            return Err(utilbp_core::state::StateError::Invalid {
+                what: "histogram bin count",
+                word: 0,
+            });
+        }
+        let mut bins = Vec::with_capacity(len);
+        for _ in 0..len {
+            bins.push(reader.take()?);
+        }
+        Ok(Histogram {
+            bin_width,
+            bins,
+            overflow: reader.take()?,
+            count: reader.take()?,
+        })
+    }
+
     /// Merges another histogram with identical geometry.
     ///
     /// # Panics

@@ -103,6 +103,35 @@ impl SummaryStats {
         self.sample_variance().sqrt()
     }
 
+    /// Appends the accumulator to a checkpoint stream, bit-exactly
+    /// (floats via `to_bits`, so a restored accumulator continues the
+    /// identical floating-point trajectory).
+    pub fn save_state(&self, writer: &mut utilbp_core::state::StateWriter) {
+        writer.push(self.count);
+        writer.push_f64(self.mean);
+        writer.push_f64(self.m2);
+        writer.push_f64(self.min);
+        writer.push_f64(self.max);
+    }
+
+    /// Reads an accumulator written by [`save_state`](Self::save_state).
+    ///
+    /// # Errors
+    ///
+    /// [`StateError`](utilbp_core::state::StateError) on a truncated
+    /// stream.
+    pub fn load_state(
+        reader: &mut utilbp_core::state::StateReader<'_>,
+    ) -> Result<Self, utilbp_core::state::StateError> {
+        Ok(SummaryStats {
+            count: reader.take()?,
+            mean: reader.take_f64()?,
+            m2: reader.take_f64()?,
+            min: reader.take_f64()?,
+            max: reader.take_f64()?,
+        })
+    }
+
     /// Merges another accumulator into this one (Chan's parallel update).
     /// Useful when aggregating per-thread partial statistics.
     pub fn merge(&mut self, other: &SummaryStats) {

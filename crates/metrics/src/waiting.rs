@@ -164,6 +164,53 @@ impl WaitingLedger {
         &self.waiting_histogram
     }
 
+    /// Appends the full ledger — the active slab and all completed-run
+    /// statistics — to a checkpoint stream.
+    pub fn save_state(&self, writer: &mut utilbp_core::state::StateWriter) {
+        writer.push_usize(self.active.len());
+        for entry in &self.active {
+            match entry {
+                Some(tick) => {
+                    writer.push_bool(true);
+                    writer.push(tick.index());
+                }
+                None => writer.push_bool(false),
+            }
+        }
+        self.waiting.save_state(writer);
+        self.journey.save_state(writer);
+        self.waiting_histogram.save_state(writer);
+    }
+
+    /// Reads a ledger written by [`save_state`](Self::save_state).
+    ///
+    /// # Errors
+    ///
+    /// [`StateError`](utilbp_core::state::StateError) when the stream
+    /// is truncated or malformed.
+    pub fn load_state(
+        reader: &mut utilbp_core::state::StateReader<'_>,
+    ) -> Result<Self, utilbp_core::state::StateError> {
+        let len = reader.take_usize()?;
+        let mut active = Vec::with_capacity(len);
+        let mut active_count = 0;
+        for _ in 0..len {
+            if reader.take_bool()? {
+                active.push(Some(Tick::new(reader.take()?)));
+                active_count += 1;
+            } else {
+                active.push(None);
+            }
+        }
+        Ok(WaitingLedger {
+            active,
+            active_count,
+            waiting: SummaryStats::load_state(reader)?,
+            journey: SummaryStats::load_state(reader)?,
+            waiting_histogram: Histogram::load_state(reader)?,
+        })
+    }
+
     /// Average waiting time including vehicles still in the network — the
     /// estimator used for the paper's "average queuing time of a vehicle
     /// (in the entire network)", which counts every vehicle inserted.

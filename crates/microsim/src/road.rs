@@ -50,8 +50,10 @@ use std::sync::Arc;
 
 use rand::rngs::SmallRng;
 use rand::Rng;
+use utilbp_core::state::{StateError, StateReader, StateWriter};
+use utilbp_core::LinkId;
 use utilbp_metrics::VehicleId;
-use utilbp_netgen::Route;
+use utilbp_netgen::{IntersectionId, RoadId, Route};
 
 use crate::config::MicroSimConfig;
 use crate::krauss::{next_speed, LeaderInfo};
@@ -138,6 +140,78 @@ impl VehicleArena {
             "replanned route must preserve the committed prefix"
         );
         self.route[i] = route;
+    }
+
+    /// Serializes the slab: the free list exactly (its LIFO order decides
+    /// future slot assignment, hence determinism), live slots in full,
+    /// and freed slots not at all — their stale ids and routes are
+    /// allocator residue, so normalizing them away makes
+    /// save → load → save a byte-level fixed point.
+    pub fn save_state(&self, writer: &mut StateWriter) {
+        writer.push_usize(self.id.len());
+        writer.push_usize(self.free.len());
+        for &slot in &self.free {
+            writer.push_u32(slot);
+        }
+        let mut is_free = vec![false; self.id.len()];
+        for &slot in &self.free {
+            is_free[slot as usize] = true;
+        }
+        for (i, &freed) in is_free.iter().enumerate() {
+            if freed {
+                continue;
+            }
+            writer.push(self.id[i].raw());
+            writer.push_u32(self.hop[i]);
+            self.route[i].save_state(writer);
+        }
+    }
+
+    /// Restores a slab saved by [`save_state`](Self::save_state). Freed
+    /// slots come back holding a shared placeholder route until reuse.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`StateError`] on a truncated stream or a free-list
+    /// entry out of range.
+    pub fn load_state(&mut self, reader: &mut StateReader<'_>) -> Result<(), StateError> {
+        let len = reader.take_usize()?;
+        let free_len = reader.take_usize()?;
+        let mut free = Vec::with_capacity(free_len);
+        for _ in 0..free_len {
+            let slot = reader.take_u32()?;
+            if slot as usize >= len {
+                return Err(StateError::Invalid {
+                    what: "arena free slot",
+                    word: u64::from(slot),
+                });
+            }
+            free.push(slot);
+        }
+        let placeholder = Arc::new(Route::new(
+            RoadId::new(0),
+            vec![(IntersectionId::new(0), LinkId::new(0))],
+        ));
+        let mut is_free = vec![false; len];
+        for &slot in &free {
+            is_free[slot as usize] = true;
+        }
+        self.id.clear();
+        self.route.clear();
+        self.hop.clear();
+        self.id.resize(len, VehicleId::new(0));
+        self.route.resize(len, Arc::clone(&placeholder));
+        self.hop.resize(len, 0);
+        for (i, &freed) in is_free.iter().enumerate() {
+            if freed {
+                continue;
+            }
+            self.id[i] = VehicleId::new(reader.take()?);
+            self.hop[i] = reader.take_u32()?;
+            self.route[i] = Arc::new(Route::load_state(reader)?);
+        }
+        self.free = free;
+        Ok(())
     }
 }
 
@@ -314,6 +388,57 @@ impl Lane {
             .count() as u32
     }
 
+    /// Serializes the lane's logical content (head first). The `head`
+    /// offset and the already-dequeued storage prefix are amortization
+    /// artifacts, not state: restoring at `head = 0` yields identical
+    /// physics, and canonicalizing makes save → load → save a fixed
+    /// point.
+    pub fn save_state(&self, writer: &mut StateWriter) {
+        writer.push_usize(self.len());
+        for i in self.head..self.pv.len() {
+            writer.push_f64(self.pv[i][0]);
+            writer.push_f64(self.pv[i][1]);
+            writer.push_u32(self.wait[i]);
+            writer.push_u32(self.slot[i]);
+            writer.push(u64::from(self.link[i]));
+        }
+    }
+
+    /// Restores a lane saved by [`save_state`](Self::save_state),
+    /// replacing the current content. `head_crossed` is intra-step
+    /// scratch and resets to `false` (checkpoints are taken at tick
+    /// boundaries).
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`StateError`] on a truncated stream or a link word out
+    /// of `u16` range.
+    pub fn load_state(&mut self, reader: &mut StateReader<'_>) -> Result<(), StateError> {
+        let len = reader.take_usize()?;
+        self.pv.clear();
+        self.wait.clear();
+        self.slot.clear();
+        self.link.clear();
+        self.head = 0;
+        self.head_crossed = false;
+        for _ in 0..len {
+            let pos = reader.take_f64()?;
+            let speed = reader.take_f64()?;
+            let wait = reader.take_u32()?;
+            let slot = reader.take_u32()?;
+            let word = reader.take()?;
+            let link = u16::try_from(word).map_err(|_| StateError::Invalid {
+                what: "lane link",
+                word,
+            })?;
+            self.pv.push([pos, speed]);
+            self.wait.push(wait);
+            self.slot.push(slot);
+            self.link.push(link);
+        }
+        Ok(())
+    }
+
     /// Recomputes both sensor counters by rescanning (used when validating
     /// the incremental-sensing invariant kept in the road's dense counter
     /// arrays).
@@ -383,6 +508,40 @@ impl MovementCounters {
             (true, false) => self.detected[link] -= 1,
             _ => {}
         }
+    }
+
+    /// Serializes both counter arrays.
+    pub fn save_state(&self, writer: &mut StateWriter) {
+        writer.push_usize(self.total.len());
+        for &v in &self.total {
+            writer.push_u32(v);
+        }
+        for &v in &self.detected {
+            writer.push_u32(v);
+        }
+    }
+
+    /// Restores counters saved by [`save_state`](Self::save_state).
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`StateError`] on a truncated stream or a link count
+    /// that disagrees with this road's layout.
+    pub fn load_state(&mut self, reader: &mut StateReader<'_>) -> Result<(), StateError> {
+        let len = reader.take_usize()?;
+        if len != self.total.len() {
+            return Err(StateError::Invalid {
+                what: "movement counter width",
+                word: len as u64,
+            });
+        }
+        for v in &mut self.total {
+            *v = reader.take_u32()?;
+        }
+        for v in &mut self.detected {
+            *v = reader.take_u32()?;
+        }
+        Ok(())
     }
 }
 

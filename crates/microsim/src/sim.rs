@@ -46,6 +46,7 @@ use std::time::Instant;
 
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
+use utilbp_core::state::{StateError, StateReader, StateWriter};
 use utilbp_core::{
     parallel, parallel::ControllerSlot, IncomingId, LinkId, ObservationBuffer, PhaseDecision,
     QueueObservation, SignalController, Tick,
@@ -1335,6 +1336,191 @@ impl MicroSim {
     pub fn occupancy_snapshot(&self, out: &mut Vec<u32>) {
         out.clear();
         out.extend(self.roads.iter().map(|r| r.occupancy));
+    }
+
+    /// Serializes the whole plant state — fleet (arena + lanes), per-road
+    /// RNG stream positions, incremental sensor/movement counters,
+    /// junction boxes and credits, closure flags, backlogs, the waiting
+    /// ledger, and every controller's state — such that
+    /// [`load_state`](Self::load_state) into a freshly built simulator
+    /// (same topology, config, and controller composition) continues
+    /// bit-identically to the uninterrupted run.
+    ///
+    /// Intra-step scratch (observation buffers, per-step green flags,
+    /// landing drains, the lanes' dequeue offsets) is *not* state: it is
+    /// rebuilt by the next step's earlier phases, and canonicalizing it
+    /// away makes save → load → save a byte-level fixed point.
+    pub fn save_state(&self, writer: &mut StateWriter) {
+        writer.push(self.now.index());
+        writer.push(self.total_crossings);
+        self.arena.save_state(writer);
+        writer.push_usize(self.roads.len());
+        for road in &self.roads {
+            writer.push_bool(road.closed);
+            writer.push_u32(road.occupancy);
+            writer.push(road.entered);
+            writer.push_usize(road.lanes.len());
+            for lane in &road.lanes {
+                lane.save_state(writer);
+            }
+            for &p in &road.pending {
+                writer.push_u32(p);
+            }
+            for &d in &road.lane_detected {
+                writer.push_u32(d);
+            }
+            for &h in &road.lane_halted {
+                writer.push_u32(h);
+            }
+            writer.push_u32(road.detected_sum);
+            writer.push_u32(road.halted_sum);
+            match &road.move_counts {
+                None => writer.push_bool(false),
+                Some(mv) => {
+                    writer.push_bool(true);
+                    mv.save_state(writer);
+                }
+            }
+            for word in road.rng.state() {
+                writer.push(word);
+            }
+        }
+        writer.push_usize(self.junctions.len());
+        for junction in &self.junctions {
+            writer.push_usize(junction.in_box.len());
+            for c in &junction.in_box {
+                writer.push_u32(c.slot);
+                writer.push(c.wait);
+                writer.push(c.remaining);
+                writer.push_usize(c.dest_road);
+                writer.push_usize(c.dest_lane);
+            }
+            writer.push_usize(junction.credit.len());
+            for &credit in &junction.credit {
+                writer.push_f64(credit);
+            }
+        }
+        for backlog in &self.backlogs {
+            writer.push_usize(backlog.len());
+            for entry in backlog {
+                writer.push(entry.id.raw());
+                writer.push(entry.since.index());
+                entry.route.save_state(writer);
+            }
+        }
+        self.ledger.save_state(writer);
+        for slot in &self.controllers {
+            slot.controller.save_state(writer);
+        }
+    }
+
+    /// Restores plant state saved by [`save_state`](Self::save_state)
+    /// into this simulator, which must have been built over the same
+    /// topology, configuration, and controller composition.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`StateError`] on a truncated or corrupt stream, or
+    /// when the saved shape (road/lane/junction counts) disagrees with
+    /// this simulator's topology.
+    pub fn load_state(&mut self, reader: &mut StateReader<'_>) -> Result<(), StateError> {
+        self.now = Tick::new(reader.take()?);
+        self.total_crossings = reader.take()?;
+        self.arena.load_state(reader)?;
+        let num_roads = reader.take_usize()?;
+        if num_roads != self.roads.len() {
+            return Err(StateError::Invalid {
+                what: "road count",
+                word: num_roads as u64,
+            });
+        }
+        for road in &mut self.roads {
+            road.closed = reader.take_bool()?;
+            road.occupancy = reader.take_u32()?;
+            road.entered = reader.take()?;
+            let num_lanes = reader.take_usize()?;
+            if num_lanes != road.lanes.len() {
+                return Err(StateError::Invalid {
+                    what: "lane count",
+                    word: num_lanes as u64,
+                });
+            }
+            for lane in &mut road.lanes {
+                lane.load_state(reader)?;
+            }
+            for p in &mut road.pending {
+                *p = reader.take_u32()?;
+            }
+            for d in &mut road.lane_detected {
+                *d = reader.take_u32()?;
+            }
+            for h in &mut road.lane_halted {
+                *h = reader.take_u32()?;
+            }
+            road.detected_sum = reader.take_u32()?;
+            road.halted_sum = reader.take_u32()?;
+            let has_moves = reader.take_bool()?;
+            match (&mut road.move_counts, has_moves) {
+                (Some(mv), true) => mv.load_state(reader)?,
+                (None, false) => {}
+                (_, word) => {
+                    return Err(StateError::Invalid {
+                        what: "movement counter presence",
+                        word: word as u64,
+                    })
+                }
+            }
+            let mut rng_state = [0u64; 4];
+            for word in &mut rng_state {
+                *word = reader.take()?;
+            }
+            road.rng = SmallRng::from_state(rng_state);
+        }
+        let num_junctions = reader.take_usize()?;
+        if num_junctions != self.junctions.len() {
+            return Err(StateError::Invalid {
+                what: "junction count",
+                word: num_junctions as u64,
+            });
+        }
+        for junction in &mut self.junctions {
+            let in_box = reader.take_usize()?;
+            junction.in_box.clear();
+            for _ in 0..in_box {
+                junction.in_box.push(Crossing {
+                    slot: reader.take_u32()?,
+                    wait: reader.take()?,
+                    remaining: reader.take()?,
+                    dest_road: reader.take_usize()?,
+                    dest_lane: reader.take_usize()?,
+                });
+            }
+            let credits = reader.take_usize()?;
+            if credits != junction.credit.len() {
+                return Err(StateError::Invalid {
+                    what: "credit count",
+                    word: credits as u64,
+                });
+            }
+            for credit in &mut junction.credit {
+                *credit = reader.take_f64()?;
+            }
+        }
+        for backlog in &mut self.backlogs {
+            let len = reader.take_usize()?;
+            backlog.clear();
+            for _ in 0..len {
+                let id = VehicleId::new(reader.take()?);
+                let since = Tick::new(reader.take()?);
+                let route = Arc::new(Route::load_state(reader)?);
+                backlog.push_back(Backlogged { id, route, since });
+            }
+        }
+        self.ledger = WaitingLedger::load_state(reader)?;
+        for slot in &mut self.controllers {
+            slot.controller.load_state(reader)?;
+        }
+        Ok(())
     }
 }
 

@@ -56,6 +56,48 @@ impl Route {
     pub fn is_empty(&self) -> bool {
         false
     }
+
+    /// Serializes the route into a durable word stream.
+    pub fn save_state(&self, writer: &mut utilbp_core::state::StateWriter) {
+        writer.push_u32(self.entry.index() as u32);
+        writer.push_usize(self.hops.len());
+        for &(i, l) in &self.hops {
+            writer.push_u32(i.index() as u32);
+            writer.push(l.index() as u64);
+        }
+    }
+
+    /// Deserializes a route saved by [`save_state`](Self::save_state).
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`StateError`](utilbp_core::state::StateError) on a
+    /// truncated stream, an empty hop list, or a link word out of
+    /// `u16` range.
+    pub fn load_state(
+        reader: &mut utilbp_core::state::StateReader<'_>,
+    ) -> Result<Self, utilbp_core::state::StateError> {
+        use utilbp_core::state::StateError;
+        let entry = RoadId::new(reader.take_u32()?);
+        let len = reader.take_usize()?;
+        if len == 0 {
+            return Err(StateError::Invalid {
+                what: "route hop count",
+                word: 0,
+            });
+        }
+        let mut hops = Vec::with_capacity(len);
+        for _ in 0..len {
+            let i = IntersectionId::new(reader.take_u32()?);
+            let word = reader.take()?;
+            let link = u16::try_from(word).map_err(|_| StateError::Invalid {
+                what: "route link",
+                word,
+            })?;
+            hops.push((i, LinkId::new(link)));
+        }
+        Ok(Route { entry, hops })
+    }
 }
 
 #[cfg(test)]

@@ -20,6 +20,7 @@
 use std::collections::VecDeque;
 use std::sync::Arc;
 
+use utilbp_core::state::{StateError, StateReader, StateWriter};
 use utilbp_core::{
     parallel, parallel::ControllerSlot, IncomingId, LinkId, ObservationBuffer, Parallelism,
     PhaseDecision, PhaseId, QueueObservation, SignalController, Tick, Ticks,
@@ -955,6 +956,184 @@ impl QueueSim {
     pub fn occupancy_snapshot(&self, out: &mut Vec<u32>) {
         out.clear();
         out.extend(self.roads.iter().map(|r| r.occupancy));
+    }
+
+    /// Serializes the full dynamic state into a durable word stream:
+    /// clock, counters, per-road flags/counters/transit lines, movement
+    /// queues with fractional credits, boundary backlogs, the waiting
+    /// ledger, and every controller's state (in intersection order).
+    ///
+    /// Construction-time shape (topology, service lookups, phase→link
+    /// tables, transit delays) and intra-step scratch (the observation
+    /// buffer, per-slot decisions — rewritten by the next step's decide
+    /// phase) are *not* state and are not written. The incremental
+    /// `transit_by_link` counters are derived from the transit lines and
+    /// are recomputed on load.
+    pub fn save_state(&self, writer: &mut StateWriter) {
+        writer.push(self.now.index());
+        writer.push(self.total_served);
+        writer.push_usize(self.roads.len());
+        for road in &self.roads {
+            writer.push_bool(road.closed);
+            writer.push_u32(road.occupancy);
+            writer.push(road.entered);
+            writer.push_u32(road.queued);
+            writer.push_usize(road.transit.len());
+            for v in &road.transit {
+                writer.push(v.id.raw());
+                v.route.save_state(writer);
+                writer.push_usize(v.hop);
+                writer.push(v.arrives.index());
+                writer.push(v.waited);
+            }
+        }
+        writer.push_usize(self.intersections.len());
+        for inter in &self.intersections {
+            writer.push_usize(inter.queues.len());
+            for queue in &inter.queues {
+                writer.push_usize(queue.len());
+                for v in queue {
+                    writer.push(v.id.raw());
+                    v.route.save_state(writer);
+                    writer.push_usize(v.hop);
+                    writer.push(v.joined.index());
+                    writer.push(v.waited);
+                }
+            }
+            for &credit in &inter.credit {
+                writer.push_f64(credit);
+            }
+        }
+        for backlog in &self.backlogs {
+            writer.push_usize(backlog.len());
+            for (id, route, since) in backlog {
+                writer.push(id.raw());
+                route.save_state(writer);
+                writer.push(since.index());
+            }
+        }
+        self.ledger.save_state(writer);
+        for slot in &self.controllers {
+            slot.controller.save_state(writer);
+        }
+    }
+
+    /// Restores the state written by [`save_state`](Self::save_state)
+    /// into a simulator built over the *same* topology, configuration,
+    /// and controller stack. The restored simulator continues
+    /// bit-identically to the original.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`StateError`] if the stream is truncated, or if the
+    /// saved shape (road / intersection / movement-queue counts) does not
+    /// match this simulator's topology.
+    pub fn load_state(&mut self, reader: &mut StateReader<'_>) -> Result<(), StateError> {
+        self.now = Tick::new(reader.take()?);
+        self.total_served = reader.take()?;
+
+        let roads = reader.take_usize()?;
+        if roads != self.roads.len() {
+            return Err(StateError::Invalid {
+                what: "queueing road count",
+                word: roads as u64,
+            });
+        }
+        for road in &mut self.roads {
+            road.closed = reader.take_bool()?;
+            road.occupancy = reader.take_u32()?;
+            road.entered = reader.take()?;
+            road.queued = reader.take_u32()?;
+            let transit = reader.take_usize()?;
+            road.transit.clear();
+            for _ in 0..transit {
+                let id = VehicleId::new(reader.take()?);
+                let route = Arc::new(Route::load_state(reader)?);
+                let hop = reader.take_usize()?;
+                let arrives = Tick::new(reader.take()?);
+                let waited = reader.take()?;
+                road.transit.push_back(TransitVehicle {
+                    id,
+                    route,
+                    hop,
+                    arrives,
+                    waited,
+                });
+            }
+        }
+
+        let intersections = reader.take_usize()?;
+        if intersections != self.intersections.len() {
+            return Err(StateError::Invalid {
+                what: "queueing intersection count",
+                word: intersections as u64,
+            });
+        }
+        for inter in &mut self.intersections {
+            let queues = reader.take_usize()?;
+            if queues != inter.queues.len() {
+                return Err(StateError::Invalid {
+                    what: "queueing movement queue count",
+                    word: queues as u64,
+                });
+            }
+            for queue in &mut inter.queues {
+                let len = reader.take_usize()?;
+                queue.clear();
+                for _ in 0..len {
+                    let id = VehicleId::new(reader.take()?);
+                    let route = Arc::new(Route::load_state(reader)?);
+                    let hop = reader.take_usize()?;
+                    let joined = Tick::new(reader.take()?);
+                    let waited = reader.take()?;
+                    queue.push_back(QueuedVehicle {
+                        id,
+                        route,
+                        hop,
+                        joined,
+                        waited,
+                    });
+                }
+            }
+            for credit in &mut inter.credit {
+                *credit = reader.take_f64()?;
+            }
+        }
+
+        for backlog in &mut self.backlogs {
+            let len = reader.take_usize()?;
+            backlog.clear();
+            for _ in 0..len {
+                let id = VehicleId::new(reader.take()?);
+                let route = Arc::new(Route::load_state(reader)?);
+                let since = Tick::new(reader.take()?);
+                backlog.push_back((id, route, since));
+            }
+        }
+
+        self.ledger = WaitingLedger::load_state(reader)?;
+        for slot in &mut self.controllers {
+            slot.controller.load_state(reader)?;
+        }
+
+        // Rebuild the derived in-transit movement counters from the
+        // restored delay lines.
+        for counts in &mut self.transit_by_link {
+            counts.iter_mut().for_each(|c| *c = 0);
+        }
+        for road in &self.roads {
+            let Some(i) = road.dest_intersection else {
+                continue;
+            };
+            for v in &road.transit {
+                let (_, link) = v.route.hop(v.hop).ok_or(StateError::Invalid {
+                    what: "queueing transit hop",
+                    word: v.hop as u64,
+                })?;
+                self.transit_by_link[i][link.index()] += 1;
+            }
+        }
+        Ok(())
     }
 
     /// Injects an exogenous arrival; returns `false` if it was backlogged.

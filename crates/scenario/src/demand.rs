@@ -193,6 +193,75 @@ impl NetworkDemand {
         std::sync::Arc::clone(&network.route_options(i)[j].route)
     }
 
+    /// Serializes the generator's dynamic state — per-entry arrival
+    /// clocks, the surge multiplier, the closure mask, the RNG stream
+    /// position, and the id/suppression counters — into a durable word
+    /// stream. The cached cumulative-weight tables are derived from the
+    /// closure mask and are rebuilt on load.
+    pub fn save_state(&self, writer: &mut utilbp_core::state::StateWriter) {
+        writer.push_usize(self.clocks.len());
+        for &clock in &self.clocks {
+            writer.push_f64(clock);
+        }
+        writer.push_f64(self.surge);
+        writer.push_usize(self.closed.len());
+        for &closed in &self.closed {
+            writer.push_bool(closed);
+        }
+        for &word in &self.rng.state() {
+            writer.push(word);
+        }
+        writer.push(self.next_vehicle);
+        writer.push(self.suppressed);
+    }
+
+    /// Restores the state written by [`save_state`](Self::save_state)
+    /// into a generator built over the *same* network and schedule; the
+    /// restored generator continues the arrival stream bit-identically.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`StateError`](utilbp_core::state::StateError) on a
+    /// truncated stream or an entry/road count that does not match this
+    /// generator's network.
+    pub fn load_state(
+        &mut self,
+        network: &Network,
+        reader: &mut utilbp_core::state::StateReader<'_>,
+    ) -> Result<(), utilbp_core::state::StateError> {
+        use utilbp_core::state::StateError;
+        let entries = reader.take_usize()?;
+        if entries != self.clocks.len() {
+            return Err(StateError::Invalid {
+                what: "demand entry count",
+                word: entries as u64,
+            });
+        }
+        for clock in &mut self.clocks {
+            *clock = reader.take_f64()?;
+        }
+        self.surge = reader.take_f64()?;
+        let roads = reader.take_usize()?;
+        if roads != self.closed.len() {
+            return Err(StateError::Invalid {
+                what: "demand road count",
+                word: roads as u64,
+            });
+        }
+        for closed in &mut self.closed {
+            *closed = reader.take_bool()?;
+        }
+        let mut state = [0u64; 4];
+        for word in &mut state {
+            *word = reader.take()?;
+        }
+        self.rng = SmallRng::from_state(state);
+        self.next_vehicle = reader.take()?;
+        self.suppressed = reader.take()?;
+        self.rebuild_open_tables(network);
+        Ok(())
+    }
+
     /// The option index whose cumulative-weight interval contains `u`
     /// (the first open option with `u < cum`; the last open option for
     /// the floating-point edge `u ≥ total`, matching the linear scan this

@@ -40,11 +40,14 @@ use std::collections::HashSet;
 use utilbp_baselines::{
     Degrading, FaultSwitch, FaultyActuation, FaultySensors, FixedTime, WatchdogStats,
 };
+use utilbp_core::state::{StateError, StateReader, StateWriter};
 use utilbp_core::{Parallelism, SignalController, Tick, Ticks};
 use utilbp_metrics::{TimeSeries, VehicleId, WaitingLedger};
 use utilbp_microsim::MicroSimConfig;
 use utilbp_microsim::PhaseTimings;
+use utilbp_microsim::{LaneDiscipline, OutgoingSensor};
 use utilbp_netgen::{Arrival, Network, Replanner, RoadId, TurningProbabilities};
+use utilbp_snapshot::{crc32, SnapshotReader, SnapshotWriter};
 use utilbp_substrate::{
     build_substrate, GuardLog, GuardViolation, InvariantGuard, SubstrateScratch, TrafficSubstrate,
 };
@@ -53,6 +56,9 @@ use utilbp_telemetry::{
     ReplanTrigger, Section, TickProfiler,
 };
 
+use crate::checkpoint::{
+    CheckpointPolicy, RestoreError, TAG_ENGINE, TAG_META, TAG_PLANT, TAG_SPEC, TAG_TELEMETRY,
+};
 use crate::demand::NetworkDemand;
 use crate::spec::{Backend, ReplanPolicy, ScenarioEvent, ScenarioSpec};
 
@@ -114,6 +120,48 @@ impl Default for EngineConfig {
     fn default() -> Self {
         EngineConfig::new(Backend::Queueing)
     }
+}
+
+/// FNV-1a fingerprint of the microscopic parameters, excluding the
+/// execution mode (Serial and Rayon are bit-identical, so a checkpoint
+/// captured under one may be restored under the other). Stored in every
+/// checkpoint's metadata: the physical parameters shape the plant state
+/// and the controller inputs, so restoring under different ones would
+/// silently break the bit-identical-continuation contract — the
+/// fingerprint turns that into a typed `RestoreError::Mismatch`.
+fn micro_fingerprint(cfg: &MicroSimConfig) -> u64 {
+    let mut w = StateWriter::new();
+    w.push_f64(cfg.dt_seconds);
+    w.push_f64(cfg.free_speed_mps);
+    w.push_f64(cfg.vehicle_length_m);
+    w.push_f64(cfg.min_gap_m);
+    w.push_f64(cfg.max_accel);
+    w.push_f64(cfg.max_decel);
+    w.push_f64(cfg.reaction_time_s);
+    w.push_f64(cfg.sigma);
+    w.push(cfg.crossing_ticks);
+    w.push_f64(cfg.detection_range_m);
+    w.push_f64(cfg.waiting_speed_mps);
+    w.push_f64(cfg.halt_speed_mps);
+    w.push(match cfg.outgoing_sensor {
+        OutgoingSensor::HaltedWholeRoad => 0,
+        OutgoingSensor::PresenceNearJunction => 1,
+        OutgoingSensor::Occupancy => 2,
+    });
+    w.push(match cfg.lane_discipline {
+        LaneDiscipline::DedicatedPerMovement => 0,
+        LaneDiscipline::SharedMixed => 1,
+    });
+    w.push_f64(cfg.insertion_speed_mps);
+    w.push(cfg.seed);
+    let mut hash = 0xcbf2_9ce4_8422_2325_u64;
+    for &word in w.words() {
+        for byte in word.to_le_bytes() {
+            hash ^= u64::from(byte);
+            hash = hash.wrapping_mul(0x100_0000_01b3);
+        }
+    }
+    hash
 }
 
 /// Domain-separation tag for the fault-injection RNG streams: without
@@ -458,7 +506,19 @@ pub struct ScenarioEngine {
     /// The observe-mode guard's violation log (only under
     /// [`EngineConfig::guard_observe`]).
     guard_log: Option<GuardLog>,
+    /// The configuration the engine was built under — embedded in
+    /// checkpoints so restore can reject a mismatched offer, and reused
+    /// by [`fork`](Self::fork).
+    config: EngineConfig,
+    /// Periodic checkpoint capture, when enabled.
+    ckpt_policy: Option<CheckpointPolicy>,
+    /// The most recent policy-captured checkpoints, oldest first.
+    checkpoints: Vec<(Tick, Vec<u8>)>,
 }
+
+/// How many policy-captured checkpoints the engine retains; corrupting
+/// the newest must still leave fallbacks.
+const CHECKPOINT_RETAIN: usize = 4;
 
 impl ScenarioEngine {
     /// Builds an engine for `spec` under `config`, with
@@ -628,6 +688,9 @@ impl ScenarioEngine {
             weight_scratch: Vec::new(),
             telemetry: Telemetry::off(),
             guard_log,
+            config,
+            ckpt_policy: None,
+            checkpoints: Vec::new(),
         })
     }
 
@@ -920,6 +983,30 @@ impl ScenarioEngine {
     pub fn step(&mut self) {
         let now = self.now;
         let recording = self.telemetry.active;
+        // Periodic checkpoint capture, at the tick boundary before the
+        // tick's events apply. The snapshot is taken *before* its own
+        // `checkpoint` event is recorded, so restoring it and re-running
+        // this step re-captures a byte-identical snapshot and re-records
+        // the identical event — resumed telemetry stays byte-equal to
+        // the uninterrupted stream.
+        if let Some(policy) = self.ckpt_policy {
+            if now.index() > 0 && now.index().is_multiple_of(policy.period) {
+                let bytes = self.checkpoint();
+                if recording {
+                    self.telemetry.recorder.record(Event {
+                        tick: now,
+                        kind: EventKind::Checkpoint {
+                            bytes: bytes.len() as u64,
+                            crc: crc32(&bytes),
+                        },
+                    });
+                }
+                self.checkpoints.push((now, bytes));
+                if self.checkpoints.len() > CHECKPOINT_RETAIN {
+                    self.checkpoints.remove(0);
+                }
+            }
+        }
         while self.cursor < self.actions.len() && self.actions[self.cursor].0 <= now {
             let (_, action) = self.actions[self.cursor];
             self.cursor += 1;
@@ -1376,6 +1463,394 @@ impl ScenarioEngine {
             mean_journey_s: ledger.journey_stats().mean() * self.dt_seconds,
             final_backlog: self.substrate.backlog_len(),
         }
+    }
+
+    /// The configuration this engine was built under.
+    pub fn config(&self) -> EngineConfig {
+        self.config
+    }
+
+    /// Turns on periodic checkpoint capture: every `policy.period`
+    /// ticks (at the tick boundary, before that tick's events apply) the
+    /// engine snapshots its full state via
+    /// [`checkpoint`](Self::checkpoint), retains the bytes in a small
+    /// ring ([`checkpoints`](Self::checkpoints)), and — when a recorder
+    /// is installed — records a `checkpoint` event carrying the
+    /// snapshot's size and CRC. The policy is embedded in every
+    /// snapshot, so a restored run keeps the cadence (and its
+    /// `checkpoint` events) without re-arming.
+    pub fn enable_checkpoints(&mut self, policy: CheckpointPolicy) {
+        assert!(policy.period >= 1, "checkpoint period must be at least 1");
+        self.ckpt_policy = Some(policy);
+    }
+
+    /// The policy-captured checkpoints still retained, oldest first
+    /// (the newest `CHECKPOINT_RETAIN` = 4 captures; empty without
+    /// [`enable_checkpoints`](Self::enable_checkpoints)).
+    pub fn checkpoints(&self) -> &[(Tick, Vec<u8>)] {
+        &self.checkpoints
+    }
+
+    /// The newest retained policy-captured checkpoint.
+    pub fn latest_checkpoint(&self) -> Option<&(Tick, Vec<u8>)> {
+        self.checkpoints.last()
+    }
+
+    /// Records a `restore` event at the current tick (a no-op without a
+    /// recorder). Restoration itself never auto-records: a resumed run's
+    /// event stream must stay byte-equal to the uninterrupted run's, so
+    /// marking the seam in timelines is the *caller's* choice —
+    /// `fallback` says whether the restore fell back past a corrupted
+    /// newer checkpoint.
+    pub fn mark_restored(&mut self, fallback: bool) {
+        if self.telemetry.active {
+            self.telemetry.recorder.record(Event {
+                tick: self.now,
+                kind: EventKind::Restore { fallback },
+            });
+        }
+    }
+
+    /// Serializes the engine's full state into a durable snapshot (the
+    /// `utilbp-snapshot` container): structural metadata, the scenario
+    /// spec in text form, the plant's dynamic state, the engine's own
+    /// dynamic state, and — when a flight recorder is installed — the
+    /// recorder buffer and event watermarks. Gauge series and profiler
+    /// accumulations are measurements, not state, and are not captured.
+    ///
+    /// [`restore`](Self::restore) rebuilds an engine that continues
+    /// bit-identically; capturing the restored engine at the same tick
+    /// yields byte-identical snapshot bytes (save→load→save is a fixed
+    /// point).
+    pub fn checkpoint(&self) -> Vec<u8> {
+        let mut snapshot = SnapshotWriter::new();
+
+        let mut meta = StateWriter::new();
+        meta.push(match self.config.backend {
+            Backend::Queueing => 0,
+            Backend::Microscopic => 1,
+        });
+        meta.push(match self.config.parallelism {
+            Parallelism::Serial => 0,
+            Parallelism::Rayon => 1,
+        });
+        meta.push_bool(self.config.guard);
+        meta.push_bool(self.config.guard_observe);
+        meta.push(micro_fingerprint(&self.config.micro));
+        match self.ckpt_policy {
+            Some(policy) => {
+                meta.push_bool(true);
+                meta.push(policy.period);
+            }
+            None => meta.push_bool(false),
+        }
+        match self.recorder() {
+            Some(recorder) => {
+                meta.push_bool(true);
+                meta.push_usize(recorder.capacity());
+            }
+            None => meta.push_bool(false),
+        }
+        snapshot.section_words(TAG_META, meta.words());
+
+        snapshot.section_bytes(TAG_SPEC, self.spec.to_text().as_bytes());
+
+        let mut plant = StateWriter::new();
+        self.substrate.save_state(&mut plant);
+        snapshot.section_words(TAG_PLANT, plant.words());
+
+        let mut engine = StateWriter::new();
+        self.save_engine_state(&mut engine);
+        snapshot.section_words(TAG_ENGINE, engine.words());
+
+        if let Some(recorder) = self.recorder() {
+            let mut telemetry = StateWriter::new();
+            recorder.save_state(&mut telemetry);
+            telemetry.push_usize(self.telemetry.prev_trace.len());
+            for &value in &self.telemetry.prev_trace {
+                telemetry.push(u64::from(value));
+            }
+            telemetry.push_usize(self.telemetry.prev_activations.len());
+            for &value in &self.telemetry.prev_activations {
+                telemetry.push(value);
+            }
+            telemetry.push_usize(self.telemetry.prev_recoveries.len());
+            for &value in &self.telemetry.prev_recoveries {
+                telemetry.push(value);
+            }
+            snapshot.section_words(TAG_TELEMETRY, telemetry.words());
+        }
+
+        snapshot.finish()
+    }
+
+    /// Serializes the engine-side dynamic state (everything outside the
+    /// plant and the telemetry plane).
+    fn save_engine_state(&self, writer: &mut StateWriter) {
+        writer.push(self.now.index());
+        writer.push_usize(self.cursor);
+        writer.push_bool(self.fault_switch.is_active());
+        writer.push_bool(self.actuation_switch.is_active());
+        self.demand.save_state(writer);
+        writer.push(self.diverted);
+        writer.push(self.restored);
+        writer.push(self.congestion_reroutes);
+        writer.push(self.congestion_restores);
+        writer.push_bool(self.congestion_restore_pending);
+        // The id sets serialize sorted: only membership is ever queried,
+        // and the canonical order makes save→load→save a byte-level
+        // fixed point.
+        let mut ids: Vec<u64> = self.diverted_ids.iter().map(|v| v.raw()).collect();
+        ids.sort_unstable();
+        writer.push_usize(ids.len());
+        for id in ids {
+            writer.push(id);
+        }
+        let mut ids: Vec<u64> = self
+            .congestion_diverted_ids
+            .iter()
+            .map(|v| v.raw())
+            .collect();
+        ids.sort_unstable();
+        writer.push_usize(ids.len());
+        for id in ids {
+            writer.push(id);
+        }
+        match &self.monitor {
+            Some(monitor) => {
+                writer.push_bool(true);
+                writer.push_usize(monitor.congested.len());
+                for &congested in &monitor.congested {
+                    writer.push_bool(congested);
+                }
+                writer.push(monitor.transitions);
+            }
+            None => writer.push_bool(false),
+        }
+        writer.push_usize(self.detour_roads.len());
+        for &road in &self.detour_roads {
+            writer.push_u32(road.index() as u32);
+        }
+    }
+
+    /// Restores the engine-side dynamic state written by
+    /// [`save_engine_state`](Self::save_engine_state).
+    fn load_engine_state(&mut self, reader: &mut StateReader<'_>) -> Result<(), StateError> {
+        self.now = Tick::new(reader.take()?);
+        let cursor = reader.take_usize()?;
+        if cursor > self.actions.len() {
+            return Err(StateError::Invalid {
+                what: "event timeline cursor",
+                word: cursor as u64,
+            });
+        }
+        self.cursor = cursor;
+        self.fault_switch.set_active(reader.take_bool()?);
+        self.actuation_switch.set_active(reader.take_bool()?);
+        self.demand.load_state(&self.network, reader)?;
+        self.diverted = reader.take()?;
+        self.restored = reader.take()?;
+        self.congestion_reroutes = reader.take()?;
+        self.congestion_restores = reader.take()?;
+        self.congestion_restore_pending = reader.take_bool()?;
+        let len = reader.take_usize()?;
+        self.diverted_ids.clear();
+        for _ in 0..len {
+            self.diverted_ids.insert(VehicleId::new(reader.take()?));
+        }
+        let len = reader.take_usize()?;
+        self.congestion_diverted_ids.clear();
+        for _ in 0..len {
+            self.congestion_diverted_ids
+                .insert(VehicleId::new(reader.take()?));
+        }
+        let has_monitor = reader.take_bool()?;
+        if has_monitor != self.monitor.is_some() {
+            return Err(StateError::Invalid {
+                what: "congestion monitor presence",
+                word: u64::from(has_monitor),
+            });
+        }
+        if let Some(monitor) = self.monitor.as_mut() {
+            let roads = reader.take_usize()?;
+            if roads != monitor.congested.len() {
+                return Err(StateError::Invalid {
+                    what: "congestion monitor road count",
+                    word: roads as u64,
+                });
+            }
+            for flag in monitor.congested.iter_mut() {
+                *flag = reader.take_bool()?;
+            }
+            monitor.transitions = reader.take()?;
+        }
+        let detours = reader.take_usize()?;
+        self.detour_roads.clear();
+        for _ in 0..detours {
+            self.detour_roads.push(RoadId::new(reader.take_u32()?));
+        }
+        Ok(())
+    }
+
+    /// Rebuilds an engine from a [`checkpoint`](Self::checkpoint) and
+    /// resumes it: the embedded spec is parsed back, a fresh engine is
+    /// built under `config`, and every dynamic-state section overwrites
+    /// the fresh state. The restored engine continues **bit-identically**
+    /// to the uninterrupted run — same [`ScenarioOutcome`], same
+    /// telemetry JSONL.
+    ///
+    /// `config.backend` and the guard flags must match the capturing
+    /// engine's (the plant state is substrate-shaped); `config.parallelism`
+    /// **may differ** — Serial and Rayon execution are bit-identical by
+    /// the substrate contract, so a snapshot captured under one mode
+    /// resumes exactly under the other.
+    ///
+    /// # Errors
+    ///
+    /// Never panics on untrusted bytes: returns
+    /// [`RestoreError::Snapshot`] for container damage (bad magic,
+    /// version skew, truncation, per-section checksum mismatch) or a
+    /// semantically invalid word stream, [`RestoreError::Spec`] when the
+    /// embedded spec does not parse, and [`RestoreError::Mismatch`] when
+    /// `config` disagrees with the checkpoint's configuration.
+    pub fn restore(
+        bytes: &[u8],
+        config: EngineConfig,
+        make_controller: &dyn Fn(usize) -> Box<dyn SignalController>,
+    ) -> Result<Self, RestoreError> {
+        let snapshot = SnapshotReader::parse(bytes)?;
+        let spec_text = std::str::from_utf8(snapshot.bytes(TAG_SPEC)?)
+            .map_err(|_| RestoreError::Spec("spec section is not UTF-8".to_string()))?;
+        let spec = crate::format::parse_scenario(spec_text).map_err(RestoreError::Spec)?;
+
+        let meta_words = snapshot.words(TAG_META)?;
+        let mut meta = StateReader::new(&meta_words);
+        let word = meta.take()?;
+        let backend = match word {
+            0 => Backend::Queueing,
+            1 => Backend::Microscopic,
+            _ => {
+                return Err(StateError::Invalid {
+                    what: "backend tag",
+                    word,
+                }
+                .into())
+            }
+        };
+        if backend != config.backend {
+            return Err(RestoreError::Mismatch { what: "backend" });
+        }
+        let word = meta.take()?;
+        if word > 1 {
+            return Err(StateError::Invalid {
+                what: "parallelism tag",
+                word,
+            }
+            .into());
+        }
+        if meta.take_bool()? != config.guard {
+            return Err(RestoreError::Mismatch { what: "guard" });
+        }
+        if meta.take_bool()? != config.guard_observe {
+            return Err(RestoreError::Mismatch {
+                what: "guard_observe",
+            });
+        }
+        if meta.take()? != micro_fingerprint(&config.micro) {
+            return Err(RestoreError::Mismatch {
+                what: "microscopic parameters",
+            });
+        }
+        let policy = if meta.take_bool()? {
+            let period = meta.take()?;
+            if period == 0 {
+                return Err(StateError::Invalid {
+                    what: "checkpoint period",
+                    word: 0,
+                }
+                .into());
+            }
+            Some(CheckpointPolicy { period })
+        } else {
+            None
+        };
+        let recorder_capacity = if meta.take_bool()? {
+            let capacity = meta.take_usize()?;
+            if capacity == 0 {
+                return Err(StateError::Invalid {
+                    what: "flight recorder capacity",
+                    word: 0,
+                }
+                .into());
+            }
+            Some(capacity)
+        } else {
+            None
+        };
+        meta.finish().map_err(RestoreError::from)?;
+
+        let mut engine =
+            ScenarioEngine::new(spec, config, make_controller).map_err(RestoreError::Spec)?;
+        engine.ckpt_policy = policy;
+
+        if let Some(capacity) = recorder_capacity {
+            let words = snapshot.words(TAG_TELEMETRY)?;
+            let mut reader = StateReader::new(&words);
+            let mut recorder = FlightRecorder::new(capacity);
+            recorder.load_state(&mut reader)?;
+            engine.set_recorder(Box::new(recorder));
+            let len = reader.take_usize()?;
+            engine.telemetry.prev_trace.clear();
+            for _ in 0..len {
+                let word = reader.take()?;
+                let value = u16::try_from(word).map_err(|_| StateError::Invalid {
+                    what: "phase trace watermark",
+                    word,
+                })?;
+                engine.telemetry.prev_trace.push(value);
+            }
+            let len = reader.take_usize()?;
+            engine.telemetry.prev_activations.clear();
+            for _ in 0..len {
+                engine.telemetry.prev_activations.push(reader.take()?);
+            }
+            let len = reader.take_usize()?;
+            engine.telemetry.prev_recoveries.clear();
+            for _ in 0..len {
+                engine.telemetry.prev_recoveries.push(reader.take()?);
+            }
+            reader.finish().map_err(RestoreError::from)?;
+        }
+
+        let words = snapshot.words(TAG_PLANT)?;
+        let mut reader = StateReader::new(&words);
+        engine.substrate.load_state(&mut reader)?;
+        reader.finish().map_err(RestoreError::from)?;
+
+        let words = snapshot.words(TAG_ENGINE)?;
+        let mut reader = StateReader::new(&words);
+        engine.load_engine_state(&mut reader)?;
+        reader.finish().map_err(RestoreError::from)?;
+
+        Ok(engine)
+    }
+
+    /// Forks the run: captures a checkpoint of the current state and
+    /// restores it into an **independent** engine for what-if
+    /// exploration — closing roads, surging demand, or swapping
+    /// controller behavior in the fork never disturbs the primary
+    /// timeline (the fork shares no mutable state with `self`). Stepping
+    /// a pristine fork produces exactly the primary's future.
+    ///
+    /// # Errors
+    ///
+    /// A [`RestoreError`] if the round-trip fails (it only can if the
+    /// factory builds a controller stack inconsistent with this run's).
+    pub fn fork(
+        &self,
+        make_controller: &dyn Fn(usize) -> Box<dyn SignalController>,
+    ) -> Result<Self, RestoreError> {
+        Self::restore(&self.checkpoint(), self.config, make_controller)
     }
 }
 

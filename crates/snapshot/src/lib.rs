@@ -1,0 +1,511 @@
+//! # utilbp-snapshot
+//!
+//! The durable snapshot container behind checkpoint/restore: a
+//! versioned, checksummed binary framing for the word-level state
+//! streams of [`utilbp_core::state`]. The `crates/compat/serde` shims
+//! are no-ops, so — like the scenario text format and the telemetry
+//! JSONL — the format is hand-rolled and fully specified here.
+//!
+//! ## Wire format (version 1)
+//!
+//! ```text
+//! header   := magic "UBPSNAP\0" (8 bytes) · version u32 LE · section_count u32 LE
+//! section  := tag u32 LE · payload_len u64 LE · crc32 u32 LE · payload
+//! snapshot := header · section^section_count
+//! ```
+//!
+//! - All integers are little-endian; a *word section* is a payload of
+//!   `u64` words packed little-endian (length a multiple of 8).
+//! - The CRC is CRC-32 (IEEE 802.3, the zlib/PNG polynomial) over the
+//!   payload bytes only. Each section is independently verified, so a
+//!   torn write corrupts — and is detected in — exactly the sections it
+//!   touched.
+//! - Sections are identified by caller-chosen tags, appear in write
+//!   order, and must be unique; readers address them by tag, so a
+//!   future version can append sections without breaking older
+//!   readers of the ones they know. The header's section count makes
+//!   a write torn *between* sections detectable too — a valid prefix
+//!   of sections is still a truncated snapshot.
+//!
+//! ## Error contract
+//!
+//! Parsing never panics on untrusted bytes: truncation, bad magic,
+//! version skew, and checksum mismatches all surface as typed
+//! [`SnapshotError`] values ([`SnapshotReader::parse`] validates every
+//! section's checksum up front). Recovery layers rely on this to
+//! reject a corrupted checkpoint and fall back to an older one.
+//!
+//! ## Example
+//!
+//! ```
+//! use utilbp_snapshot::{SnapshotReader, SnapshotWriter, SnapshotError};
+//!
+//! let mut w = SnapshotWriter::new();
+//! w.section_words(1, &[7, 8, 9]);
+//! w.section_bytes(2, b"spec text");
+//! let bytes = w.finish();
+//!
+//! let reader = SnapshotReader::parse(&bytes).unwrap();
+//! assert_eq!(reader.words(1).unwrap(), vec![7, 8, 9]);
+//! assert_eq!(reader.bytes(2).unwrap(), b"spec text");
+//!
+//! // A flipped payload bit is caught by the section checksum.
+//! let mut torn = bytes.clone();
+//! *torn.last_mut().unwrap() ^= 0x01;
+//! assert!(matches!(
+//!     SnapshotReader::parse(&torn),
+//!     Err(SnapshotError::ChecksumMismatch { tag: 2 })
+//! ));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::error::Error;
+use std::fmt;
+
+use utilbp_core::state::StateError;
+
+/// The 8-byte magic prefix of every snapshot.
+pub const MAGIC: [u8; 8] = *b"UBPSNAP\0";
+
+/// The current wire-format version.
+pub const FORMAT_VERSION: u32 = 1;
+
+/// Builds the CRC-32 (IEEE) lookup table at compile time.
+const fn crc32_table() -> [u32; 256] {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut crc = i as u32;
+        let mut bit = 0;
+        while bit < 8 {
+            crc = if crc & 1 != 0 {
+                (crc >> 1) ^ 0xEDB8_8320
+            } else {
+                crc >> 1
+            };
+            bit += 1;
+        }
+        table[i] = crc;
+        i += 1;
+    }
+    table
+}
+
+const CRC_TABLE: [u32; 256] = crc32_table();
+
+/// CRC-32 (IEEE 802.3 / zlib polynomial) of `bytes`.
+///
+/// # Examples
+///
+/// ```
+/// // The classic check value for the IEEE polynomial.
+/// assert_eq!(utilbp_snapshot::crc32(b"123456789"), 0xCBF4_3926);
+/// ```
+pub fn crc32(bytes: &[u8]) -> u32 {
+    let mut crc = 0xFFFF_FFFFu32;
+    for &b in bytes {
+        crc = (crc >> 8) ^ CRC_TABLE[((crc ^ u32::from(b)) & 0xFF) as usize];
+    }
+    !crc
+}
+
+/// A malformed, truncated, or corrupted snapshot.
+///
+/// Every variant is a recoverable error value — parsing untrusted
+/// bytes never panics.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SnapshotError {
+    /// The bytes do not start with [`MAGIC`].
+    BadMagic,
+    /// The header names a format version this reader does not speak.
+    UnsupportedVersion {
+        /// The version found in the header.
+        found: u32,
+    },
+    /// The bytes end mid-header, mid-section, or before the header's
+    /// section count is satisfied.
+    Truncated {
+        /// Byte offset at which parsing ran out of input.
+        at: usize,
+    },
+    /// Bytes remain after the last section the header promised.
+    TrailingBytes {
+        /// Offset of the first unexpected byte.
+        at: usize,
+    },
+    /// A section's payload does not match its stored checksum.
+    ChecksumMismatch {
+        /// The corrupted section's tag.
+        tag: u32,
+    },
+    /// The same tag appears twice.
+    DuplicateSection {
+        /// The repeated tag.
+        tag: u32,
+    },
+    /// A section required by the reader is absent.
+    MissingSection {
+        /// The absent tag.
+        tag: u32,
+    },
+    /// A word section's payload length is not a multiple of 8.
+    MisalignedSection {
+        /// The misaligned section's tag.
+        tag: u32,
+    },
+    /// A section parsed and verified, but its word stream failed a
+    /// component's semantic checks.
+    State(StateError),
+}
+
+impl fmt::Display for SnapshotError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SnapshotError::BadMagic => write!(f, "not a snapshot: bad magic"),
+            SnapshotError::UnsupportedVersion { found } => {
+                write!(
+                    f,
+                    "unsupported snapshot format version {found} (reader speaks {FORMAT_VERSION})"
+                )
+            }
+            SnapshotError::Truncated { at } => {
+                write!(f, "snapshot truncated at byte {at}")
+            }
+            SnapshotError::TrailingBytes { at } => {
+                write!(f, "unexpected bytes after the last section, at byte {at}")
+            }
+            SnapshotError::ChecksumMismatch { tag } => {
+                write!(f, "section {tag} failed its checksum")
+            }
+            SnapshotError::DuplicateSection { tag } => {
+                write!(f, "section {tag} appears more than once")
+            }
+            SnapshotError::MissingSection { tag } => {
+                write!(f, "required section {tag} is absent")
+            }
+            SnapshotError::MisalignedSection { tag } => {
+                write!(f, "section {tag} is not a whole number of words")
+            }
+            SnapshotError::State(e) => write!(f, "section state stream: {e}"),
+        }
+    }
+}
+
+impl Error for SnapshotError {}
+
+impl From<StateError> for SnapshotError {
+    fn from(e: StateError) -> Self {
+        SnapshotError::State(e)
+    }
+}
+
+/// Serializes a snapshot: header first, then checksummed sections in
+/// write order.
+#[derive(Debug)]
+pub struct SnapshotWriter {
+    buf: Vec<u8>,
+    count: u32,
+}
+
+impl SnapshotWriter {
+    /// A writer with the version-1 header already emitted (the section
+    /// count is patched in by [`finish`](Self::finish)).
+    pub fn new() -> Self {
+        let mut buf = Vec::with_capacity(64);
+        buf.extend_from_slice(&MAGIC);
+        buf.extend_from_slice(&FORMAT_VERSION.to_le_bytes());
+        buf.extend_from_slice(&0u32.to_le_bytes());
+        SnapshotWriter { buf, count: 0 }
+    }
+
+    /// Appends a raw byte section under `tag`.
+    pub fn section_bytes(&mut self, tag: u32, payload: &[u8]) {
+        self.buf.extend_from_slice(&tag.to_le_bytes());
+        self.buf
+            .extend_from_slice(&(payload.len() as u64).to_le_bytes());
+        self.buf.extend_from_slice(&crc32(payload).to_le_bytes());
+        self.buf.extend_from_slice(payload);
+        self.count += 1;
+    }
+
+    /// Appends a word section under `tag`: the words packed
+    /// little-endian.
+    pub fn section_words(&mut self, tag: u32, words: &[u64]) {
+        let mut payload = Vec::with_capacity(words.len() * 8);
+        for &w in words {
+            payload.extend_from_slice(&w.to_le_bytes());
+        }
+        self.section_bytes(tag, &payload);
+    }
+
+    /// Finalizes the snapshot, patching the section count into the
+    /// header.
+    pub fn finish(self) -> Vec<u8> {
+        let mut buf = self.buf;
+        buf[12..16].copy_from_slice(&self.count.to_le_bytes());
+        buf
+    }
+}
+
+impl Default for SnapshotWriter {
+    fn default() -> Self {
+        SnapshotWriter::new()
+    }
+}
+
+/// A parsed, fully checksum-verified snapshot.
+#[derive(Debug)]
+pub struct SnapshotReader<'a> {
+    sections: Vec<(u32, &'a [u8])>,
+}
+
+impl<'a> SnapshotReader<'a> {
+    /// Parses and verifies `bytes`: header magic and version, section
+    /// framing, tag uniqueness, and every section's checksum.
+    ///
+    /// # Errors
+    ///
+    /// Any [`SnapshotError`] variant except `MissingSection` /
+    /// `MisalignedSection` / `State` (those belong to per-section
+    /// reads).
+    pub fn parse(bytes: &'a [u8]) -> Result<Self, SnapshotError> {
+        let prefix = bytes.len().min(MAGIC.len());
+        if bytes[..prefix] != MAGIC[..prefix] {
+            return Err(SnapshotError::BadMagic);
+        }
+        if bytes.len() < 16 {
+            return Err(SnapshotError::Truncated { at: bytes.len() });
+        }
+        let version = u32::from_le_bytes(bytes[8..12].try_into().expect("4 bytes"));
+        if version != FORMAT_VERSION {
+            return Err(SnapshotError::UnsupportedVersion { found: version });
+        }
+        let count = u32::from_le_bytes(bytes[12..16].try_into().expect("4 bytes"));
+        let mut sections: Vec<(u32, &'a [u8])> = Vec::new();
+        let mut pos = 16;
+        for _ in 0..count {
+            if bytes.len() - pos < 16 {
+                return Err(SnapshotError::Truncated {
+                    at: bytes.len().min(pos + 16),
+                });
+            }
+            let tag = u32::from_le_bytes(bytes[pos..pos + 4].try_into().expect("4 bytes"));
+            let len = u64::from_le_bytes(bytes[pos + 4..pos + 12].try_into().expect("8 bytes"));
+            let crc = u32::from_le_bytes(bytes[pos + 12..pos + 16].try_into().expect("4 bytes"));
+            pos += 16;
+            let len = usize::try_from(len).map_err(|_| SnapshotError::Truncated { at: pos })?;
+            if bytes.len() - pos < len {
+                return Err(SnapshotError::Truncated { at: bytes.len() });
+            }
+            let payload = &bytes[pos..pos + len];
+            pos += len;
+            if crc32(payload) != crc {
+                return Err(SnapshotError::ChecksumMismatch { tag });
+            }
+            if sections.iter().any(|&(t, _)| t == tag) {
+                return Err(SnapshotError::DuplicateSection { tag });
+            }
+            sections.push((tag, payload));
+        }
+        if pos != bytes.len() {
+            return Err(SnapshotError::TrailingBytes { at: pos });
+        }
+        Ok(SnapshotReader { sections })
+    }
+
+    /// The section tags, in write order.
+    pub fn tags(&self) -> impl Iterator<Item = u32> + '_ {
+        self.sections.iter().map(|&(t, _)| t)
+    }
+
+    /// Whether a section with `tag` exists.
+    pub fn has(&self, tag: u32) -> bool {
+        self.sections.iter().any(|&(t, _)| t == tag)
+    }
+
+    /// The raw payload of section `tag`.
+    ///
+    /// # Errors
+    ///
+    /// [`SnapshotError::MissingSection`] when absent.
+    pub fn bytes(&self, tag: u32) -> Result<&'a [u8], SnapshotError> {
+        self.sections
+            .iter()
+            .find(|&&(t, _)| t == tag)
+            .map(|&(_, p)| p)
+            .ok_or(SnapshotError::MissingSection { tag })
+    }
+
+    /// The words of section `tag` (payload unpacked little-endian).
+    ///
+    /// # Errors
+    ///
+    /// [`SnapshotError::MissingSection`] when absent,
+    /// [`SnapshotError::MisalignedSection`] when the payload is not a
+    /// whole number of words.
+    pub fn words(&self, tag: u32) -> Result<Vec<u64>, SnapshotError> {
+        let payload = self.bytes(tag)?;
+        if payload.len() % 8 != 0 {
+            return Err(SnapshotError::MisalignedSection { tag });
+        }
+        Ok(payload
+            .chunks_exact(8)
+            .map(|c| u64::from_le_bytes(c.try_into().expect("8 bytes")))
+            .collect())
+    }
+}
+
+/// Verifies `bytes` parse as a well-formed snapshot with every section
+/// checksum intact (the recovery scan's validity test).
+///
+/// # Errors
+///
+/// The first [`SnapshotError`] encountered.
+pub fn validate(bytes: &[u8]) -> Result<(), SnapshotError> {
+    SnapshotReader::parse(bytes).map(|_| ())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Vec<u8> {
+        let mut w = SnapshotWriter::new();
+        w.section_words(10, &[1, u64::MAX, 0x0123_4567_89AB_CDEF]);
+        w.section_bytes(20, b"scenario text\n");
+        w.section_words(30, &[]);
+        w.finish()
+    }
+
+    #[test]
+    fn round_trips_sections_by_tag() {
+        let bytes = sample();
+        let r = SnapshotReader::parse(&bytes).unwrap();
+        assert_eq!(r.tags().collect::<Vec<_>>(), vec![10, 20, 30]);
+        assert_eq!(
+            r.words(10).unwrap(),
+            vec![1, u64::MAX, 0x0123_4567_89AB_CDEF]
+        );
+        assert_eq!(r.bytes(20).unwrap(), b"scenario text\n");
+        assert_eq!(r.words(30).unwrap(), Vec::<u64>::new());
+        assert!(r.has(10));
+        assert!(!r.has(99));
+    }
+
+    #[test]
+    fn serialization_is_deterministic() {
+        assert_eq!(sample(), sample());
+    }
+
+    #[test]
+    fn bad_magic_is_rejected() {
+        let mut bytes = sample();
+        bytes[0] ^= 0xFF;
+        assert_eq!(
+            SnapshotReader::parse(&bytes).unwrap_err(),
+            SnapshotError::BadMagic
+        );
+        assert_eq!(
+            SnapshotReader::parse(b"not a snapshot at all").unwrap_err(),
+            SnapshotError::BadMagic
+        );
+    }
+
+    #[test]
+    fn version_skew_is_rejected() {
+        let mut bytes = sample();
+        bytes[8..12].copy_from_slice(&99u32.to_le_bytes());
+        assert_eq!(
+            SnapshotReader::parse(&bytes).unwrap_err(),
+            SnapshotError::UnsupportedVersion { found: 99 }
+        );
+    }
+
+    #[test]
+    fn every_truncation_point_is_an_error_not_a_panic() {
+        let bytes = sample();
+        for cut in 0..bytes.len() {
+            let err = SnapshotReader::parse(&bytes[..cut]).unwrap_err();
+            assert!(
+                matches!(
+                    err,
+                    SnapshotError::Truncated { .. } | SnapshotError::BadMagic
+                ),
+                "cut at {cut}: {err}"
+            );
+        }
+        assert!(SnapshotReader::parse(&bytes).is_ok());
+    }
+
+    #[test]
+    fn every_single_bit_flip_in_a_payload_is_detected() {
+        let bytes = sample();
+        // Section 20's payload: find it and flip each bit in turn.
+        let r = SnapshotReader::parse(&bytes).unwrap();
+        let payload = r.bytes(20).unwrap();
+        // From the tail: the final section is a bare 16-byte header with
+        // an empty payload, preceded by section 20's header + payload.
+        let start = bytes.len() - 16 - payload.len();
+        drop(r);
+        for bit in 0..payload.len() * 8 {
+            let mut torn = bytes.clone();
+            torn[start + bit / 8] ^= 1 << (bit % 8);
+            assert_eq!(
+                SnapshotReader::parse(&torn).unwrap_err(),
+                SnapshotError::ChecksumMismatch { tag: 20 },
+                "flipped bit {bit}"
+            );
+        }
+    }
+
+    #[test]
+    fn duplicate_and_missing_sections_are_typed_errors() {
+        let mut w = SnapshotWriter::new();
+        w.section_words(5, &[1]);
+        w.section_words(5, &[2]);
+        assert_eq!(
+            SnapshotReader::parse(&w.finish()).unwrap_err(),
+            SnapshotError::DuplicateSection { tag: 5 }
+        );
+
+        let r_bytes = sample();
+        let r = SnapshotReader::parse(&r_bytes).unwrap();
+        assert_eq!(
+            r.words(99).unwrap_err(),
+            SnapshotError::MissingSection { tag: 99 }
+        );
+    }
+
+    #[test]
+    fn misaligned_word_sections_are_rejected() {
+        let mut w = SnapshotWriter::new();
+        w.section_bytes(7, b"12345");
+        let bytes = w.finish();
+        let r = SnapshotReader::parse(&bytes).unwrap();
+        assert_eq!(
+            r.words(7).unwrap_err(),
+            SnapshotError::MisalignedSection { tag: 7 }
+        );
+    }
+
+    #[test]
+    fn crc_reference_vectors() {
+        assert_eq!(crc32(b""), 0);
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(
+            crc32(b"The quick brown fox jumps over the lazy dog"),
+            0x414F_A339
+        );
+    }
+
+    #[test]
+    fn validate_matches_parse() {
+        let bytes = sample();
+        assert!(validate(&bytes).is_ok());
+        let mut torn = bytes.clone();
+        torn.truncate(torn.len() - 1);
+        assert!(validate(&torn).is_err());
+    }
+}

@@ -116,6 +116,7 @@
 #![warn(missing_docs)]
 
 use serde::{Deserialize, Serialize};
+use utilbp_core::state::{StateError, StateReader, StateWriter};
 use utilbp_core::{IncomingId, PhaseDecision, SignalController};
 use utilbp_metrics::WaitingLedger;
 use utilbp_microsim::{MicroSim, MicroSimConfig, PhaseTimings};
@@ -394,6 +395,27 @@ pub trait TrafficSubstrate {
     ///
     /// Returns a message naming the first divergent counter.
     fn verify_sensors(&self) -> Result<(), String>;
+
+    /// Serializes the substrate's full dynamic state — clock, vehicles,
+    /// queues, RNG stream positions, incremental counters, ledger, and
+    /// every controller's state — into a durable word stream. Together
+    /// with [`load_state`](Self::load_state) this is the plant half of
+    /// the checkpoint/restore contract: a substrate restored into a
+    /// freshly built twin (same topology, configuration, controllers)
+    /// continues **bit-identically** to the original, under either
+    /// `Parallelism` mode.
+    fn save_state(&self, writer: &mut StateWriter);
+
+    /// Restores the dynamic state written by
+    /// [`save_state`](Self::save_state) into a substrate built over the
+    /// same topology, configuration, and controller stack.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`StateError`] on a truncated stream or a shape mismatch
+    /// with this substrate's topology; on error the substrate may be left
+    /// partially overwritten and must be discarded.
+    fn load_state(&mut self, reader: &mut StateReader<'_>) -> Result<(), StateError>;
 }
 
 impl<S: TrafficSubstrate + ?Sized> TrafficSubstrate for Box<S> {
@@ -464,6 +486,14 @@ impl<S: TrafficSubstrate + ?Sized> TrafficSubstrate for Box<S> {
 
     fn verify_sensors(&self) -> Result<(), String> {
         (**self).verify_sensors()
+    }
+
+    fn save_state(&self, writer: &mut StateWriter) {
+        (**self).save_state(writer);
+    }
+
+    fn load_state(&mut self, reader: &mut StateReader<'_>) -> Result<(), StateError> {
+        (**self).load_state(reader)
     }
 }
 
@@ -547,6 +577,14 @@ impl TrafficSubstrate for QueueSim {
     fn verify_sensors(&self) -> Result<(), String> {
         QueueSim::verify_sensors(self)
     }
+
+    fn save_state(&self, writer: &mut StateWriter) {
+        QueueSim::save_state(self, writer);
+    }
+
+    fn load_state(&mut self, reader: &mut StateReader<'_>) -> Result<(), StateError> {
+        QueueSim::load_state(self, reader)
+    }
 }
 
 impl TrafficSubstrate for MicroSim {
@@ -619,6 +657,14 @@ impl TrafficSubstrate for MicroSim {
 
     fn verify_sensors(&self) -> Result<(), String> {
         MicroSim::verify_sensors(self)
+    }
+
+    fn save_state(&self, writer: &mut StateWriter) {
+        MicroSim::save_state(self, writer);
+    }
+
+    fn load_state(&mut self, reader: &mut StateReader<'_>) -> Result<(), StateError> {
+        MicroSim::load_state(self, reader)
     }
 }
 
@@ -944,6 +990,51 @@ impl<S: TrafficSubstrate> TrafficSubstrate for InvariantGuard<S> {
 
     fn verify_sensors(&self) -> Result<(), String> {
         self.inner.verify_sensors()
+    }
+
+    fn save_state(&self, writer: &mut StateWriter) {
+        // The guard's own watermarks (checked-tick count, per-road
+        // closure-drain and entered watermarks) are durable: a restored
+        // guarded run must keep enforcing monotonicity across the
+        // checkpoint boundary exactly as the uninterrupted run does. The
+        // occupancy scratch buffer is rewritten every check and is not
+        // state.
+        writer.push(self.ticks);
+        writer.push_usize(self.closed_occ.len());
+        for slot in &self.closed_occ {
+            match slot {
+                Some(occ) => {
+                    writer.push_bool(true);
+                    writer.push_u32(*occ);
+                }
+                None => writer.push_bool(false),
+            }
+        }
+        writer.push_usize(self.prev_entered.len());
+        for &entered in &self.prev_entered {
+            writer.push(entered);
+        }
+        self.inner.save_state(writer);
+    }
+
+    fn load_state(&mut self, reader: &mut StateReader<'_>) -> Result<(), StateError> {
+        self.ticks = reader.take()?;
+        let closed = reader.take_usize()?;
+        self.closed_occ.clear();
+        for _ in 0..closed {
+            let watermark = if reader.take_bool()? {
+                Some(reader.take_u32()?)
+            } else {
+                None
+            };
+            self.closed_occ.push(watermark);
+        }
+        let entered = reader.take_usize()?;
+        self.prev_entered.clear();
+        for _ in 0..entered {
+            self.prev_entered.push(reader.take()?);
+        }
+        self.inner.load_state(reader)
     }
 }
 

@@ -97,6 +97,21 @@ pub enum EventKind {
         /// The guard's diagnostic.
         message: String,
     },
+    /// A durable checkpoint of the whole run was captured.
+    Checkpoint {
+        /// Snapshot size in bytes.
+        bytes: u64,
+        /// CRC-32 of the snapshot bytes (an end-to-end identity check:
+        /// the restore drill logs the same value it verified).
+        crc: u32,
+    },
+    /// The run was restored from a checkpoint (a recovery drill or a
+    /// crash-recovery restart — not recorded for transparent resumes).
+    Restore {
+        /// Whether recovery had to fall back past a corrupted
+        /// checkpoint to an older valid one.
+        fallback: bool,
+    },
 }
 
 impl EventKind {
@@ -113,6 +128,8 @@ impl EventKind {
             EventKind::WatchdogRecovered { .. } => "watchdog_recovered",
             EventKind::Replan { .. } => "replan",
             EventKind::GuardViolation { .. } => "guard_violation",
+            EventKind::Checkpoint { .. } => "checkpoint",
+            EventKind::Restore { .. } => "restore",
         }
     }
 }
@@ -183,7 +200,159 @@ impl Event {
                 escape_json(check),
                 escape_json(message)
             ),
+            EventKind::Checkpoint { bytes, crc } => {
+                format!("{{\"tick\":{tick},\"kind\":\"{kind}\",\"bytes\":{bytes},\"crc\":{crc}}}")
+            }
+            EventKind::Restore { fallback } => {
+                format!("{{\"tick\":{tick},\"kind\":\"{kind}\",\"fallback\":{fallback}}}")
+            }
         }
+    }
+
+    /// Serializes the event into a durable word stream.
+    pub fn save_state(&self, writer: &mut utilbp_core::state::StateWriter) {
+        writer.push(self.tick.index());
+        match &self.kind {
+            EventKind::PhaseChange {
+                intersection,
+                phase,
+            } => {
+                writer.push(0);
+                writer.push_u32(*intersection);
+                writer.push_u32(*phase);
+            }
+            EventKind::RoadClosed { road } => {
+                writer.push(1);
+                writer.push_u32(*road);
+            }
+            EventKind::RoadReopened { road } => {
+                writer.push(2);
+                writer.push_u32(*road);
+            }
+            EventKind::Surge { factor } => {
+                writer.push(3);
+                writer.push_f64(*factor);
+            }
+            EventKind::SensorFaultWindow { active } => {
+                writer.push(4);
+                writer.push_bool(*active);
+            }
+            EventKind::ActuationFaultWindow { active } => {
+                writer.push(5);
+                writer.push_bool(*active);
+            }
+            EventKind::WatchdogActivated { intersection } => {
+                writer.push(6);
+                writer.push_u32(*intersection);
+            }
+            EventKind::WatchdogRecovered { intersection } => {
+                writer.push(7);
+                writer.push_u32(*intersection);
+            }
+            EventKind::Replan {
+                trigger,
+                diverted,
+                restored,
+            } => {
+                writer.push(8);
+                writer.push(match trigger {
+                    ReplanTrigger::Closure => 0,
+                    ReplanTrigger::Reopen => 1,
+                    ReplanTrigger::Congestion => 2,
+                    ReplanTrigger::CongestionCleared => 3,
+                });
+                writer.push(*diverted);
+                writer.push(*restored);
+            }
+            EventKind::GuardViolation { check, message } => {
+                writer.push(9);
+                writer.push_str(check);
+                writer.push_str(message);
+            }
+            EventKind::Checkpoint { bytes, crc } => {
+                writer.push(10);
+                writer.push(*bytes);
+                writer.push_u32(*crc);
+            }
+            EventKind::Restore { fallback } => {
+                writer.push(11);
+                writer.push_bool(*fallback);
+            }
+        }
+    }
+
+    /// Deserializes one event from a durable word stream.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`StateError`](utilbp_core::state::StateError) on a
+    /// truncated stream or an unknown kind/trigger tag.
+    pub fn load_state(
+        reader: &mut utilbp_core::state::StateReader<'_>,
+    ) -> Result<Self, utilbp_core::state::StateError> {
+        use utilbp_core::state::StateError;
+        let tick = Tick::new(reader.take()?);
+        let kind = match reader.take()? {
+            0 => EventKind::PhaseChange {
+                intersection: reader.take_u32()?,
+                phase: reader.take_u32()?,
+            },
+            1 => EventKind::RoadClosed {
+                road: reader.take_u32()?,
+            },
+            2 => EventKind::RoadReopened {
+                road: reader.take_u32()?,
+            },
+            3 => EventKind::Surge {
+                factor: reader.take_f64()?,
+            },
+            4 => EventKind::SensorFaultWindow {
+                active: reader.take_bool()?,
+            },
+            5 => EventKind::ActuationFaultWindow {
+                active: reader.take_bool()?,
+            },
+            6 => EventKind::WatchdogActivated {
+                intersection: reader.take_u32()?,
+            },
+            7 => EventKind::WatchdogRecovered {
+                intersection: reader.take_u32()?,
+            },
+            8 => EventKind::Replan {
+                trigger: match reader.take()? {
+                    0 => ReplanTrigger::Closure,
+                    1 => ReplanTrigger::Reopen,
+                    2 => ReplanTrigger::Congestion,
+                    3 => ReplanTrigger::CongestionCleared,
+                    word => {
+                        return Err(StateError::Invalid {
+                            what: "replan trigger tag",
+                            word,
+                        })
+                    }
+                },
+                diverted: reader.take()?,
+                restored: reader.take()?,
+            },
+            9 => EventKind::GuardViolation {
+                check: reader.take_string()?,
+                message: reader.take_string()?,
+            },
+            10 => EventKind::Checkpoint {
+                bytes: reader.take()?,
+                crc: reader.take_u32()?,
+            },
+            11 => EventKind::Restore {
+                fallback: reader.take_bool()?,
+            },
+            word => {
+                return Err(StateError::Invalid {
+                    what: "event kind tag",
+                    word,
+                })
+            }
+        };
+        Ok(Event { tick, kind })
     }
 }
 
@@ -297,6 +466,50 @@ impl FlightRecorder {
     /// Events evicted because the buffer was full.
     pub fn dropped(&self) -> u64 {
         self.dropped
+    }
+
+    /// Serializes the buffered stream and lifetime counters (capacity
+    /// is construction-time configuration and is *not* saved — restore
+    /// into a recorder built with the run's configured capacity).
+    pub fn save_state(&self, writer: &mut utilbp_core::state::StateWriter) {
+        writer.push(self.recorded);
+        writer.push(self.dropped);
+        writer.push_usize(self.buffer.len());
+        for event in &self.buffer {
+            event.save_state(writer);
+        }
+    }
+
+    /// Restores the buffered stream and lifetime counters saved by
+    /// [`save_state`](Self::save_state), replacing this recorder's
+    /// current contents.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`StateError`](utilbp_core::state::StateError) on a
+    /// truncated or corrupt stream, or when the saved buffer exceeds
+    /// this recorder's capacity (the run was recorded with a larger
+    /// ring, so restoring here would silently drop history).
+    pub fn load_state(
+        &mut self,
+        reader: &mut utilbp_core::state::StateReader<'_>,
+    ) -> Result<(), utilbp_core::state::StateError> {
+        let recorded = reader.take()?;
+        let dropped = reader.take()?;
+        let len = reader.take_usize()?;
+        if len > self.capacity {
+            return Err(utilbp_core::state::StateError::Invalid {
+                what: "flight recorder buffer exceeds capacity",
+                word: len as u64,
+            });
+        }
+        self.buffer.clear();
+        for _ in 0..len {
+            self.buffer.push_back(Event::load_state(reader)?);
+        }
+        self.recorded = recorded;
+        self.dropped = dropped;
+        Ok(())
     }
 
     /// The retained stream as JSON Lines: one object per event, oldest

@@ -47,6 +47,8 @@ pub fn render_timeline(
         // Flags that only live for this bucket.
         let mut guard_hit = false;
         let mut replan_hit = false;
+        let mut restore_hit = false;
+        let mut checkpoint_hit = false;
         let mut activation = vec![false; intersections];
 
         while next < events.len() && events[next].tick.index() < bucket_end {
@@ -84,12 +86,16 @@ pub fn render_timeline(
                 }
                 EventKind::Replan { .. } => replan_hit = true,
                 EventKind::GuardViolation { .. } => guard_hit = true,
+                EventKind::Checkpoint { .. } => checkpoint_hit = true,
+                EventKind::Restore { .. } => restore_hit = true,
             }
             next += 1;
         }
 
         disruption_row.push(if guard_hit {
             '!'
+        } else if restore_hit {
+            '^'
         } else if replan_hit {
             'R'
         } else if !closed_roads.is_empty() {
@@ -98,6 +104,8 @@ pub fn render_timeline(
             'S'
         } else if actuation_window {
             'A'
+        } else if checkpoint_hit {
+            'o'
         } else {
             '.'
         });
@@ -130,8 +138,8 @@ pub fn render_timeline(
         out.push_str(&format!("{:<label_width$} |{row}|\n", format!("i{i}")));
     }
     out.push_str(
-        "legend: faults lane  ! guard violation  R replan  C closure  S sensor fault  \
-         A actuation fault  . quiet\n",
+        "legend: faults lane  ! guard violation  ^ restore  R replan  C closure  \
+         S sensor fault  A actuation fault  o checkpoint  . quiet\n",
     );
     out.push_str(
         "        phase lanes  digit = control phase  - transition  x degraded  \

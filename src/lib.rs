@@ -23,7 +23,8 @@
 //! | [`substrate`] | `utilbp-substrate` | The unified plant layer: one `TrafficSubstrate` trait over both simulators, plus the opt-in `InvariantGuard` |
 //! | [`scenario`] | `utilbp-scenario` | Scenario files: topologies × demand profiles × disruption events (closures, sensor/actuator/comms faults) |
 //! | [`telemetry`] | `utilbp-telemetry` | Flight recorder: typed event stream, gauge registry, tick-section profiler, timeline rendering |
-//! | [`experiments`] | `utilbp-experiments` | Fig. 2, Table III, Figs. 3–5, ablations, scenario sweeps, the `chaos` resilience harness, the `trace` replay binary |
+//! | [`snapshot`] | `utilbp-snapshot` | Durable snapshot container: versioned format, per-section checksums, typed corruption errors |
+//! | [`experiments`] | `utilbp-experiments` | Fig. 2, Table III, Figs. 3–5, ablations, scenario sweeps, the `chaos` resilience harness, the `trace` replay binary, the `recover` crash-recovery drill |
 //!
 //! ## Substrate layer
 //!
@@ -177,6 +178,54 @@
 //! itself is deterministic. `tests/telemetry.rs` enforces both;
 //! `tests/perf_alloc.rs` bounds the off path's allocations.
 //!
+//! ## Durability & recovery
+//!
+//! The durable state plane makes the whole stack *checkpointable*: a
+//! running scenario can be captured to bytes at any tick and later
+//! restored into an engine that continues **bit-identically** — same
+//! [`scenario::ScenarioOutcome`], byte-equal telemetry JSONL — on either
+//! substrate and under either execution mode (a checkpoint captured
+//! under `Serial` resumes exactly under `Rayon`, and vice versa).
+//!
+//! - **Container** ([`snapshot`]): a little-endian binary format with a
+//!   magic/version header and tagged sections, each carrying its length
+//!   and a CRC-32 of its payload. Parsing damaged bytes never panics:
+//!   bad magic, version skew, truncation, duplicate or misaligned
+//!   sections, and checksum mismatches all surface as typed
+//!   [`snapshot::SnapshotError`]s. The wire contract is documented in
+//!   the `utilbp-snapshot` crate docs.
+//! - **State plumbing** (`utilbp_core::state`): every stateful component
+//!   — both plants, all controllers and their fault/watchdog decorators,
+//!   the waiting ledger, the demand generator, the RNGs (by exact
+//!   xoshiro256++ state words), the invariant guard's watermarks, the
+//!   flight recorder — implements `save_state`/`load_state` over a flat
+//!   word stream, with floats stored by bit pattern and collections in
+//!   canonical order, so *save → load → save is a byte-level fixed
+//!   point*. Intra-step scratch is deliberately excluded and rebuilt by
+//!   the next step; gauges and profiler laps are measurements, not
+//!   state, and are not captured.
+//! - **Engine checkpoints** ([`scenario::ScenarioEngine::checkpoint`] /
+//!   [`scenario::ScenarioEngine::restore`] /
+//!   [`scenario::CheckpointPolicy`]): a checkpoint embeds the scenario
+//!   spec in text form plus the full dynamic state; restore validates
+//!   configuration compatibility (backend, guard flags, microscopic
+//!   parameters) and rejects mismatches with a typed
+//!   [`scenario::RestoreError`]. Periodic capture retains a small ring
+//!   of recent checkpoints and surfaces each capture as a `checkpoint`
+//!   event (size + CRC) in the flight recorder; the policy itself is
+//!   durable, so a resumed run keeps the cadence.
+//! - **Forking** ([`scenario::ScenarioEngine::fork`]): a checkpoint
+//!   restored into an *independent* engine — a what-if timeline
+//!   (closures, surges, controller swaps) explored without disturbing
+//!   the primary run.
+//! - **Crash-recovery drill** (`experiments::run_recovery`, the
+//!   `recover` binary, and one round per `chaos` timeline): kill a run
+//!   at an adversarial tick, tear or bit-flip the newest checkpoint,
+//!   verify integrity validation rejects the damage, fall back to the
+//!   newest valid capture, fast-forward, and gate on byte-identity with
+//!   an uninterrupted golden run. `crates/scenario/tests/durability.rs`
+//!   holds the full resume/fixed-point/corruption test matrix.
+//!
 //! ## Quickstart
 //!
 //! Run UTIL-BP on the paper's 3×3 network for ten simulated minutes:
@@ -270,6 +319,12 @@ pub mod scenario {
 /// (re-export of `utilbp-telemetry`).
 pub mod telemetry {
     pub use utilbp_telemetry::*;
+}
+
+/// The durable snapshot container: versioned, checksummed sections with
+/// typed corruption errors (re-export of `utilbp-snapshot`).
+pub mod snapshot {
+    pub use utilbp_snapshot::*;
 }
 
 /// The table/figure regeneration harness (re-export of
