@@ -34,12 +34,19 @@
 //! `BENCH_TICKS=<n>` overrides the measured tick count, `BENCH_REPS=<n>`
 //! the repetition count, `BENCH_OUT=<path>` the output path,
 //! `BENCH_LABEL=<s>` the run label recorded in the protocol.
+//!
+//! Microscopic grid rows are measured under **both** car-following
+//! contracts — the exact sequential Krauss update and the batched kernel
+//! (`+batched` workload suffix) — so every run carries its own
+//! exact/batched speedup pair. `--fidelity exact|batched` additionally
+//! retargets the scenario-driven rows (suffixing their workloads), so any
+//! builtin can be priced under the batched kernel.
 
 use std::time::Instant;
 
 use utilbp_bench::trajectory::{append_run, render_run, Measurement};
 use utilbp_core::{Parallelism, SignalController, Tick, Ticks, UtilBp};
-use utilbp_microsim::{MicroSimConfig, PhaseTimings};
+use utilbp_microsim::{Fidelity, MicroSimConfig, PhaseTimings};
 use utilbp_netgen::{
     DemandConfig, DemandGenerator, DemandSchedule, GridNetwork, GridSpec, Pattern,
 };
@@ -74,6 +81,7 @@ fn measure_grid(
     backend: Backend,
     size: u32,
     mode: Parallelism,
+    fidelity: Fidelity,
     ticks: u64,
     reps: u32,
 ) -> Measurement {
@@ -85,6 +93,7 @@ fn measure_grid(
         controllers(n),
         MicroSimConfig {
             parallelism: mode,
+            fidelity,
             ..MicroSimConfig::default()
         },
     );
@@ -122,9 +131,13 @@ fn measure_grid(
             Some(phases)
         }
     };
+    let mut workload = format!("{size}x{size}");
+    if fidelity == Fidelity::Batched {
+        workload.push_str("+batched");
+    }
     Measurement {
         substrate: backend.name(),
-        workload: format!("{size}x{size}"),
+        workload,
         mode,
         ticks,
         seconds: best,
@@ -132,12 +145,105 @@ fn measure_grid(
     }
 }
 
+/// The microscopic exact/batched pair for one grid row, measured with
+/// the reps *interleaved*: both sims are built and warmed first, then
+/// each rep times an exact window immediately followed by a batched
+/// window, and each side keeps its best. On a shared box, throughput
+/// drifts by tens of percent across a run (see the PR 5 / PR 9 bench
+/// notes) — sequential rows sample different drift windows and the
+/// comparison inherits the drift. Interleaving puts both contracts in
+/// the same windows, so the pairwise ratio is trustworthy even when the
+/// absolute numbers wobble.
+fn measure_grid_fidelity_pair(
+    size: u32,
+    mode: Parallelism,
+    ticks: u64,
+    reps: u32,
+) -> (Measurement, Measurement) {
+    let grid = GridNetwork::new(GridSpec::with_size(size, size));
+    let n = grid.topology().num_intersections();
+    let build = |fidelity| {
+        (
+            build_substrate(
+                Backend::Microscopic,
+                grid.topology().clone(),
+                controllers(n),
+                MicroSimConfig {
+                    parallelism: mode,
+                    fidelity,
+                    ..MicroSimConfig::default()
+                },
+            ),
+            demand(&grid),
+            0u64,
+        )
+    };
+    let mut pair = [build(Fidelity::Exact), build(Fidelity::Batched)];
+    let mut scratch = SubstrateScratch::new();
+    let mut arrivals = Vec::new();
+    for (sim, gen, k) in pair.iter_mut() {
+        for _ in 0..WARMUP_TICKS {
+            arrivals.clear();
+            gen.poll_into(&grid, Tick::new(*k), &mut arrivals);
+            sim.step_into(&mut arrivals, &mut scratch);
+            *k += 1;
+        }
+    }
+    let mut best = [f64::INFINITY; 2];
+    for _ in 0..reps.max(1) {
+        for (i, (sim, gen, k)) in pair.iter_mut().enumerate() {
+            let start = Instant::now();
+            for _ in 0..ticks {
+                arrivals.clear();
+                gen.poll_into(&grid, Tick::new(*k), &mut arrivals);
+                sim.step_into(&mut arrivals, &mut scratch);
+                *k += 1;
+            }
+            best[i] = best[i].min(start.elapsed().as_secs_f64());
+        }
+    }
+    let measurements = pair.iter_mut().zip(best).map(|((sim, gen, k), best)| {
+        let mut phases = PhaseTimings::default();
+        for _ in 0..ticks {
+            arrivals.clear();
+            gen.poll_into(&grid, Tick::new(*k), &mut arrivals);
+            sim.step_into_timed(&mut arrivals, &mut scratch, &mut phases);
+            *k += 1;
+        }
+        (best, phases)
+    });
+    let mut out = Vec::new();
+    for (i, (seconds, phases)) in measurements.enumerate() {
+        let mut workload = format!("{size}x{size}");
+        if i == 1 {
+            workload.push_str("+batched");
+        }
+        out.push(Measurement {
+            substrate: Backend::Microscopic.name(),
+            workload,
+            mode,
+            ticks,
+            seconds,
+            phases: Some(phases),
+        });
+    }
+    let batched = out.pop().expect("two rows");
+    let exact = out.pop().expect("two rows");
+    (exact, batched)
+}
+
 /// Scenario-driven row: the whole per-tick path of a scenario run —
 /// event dispatch, schedule-driven demand, stepping, and (for scenarios
 /// that enable it) en-route replanning — measured through
 /// [`ScenarioEngine`].
-fn measure_scenario(name: &str, backend: Backend, ticks: u64, reps: u32) -> Measurement {
-    measure_scenario_instrumented(name, backend, ticks, reps, false, None)
+fn measure_scenario(
+    name: &str,
+    backend: Backend,
+    fidelity: Fidelity,
+    ticks: u64,
+    reps: u32,
+) -> Measurement {
+    measure_scenario_instrumented(name, backend, fidelity, ticks, reps, false, None)
 }
 
 /// Scenario row with the flight recorder optionally attached, so the
@@ -148,11 +254,12 @@ fn measure_scenario(name: &str, backend: Backend, ticks: u64, reps: u32) -> Meas
 fn measure_scenario_recorded(
     name: &str,
     backend: Backend,
+    fidelity: Fidelity,
     ticks: u64,
     reps: u32,
     recording: bool,
 ) -> Measurement {
-    measure_scenario_instrumented(name, backend, ticks, reps, recording, None)
+    measure_scenario_instrumented(name, backend, fidelity, ticks, reps, recording, None)
 }
 
 /// Scenario row with optional recording and an optional periodic
@@ -167,6 +274,7 @@ fn measure_scenario_recorded(
 fn measure_scenario_instrumented(
     name: &str,
     backend: Backend,
+    fidelity: Fidelity,
     ticks: u64,
     reps: u32,
     recording: bool,
@@ -179,6 +287,7 @@ fn measure_scenario_instrumented(
         // the new horizon no longer covers are dropped with it (a closure
         // whose reopening is dropped simply stays closed).
         spec.set_horizon(Ticks::new(WARMUP_TICKS + ticks + 1));
+        spec.fidelity = fidelity;
         let mut engine = ScenarioEngine::new(spec, EngineConfig::new(backend), &|_| {
             Box::new(UtilBp::paper())
         })
@@ -199,6 +308,9 @@ fn measure_scenario_instrumented(
         best = best.min(start.elapsed().as_secs_f64());
     }
     let mut workload = name.to_string();
+    if fidelity == Fidelity::Batched {
+        workload.push_str("+batched");
+    }
     if recording {
         workload.push_str("+recorder");
     }
@@ -216,6 +328,34 @@ fn measure_scenario_instrumented(
 }
 
 fn main() {
+    // `--fidelity exact|batched` retargets the *scenario-driven* rows (so
+    // any builtin can be priced under the batched kernel); the grid rows
+    // always emit both fidelities — the exact/batched pair in one run is
+    // the kernel's headline comparison.
+    let mut scenario_fidelity = Fidelity::Exact;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--fidelity" => {
+                scenario_fidelity = match args.next().as_deref() {
+                    Some("exact") => Fidelity::Exact,
+                    Some("batched") => Fidelity::Batched,
+                    Some(other) => {
+                        eprintln!("sim_throughput: unknown fidelity `{other}` (exact|batched)");
+                        std::process::exit(1);
+                    }
+                    None => {
+                        eprintln!("sim_throughput: --fidelity needs exact|batched");
+                        std::process::exit(1);
+                    }
+                };
+            }
+            other => {
+                eprintln!("sim_throughput: unknown flag `{other}`");
+                std::process::exit(1);
+            }
+        }
+    }
     let tick_override = std::env::var("BENCH_TICKS")
         .ok()
         .and_then(|v| v.parse::<u64>().ok());
@@ -246,6 +386,7 @@ fn main() {
                 Backend::Queueing,
                 size,
                 mode,
+                Fidelity::Exact,
                 tick_override.unwrap_or(q_ticks),
                 reps,
             );
@@ -255,19 +396,20 @@ fn main() {
                 q.ticks_per_sec()
             );
             results.push(q);
-            let m = measure_grid(
-                Backend::Microscopic,
-                size,
-                mode,
-                tick_override.unwrap_or(m_ticks),
-                reps,
-            );
-            eprintln!(
-                "microscopic {size:>2}x{size:<2} {:>6}: {:>10.1} ticks/s",
-                utilbp_bench::trajectory::mode_name(mode),
-                m.ticks_per_sec()
-            );
-            results.push(m);
+            // Both car-following contracts on every microscopic grid
+            // row, reps interleaved across the pair so shared-box drift
+            // cancels out of the exact/batched ratio.
+            let (exact, batched) =
+                measure_grid_fidelity_pair(size, mode, tick_override.unwrap_or(m_ticks), reps);
+            for m in [exact, batched] {
+                eprintln!(
+                    "microscopic {:<13} {:>6}: {:>10.1} ticks/s",
+                    m.workload,
+                    utilbp_bench::trajectory::mode_name(mode),
+                    m.ticks_per_sec()
+                );
+                results.push(m);
+            }
         }
     }
     // `grid-incident-replan` keeps the closure-replanning machinery in
@@ -286,7 +428,7 @@ fn main() {
                 Backend::Queueing => 2000,
                 Backend::Microscopic => 600,
             });
-            let s = measure_scenario(scenario_name, backend, ticks, reps);
+            let s = measure_scenario(scenario_name, backend, scenario_fidelity, ticks, reps);
             eprintln!(
                 "{:<11} {scenario_name} serial: {:>10.1} ticks/s",
                 s.substrate,
@@ -309,6 +451,7 @@ fn main() {
             let s = measure_scenario_recorded(
                 "grid-degraded-recovery",
                 backend,
+                scenario_fidelity,
                 ticks,
                 reps,
                 recording,
@@ -329,6 +472,7 @@ fn main() {
         let s = measure_scenario_instrumented(
             "grid-degraded-recovery",
             backend,
+            scenario_fidelity,
             ticks,
             reps,
             false,

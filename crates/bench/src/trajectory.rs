@@ -17,13 +17,15 @@ use utilbp_microsim::PhaseTimings;
 
 /// Workload rows every fresh trajectory run must contain (the largest
 /// grid plus the scenario-driven rows, including both replanning
-/// scenarios on both substrates).
+/// scenarios on both substrates, and the batched-fidelity microscopic
+/// row the PR 9 kernel is tracked by).
 pub const REQUIRED_WORKLOADS: &[&str] = &[
     "20x20",
     "arterial-rush-hour",
     "grid-incident-replan",
     "grid-congestion-replan",
     "grid-degraded-recovery+ckpt256",
+    "10x10+batched",
 ];
 
 /// One throughput measurement: a substrate × workload × mode row.
@@ -248,7 +250,10 @@ mod tests {
 
     /// A full synthetic run satisfying every invariant.
     fn full_run(label: &str) -> String {
-        let mut rows = vec![measurement("microscopic", "20x20", true)];
+        let mut rows = vec![
+            measurement("microscopic", "20x20", true),
+            measurement("microscopic", "10x10+batched", false),
+        ];
         for scenario in [
             "arterial-rush-hour",
             "grid-incident-replan",
@@ -298,6 +303,7 @@ mod tests {
         let lopsided = render_run(
             &[
                 measurement("microscopic", "20x20", true),
+                measurement("microscopic", "10x10+batched", false),
                 measurement("queueing", "arterial-rush-hour", false),
                 measurement("queueing", "grid-incident-replan", false),
                 measurement("microscopic", "grid-incident-replan", false),
@@ -318,7 +324,10 @@ mod tests {
         // No timed row → no phase breakdown → rejected.
         let untimed = render_run(
             &{
-                let mut rows = vec![measurement("microscopic", "20x20", false)];
+                let mut rows = vec![
+                    measurement("microscopic", "20x20", false),
+                    measurement("microscopic", "10x10+batched", false),
+                ];
                 for scenario in [
                     "arterial-rush-hour",
                     "grid-incident-replan",

@@ -1,0 +1,86 @@
+//! Statistical-equivalence gate between the exact and batched
+//! car-following fidelities.
+//!
+//! ```text
+//! equivalence                    # default: 16 seeds × the 3-scenario set
+//! equivalence --seeds 32         # wider sweep
+//! equivalence --horizon 300      # cap every scenario's horizon (CI smoke)
+//! equivalence --scenario NAME .. # selected built-ins (repeatable)
+//! equivalence --out table.txt    # also write the table artifact
+//! ```
+//!
+//! Prints the per-scenario metric table and exits non-zero if any gate
+//! (relative mean gap or KS distance, per metric) fails, or if the
+//! queueing backend turns out not to be fidelity-invariant.
+
+use utilbp_experiments::{equivalence, EquivalenceOptions, DEFAULT_TOLERANCES};
+
+fn main() {
+    if let Err(message) = run() {
+        eprintln!("equivalence: {message}");
+        std::process::exit(1);
+    }
+}
+
+fn run() -> Result<(), String> {
+    let mut opts = EquivalenceOptions::default();
+    let mut scenarios: Vec<String> = Vec::new();
+    let mut out_path: Option<String> = None;
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut iter = args.iter();
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "--seeds" => {
+                opts.seeds = iter
+                    .next()
+                    .ok_or_else(|| "--seeds needs a count".to_string())?
+                    .parse()
+                    .map_err(|_| "--seeds needs an integer".to_string())?;
+                if opts.seeds == 0 {
+                    return Err("--seeds must be positive".to_string());
+                }
+            }
+            "--horizon" => {
+                opts.horizon_cap = Some(
+                    iter.next()
+                        .ok_or_else(|| "--horizon needs a tick count".to_string())?
+                        .parse()
+                        .map_err(|_| "--horizon needs an integer".to_string())?,
+                );
+            }
+            "--scenario" => {
+                scenarios.push(
+                    iter.next()
+                        .ok_or_else(|| "--scenario needs a name".to_string())?
+                        .clone(),
+                );
+            }
+            "--out" => {
+                out_path = Some(
+                    iter.next()
+                        .ok_or_else(|| "--out needs a path".to_string())?
+                        .clone(),
+                );
+            }
+            other => return Err(format!("unknown flag `{other}`")),
+        }
+    }
+    if !scenarios.is_empty() {
+        opts.scenarios = scenarios;
+    }
+
+    eprintln!(
+        "sweeping {} scenario(s) × {} seed(s) × 2 fidelities on the microscopic substrate…",
+        opts.scenarios.len(),
+        opts.seeds
+    );
+    let report = equivalence(&opts)?;
+    let table = report.render();
+    println!("{table}");
+    if let Some(path) = out_path {
+        std::fs::write(&path, &table).map_err(|e| format!("cannot write {path}: {e}"))?;
+    }
+    report.check(DEFAULT_TOLERANCES)?;
+    println!("all equivalence gates passed");
+    Ok(())
+}

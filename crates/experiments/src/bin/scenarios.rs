@@ -6,6 +6,7 @@
 //! scenarios --smoke            # one small built-in per backend (CI smoke)
 //! scenarios --builtin NAME ... # selected built-ins by name
 //! scenarios --parallelism rayon # run the sharded sim phases on the pool
+//! scenarios --fidelity batched # batched car-following on the microsim rows
 //! scenarios file.scn ...       # scenario files in the text format
 //! scenarios --trace            # append a flight-recorder trace per spec
 //! scenarios --trace --profile  # …with the tick-section profile table
@@ -24,6 +25,7 @@
 
 use utilbp_core::Parallelism;
 use utilbp_experiments::{run_trace, scenario_comparison, Backend, ControllerKind, TraceOptions};
+use utilbp_microsim::Fidelity;
 use utilbp_scenario::{builtin, builtin_scenarios, parse_scenario, ScenarioSpec};
 
 fn main() {
@@ -39,6 +41,7 @@ fn run() -> Result<(), String> {
     let mut files: Vec<&String> = Vec::new();
     let mut builtins: Vec<ScenarioSpec> = Vec::new();
     let mut parallelism = Parallelism::Serial;
+    let mut fidelity = None;
     let mut trace = false;
     let mut profile = false;
     let mut iter = args.iter();
@@ -68,6 +71,19 @@ fn run() -> Result<(), String> {
                     other => return Err(format!("unknown parallelism `{other}` (serial|rayon)")),
                 };
             }
+            "--fidelity" => {
+                fidelity = Some(
+                    match iter
+                        .next()
+                        .ok_or_else(|| "--fidelity needs exact|batched".to_string())?
+                        .as_str()
+                    {
+                        "exact" => Fidelity::Exact,
+                        "batched" => Fidelity::Batched,
+                        other => return Err(format!("unknown fidelity `{other}` (exact|batched)")),
+                    },
+                );
+            }
             other if other.starts_with("--") => return Err(format!("unknown flag `{other}`")),
             _ => files.push(arg),
         }
@@ -91,6 +107,15 @@ fn run() -> Result<(), String> {
         }
         specs
     };
+
+    // The flag overrides every spec's own `fidelity` directive; only the
+    // microscopic rows are affected (the queueing substrate has no
+    // car-following phase to batch).
+    if let Some(f) = fidelity {
+        for spec in &mut specs {
+            spec.fidelity = f;
+        }
+    }
 
     let mut horizon_cap = None;
     if std::env::var("UTILBP_QUICK").is_ok_and(|v| v == "1") {

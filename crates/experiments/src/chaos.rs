@@ -213,6 +213,7 @@ pub fn chaos_timeline(master_seed: u64, index: usize, horizon: u64) -> ScenarioS
             events: Vec::new(),
             replan: ReplanPolicy::Off,
             watchdog: None,
+            fidelity: utilbp_microsim::Fidelity::Exact,
         };
         let network = prototype.build_network();
         let topology = network.topology();
@@ -242,6 +243,7 @@ pub fn chaos_timeline(master_seed: u64, index: usize, horizon: u64) -> ScenarioS
         events,
         replan: ReplanPolicy::Off,
         watchdog: None,
+        fidelity: utilbp_microsim::Fidelity::Exact,
     }
 }
 

@@ -1,0 +1,421 @@
+//! The statistical-equivalence harness for the batched car-following
+//! kernel.
+//!
+//! `Fidelity::Batched` is deliberately **not** bit-compatible with the
+//! exact sequential update (different dawdle-noise stream, different
+//! floating-point association), so its correctness claim is statistical:
+//! across many demand seeds, the batched kernel must produce the *same
+//! distributions* of the macroscopic quantities the paper's experiments
+//! are scored on. This module runs both fidelities over a seed sweep per
+//! scenario and gates three per-seed metrics:
+//!
+//! - **mean waiting** — the paper's headline mean queuing time per
+//!   vehicle (`avg_queuing_time_s`),
+//! - **throughput** — vehicles completing their journey in the horizon,
+//! - **mean queue** — time-averaged per-road occupancy, sampled every
+//!   [`QUEUE_SAMPLE_EVERY`] ticks during the run.
+//!
+//! Two gates per metric: the relative gap of the per-seed means, and the
+//! two-sample Kolmogorov–Smirnov distance between the seed distributions.
+//! The KS gate catches shape drift a mean can hide (e.g. batched noise
+//! systematically widening the waiting-time spread); the mean gate
+//! catches small consistent bias a KS test at 16 samples is too coarse
+//! to see.
+//!
+//! The harness also asserts the **queueing-backend invariance**: the
+//! queueing substrate has no car-following phase, so flipping the
+//! fidelity flag there must change nothing, bit for bit.
+
+use utilbp_core::{SignalController, Ticks, UtilBp};
+use utilbp_microsim::Fidelity;
+use utilbp_scenario::{builtin, Backend, EngineConfig, ScenarioEngine, ScenarioSpec};
+
+/// Ticks between occupancy samples for the mean-queue metric.
+pub const QUEUE_SAMPLE_EVERY: u64 = 20;
+
+/// The default scenario set: the paper's grid plus a non-grid topology
+/// and a time-varying demand profile, so the gate covers constant and
+/// transient regimes on distinct network families.
+pub const DEFAULT_SCENARIOS: &[&str] = &["paper-grid", "arterial-rush-hour", "ring-pulse"];
+
+/// Seed-sweep configuration.
+pub struct EquivalenceOptions {
+    /// Demand seeds per scenario (the spec's own seed is replaced by
+    /// `base_seed + i` for `i` in `0..seeds`).
+    pub seeds: u64,
+    /// First seed of the sweep.
+    pub base_seed: u64,
+    /// Horizon cap in ticks (`None` runs each builtin's full horizon).
+    pub horizon_cap: Option<u64>,
+    /// Scenario names (built-ins) to sweep.
+    pub scenarios: Vec<String>,
+}
+
+impl Default for EquivalenceOptions {
+    fn default() -> Self {
+        EquivalenceOptions {
+            seeds: 16,
+            base_seed: 1000,
+            horizon_cap: None,
+            scenarios: DEFAULT_SCENARIOS.iter().map(|s| s.to_string()).collect(),
+        }
+    }
+}
+
+/// Acceptance thresholds for one metric family.
+#[derive(Clone, Copy)]
+pub struct EquivalenceTolerances {
+    /// Max relative gap of per-seed means, `|mean_b - mean_e| / mean_e`.
+    pub mean_gap: f64,
+    /// Max two-sample KS distance between the per-seed distributions.
+    pub ks: f64,
+}
+
+/// The default gates, calibrated against the observed exact/batched gaps
+/// (sub-5% mean gaps across the default sweep) with headroom for seed
+/// noise, and against the KS critical value at n = 16 (α ≈ 0.05 rejects
+/// at D ≈ 0.48 — a genuinely shifted distribution lands well above).
+///
+/// Root-level `tests/equivalence.rs` asserts the default sweep passes
+/// these numbers.
+pub const DEFAULT_TOLERANCES: EquivalenceTolerances = EquivalenceTolerances {
+    mean_gap: 0.10,
+    ks: 0.5,
+};
+
+/// Per-seed samples of one metric under both fidelities.
+pub struct MetricSamples {
+    /// Metric name (`mean-waiting` / `throughput` / `mean-queue`).
+    pub name: &'static str,
+    /// One sample per seed, exact fidelity.
+    pub exact: Vec<f64>,
+    /// One sample per seed, batched fidelity (same seed order).
+    pub batched: Vec<f64>,
+}
+
+fn mean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        return 0.0;
+    }
+    xs.iter().sum::<f64>() / xs.len() as f64
+}
+
+impl MetricSamples {
+    /// Relative gap of the per-seed means (relative to the exact mean;
+    /// absolute gap if the exact mean is ~0, so an all-zero metric can
+    /// never divide by zero).
+    pub fn rel_mean_gap(&self) -> f64 {
+        let e = mean(&self.exact);
+        let b = mean(&self.batched);
+        let denom = e.abs().max(1e-9);
+        if denom <= 1e-9 {
+            (b - e).abs()
+        } else {
+            (b - e).abs() / denom
+        }
+    }
+
+    /// Two-sample Kolmogorov–Smirnov distance: the sup-norm gap between
+    /// the empirical CDFs of the two seed distributions.
+    pub fn ks_distance(&self) -> f64 {
+        let mut a = self.exact.clone();
+        let mut b = self.batched.clone();
+        if a.is_empty() || b.is_empty() {
+            return 0.0;
+        }
+        a.sort_by(f64::total_cmp);
+        b.sort_by(f64::total_cmp);
+        let (mut i, mut j, mut d) = (0usize, 0usize, 0.0f64);
+        while i < a.len() && j < b.len() {
+            // Process one distinct value of the pooled sample: advance
+            // both CDFs past every tie at once, so equal samples
+            // contribute zero gap.
+            let x = if a[i] <= b[j] { a[i] } else { b[j] };
+            while i < a.len() && a[i] <= x {
+                i += 1;
+            }
+            while j < b.len() && b[j] <= x {
+                j += 1;
+            }
+            let gap = (i as f64 / a.len() as f64 - j as f64 / b.len() as f64).abs();
+            d = d.max(gap);
+        }
+        d
+    }
+
+    /// Checks this metric against `tol`.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message naming the metric and the violated gate.
+    pub fn check(&self, tol: EquivalenceTolerances) -> Result<(), String> {
+        let gap = self.rel_mean_gap();
+        if gap > tol.mean_gap {
+            return Err(format!(
+                "{}: relative mean gap {gap:.4} exceeds {:.4} (exact mean {:.4}, batched mean {:.4})",
+                self.name,
+                tol.mean_gap,
+                mean(&self.exact),
+                mean(&self.batched),
+            ));
+        }
+        let ks = self.ks_distance();
+        if ks > tol.ks {
+            return Err(format!(
+                "{}: KS distance {ks:.4} exceeds {:.4}",
+                self.name, tol.ks
+            ));
+        }
+        Ok(())
+    }
+}
+
+/// One scenario's sweep: the three metric sample sets.
+pub struct ScenarioEquivalence {
+    /// Built-in scenario name.
+    pub scenario: String,
+    /// Per-metric samples (mean-waiting, throughput, mean-queue).
+    pub metrics: Vec<MetricSamples>,
+}
+
+impl ScenarioEquivalence {
+    /// Checks every metric against `tol`.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message naming the scenario, metric, and gate.
+    pub fn check(&self, tol: EquivalenceTolerances) -> Result<(), String> {
+        for m in &self.metrics {
+            m.check(tol)
+                .map_err(|e| format!("{}: {e}", self.scenario))?;
+        }
+        Ok(())
+    }
+}
+
+/// The full harness result.
+pub struct EquivalenceReport {
+    /// One entry per swept scenario.
+    pub scenarios: Vec<ScenarioEquivalence>,
+    /// Seeds per scenario.
+    pub seeds: u64,
+    /// Whether the queueing-backend bit-invariance held.
+    pub queueing_invariant: bool,
+}
+
+impl EquivalenceReport {
+    /// Checks every scenario and the queueing invariance against `tol`.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first violated gate.
+    pub fn check(&self, tol: EquivalenceTolerances) -> Result<(), String> {
+        if !self.queueing_invariant {
+            return Err(
+                "queueing backend is not fidelity-invariant (it must ignore the flag)".to_string(),
+            );
+        }
+        for s in &self.scenarios {
+            s.check(tol)?;
+        }
+        Ok(())
+    }
+
+    /// Renders the sweep as a fixed-width table (the CI artifact).
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "Statistical equivalence: exact vs batched fidelity ({} seeds/scenario)\n",
+            self.seeds
+        ));
+        out.push_str(&format!(
+            "{:<22} {:<14} {:>12} {:>12} {:>10} {:>8}\n",
+            "scenario", "metric", "exact mean", "batch mean", "rel gap", "KS"
+        ));
+        for s in &self.scenarios {
+            for m in &s.metrics {
+                out.push_str(&format!(
+                    "{:<22} {:<14} {:>12.4} {:>12.4} {:>10.4} {:>8.4}\n",
+                    s.scenario,
+                    m.name,
+                    mean(&m.exact),
+                    mean(&m.batched),
+                    m.rel_mean_gap(),
+                    m.ks_distance(),
+                ));
+            }
+        }
+        out.push_str(&format!(
+            "queueing backend fidelity-invariant: {}\n",
+            if self.queueing_invariant { "yes" } else { "NO" }
+        ));
+        out
+    }
+}
+
+fn util_factory(_: usize) -> Box<dyn SignalController> {
+    Box::new(UtilBp::paper())
+}
+
+/// One microscopic run: returns (mean waiting, completed, mean per-road
+/// occupancy time-averaged over the run).
+fn run_once(mut spec: ScenarioSpec, fidelity: Fidelity) -> Result<(f64, f64, f64), String> {
+    spec.fidelity = fidelity;
+    let num_roads = spec.build_network().topology().num_roads();
+    let mut engine = ScenarioEngine::new(spec, EngineConfig::new(Backend::Microscopic), &|i| {
+        util_factory(i)
+    })?;
+    let mut occupancy_sum = 0.0f64;
+    let mut samples = 0u64;
+    let horizon = engine.spec().horizon.count();
+    for k in 0..horizon {
+        engine.step();
+        if k % QUEUE_SAMPLE_EVERY == 0 {
+            let total: u64 = (0..num_roads)
+                .map(|r| u64::from(engine.road_occupancy(utilbp_netgen::RoadId::new(r as u32))))
+                .sum();
+            occupancy_sum += total as f64 / num_roads as f64;
+            samples += 1;
+        }
+    }
+    let outcome = engine.outcome();
+    Ok((
+        outcome.avg_queuing_time_s,
+        outcome.completed as f64,
+        occupancy_sum / samples.max(1) as f64,
+    ))
+}
+
+/// Runs the sweep: both fidelities × every seed × every scenario on the
+/// microscopic substrate, plus the queueing bit-invariance check.
+///
+/// # Errors
+///
+/// Returns a message if a scenario name is unknown or an engine fails to
+/// build (gate *checking* is separate — see [`EquivalenceReport::check`]).
+pub fn equivalence(opts: &EquivalenceOptions) -> Result<EquivalenceReport, String> {
+    let mut scenarios = Vec::new();
+    for name in &opts.scenarios {
+        let base = builtin(name).ok_or_else(|| format!("no built-in scenario `{name}`"))?;
+        let mut waiting = MetricSamples {
+            name: "mean-waiting",
+            exact: Vec::new(),
+            batched: Vec::new(),
+        };
+        let mut throughput = MetricSamples {
+            name: "throughput",
+            exact: Vec::new(),
+            batched: Vec::new(),
+        };
+        let mut queue = MetricSamples {
+            name: "mean-queue",
+            exact: Vec::new(),
+            batched: Vec::new(),
+        };
+        for i in 0..opts.seeds {
+            let mut spec = base.clone();
+            spec.seed = opts.base_seed + i;
+            if let Some(cap) = opts.horizon_cap {
+                spec.set_horizon(Ticks::new(spec.horizon.count().min(cap)));
+            }
+            let (w_e, t_e, q_e) = run_once(spec.clone(), Fidelity::Exact)?;
+            let (w_b, t_b, q_b) = run_once(spec, Fidelity::Batched)?;
+            waiting.exact.push(w_e);
+            waiting.batched.push(w_b);
+            throughput.exact.push(t_e);
+            throughput.batched.push(t_b);
+            queue.exact.push(q_e);
+            queue.batched.push(q_b);
+        }
+        scenarios.push(ScenarioEquivalence {
+            scenario: name.clone(),
+            metrics: vec![waiting, throughput, queue],
+        });
+    }
+
+    // The queueing substrate has no car-following phase: flipping the
+    // fidelity flag must be a bit-level no-op there.
+    let queueing_invariant = {
+        let mut spec = builtin(opts.scenarios.first().map_or("paper-grid", |s| s.as_str()))
+            .ok_or("no built-in scenario for the queueing invariance check")?;
+        if let Some(cap) = opts.horizon_cap {
+            spec.set_horizon(Ticks::new(spec.horizon.count().min(cap)));
+        }
+        let run = |fidelity: Fidelity| -> Result<_, String> {
+            let mut s = spec.clone();
+            s.fidelity = fidelity;
+            let mut engine = ScenarioEngine::new(s, EngineConfig::new(Backend::Queueing), &|i| {
+                util_factory(i)
+            })?;
+            engine.run_to_end();
+            Ok(engine.outcome())
+        };
+        run(Fidelity::Exact)? == run(Fidelity::Batched)?
+    };
+
+    Ok(EquivalenceReport {
+        scenarios,
+        seeds: opts.seeds,
+        queueing_invariant,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ks_distance_is_zero_on_identical_and_one_on_disjoint_samples() {
+        let same = MetricSamples {
+            name: "m",
+            exact: vec![1.0, 2.0, 3.0],
+            batched: vec![1.0, 2.0, 3.0],
+        };
+        assert_eq!(same.ks_distance(), 0.0);
+        assert_eq!(same.rel_mean_gap(), 0.0);
+        let disjoint = MetricSamples {
+            name: "m",
+            exact: vec![1.0, 2.0, 3.0],
+            batched: vec![10.0, 20.0, 30.0],
+        };
+        assert!((disjoint.ks_distance() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ks_distance_sees_a_half_shifted_sample() {
+        // Half of b sits below all of a, the rest interleaves: D = 1/2.
+        let m = MetricSamples {
+            name: "m",
+            exact: vec![10.0, 20.0, 30.0, 40.0],
+            batched: vec![1.0, 2.0, 15.0, 25.0],
+        };
+        let d = m.ks_distance();
+        assert!(d >= 0.5, "{d}");
+    }
+
+    #[test]
+    fn check_names_the_violated_gate() {
+        let m = MetricSamples {
+            name: "mean-waiting",
+            exact: vec![10.0, 10.0],
+            batched: vec![20.0, 20.0],
+        };
+        let err = m
+            .check(EquivalenceTolerances {
+                mean_gap: 0.1,
+                ks: 1.0,
+            })
+            .unwrap_err();
+        assert!(
+            err.contains("mean-waiting") && err.contains("mean gap"),
+            "{err}"
+        );
+        let err = m
+            .check(EquivalenceTolerances {
+                mean_gap: 10.0,
+                ks: 0.5,
+            })
+            .unwrap_err();
+        assert!(err.contains("KS"), "{err}");
+    }
+}

@@ -37,6 +37,35 @@ pub enum OutgoingSensor {
     Occupancy,
 }
 
+/// The numerical contract the car-following phase runs under.
+///
+/// `Exact` is the default and the mode every golden, checkpoint, and
+/// cross-backend comparison in the workspace was recorded in. `Batched`
+/// trades bit-compatibility *with exact mode* for throughput: dawdling
+/// noise comes from a counter-based per-vehicle stream keyed on
+/// `(seed, vehicle_id, tick)` instead of the sequential per-road stream,
+/// and the Krauss update runs as a road-granular batch kernel over the
+/// contiguous lane segments — one dispatch per road, loop-invariant
+/// coefficients hoisted once, and (because the counter stream consumes
+/// no generator state) an exact short-circuit for parked queues, whose
+/// update is the identity for every possible draw. Batched mode is
+/// still fully deterministic — bit-identical across
+/// `Serial`/`Rayon`/repeats *with itself* and checkpoint-safe — but its
+/// trajectories differ from exact mode's and are validated
+/// distributionally (the `equivalence` harness), not per-bit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize, Default)]
+pub enum Fidelity {
+    /// Reference semantics: sequential per-road dawdle stream,
+    /// leader-updated-first (Gauss–Seidel) gap reads, the mode all
+    /// fixed-seed goldens pin.
+    #[default]
+    Exact,
+    /// The batched car-following kernel: counter-based per-vehicle RNG,
+    /// road-granular dispatch, queue-quiescence short-circuit. Opt-in;
+    /// statistically equivalent to `Exact`, not bit-equal to it.
+    Batched,
+}
+
 /// Parameters of the microscopic simulator. Defaults follow SUMO's default
 /// Krauss passenger-car model and the paper's Section V setup.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -97,6 +126,9 @@ pub struct MicroSimConfig {
     /// Serial by default; [`Parallelism::Rayon`] shards both phases
     /// across threads, step-for-step identical to serial.
     pub parallelism: Parallelism,
+    /// Numerical contract of the car-following phase (see [`Fidelity`]).
+    /// `Exact` by default; `Batched` is strictly opt-in.
+    pub fidelity: Fidelity,
 }
 
 impl Default for MicroSimConfig {
@@ -119,6 +151,7 @@ impl Default for MicroSimConfig {
             insertion_speed_mps: 8.0,
             seed: 0,
             parallelism: Parallelism::Serial,
+            fidelity: Fidelity::default(),
         }
     }
 }
@@ -201,6 +234,7 @@ mod tests {
     fn defaults_are_valid_and_sumo_like() {
         let c = MicroSimConfig::default();
         c.validate().expect("defaults must validate");
+        assert_eq!(c.fidelity, Fidelity::Exact, "batched is strictly opt-in");
         assert_eq!(c.dt_seconds, 1.0);
         assert_eq!(c.jam_spacing_m(), 7.5);
         // 300 m lane → 40 vehicles → 3 lanes match W = 120.

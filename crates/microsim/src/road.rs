@@ -1,5 +1,5 @@
-//! The data-oriented vehicle arena, SoA lanes, and the per-lane
-//! car-following update.
+//! The data-oriented vehicle arena, segmented per-road SoA lane storage,
+//! and the per-lane car-following update.
 //!
 //! ## Layout
 //!
@@ -7,9 +7,12 @@
 //! array of `Vehicle` structs:
 //!
 //! - **Hot, per-tick state** — position, speed, and the waiting-tick
-//!   accumulator — lives in parallel arrays *inside each [`Lane`]*
-//!   (struct-of-arrays). The Krauss car-following phase streams over
-//!   contiguous `f64` slices per lane, touching nothing else.
+//!   accumulator — lives in parallel arrays owned by *the road*
+//!   ([`RoadLanes`]): one contiguous allocation per array, segmented into
+//!   one fixed-stride span per lane. The Krauss car-following phase
+//!   therefore streams a road's entire fleet through cache-linear
+//!   storage, lane after lane, with no pointer hops between per-lane
+//!   buffers.
 //! - **Cold, per-journey state** — the external [`VehicleId`], the
 //!   `Arc<Route>`, and the route cursor (`hop`) — lives in the
 //!   [`VehicleArena`], a slab keyed by a compact `u32` slot carried in the
@@ -18,23 +21,28 @@
 //! - The movement link a vehicle queues for is fixed while it is on a
 //!   road, so each lane also caches it as a `u16` per vehicle — the
 //!   `SharedMixed` movement counters never chase the `Arc<Route>` in the
-//!   hot loop.
+//!   hot loop. The external id is cached alongside (a `u64` per vehicle)
+//!   for the batched fidelity's counter-based dawdle streams, which key
+//!   on `(seed, vehicle_id, tick)`.
 //!
 //! Lanes are FIFO (single file, no overtaking): index order *is* position
-//! order, head first. Dequeuing a crossed head advances a `head` offset
-//! instead of shifting the arrays; storage is compacted amortizedly.
+//! order, head first. Dequeuing a crossed head advances a per-lane `head`
+//! offset instead of shifting the arrays; segments are compacted
+//! amortizedly (and the whole storage re-segmented in the cold case of a
+//! lane outgrowing its span, which steady-state traffic never triggers —
+//! spans are sized at the offset-dequeue plateau).
 //!
 //! ## Incremental sensing
 //!
 //! Sensor counters (vehicles inside the detection window, halted
 //! vehicles) live as dense per-lane arrays on the *road* (see
-//! `RoadSim` in the simulator), not on the lanes: the sense phase then
-//! reads short contiguous arrays instead of walking lane storage. The
-//! advance functions here return per-step counter deltas — computed at
-//! the *only* points where a vehicle's position or speed can change —
+//! `RoadSim` in the simulator), not in the lane storage: the sense phase
+//! then reads short contiguous arrays instead of walking lane storage.
+//! The advance functions here return per-step counter deltas — computed
+//! at the *only* points where a vehicle's position or speed can change —
 //! which the road folds into its arrays and sums; crossings, landings,
 //! and insertions adjust them directly. The invariant (counter ≡ rescan
-//! under the same [`SensorSpec`], via [`Lane::rescan_sensors`]) is
+//! under the same [`SensorSpec`], via [`RoadLanes::rescan_sensors`]) is
 //! enforced by `MicroSim::verify_sensors` and a dedicated regression
 //! test.
 //!
@@ -56,6 +64,7 @@ use utilbp_metrics::VehicleId;
 use utilbp_netgen::{IntersectionId, RoadId, Route};
 
 use crate::config::MicroSimConfig;
+use crate::counter_rng;
 use crate::krauss::{next_speed, LeaderInfo};
 
 /// Lane-cached movement link of vehicles on boundary exit roads (no
@@ -241,187 +250,269 @@ impl SensorSpec {
     }
 }
 
-/// A single-file lane in struct-of-arrays layout. Index `head` is the
-/// vehicle closest to the stop line; positions are strictly decreasing
-/// from there.
-#[derive(Debug, Clone, Default)]
-pub(crate) struct Lane {
-    /// `[position, speed]` per vehicle, interleaved: the car-following
-    /// update always reads and writes both, so pairing them halves the
-    /// cache lines a short lane touches. Positions are meters from the
-    /// lane start (the stop line is at the lane length); valid range
-    /// `head..`.
-    pv: Vec<[f64; 2]>,
-    /// Accumulated waiting ticks (flushed to the ledger at completion).
-    /// `u32` on purpose: 2³² waiting ticks is 136 simulated years, and
-    /// the narrower accumulator keeps the array out of the hot loop's
-    /// cache budget except when a vehicle is actually waiting.
-    wait: Vec<u32>,
-    /// [`VehicleArena`] slot per vehicle.
-    slot: Vec<u32>,
-    /// Cached movement link index at the road's destination intersection
-    /// ([`LINK_NONE`] on exit-road lanes). Never changes on-road.
-    link: Vec<u16>,
-    /// Index of the current head vehicle (offset dequeue — popping the
-    /// head does not shift the arrays).
+/// Bookkeeping of one lane's span inside [`RoadLanes`]: a half-open
+/// window `head..fill` of its fixed-stride segment holds the live
+/// vehicles, head (closest to the stop line) first.
+#[derive(Debug, Clone, Copy, Default)]
+struct LaneMeta {
+    /// Index of the current head vehicle within the segment (offset
+    /// dequeue — popping the head does not shift the arrays).
     head: usize,
+    /// One past the last occupied index within the segment.
+    fill: usize,
     /// Whether this lane's head crossed the stop line in the current
     /// step's head phase — consumed by [`advance_followers`].
     head_crossed: bool,
 }
 
-impl Lane {
-    /// A lane with storage for `capacity` resident vehicles, pre-reserved
-    /// at the offset-dequeue plateau so pushes never reallocate: the
-    /// arrays are compacted before `head` exceeds `max(32, len - head)`,
-    /// bounding the storage at twice that (plus the entry in flight).
-    pub fn with_capacity(capacity: usize) -> Self {
-        let reserve = 2 * capacity.max(32) + 2;
-        Lane {
-            pv: Vec::with_capacity(reserve),
-            wait: Vec::with_capacity(reserve),
-            slot: Vec::with_capacity(reserve),
-            link: Vec::with_capacity(reserve),
-            ..Lane::default()
+/// All lanes of one road in a single segmented struct-of-arrays arena.
+///
+/// Each parallel array is one contiguous allocation for the whole road;
+/// lane `l` owns the fixed-stride span `l·seg .. (l+1)·seg` of every
+/// array. Within its span a lane is single file (no overtaking): index
+/// order *is* position order, positions strictly decreasing from the
+/// head. The arrays, split by access pattern:
+///
+/// - `pv` — `[position, speed]` per vehicle, interleaved: the
+///   car-following update always reads and writes both, so pairing them
+///   halves the cache lines a short lane touches.
+/// - `wait` — accumulated waiting ticks (flushed to the ledger at
+///   completion). `u32` on purpose: 2³² waiting ticks is 136 simulated
+///   years, and the narrower accumulator keeps the array out of the hot
+///   loop's cache budget except when a vehicle is actually waiting.
+/// - `slot` — [`VehicleArena`] slot per vehicle.
+/// - `link` — cached movement link index at the road's destination
+///   intersection ([`LINK_NONE`] on exit-road lanes). Never changes
+///   on-road.
+/// - `id` — cached external [`VehicleId`] per vehicle, the batched
+///   fidelity's dawdle-stream key. Maintained in exact mode too (one
+///   store per admission) so switching fidelity never re-shapes storage.
+///
+/// Segments are sized at the offset-dequeue plateau (compaction keeps
+/// `head` below `max(32, live)`, bounding occupancy at twice the
+/// resident capacity), so pushes never allocate in steady state; a lane
+/// outgrowing its span first compacts and, failing that, the storage
+/// re-segments at double the stride — a cold path that changes only the
+/// representation, never the logical content.
+#[derive(Debug, Clone, Default)]
+pub(crate) struct RoadLanes {
+    pv: Vec<[f64; 2]>,
+    wait: Vec<u32>,
+    slot: Vec<u32>,
+    link: Vec<u16>,
+    id: Vec<u64>,
+    /// Fixed per-lane stride of every array.
+    seg: usize,
+    lanes: Vec<LaneMeta>,
+}
+
+impl RoadLanes {
+    /// Storage for `num_lanes` lanes of `capacity` resident vehicles
+    /// each, pre-sized at the offset-dequeue plateau so pushes never
+    /// reallocate: a segment is compacted before `head` exceeds
+    /// `max(32, fill - head)`, bounding occupancy at twice that (plus
+    /// the entry in flight).
+    pub fn new(num_lanes: usize, capacity: usize) -> Self {
+        let seg = 2 * capacity.max(32) + 2;
+        RoadLanes {
+            pv: vec![[0.0; 2]; num_lanes * seg],
+            wait: vec![0; num_lanes * seg],
+            slot: vec![0; num_lanes * seg],
+            link: vec![0; num_lanes * seg],
+            id: vec![0; num_lanes * seg],
+            seg,
+            lanes: vec![LaneMeta::default(); num_lanes],
         }
     }
 
-    /// Number of vehicles on the lane.
-    pub fn len(&self) -> usize {
-        self.pv.len() - self.head
+    /// Number of lanes.
+    pub fn num_lanes(&self) -> usize {
+        self.lanes.len()
     }
 
-    /// Whether the lane is empty.
-    pub fn is_empty(&self) -> bool {
-        self.head == self.pv.len()
+    /// Number of vehicles on lane `l`.
+    pub fn len(&self, l: usize) -> usize {
+        let m = self.lanes[l];
+        m.fill - m.head
     }
 
-    /// Position of the `i`-th vehicle from the head.
-    pub fn pos_at(&self, i: usize) -> f64 {
-        self.pv[self.head + i][0]
+    /// Whether lane `l` is empty.
+    pub fn is_empty(&self, l: usize) -> bool {
+        let m = self.lanes[l];
+        m.head == m.fill
     }
 
-    /// Speed of the `i`-th vehicle from the head.
-    pub fn speed_at(&self, i: usize) -> f64 {
-        self.pv[self.head + i][1]
+    /// Total vehicles across all lanes.
+    pub fn total_len(&self) -> usize {
+        self.lanes.iter().map(|m| m.fill - m.head).sum()
     }
 
-    /// Arena slot of the `i`-th vehicle from the head.
-    pub fn slot_at(&self, i: usize) -> u32 {
-        self.slot[self.head + i]
+    /// Position of the `i`-th vehicle from the head of lane `l`.
+    pub fn pos_at(&self, l: usize, i: usize) -> f64 {
+        self.pv[l * self.seg + self.lanes[l].head + i][0]
     }
 
-    /// Cached movement link index of the `i`-th vehicle from the head.
-    pub fn link_at(&self, i: usize) -> u16 {
-        self.link[self.head + i]
+    /// Speed of the `i`-th vehicle from the head of lane `l`.
+    pub fn speed_at(&self, l: usize, i: usize) -> f64 {
+        self.pv[l * self.seg + self.lanes[l].head + i][1]
     }
 
-    /// The active waiting accumulators, head first.
-    pub fn waits(&self) -> impl Iterator<Item = u64> + '_ {
-        self.wait[self.head..].iter().map(|&w| w as u64)
+    /// Arena slot of the `i`-th vehicle from the head of lane `l`.
+    pub fn slot_at(&self, l: usize, i: usize) -> u32 {
+        self.slot[l * self.seg + self.lanes[l].head + i]
     }
 
-    /// Appends a vehicle at the lane entry (landing or insertion). The
-    /// caller must have updated the sensors via
-    /// [`sensor_add`](Self::sensor_add).
-    pub fn push(&mut self, pos: f64, speed: f64, wait: u64, slot: u32, link: u16) {
-        self.pv.push([pos, speed]);
-        self.wait.push(wait as u32);
-        self.slot.push(slot);
-        self.link.push(link);
+    /// Cached movement link index of the `i`-th vehicle from the head of
+    /// lane `l`.
+    pub fn link_at(&self, l: usize, i: usize) -> u16 {
+        self.link[l * self.seg + self.lanes[l].head + i]
     }
 
-    /// Removes the head vehicle (stop-line crossing); returns its arena
-    /// slot and accumulated waiting. Storage is compacted amortizedly, so
-    /// popping is O(1) and allocation-free.
-    pub fn pop_head(&mut self) -> (u32, u64) {
-        let h = self.head;
-        let (slot, wait) = (self.slot[h], self.wait[h]);
-        self.head += 1;
-        if self.head == self.pv.len() {
-            self.pv.clear();
-            self.wait.clear();
-            self.slot.clear();
-            self.link.clear();
-            self.head = 0;
-        } else if self.head >= 32 && self.head * 2 >= self.pv.len() {
-            self.pv.drain(..self.head);
-            self.wait.drain(..self.head);
-            self.slot.drain(..self.head);
-            self.link.drain(..self.head);
-            self.head = 0;
+    /// The active waiting accumulators of every lane, lane by lane, head
+    /// first.
+    pub fn all_waits(&self) -> impl Iterator<Item = u64> + '_ {
+        self.lanes.iter().enumerate().flat_map(move |(l, m)| {
+            let base = l * self.seg;
+            self.wait[base + m.head..base + m.fill]
+                .iter()
+                .map(|&w| w as u64)
+        })
+    }
+
+    /// Appends a vehicle at the entry of lane `l` (landing or
+    /// insertion). The caller must have updated the sensors via the
+    /// road's `sensor_add`.
+    #[allow(clippy::too_many_arguments)]
+    pub fn push(
+        &mut self,
+        l: usize,
+        pos: f64,
+        speed: f64,
+        wait: u64,
+        slot: u32,
+        link: u16,
+        id: u64,
+    ) {
+        if self.lanes[l].fill == self.seg {
+            self.make_room(l);
+        }
+        let m = &mut self.lanes[l];
+        let j = l * self.seg + m.fill;
+        m.fill += 1;
+        self.pv[j] = [pos, speed];
+        self.wait[j] = wait as u32;
+        self.slot[j] = slot;
+        self.link[j] = link;
+        self.id[j] = id;
+    }
+
+    /// Removes the head vehicle of lane `l` (stop-line crossing);
+    /// returns its arena slot and accumulated waiting. Segments are
+    /// compacted amortizedly, so popping is O(1) and allocation-free.
+    pub fn pop_head(&mut self, l: usize) -> (u32, u64) {
+        let base = l * self.seg;
+        let m = &mut self.lanes[l];
+        let j = base + m.head;
+        let (slot, wait) = (self.slot[j], self.wait[j]);
+        m.head += 1;
+        if m.head == m.fill {
+            m.head = 0;
+            m.fill = 0;
+        } else if m.head >= 32 && m.head * 2 >= m.fill {
+            self.compact(l);
         }
         (slot, wait as u64)
     }
 
-    /// Position of the last vehicle (smallest `pos`), or `length` if empty
-    /// — the space available at the lane entry.
-    pub fn tail_position(&self, length: f64) -> f64 {
-        self.pv.last().map_or(length, |pv| pv[0])
+    /// Position of the last vehicle of lane `l` (smallest `pos`), or
+    /// `length` if empty — the space available at the lane entry.
+    pub fn tail_position(&self, l: usize, length: f64) -> f64 {
+        let m = self.lanes[l];
+        if m.head == m.fill {
+            length
+        } else {
+            self.pv[l * self.seg + m.fill - 1][0]
+        }
     }
 
-    /// Whether a new vehicle can be placed at `pos = 0` while keeping jam
-    /// spacing to the current tail.
-    pub fn entry_clear(&self, length: f64, cfg: &MicroSimConfig) -> bool {
-        self.tail_position(length) >= cfg.jam_spacing_m()
+    /// Whether a new vehicle can be placed at `pos = 0` on lane `l`
+    /// while keeping jam spacing to the current tail.
+    pub fn entry_clear(&self, l: usize, length: f64, cfg: &MicroSimConfig) -> bool {
+        self.tail_position(l, length) >= cfg.jam_spacing_m()
     }
 
-    /// Number of vehicles within `range` meters of the stop line — what a
-    /// presence detector reports. O(n) rescan for arbitrary ranges; the
-    /// road's dense counters answer the configured detector in O(1).
-    pub fn detected(&self, length: f64, range: f64) -> u32 {
-        self.pv[self.head..]
+    /// Number of vehicles on lane `l` within `range` meters of the stop
+    /// line — what a presence detector reports. O(n) rescan for
+    /// arbitrary ranges; the road's dense counters answer the configured
+    /// detector in O(1).
+    pub fn detected(&self, l: usize, length: f64, range: f64) -> u32 {
+        self.live(l)
             .iter()
             .filter(|pv| pv[0] >= length - range)
             .count() as u32
     }
 
-    /// Number of *halted* vehicles (speed below `halt_speed`) within
-    /// `range` meters of the stop line — what a SUMO-style jam detector
-    /// reports. O(n) rescan; the road's dense counters answer whole-lane
-    /// reads under the configured halt speed in O(1).
+    /// Number of *halted* vehicles (speed below `halt_speed`) on lane
+    /// `l` within `range` meters of the stop line — what a SUMO-style
+    /// jam detector reports. O(n) rescan; the road's dense counters
+    /// answer whole-lane reads under the configured halt speed in O(1).
     #[allow(dead_code)] // kept for ad-hoc detector queries and tests
-    pub fn halted(&self, length: f64, range: f64, halt_speed: f64) -> u32 {
-        self.pv[self.head..]
+    pub fn halted(&self, l: usize, length: f64, range: f64, halt_speed: f64) -> u32 {
+        self.live(l)
             .iter()
             .filter(|pv| pv[0] >= length - range && pv[1] < halt_speed)
             .count() as u32
     }
 
-    /// Serializes the lane's logical content (head first). The `head`
-    /// offset and the already-dequeued storage prefix are amortization
-    /// artifacts, not state: restoring at `head = 0` yields identical
-    /// physics, and canonicalizing makes save → load → save a fixed
-    /// point.
-    pub fn save_state(&self, writer: &mut StateWriter) {
-        writer.push_usize(self.len());
-        for i in self.head..self.pv.len() {
-            writer.push_f64(self.pv[i][0]);
-            writer.push_f64(self.pv[i][1]);
-            writer.push_u32(self.wait[i]);
-            writer.push_u32(self.slot[i]);
-            writer.push(u64::from(self.link[i]));
+    /// Recomputes lane `l`'s sensor counters by rescanning (used when
+    /// validating the incremental-sensing invariant kept in the road's
+    /// dense counter arrays).
+    pub fn rescan_sensors(&self, l: usize, spec: SensorSpec) -> (u32, u32) {
+        let live = self.live(l);
+        let detected = live.iter().filter(|pv| pv[0] >= spec.detect_from).count() as u32;
+        let halted = live.iter().filter(|pv| pv[1] < spec.halt_speed).count() as u32;
+        (detected, halted)
+    }
+
+    /// Serializes lane `l`'s logical content (head first). The `head`
+    /// offset, the dequeued prefix, and the segment geometry are
+    /// amortization artifacts, not state: restoring at `head = 0` yields
+    /// identical physics, and canonicalizing makes save → load → save a
+    /// fixed point. Cached ids are not written — they are derivable from
+    /// the arena (`refresh_ids`), which keeps the wire format identical
+    /// to the pre-segmented layout.
+    pub fn save_state(&self, l: usize, writer: &mut StateWriter) {
+        let base = l * self.seg;
+        let m = self.lanes[l];
+        writer.push_usize(m.fill - m.head);
+        for j in base + m.head..base + m.fill {
+            writer.push_f64(self.pv[j][0]);
+            writer.push_f64(self.pv[j][1]);
+            writer.push_u32(self.wait[j]);
+            writer.push_u32(self.slot[j]);
+            writer.push(u64::from(self.link[j]));
         }
     }
 
-    /// Restores a lane saved by [`save_state`](Self::save_state),
-    /// replacing the current content. `head_crossed` is intra-step
-    /// scratch and resets to `false` (checkpoints are taken at tick
-    /// boundaries).
+    /// Restores lane `l` from a stream saved by
+    /// [`save_state`](Self::save_state), replacing the current content.
+    /// `head_crossed` is intra-step scratch and resets to `false`
+    /// (checkpoints are taken at tick boundaries). Cached ids are left
+    /// stale — the simulator rebuilds them from the restored arena via
+    /// [`refresh_ids`](Self::refresh_ids) once both sides are loaded.
     ///
     /// # Errors
     ///
     /// Returns a [`StateError`] on a truncated stream or a link word out
     /// of `u16` range.
-    pub fn load_state(&mut self, reader: &mut StateReader<'_>) -> Result<(), StateError> {
+    pub fn load_state(&mut self, l: usize, reader: &mut StateReader<'_>) -> Result<(), StateError> {
         let len = reader.take_usize()?;
-        self.pv.clear();
-        self.wait.clear();
-        self.slot.clear();
-        self.link.clear();
-        self.head = 0;
-        self.head_crossed = false;
-        for _ in 0..len {
+        self.lanes[l] = LaneMeta::default();
+        while self.seg < len {
+            self.grow();
+        }
+        let base = l * self.seg;
+        for i in 0..len {
             let pos = reader.take_f64()?;
             let speed = reader.take_f64()?;
             let wait = reader.take_u32()?;
@@ -431,27 +522,95 @@ impl Lane {
                 what: "lane link",
                 word,
             })?;
-            self.pv.push([pos, speed]);
-            self.wait.push(wait);
-            self.slot.push(slot);
-            self.link.push(link);
+            self.pv[base + i] = [pos, speed];
+            self.wait[base + i] = wait;
+            self.slot[base + i] = slot;
+            self.link[base + i] = link;
         }
+        self.lanes[l].fill = len;
         Ok(())
     }
 
-    /// Recomputes both sensor counters by rescanning (used when validating
-    /// the incremental-sensing invariant kept in the road's dense counter
-    /// arrays).
-    pub fn rescan_sensors(&self, spec: SensorSpec) -> (u32, u32) {
-        let detected = self.pv[self.head..]
-            .iter()
-            .filter(|pv| pv[0] >= spec.detect_from)
-            .count() as u32;
-        let halted = self.pv[self.head..]
-            .iter()
-            .filter(|pv| pv[1] < spec.halt_speed)
-            .count() as u32;
-        (detected, halted)
+    /// Rebuilds every cached vehicle id from the arena (slot → external
+    /// id). Called once after a state restore, when both the lanes and
+    /// the arena are loaded.
+    pub fn refresh_ids(&mut self, arena: &VehicleArena) {
+        for (l, m) in self.lanes.iter().enumerate() {
+            let base = l * self.seg;
+            for j in base + m.head..base + m.fill {
+                self.id[j] = arena.id(self.slot[j]).raw();
+            }
+        }
+    }
+
+    /// The live `[position, speed]` span of lane `l`.
+    fn live(&self, l: usize) -> &[[f64; 2]] {
+        let base = l * self.seg;
+        let m = self.lanes[l];
+        &self.pv[base + m.head..base + m.fill]
+    }
+
+    /// Shifts lane `l`'s live window to the start of its segment.
+    fn compact(&mut self, l: usize) {
+        let base = l * self.seg;
+        let m = self.lanes[l];
+        let src = base + m.head..base + m.fill;
+        self.pv.copy_within(src.clone(), base);
+        self.wait.copy_within(src.clone(), base);
+        self.slot.copy_within(src.clone(), base);
+        self.link.copy_within(src.clone(), base);
+        self.id.copy_within(src, base);
+        self.lanes[l].fill = m.fill - m.head;
+        self.lanes[l].head = 0;
+    }
+
+    /// Makes space for one more vehicle on lane `l`: compacts the
+    /// dequeued prefix away if there is one, otherwise re-segments the
+    /// storage at double the stride (cold path — segments are sized so
+    /// steady-state traffic never outgrows them).
+    fn make_room(&mut self, l: usize) {
+        if self.lanes[l].head > 0 {
+            self.compact(l);
+        } else {
+            self.grow();
+        }
+    }
+
+    /// Re-segments every array at double the stride, compacting each
+    /// lane to its new base. Representation-only: the logical content
+    /// (and therefore the physics) is unchanged.
+    fn grow(&mut self) {
+        let new_seg = 2 * self.seg.max(16) + 2;
+        let n = self.lanes.len();
+        let mut pv = vec![[0.0; 2]; n * new_seg];
+        let mut wait = vec![0; n * new_seg];
+        let mut slot = vec![0; n * new_seg];
+        let mut link = vec![0; n * new_seg];
+        let mut id = vec![0; n * new_seg];
+        for (l, m) in self.lanes.iter_mut().enumerate() {
+            let src = l * self.seg + m.head..l * self.seg + m.fill;
+            let dst = l * new_seg;
+            let live = src.len();
+            pv[dst..dst + live].copy_from_slice(&self.pv[src.clone()]);
+            wait[dst..dst + live].copy_from_slice(&self.wait[src.clone()]);
+            slot[dst..dst + live].copy_from_slice(&self.slot[src.clone()]);
+            link[dst..dst + live].copy_from_slice(&self.link[src.clone()]);
+            id[dst..dst + live].copy_from_slice(&self.id[src]);
+            m.head = 0;
+            m.fill = live;
+        }
+        self.pv = pv;
+        self.wait = wait;
+        self.slot = slot;
+        self.link = link;
+        self.id = id;
+        self.seg = new_seg;
+    }
+
+    /// The head offset of lane `l` (storage diagnostics for tests).
+    #[cfg(test)]
+    fn head(&self, l: usize) -> usize {
+        self.lanes[l].head
     }
 }
 
@@ -545,6 +704,42 @@ impl MovementCounters {
     }
 }
 
+/// Where a head vehicle's dawdle sample comes from — the one
+/// fidelity-dependent ingredient of the (serial, cold) head phase, so
+/// the phase itself is shared between modes.
+#[derive(Debug)]
+pub(crate) enum DawdleSource<'a> {
+    /// Exact mode: the road's sequential stream. Draw order is part of
+    /// the bit-level contract.
+    Stream(&'a mut SmallRng),
+    /// Batched mode: stateless counter draws keyed on
+    /// `(seed, vehicle_id, tick)` — see [`crate::counter_rng`].
+    Counter {
+        /// The configured dawdle seed.
+        seed: u64,
+        /// The tick being simulated.
+        tick: u64,
+    },
+}
+
+impl DawdleSource<'_> {
+    /// The dawdle sample for `vehicle_id`, or 0 when dawdling is off.
+    /// In exact mode this consumes one sequential draw (iff `σ > 0`),
+    /// exactly like the pre-fidelity code path; `vehicle_id` is ignored.
+    #[inline]
+    fn draw(&mut self, cfg: &MicroSimConfig, vehicle_id: u64) -> f64 {
+        if cfg.sigma <= 0.0 {
+            return 0.0;
+        }
+        match self {
+            DawdleSource::Stream(rng) => rng.gen::<f64>(),
+            DawdleSource::Counter { seed, tick } => {
+                counter_rng::dawdle_xi(*seed, vehicle_id, *tick)
+            }
+        }
+    }
+}
+
 /// What the head vehicle of a lane faces this step.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub(crate) enum HeadMode {
@@ -567,8 +762,8 @@ pub(crate) struct HeadOutcome {
     pub halted_delta: i32,
 }
 
-/// Advances only the head vehicle by one step, popping it and returning
-/// it in the outcome if it crossed the stop line under
+/// Advances only the head vehicle of lane `l` by one step, popping it
+/// and returning it in the outcome if it crossed the stop line under
 /// [`HeadMode::Release`]. Records the crossing on the lane so the
 /// follower phase ([`advance_followers`]) can run later — possibly on
 /// another thread — without re-deriving it.
@@ -576,17 +771,19 @@ pub(crate) struct HeadOutcome {
 /// If the head stays on the lane at waiting speed, its wait accumulator
 /// is incremented in place (a crossed head is in the junction box, not
 /// waiting).
+#[allow(clippy::too_many_arguments)]
 pub(crate) fn advance_head(
-    lane: &mut Lane,
+    lanes: &mut RoadLanes,
+    l: usize,
     length: f64,
     head_mode: HeadMode,
     cfg: &MicroSimConfig,
     spec: SensorSpec,
-    rng: &mut SmallRng,
+    noise: &mut DawdleSource<'_>,
     mut movements: Option<&mut MovementCounters>,
 ) -> HeadOutcome {
-    lane.head_crossed = false;
-    if lane.is_empty() {
+    lanes.lanes[l].head_crossed = false;
+    if lanes.is_empty(l) {
         return HeadOutcome {
             crossed: None,
             detected_delta: 0,
@@ -594,19 +791,19 @@ pub(crate) fn advance_head(
         };
     }
 
-    let h = lane.head;
-    let [old_pos, old_speed] = lane.pv[h];
+    let j = l * lanes.seg + lanes.lanes[l].head;
+    let [old_pos, old_speed] = lanes.pv[j];
     let leader = match head_mode {
         HeadMode::Release => LeaderInfo::Free,
         HeadMode::Blocked => LeaderInfo::Wall {
             distance_m: length - old_pos,
         },
     };
-    let xi = dawdle(cfg, rng);
+    let xi = noise.draw(cfg, lanes.id[j]);
     let new_speed = next_speed(old_speed, leader, xi, cfg);
     let new_pos = old_pos + new_speed * cfg.dt_seconds;
-    lane.pv[h] = [new_pos, new_speed];
-    let link = lane.link[h];
+    lanes.pv[j] = [new_pos, new_speed];
+    let link = lanes.link[j];
     if let Some(mv) = movements.as_deref_mut() {
         mv.moved(link as usize, old_pos, new_pos, spec);
     }
@@ -614,19 +811,19 @@ pub(crate) fn advance_head(
     let was_detected = (old_pos >= spec.detect_from) as i32;
     let was_halted = (old_speed < spec.halt_speed) as i32;
     if head_mode == HeadMode::Release && new_pos >= length {
-        lane.head_crossed = true;
+        lanes.lanes[l].head_crossed = true;
         if let Some(mv) = movements {
             mv.remove(link as usize, new_pos, spec);
         }
         // Moved then left: the net effect is removing the old state.
         return HeadOutcome {
-            crossed: Some(lane.pop_head()),
+            crossed: Some(lanes.pop_head(l)),
             detected_delta: -was_detected,
             halted_delta: -was_halted,
         };
     }
     if new_speed < cfg.waiting_speed_mps {
-        lane.wait[h] += 1;
+        lanes.wait[j] += 1;
     }
     HeadOutcome {
         crossed: None,
@@ -635,25 +832,27 @@ pub(crate) fn advance_head(
     }
 }
 
-/// Advances every remaining vehicle of the lane (sequential
+/// Advances every remaining vehicle of lane `l` (sequential
 /// front-to-back Krauss update with an anti-overlap clamp), streaming
-/// over the lane's contiguous position/speed/wait arrays. Must be called
+/// over the lane's contiguous position/speed/wait spans. Must be called
 /// exactly once after [`advance_head`] each step; independent across
 /// lanes and roads, which is what the parallel car-following phase
 /// shards. Vehicles ending the step at waiting speed accumulate a
 /// waiting tick in place. Returns `(detected_delta, halted_delta)` for
 /// the caller's dense counter arrays.
 pub(crate) fn advance_followers(
-    lane: &mut Lane,
+    lanes: &mut RoadLanes,
+    l: usize,
     length: f64,
     cfg: &MicroSimConfig,
     spec: SensorSpec,
     rng: &mut SmallRng,
     mut movements: Option<&mut MovementCounters>,
 ) -> (i64, i64) {
-    let start = if lane.head_crossed { 0 } else { 1 };
-    lane.head_crossed = false;
-    if lane.len() <= start {
+    let m = lanes.lanes[l];
+    let start = if m.head_crossed { 0 } else { 1 };
+    lanes.lanes[l].head_crossed = false;
+    if m.fill - m.head <= start {
         return (0, 0);
     }
     let mut detected_delta = 0i64;
@@ -667,11 +866,11 @@ pub(crate) fn advance_followers(
     let mut leader_pos = f64::INFINITY;
     let mut leader_speed = 0.0;
 
-    let h = lane.head;
-    let n = lane.pv.len() - h;
-    let pv = &mut lane.pv[h..];
-    let wait = &mut lane.wait[h..][..n];
-    let link = &lane.link[h..][..n];
+    let base = l * lanes.seg;
+    let n = m.fill - m.head;
+    let pv = &mut lanes.pv[base + m.head..base + m.fill];
+    let wait = &mut lanes.wait[base + m.head..base + m.fill];
+    let link = &lanes.link[base + m.head..base + m.fill];
     if start == 1 {
         [leader_pos, leader_speed] = pv[0];
     }
@@ -750,7 +949,184 @@ pub(crate) fn advance_followers(
     (detected_delta, halted_delta)
 }
 
-/// Advances every vehicle in the lane by one step. Returns the head's
+/// Residual net gap (meters) below which a stopped vehicle behind a
+/// stationary leader freezes in the batched fidelity, instead of
+/// creeping it shut at the exact dynamics\' ever-shrinking
+/// running-minimum pace. Half a meter is well under the 2.5 m
+/// standstill gap, is closed by a single tick of ordinary driving once
+/// the queue discharges, and captures a stopping vehicle within a few
+/// draws (each draw has a ~38% chance of landing at or below it).
+const QUIESCE_GAP: f64 = 0.5;
+
+/// The batched-fidelity counterpart of [`advance_followers`]: one call
+/// advances every lane of a road under the batched numerical contract.
+///
+/// The recurrence is the *same* sequential front-to-back Krauss update
+/// as exact mode — each follower reads its leader's already-advanced
+/// state — so the car-following dynamics are identical and statistical
+/// equivalence is inherited rather than approximated. What changes is
+/// everything around the formula:
+///
+/// - **Road-granular dispatch.** Urban lanes are short (mean occupied
+///   length is ~4 on the 10x10 bench workload), so a per-lane entry
+///   point pays its call and setup cost once per handful of vehicles.
+///   This kernel hoists every config-derived coefficient once per
+///   *road* and streams all lanes from one frame.
+/// - **Counter-based dawdling.** The draw for vehicle `v` at tick `t`
+///   is a pure hash of `(seed, vehicle_id, tick)`
+///   ([`counter_rng::dawdle_xi`]) — no generator state advances, so the
+///   noise a vehicle sees is independent of visitation order, lane
+///   membership, and (crucially) of *which vehicles were skipped*.
+/// - **Queue freezing.** Exact Krauss queues never truly park: a
+///   stopped follower's residual gap evolves as the running *minimum*
+///   of its dawdle draws (`net_gap ← min(net_gap, ξ)`), so red-phase
+///   queues creep forever at ever-smaller speeds, and every queued
+///   vehicle pays the full update every tick. The batched contract cuts
+///   this tail off: a vehicle at speed exactly `0` behind a stationary
+///   leader with `net_gap ≤` [`QUIESCE_GAP`] *freezes* — speed and
+///   position hold, only the waiting tick accrues — until the leader
+///   moves again. The residual creep this suppresses is below
+///   [`QUIESCE_GAP`] of position (the running minimum is already there
+///   and only shrinks) at speeds almost always below the waiting
+///   threshold, so macroscopic metrics can't see it; what it buys is
+///   that a red-phase queue costs three compares and an increment per
+///   vehicle instead of a hash, a divide, and the full bookkeeping.
+///   Because the counter RNG consumes no stream, skipping the draw
+///   perturbs no other vehicle's noise — the freeze is a local,
+///   deterministic rule, not a source of cross-vehicle divergence.
+///
+/// Exact mode can do none of this: its per-road `SmallRng` must draw
+/// once per vehicle in visitation order to keep its stream (and thus
+/// its goldens) stable, so every vehicle pays the full update.
+///
+/// Per-lane sensor deltas fold into `lane_detected` / `lane_halted`;
+/// the road totals are returned. Bit-identical to itself across
+/// `Serial`/`Rayon`, repeats, and checkpoint restores; *not*
+/// bit-compatible with [`advance_followers`] (the dawdle streams
+/// differ), which the statistical-equivalence harness validates
+/// distributionally.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn advance_followers_batched_road(
+    lanes: &mut RoadLanes,
+    length: f64,
+    cfg: &MicroSimConfig,
+    spec: SensorSpec,
+    seed: u64,
+    tick: u64,
+    mut movements: Option<&mut MovementCounters>,
+    lane_detected: &mut [u32],
+    lane_halted: &mut [u32],
+) -> (i64, i64) {
+    let RoadLanes {
+        pv,
+        wait,
+        link,
+        id,
+        seg,
+        lanes: meta,
+        ..
+    } = lanes;
+    let seg = *seg;
+
+    let dt = cfg.dt_seconds;
+    let free_speed = cfg.free_speed_mps;
+    let a_dt = cfg.max_accel * dt;
+    let sigma_a_dt = cfg.sigma * cfg.max_accel * dt;
+    let tau = cfg.reaction_time_s;
+    // Reciprocal-multiply: exact mode's `v_bar = (v + v_l)/2` then
+    // `v_bar/b` become one multiply by `0.5/b`.
+    let half_inv_decel = 0.5 / cfg.max_decel;
+    let gap_off = cfg.vehicle_length_m + cfg.min_gap_m;
+    let inv_dt = 1.0 / dt;
+    let waiting_speed = cfg.waiting_speed_mps;
+    let clamp_off = cfg.vehicle_length_m + 0.05;
+    let (detect_from, halt_speed) = (spec.detect_from, spec.halt_speed);
+    // The `(seed, tick)` half of every draw key is the same for the
+    // whole road-tick; only the per-vehicle fold remains in the loop.
+    let xi_base = counter_rng::base(seed, tick);
+
+    let mut road_detected = 0i64;
+    let mut road_halted = 0i64;
+    for (l, m) in meta.iter_mut().enumerate() {
+        let start = if m.head_crossed { 0 } else { 1 };
+        m.head_crossed = false;
+        let n = m.fill - m.head;
+        if n <= start {
+            continue;
+        }
+        let h = l * seg + m.head;
+        let f = h + start;
+        let e = l * seg + m.fill;
+        // The first follower's leader: the head's post-head-phase state,
+        // or the stop line encoded as a standing virtual vehicle at
+        // `length + gap_off` — algebraically identical to the exact
+        // `Wall` branch (`net_gap = length − pos`). A zero-speed leader
+        // is stationary by construction (`p = po + 0·dt`), so its
+        // pre/post positions agree and the quiescence proof below holds
+        // against either.
+        let (mut leader_pos, mut leader_speed) = if start == 0 {
+            (length + gap_off, 0.0)
+        } else {
+            (pv[h][0], pv[h][1])
+        };
+        let mut clamp_pos = if start == 0 { f64::INFINITY } else { pv[h][0] };
+        let mut detected_delta = 0i64;
+        let mut halted_delta = 0i64;
+        for i in f..e {
+            let [po, vo] = pv[i];
+            let net_gap = leader_pos - po - gap_off;
+            // Queue freeze: stopped behind a stationary leader with the
+            // following distance almost used up — hold in place. No
+            // bookkeeping delta is nonzero; only waiting accrues (a
+            // frozen vehicle is below the waiting threshold by
+            // definition).
+            if vo == 0.0 && leader_speed == 0.0 && net_gap <= QUIESCE_GAP {
+                wait[i] += 1;
+                leader_pos = po;
+                clamp_pos = po;
+                continue;
+            }
+            let v_safe = leader_speed
+                + (net_gap - leader_speed * tau) / ((vo + leader_speed) * half_inv_decel + tau);
+            let v_des = free_speed.min(vo + a_dt).min(v_safe);
+            let xi = if sigma_a_dt > 0.0 {
+                sigma_a_dt * counter_rng::uniform01(counter_rng::finish(xi_base, id[i]))
+            } else {
+                0.0
+            };
+            let mut v = (v_des - xi).max(0.0);
+            let mut p = po + v * dt;
+            let max_pos = clamp_pos - clamp_off;
+            if p > max_pos {
+                p = max_pos.max(po);
+                v = ((p - po) * inv_dt).max(0.0);
+            }
+            pv[i] = [p, v];
+            detected_delta += (p >= detect_from) as i64 - (po >= detect_from) as i64;
+            halted_delta += (v < halt_speed) as i64 - (vo < halt_speed) as i64;
+            if let Some(mv) = movements.as_deref_mut() {
+                mv.moved(link[i] as usize, po, p, spec);
+            }
+            if v < waiting_speed {
+                wait[i] += 1;
+            }
+            leader_pos = p;
+            leader_speed = v;
+            clamp_pos = p;
+        }
+        if detected_delta != 0 {
+            lane_detected[l] = (lane_detected[l] as i64 + detected_delta) as u32;
+        }
+        if halted_delta != 0 {
+            lane_halted[l] = (lane_halted[l] as i64 + halted_delta) as u32;
+        }
+        road_detected += detected_delta;
+        road_halted += halted_delta;
+    }
+    (road_detected, road_halted)
+}
+
+/// Advances every vehicle in lane `l` by one step./// Advances every vehicle in lane `l` by one step. Returns the head's
 /// `(slot, wait)` if it crossed the stop line under [`HeadMode::Release`].
 ///
 /// Composition of [`advance_head`] and [`advance_followers`]; the
@@ -758,15 +1134,20 @@ pub(crate) fn advance_followers(
 /// followers) so the follower phase can shard across threads.
 #[cfg_attr(not(test), allow(dead_code))]
 pub(crate) fn update_lane(
-    lane: &mut Lane,
+    lanes: &mut RoadLanes,
+    l: usize,
     length: f64,
     head_mode: HeadMode,
     cfg: &MicroSimConfig,
     rng: &mut SmallRng,
 ) -> Option<(u32, u64)> {
     let spec = SensorSpec::for_road(length, cfg);
-    let outcome = advance_head(lane, length, head_mode, cfg, spec, rng, None);
-    advance_followers(lane, length, cfg, spec, rng, None);
+    let mut noise = DawdleSource::Stream(rng);
+    let outcome = advance_head(lanes, l, length, head_mode, cfg, spec, &mut noise, None);
+    let DawdleSource::Stream(rng) = noise else {
+        unreachable!()
+    };
+    advance_followers(lanes, l, length, cfg, spec, rng, None);
     outcome.crossed
 }
 
@@ -791,66 +1172,123 @@ mod tests {
         SmallRng::seed_from_u64(0)
     }
 
+    /// A one-lane storage for the lane-level tests.
+    fn lane() -> RoadLanes {
+        RoadLanes::new(1, 1)
+    }
+
     /// Pushes a vehicle (slot doubles as the test's vehicle id). Sensor
     /// counters live in the road's dense arrays, which these lane-level
     /// tests validate through `rescan_sensors` instead.
-    fn push(lane: &mut Lane, slot: u32, pos: f64, speed: f64, _spec: SensorSpec) {
-        lane.push(pos, speed, 0, slot, 0);
+    fn push(lanes: &mut RoadLanes, slot: u32, pos: f64, speed: f64, _spec: SensorSpec) {
+        lanes.push(0, pos, speed, 0, slot, 0, slot as u64);
     }
 
     fn spec300() -> SensorSpec {
         SensorSpec::for_road(300.0, &cfg())
     }
 
+    /// Manual follower-kernel timing probe (not a correctness test):
+    /// `cargo test -p utilbp-microsim --release -- --ignored --nocapture kernel_timing`.
+    #[test]
+    #[ignore = "timing probe; run manually in release"]
+    fn kernel_timing_probe() {
+        use std::time::Instant;
+        let c = MicroSimConfig::default();
+        // Bench-workload shape: a handful of short occupied lanes per
+        // road (mean occupied length ~4 at 10x10).
+        const LANES: usize = 4;
+        const N: usize = 4;
+        const ITERS: usize = 500_000;
+        let mut lanes = RoadLanes::new(LANES, 2 * N);
+        let spec = SensorSpec::for_road(1000.0, &c);
+        for l in 0..LANES {
+            for i in 0..N {
+                let s = (l * N + i) as u32;
+                lanes.push(l, 900.0 - 15.0 * i as f64, 8.0, 0, s, 0, s as u64);
+            }
+        }
+        let saved_pv = lanes.pv.clone();
+        let mut r = rng();
+        let t = Instant::now();
+        for k in 0..ITERS {
+            if k % 64 == 0 {
+                lanes.pv.copy_from_slice(&saved_pv);
+            }
+            for l in 0..LANES {
+                advance_followers(&mut lanes, l, 1000.0, &c, spec, &mut r, None);
+            }
+        }
+        let per = (ITERS * LANES * N) as f64;
+        let exact_ns = t.elapsed().as_secs_f64() * 1e9 / per;
+        let mut ld = [0u32; LANES];
+        let mut lh = [0u32; LANES];
+        let t = Instant::now();
+        for k in 0..ITERS {
+            if k % 64 == 0 {
+                lanes.pv.copy_from_slice(&saved_pv);
+            }
+            advance_followers_batched_road(
+                &mut lanes, 1000.0, &c, spec, 7, k as u64, None, &mut ld, &mut lh,
+            );
+        }
+        let batched_ns = t.elapsed().as_secs_f64() * 1e9 / per;
+        eprintln!("exact {exact_ns:.2} ns/vehicle, batched {batched_ns:.2} ns/vehicle");
+    }
+
     #[test]
     fn empty_lane_is_a_noop() {
-        let mut lane = Lane::default();
-        assert!(update_lane(&mut lane, 300.0, HeadMode::Release, &cfg(), &mut rng()).is_none());
+        let mut lanes = lane();
+        assert!(update_lane(&mut lanes, 0, 300.0, HeadMode::Release, &cfg(), &mut rng()).is_none());
     }
 
     #[test]
     fn blocked_head_stops_at_the_line() {
         let c = cfg();
-        let mut lane = Lane::default();
-        push(&mut lane, 0, 250.0, c.free_speed_mps, spec300());
+        let mut lanes = lane();
+        push(&mut lanes, 0, 250.0, c.free_speed_mps, spec300());
         let mut r = rng();
         for _ in 0..30 {
-            let crossed = update_lane(&mut lane, 300.0, HeadMode::Blocked, &c, &mut r);
+            let crossed = update_lane(&mut lanes, 0, 300.0, HeadMode::Blocked, &c, &mut r);
             assert!(crossed.is_none(), "blocked head must never cross");
         }
-        assert!(lane.speed_at(0) < 0.05);
-        assert!(lane.pos_at(0) <= 300.0 + 1e-9);
-        assert!(lane.pos_at(0) > 290.0, "head pos {}", lane.pos_at(0));
+        assert!(lanes.speed_at(0, 0) < 0.05);
+        assert!(lanes.pos_at(0, 0) <= 300.0 + 1e-9);
+        assert!(
+            lanes.pos_at(0, 0) > 290.0,
+            "head pos {}",
+            lanes.pos_at(0, 0)
+        );
     }
 
     #[test]
     fn released_head_crosses_and_is_returned() {
         let c = cfg();
-        let mut lane = Lane::default();
-        push(&mut lane, 7, 295.0, 10.0, spec300());
+        let mut lanes = lane();
+        push(&mut lanes, 7, 295.0, 10.0, spec300());
         let mut r = rng();
-        let crossed = update_lane(&mut lane, 300.0, HeadMode::Release, &c, &mut r);
+        let crossed = update_lane(&mut lanes, 0, 300.0, HeadMode::Release, &c, &mut r);
         let (slot, _wait) = crossed.expect("head must cross");
         assert_eq!(slot, 7);
-        assert!(lane.is_empty());
-        assert_eq!(lane.rescan_sensors(spec300()), (0, 0));
+        assert!(lanes.is_empty(0));
+        assert_eq!(lanes.rescan_sensors(0, spec300()), (0, 0));
     }
 
     #[test]
     fn queue_compacts_without_collisions() {
         let c = cfg();
-        let mut lane = Lane::default();
+        let mut lanes = lane();
         // Five vehicles strung out; head blocked at the line.
         for (i, pos) in [280.0, 220.0, 160.0, 100.0, 40.0].iter().enumerate() {
-            push(&mut lane, i as u32, *pos, 10.0, spec300());
+            push(&mut lanes, i as u32, *pos, 10.0, spec300());
         }
         let mut r = rng();
         for _ in 0..80 {
-            update_lane(&mut lane, 300.0, HeadMode::Blocked, &c, &mut r);
+            update_lane(&mut lanes, 0, 300.0, HeadMode::Blocked, &c, &mut r);
             // Strict ordering with at least a vehicle length between
             // consecutive front bumpers.
-            for w in 0..lane.len() - 1 {
-                let gap = lane.pos_at(w) - lane.pos_at(w + 1);
+            for w in 0..lanes.len(0) - 1 {
+                let gap = lanes.pos_at(0, w) - lanes.pos_at(0, w + 1);
                 assert!(
                     gap >= c.vehicle_length_m - 1e-6,
                     "overlap after step: gap {gap}"
@@ -858,8 +1296,8 @@ mod tests {
             }
         }
         // All stopped in a jam near the line at ~7.5 m spacing.
-        for w in 0..lane.len() - 1 {
-            let gap = lane.pos_at(w) - lane.pos_at(w + 1);
+        for w in 0..lanes.len(0) - 1 {
+            let gap = lanes.pos_at(0, w) - lanes.pos_at(0, w + 1);
             assert!(
                 (gap - c.jam_spacing_m()).abs() < 0.6,
                 "jam spacing violated: {gap}"
@@ -869,40 +1307,40 @@ mod tests {
 
     #[test]
     fn detection_counts_only_near_the_stop_line() {
-        let mut lane = Lane::default();
-        lane.push(295.0, 0.0, 0, 0, 0);
-        lane.push(287.0, 0.0, 0, 1, 0);
-        lane.push(100.0, 10.0, 0, 2, 0); // far upstream
-        assert_eq!(lane.detected(300.0, 100.0), 2);
-        assert_eq!(lane.detected(300.0, 300.0), 3);
-        assert_eq!(lane.detected(300.0, 1.0), 0);
+        let mut lanes = lane();
+        lanes.push(0, 295.0, 0.0, 0, 0, 0, 0);
+        lanes.push(0, 287.0, 0.0, 0, 1, 0, 1);
+        lanes.push(0, 100.0, 10.0, 0, 2, 0, 2); // far upstream
+        assert_eq!(lanes.detected(0, 300.0, 100.0), 2);
+        assert_eq!(lanes.detected(0, 300.0, 300.0), 3);
+        assert_eq!(lanes.detected(0, 300.0, 1.0), 0);
     }
 
     #[test]
     fn entry_clearance_respects_jam_spacing() {
         let c = cfg();
-        let mut lane = Lane::default();
-        assert!(lane.entry_clear(300.0, &c), "empty lane is clear");
-        lane.push(8.0, 0.0, 0, 0, 0);
-        assert!(lane.entry_clear(300.0, &c));
-        lane.push(6.0, 0.0, 0, 1, 0);
-        assert!(!lane.entry_clear(300.0, &c), "tail at 6 m < 7.5 m");
-        assert_eq!(lane.tail_position(300.0), 6.0);
+        let mut lanes = lane();
+        assert!(lanes.entry_clear(0, 300.0, &c), "empty lane is clear");
+        lanes.push(0, 8.0, 0.0, 0, 0, 0, 0);
+        assert!(lanes.entry_clear(0, 300.0, &c));
+        lanes.push(0, 6.0, 0.0, 0, 1, 0, 1);
+        assert!(!lanes.entry_clear(0, 300.0, &c), "tail at 6 m < 7.5 m");
+        assert_eq!(lanes.tail_position(0, 300.0), 6.0);
     }
 
     #[test]
     fn successor_of_crossed_head_sees_the_line() {
         let c = cfg();
-        let mut lane = Lane::default();
-        push(&mut lane, 0, 296.0, 12.0, spec300());
-        push(&mut lane, 1, 285.0, 12.0, spec300());
+        let mut lanes = lane();
+        push(&mut lanes, 0, 296.0, 12.0, spec300());
+        push(&mut lanes, 1, 285.0, 12.0, spec300());
         let mut r = rng();
-        let crossed = update_lane(&mut lane, 300.0, HeadMode::Release, &c, &mut r);
+        let crossed = update_lane(&mut lanes, 0, 300.0, HeadMode::Release, &c, &mut r);
         assert!(crossed.is_some());
-        assert_eq!(lane.len(), 1);
+        assert_eq!(lanes.len(0), 1);
         // The successor advanced but is still on the lane.
-        assert!(lane.pos_at(0) < 300.0);
-        assert!(lane.pos_at(0) > 285.0);
+        assert!(lanes.pos_at(0, 0) < 300.0);
+        assert!(lanes.pos_at(0, 0) > 285.0);
     }
 
     #[test]
@@ -912,22 +1350,32 @@ mod tests {
         // the invariant `MicroSim` relies on for its dense counter arrays.
         let c = cfg();
         let spec = spec300();
-        let mut lane = Lane::default();
+        let mut lanes = lane();
         // One vehicle upstream of the 50 m window, one inside it, halted.
-        push(&mut lane, 0, 270.0, 0.0, spec);
-        push(&mut lane, 1, 100.0, 13.0, spec);
-        let (mut detected, mut halted) = lane.rescan_sensors(spec);
+        push(&mut lanes, 0, 270.0, 0.0, spec);
+        push(&mut lanes, 1, 100.0, 13.0, spec);
+        let (mut detected, mut halted) = lanes.rescan_sensors(0, spec);
         assert_eq!((detected, halted), (1, 1));
 
         let mut r = rng();
         for _ in 0..60 {
-            let outcome = advance_head(&mut lane, 300.0, HeadMode::Blocked, &c, spec, &mut r, None);
-            let (dd, hd) = advance_followers(&mut lane, 300.0, &c, spec, &mut r, None);
+            let mut noise = DawdleSource::Stream(&mut r);
+            let outcome = advance_head(
+                &mut lanes,
+                0,
+                300.0,
+                HeadMode::Blocked,
+                &c,
+                spec,
+                &mut noise,
+                None,
+            );
+            let (dd, hd) = advance_followers(&mut lanes, 0, 300.0, &c, spec, &mut r, None);
             detected = (detected as i64 + outcome.detected_delta as i64 + dd) as u32;
             halted = (halted as i64 + outcome.halted_delta as i64 + hd) as u32;
             assert_eq!(
                 (detected, halted),
-                lane.rescan_sensors(spec),
+                lanes.rescan_sensors(0, spec),
                 "deltas diverged from rescan"
             );
         }
@@ -939,16 +1387,16 @@ mod tests {
     fn waiting_accumulates_in_place_for_stopped_vehicles() {
         let c = cfg();
         let spec = spec300();
-        let mut lane = Lane::default();
-        push(&mut lane, 0, 299.0, 0.0, spec);
-        push(&mut lane, 1, 150.0, c.free_speed_mps, spec);
+        let mut lanes = lane();
+        push(&mut lanes, 0, 299.0, 0.0, spec);
+        push(&mut lanes, 1, 150.0, c.free_speed_mps, spec);
         let mut r = rng();
         for _ in 0..40 {
-            update_lane(&mut lane, 300.0, HeadMode::Blocked, &c, &mut r);
+            update_lane(&mut lanes, 0, 300.0, HeadMode::Blocked, &c, &mut r);
         }
         // The head sat at the line the whole time; the follower drove,
         // then queued behind it.
-        let waits: Vec<u64> = lane.waits().collect();
+        let waits: Vec<u64> = lanes.all_waits().collect();
         assert!(waits[0] >= 39, "head wait {waits:?}");
         assert!(
             waits[1] > 0 && waits[1] < waits[0],
@@ -960,10 +1408,10 @@ mod tests {
     fn pop_head_compacts_storage() {
         let spec = spec300();
         let c = cfg();
-        let mut lane = Lane::default();
+        let mut lanes = lane();
         for i in 0..100u32 {
             push(
-                &mut lane,
+                &mut lanes,
                 i,
                 299.0 - i as f64 * c.jam_spacing_m(),
                 0.0,
@@ -971,14 +1419,52 @@ mod tests {
             );
         }
         for expect in 0..60u32 {
-            let (slot, _) = lane.pop_head();
+            let (slot, _) = lanes.pop_head(0);
             assert_eq!(slot, expect);
-            assert_eq!(lane.len(), (99 - expect) as usize);
+            assert_eq!(lanes.len(0), (99 - expect) as usize);
         }
         // Offset-based dequeue must have compacted by now.
-        assert!(lane.head < 40, "storage not compacted: head {}", lane.head);
-        assert_eq!(lane.slot_at(0), 60);
-        assert_eq!(lane.tail_position(300.0), lane.pos_at(lane.len() - 1));
+        assert!(
+            lanes.head(0) < 40,
+            "storage not compacted: head {}",
+            lanes.head(0)
+        );
+        assert_eq!(lanes.slot_at(0, 0), 60);
+        assert_eq!(
+            lanes.tail_position(0, 300.0),
+            lanes.pos_at(0, lanes.len(0) - 1)
+        );
+    }
+
+    #[test]
+    fn segmented_storage_grows_without_losing_content() {
+        // A one-lane storage sized for a single resident vehicle must
+        // re-segment transparently when overfilled from a head-zero
+        // state (the cold growth path), preserving order and content.
+        let mut lanes = RoadLanes::new(2, 1);
+        let initial_seg = lanes.seg;
+        for i in 0..(2 * initial_seg) as u32 {
+            lanes.push(
+                1,
+                1000.0 - f64::from(i),
+                3.0,
+                u64::from(i),
+                i,
+                2,
+                u64::from(i),
+            );
+        }
+        assert!(lanes.seg > initial_seg, "storage must have re-segmented");
+        assert_eq!(lanes.len(1), 2 * initial_seg);
+        assert!(lanes.is_empty(0), "other lanes untouched");
+        for i in 0..lanes.len(1) {
+            assert_eq!(lanes.pos_at(1, i), 1000.0 - i as f64);
+            assert_eq!(lanes.slot_at(1, i), i as u32);
+            assert_eq!(lanes.link_at(1, i), 2);
+        }
+        let waits: Vec<u64> = lanes.all_waits().collect();
+        assert_eq!(waits.len(), lanes.len(1));
+        assert_eq!(waits[5], 5);
     }
 
     #[test]

@@ -54,11 +54,11 @@ use utilbp_core::{
 use utilbp_metrics::{VehicleId, WaitingLedger};
 use utilbp_netgen::{Arrival, IntersectionId, NetworkTopology, RoadId, Route};
 
-use crate::config::MicroSimConfig;
+use crate::config::{Fidelity, MicroSimConfig};
 use crate::krauss::{next_speed, LeaderInfo};
 use crate::road::{
-    advance_followers, advance_head, HeadMode, Lane, MovementCounters, SensorSpec, VehicleArena,
-    LINK_NONE,
+    advance_followers, advance_followers_batched_road, advance_head, DawdleSource, HeadMode,
+    MovementCounters, RoadLanes, SensorSpec, VehicleArena, LINK_NONE,
 };
 
 /// A vehicle traversing the junction box: its arena slot plus the wait
@@ -86,7 +86,10 @@ struct JunctionSim {
 
 #[derive(Debug, Clone)]
 struct RoadSim {
-    lanes: Vec<Lane>,
+    /// All lanes' vehicle state in one segmented per-road SoA arena (see
+    /// [`RoadLanes`]): the car-following phase streams the whole road
+    /// through contiguous storage.
+    lanes: RoadLanes,
     length: f64,
     capacity: u32,
     /// Whether the road is closed to *entering* traffic (scenario
@@ -404,11 +407,7 @@ impl MicroSim {
                 // growth out of the steady-state allocation profile.
                 let lane_capacity = (road.length_m() / config.jam_spacing_m()).floor() as usize + 1;
                 RoadSim {
-                    // Built per lane (not `vec![..; n]`) — cloning an
-                    // empty template would drop the reserved capacity.
-                    lanes: (0..num_lanes)
-                        .map(|_| Lane::with_capacity(lane_capacity))
-                        .collect(),
+                    lanes: RoadLanes::new(num_lanes, lane_capacity),
                     length: road.length_m(),
                     capacity: road.capacity(),
                     closed: false,
@@ -498,10 +497,7 @@ impl MicroSim {
     /// time; O(active vehicles), never touched by the step path.
     pub fn mean_waiting_including_active(&self) -> f64 {
         let now = self.now;
-        let lane_waits = self
-            .roads
-            .iter()
-            .flat_map(|r| r.lanes.iter().flat_map(|l| l.waits()));
+        let lane_waits = self.roads.iter().flat_map(|r| r.lanes.all_waits());
         let box_waits = self
             .junctions
             .iter()
@@ -521,11 +517,7 @@ impl MicroSim {
 
     /// Vehicles currently on lanes or in junction boxes.
     pub fn vehicles_in_network(&self) -> usize {
-        let on_lanes: usize = self
-            .roads
-            .iter()
-            .map(|r| r.lanes.iter().map(|l| l.len()).sum::<usize>())
-            .sum();
+        let on_lanes: usize = self.roads.iter().map(|r| r.lanes.total_len()).sum();
         let in_boxes: usize = self.junctions.iter().map(|j| j.in_box.len()).sum();
         on_lanes + in_boxes
     }
@@ -544,11 +536,11 @@ impl MicroSim {
         let mut pos = 0.0f64;
         let mut speed = 0.0f64;
         for road in &self.roads {
-            for lane in &road.lanes {
-                for i in 0..lane.len() {
+            for l in 0..road.lanes.num_lanes() {
+                for i in 0..road.lanes.len(l) {
                     on_lanes += 1;
-                    pos += lane.pos_at(i);
-                    speed += lane.speed_at(i);
+                    pos += road.lanes.pos_at(l, i);
+                    speed += road.lanes.speed_at(l, i);
                 }
             }
         }
@@ -617,7 +609,7 @@ impl MicroSim {
         let r = self.link_in_road[intersection.index()][link.index()];
         if self.config.lane_discipline == crate::LaneDiscipline::DedicatedPerMovement {
             let lane = self.lane_index_by_link[r][link.index()];
-            return self.roads[r].lanes[lane].len() as u32;
+            return self.roads[r].lanes.len(lane) as u32;
         }
         if let Some(mv) = &self.roads[r].move_counts {
             return mv.total[link.index()];
@@ -635,16 +627,18 @@ impl MicroSim {
         match self.config.lane_discipline {
             crate::LaneDiscipline::DedicatedPerMovement => {
                 let lane = self.lane_index_by_link[r][link.index()];
-                road.lanes[lane].detected(road.length, range)
+                road.lanes.detected(lane, road.length, range)
             }
             crate::LaneDiscipline::SharedMixed => {
                 // Vehicles for this movement may sit on any lane.
                 let li = link.index() as u16;
-                road.lanes
-                    .iter()
+                (0..road.lanes.num_lanes())
                     .map(|l| {
-                        (0..l.len())
-                            .filter(|&i| l.pos_at(i) >= road.length - range && l.link_at(i) == li)
+                        (0..road.lanes.len(l))
+                            .filter(|&i| {
+                                road.lanes.pos_at(l, i) >= road.length - range
+                                    && road.lanes.link_at(l, i) == li
+                            })
                             .count() as u32
                     })
                     .sum()
@@ -762,8 +756,8 @@ impl MicroSim {
         for (r, road) in self.roads.iter().enumerate() {
             let mut detected_sum = 0u32;
             let mut halted_sum = 0u32;
-            for (l, lane) in road.lanes.iter().enumerate() {
-                let (detected, halted) = lane.rescan_sensors(road.spec);
+            for l in 0..road.lanes.num_lanes() {
+                let (detected, halted) = road.lanes.rescan_sensors(l, road.spec);
                 detected_sum += detected;
                 halted_sum += halted;
                 if road.lane_detected[l] != detected || road.lane_halted[l] != halted {
@@ -785,18 +779,18 @@ impl MicroSim {
                         road.pending[l]
                     ));
                 }
-                for i in 0..lane.len() {
-                    let slot = lane.slot_at(i);
+                for i in 0..road.lanes.len(l) {
+                    let slot = road.lanes.slot_at(l, i);
                     let derived = self
                         .arena
                         .route(slot)
                         .hop(self.arena.hop(slot))
                         .map_or(LINK_NONE, |(_, link)| link.index() as u16);
-                    if lane.link_at(i) != derived {
+                    if road.lanes.link_at(l, i) != derived {
                         return Err(format!(
                             "road {r} lane {l} vehicle {i}: cached link {} != route-derived \
                              {derived}",
-                            lane.link_at(i)
+                            road.lanes.link_at(l, i)
                         ));
                     }
                 }
@@ -811,11 +805,11 @@ impl MicroSim {
             if let Some(mv) = &road.move_counts {
                 for link in 0..mv.total.len() {
                     let (mut total, mut detected) = (0u32, 0u32);
-                    for lane in &road.lanes {
-                        for i in 0..lane.len() {
-                            if lane.link_at(i) == link as u16 {
+                    for l in 0..road.lanes.num_lanes() {
+                        for i in 0..road.lanes.len(l) {
+                            if road.lanes.link_at(l, i) == link as u16 {
                                 total += 1;
-                                if lane.pos_at(i) >= road.spec.detect_from {
+                                if road.lanes.pos_at(l, i) >= road.spec.detect_from {
                                     detected += 1;
                                 }
                             }
@@ -939,12 +933,16 @@ impl MicroSim {
         //    roads plus crossings already applied earlier in this loop.
         let mut crossings = 0u32;
         let mut completed = 0u32;
+        // Fidelity decides where dawdle noise comes from: the road's
+        // sequential stream (exact) or stateless counter draws (batched).
+        let (fidelity, dawdle_seed) = (self.config.fidelity, self.config.seed);
+        let tick = now.index();
         for r in 0..self.roads.len() {
             let length = self.roads[r].length;
             let spec = self.roads[r].spec;
             let dest = self.road_dest[r];
-            for lane_idx in 0..self.roads[r].lanes.len() {
-                if self.roads[r].lanes[lane_idx].is_empty() {
+            for lane_idx in 0..self.roads[r].lanes.num_lanes() {
+                if self.roads[r].lanes.is_empty(lane_idx) {
                     continue;
                 }
                 // Release decision for the head vehicle.
@@ -962,7 +960,7 @@ impl MicroSim {
                                 (self.lane_green[r][lane_idx], usize::MAX)
                             }
                             crate::LaneDiscipline::SharedMixed => {
-                                let li = self.roads[r].lanes[lane_idx].link_at(0) as usize;
+                                let li = self.roads[r].lanes.link_at(lane_idx, 0) as usize;
                                 (
                                     self.junctions[j].active[li]
                                         && self.junctions[j].credit[li] >= 1.0,
@@ -982,7 +980,7 @@ impl MicroSim {
                             if !self.roads[out_r].closed
                                 && self.roads[out_r].occupancy < self.roads[out_r].capacity
                             {
-                                let slot = self.roads[r].lanes[lane_idx].slot_at(0);
+                                let slot = self.roads[r].lanes.slot_at(lane_idx, 0);
                                 let dest_lane = self.choose_dest_lane(
                                     out_r,
                                     self.arena.hop(slot) + 1,
@@ -1003,13 +1001,21 @@ impl MicroSim {
                 };
 
                 let road = &mut self.roads[r];
+                let mut noise = match fidelity {
+                    Fidelity::Exact => DawdleSource::Stream(&mut road.rng),
+                    Fidelity::Batched => DawdleSource::Counter {
+                        seed: dawdle_seed,
+                        tick,
+                    },
+                };
                 let outcome = advance_head(
-                    &mut road.lanes[lane_idx],
+                    &mut road.lanes,
+                    lane_idx,
                     length,
                     mode,
                     &self.config,
                     spec,
-                    &mut road.rng,
+                    &mut noise,
                     road.move_counts.as_mut(),
                 );
                 if outcome.detected_delta != 0 {
@@ -1073,15 +1079,43 @@ impl MicroSim {
                     halted_sum,
                     ..
                 } = road;
-                for (li, lane) in lanes.iter_mut().enumerate() {
-                    let (dd, hd) =
-                        advance_followers(lane, *length, config, *spec, rng, move_counts.as_mut());
-                    if dd != 0 {
-                        lane_detected[li] = (lane_detected[li] as i64 + dd) as u32;
-                        *detected_sum = (*detected_sum as i64 + dd) as u32;
+                match config.fidelity {
+                    Fidelity::Exact => {
+                        for li in 0..lanes.num_lanes() {
+                            let (dd, hd) = advance_followers(
+                                lanes,
+                                li,
+                                *length,
+                                config,
+                                *spec,
+                                rng,
+                                move_counts.as_mut(),
+                            );
+                            if dd != 0 {
+                                lane_detected[li] = (lane_detected[li] as i64 + dd) as u32;
+                                *detected_sum = (*detected_sum as i64 + dd) as u32;
+                            }
+                            if hd != 0 {
+                                lane_halted[li] = (lane_halted[li] as i64 + hd) as u32;
+                                *halted_sum = (*halted_sum as i64 + hd) as u32;
+                            }
+                        }
                     }
-                    if hd != 0 {
-                        lane_halted[li] = (lane_halted[li] as i64 + hd) as u32;
+                    // The batched kernel advances the whole road in one
+                    // call and folds per-lane sensor deltas itself.
+                    Fidelity::Batched => {
+                        let (dd, hd) = advance_followers_batched_road(
+                            lanes,
+                            *length,
+                            config,
+                            *spec,
+                            config.seed,
+                            tick,
+                            move_counts.as_mut(),
+                            lane_detected,
+                            lane_halted,
+                        );
+                        *detected_sum = (*detected_sum as i64 + dd) as u32;
                         *halted_sum = (*halted_sum as i64 + hd) as u32;
                     }
                 }
@@ -1109,13 +1143,16 @@ impl MicroSim {
                         continue;
                     }
                     let road = &mut roads[crossing.dest_road];
-                    let lane = &mut road.lanes[crossing.dest_lane];
-                    if !lane.entry_clear(road.length, config) {
+                    if !road
+                        .lanes
+                        .entry_clear(crossing.dest_lane, road.length, config)
+                    {
                         // Held in the box until the lane entry clears.
                         junction.in_box.push(crossing);
                         continue;
                     }
-                    let leader = lane_entry_leader(lane, road.length, config);
+                    let leader =
+                        lane_entry_leader(&road.lanes, crossing.dest_lane, road.length, config);
                     let speed = next_speed(config.insertion_speed_mps, leader, 0.0, config);
                     let mut wait = crossing.wait;
                     if speed < config.waiting_speed_mps {
@@ -1132,7 +1169,15 @@ impl MicroSim {
                     if let (Some(mv), true) = (road.move_counts.as_mut(), link != LINK_NONE) {
                         mv.add(link as usize, 0.0, road.spec);
                     }
-                    road.lanes[crossing.dest_lane].push(0.0, speed, wait, crossing.slot, link);
+                    road.lanes.push(
+                        crossing.dest_lane,
+                        0.0,
+                        speed,
+                        wait,
+                        crossing.slot,
+                        link,
+                        arena.id(crossing.slot).raw(),
+                    );
                     road.pending[crossing.dest_lane] -= 1;
                     road.entered += 1;
                 }
@@ -1208,8 +1253,8 @@ impl MicroSim {
         let road = &self.roads[road];
         let mut best = 0usize;
         let mut best_tail = f64::NEG_INFINITY;
-        for (i, lane) in road.lanes.iter().enumerate() {
-            let tail = lane.tail_position(road.length);
+        for i in 0..road.lanes.num_lanes() {
+            let tail = road.lanes.tail_position(i, road.length);
             if tail > best_tail {
                 best_tail = tail;
                 best = i;
@@ -1224,7 +1269,7 @@ impl MicroSim {
     fn dest_lane_has_room(&self, out_road: usize, dest_lane: usize) -> bool {
         let road = &self.roads[out_road];
         let pending = road.pending[dest_lane] as f64;
-        let tail = road.lanes[dest_lane].tail_position(road.length);
+        let tail = road.lanes.tail_position(dest_lane, road.length);
         tail >= self.config.jam_spacing_m() * (pending + 1.0)
     }
 
@@ -1240,7 +1285,7 @@ impl MicroSim {
             crate::LaneDiscipline::SharedMixed => self.emptiest_lane(r),
         };
         let road = &self.roads[r];
-        if !road.lanes[lane_idx].entry_clear(road.length, &self.config) {
+        if !road.lanes.entry_clear(lane_idx, road.length, &self.config) {
             return None;
         }
         Some(lane_idx)
@@ -1262,7 +1307,7 @@ impl MicroSim {
         let link = link.index() as u16;
         let slot = self.arena.insert(id, route);
         let road = &mut self.roads[r];
-        let leader = lane_entry_leader(&road.lanes[lane_idx], road.length, &self.config);
+        let leader = lane_entry_leader(&road.lanes, lane_idx, road.length, &self.config);
         let speed = next_speed(self.config.insertion_speed_mps, leader, 0.0, &self.config);
         if speed < self.config.waiting_speed_mps {
             // Inserted into a standing queue after the follower phase:
@@ -1273,7 +1318,8 @@ impl MicroSim {
         if let Some(mv) = road.move_counts.as_mut() {
             mv.add(link as usize, 0.0, road.spec);
         }
-        road.lanes[lane_idx].push(0.0, speed, wait, slot, link);
+        road.lanes
+            .push(lane_idx, 0.0, speed, wait, slot, link, id.raw());
         road.occupancy += 1;
         road.entered += 1;
     }
@@ -1297,9 +1343,9 @@ impl MicroSim {
     pub fn replan_routes(&mut self, replan: &mut utilbp_netgen::RouteRewrite<'_>) -> u64 {
         let mut diverted = 0u64;
         for r in 0..self.roads.len() {
-            for lane_idx in 0..self.roads[r].lanes.len() {
-                for i in 0..self.roads[r].lanes[lane_idx].len() {
-                    let slot = self.roads[r].lanes[lane_idx].slot_at(i);
+            for lane_idx in 0..self.roads[r].lanes.num_lanes() {
+                for i in 0..self.roads[r].lanes.len(lane_idx) {
+                    let slot = self.roads[r].lanes.slot_at(lane_idx, i);
                     let fixed = self.arena.hop(slot) + 1;
                     if let Some(route) = replan(self.arena.id(slot), self.arena.route(slot), fixed)
                     {
@@ -1359,9 +1405,9 @@ impl MicroSim {
             writer.push_bool(road.closed);
             writer.push_u32(road.occupancy);
             writer.push(road.entered);
-            writer.push_usize(road.lanes.len());
-            for lane in &road.lanes {
-                lane.save_state(writer);
+            writer.push_usize(road.lanes.num_lanes());
+            for l in 0..road.lanes.num_lanes() {
+                road.lanes.save_state(l, writer);
             }
             for &p in &road.pending {
                 writer.push_u32(p);
@@ -1439,15 +1485,18 @@ impl MicroSim {
             road.occupancy = reader.take_u32()?;
             road.entered = reader.take()?;
             let num_lanes = reader.take_usize()?;
-            if num_lanes != road.lanes.len() {
+            if num_lanes != road.lanes.num_lanes() {
                 return Err(StateError::Invalid {
                     what: "lane count",
                     word: num_lanes as u64,
                 });
             }
-            for lane in &mut road.lanes {
-                lane.load_state(reader)?;
+            for l in 0..num_lanes {
+                road.lanes.load_state(l, reader)?;
             }
+            // The lanes' cached vehicle ids are not on the wire; rebuild
+            // them from the (already restored) arena.
+            road.lanes.refresh_ids(&self.arena);
             for p in &mut road.pending {
                 *p = reader.take_u32()?;
             }
@@ -1524,15 +1573,147 @@ impl MicroSim {
     }
 }
 
-/// The leader a vehicle entering at `pos = 0` faces.
-fn lane_entry_leader(lane: &Lane, length: f64, cfg: &MicroSimConfig) -> LeaderInfo {
-    if lane.is_empty() {
+/// The leader a vehicle entering at `pos = 0` of lane `l` faces.
+fn lane_entry_leader(lanes: &RoadLanes, l: usize, length: f64, cfg: &MicroSimConfig) -> LeaderInfo {
+    if lanes.is_empty(l) {
         LeaderInfo::Wall { distance_m: length }
     } else {
-        let last = lane.len() - 1;
+        let last = lanes.len(l) - 1;
         LeaderInfo::Vehicle {
-            net_gap_m: lane.pos_at(last) - cfg.vehicle_length_m - cfg.min_gap_m,
-            speed_mps: lane.speed_at(last),
+            net_gap_m: lanes.pos_at(l, last) - cfg.vehicle_length_m - cfg.min_gap_m,
+            speed_mps: lanes.speed_at(l, last),
         }
+    }
+}
+
+#[cfg(test)]
+mod occupancy_probe {
+    use super::*;
+    use utilbp_core::{SignalController, Ticks, UtilBp};
+    use utilbp_netgen::{
+        DemandConfig, DemandGenerator, DemandSchedule, GridNetwork, GridSpec, Pattern,
+    };
+
+    /// Manual lane-occupancy probe for the 10×10 bench workload:
+    /// `cargo test -p utilbp-microsim --release -- --ignored --nocapture occupancy`.
+    #[test]
+    #[ignore = "manual probe"]
+    fn occupancy_histogram() {
+        let g = GridNetwork::new(GridSpec::with_size(10, 10));
+        let n = g.topology().num_intersections();
+        let controllers = (0..n)
+            .map(|_| Box::new(UtilBp::paper()) as Box<dyn SignalController>)
+            .collect();
+        let mut sim = MicroSim::new(g.topology().clone(), controllers, MicroSimConfig::default());
+        let mut gen = DemandGenerator::new(
+            &g,
+            DemandConfig::new(DemandSchedule::constant(
+                Pattern::I,
+                Ticks::new(u64::MAX / 2),
+            )),
+            7,
+        );
+        let mut arrivals = Vec::new();
+        let mut report = crate::StepReport::empty();
+        for k in 0..500u64 {
+            arrivals.clear();
+            gen.poll_into(&g, utilbp_core::Tick::new(k), &mut arrivals);
+            sim.step_into(&mut arrivals, &mut report);
+        }
+        let mut hist = [0usize; 64];
+        let (mut lanes_total, mut lanes_occupied, mut vehicles) = (0usize, 0usize, 0usize);
+        for road in &sim.roads {
+            for l in 0..road.lanes.num_lanes() {
+                let len = road.lanes.len(l);
+                lanes_total += 1;
+                if len > 0 {
+                    lanes_occupied += 1;
+                    vehicles += len;
+                    hist[len.min(63)] += 1;
+                }
+            }
+        }
+        eprintln!(
+            "lanes {lanes_total} ({lanes_occupied} occupied), vehicles {vehicles}, mean occupied len {:.2}",
+            vehicles as f64 / lanes_occupied.max(1) as f64
+        );
+        for (len, count) in hist.iter().enumerate() {
+            if *count > 0 {
+                eprintln!("  len {len:2}: {count}");
+            }
+        }
+    }
+
+    /// Manual interleaved exact/batched A/B throughput probe on the
+    /// 10×10 bench workload — alternating short measurement windows so
+    /// shared-box drift hits both fidelities equally:
+    /// `cargo test -p utilbp-microsim --release -- --ignored --nocapture fidelity_ab`.
+    #[test]
+    #[ignore = "manual probe"]
+    fn fidelity_ab_probe() {
+        use std::time::Instant;
+        let run = |fidelity: Fidelity| {
+            let g = GridNetwork::new(GridSpec::with_size(10, 10));
+            let n = g.topology().num_intersections();
+            let controllers = (0..n)
+                .map(|_| Box::new(UtilBp::paper()) as Box<dyn SignalController>)
+                .collect();
+            let sim = MicroSim::new(
+                g.topology().clone(),
+                controllers,
+                MicroSimConfig {
+                    fidelity,
+                    ..MicroSimConfig::default()
+                },
+            );
+            let gen = DemandGenerator::new(
+                &g,
+                DemandConfig::new(DemandSchedule::constant(
+                    Pattern::I,
+                    Ticks::new(u64::MAX / 2),
+                )),
+                7,
+            );
+            let arrivals = Vec::new();
+            let report = crate::StepReport::empty();
+            (sim, gen, g, arrivals, report)
+        };
+        let (mut ex, mut ex_gen, g, mut arrivals, mut report) = run(Fidelity::Exact);
+        let (mut ba, mut ba_gen, ..) = run(Fidelity::Batched);
+        let mut k = 0u64;
+        for _ in 0..300u64 {
+            arrivals.clear();
+            ex_gen.poll_into(&g, utilbp_core::Tick::new(k), &mut arrivals);
+            ex.step_into(&mut arrivals, &mut report);
+            arrivals.clear();
+            ba_gen.poll_into(&g, utilbp_core::Tick::new(k), &mut arrivals);
+            ba.step_into(&mut arrivals, &mut report);
+            k += 1;
+        }
+        let (mut best_ex, mut best_ba) = (f64::INFINITY, f64::INFINITY);
+        for _ in 0..6 {
+            let window = 200u64;
+            let t = Instant::now();
+            for i in 0..window {
+                arrivals.clear();
+                ex_gen.poll_into(&g, utilbp_core::Tick::new(k + i), &mut arrivals);
+                ex.step_into(&mut arrivals, &mut report);
+            }
+            best_ex = best_ex.min(t.elapsed().as_secs_f64());
+            let t = Instant::now();
+            for i in 0..window {
+                arrivals.clear();
+                ba_gen.poll_into(&g, utilbp_core::Tick::new(k + i), &mut arrivals);
+                ba.step_into(&mut arrivals, &mut report);
+            }
+            best_ba = best_ba.min(t.elapsed().as_secs_f64());
+            k += window;
+        }
+        eprintln!(
+            "exact {:.0} ticks/s, batched {:.0} ticks/s ({:.2}x)",
+            200.0 / best_ex,
+            200.0 / best_ba,
+            best_ex / best_ba
+        );
     }
 }

@@ -45,7 +45,7 @@ use utilbp_core::{Parallelism, SignalController, Tick, Ticks};
 use utilbp_metrics::{TimeSeries, VehicleId, WaitingLedger};
 use utilbp_microsim::MicroSimConfig;
 use utilbp_microsim::PhaseTimings;
-use utilbp_microsim::{LaneDiscipline, OutgoingSensor};
+use utilbp_microsim::{Fidelity, LaneDiscipline, OutgoingSensor};
 use utilbp_netgen::{Arrival, Network, Replanner, RoadId, TurningProbabilities};
 use utilbp_snapshot::{crc32, SnapshotReader, SnapshotWriter};
 use utilbp_substrate::{
@@ -154,6 +154,13 @@ fn micro_fingerprint(cfg: &MicroSimConfig) -> u64 {
     });
     w.push_f64(cfg.insertion_speed_mps);
     w.push(cfg.seed);
+    // Fidelity shapes every car-following trajectory (batched mode is
+    // not bit-compatible with exact), so a checkpoint must not restore
+    // across modes.
+    w.push(match cfg.fidelity {
+        Fidelity::Exact => 0,
+        Fidelity::Batched => 1,
+    });
     let mut hash = 0xcbf2_9ce4_8422_2325_u64;
     for &word in w.words() {
         for byte in word.to_le_bytes() {
@@ -590,6 +597,7 @@ impl ScenarioEngine {
         let mut micro = config.micro;
         micro.parallelism = config.parallelism;
         micro.seed = spec.seed;
+        micro.fidelity = spec.fidelity;
         let substrate = build_substrate(
             config.backend,
             network.topology().clone(),
@@ -1998,6 +2006,7 @@ mod tests {
             }],
             replan: ReplanPolicy::Off,
             watchdog: None,
+            fidelity: Fidelity::Exact,
         };
         let mut engine =
             ScenarioEngine::new(spec, EngineConfig::default(), &util_factory()).unwrap();
@@ -2030,6 +2039,7 @@ mod tests {
             }],
             replan: ReplanPolicy::Off,
             watchdog: None,
+            fidelity: Fidelity::Exact,
         };
         assert!(ScenarioEngine::new(spec, EngineConfig::default(), &util_factory()).is_err());
     }

@@ -3,6 +3,7 @@
 //! fault windows, and watchdog-guarded degradation.
 
 use utilbp_core::{Tick, Ticks};
+use utilbp_microsim::Fidelity;
 use utilbp_netgen::{ArterialSpec, AsymmetricGridSpec, GridSpec, Pattern, RingSpec};
 
 use crate::spec::{DemandProfile, ReplanPolicy, ScenarioEvent, ScenarioSpec, TopologySpec};
@@ -114,6 +115,7 @@ pub fn builtin_scenarios() -> Vec<ScenarioSpec> {
             events: Vec::new(),
             replan: ReplanPolicy::Off,
             watchdog: None,
+            fidelity: Fidelity::Exact,
         },
         ScenarioSpec {
             name: "arterial-rush-hour".to_string(),
@@ -128,6 +130,7 @@ pub fn builtin_scenarios() -> Vec<ScenarioSpec> {
             events: Vec::new(),
             replan: ReplanPolicy::Off,
             watchdog: None,
+            fidelity: Fidelity::Exact,
         },
         ScenarioSpec {
             name: "ring-pulse".to_string(),
@@ -142,6 +145,7 @@ pub fn builtin_scenarios() -> Vec<ScenarioSpec> {
             events: Vec::new(),
             replan: ReplanPolicy::Off,
             watchdog: None,
+            fidelity: Fidelity::Exact,
         },
         ScenarioSpec {
             name: "asym-bottleneck".to_string(),
@@ -152,6 +156,7 @@ pub fn builtin_scenarios() -> Vec<ScenarioSpec> {
             events: Vec::new(),
             replan: ReplanPolicy::Off,
             watchdog: None,
+            fidelity: Fidelity::Exact,
         },
         ScenarioSpec {
             name: "grid-incident".to_string(),
@@ -171,6 +176,7 @@ pub fn builtin_scenarios() -> Vec<ScenarioSpec> {
             ],
             replan: ReplanPolicy::Off,
             watchdog: None,
+            fidelity: Fidelity::Exact,
         },
         ScenarioSpec {
             name: "grid-incident-replan".to_string(),
@@ -196,6 +202,7 @@ pub fn builtin_scenarios() -> Vec<ScenarioSpec> {
             ],
             replan: ReplanPolicy::AtNextJunction,
             watchdog: None,
+            fidelity: Fidelity::Exact,
         },
         ScenarioSpec {
             name: "grid-incident-recover".to_string(),
@@ -230,6 +237,7 @@ pub fn builtin_scenarios() -> Vec<ScenarioSpec> {
             ],
             replan: ReplanPolicy::AtNextJunction,
             watchdog: None,
+            fidelity: Fidelity::Exact,
         },
         ScenarioSpec {
             name: "grid-congestion-replan".to_string(),
@@ -259,6 +267,7 @@ pub fn builtin_scenarios() -> Vec<ScenarioSpec> {
                 hysteresis: 0.04,
             },
             watchdog: None,
+            fidelity: Fidelity::Exact,
         },
         ScenarioSpec {
             name: "arterial-sensor-dropout".to_string(),
@@ -277,6 +286,7 @@ pub fn builtin_scenarios() -> Vec<ScenarioSpec> {
             }],
             replan: ReplanPolicy::Off,
             watchdog: None,
+            fidelity: Fidelity::Exact,
         },
         ScenarioSpec {
             name: "grid-actuator-fault".to_string(),
@@ -300,6 +310,7 @@ pub fn builtin_scenarios() -> Vec<ScenarioSpec> {
             }],
             replan: ReplanPolicy::Off,
             watchdog: None,
+            fidelity: Fidelity::Exact,
         },
         ScenarioSpec {
             name: "grid-degraded-recovery".to_string(),
@@ -325,6 +336,7 @@ pub fn builtin_scenarios() -> Vec<ScenarioSpec> {
             }],
             replan: ReplanPolicy::Off,
             watchdog: Some(utilbp_baselines::WatchdogConfig::default()),
+            fidelity: Fidelity::Exact,
         },
     ]
 }

@@ -3,6 +3,7 @@
 use serde::{Deserialize, Serialize};
 use utilbp_baselines::{ActuationFaultConfig, SensorFaultConfig, WatchdogConfig};
 use utilbp_core::{Tick, Ticks};
+use utilbp_microsim::Fidelity;
 use utilbp_netgen::{
     ArterialSpec, AsymmetricGridSpec, GridNetwork, GridSpec, Network, Pattern, RingSpec, RoadId,
 };
@@ -311,6 +312,14 @@ pub struct ScenarioSpec {
     /// exactly the pre-fault-plane stack).
     #[serde(default)]
     pub watchdog: Option<WatchdogConfig>,
+    /// Numerical contract of the microscopic car-following phase:
+    /// `Exact` (default) is the bit-pinned sequential Krauss update;
+    /// `Batched` is the vectorization-friendly kernel with counter-based
+    /// dawdle noise — statistically equivalent, not bit-compatible. The
+    /// queueing substrate ignores this field. Defaults so existing
+    /// scenario files and checkpoints stay valid.
+    #[serde(default)]
+    pub fidelity: Fidelity,
 }
 
 impl ScenarioSpec {
@@ -526,6 +535,7 @@ mod tests {
             events,
             replan: ReplanPolicy::Off,
             watchdog: None,
+            fidelity: Fidelity::Exact,
         }
     }
 

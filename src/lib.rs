@@ -287,6 +287,13 @@ pub mod queueing {
 }
 
 /// The microscopic traffic simulator (re-export of `utilbp-microsim`).
+///
+/// See the crate-level "Performance architecture" notes in
+/// `utilbp-microsim` for the step path's mechanisms, including the
+/// [`microsim::Fidelity`] contract: `Exact` (the default, the mode
+/// every fixed-seed golden pins) vs `Batched` (counter-RNG,
+/// road-granular car-following kernel, validated distributionally by
+/// [`experiments::equivalence`]).
 pub mod microsim {
     pub use utilbp_microsim::*;
 }

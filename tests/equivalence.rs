@@ -1,0 +1,33 @@
+//! The batched fidelity's statistical-equivalence gate, run as a tier-1
+//! regression: the exact and batched car-following kernels must agree —
+//! distributionally, under [`DEFAULT_TOLERANCES`] — on the macroscopic
+//! metrics the paper's experiments are scored on.
+//!
+//! The sweep here runs the full default seed count but caps every
+//! scenario's horizon at 600 ticks so the gate stays fast in debug
+//! builds; the `equivalence` binary runs the uncapped sweep. Both the
+//! sweep and the simulators are deterministic, so this is a fixed
+//! regression gate, not a flaky statistical test: if it trips, the
+//! batched kernel's numerical contract drifted.
+
+use adaptive_backpressure::experiments::{equivalence, EquivalenceOptions, DEFAULT_TOLERANCES};
+
+#[test]
+fn batched_fidelity_is_statistically_equivalent_to_exact() {
+    let opts = EquivalenceOptions {
+        horizon_cap: Some(600),
+        ..EquivalenceOptions::default()
+    };
+    let report = equivalence(&opts).expect("builtin scenarios run on both fidelities");
+    assert!(
+        report.queueing_invariant,
+        "the queueing substrate has no car-following phase; the fidelity \
+         flag must not change its outcome"
+    );
+    if let Err(violation) = report.check(DEFAULT_TOLERANCES) {
+        panic!(
+            "batched fidelity drifted from exact:\n{violation}\n\n{}",
+            report.render()
+        );
+    }
+}

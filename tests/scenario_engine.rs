@@ -297,6 +297,7 @@ fn surge_and_fault_scenarios_stay_deterministic_with_events_applied() {
         ],
         replan: ReplanPolicy::Off,
         watchdog: Some(adaptive_backpressure::baselines::WatchdogConfig::default()),
+        fidelity: adaptive_backpressure::microsim::Fidelity::Exact,
     };
     for backend in Backend::ALL {
         let a = run(&spec, backend, Parallelism::Serial);
@@ -350,6 +351,7 @@ fn mid_run_fault_switch_toggling_stays_deterministic_across_parallelism() {
         ],
         replan: ReplanPolicy::Off,
         watchdog: None,
+        fidelity: adaptive_backpressure::microsim::Fidelity::Exact,
     };
     let toggled_run = |backend: Backend, parallelism: Parallelism| -> ScenarioOutcome {
         let config = EngineConfig {
@@ -542,6 +544,7 @@ fn congestion_diverted_vehicles_restore_once_the_congested_set_clears() {
             hysteresis: 0.04,
         },
         watchdog: None,
+        fidelity: adaptive_backpressure::microsim::Fidelity::Exact,
     };
     for backend in Backend::ALL {
         let mut engine =
