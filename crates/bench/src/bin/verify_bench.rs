@@ -9,7 +9,8 @@
 //! match the expected sequence exactly, the newest run carries every
 //! required workload row (both replanning scenarios on both substrates),
 //! and a per-phase breakdown is present. The same checks run locally via
-//! `cargo test -p utilbp-bench`.
+//! `cargo test -p utilbp-bench`. The file format the invariants assume
+//! is documented in `docs/PERFORMANCE.md`.
 
 use utilbp_bench::trajectory::verify_trajectory;
 
@@ -30,6 +31,7 @@ fn main() {
         Ok(()) => println!("{path}: trajectory invariants hold ({} runs)", labels.len()),
         Err(e) => {
             eprintln!("{path}: {e}");
+            eprintln!("(run-entry schema and invariants: docs/PERFORMANCE.md)");
             std::process::exit(1);
         }
     }

@@ -10,7 +10,10 @@
 //! workload rows in the newest run, and a per-phase breakdown on at least
 //! one microscopic row — so the checks run locally via
 //! `cargo test -p utilbp-bench` and in CI through the `verify_bench`
-//! binary, from one implementation.
+//! binary, from one implementation. The file format itself (field
+//! meanings, row labels, protocol entries) is documented for operators
+//! in `docs/PERFORMANCE.md`; keep the two in sync when the schema
+//! changes.
 
 use utilbp_core::Parallelism;
 use utilbp_microsim::PhaseTimings;

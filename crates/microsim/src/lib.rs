@@ -38,15 +38,34 @@
 //!
 //! **Data-oriented vehicle layout.** Vehicle state is split by access
 //! pattern (see the `road` module source for the full layout). Per-tick
-//! hot state
-//! — interleaved `[position, speed]` pairs and a waiting-tick
-//! accumulator — lives in struct-of-arrays lanes that the Krauss
-//! car-following phase streams over; per-journey cold state (external
-//! id, `Arc<Route>`, route cursor) lives in a slab `VehicleArena` keyed
-//! by a compact `u32` slot that only the serial phases dereference.
-//! Lanes dequeue crossed heads by advancing a head offset (amortized
-//! compaction, storage pre-reserved at the geometric plateau), so the
-//! steady-state fleet churns with no allocation and no element shifts.
+//! hot state — interleaved `[position, speed]` pairs, a waiting-tick
+//! accumulator, and the per-vehicle link/slot/id words — lives in one
+//! *network-wide* struct-of-arrays arena (`NetworkLanes`): every road
+//! is an index span into the same contiguous buffers, laid out
+//! road-major then lane-major, so the car-following phase is a linear
+//! sweep over packed storage instead of a pointer-chase across per-road
+//! heap boxes. Per-journey cold state (external id, `Arc<Route>`, route
+//! cursor) lives in a slab `VehicleArena` keyed by a compact `u32` slot
+//! that only the serial phases dereference. Lanes dequeue crossed heads
+//! by advancing a head offset inside their span (amortized compaction,
+//! per-road strides pre-reserved at the geometric plateau; a road that
+//! outgrows its stride triggers a one-off whole-arena re-layout), so
+//! the steady-state fleet churns with no allocation and no element
+//! shifts.
+//!
+//! **Occupancy-ordered iteration.** The arena keeps a sorted compact
+//! list of *active* roads (live vehicle count > 0), maintained
+//! incrementally at the only points occupancy can change — boundary
+//! insertion, junction landing, head crossing, checkpoint load. Both
+//! car-following phases and the batched kernel dispatch iterate that
+//! list instead of all roads, so empty roads and empty lanes cost zero
+//! cache lines — no metadata probe, no RNG draw, no branch per empty
+//! lane. Skipping an empty road is exact (it mutates nothing and, in
+//! exact mode, its dawdle stream is per-road and therefore undisturbed
+//! by being unseeded for a tick), so the active list changes *which*
+//! memory is touched, never a single trajectory byte. The list's
+//! consistency with the spans' live counters is checkable at runtime
+//! via [`MicroSim::verify_sensors`].
 //!
 //! **Incremental sensing.** Detector reads never rescan lanes. Each road
 //! keeps dense per-lane counters — vehicles inside the configured
@@ -90,7 +109,10 @@
 //! `MicroSimConfig { parallelism: Parallelism::Rayon, .. }`: the
 //! controller-decide phase (one controller per intersection, each
 //! reading only its own observation) and the car-following phase for
-//! non-head vehicles (per-road state, no cross-road reads). Head
+//! non-head vehicles (per-road state, no cross-road reads — the network
+//! arena is split into disjoint per-shard windows at road boundaries
+//! with `split_at_mut`, no unsafe, and each shard walks only its
+//! occupied roads). Head
 //! release, landings, insertions, and ledger accounting mutate shared
 //! state and stay serial. The fork-join runs on `rayon`'s persistent
 //! worker pool (a channel handoff per step, not thread spawns), and
@@ -111,7 +133,10 @@
 //!   streams, per-lane advance, the mode every fixed-seed golden,
 //!   checkpoint, and cross-backend comparison in the workspace pins.
 //!   Its trajectories are part of the repository's bit-level history
-//!   and must never drift.
+//!   and must never drift — which the occupancy-ordered sweep respects
+//!   by visiting occupied roads in ascending index order (the same
+//!   relative order as a full scan) and never seeding or advancing an
+//!   empty road's stream.
 //! - [`Fidelity::Batched`]: the same Krauss recurrence driven by a
 //!   *stateless counter RNG* keyed on `(seed, vehicle_id, tick)`, run
 //!   as one road-granular kernel per road (coefficients hoisted once,
@@ -128,7 +153,13 @@
 //!   (`utilbp-experiments::equivalence`: relative-mean-gap and
 //!   Kolmogorov–Smirnov gates on mean waiting, throughput, and queue
 //!   length across ≥16 seeds × 3 scenarios, pinned as a tier-1
-//!   regression at the workspace root).
+//!   regression at the workspace root). The opt-in `simd` cargo
+//!   feature additionally hoists the batched kernel's dawdle draws
+//!   into a vectorizable precompute over the packed id stream —
+//!   bit-identical to the default build by construction (the
+//!   `counter_rng` unit tests pin element equality) and off by
+//!   default: on short urban lanes (mean occupied length ~4) the
+//!   precompute has nothing to amortize over and measures as a wash.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]

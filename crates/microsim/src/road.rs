@@ -1,5 +1,5 @@
-//! The data-oriented vehicle arena, segmented per-road SoA lane storage,
-//! and the per-lane car-following update.
+//! The data-oriented vehicle arena, the network-wide segmented SoA lane
+//! storage, and the per-lane car-following update.
 //!
 //! ## Layout
 //!
@@ -7,12 +7,15 @@
 //! array of `Vehicle` structs:
 //!
 //! - **Hot, per-tick state** — position, speed, and the waiting-tick
-//!   accumulator — lives in parallel arrays owned by *the road*
-//!   ([`RoadLanes`]): one contiguous allocation per array, segmented into
-//!   one fixed-stride span per lane. The Krauss car-following phase
-//!   therefore streams a road's entire fleet through cache-linear
-//!   storage, lane after lane, with no pointer hops between per-lane
-//!   buffers.
+//!   accumulator — lives in parallel arrays owned by *the network*
+//!   ([`NetworkLanes`]): one contiguous allocation per array for every
+//!   road in the simulation, segmented into one fixed-stride span per
+//!   lane, with each road owning a contiguous run of lane segments
+//!   ([`RoadSpan`]). The Krauss car-following phase therefore streams
+//!   the whole fleet through cache-linear storage, road after road and
+//!   lane after lane, with no pointer hops between per-road heap
+//!   allocations (the pre-arena layout paid ~5× its hot-cache cost in
+//!   situ to exactly that pointer-chase).
 //! - **Cold, per-journey state** — the external [`VehicleId`], the
 //!   `Arc<Route>`, and the route cursor (`hop`) — lives in the
 //!   [`VehicleArena`], a slab keyed by a compact `u32` slot carried in the
@@ -28,9 +31,23 @@
 //! Lanes are FIFO (single file, no overtaking): index order *is* position
 //! order, head first. Dequeuing a crossed head advances a per-lane `head`
 //! offset instead of shifting the arrays; segments are compacted
-//! amortizedly (and the whole storage re-segmented in the cold case of a
-//! lane outgrowing its span, which steady-state traffic never triggers —
-//! spans are sized at the offset-dequeue plateau).
+//! amortizedly (and a road's lane segments re-laid-out in the cold case
+//! of a lane outgrowing its span, which steady-state traffic never
+//! triggers — spans are sized at the offset-dequeue plateau).
+//!
+//! ## Occupancy-ordered iteration
+//!
+//! [`NetworkLanes`] keeps a sorted **active-road list**: the indices of
+//! roads with at least one vehicle on their lanes, maintained
+//! incrementally at the only points where a road's on-lane population
+//! changes (push on landing/insertion, pop on crossing, lane restore).
+//! The head and follower phases walk this list instead of all roads, so
+//! an empty road costs zero cache lines — not even its lane metadata is
+//! touched. This is safe because an empty road draws no randomness and
+//! mutates nothing in either phase, and the one piece of intra-step
+//! scratch a skipped road could carry (a stale `head_crossed` flag on a
+//! lane that emptied via a crossing) is reset by `advance_head` before
+//! any follower pass can observe it once the road re-activates.
 //!
 //! ## Incremental sensing
 //!
@@ -42,8 +59,8 @@
 //! at the *only* points where a vehicle's position or speed can change —
 //! which the road folds into its arrays and sums; crossings, landings,
 //! and insertions adjust them directly. The invariant (counter ≡ rescan
-//! under the same [`SensorSpec`], via [`RoadLanes::rescan_sensors`]) is
-//! enforced by `MicroSim::verify_sensors` and a dedicated regression
+//! under the same [`SensorSpec`], via [`NetworkLanes::rescan_sensors`])
+//! is enforced by `MicroSim::verify_sensors` and a dedicated regression
 //! test.
 //!
 //! ## Waiting accumulators
@@ -250,11 +267,11 @@ impl SensorSpec {
     }
 }
 
-/// Bookkeeping of one lane's span inside [`RoadLanes`]: a half-open
+/// Bookkeeping of one lane's span inside [`NetworkLanes`]: a half-open
 /// window `head..fill` of its fixed-stride segment holds the live
 /// vehicles, head (closest to the stop line) first.
 #[derive(Debug, Clone, Copy, Default)]
-struct LaneMeta {
+pub(crate) struct LaneMeta {
     /// Index of the current head vehicle within the segment (offset
     /// dequeue — popping the head does not shift the arrays).
     head: usize,
@@ -265,13 +282,39 @@ struct LaneMeta {
     head_crossed: bool,
 }
 
-/// All lanes of one road in a single segmented struct-of-arrays arena.
+/// One road's region inside the [`NetworkLanes`] arena: a contiguous run
+/// of `num_lanes` fixed-stride lane segments starting at element
+/// `start`, plus the road's live-vehicle count backing the active-road
+/// list. Strides are per-road (`seg`), sized from the road's geometry at
+/// construction, so a road outgrowing its stride re-lays-out the arena
+/// without disturbing any other road's logical content.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct RoadSpan {
+    /// Element offset of the road's first lane segment in every array.
+    pub(crate) start: usize,
+    /// Index of the road's first lane in the network-wide lane-meta
+    /// array.
+    pub(crate) lane0: usize,
+    /// Number of lanes.
+    pub(crate) num_lanes: usize,
+    /// Fixed per-lane stride of this road's segments.
+    pub(crate) seg: usize,
+    /// Vehicles currently on the road's lanes (excludes junction-box
+    /// reservations — this is lane storage occupancy, not road
+    /// occupancy).
+    pub(crate) live: u32,
+}
+
+/// Every lane of every road in a single network-wide segmented
+/// struct-of-arrays arena.
 ///
-/// Each parallel array is one contiguous allocation for the whole road;
-/// lane `l` owns the fixed-stride span `l·seg .. (l+1)·seg` of every
-/// array. Within its span a lane is single file (no overtaking): index
-/// order *is* position order, positions strictly decreasing from the
-/// head. The arrays, split by access pattern:
+/// Each parallel array is one contiguous allocation for the *whole
+/// network*; road `r` owns the element range described by its
+/// [`RoadSpan`], and lane `l` of road `r` owns the fixed-stride span
+/// `span.start + l·seg .. span.start + (l+1)·seg` of every array. Within
+/// its span a lane is single file (no overtaking): index order *is*
+/// position order, positions strictly decreasing from the head. The
+/// arrays, split by access pattern:
 ///
 /// - `pv` — `[position, speed]` per vehicle, interleaved: the
 ///   car-following update always reads and writes both, so pairing them
@@ -280,7 +323,8 @@ struct LaneMeta {
 ///   completion). `u32` on purpose: 2³² waiting ticks is 136 simulated
 ///   years, and the narrower accumulator keeps the array out of the hot
 ///   loop's cache budget except when a vehicle is actually waiting.
-/// - `slot` — [`VehicleArena`] slot per vehicle.
+/// - `slot` — [`VehicleArena`] slot per vehicle (untouched by the
+///   follower phase).
 /// - `link` — cached movement link index at the road's destination
 ///   intersection ([`LINK_NONE`] on exit-road lanes). Never changes
 ///   on-road.
@@ -288,103 +332,152 @@ struct LaneMeta {
 ///   fidelity's dawdle-stream key. Maintained in exact mode too (one
 ///   store per admission) so switching fidelity never re-shapes storage.
 ///
+/// The sorted `active` list holds the indices of roads with `live > 0`
+/// and is what the head and follower phases iterate — empty roads cost
+/// nothing. Its backing storage is reserved at `num_roads` up front, so
+/// activation/deactivation never allocates.
+///
 /// Segments are sized at the offset-dequeue plateau (compaction keeps
 /// `head` below `max(32, live)`, bounding occupancy at twice the
 /// resident capacity), so pushes never allocate in steady state; a lane
-/// outgrowing its span first compacts and, failing that, the storage
-/// re-segments at double the stride — a cold path that changes only the
-/// representation, never the logical content.
+/// outgrowing its span first compacts and, failing that, its road's
+/// region re-segments at double the stride — a cold path that changes
+/// only the representation, never the logical content.
 #[derive(Debug, Clone, Default)]
-pub(crate) struct RoadLanes {
+pub(crate) struct NetworkLanes {
     pv: Vec<[f64; 2]>,
     wait: Vec<u32>,
     slot: Vec<u32>,
     link: Vec<u16>,
     id: Vec<u64>,
-    /// Fixed per-lane stride of every array.
-    seg: usize,
     lanes: Vec<LaneMeta>,
+    spans: Vec<RoadSpan>,
+    /// Sorted indices of roads with at least one on-lane vehicle.
+    active: Vec<u32>,
 }
 
-impl RoadLanes {
-    /// Storage for `num_lanes` lanes of `capacity` resident vehicles
-    /// each, pre-sized at the offset-dequeue plateau so pushes never
-    /// reallocate: a segment is compacted before `head` exceeds
-    /// `max(32, fill - head)`, bounding occupancy at twice that (plus
-    /// the entry in flight).
-    pub fn new(num_lanes: usize, capacity: usize) -> Self {
-        let seg = 2 * capacity.max(32) + 2;
-        RoadLanes {
-            pv: vec![[0.0; 2]; num_lanes * seg],
-            wait: vec![0; num_lanes * seg],
-            slot: vec![0; num_lanes * seg],
-            link: vec![0; num_lanes * seg],
-            id: vec![0; num_lanes * seg],
-            seg,
-            lanes: vec![LaneMeta::default(); num_lanes],
+impl NetworkLanes {
+    /// Storage for a network whose road `r` has `shapes[r] = (num_lanes,
+    /// capacity)` — `capacity` resident vehicles per lane, pre-sized at
+    /// the offset-dequeue plateau so pushes never reallocate: a segment
+    /// is compacted before `head` exceeds `max(32, fill - head)`,
+    /// bounding occupancy at twice that (plus the entry in flight).
+    pub fn new(shapes: &[(usize, usize)]) -> Self {
+        let mut spans = Vec::with_capacity(shapes.len());
+        let (mut start, mut lane0) = (0usize, 0usize);
+        for &(num_lanes, capacity) in shapes {
+            let seg = 2 * capacity.max(32) + 2;
+            spans.push(RoadSpan {
+                start,
+                lane0,
+                num_lanes,
+                seg,
+                live: 0,
+            });
+            start += num_lanes * seg;
+            lane0 += num_lanes;
+        }
+        NetworkLanes {
+            pv: vec![[0.0; 2]; start],
+            wait: vec![0; start],
+            slot: vec![0; start],
+            link: vec![0; start],
+            id: vec![0; start],
+            lanes: vec![LaneMeta::default(); lane0],
+            spans,
+            active: Vec::with_capacity(shapes.len()),
         }
     }
 
-    /// Number of lanes.
-    pub fn num_lanes(&self) -> usize {
-        self.lanes.len()
+    /// Element index of the first slot of lane `l` of road `r`.
+    #[inline]
+    fn lane_base(&self, r: usize, l: usize) -> usize {
+        let s = self.spans[r];
+        s.start + l * s.seg
     }
 
-    /// Number of vehicles on lane `l`.
-    pub fn len(&self, l: usize) -> usize {
-        let m = self.lanes[l];
+    /// The lane metadata of lane `l` of road `r` (by value).
+    #[inline]
+    fn meta(&self, r: usize, l: usize) -> LaneMeta {
+        self.lanes[self.spans[r].lane0 + l]
+    }
+
+    /// Number of lanes of road `r`.
+    pub fn num_lanes(&self, r: usize) -> usize {
+        self.spans[r].num_lanes
+    }
+
+    /// Number of vehicles on lane `l` of road `r`.
+    pub fn len(&self, r: usize, l: usize) -> usize {
+        let m = self.meta(r, l);
         m.fill - m.head
     }
 
-    /// Whether lane `l` is empty.
-    pub fn is_empty(&self, l: usize) -> bool {
-        let m = self.lanes[l];
+    /// Whether lane `l` of road `r` is empty.
+    pub fn is_empty(&self, r: usize, l: usize) -> bool {
+        let m = self.meta(r, l);
         m.head == m.fill
     }
 
-    /// Total vehicles across all lanes.
-    pub fn total_len(&self) -> usize {
-        self.lanes.iter().map(|m| m.fill - m.head).sum()
+    /// Vehicles on road `r`'s lanes (the incrementally maintained count
+    /// behind the active-road list).
+    #[cfg_attr(not(test), allow(dead_code))]
+    pub fn road_len(&self, r: usize) -> usize {
+        self.spans[r].live as usize
     }
 
-    /// Position of the `i`-th vehicle from the head of lane `l`.
-    pub fn pos_at(&self, l: usize, i: usize) -> f64 {
-        self.pv[l * self.seg + self.lanes[l].head + i][0]
+    /// Total vehicles on lanes across the whole network.
+    pub fn total_vehicles(&self) -> usize {
+        self.spans.iter().map(|s| s.live as usize).sum()
     }
 
-    /// Speed of the `i`-th vehicle from the head of lane `l`.
-    pub fn speed_at(&self, l: usize, i: usize) -> f64 {
-        self.pv[l * self.seg + self.lanes[l].head + i][1]
+    /// Position of the `i`-th vehicle from the head of lane `l` of road
+    /// `r`.
+    pub fn pos_at(&self, r: usize, l: usize, i: usize) -> f64 {
+        self.pv[self.lane_base(r, l) + self.meta(r, l).head + i][0]
     }
 
-    /// Arena slot of the `i`-th vehicle from the head of lane `l`.
-    pub fn slot_at(&self, l: usize, i: usize) -> u32 {
-        self.slot[l * self.seg + self.lanes[l].head + i]
+    /// Speed of the `i`-th vehicle from the head of lane `l` of road
+    /// `r`.
+    pub fn speed_at(&self, r: usize, l: usize, i: usize) -> f64 {
+        self.pv[self.lane_base(r, l) + self.meta(r, l).head + i][1]
+    }
+
+    /// Arena slot of the `i`-th vehicle from the head of lane `l` of
+    /// road `r`.
+    pub fn slot_at(&self, r: usize, l: usize, i: usize) -> u32 {
+        self.slot[self.lane_base(r, l) + self.meta(r, l).head + i]
     }
 
     /// Cached movement link index of the `i`-th vehicle from the head of
-    /// lane `l`.
-    pub fn link_at(&self, l: usize, i: usize) -> u16 {
-        self.link[l * self.seg + self.lanes[l].head + i]
+    /// lane `l` of road `r`.
+    pub fn link_at(&self, r: usize, l: usize, i: usize) -> u16 {
+        self.link[self.lane_base(r, l) + self.meta(r, l).head + i]
     }
 
-    /// The active waiting accumulators of every lane, lane by lane, head
-    /// first.
+    /// The active waiting accumulators of every vehicle in the network —
+    /// roads in index order, lanes in order, head first (the canonical
+    /// fleet-walk order shared with `fleet_digest` and `replan_routes`).
     pub fn all_waits(&self) -> impl Iterator<Item = u64> + '_ {
-        self.lanes.iter().enumerate().flat_map(move |(l, m)| {
-            let base = l * self.seg;
-            self.wait[base + m.head..base + m.fill]
-                .iter()
-                .map(|&w| w as u64)
+        self.spans.iter().flat_map(move |span| {
+            (0..span.num_lanes).flat_map(move |l| {
+                let m = self.lanes[span.lane0 + l];
+                let base = span.start + l * span.seg;
+                self.wait[base + m.head..base + m.fill]
+                    .iter()
+                    .map(|&w| w as u64)
+            })
         })
     }
 
-    /// Appends a vehicle at the entry of lane `l` (landing or
-    /// insertion). The caller must have updated the sensors via the
-    /// road's `sensor_add`.
+    /// Appends a vehicle at the entry of lane `l` of road `r` (landing
+    /// or insertion). The caller must have updated the sensors via the
+    /// road's `sensor_add`. Maintains the road's live count and the
+    /// active-road list.
     #[allow(clippy::too_many_arguments)]
     pub fn push(
         &mut self,
+        r: usize,
         l: usize,
         pos: f64,
         speed: f64,
@@ -393,97 +486,111 @@ impl RoadLanes {
         link: u16,
         id: u64,
     ) {
-        if self.lanes[l].fill == self.seg {
-            self.make_room(l);
+        if self.meta(r, l).fill == self.spans[r].seg {
+            self.make_room(r, l);
         }
-        let m = &mut self.lanes[l];
-        let j = l * self.seg + m.fill;
+        let span = self.spans[r];
+        let li = span.lane0 + l;
+        let m = &mut self.lanes[li];
+        let j = span.start + l * span.seg + m.fill;
         m.fill += 1;
         self.pv[j] = [pos, speed];
         self.wait[j] = wait as u32;
         self.slot[j] = slot;
         self.link[j] = link;
         self.id[j] = id;
+        self.road_live_add(r, 1);
     }
 
-    /// Removes the head vehicle of lane `l` (stop-line crossing);
-    /// returns its arena slot and accumulated waiting. Segments are
-    /// compacted amortizedly, so popping is O(1) and allocation-free.
-    pub fn pop_head(&mut self, l: usize) -> (u32, u64) {
-        let base = l * self.seg;
-        let m = &mut self.lanes[l];
+    /// Removes the head vehicle of lane `l` of road `r` (stop-line
+    /// crossing); returns its arena slot and accumulated waiting.
+    /// Segments are compacted amortizedly, so popping is O(1) and
+    /// allocation-free. Maintains the live count / active-road list.
+    pub fn pop_head(&mut self, r: usize, l: usize) -> (u32, u64) {
+        let span = self.spans[r];
+        let base = span.start + l * span.seg;
+        let li = span.lane0 + l;
+        let mut m = self.lanes[li];
         let j = base + m.head;
         let (slot, wait) = (self.slot[j], self.wait[j]);
         m.head += 1;
         if m.head == m.fill {
             m.head = 0;
             m.fill = 0;
+            self.lanes[li] = m;
         } else if m.head >= 32 && m.head * 2 >= m.fill {
-            self.compact(l);
+            self.lanes[li] = m;
+            self.compact(r, l);
+        } else {
+            self.lanes[li] = m;
         }
+        self.road_live_add(r, -1);
         (slot, wait as u64)
     }
 
-    /// Position of the last vehicle of lane `l` (smallest `pos`), or
-    /// `length` if empty — the space available at the lane entry.
-    pub fn tail_position(&self, l: usize, length: f64) -> f64 {
-        let m = self.lanes[l];
+    /// Position of the last vehicle of lane `l` of road `r` (smallest
+    /// `pos`), or `length` if empty — the space available at the lane
+    /// entry.
+    pub fn tail_position(&self, r: usize, l: usize, length: f64) -> f64 {
+        let m = self.meta(r, l);
         if m.head == m.fill {
             length
         } else {
-            self.pv[l * self.seg + m.fill - 1][0]
+            self.pv[self.lane_base(r, l) + m.fill - 1][0]
         }
     }
 
-    /// Whether a new vehicle can be placed at `pos = 0` on lane `l`
-    /// while keeping jam spacing to the current tail.
-    pub fn entry_clear(&self, l: usize, length: f64, cfg: &MicroSimConfig) -> bool {
-        self.tail_position(l, length) >= cfg.jam_spacing_m()
+    /// Whether a new vehicle can be placed at `pos = 0` on lane `l` of
+    /// road `r` while keeping jam spacing to the current tail.
+    pub fn entry_clear(&self, r: usize, l: usize, length: f64, cfg: &MicroSimConfig) -> bool {
+        self.tail_position(r, l, length) >= cfg.jam_spacing_m()
     }
 
-    /// Number of vehicles on lane `l` within `range` meters of the stop
-    /// line — what a presence detector reports. O(n) rescan for
-    /// arbitrary ranges; the road's dense counters answer the configured
-    /// detector in O(1).
-    pub fn detected(&self, l: usize, length: f64, range: f64) -> u32 {
-        self.live(l)
+    /// Number of vehicles on lane `l` of road `r` within `range` meters
+    /// of the stop line — what a presence detector reports. O(n) rescan
+    /// for arbitrary ranges; the road's dense counters answer the
+    /// configured detector in O(1).
+    pub fn detected(&self, r: usize, l: usize, length: f64, range: f64) -> u32 {
+        self.live(r, l)
             .iter()
             .filter(|pv| pv[0] >= length - range)
             .count() as u32
     }
 
     /// Number of *halted* vehicles (speed below `halt_speed`) on lane
-    /// `l` within `range` meters of the stop line — what a SUMO-style
-    /// jam detector reports. O(n) rescan; the road's dense counters
-    /// answer whole-lane reads under the configured halt speed in O(1).
+    /// `l` of road `r` within `range` meters of the stop line — what a
+    /// SUMO-style jam detector reports. O(n) rescan; the road's dense
+    /// counters answer whole-lane reads under the configured halt speed
+    /// in O(1).
     #[allow(dead_code)] // kept for ad-hoc detector queries and tests
-    pub fn halted(&self, l: usize, length: f64, range: f64, halt_speed: f64) -> u32 {
-        self.live(l)
+    pub fn halted(&self, r: usize, l: usize, length: f64, range: f64, halt_speed: f64) -> u32 {
+        self.live(r, l)
             .iter()
             .filter(|pv| pv[0] >= length - range && pv[1] < halt_speed)
             .count() as u32
     }
 
-    /// Recomputes lane `l`'s sensor counters by rescanning (used when
-    /// validating the incremental-sensing invariant kept in the road's
-    /// dense counter arrays).
-    pub fn rescan_sensors(&self, l: usize, spec: SensorSpec) -> (u32, u32) {
-        let live = self.live(l);
+    /// Recomputes lane `l` of road `r`'s sensor counters by rescanning
+    /// (used when validating the incremental-sensing invariant kept in
+    /// the road's dense counter arrays).
+    pub fn rescan_sensors(&self, r: usize, l: usize, spec: SensorSpec) -> (u32, u32) {
+        let live = self.live(r, l);
         let detected = live.iter().filter(|pv| pv[0] >= spec.detect_from).count() as u32;
         let halted = live.iter().filter(|pv| pv[1] < spec.halt_speed).count() as u32;
         (detected, halted)
     }
 
-    /// Serializes lane `l`'s logical content (head first). The `head`
-    /// offset, the dequeued prefix, and the segment geometry are
-    /// amortization artifacts, not state: restoring at `head = 0` yields
-    /// identical physics, and canonicalizing makes save → load → save a
-    /// fixed point. Cached ids are not written — they are derivable from
-    /// the arena (`refresh_ids`), which keeps the wire format identical
-    /// to the pre-segmented layout.
-    pub fn save_state(&self, l: usize, writer: &mut StateWriter) {
-        let base = l * self.seg;
-        let m = self.lanes[l];
+    /// Serializes lane `l` of road `r`'s logical content (head first).
+    /// The `head` offset, the dequeued prefix, and the segment geometry
+    /// (including the arena's road spans) are amortization artifacts,
+    /// not state: restoring at `head = 0` yields identical physics, and
+    /// canonicalizing makes save → load → save a fixed point. Cached ids
+    /// are not written — they are derivable from the arena
+    /// ([`refresh_ids_road`](Self::refresh_ids_road)), which keeps the
+    /// wire format identical to the pre-arena per-road layout.
+    pub fn save_lane(&self, r: usize, l: usize, writer: &mut StateWriter) {
+        let base = self.lane_base(r, l);
+        let m = self.meta(r, l);
         writer.push_usize(m.fill - m.head);
         for j in base + m.head..base + m.fill {
             writer.push_f64(self.pv[j][0]);
@@ -494,24 +601,33 @@ impl RoadLanes {
         }
     }
 
-    /// Restores lane `l` from a stream saved by
-    /// [`save_state`](Self::save_state), replacing the current content.
+    /// Restores lane `l` of road `r` from a stream saved by
+    /// [`save_lane`](Self::save_lane), replacing the current content.
     /// `head_crossed` is intra-step scratch and resets to `false`
     /// (checkpoints are taken at tick boundaries). Cached ids are left
     /// stale — the simulator rebuilds them from the restored arena via
-    /// [`refresh_ids`](Self::refresh_ids) once both sides are loaded.
+    /// [`refresh_ids_road`](Self::refresh_ids_road) once both sides are
+    /// loaded. The road's live count and the active list are maintained
+    /// here, so a restore into a non-empty simulator stays consistent.
     ///
     /// # Errors
     ///
     /// Returns a [`StateError`] on a truncated stream or a link word out
     /// of `u16` range.
-    pub fn load_state(&mut self, l: usize, reader: &mut StateReader<'_>) -> Result<(), StateError> {
+    pub fn load_lane(
+        &mut self,
+        r: usize,
+        l: usize,
+        reader: &mut StateReader<'_>,
+    ) -> Result<(), StateError> {
         let len = reader.take_usize()?;
-        self.lanes[l] = LaneMeta::default();
-        while self.seg < len {
-            self.grow();
+        let li = self.spans[r].lane0 + l;
+        let old_len = self.lanes[li].fill - self.lanes[li].head;
+        self.lanes[li] = LaneMeta::default();
+        while self.spans[r].seg < len {
+            self.grow_road(r);
         }
-        let base = l * self.seg;
+        let base = self.lane_base(r, l);
         for i in 0..len {
             let pos = reader.take_f64()?;
             let speed = reader.take_f64()?;
@@ -527,91 +643,290 @@ impl RoadLanes {
             self.slot[base + i] = slot;
             self.link[base + i] = link;
         }
-        self.lanes[l].fill = len;
+        self.lanes[self.spans[r].lane0 + l].fill = len;
+        self.road_live_add(r, len as i64 - old_len as i64);
         Ok(())
     }
 
-    /// Rebuilds every cached vehicle id from the arena (slot → external
-    /// id). Called once after a state restore, when both the lanes and
-    /// the arena are loaded.
-    pub fn refresh_ids(&mut self, arena: &VehicleArena) {
-        for (l, m) in self.lanes.iter().enumerate() {
-            let base = l * self.seg;
+    /// Rebuilds road `r`'s cached vehicle ids from the arena (slot →
+    /// external id). Called once per road after a state restore, when
+    /// both the lanes and the arena are loaded.
+    pub fn refresh_ids_road(&mut self, r: usize, arena: &VehicleArena) {
+        let span = self.spans[r];
+        for l in 0..span.num_lanes {
+            let m = self.lanes[span.lane0 + l];
+            let base = span.start + l * span.seg;
             for j in base + m.head..base + m.fill {
                 self.id[j] = arena.id(self.slot[j]).raw();
             }
         }
     }
 
-    /// The live `[position, speed]` span of lane `l`.
-    fn live(&self, l: usize) -> &[[f64; 2]] {
-        let base = l * self.seg;
-        let m = self.lanes[l];
+    /// Number of roads currently holding vehicles.
+    pub fn num_active(&self) -> usize {
+        self.active.len()
+    }
+
+    /// The `ai`-th active road (ascending road-index order).
+    pub fn active_road(&self, ai: usize) -> usize {
+        self.active[ai] as usize
+    }
+
+    /// The sorted active-road list (diagnostics and tests).
+    #[cfg_attr(not(test), allow(dead_code))]
+    pub fn active_roads(&self) -> &[u32] {
+        &self.active
+    }
+
+    /// Validates the occupancy bookkeeping: every road's live count must
+    /// equal the sum of its lane windows, and the active list must hold
+    /// exactly the roads with `live > 0`, sorted and without duplicates.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message naming the first divergent road.
+    pub fn verify_active(&self) -> Result<(), String> {
+        for (r, span) in self.spans.iter().enumerate() {
+            let count: usize = (0..span.num_lanes)
+                .map(|l| {
+                    let m = self.lanes[span.lane0 + l];
+                    m.fill - m.head
+                })
+                .sum();
+            if count != span.live as usize {
+                return Err(format!(
+                    "road {r}: live count {} != lane sum {count}",
+                    span.live
+                ));
+            }
+            let listed = self.active.binary_search(&(r as u32)).is_ok();
+            if listed != (span.live > 0) {
+                return Err(format!(
+                    "road {r}: live {} but active-listed {listed}",
+                    span.live
+                ));
+            }
+        }
+        if !self.active.windows(2).all(|w| w[0] < w[1]) {
+            return Err("active list not strictly sorted".to_string());
+        }
+        Ok(())
+    }
+
+    /// The follower phase's serial entry: one full-range view over the
+    /// hot arrays plus the road spans and the active list — everything
+    /// the serial sweep needs, borrowed disjointly and allocation-free.
+    pub fn follower_parts(&mut self) -> (LaneView<'_>, &[RoadSpan], &[u32]) {
+        (
+            LaneView {
+                pv: &mut self.pv,
+                wait: &mut self.wait,
+                link: &self.link,
+                id: &self.id,
+                lanes: &mut self.lanes,
+                offset: 0,
+                lane0: 0,
+            },
+            &self.spans,
+            &self.active,
+        )
+    }
+
+    /// Splits the hot arrays into disjoint per-shard views at road-region
+    /// boundaries, `chunk` roads per shard — the Rayon follower phase's
+    /// entry. Safe splitting only (`split_at_mut`), no `unsafe`.
+    pub fn follower_shards(&mut self, chunk: usize) -> (Vec<FollowerShard<'_>>, &[RoadSpan]) {
+        let num_roads = self.spans.len();
+        let chunk = chunk.max(1);
+        let total = self.pv.len();
+        let total_lanes = self.lanes.len();
+        let mut shards = Vec::with_capacity(num_roads.div_ceil(chunk));
+        let mut pv = self.pv.as_mut_slice();
+        let mut wait = self.wait.as_mut_slice();
+        let mut lanes = self.lanes.as_mut_slice();
+        let mut link = self.link.as_slice();
+        let mut id = self.id.as_slice();
+        let mut r0 = 0usize;
+        while r0 < num_roads {
+            let r1 = (r0 + chunk).min(num_roads);
+            let start = self.spans[r0].start;
+            let end = if r1 < num_roads {
+                self.spans[r1].start
+            } else {
+                total
+            };
+            let lane0 = self.spans[r0].lane0;
+            let lane_end = if r1 < num_roads {
+                self.spans[r1].lane0
+            } else {
+                total_lanes
+            };
+            let (pv_a, pv_b) = std::mem::take(&mut pv).split_at_mut(end - start);
+            pv = pv_b;
+            let (wait_a, wait_b) = std::mem::take(&mut wait).split_at_mut(end - start);
+            wait = wait_b;
+            let (lanes_a, lanes_b) = std::mem::take(&mut lanes).split_at_mut(lane_end - lane0);
+            lanes = lanes_b;
+            let (link_a, link_b) = link.split_at(end - start);
+            link = link_b;
+            let (id_a, id_b) = id.split_at(end - start);
+            id = id_b;
+            shards.push(FollowerShard {
+                view: LaneView {
+                    pv: pv_a,
+                    wait: wait_a,
+                    link: link_a,
+                    id: id_a,
+                    lanes: lanes_a,
+                    offset: start,
+                    lane0,
+                },
+                r0,
+                r1,
+            });
+            r0 = r1;
+        }
+        (shards, &self.spans)
+    }
+
+    /// The live `[position, speed]` span of lane `l` of road `r`.
+    fn live(&self, r: usize, l: usize) -> &[[f64; 2]] {
+        let base = self.lane_base(r, l);
+        let m = self.meta(r, l);
         &self.pv[base + m.head..base + m.fill]
     }
 
-    /// Shifts lane `l`'s live window to the start of its segment.
-    fn compact(&mut self, l: usize) {
-        let base = l * self.seg;
-        let m = self.lanes[l];
+    /// Adjusts road `r`'s live count, (de)registering it in the sorted
+    /// active list on the empty↔non-empty transitions. `insert`/`remove`
+    /// shift at most `active.len()` (≤ roads) small words and never
+    /// allocate (capacity is reserved at construction).
+    fn road_live_add(&mut self, r: usize, delta: i64) {
+        let span = &mut self.spans[r];
+        let old = span.live;
+        span.live = (i64::from(old) + delta) as u32;
+        let new = span.live;
+        if old == 0 && new > 0 {
+            let i = self.active.partition_point(|&x| (x as usize) < r);
+            self.active.insert(i, r as u32);
+        } else if old > 0 && new == 0 {
+            let i = self.active.partition_point(|&x| (x as usize) < r);
+            debug_assert_eq!(self.active[i] as usize, r);
+            self.active.remove(i);
+        }
+    }
+
+    /// Shifts lane `l` of road `r`'s live window to the start of its
+    /// segment.
+    fn compact(&mut self, r: usize, l: usize) {
+        let span = self.spans[r];
+        let base = span.start + l * span.seg;
+        let li = span.lane0 + l;
+        let m = self.lanes[li];
         let src = base + m.head..base + m.fill;
         self.pv.copy_within(src.clone(), base);
         self.wait.copy_within(src.clone(), base);
         self.slot.copy_within(src.clone(), base);
         self.link.copy_within(src.clone(), base);
         self.id.copy_within(src, base);
-        self.lanes[l].fill = m.fill - m.head;
-        self.lanes[l].head = 0;
+        self.lanes[li].fill = m.fill - m.head;
+        self.lanes[li].head = 0;
     }
 
-    /// Makes space for one more vehicle on lane `l`: compacts the
-    /// dequeued prefix away if there is one, otherwise re-segments the
-    /// storage at double the stride (cold path — segments are sized so
-    /// steady-state traffic never outgrows them).
-    fn make_room(&mut self, l: usize) {
-        if self.lanes[l].head > 0 {
-            self.compact(l);
+    /// Makes space for one more vehicle on lane `l` of road `r`:
+    /// compacts the dequeued prefix away if there is one, otherwise
+    /// re-segments the road's region at double the stride (cold path —
+    /// segments are sized so steady-state traffic never outgrows them).
+    fn make_room(&mut self, r: usize, l: usize) {
+        if self.meta(r, l).head > 0 {
+            self.compact(r, l);
         } else {
-            self.grow();
+            self.grow_road(r);
         }
     }
 
-    /// Re-segments every array at double the stride, compacting each
-    /// lane to its new base. Representation-only: the logical content
-    /// (and therefore the physics) is unchanged.
-    fn grow(&mut self) {
-        let new_seg = 2 * self.seg.max(16) + 2;
-        let n = self.lanes.len();
-        let mut pv = vec![[0.0; 2]; n * new_seg];
-        let mut wait = vec![0; n * new_seg];
-        let mut slot = vec![0; n * new_seg];
-        let mut link = vec![0; n * new_seg];
-        let mut id = vec![0; n * new_seg];
-        for (l, m) in self.lanes.iter_mut().enumerate() {
-            let src = l * self.seg + m.head..l * self.seg + m.fill;
-            let dst = l * new_seg;
-            let live = src.len();
-            pv[dst..dst + live].copy_from_slice(&self.pv[src.clone()]);
-            wait[dst..dst + live].copy_from_slice(&self.wait[src.clone()]);
-            slot[dst..dst + live].copy_from_slice(&self.slot[src.clone()]);
-            link[dst..dst + live].copy_from_slice(&self.link[src.clone()]);
-            id[dst..dst + live].copy_from_slice(&self.id[src]);
-            m.head = 0;
-            m.fill = live;
+    /// Re-lays-out the arena with road `r`'s stride doubled, compacting
+    /// every lane to its new base (other roads keep their stride; their
+    /// regions shift to make room). Representation-only: the logical
+    /// content (and therefore the physics) is unchanged, as are the live
+    /// counts and the active list.
+    fn grow_road(&mut self, r: usize) {
+        let mut new_spans = self.spans.clone();
+        new_spans[r].seg = 2 * new_spans[r].seg.max(16) + 2;
+        let mut start = 0usize;
+        for span in new_spans.iter_mut() {
+            span.start = start;
+            start += span.num_lanes * span.seg;
+        }
+        let total = start;
+        let mut pv = vec![[0.0; 2]; total];
+        let mut wait = vec![0u32; total];
+        let mut slot = vec![0u32; total];
+        let mut link = vec![0u16; total];
+        let mut id = vec![0u64; total];
+        for (old, new) in self.spans.iter().zip(new_spans.iter()) {
+            for l in 0..old.num_lanes {
+                let li = old.lane0 + l;
+                let m = self.lanes[li];
+                let src = old.start + l * old.seg + m.head..old.start + l * old.seg + m.fill;
+                let dst = new.start + l * new.seg;
+                let live = src.len();
+                pv[dst..dst + live].copy_from_slice(&self.pv[src.clone()]);
+                wait[dst..dst + live].copy_from_slice(&self.wait[src.clone()]);
+                slot[dst..dst + live].copy_from_slice(&self.slot[src.clone()]);
+                link[dst..dst + live].copy_from_slice(&self.link[src.clone()]);
+                id[dst..dst + live].copy_from_slice(&self.id[src]);
+                self.lanes[li].head = 0;
+                self.lanes[li].fill = live;
+            }
         }
         self.pv = pv;
         self.wait = wait;
         self.slot = slot;
         self.link = link;
         self.id = id;
-        self.seg = new_seg;
+        self.spans = new_spans;
     }
 
-    /// The head offset of lane `l` (storage diagnostics for tests).
+    /// The head offset of lane `l` of road `r` (storage diagnostics for
+    /// tests).
     #[cfg(test)]
-    fn head(&self, l: usize) -> usize {
-        self.lanes[l].head
+    fn head(&self, r: usize, l: usize) -> usize {
+        self.meta(r, l).head
     }
+
+    /// The stride of road `r`'s segments (storage diagnostics for
+    /// tests).
+    #[cfg(test)]
+    fn seg(&self, r: usize) -> usize {
+        self.spans[r].seg
+    }
+}
+
+/// A mutable window over the arena's follower-phase arrays: the hot
+/// mutable state (`pv`, `wait`, lane metadata), the read-only per-vehicle
+/// caches (`link`, `id`), and the window's element/lane offsets so
+/// road-span indices translate to window-local indices. The serial sweep
+/// uses one full-range view (offsets 0); the Rayon sweep splits the
+/// arrays into disjoint per-shard views at road boundaries. The `slot`
+/// array is deliberately absent — the follower phase never touches it.
+pub(crate) struct LaneView<'a> {
+    pub(crate) pv: &'a mut [[f64; 2]],
+    pub(crate) wait: &'a mut [u32],
+    pub(crate) link: &'a [u16],
+    pub(crate) id: &'a [u64],
+    pub(crate) lanes: &'a mut [LaneMeta],
+    /// Element offset of `pv[0]` within the network arrays.
+    pub(crate) offset: usize,
+    /// Lane-meta offset of `lanes[0]`.
+    pub(crate) lane0: usize,
+}
+
+/// One Rayon shard of the follower phase: a disjoint [`LaneView`] window
+/// covering roads `r0..r1`.
+pub(crate) struct FollowerShard<'a> {
+    pub(crate) view: LaneView<'a>,
+    pub(crate) r0: usize,
+    pub(crate) r1: usize,
 }
 
 /// Per-(road, link) movement counters for mixed-lane roads.
@@ -762,18 +1077,19 @@ pub(crate) struct HeadOutcome {
     pub halted_delta: i32,
 }
 
-/// Advances only the head vehicle of lane `l` by one step, popping it
-/// and returning it in the outcome if it crossed the stop line under
-/// [`HeadMode::Release`]. Records the crossing on the lane so the
-/// follower phase ([`advance_followers`]) can run later — possibly on
-/// another thread — without re-deriving it.
+/// Advances only the head vehicle of lane `l` of road `r` by one step,
+/// popping it and returning it in the outcome if it crossed the stop
+/// line under [`HeadMode::Release`]. Records the crossing on the lane so
+/// the follower phase ([`advance_followers`]) can run later — possibly
+/// on another thread — without re-deriving it.
 ///
 /// If the head stays on the lane at waiting speed, its wait accumulator
 /// is incremented in place (a crossed head is in the junction box, not
 /// waiting).
 #[allow(clippy::too_many_arguments)]
 pub(crate) fn advance_head(
-    lanes: &mut RoadLanes,
+    net: &mut NetworkLanes,
+    r: usize,
     l: usize,
     length: f64,
     head_mode: HeadMode,
@@ -782,8 +1098,10 @@ pub(crate) fn advance_head(
     noise: &mut DawdleSource<'_>,
     mut movements: Option<&mut MovementCounters>,
 ) -> HeadOutcome {
-    lanes.lanes[l].head_crossed = false;
-    if lanes.is_empty(l) {
+    let span = net.spans[r];
+    let li = span.lane0 + l;
+    net.lanes[li].head_crossed = false;
+    if net.lanes[li].head == net.lanes[li].fill {
         return HeadOutcome {
             crossed: None,
             detected_delta: 0,
@@ -791,19 +1109,19 @@ pub(crate) fn advance_head(
         };
     }
 
-    let j = l * lanes.seg + lanes.lanes[l].head;
-    let [old_pos, old_speed] = lanes.pv[j];
+    let j = span.start + l * span.seg + net.lanes[li].head;
+    let [old_pos, old_speed] = net.pv[j];
     let leader = match head_mode {
         HeadMode::Release => LeaderInfo::Free,
         HeadMode::Blocked => LeaderInfo::Wall {
             distance_m: length - old_pos,
         },
     };
-    let xi = noise.draw(cfg, lanes.id[j]);
+    let xi = noise.draw(cfg, net.id[j]);
     let new_speed = next_speed(old_speed, leader, xi, cfg);
     let new_pos = old_pos + new_speed * cfg.dt_seconds;
-    lanes.pv[j] = [new_pos, new_speed];
-    let link = lanes.link[j];
+    net.pv[j] = [new_pos, new_speed];
+    let link = net.link[j];
     if let Some(mv) = movements.as_deref_mut() {
         mv.moved(link as usize, old_pos, new_pos, spec);
     }
@@ -811,19 +1129,19 @@ pub(crate) fn advance_head(
     let was_detected = (old_pos >= spec.detect_from) as i32;
     let was_halted = (old_speed < spec.halt_speed) as i32;
     if head_mode == HeadMode::Release && new_pos >= length {
-        lanes.lanes[l].head_crossed = true;
+        net.lanes[li].head_crossed = true;
         if let Some(mv) = movements {
             mv.remove(link as usize, new_pos, spec);
         }
         // Moved then left: the net effect is removing the old state.
         return HeadOutcome {
-            crossed: Some(lanes.pop_head(l)),
+            crossed: Some(net.pop_head(r, l)),
             detected_delta: -was_detected,
             halted_delta: -was_halted,
         };
     }
     if new_speed < cfg.waiting_speed_mps {
-        lanes.wait[j] += 1;
+        net.wait[j] += 1;
     }
     HeadOutcome {
         crossed: None,
@@ -832,16 +1150,21 @@ pub(crate) fn advance_head(
     }
 }
 
-/// Advances every remaining vehicle of lane `l` (sequential
-/// front-to-back Krauss update with an anti-overlap clamp), streaming
-/// over the lane's contiguous position/speed/wait spans. Must be called
-/// exactly once after [`advance_head`] each step; independent across
-/// lanes and roads, which is what the parallel car-following phase
-/// shards. Vehicles ending the step at waiting speed accumulate a
-/// waiting tick in place. Returns `(detected_delta, halted_delta)` for
-/// the caller's dense counter arrays.
+/// Advances every remaining vehicle of lane `l` of the road described by
+/// `span` (sequential front-to-back Krauss update with an anti-overlap
+/// clamp), streaming over the lane's contiguous position/speed/wait
+/// spans inside `view`. Must be called exactly once after
+/// [`advance_head`] each step for every lane of an *occupied* road
+/// (roads skipped by the active list carry no vehicles and no pending
+/// scratch that matters — see the module docs); independent across lanes
+/// and roads, which is what the parallel car-following phase shards.
+/// Vehicles ending the step at waiting speed accumulate a waiting tick
+/// in place. Returns `(detected_delta, halted_delta)` for the caller's
+/// dense counter arrays.
+#[allow(clippy::too_many_arguments)]
 pub(crate) fn advance_followers(
-    lanes: &mut RoadLanes,
+    view: &mut LaneView<'_>,
+    span: &RoadSpan,
     l: usize,
     length: f64,
     cfg: &MicroSimConfig,
@@ -849,9 +1172,10 @@ pub(crate) fn advance_followers(
     rng: &mut SmallRng,
     mut movements: Option<&mut MovementCounters>,
 ) -> (i64, i64) {
-    let m = lanes.lanes[l];
+    let li = span.lane0 - view.lane0 + l;
+    let m = view.lanes[li];
     let start = if m.head_crossed { 0 } else { 1 };
-    lanes.lanes[l].head_crossed = false;
+    view.lanes[li].head_crossed = false;
     if m.fill - m.head <= start {
         return (0, 0);
     }
@@ -866,11 +1190,11 @@ pub(crate) fn advance_followers(
     let mut leader_pos = f64::INFINITY;
     let mut leader_speed = 0.0;
 
-    let base = l * lanes.seg;
+    let base = span.start - view.offset + l * span.seg;
     let n = m.fill - m.head;
-    let pv = &mut lanes.pv[base + m.head..base + m.fill];
-    let wait = &mut lanes.wait[base + m.head..base + m.fill];
-    let link = &lanes.link[base + m.head..base + m.fill];
+    let pv = &mut view.pv[base + m.head..base + m.fill];
+    let wait = &mut view.wait[base + m.head..base + m.fill];
+    let link = &view.link[base + m.head..base + m.fill];
     if start == 1 {
         [leader_pos, leader_speed] = pv[0];
     }
@@ -958,6 +1282,12 @@ pub(crate) fn advance_followers(
 /// draws (each draw has a ~38% chance of landing at or below it).
 const QUIESCE_GAP: f64 = 0.5;
 
+/// Stack-buffer width of the `simd` feature's precomputed dawdle draws:
+/// 1 KiB of stack per lane pass, wide enough that almost every urban
+/// lane fills in one chunk (longer lanes refill per chunk).
+#[cfg(feature = "simd")]
+const XI_CHUNK: usize = 128;
+
 /// The batched-fidelity counterpart of [`advance_followers`]: one call
 /// advances every lane of a road under the batched numerical contract.
 ///
@@ -1007,7 +1337,8 @@ const QUIESCE_GAP: f64 = 0.5;
 /// distributionally.
 #[allow(clippy::too_many_arguments)]
 pub(crate) fn advance_followers_batched_road(
-    lanes: &mut RoadLanes,
+    view: &mut LaneView<'_>,
+    span: &RoadSpan,
     length: f64,
     cfg: &MicroSimConfig,
     spec: SensorSpec,
@@ -1017,16 +1348,19 @@ pub(crate) fn advance_followers_batched_road(
     lane_detected: &mut [u32],
     lane_halted: &mut [u32],
 ) -> (i64, i64) {
-    let RoadLanes {
+    let LaneView {
         pv,
         wait,
         link,
         id,
-        seg,
-        lanes: meta,
-        ..
-    } = lanes;
-    let seg = *seg;
+        lanes,
+        offset,
+        lane0,
+    } = view;
+    let seg = span.seg;
+    let road_base = span.start - *offset;
+    let meta_lo = span.lane0 - *lane0;
+    let meta = &mut lanes[meta_lo..meta_lo + span.num_lanes];
 
     let dt = cfg.dt_seconds;
     let free_speed = cfg.free_speed_mps;
@@ -1054,9 +1388,9 @@ pub(crate) fn advance_followers_batched_road(
         if n <= start {
             continue;
         }
-        let h = l * seg + m.head;
+        let h = road_base + l * seg + m.head;
         let f = h + start;
-        let e = l * seg + m.fill;
+        let e = road_base + l * seg + m.fill;
         // The first follower's leader: the head's post-head-phase state,
         // or the stop line encoded as a standing virtual vehicle at
         // `length + gap_off` — algebraically identical to the exact
@@ -1072,7 +1406,21 @@ pub(crate) fn advance_followers_batched_road(
         let mut clamp_pos = if start == 0 { f64::INFINITY } else { pv[h][0] };
         let mut detected_delta = 0i64;
         let mut halted_delta = 0i64;
+        // `simd` pass: hoist the dawdle draws out of the sequential
+        // recurrence into a vectorizable precompute over the packed id
+        // stream. Element-for-element bit-identical to the fused draw
+        // (`counter_rng` pins it), so the gated build shares every
+        // golden and self-identity contract with the default one. Draws
+        // for frozen vehicles are computed and discarded — the counter
+        // RNG is stateless, so the waste is wall-clock only.
+        #[cfg(feature = "simd")]
+        let mut xi_buf = [0.0f64; XI_CHUNK];
         for i in f..e {
+            #[cfg(feature = "simd")]
+            if sigma_a_dt > 0.0 && (i - f).is_multiple_of(XI_CHUNK) {
+                let hi = (i + XI_CHUNK).min(e);
+                counter_rng::fill_xi(xi_base, sigma_a_dt, &id[i..hi], &mut xi_buf[..hi - i]);
+            }
             let [po, vo] = pv[i];
             let net_gap = leader_pos - po - gap_off;
             // Queue freeze: stopped behind a stationary leader with the
@@ -1090,7 +1438,11 @@ pub(crate) fn advance_followers_batched_road(
                 + (net_gap - leader_speed * tau) / ((vo + leader_speed) * half_inv_decel + tau);
             let v_des = free_speed.min(vo + a_dt).min(v_safe);
             let xi = if sigma_a_dt > 0.0 {
-                sigma_a_dt * counter_rng::uniform01(counter_rng::finish(xi_base, id[i]))
+                #[cfg(feature = "simd")]
+                let x = xi_buf[(i - f) % XI_CHUNK];
+                #[cfg(not(feature = "simd"))]
+                let x = sigma_a_dt * counter_rng::uniform01(counter_rng::finish(xi_base, id[i]));
+                x
             } else {
                 0.0
             };
@@ -1126,15 +1478,17 @@ pub(crate) fn advance_followers_batched_road(
     (road_detected, road_halted)
 }
 
-/// Advances every vehicle in lane `l` by one step./// Advances every vehicle in lane `l` by one step. Returns the head's
-/// `(slot, wait)` if it crossed the stop line under [`HeadMode::Release`].
+/// Advances every vehicle in lane `l` of road `r` by one step. Returns
+/// the head's `(slot, wait)` if it crossed the stop line under
+/// [`HeadMode::Release`].
 ///
 /// Composition of [`advance_head`] and [`advance_followers`]; the
 /// simulator calls the two phases separately (all heads first, then all
 /// followers) so the follower phase can shard across threads.
 #[cfg_attr(not(test), allow(dead_code))]
 pub(crate) fn update_lane(
-    lanes: &mut RoadLanes,
+    net: &mut NetworkLanes,
+    r: usize,
     l: usize,
     length: f64,
     head_mode: HeadMode,
@@ -1143,11 +1497,13 @@ pub(crate) fn update_lane(
 ) -> Option<(u32, u64)> {
     let spec = SensorSpec::for_road(length, cfg);
     let mut noise = DawdleSource::Stream(rng);
-    let outcome = advance_head(lanes, l, length, head_mode, cfg, spec, &mut noise, None);
+    let outcome = advance_head(net, r, l, length, head_mode, cfg, spec, &mut noise, None);
     let DawdleSource::Stream(rng) = noise else {
         unreachable!()
     };
-    advance_followers(lanes, l, length, cfg, spec, rng, None);
+    let (mut view, spans, _) = net.follower_parts();
+    let span = spans[r];
+    advance_followers(&mut view, &span, l, length, cfg, spec, rng, None);
     outcome.crossed
 }
 
@@ -1172,20 +1528,36 @@ mod tests {
         SmallRng::seed_from_u64(0)
     }
 
-    /// A one-lane storage for the lane-level tests.
-    fn lane() -> RoadLanes {
-        RoadLanes::new(1, 1)
+    /// A one-road, one-lane arena for the lane-level tests.
+    fn lane() -> NetworkLanes {
+        NetworkLanes::new(&[(1, 1)])
     }
 
     /// Pushes a vehicle (slot doubles as the test's vehicle id). Sensor
     /// counters live in the road's dense arrays, which these lane-level
     /// tests validate through `rescan_sensors` instead.
-    fn push(lanes: &mut RoadLanes, slot: u32, pos: f64, speed: f64, _spec: SensorSpec) {
-        lanes.push(0, pos, speed, 0, slot, 0, slot as u64);
+    fn push(net: &mut NetworkLanes, slot: u32, pos: f64, speed: f64, _spec: SensorSpec) {
+        net.push(0, 0, pos, speed, 0, slot, 0, slot as u64);
     }
 
     fn spec300() -> SensorSpec {
         SensorSpec::for_road(300.0, &cfg())
+    }
+
+    /// Runs the exact follower kernel for lane `l` of road `r` through a
+    /// throwaway full-range view.
+    fn followers(
+        net: &mut NetworkLanes,
+        r: usize,
+        l: usize,
+        length: f64,
+        c: &MicroSimConfig,
+        spec: SensorSpec,
+        rng: &mut SmallRng,
+    ) -> (i64, i64) {
+        let (mut view, spans, _) = net.follower_parts();
+        let span = spans[r];
+        advance_followers(&mut view, &span, l, length, c, spec, rng, None)
     }
 
     /// Manual follower-kernel timing probe (not a correctness test):
@@ -1200,23 +1572,25 @@ mod tests {
         const LANES: usize = 4;
         const N: usize = 4;
         const ITERS: usize = 500_000;
-        let mut lanes = RoadLanes::new(LANES, 2 * N);
+        let mut net = NetworkLanes::new(&[(LANES, 2 * N)]);
         let spec = SensorSpec::for_road(1000.0, &c);
         for l in 0..LANES {
             for i in 0..N {
                 let s = (l * N + i) as u32;
-                lanes.push(l, 900.0 - 15.0 * i as f64, 8.0, 0, s, 0, s as u64);
+                net.push(0, l, 900.0 - 15.0 * i as f64, 8.0, 0, s, 0, s as u64);
             }
         }
-        let saved_pv = lanes.pv.clone();
+        let saved_pv = net.pv.clone();
         let mut r = rng();
         let t = Instant::now();
         for k in 0..ITERS {
             if k % 64 == 0 {
-                lanes.pv.copy_from_slice(&saved_pv);
+                net.pv.copy_from_slice(&saved_pv);
             }
+            let (mut view, spans, _) = net.follower_parts();
+            let span = spans[0];
             for l in 0..LANES {
-                advance_followers(&mut lanes, l, 1000.0, &c, spec, &mut r, None);
+                advance_followers(&mut view, &span, l, 1000.0, &c, spec, &mut r, None);
             }
         }
         let per = (ITERS * LANES * N) as f64;
@@ -1226,10 +1600,12 @@ mod tests {
         let t = Instant::now();
         for k in 0..ITERS {
             if k % 64 == 0 {
-                lanes.pv.copy_from_slice(&saved_pv);
+                net.pv.copy_from_slice(&saved_pv);
             }
+            let (mut view, spans, _) = net.follower_parts();
+            let span = spans[0];
             advance_followers_batched_road(
-                &mut lanes, 1000.0, &c, spec, 7, k as u64, None, &mut ld, &mut lh,
+                &mut view, &span, 1000.0, &c, spec, 7, k as u64, None, &mut ld, &mut lh,
             );
         }
         let batched_ns = t.elapsed().as_secs_f64() * 1e9 / per;
@@ -1238,57 +1614,59 @@ mod tests {
 
     #[test]
     fn empty_lane_is_a_noop() {
-        let mut lanes = lane();
-        assert!(update_lane(&mut lanes, 0, 300.0, HeadMode::Release, &cfg(), &mut rng()).is_none());
+        let mut net = lane();
+        assert!(
+            update_lane(&mut net, 0, 0, 300.0, HeadMode::Release, &cfg(), &mut rng()).is_none()
+        );
     }
 
     #[test]
     fn blocked_head_stops_at_the_line() {
         let c = cfg();
-        let mut lanes = lane();
-        push(&mut lanes, 0, 250.0, c.free_speed_mps, spec300());
+        let mut net = lane();
+        push(&mut net, 0, 250.0, c.free_speed_mps, spec300());
         let mut r = rng();
         for _ in 0..30 {
-            let crossed = update_lane(&mut lanes, 0, 300.0, HeadMode::Blocked, &c, &mut r);
+            let crossed = update_lane(&mut net, 0, 0, 300.0, HeadMode::Blocked, &c, &mut r);
             assert!(crossed.is_none(), "blocked head must never cross");
         }
-        assert!(lanes.speed_at(0, 0) < 0.05);
-        assert!(lanes.pos_at(0, 0) <= 300.0 + 1e-9);
+        assert!(net.speed_at(0, 0, 0) < 0.05);
+        assert!(net.pos_at(0, 0, 0) <= 300.0 + 1e-9);
         assert!(
-            lanes.pos_at(0, 0) > 290.0,
+            net.pos_at(0, 0, 0) > 290.0,
             "head pos {}",
-            lanes.pos_at(0, 0)
+            net.pos_at(0, 0, 0)
         );
     }
 
     #[test]
     fn released_head_crosses_and_is_returned() {
         let c = cfg();
-        let mut lanes = lane();
-        push(&mut lanes, 7, 295.0, 10.0, spec300());
+        let mut net = lane();
+        push(&mut net, 7, 295.0, 10.0, spec300());
         let mut r = rng();
-        let crossed = update_lane(&mut lanes, 0, 300.0, HeadMode::Release, &c, &mut r);
+        let crossed = update_lane(&mut net, 0, 0, 300.0, HeadMode::Release, &c, &mut r);
         let (slot, _wait) = crossed.expect("head must cross");
         assert_eq!(slot, 7);
-        assert!(lanes.is_empty(0));
-        assert_eq!(lanes.rescan_sensors(0, spec300()), (0, 0));
+        assert!(net.is_empty(0, 0));
+        assert_eq!(net.rescan_sensors(0, 0, spec300()), (0, 0));
     }
 
     #[test]
     fn queue_compacts_without_collisions() {
         let c = cfg();
-        let mut lanes = lane();
+        let mut net = lane();
         // Five vehicles strung out; head blocked at the line.
         for (i, pos) in [280.0, 220.0, 160.0, 100.0, 40.0].iter().enumerate() {
-            push(&mut lanes, i as u32, *pos, 10.0, spec300());
+            push(&mut net, i as u32, *pos, 10.0, spec300());
         }
         let mut r = rng();
         for _ in 0..80 {
-            update_lane(&mut lanes, 0, 300.0, HeadMode::Blocked, &c, &mut r);
+            update_lane(&mut net, 0, 0, 300.0, HeadMode::Blocked, &c, &mut r);
             // Strict ordering with at least a vehicle length between
             // consecutive front bumpers.
-            for w in 0..lanes.len(0) - 1 {
-                let gap = lanes.pos_at(0, w) - lanes.pos_at(0, w + 1);
+            for w in 0..net.len(0, 0) - 1 {
+                let gap = net.pos_at(0, 0, w) - net.pos_at(0, 0, w + 1);
                 assert!(
                     gap >= c.vehicle_length_m - 1e-6,
                     "overlap after step: gap {gap}"
@@ -1296,8 +1674,8 @@ mod tests {
             }
         }
         // All stopped in a jam near the line at ~7.5 m spacing.
-        for w in 0..lanes.len(0) - 1 {
-            let gap = lanes.pos_at(0, w) - lanes.pos_at(0, w + 1);
+        for w in 0..net.len(0, 0) - 1 {
+            let gap = net.pos_at(0, 0, w) - net.pos_at(0, 0, w + 1);
             assert!(
                 (gap - c.jam_spacing_m()).abs() < 0.6,
                 "jam spacing violated: {gap}"
@@ -1307,40 +1685,40 @@ mod tests {
 
     #[test]
     fn detection_counts_only_near_the_stop_line() {
-        let mut lanes = lane();
-        lanes.push(0, 295.0, 0.0, 0, 0, 0, 0);
-        lanes.push(0, 287.0, 0.0, 0, 1, 0, 1);
-        lanes.push(0, 100.0, 10.0, 0, 2, 0, 2); // far upstream
-        assert_eq!(lanes.detected(0, 300.0, 100.0), 2);
-        assert_eq!(lanes.detected(0, 300.0, 300.0), 3);
-        assert_eq!(lanes.detected(0, 300.0, 1.0), 0);
+        let mut net = lane();
+        net.push(0, 0, 295.0, 0.0, 0, 0, 0, 0);
+        net.push(0, 0, 287.0, 0.0, 0, 1, 0, 1);
+        net.push(0, 0, 100.0, 10.0, 0, 2, 0, 2); // far upstream
+        assert_eq!(net.detected(0, 0, 300.0, 100.0), 2);
+        assert_eq!(net.detected(0, 0, 300.0, 300.0), 3);
+        assert_eq!(net.detected(0, 0, 300.0, 1.0), 0);
     }
 
     #[test]
     fn entry_clearance_respects_jam_spacing() {
         let c = cfg();
-        let mut lanes = lane();
-        assert!(lanes.entry_clear(0, 300.0, &c), "empty lane is clear");
-        lanes.push(0, 8.0, 0.0, 0, 0, 0, 0);
-        assert!(lanes.entry_clear(0, 300.0, &c));
-        lanes.push(0, 6.0, 0.0, 0, 1, 0, 1);
-        assert!(!lanes.entry_clear(0, 300.0, &c), "tail at 6 m < 7.5 m");
-        assert_eq!(lanes.tail_position(0, 300.0), 6.0);
+        let mut net = lane();
+        assert!(net.entry_clear(0, 0, 300.0, &c), "empty lane is clear");
+        net.push(0, 0, 8.0, 0.0, 0, 0, 0, 0);
+        assert!(net.entry_clear(0, 0, 300.0, &c));
+        net.push(0, 0, 6.0, 0.0, 0, 1, 0, 1);
+        assert!(!net.entry_clear(0, 0, 300.0, &c), "tail at 6 m < 7.5 m");
+        assert_eq!(net.tail_position(0, 0, 300.0), 6.0);
     }
 
     #[test]
     fn successor_of_crossed_head_sees_the_line() {
         let c = cfg();
-        let mut lanes = lane();
-        push(&mut lanes, 0, 296.0, 12.0, spec300());
-        push(&mut lanes, 1, 285.0, 12.0, spec300());
+        let mut net = lane();
+        push(&mut net, 0, 296.0, 12.0, spec300());
+        push(&mut net, 1, 285.0, 12.0, spec300());
         let mut r = rng();
-        let crossed = update_lane(&mut lanes, 0, 300.0, HeadMode::Release, &c, &mut r);
+        let crossed = update_lane(&mut net, 0, 0, 300.0, HeadMode::Release, &c, &mut r);
         assert!(crossed.is_some());
-        assert_eq!(lanes.len(0), 1);
+        assert_eq!(net.len(0, 0), 1);
         // The successor advanced but is still on the lane.
-        assert!(lanes.pos_at(0, 0) < 300.0);
-        assert!(lanes.pos_at(0, 0) > 285.0);
+        assert!(net.pos_at(0, 0, 0) < 300.0);
+        assert!(net.pos_at(0, 0, 0) > 285.0);
     }
 
     #[test]
@@ -1350,32 +1728,35 @@ mod tests {
         // the invariant `MicroSim` relies on for its dense counter arrays.
         let c = cfg();
         let spec = spec300();
-        let mut lanes = lane();
+        let mut net = lane();
         // One vehicle upstream of the 50 m window, one inside it, halted.
-        push(&mut lanes, 0, 270.0, 0.0, spec);
-        push(&mut lanes, 1, 100.0, 13.0, spec);
-        let (mut detected, mut halted) = lanes.rescan_sensors(0, spec);
+        push(&mut net, 0, 270.0, 0.0, spec);
+        push(&mut net, 1, 100.0, 13.0, spec);
+        let (mut detected, mut halted) = net.rescan_sensors(0, 0, spec);
         assert_eq!((detected, halted), (1, 1));
 
         let mut r = rng();
         for _ in 0..60 {
-            let mut noise = DawdleSource::Stream(&mut r);
-            let outcome = advance_head(
-                &mut lanes,
-                0,
-                300.0,
-                HeadMode::Blocked,
-                &c,
-                spec,
-                &mut noise,
-                None,
-            );
-            let (dd, hd) = advance_followers(&mut lanes, 0, 300.0, &c, spec, &mut r, None);
+            let outcome = {
+                let mut noise = DawdleSource::Stream(&mut r);
+                advance_head(
+                    &mut net,
+                    0,
+                    0,
+                    300.0,
+                    HeadMode::Blocked,
+                    &c,
+                    spec,
+                    &mut noise,
+                    None,
+                )
+            };
+            let (dd, hd) = followers(&mut net, 0, 0, 300.0, &c, spec, &mut r);
             detected = (detected as i64 + outcome.detected_delta as i64 + dd) as u32;
             halted = (halted as i64 + outcome.halted_delta as i64 + hd) as u32;
             assert_eq!(
                 (detected, halted),
-                lanes.rescan_sensors(0, spec),
+                net.rescan_sensors(0, 0, spec),
                 "deltas diverged from rescan"
             );
         }
@@ -1387,16 +1768,16 @@ mod tests {
     fn waiting_accumulates_in_place_for_stopped_vehicles() {
         let c = cfg();
         let spec = spec300();
-        let mut lanes = lane();
-        push(&mut lanes, 0, 299.0, 0.0, spec);
-        push(&mut lanes, 1, 150.0, c.free_speed_mps, spec);
+        let mut net = lane();
+        push(&mut net, 0, 299.0, 0.0, spec);
+        push(&mut net, 1, 150.0, c.free_speed_mps, spec);
         let mut r = rng();
         for _ in 0..40 {
-            update_lane(&mut lanes, 0, 300.0, HeadMode::Blocked, &c, &mut r);
+            update_lane(&mut net, 0, 0, 300.0, HeadMode::Blocked, &c, &mut r);
         }
         // The head sat at the line the whole time; the follower drove,
         // then queued behind it.
-        let waits: Vec<u64> = lanes.all_waits().collect();
+        let waits: Vec<u64> = net.all_waits().collect();
         assert!(waits[0] >= 39, "head wait {waits:?}");
         assert!(
             waits[1] > 0 && waits[1] < waits[0],
@@ -1408,43 +1789,44 @@ mod tests {
     fn pop_head_compacts_storage() {
         let spec = spec300();
         let c = cfg();
-        let mut lanes = lane();
+        let mut net = lane();
         for i in 0..100u32 {
             push(
-                &mut lanes,
+                &mut net,
                 i,
-                299.0 - i as f64 * c.jam_spacing_m(),
+                299.0 - f64::from(i) * c.jam_spacing_m(),
                 0.0,
                 spec,
             );
         }
         for expect in 0..60u32 {
-            let (slot, _) = lanes.pop_head(0);
+            let (slot, _) = net.pop_head(0, 0);
             assert_eq!(slot, expect);
-            assert_eq!(lanes.len(0), (99 - expect) as usize);
+            assert_eq!(net.len(0, 0), (99 - expect) as usize);
         }
         // Offset-based dequeue must have compacted by now.
         assert!(
-            lanes.head(0) < 40,
+            net.head(0, 0) < 40,
             "storage not compacted: head {}",
-            lanes.head(0)
+            net.head(0, 0)
         );
-        assert_eq!(lanes.slot_at(0, 0), 60);
+        assert_eq!(net.slot_at(0, 0, 0), 60);
         assert_eq!(
-            lanes.tail_position(0, 300.0),
-            lanes.pos_at(0, lanes.len(0) - 1)
+            net.tail_position(0, 0, 300.0),
+            net.pos_at(0, 0, net.len(0, 0) - 1)
         );
     }
 
     #[test]
     fn segmented_storage_grows_without_losing_content() {
-        // A one-lane storage sized for a single resident vehicle must
+        // A road sized for a single resident vehicle per lane must
         // re-segment transparently when overfilled from a head-zero
         // state (the cold growth path), preserving order and content.
-        let mut lanes = RoadLanes::new(2, 1);
-        let initial_seg = lanes.seg;
+        let mut net = NetworkLanes::new(&[(2, 1)]);
+        let initial_seg = net.seg(0);
         for i in 0..(2 * initial_seg) as u32 {
-            lanes.push(
+            net.push(
+                0,
                 1,
                 1000.0 - f64::from(i),
                 3.0,
@@ -1454,17 +1836,129 @@ mod tests {
                 u64::from(i),
             );
         }
-        assert!(lanes.seg > initial_seg, "storage must have re-segmented");
-        assert_eq!(lanes.len(1), 2 * initial_seg);
-        assert!(lanes.is_empty(0), "other lanes untouched");
-        for i in 0..lanes.len(1) {
-            assert_eq!(lanes.pos_at(1, i), 1000.0 - i as f64);
-            assert_eq!(lanes.slot_at(1, i), i as u32);
-            assert_eq!(lanes.link_at(1, i), 2);
+        assert!(net.seg(0) > initial_seg, "road must have re-segmented");
+        assert_eq!(net.len(0, 1), 2 * initial_seg);
+        assert!(net.is_empty(0, 0), "other lanes untouched");
+        for i in 0..net.len(0, 1) {
+            assert_eq!(net.pos_at(0, 1, i), 1000.0 - i as f64);
+            assert_eq!(net.slot_at(0, 1, i), i as u32);
+            assert_eq!(net.link_at(0, 1, i), 2);
         }
-        let waits: Vec<u64> = lanes.all_waits().collect();
-        assert_eq!(waits.len(), lanes.len(1));
+        let waits: Vec<u64> = net.all_waits().collect();
+        assert_eq!(waits.len(), net.len(0, 1));
         assert_eq!(waits[5], 5);
+    }
+
+    #[test]
+    fn growth_relayouts_without_disturbing_other_roads() {
+        // Overflow road 0 while roads 1 and 2 hold traffic: only road
+        // 0's stride changes; every road's logical content survives the
+        // re-layout (regions shift, content does not).
+        let mut net = NetworkLanes::new(&[(1, 1), (2, 1), (1, 1)]);
+        net.push(1, 1, 42.0, 3.0, 9, 100, 4, 100);
+        net.push(2, 0, 77.0, 1.0, 2, 200, 5, 200);
+        let (seg1, seg2) = (net.seg(1), net.seg(2));
+        let overfill = net.seg(0) + 1;
+        for i in 0..overfill as u32 {
+            net.push(0, 0, 900.0 - f64::from(i), 2.0, 0, i, 0, u64::from(i));
+        }
+        assert!(net.seg(0) > seg1, "road 0 re-segmented");
+        assert_eq!(net.seg(1), seg1, "road 1 stride untouched");
+        assert_eq!(net.seg(2), seg2, "road 2 stride untouched");
+        assert_eq!(net.len(0, 0), overfill);
+        for i in 0..overfill {
+            assert_eq!(net.pos_at(0, 0, i), 900.0 - i as f64);
+            assert_eq!(net.slot_at(0, 0, i), i as u32);
+        }
+        assert_eq!(net.pos_at(1, 1, 0), 42.0);
+        assert_eq!(net.slot_at(1, 1, 0), 100);
+        assert_eq!(net.link_at(1, 1, 0), 4);
+        assert_eq!(net.pos_at(2, 0, 0), 77.0);
+        let waits: Vec<u64> = net.all_waits().collect();
+        assert_eq!(waits[overfill], 9, "road 1's wait survives the re-layout");
+        net.verify_active().unwrap();
+        assert_eq!(net.active_roads(), &[0, 1, 2]);
+    }
+
+    #[test]
+    fn active_list_tracks_occupancy() {
+        let mut net = NetworkLanes::new(&[(2, 4), (1, 4), (3, 4)]);
+        assert!(net.active_roads().is_empty());
+        net.push(1, 0, 50.0, 0.0, 0, 0, 0, 0);
+        assert_eq!(net.active_roads(), &[1]);
+        net.push(2, 2, 10.0, 1.0, 0, 1, 0, 1);
+        net.push(0, 1, 20.0, 2.0, 0, 2, 0, 2);
+        assert_eq!(net.active_roads(), &[0, 1, 2], "sorted registration");
+        net.verify_active().unwrap();
+        net.pop_head(1, 0);
+        assert_eq!(net.active_roads(), &[0, 2], "drained road deregisters");
+        // A road with several occupied lanes stays active until the last
+        // vehicle pops.
+        net.push(0, 0, 30.0, 0.0, 0, 3, 0, 3);
+        net.pop_head(0, 1);
+        assert_eq!(net.active_roads(), &[0, 2]);
+        net.pop_head(0, 0);
+        net.pop_head(2, 2);
+        assert!(net.active_roads().is_empty());
+        net.verify_active().unwrap();
+        assert_eq!(net.total_vehicles(), 0);
+    }
+
+    #[test]
+    fn steady_churn_never_regrows_storage() {
+        // Landing/crossing churn at the plateau: the offset dequeue plus
+        // amortized compaction keeps the arena's stride and allocation
+        // fixed — the property `tests/perf_alloc.rs` measures end to end.
+        let mut net = NetworkLanes::new(&[(1, 8)]);
+        let seg0 = net.seg(0);
+        for i in 0..8u32 {
+            net.push(0, 0, 300.0 - f64::from(i) * 8.0, 0.0, 0, i, 0, u64::from(i));
+        }
+        let ptr = net.pv.as_ptr();
+        for i in 8..5000u32 {
+            net.pop_head(0, 0);
+            net.push(0, 0, 0.0, 0.0, 0, i, 0, u64::from(i));
+        }
+        assert_eq!(net.seg(0), seg0, "stride stable under churn");
+        assert!(
+            std::ptr::eq(ptr, net.pv.as_ptr()),
+            "no reallocation under churn"
+        );
+        assert_eq!(net.len(0, 0), 8);
+        net.verify_active().unwrap();
+    }
+
+    #[test]
+    fn load_lane_keeps_the_active_list_consistent() {
+        // Restoring a lane over existing content must reconcile the live
+        // count and the active list, both directions (emptying a road,
+        // filling an empty one).
+        let mut src = NetworkLanes::new(&[(1, 4), (1, 4)]);
+        src.push(0, 0, 120.0, 5.0, 3, 11, 1, 11);
+        src.push(0, 0, 80.0, 4.0, 0, 12, 1, 12);
+        let mut w = StateWriter::new();
+        src.save_lane(0, 0, &mut w);
+        let empty = {
+            let mut w = StateWriter::new();
+            NetworkLanes::new(&[(1, 4)]).save_lane(0, 0, &mut w);
+            w
+        };
+
+        let mut dst = NetworkLanes::new(&[(1, 4), (1, 4)]);
+        dst.push(1, 0, 10.0, 0.0, 0, 99, 0, 99);
+        let words = w.into_words();
+        dst.load_lane(0, 0, &mut StateReader::new(&words)).unwrap();
+        assert_eq!(dst.active_roads(), &[0, 1]);
+        assert_eq!(dst.len(0, 0), 2);
+        assert_eq!(dst.pos_at(0, 0, 0), 120.0);
+        dst.verify_active().unwrap();
+        // Now overwrite the occupied lane with an empty snapshot: the
+        // road must deactivate.
+        let empty_words = empty.into_words();
+        dst.load_lane(1, 0, &mut StateReader::new(&empty_words))
+            .unwrap();
+        assert_eq!(dst.active_roads(), &[0]);
+        dst.verify_active().unwrap();
     }
 
     #[test]

@@ -32,9 +32,12 @@
 //! → decide (one controller per intersection; shard-parallel under
 //! `Parallelism::Rayon`) → signal refresh → box countdown → head
 //! release (serial — crossings mutate shared junction/road state) →
-//! car-following for the remaining vehicles (per-road, streaming over the
-//! lanes' SoA arrays; the expensive phase, shard-parallel under Rayon) →
-//! landings → insertions. Waiting is accumulated *inside* the
+//! car-following for the remaining vehicles (streaming over the
+//! network-wide lane arena; the expensive phase, shard-parallel under
+//! Rayon) → landings → insertions. The head and car-following phases
+//! walk the arena's occupancy-ordered active-road list, so empty roads
+//! cost zero cache lines (see [`crate::road`]). Waiting is accumulated
+//! *inside* the
 //! car-following pass (per-vehicle accumulators; see
 //! [`crate::road`]), so there is no separate waiting phase. See the crate
 //! docs' "Performance architecture" section for the invariants each phase
@@ -57,8 +60,9 @@ use utilbp_netgen::{Arrival, IntersectionId, NetworkTopology, RoadId, Route};
 use crate::config::{Fidelity, MicroSimConfig};
 use crate::krauss::{next_speed, LeaderInfo};
 use crate::road::{
-    advance_followers, advance_followers_batched_road, advance_head, DawdleSource, HeadMode,
-    MovementCounters, RoadLanes, SensorSpec, VehicleArena, LINK_NONE,
+    advance_followers, advance_followers_batched_road, advance_head, DawdleSource, FollowerShard,
+    HeadMode, LaneView, MovementCounters, NetworkLanes, RoadSpan, SensorSpec, VehicleArena,
+    LINK_NONE,
 };
 
 /// A vehicle traversing the junction box: its arena slot plus the wait
@@ -86,10 +90,10 @@ struct JunctionSim {
 
 #[derive(Debug, Clone)]
 struct RoadSim {
-    /// All lanes' vehicle state in one segmented per-road SoA arena (see
-    /// [`RoadLanes`]): the car-following phase streams the whole road
-    /// through contiguous storage.
-    lanes: RoadLanes,
+    // Vehicle state lives in the network-wide [`NetworkLanes`] arena on
+    // `MicroSim` (road index == `RoadSim` index), not here: the
+    // car-following phase streams the whole *network* through contiguous
+    // storage instead of chasing per-road allocations.
     length: f64,
     capacity: u32,
     /// Whether the road is closed to *entering* traffic (scenario
@@ -272,6 +276,10 @@ pub struct MicroSim {
     config: MicroSimConfig,
     controllers: Vec<ControllerSlot>,
     roads: Vec<RoadSim>,
+    /// Every lane of every road in one network-wide segmented SoA arena,
+    /// with the sorted active-road list the head and follower phases
+    /// iterate (empty roads cost zero cache lines). Indexed by road.
+    net: NetworkLanes,
     junctions: Vec<JunctionSim>,
     /// Per-journey vehicle state (id, route, cursor), slab-allocated.
     arena: VehicleArena,
@@ -396,18 +404,26 @@ impl MicroSim {
             });
         }
 
+        // Resident vehicles per lane are bounded by the road geometry;
+        // sizing the network arena at the plateau up front keeps lane
+        // growth out of the steady-state allocation profile.
+        let shapes: Vec<(usize, usize)> = topology
+            .road_ids()
+            .map(|r| {
+                let road = topology.road(r);
+                let lane_capacity = (road.length_m() / config.jam_spacing_m()).floor() as usize + 1;
+                (lane_links[r.index()].len(), lane_capacity)
+            })
+            .collect();
+        let net = NetworkLanes::new(&shapes);
+
         let seed = config.seed;
         let roads: Vec<RoadSim> = topology
             .road_ids()
             .map(|r| {
                 let road = topology.road(r);
                 let num_lanes = lane_links[r.index()].len();
-                // Resident vehicles per lane are bounded by the road
-                // geometry; reserving the plateau up front keeps lane
-                // growth out of the steady-state allocation profile.
-                let lane_capacity = (road.length_m() / config.jam_spacing_m()).floor() as usize + 1;
                 RoadSim {
-                    lanes: RoadLanes::new(num_lanes, lane_capacity),
                     length: road.length_m(),
                     capacity: road.capacity(),
                     closed: false,
@@ -446,6 +462,7 @@ impl MicroSim {
             config,
             controllers: ControllerSlot::wrap_all(controllers),
             roads,
+            net,
             junctions,
             arena: VehicleArena::new(),
             backlogs: vec![VecDeque::new(); num_roads],
@@ -497,7 +514,7 @@ impl MicroSim {
     /// time; O(active vehicles), never touched by the step path.
     pub fn mean_waiting_including_active(&self) -> f64 {
         let now = self.now;
-        let lane_waits = self.roads.iter().flat_map(|r| r.lanes.all_waits());
+        let lane_waits = self.net.all_waits();
         let box_waits = self
             .junctions
             .iter()
@@ -517,7 +534,7 @@ impl MicroSim {
 
     /// Vehicles currently on lanes or in junction boxes.
     pub fn vehicles_in_network(&self) -> usize {
-        let on_lanes: usize = self.roads.iter().map(|r| r.lanes.total_len()).sum();
+        let on_lanes = self.net.total_vehicles();
         let in_boxes: usize = self.junctions.iter().map(|j| j.in_box.len()).sum();
         on_lanes + in_boxes
     }
@@ -535,12 +552,12 @@ impl MicroSim {
         let mut on_lanes = 0usize;
         let mut pos = 0.0f64;
         let mut speed = 0.0f64;
-        for road in &self.roads {
-            for l in 0..road.lanes.num_lanes() {
-                for i in 0..road.lanes.len(l) {
+        for r in 0..self.roads.len() {
+            for l in 0..self.net.num_lanes(r) {
+                for i in 0..self.net.len(r, l) {
                     on_lanes += 1;
-                    pos += road.lanes.pos_at(l, i);
-                    speed += road.lanes.speed_at(l, i);
+                    pos += self.net.pos_at(r, l, i);
+                    speed += self.net.speed_at(r, l, i);
                 }
             }
         }
@@ -609,7 +626,7 @@ impl MicroSim {
         let r = self.link_in_road[intersection.index()][link.index()];
         if self.config.lane_discipline == crate::LaneDiscipline::DedicatedPerMovement {
             let lane = self.lane_index_by_link[r][link.index()];
-            return self.roads[r].lanes.len(lane) as u32;
+            return self.net.len(r, lane) as u32;
         }
         if let Some(mv) = &self.roads[r].move_counts {
             return mv.total[link.index()];
@@ -623,21 +640,21 @@ impl MicroSim {
     /// lanes' cached per-vehicle movement links, so no route is chased.
     fn movement_detected(&self, intersection: IntersectionId, link: LinkId, range: f64) -> u32 {
         let r = self.link_in_road[intersection.index()][link.index()];
-        let road = &self.roads[r];
+        let length = self.roads[r].length;
         match self.config.lane_discipline {
             crate::LaneDiscipline::DedicatedPerMovement => {
                 let lane = self.lane_index_by_link[r][link.index()];
-                road.lanes.detected(lane, road.length, range)
+                self.net.detected(r, lane, length, range)
             }
             crate::LaneDiscipline::SharedMixed => {
                 // Vehicles for this movement may sit on any lane.
                 let li = link.index() as u16;
-                (0..road.lanes.num_lanes())
+                (0..self.net.num_lanes(r))
                     .map(|l| {
-                        (0..road.lanes.len(l))
+                        (0..self.net.len(r, l))
                             .filter(|&i| {
-                                road.lanes.pos_at(l, i) >= road.length - range
-                                    && road.lanes.link_at(l, i) == li
+                                self.net.pos_at(r, l, i) >= length - range
+                                    && self.net.link_at(r, l, i) == li
                             })
                             .count() as u32
                     })
@@ -753,11 +770,12 @@ impl MicroSim {
     ///
     /// Returns a message naming the first divergent road/lane.
     pub fn verify_sensors(&self) -> Result<(), String> {
+        self.net.verify_active()?;
         for (r, road) in self.roads.iter().enumerate() {
             let mut detected_sum = 0u32;
             let mut halted_sum = 0u32;
-            for l in 0..road.lanes.num_lanes() {
-                let (detected, halted) = road.lanes.rescan_sensors(l, road.spec);
+            for l in 0..self.net.num_lanes(r) {
+                let (detected, halted) = self.net.rescan_sensors(r, l, road.spec);
                 detected_sum += detected;
                 halted_sum += halted;
                 if road.lane_detected[l] != detected || road.lane_halted[l] != halted {
@@ -779,18 +797,18 @@ impl MicroSim {
                         road.pending[l]
                     ));
                 }
-                for i in 0..road.lanes.len(l) {
-                    let slot = road.lanes.slot_at(l, i);
+                for i in 0..self.net.len(r, l) {
+                    let slot = self.net.slot_at(r, l, i);
                     let derived = self
                         .arena
                         .route(slot)
                         .hop(self.arena.hop(slot))
                         .map_or(LINK_NONE, |(_, link)| link.index() as u16);
-                    if road.lanes.link_at(l, i) != derived {
+                    if self.net.link_at(r, l, i) != derived {
                         return Err(format!(
                             "road {r} lane {l} vehicle {i}: cached link {} != route-derived \
                              {derived}",
-                            road.lanes.link_at(l, i)
+                            self.net.link_at(r, l, i)
                         ));
                     }
                 }
@@ -805,11 +823,11 @@ impl MicroSim {
             if let Some(mv) = &road.move_counts {
                 for link in 0..mv.total.len() {
                     let (mut total, mut detected) = (0u32, 0u32);
-                    for l in 0..road.lanes.num_lanes() {
-                        for i in 0..road.lanes.len(l) {
-                            if road.lanes.link_at(l, i) == link as u16 {
+                    for l in 0..self.net.num_lanes(r) {
+                        for i in 0..self.net.len(r, l) {
+                            if self.net.link_at(r, l, i) == link as u16 {
                                 total += 1;
-                                if road.lanes.pos_at(l, i) >= road.spec.detect_from {
+                                if self.net.pos_at(r, l, i) >= road.spec.detect_from {
                                     detected += 1;
                                 }
                             }
@@ -937,12 +955,21 @@ impl MicroSim {
         // sequential stream (exact) or stateless counter draws (batched).
         let (fidelity, dawdle_seed) = (self.config.fidelity, self.config.seed);
         let tick = now.index();
-        for r in 0..self.roads.len() {
+        // Occupancy-ordered sweep: only roads with vehicles are visited
+        // (ascending road index, same per-road order as a full scan, so
+        // exact-mode RNG streams are untouched — empty lanes never drew).
+        // During road `r`'s turn the only possible active-list mutation
+        // is `r` itself deactivating (pops land in junction boxes, not on
+        // other roads' lanes), so the cursor advances only when `r` is
+        // still listed at it.
+        let mut ai = 0usize;
+        while ai < self.net.num_active() {
+            let r = self.net.active_road(ai);
             let length = self.roads[r].length;
             let spec = self.roads[r].spec;
             let dest = self.road_dest[r];
-            for lane_idx in 0..self.roads[r].lanes.num_lanes() {
-                if self.roads[r].lanes.is_empty(lane_idx) {
+            for lane_idx in 0..self.net.num_lanes(r) {
+                if self.net.is_empty(r, lane_idx) {
                     continue;
                 }
                 // Release decision for the head vehicle.
@@ -960,7 +987,7 @@ impl MicroSim {
                                 (self.lane_green[r][lane_idx], usize::MAX)
                             }
                             crate::LaneDiscipline::SharedMixed => {
-                                let li = self.roads[r].lanes.link_at(lane_idx, 0) as usize;
+                                let li = self.net.link_at(r, lane_idx, 0) as usize;
                                 (
                                     self.junctions[j].active[li]
                                         && self.junctions[j].credit[li] >= 1.0,
@@ -980,7 +1007,7 @@ impl MicroSim {
                             if !self.roads[out_r].closed
                                 && self.roads[out_r].occupancy < self.roads[out_r].capacity
                             {
-                                let slot = self.roads[r].lanes.slot_at(lane_idx, 0);
+                                let slot = self.net.slot_at(r, lane_idx, 0);
                                 let dest_lane = self.choose_dest_lane(
                                     out_r,
                                     self.arena.hop(slot) + 1,
@@ -1009,7 +1036,8 @@ impl MicroSim {
                     },
                 };
                 let outcome = advance_head(
-                    &mut road.lanes,
+                    &mut self.net,
+                    r,
                     lane_idx,
                     length,
                     mode,
@@ -1057,69 +1085,54 @@ impl MicroSim {
                     }
                 }
             }
+            // Advance past `r` unless its last vehicle just crossed (then
+            // the list already shifted left under the cursor).
+            if ai < self.net.num_active() && self.net.active_road(ai) == r {
+                ai += 1;
+            }
         }
 
         // 6. Car-following for the remaining vehicles: per-road work with
-        //    no cross-road reads or writes — the expensive phase, sharded
-        //    under Rayon and streaming over each lane's SoA arrays (the
-        //    waiting accumulators update in the same pass). Per-road RNGs
-        //    keep it bit-identical to serial.
+        //    no cross-road reads or writes — the expensive phase. Serial
+        //    execution walks the active-road list over one full-range
+        //    view of the network arena (a few linear sweeps, zero
+        //    allocation); Rayon splits the arena into disjoint per-shard
+        //    windows at road boundaries (`split_at_mut`, no unsafe) and
+        //    skips empty roads inside each shard. Per-road RNGs keep the
+        //    two bit-identical.
         {
             let config = &self.config;
-            parallel::for_each_indexed_mut(self.config.parallelism, &mut self.roads, |_, road| {
-                let RoadSim {
-                    lanes,
-                    length,
-                    spec,
-                    rng,
-                    move_counts,
-                    lane_detected,
-                    lane_halted,
-                    detected_sum,
-                    halted_sum,
-                    ..
-                } = road;
-                match config.fidelity {
-                    Fidelity::Exact => {
-                        for li in 0..lanes.num_lanes() {
-                            let (dd, hd) = advance_followers(
-                                lanes,
-                                li,
-                                *length,
-                                config,
-                                *spec,
-                                rng,
-                                move_counts.as_mut(),
-                            );
-                            if dd != 0 {
-                                lane_detected[li] = (lane_detected[li] as i64 + dd) as u32;
-                                *detected_sum = (*detected_sum as i64 + dd) as u32;
-                            }
-                            if hd != 0 {
-                                lane_halted[li] = (lane_halted[li] as i64 + hd) as u32;
-                                *halted_sum = (*halted_sum as i64 + hd) as u32;
-                            }
-                        }
-                    }
-                    // The batched kernel advances the whole road in one
-                    // call and folds per-lane sensor deltas itself.
-                    Fidelity::Batched => {
-                        let (dd, hd) = advance_followers_batched_road(
-                            lanes,
-                            *length,
-                            config,
-                            *spec,
-                            config.seed,
-                            tick,
-                            move_counts.as_mut(),
-                            lane_detected,
-                            lane_halted,
-                        );
-                        *detected_sum = (*detected_sum as i64 + dd) as u32;
-                        *halted_sum = (*halted_sum as i64 + hd) as u32;
-                    }
+            let roads = &mut self.roads;
+            let net = &mut self.net;
+            let workers = config.parallelism.workers(roads.len());
+            if workers <= 1 {
+                let (mut view, spans, active) = net.follower_parts();
+                for &r in active {
+                    let r = r as usize;
+                    follow_road(&mut view, &spans[r], &mut roads[r], config, tick);
                 }
-            });
+            } else {
+                let chunk = roads.len().div_ceil(workers);
+                let (shards, spans) = net.follower_shards(chunk);
+                let mut tasks: Vec<FollowerTask<'_>> = Vec::with_capacity(shards.len());
+                let mut rest: &mut [RoadSim] = roads;
+                for shard in shards {
+                    let take = shard.r1 - shard.r0;
+                    let (head, tail) = std::mem::take(&mut rest).split_at_mut(take);
+                    rest = tail;
+                    tasks.push(FollowerTask { shard, roads: head });
+                }
+                parallel::for_each_indexed_mut(config.parallelism, &mut tasks, |_, task| {
+                    for (i, road) in task.roads.iter_mut().enumerate() {
+                        let r = task.shard.r0 + i;
+                        let span = &spans[r];
+                        if span.live == 0 {
+                            continue;
+                        }
+                        follow_road(&mut task.shard.view, span, road, config, tick);
+                    }
+                });
+            }
         }
         watch.lap(|t| &mut t.car_following);
 
@@ -1129,6 +1142,7 @@ impl MicroSim {
         {
             let junctions = &mut self.junctions;
             let roads = &mut self.roads;
+            let net = &mut self.net;
             let config = &self.config;
             let scratch = &mut self.landing_scratch;
             let arena = &self.arena;
@@ -1143,16 +1157,19 @@ impl MicroSim {
                         continue;
                     }
                     let road = &mut roads[crossing.dest_road];
-                    if !road
-                        .lanes
-                        .entry_clear(crossing.dest_lane, road.length, config)
+                    if !net.entry_clear(crossing.dest_road, crossing.dest_lane, road.length, config)
                     {
                         // Held in the box until the lane entry clears.
                         junction.in_box.push(crossing);
                         continue;
                     }
-                    let leader =
-                        lane_entry_leader(&road.lanes, crossing.dest_lane, road.length, config);
+                    let leader = lane_entry_leader(
+                        net,
+                        crossing.dest_road,
+                        crossing.dest_lane,
+                        road.length,
+                        config,
+                    );
                     let speed = next_speed(config.insertion_speed_mps, leader, 0.0, config);
                     let mut wait = crossing.wait;
                     if speed < config.waiting_speed_mps {
@@ -1169,7 +1186,8 @@ impl MicroSim {
                     if let (Some(mv), true) = (road.move_counts.as_mut(), link != LINK_NONE) {
                         mv.add(link as usize, 0.0, road.spec);
                     }
-                    road.lanes.push(
+                    net.push(
+                        crossing.dest_road,
                         crossing.dest_lane,
                         0.0,
                         speed,
@@ -1250,11 +1268,11 @@ impl MicroSim {
 
     /// The lane of `road` with the most entry space.
     fn emptiest_lane(&self, road: usize) -> usize {
-        let road = &self.roads[road];
+        let length = self.roads[road].length;
         let mut best = 0usize;
         let mut best_tail = f64::NEG_INFINITY;
-        for i in 0..road.lanes.num_lanes() {
-            let tail = road.lanes.tail_position(i, road.length);
+        for i in 0..self.net.num_lanes(road) {
+            let tail = self.net.tail_position(road, i, length);
             if tail > best_tail {
                 best_tail = tail;
                 best = i;
@@ -1269,7 +1287,7 @@ impl MicroSim {
     fn dest_lane_has_room(&self, out_road: usize, dest_lane: usize) -> bool {
         let road = &self.roads[out_road];
         let pending = road.pending[dest_lane] as f64;
-        let tail = road.lanes.tail_position(dest_lane, road.length);
+        let tail = self.net.tail_position(out_road, dest_lane, road.length);
         tail >= self.config.jam_spacing_m() * (pending + 1.0)
     }
 
@@ -1284,8 +1302,10 @@ impl MicroSim {
             crate::LaneDiscipline::DedicatedPerMovement => self.lane_index_by_link[r][link.index()],
             crate::LaneDiscipline::SharedMixed => self.emptiest_lane(r),
         };
-        let road = &self.roads[r];
-        if !road.lanes.entry_clear(lane_idx, road.length, &self.config) {
+        if !self
+            .net
+            .entry_clear(r, lane_idx, self.roads[r].length, &self.config)
+        {
             return None;
         }
         Some(lane_idx)
@@ -1306,22 +1326,23 @@ impl MicroSim {
         let (_, link) = route.hop(0).expect("routes have at least one hop");
         let link = link.index() as u16;
         let slot = self.arena.insert(id, route);
-        let road = &mut self.roads[r];
-        let leader = lane_entry_leader(&road.lanes, lane_idx, road.length, &self.config);
+        let length = self.roads[r].length;
+        let leader = lane_entry_leader(&self.net, r, lane_idx, length, &self.config);
         let speed = next_speed(self.config.insertion_speed_mps, leader, 0.0, &self.config);
         if speed < self.config.waiting_speed_mps {
             // Inserted into a standing queue after the follower phase:
             // this tick already counts as waiting.
             wait += 1;
         }
+        let road = &mut self.roads[r];
         road.sensor_add(lane_idx, 0.0, speed);
         if let Some(mv) = road.move_counts.as_mut() {
             mv.add(link as usize, 0.0, road.spec);
         }
-        road.lanes
-            .push(lane_idx, 0.0, speed, wait, slot, link, id.raw());
         road.occupancy += 1;
         road.entered += 1;
+        self.net
+            .push(r, lane_idx, 0.0, speed, wait, slot, link, id.raw());
     }
 
     /// Visits every vehicle that still has junction crossings ahead of it
@@ -1343,9 +1364,9 @@ impl MicroSim {
     pub fn replan_routes(&mut self, replan: &mut utilbp_netgen::RouteRewrite<'_>) -> u64 {
         let mut diverted = 0u64;
         for r in 0..self.roads.len() {
-            for lane_idx in 0..self.roads[r].lanes.num_lanes() {
-                for i in 0..self.roads[r].lanes.len(lane_idx) {
-                    let slot = self.roads[r].lanes.slot_at(lane_idx, i);
+            for lane_idx in 0..self.net.num_lanes(r) {
+                for i in 0..self.net.len(r, lane_idx) {
+                    let slot = self.net.slot_at(r, lane_idx, i);
                     let fixed = self.arena.hop(slot) + 1;
                     if let Some(route) = replan(self.arena.id(slot), self.arena.route(slot), fixed)
                     {
@@ -1401,13 +1422,13 @@ impl MicroSim {
         writer.push(self.total_crossings);
         self.arena.save_state(writer);
         writer.push_usize(self.roads.len());
-        for road in &self.roads {
+        for (r, road) in self.roads.iter().enumerate() {
             writer.push_bool(road.closed);
             writer.push_u32(road.occupancy);
             writer.push(road.entered);
-            writer.push_usize(road.lanes.num_lanes());
-            for l in 0..road.lanes.num_lanes() {
-                road.lanes.save_state(l, writer);
+            writer.push_usize(self.net.num_lanes(r));
+            for l in 0..self.net.num_lanes(r) {
+                self.net.save_lane(r, l, writer);
             }
             for &p in &road.pending {
                 writer.push_u32(p);
@@ -1480,23 +1501,27 @@ impl MicroSim {
                 word: num_roads as u64,
             });
         }
-        for road in &mut self.roads {
-            road.closed = reader.take_bool()?;
-            road.occupancy = reader.take_u32()?;
-            road.entered = reader.take()?;
+        for r in 0..num_roads {
+            {
+                let road = &mut self.roads[r];
+                road.closed = reader.take_bool()?;
+                road.occupancy = reader.take_u32()?;
+                road.entered = reader.take()?;
+            }
             let num_lanes = reader.take_usize()?;
-            if num_lanes != road.lanes.num_lanes() {
+            if num_lanes != self.net.num_lanes(r) {
                 return Err(StateError::Invalid {
                     what: "lane count",
                     word: num_lanes as u64,
                 });
             }
             for l in 0..num_lanes {
-                road.lanes.load_state(l, reader)?;
+                self.net.load_lane(r, l, reader)?;
             }
             // The lanes' cached vehicle ids are not on the wire; rebuild
             // them from the (already restored) arena.
-            road.lanes.refresh_ids(&self.arena);
+            self.net.refresh_ids_road(r, &self.arena);
+            let road = &mut self.roads[r];
             for p in &mut road.pending {
                 *p = reader.take_u32()?;
             }
@@ -1573,15 +1598,96 @@ impl MicroSim {
     }
 }
 
-/// The leader a vehicle entering at `pos = 0` of lane `l` faces.
-fn lane_entry_leader(lanes: &RoadLanes, l: usize, length: f64, cfg: &MicroSimConfig) -> LeaderInfo {
-    if lanes.is_empty(l) {
+/// The leader a vehicle entering at `pos = 0` of lane `l` of road `r`
+/// faces.
+fn lane_entry_leader(
+    net: &NetworkLanes,
+    r: usize,
+    l: usize,
+    length: f64,
+    cfg: &MicroSimConfig,
+) -> LeaderInfo {
+    if net.is_empty(r, l) {
         LeaderInfo::Wall { distance_m: length }
     } else {
-        let last = lanes.len(l) - 1;
+        let last = net.len(r, l) - 1;
         LeaderInfo::Vehicle {
-            net_gap_m: lanes.pos_at(l, last) - cfg.vehicle_length_m - cfg.min_gap_m,
-            speed_mps: lanes.speed_at(l, last),
+            net_gap_m: net.pos_at(r, l, last) - cfg.vehicle_length_m - cfg.min_gap_m,
+            speed_mps: net.speed_at(r, l, last),
+        }
+    }
+}
+
+/// One Rayon shard of the follower phase: a disjoint arena window plus
+/// the matching chunk of road bookkeeping (sensor counters, RNG streams)
+/// — everything one thread needs, with no sharing.
+struct FollowerTask<'a> {
+    shard: FollowerShard<'a>,
+    roads: &'a mut [RoadSim],
+}
+
+/// Runs the follower phase for one road under the configured fidelity,
+/// folding the kernels' sensor deltas into the road's dense counters —
+/// shared by the serial (active-list) and sharded (Rayon) sweeps, which
+/// keeps them bit-identical by construction.
+fn follow_road(
+    view: &mut LaneView<'_>,
+    span: &RoadSpan,
+    road: &mut RoadSim,
+    config: &MicroSimConfig,
+    tick: u64,
+) {
+    let RoadSim {
+        length,
+        spec,
+        rng,
+        move_counts,
+        lane_detected,
+        lane_halted,
+        detected_sum,
+        halted_sum,
+        ..
+    } = road;
+    match config.fidelity {
+        Fidelity::Exact => {
+            for l in 0..span.num_lanes {
+                let (dd, hd) = advance_followers(
+                    view,
+                    span,
+                    l,
+                    *length,
+                    config,
+                    *spec,
+                    rng,
+                    move_counts.as_mut(),
+                );
+                if dd != 0 {
+                    lane_detected[l] = (lane_detected[l] as i64 + dd) as u32;
+                    *detected_sum = (*detected_sum as i64 + dd) as u32;
+                }
+                if hd != 0 {
+                    lane_halted[l] = (lane_halted[l] as i64 + hd) as u32;
+                    *halted_sum = (*halted_sum as i64 + hd) as u32;
+                }
+            }
+        }
+        // The batched kernel advances the whole road in one call and
+        // folds per-lane sensor deltas itself.
+        Fidelity::Batched => {
+            let (dd, hd) = advance_followers_batched_road(
+                view,
+                span,
+                *length,
+                config,
+                *spec,
+                config.seed,
+                tick,
+                move_counts.as_mut(),
+                lane_detected,
+                lane_halted,
+            );
+            *detected_sum = (*detected_sum as i64 + dd) as u32;
+            *halted_sum = (*halted_sum as i64 + hd) as u32;
         }
     }
 }
@@ -1622,9 +1728,9 @@ mod occupancy_probe {
         }
         let mut hist = [0usize; 64];
         let (mut lanes_total, mut lanes_occupied, mut vehicles) = (0usize, 0usize, 0usize);
-        for road in &sim.roads {
-            for l in 0..road.lanes.num_lanes() {
-                let len = road.lanes.len(l);
+        for r in 0..sim.roads.len() {
+            for l in 0..sim.net.num_lanes(r) {
+                let len = sim.net.len(r, l);
                 lanes_total += 1;
                 if len > 0 {
                     lanes_occupied += 1;
@@ -1634,14 +1740,89 @@ mod occupancy_probe {
             }
         }
         eprintln!(
-            "lanes {lanes_total} ({lanes_occupied} occupied), vehicles {vehicles}, mean occupied len {:.2}",
-            vehicles as f64 / lanes_occupied.max(1) as f64
+            "lanes {lanes_total} ({lanes_occupied} occupied), vehicles {vehicles}, mean occupied len {:.2}; active roads {}/{}",
+            vehicles as f64 / lanes_occupied.max(1) as f64,
+            sim.net.num_active(),
+            sim.roads.len(),
         );
         for (len, count) in hist.iter().enumerate() {
             if *count > 0 {
                 eprintln!("  len {len:2}: {count}");
             }
         }
+    }
+
+    /// A road closure must drain the road out of the occupancy-ordered
+    /// sweep entirely (off the active list, all bookkeeping consistent),
+    /// and a reopen must re-register it once traffic returns — the
+    /// active-list maintenance edge case a steady-state run never hits.
+    #[test]
+    fn closure_drains_road_out_of_the_active_sweep() {
+        let g = GridNetwork::new(GridSpec::paper());
+        let n = g.topology().num_intersections();
+        let controllers = (0..n)
+            .map(|_| Box::new(UtilBp::paper()) as Box<dyn SignalController>)
+            .collect();
+        let mut sim = MicroSim::new(g.topology().clone(), controllers, MicroSimConfig::default());
+        let mut gen = DemandGenerator::new(
+            &g,
+            DemandConfig::new(DemandSchedule::constant(
+                Pattern::I,
+                Ticks::new(u64::MAX / 2),
+            )),
+            7,
+        );
+        let mut arrivals = Vec::new();
+        let mut report = crate::StepReport::empty();
+        let mut k = 0u64;
+        let mut step = |sim: &mut MicroSim, gen: &mut DemandGenerator, k: &mut u64| {
+            arrivals.clear();
+            gen.poll_into(&g, utilbp_core::Tick::new(*k), &mut arrivals);
+            sim.step_into(&mut arrivals, &mut report);
+            *k += 1;
+        };
+        for _ in 0..200 {
+            step(&mut sim, &mut gen, &mut k);
+        }
+        // Pick an occupied internal road (it has a downstream junction,
+        // so closing it blocks upstream releases toward it).
+        let r = (0..sim.roads.len())
+            .find(|&r| sim.net.road_len(r) > 0 && sim.road_dest[r].is_some())
+            .expect("an occupied internal road after warm-up");
+        sim.set_road_closed(RoadId::new(r as u32), true);
+        // Keep demand flowing: the rest of the network must stay live
+        // while the closed road drains (on-road vehicles leave, in-box
+        // vehicles still land, nothing new enters).
+        let mut drained = false;
+        for _ in 0..3000 {
+            step(&mut sim, &mut gen, &mut k);
+            if sim.net.road_len(r) == 0 && sim.roads[r].pending.iter().all(|&p| p == 0) {
+                drained = true;
+                break;
+            }
+        }
+        assert!(drained, "closed road failed to drain within 3000 ticks");
+        assert!(
+            sim.net.active_roads().binary_search(&(r as u32)).is_err(),
+            "drained road must leave the active list"
+        );
+        sim.verify_sensors().unwrap();
+
+        sim.set_road_closed(RoadId::new(r as u32), false);
+        let mut refilled = false;
+        for _ in 0..3000 {
+            step(&mut sim, &mut gen, &mut k);
+            if sim.net.road_len(r) > 0 {
+                refilled = true;
+                break;
+            }
+        }
+        assert!(refilled, "reopened road saw no traffic within 3000 ticks");
+        assert!(
+            sim.net.active_roads().binary_search(&(r as u32)).is_ok(),
+            "reopened road must re-register in the active list"
+        );
+        sim.verify_sensors().unwrap();
     }
 
     /// Manual interleaved exact/batched A/B throughput probe on the

@@ -264,7 +264,13 @@
 //! ```
 //!
 //! See `examples/` for runnable scenarios and `DESIGN.md` /
-//! `EXPERIMENTS.md` for the reproduction methodology and measured results.
+//! `EXPERIMENTS.md` for the reproduction methodology and measured
+//! results. The consolidated workspace guides live in `docs/`:
+//! `docs/ARCHITECTURE.md` (crate graph, tick data-flow, where each
+//! layer's contract is documented) and `docs/PERFORMANCE.md` (the
+//! vehicle-storage layout story, the bench protocol behind
+//! `BENCH_sim_throughput.json` and its run-entry schema, and the
+//! shared-hardware caveats that govern how to read the numbers).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -289,11 +295,17 @@ pub mod queueing {
 /// The microscopic traffic simulator (re-export of `utilbp-microsim`).
 ///
 /// See the crate-level "Performance architecture" notes in
-/// `utilbp-microsim` for the step path's mechanisms, including the
+/// `utilbp-microsim` for the step path's mechanisms: the network-wide
+/// vehicle arena (per-vehicle hot state in one contiguous
+/// struct-of-arrays buffer, roads as index spans), the
+/// occupancy-ordered sweep (an incrementally maintained active-road
+/// list, so empty roads and lanes cost zero cache lines in either
+/// fidelity), incremental sensing, and the
 /// [`microsim::Fidelity`] contract: `Exact` (the default, the mode
 /// every fixed-seed golden pins) vs `Batched` (counter-RNG,
 /// road-granular car-following kernel, validated distributionally by
-/// [`experiments::equivalence`]).
+/// [`experiments::equivalence`]). `docs/PERFORMANCE.md` tells the
+/// measured story.
 pub mod microsim {
     pub use utilbp_microsim::*;
 }

@@ -1,0 +1,99 @@
+//! Link check for the repo's markdown doc set: every relative path
+//! referenced from `docs/*.md`, `ROADMAP.md`, and `CHANGES.md` must
+//! resolve to a real file or directory, so the doc set can't silently
+//! rot as the tree moves underneath it. External URLs and intra-page
+//! anchors are out of scope (no network, no markdown rendering — this
+//! is a cheap structural gate, not a prose checker).
+
+use std::path::{Path, PathBuf};
+
+/// Every `](target)` occurrence in `text` whose target is a relative
+/// path (not `http(s)://`, `mailto:`, or a bare `#anchor`), with any
+/// `#fragment` suffix stripped.
+fn relative_link_targets(text: &str) -> Vec<String> {
+    let mut out = Vec::new();
+    let mut rest = text;
+    while let Some(at) = rest.find("](") {
+        rest = &rest[at + 2..];
+        let Some(end) = rest.find(')') else { break };
+        let target = &rest[..end];
+        rest = &rest[end..];
+        if target.is_empty()
+            || target.starts_with('#')
+            || target.starts_with("http://")
+            || target.starts_with("https://")
+            || target.starts_with("mailto:")
+        {
+            continue;
+        }
+        let path = target.split('#').next().unwrap_or(target);
+        if !path.is_empty() {
+            out.push(path.to_string());
+        }
+    }
+    out
+}
+
+fn repo_root() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+}
+
+fn check_file(doc: &Path, broken: &mut Vec<String>) {
+    let text = std::fs::read_to_string(doc)
+        .unwrap_or_else(|e| panic!("cannot read {}: {e}", doc.display()));
+    let base = doc.parent().expect("doc files live in a directory");
+    for target in relative_link_targets(&text) {
+        if !base.join(&target).exists() {
+            broken.push(format!("{} -> {target}", doc.display()));
+        }
+    }
+}
+
+#[test]
+fn every_relative_doc_link_resolves() {
+    let root = repo_root();
+    let mut docs: Vec<PathBuf> = vec![root.join("ROADMAP.md"), root.join("CHANGES.md")];
+    let docs_dir = root.join("docs");
+    assert!(
+        docs_dir.is_dir(),
+        "docs/ directory is part of the repo contract"
+    );
+    let mut in_docs: Vec<PathBuf> = std::fs::read_dir(&docs_dir)
+        .expect("readable docs/")
+        .filter_map(|e| e.ok().map(|e| e.path()))
+        .filter(|p| p.extension().is_some_and(|x| x == "md"))
+        .collect();
+    in_docs.sort();
+    assert!(
+        in_docs.iter().any(|p| p.ends_with("ARCHITECTURE.md"))
+            && in_docs.iter().any(|p| p.ends_with("PERFORMANCE.md")),
+        "the consolidated doc set must stay present"
+    );
+    docs.extend(in_docs);
+
+    let mut broken = Vec::new();
+    for doc in &docs {
+        check_file(doc, &mut broken);
+    }
+    assert!(
+        broken.is_empty(),
+        "broken relative links:\n  {}",
+        broken.join("\n  ")
+    );
+}
+
+#[test]
+fn link_extraction_understands_the_cases_it_gates() {
+    let text = "see [a](ARCHITECTURE.md), [b](../src/lib.rs#L1), \
+                [c](https://example.com/x.md), [d](#local-anchor), \
+                and [e](../crates/microsim/src/road.rs).";
+    let targets = relative_link_targets(text);
+    assert_eq!(
+        targets,
+        [
+            "ARCHITECTURE.md",
+            "../src/lib.rs",
+            "../crates/microsim/src/road.rs"
+        ]
+    );
+}
